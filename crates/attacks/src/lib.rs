@@ -1,0 +1,28 @@
+//! Attacks against sequential logic locking, used to evaluate TriLock.
+//!
+//! Three attack components reproduce the paper's threat model:
+//!
+//! * [`SatAttack`] — the SAT-based unrolling attack (COMB-SAT applied to the
+//!   `b`-unrolled locked circuit with a distinguishing-input-pattern loop and
+//!   candidate-key validation), the attack whose cost Table I reports.
+//! * [`estimate_min_unroll_depth`] — an FC-guided estimator of the minimum
+//!   unrolling depth `b*` in the spirit of Fun-SAT; for TriLock it recovers
+//!   `b* = κs`.
+//! * [`removal_attack`] — the structural removal attack of Section III-C:
+//!   build the register connection graph, compute SCCs and try to separate
+//!   the locking registers from the original ones. Its success statistics
+//!   (number of O-/E-/M-SCCs and the fraction of registers hidden inside
+//!   mixed components) are what Table II reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bstar;
+mod key_search;
+mod removal;
+mod sat_attack;
+
+pub use bstar::estimate_min_unroll_depth;
+pub use key_search::{exhaustive_key_search, KeySearchOutcome};
+pub use removal::{removal_attack, RemovalReport};
+pub use sat_attack::{AttackError, AttackStatus, SatAttack, SatAttackConfig, SatAttackOutcome};

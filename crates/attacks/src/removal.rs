@@ -1,0 +1,155 @@
+//! Structural removal attack based on SCC analysis of the register
+//! connection graph (paper Section II-C / III-C, evaluated in Table II).
+//!
+//! Following the paper's threat model, the attacker is assumed to have already
+//! identified *which* cells are state registers (register identification
+//! tooling is mature); the remaining problem is to separate the registers
+//! added by the locking scheme from the original ones so the locking logic can
+//! be excised. The natural structural tool is the SCC decomposition of the
+//! register connection graph: components containing only locking registers
+//! (E-SCCs) can be removed wholesale, components containing only original
+//! registers (O-SCCs) are kept, and *mixed* components (M-SCCs) cannot be
+//! split by connectivity alone — every register inside one resists the attack.
+
+use netlist::{Netlist, RegClass};
+use stg::{classify_sccs, RegisterGraph, SccClass, SccReport};
+
+/// Result of the removal attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemovalReport {
+    /// The SCC decomposition and classification of the register graph.
+    pub scc: SccReport,
+    /// Names of the registers the attacker can confidently mark for removal
+    /// (members of pure E-SCCs).
+    pub removable: Vec<String>,
+    /// Names of the registers the attacker can confidently keep
+    /// (members of pure O-SCCs).
+    pub keepable: Vec<String>,
+    /// Names of the registers hidden inside mixed components, which the
+    /// attacker cannot classify structurally.
+    pub hidden: Vec<String>,
+    /// Number of locking registers the attack failed to identify (they sit in
+    /// M-SCCs) — the defender's success metric.
+    pub protected_locking_registers: usize,
+    /// Total number of locking (or encoded) registers in the design.
+    pub total_locking_registers: usize,
+}
+
+impl RemovalReport {
+    /// Fraction (0–100) of registers the attack cannot classify, i.e. the
+    /// paper's `P_M` column.
+    pub fn percent_hidden(&self) -> f64 {
+        self.scc.percent_in_mixed
+    }
+
+    /// `true` when the attack separated every locking register (the scheme
+    /// failed to protect itself against removal).
+    pub fn attack_succeeded(&self) -> bool {
+        self.protected_locking_registers == 0 && self.total_locking_registers > 0
+    }
+}
+
+/// Runs the SCC-based removal attack against a (locked) netlist.
+pub fn removal_attack(netlist: &Netlist) -> RemovalReport {
+    let graph = RegisterGraph::build(netlist);
+    let scc = classify_sccs(&graph);
+
+    let mut removable = Vec::new();
+    let mut keepable = Vec::new();
+    let mut hidden = Vec::new();
+    let mut protected_locking = 0usize;
+
+    for component in &scc.sccs {
+        for &node in &component.nodes {
+            let name = netlist.net_name(netlist.dffs()[node].q).to_string();
+            let is_locking = !matches!(netlist.dffs()[node].class, RegClass::Original);
+            match component.class {
+                SccClass::Extra => removable.push(name),
+                SccClass::Original => keepable.push(name),
+                SccClass::Mixed => {
+                    if is_locking {
+                        protected_locking += 1;
+                    }
+                    hidden.push(name);
+                }
+            }
+        }
+    }
+    let total_locking = netlist
+        .dffs()
+        .iter()
+        .filter(|d| !matches!(d.class, RegClass::Original))
+        .count();
+
+    RemovalReport {
+        scc,
+        removable,
+        keepable,
+        hidden,
+        protected_locking_registers: protected_locking,
+        total_locking_registers: total_locking,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benchgen::small;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trilock::{encrypt, reencode, TriLockConfig};
+
+    fn locked_accumulator(reencode_pairs: usize) -> Netlist {
+        let original = small::accumulator(6).unwrap();
+        let config = TriLockConfig::new(2, 1).with_alpha(0.6);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut locked = encrypt(&original, &config, &mut rng).unwrap();
+        if reencode_pairs > 0 {
+            reencode(&mut locked.netlist, reencode_pairs).unwrap();
+        }
+        locked.netlist
+    }
+
+    #[test]
+    fn without_reencoding_the_attack_separates_the_locking_registers() {
+        let locked = locked_accumulator(0);
+        let report = removal_attack(&locked);
+        assert!(report.total_locking_registers > 0);
+        assert!(
+            !report.removable.is_empty(),
+            "some pure E-SCC must exist before re-encoding"
+        );
+        assert_eq!(report.scc.num_mixed, 0);
+        assert_eq!(report.percent_hidden(), 0.0);
+        assert!(report.attack_succeeded());
+    }
+
+    #[test]
+    fn reencoding_hides_registers_from_the_attack() {
+        let before = removal_attack(&locked_accumulator(0));
+        let after = removal_attack(&locked_accumulator(6));
+        assert!(after.scc.num_mixed >= 1);
+        assert!(after.percent_hidden() > before.percent_hidden());
+        assert!(after.protected_locking_registers > 0);
+        assert!(!after.attack_succeeded());
+        assert!(!after.hidden.is_empty());
+    }
+
+    #[test]
+    fn unlocked_circuit_has_nothing_to_remove() {
+        let original = small::accumulator(4).unwrap();
+        let report = removal_attack(&original);
+        assert_eq!(report.total_locking_registers, 0);
+        assert!(report.removable.is_empty());
+        assert!(!report.attack_succeeded());
+    }
+
+    #[test]
+    fn register_name_partitions_are_disjoint_and_complete() {
+        let locked = locked_accumulator(3);
+        let report = removal_attack(&locked);
+        let total =
+            report.removable.len() + report.keepable.len() + report.hidden.len();
+        assert_eq!(total, locked.num_dffs());
+    }
+}

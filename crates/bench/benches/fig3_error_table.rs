@@ -1,0 +1,20 @@
+//! Criterion bench for the Fig. 3 experiment: exhaustive error-table
+//! enumeration of a locked 2-input circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trilock_bench::experiments::fig3;
+
+fn bench_error_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("exhaustive_error_table_2in", |b| {
+        b.iter(|| {
+            let result = fig3::run(&fig3::Config::default()).expect("fig3 runs");
+            criterion::black_box(result.trilock.fc())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_error_table);
+criterion_main!(benches);

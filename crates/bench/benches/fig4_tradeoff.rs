@@ -1,0 +1,27 @@
+//! Criterion bench for the Fig. 4 experiment: analytic trade-off sweep plus
+//! the TriLock encryption of the toy circuit used in the figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trilock::{encrypt, TriLockConfig};
+use trilock_bench::experiments::fig4;
+
+fn bench_tradeoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.bench_function("analytic_sweep", |b| {
+        b.iter(|| criterion::black_box(fig4::run(&fig4::Config::default())))
+    });
+    let original = benchgen::small::toy_controller(4).expect("toy circuit");
+    group.bench_function("encrypt_toy_circuit", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let locked = encrypt(&original, &TriLockConfig::new(2, 1), &mut rng).expect("locks");
+            criterion::black_box(locked.summary.added_gates)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tradeoff);
+criterion_main!(benches);

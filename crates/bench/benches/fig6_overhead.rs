@@ -1,0 +1,58 @@
+//! Criterion bench for the Fig. 6 experiment: the area/delay/power cost model
+//! applied to a locked benchmark-profile circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use benchgen::CircuitProfile;
+use techlib::{AreaReport, DelayReport, OverheadReport, PowerReport, TechLibrary};
+use trilock::{encrypt, TriLockConfig};
+
+fn bench_overhead(c: &mut Criterion) {
+    let library = TechLibrary::nangate45();
+    let profile = CircuitProfile::by_name("s9234").expect("profile");
+    let original = benchgen::generate_scaled(&profile, 8, 3).expect("generates");
+    let mut rng = StdRng::seed_from_u64(6);
+    let locked = encrypt(&original, &TriLockConfig::new(2, 1).with_alpha(0.6), &mut rng)
+        .expect("locks");
+
+    let mut group = c.benchmark_group("fig6");
+    group.bench_function("area_report", |b| {
+        b.iter(|| criterion::black_box(AreaReport::of(&locked.netlist, &library).total))
+    });
+    group.bench_function("delay_report", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                DelayReport::of(&locked.netlist, &library)
+                    .expect("delay")
+                    .critical_path,
+            )
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("power_report_256_cycles", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(8);
+            criterion::black_box(
+                PowerReport::of(&locked.netlist, &library, 256, &mut rng)
+                    .expect("power")
+                    .total,
+            )
+        })
+    });
+    group.bench_function("overhead_report", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            criterion::black_box(
+                OverheadReport::between(&original, &locked.netlist, &library, 128, &mut rng)
+                    .expect("overhead")
+                    .area,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

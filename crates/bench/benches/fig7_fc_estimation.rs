@@ -1,0 +1,58 @@
+//! Criterion bench for the Fig. 7 experiment: Monte-Carlo functional
+//! corruptibility estimation of a locked benchmark-profile circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use benchgen::CircuitProfile;
+use trilock::{encrypt, TriLockConfig};
+use trilock_bench::experiments::fig7;
+
+fn bench_fc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+
+    // Full experiment slice: one profile, reduced samples.
+    let config = fig7::Config {
+        alphas: vec![0.6],
+        kappa_f_values: vec![1],
+        kappa_s: 1,
+        samples: 120,
+        depth_offsets: 0..=2,
+        logic_scale: 64,
+        ..fig7::Config::default()
+    };
+    let profiles = [CircuitProfile::by_name("b12").expect("profile")];
+    group.bench_function("fc_sweep_b12", |b| {
+        b.iter(|| {
+            let result = fig7::run_on_profiles(&config, &profiles).expect("fig7 runs");
+            criterion::black_box(result.max_absolute_error())
+        })
+    });
+
+    // Raw estimator on a fixed locked circuit.
+    let original = benchgen::generate_scaled(&profiles[0], 32, 5).expect("generates");
+    let mut rng = StdRng::seed_from_u64(2);
+    let locked = encrypt(&original, &TriLockConfig::new(2, 1).with_alpha(0.6), &mut rng)
+        .expect("locks");
+    group.bench_function("estimate_fc_800_samples", |b| {
+        b.iter(|| {
+            let mut fc_rng = StdRng::seed_from_u64(3);
+            let est = sim::fc::estimate_fc(
+                &original,
+                &locked.netlist,
+                locked.kappa(),
+                4,
+                800,
+                &mut fc_rng,
+            )
+            .expect("estimates");
+            criterion::black_box(est.fc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fc);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for the Table I experiment: the SAT-based unrolling attack
+//! against a small locked circuit (κs = 1), the configuration the paper's
+//! measured entries correspond to.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use attacks::{SatAttack, SatAttackConfig};
+use trilock::{encrypt, TriLockConfig};
+
+fn bench_sat_attack(c: &mut Criterion) {
+    let original = benchgen::small::toy_controller(2).expect("toy circuit");
+    let mut rng = StdRng::seed_from_u64(3);
+    let locked = encrypt(&original, &TriLockConfig::new(1, 1).with_alpha(0.6), &mut rng)
+        .expect("locks");
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("sat_attack_kappa_s_1", |b| {
+        b.iter(|| {
+            let attack =
+                SatAttack::new(&original, &locked.netlist, locked.kappa()).expect("interfaces");
+            let config = SatAttackConfig {
+                initial_unroll: 1,
+                max_unroll: 4,
+                max_dips: 10_000,
+                verify_sequences: 16,
+                verify_cycles: 10,
+            };
+            let mut attack_rng = StdRng::seed_from_u64(9);
+            let outcome = attack.run(&config, &mut attack_rng).expect("attack runs");
+            criterion::black_box(outcome.dips)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat_attack);
+criterion_main!(benches);

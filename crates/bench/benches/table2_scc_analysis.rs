@@ -1,0 +1,42 @@
+//! Criterion bench for the Table II experiment: register connection graph
+//! construction, SCC classification and state re-encoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use attacks::removal_attack;
+use benchgen::CircuitProfile;
+use stg::{classify_sccs, RegisterGraph};
+use trilock::{encrypt, reencode, TriLockConfig};
+
+fn bench_scc(c: &mut Criterion) {
+    let profile = CircuitProfile::by_name("b12").expect("profile");
+    let original = benchgen::generate_scaled(&profile, 8, 11).expect("generates");
+    let mut rng = StdRng::seed_from_u64(4);
+    let locked = encrypt(&original, &TriLockConfig::new(2, 1).with_alpha(0.6), &mut rng)
+        .expect("locks");
+
+    let mut group = c.benchmark_group("table2");
+    group.bench_function("rcg_and_scc_classification", |b| {
+        b.iter(|| {
+            let graph = RegisterGraph::build(&locked.netlist);
+            criterion::black_box(classify_sccs(&graph).num_original)
+        })
+    });
+    group.bench_function("removal_attack", |b| {
+        b.iter(|| criterion::black_box(removal_attack(&locked.netlist).percent_hidden()))
+    });
+    group.sample_size(10);
+    group.bench_function("reencode_10_pairs", |b| {
+        b.iter(|| {
+            let mut netlist = locked.netlist.clone();
+            let report = reencode(&mut netlist, 10).expect("re-encodes");
+            criterion::black_box(report.num_pairs())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scc);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig. 4: the ndip / FC trade-off of naive locking
+//! versus TriLock's independently tunable corruptibility.
+
+use trilock_bench::experiments::fig4;
+
+fn main() {
+    println!("== Fig. 4: SAT-attack resilience vs functional corruptibility (4-input circuit) ==\n");
+    let result = fig4::run(&fig4::Config::default());
+    println!("{}", fig4::render(&result));
+}

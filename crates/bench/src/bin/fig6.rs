@@ -1,0 +1,23 @@
+//! Regenerates the paper's Fig. 6: area, power and delay overhead of TriLock
+//! for κs ∈ 1..=5 (κf = 1, α = 0.6, S = 10) on every benchmark profile.
+//!
+//! Pass `--fast` to shrink the synthetic circuits and the activity simulation.
+
+use trilock_bench::experiments::fig6;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let config = if fast {
+        fig6::Config {
+            logic_scale: 32,
+            activity_cycles: 64,
+            ..fig6::Config::default()
+        }
+    } else {
+        fig6::Config::default()
+    };
+    println!("== Fig. 6: area / power / delay overhead of TriLock (κf = 1, α = 0.6, S = 10) ==\n");
+    let result = fig6::run(&config)?;
+    println!("{}", fig6::render(&result));
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Regenerates the paper's Fig. 7: simulated functional corruptibility versus
+//! α for κf ∈ {1, 2, 3} on every benchmark profile.
+//!
+//! Pass `--fast` to reduce the number of Monte-Carlo samples.
+
+use trilock_bench::experiments::fig7;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let config = if fast {
+        fig7::Config {
+            samples: 120,
+            logic_scale: 64,
+            ..fig7::Config::default()
+        }
+    } else {
+        fig7::Config::default()
+    };
+    println!(
+        "== Fig. 7: functional corruptibility vs α (κs = {}, {} samples/config) ==\n",
+        config.kappa_s, config.samples
+    );
+    let result = fig7::run(&config)?;
+    println!("{}", fig7::render(&result));
+    Ok(())
+}

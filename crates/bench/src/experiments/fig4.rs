@@ -1,0 +1,161 @@
+//! Fig. 4 — the SAT-attack-resilience vs. functional-corruptibility
+//! trade-off of the naive locking, and how TriLock breaks it.
+//!
+//! Fig. 4(a) plots `ndip` and `FC_b` against the key cycle length `κ` of the
+//! naive point-function locking for a 4-input circuit: resilience grows
+//! exponentially but corruptibility collapses as `1/(ndip+1)` (Eq. 7).
+//! Fig. 4(b) plots the same quantities for TriLock with `κf = 1`: `ndip`
+//! still grows as `2^{κs·|I|}` while `FC_b` is freely configured by `α`
+//! (Eq. 15), independent of `κs`.
+
+use trilock::analytic;
+
+/// Configuration of the Fig. 4 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Number of primary inputs (the paper uses 4).
+    pub width: usize,
+    /// Range of key cycle lengths to sweep (the paper uses 2..=10).
+    pub kappa_range: std::ops::RangeInclusive<usize>,
+    /// Corruptibility cycles for the TriLock side (the paper uses 1).
+    pub kappa_f: usize,
+    /// α values plotted in Fig. 4(b).
+    pub alphas: Vec<f64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            width: 4,
+            kappa_range: 2..=10,
+            kappa_f: 1,
+            alphas: vec![0.0, 0.3, 0.6, 0.9],
+        }
+    }
+}
+
+/// One point of the naive curve (Fig. 4a).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NaivePoint {
+    /// Key cycle length κ.
+    pub kappa: usize,
+    /// Required DIPs (Eq. 6).
+    pub ndip: f64,
+    /// Functional corruptibility (Eq. 7).
+    pub fc: f64,
+}
+
+/// One point of the TriLock curves (Fig. 4b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriLockPoint {
+    /// Resilience key cycle length κs.
+    pub kappa_s: usize,
+    /// Required DIPs (Eq. 10).
+    pub ndip: f64,
+    /// Functional corruptibility for each configured α (Eq. 15).
+    pub fc_per_alpha: Vec<f64>,
+}
+
+/// Result of the Fig. 4 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Result {
+    /// The α values the TriLock FC columns refer to.
+    pub alphas: Vec<f64>,
+    /// Naive curve.
+    pub naive: Vec<NaivePoint>,
+    /// TriLock curves.
+    pub trilock: Vec<TriLockPoint>,
+}
+
+/// Runs the experiment (purely analytic, like the paper's figure).
+pub fn run(config: &Config) -> Fig4Result {
+    let naive = config
+        .kappa_range
+        .clone()
+        .map(|kappa| NaivePoint {
+            kappa,
+            ndip: analytic::naive_ndip(config.width, kappa),
+            fc: analytic::naive_fc(config.width, kappa),
+        })
+        .collect();
+    let trilock = config
+        .kappa_range
+        .clone()
+        .map(|kappa_s| TriLockPoint {
+            kappa_s,
+            ndip: analytic::ndip(config.width, kappa_s),
+            fc_per_alpha: config
+                .alphas
+                .iter()
+                .map(|&alpha| analytic::fc_expected(config.width, config.kappa_f, alpha))
+                .collect(),
+        })
+        .collect();
+    Fig4Result {
+        alphas: config.alphas.clone(),
+        naive,
+        trilock,
+    }
+}
+
+/// Renders both panels as text tables.
+pub fn render(result: &Fig4Result) -> String {
+    let mut out = String::new();
+    out.push_str("(a) naive EN_b: ndip vs FC (4-input circuit)\n");
+    let mut table = crate::report::TextTable::new(vec!["κ", "ndip", "FC"]);
+    for p in &result.naive {
+        table.push_row(vec![
+            p.kappa.to_string(),
+            crate::report::format_count(p.ndip),
+            format!("{:.5}", p.fc),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    out.push_str("\n(b) TriLock ESF_b with κf = 1: ndip vs FC for different α\n");
+    let mut header = vec!["κs".to_string(), "ndip".to_string()];
+    header.extend(result.alphas.iter().map(|a| format!("FC(α={a})")));
+    let mut table = crate::report::TextTable::new(header);
+    for p in &result.trilock {
+        let mut row = vec![
+            p.kappa_s.to_string(),
+            crate::report::format_count(p.ndip),
+        ];
+        row.extend(p.fc_per_alpha.iter().map(|fc| format!("{fc:.4}")));
+        table.push_row(row);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_fc_collapses_while_trilock_fc_is_flat() {
+        let result = run(&Config::default());
+        // Naive FC decreases monotonically with κ.
+        for pair in result.naive.windows(2) {
+            assert!(pair[1].fc < pair[0].fc);
+            assert!(pair[1].ndip > pair[0].ndip);
+        }
+        // TriLock FC for a fixed α does not depend on κs.
+        let first = &result.trilock[0];
+        for p in &result.trilock {
+            assert_eq!(p.fc_per_alpha, first.fc_per_alpha);
+            assert!(p.ndip >= first.ndip);
+        }
+        // And it is ordered by α.
+        let fcs = &first.fc_per_alpha;
+        assert!(fcs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn render_contains_both_panels() {
+        let text = render(&run(&Config::default()));
+        assert!(text.contains("(a) naive"));
+        assert!(text.contains("(b) TriLock"));
+        assert!(text.contains("FC(α=0.9)"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Fig. 6 — area, power and delay overhead of TriLock for `κs ∈ 1..=5`
+//! with `κf = 1`, `α = 0.6` and `S = 10`.
+//!
+//! Overhead is reported relative to the unlocked circuit under the
+//! Nangate-45nm-like cost model of the [`techlib`] crate; as in the paper,
+//! larger circuits amortize the locking logic better and the overhead grows
+//! with `κs` because the key-prefix capture registers scale with `κs·|I|`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use benchgen::{generate_with_config, CircuitProfile, GeneratorConfig, TABLE1_PROFILES};
+use techlib::{OverheadReport, TechLibrary};
+use trilock::{encrypt, reencode, TriLockConfig};
+
+use crate::experiments::DEFAULT_SEED;
+use crate::report::TextTable;
+
+/// Configuration of the Fig. 6 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// κs values swept (the paper uses 1..=5).
+    pub kappa_s_values: Vec<usize>,
+    /// Corruptibility cycles κf (the paper fixes 1).
+    pub kappa_f: usize,
+    /// Corruptibility fraction α (the paper fixes 0.6).
+    pub alpha: f64,
+    /// Re-encoded register pairs S (the paper fixes 10).
+    pub reencode_pairs: usize,
+    /// Scale factor applied to the benchmark logic.
+    pub logic_scale: usize,
+    /// Simulated cycles used for the switching-activity estimate.
+    pub activity_cycles: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            kappa_s_values: vec![1, 2, 3, 4, 5],
+            kappa_f: 1,
+            alpha: 0.6,
+            reencode_pairs: 10,
+            logic_scale: 8,
+            activity_cycles: 256,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+/// Overhead of one circuit at one κs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig6Point {
+    /// κs of this measurement.
+    pub kappa_s: usize,
+    /// Area overhead ratio (`locked/original − 1`).
+    pub area: f64,
+    /// Power overhead ratio.
+    pub power: f64,
+    /// Critical-path delay overhead ratio.
+    pub delay: f64,
+}
+
+/// One benchmark's overhead curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Series {
+    /// Benchmark profile.
+    pub profile: CircuitProfile,
+    /// One point per κs.
+    pub points: Vec<Fig6Point>,
+}
+
+/// Full Fig. 6 result.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Fig6Result {
+    /// One series per benchmark circuit.
+    pub series: Vec<Fig6Series>,
+}
+
+/// Runs the experiment on every Table I profile.
+///
+/// # Errors
+///
+/// Propagates generation, locking and cost-model errors.
+pub fn run(config: &Config) -> Result<Fig6Result, Box<dyn std::error::Error>> {
+    run_on_profiles(config, &TABLE1_PROFILES)
+}
+
+/// Runs the experiment on a subset of profiles.
+///
+/// # Errors
+///
+/// Propagates generation, locking and cost-model errors.
+pub fn run_on_profiles(
+    config: &Config,
+    profiles: &[CircuitProfile],
+) -> Result<Fig6Result, Box<dyn std::error::Error>> {
+    let library = TechLibrary::nangate45();
+    let mut result = Fig6Result::default();
+    for (index, profile) in profiles.iter().enumerate() {
+        let stand_in = CircuitProfile {
+            name: profile.name,
+            inputs: profile.inputs,
+            outputs: profile.outputs.min(32),
+            dffs: (profile.dffs / config.logic_scale).max(8),
+            gates: (profile.gates / config.logic_scale).max(64),
+        };
+        let original = generate_with_config(
+            &stand_in,
+            config.seed + index as u64,
+            GeneratorConfig::default(),
+        )?;
+        let mut points = Vec::with_capacity(config.kappa_s_values.len());
+        for &kappa_s in &config.kappa_s_values {
+            let lock_config = TriLockConfig::new(kappa_s, config.kappa_f)
+                .with_alpha(config.alpha)
+                .with_reencode_pairs(config.reencode_pairs);
+            let mut rng = StdRng::seed_from_u64(config.seed ^ ((kappa_s as u64) << 16));
+            let mut locked = encrypt(&original, &lock_config, &mut rng)?;
+            reencode(&mut locked.netlist, config.reencode_pairs)?;
+            let mut ov_rng = StdRng::seed_from_u64(config.seed ^ 0x0ead);
+            let overhead = OverheadReport::between(
+                &original,
+                &locked.netlist,
+                &library,
+                config.activity_cycles,
+                &mut ov_rng,
+            )?;
+            points.push(Fig6Point {
+                kappa_s,
+                area: overhead.area,
+                power: overhead.power,
+                delay: overhead.delay,
+            });
+        }
+        result.series.push(Fig6Series {
+            profile: *profile,
+            points,
+        });
+    }
+    Ok(result)
+}
+
+/// Renders the overhead table (percentages, one row per circuit and κs).
+pub fn render(result: &Fig6Result) -> String {
+    let mut table = TextTable::new(vec!["Circuit", "κs", "area %", "power %", "delay %"]);
+    for series in &result.series {
+        for point in &series.points {
+            table.push_row(vec![
+                series.profile.name.to_string(),
+                point.kappa_s.to_string(),
+                format!("{:.1}", 100.0 * point.area),
+                format!("{:.1}", 100.0 * point.power),
+                format!("{:.1}", 100.0 * point.delay),
+            ]);
+        }
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\noverhead grows with κs (key-prefix capture registers scale with κs·|I|); larger\n\
+         circuits amortize the fixed locking logic better, as in the paper's Fig. 6\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Config {
+        Config {
+            kappa_s_values: vec![1, 3],
+            reencode_pairs: 4,
+            logic_scale: 32,
+            activity_cycles: 64,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn overhead_is_positive_and_grows_with_kappa_s() {
+        let profiles = [CircuitProfile::by_name("b12").unwrap()];
+        let result = run_on_profiles(&fast_config(), &profiles).unwrap();
+        let points = &result.series[0].points;
+        assert!(points[0].area > 0.0);
+        assert!(points[0].power > 0.0);
+        assert!(points[1].area > points[0].area);
+    }
+
+    #[test]
+    fn larger_circuits_have_smaller_relative_overhead() {
+        // b12 (1000 gates) vs b20 (17158 gates) at the same scale factor.
+        let profiles = [
+            CircuitProfile::by_name("b12").unwrap(),
+            CircuitProfile::by_name("b20").unwrap(),
+        ];
+        let config = Config {
+            kappa_s_values: vec![2],
+            reencode_pairs: 2,
+            logic_scale: 16,
+            activity_cycles: 64,
+            ..Config::default()
+        };
+        let result = run_on_profiles(&config, &profiles).unwrap();
+        let small = result.series[0].points[0].area;
+        let large = result.series[1].points[0].area;
+        assert!(
+            large < small,
+            "larger circuit should have smaller relative overhead ({large} vs {small})"
+        );
+    }
+
+    #[test]
+    fn render_contains_percentages() {
+        let profiles = [CircuitProfile::by_name("b12").unwrap()];
+        let result = run_on_profiles(&fast_config(), &profiles).unwrap();
+        let text = render(&result);
+        assert!(text.contains("area %"));
+        assert!(text.contains("b12"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Fig. 7 — simulated functional corruptibility for different `α` and `κf`.
+//!
+//! The paper simulates 800 random input/key pairs per configuration with
+//! `κs = 4` and averages `FC_b` for `b` ranging from `κs` to `κs + 5`,
+//! reporting that the measured FC tracks Eq. 15 within ±0.05 for every
+//! benchmark. This runner repeats that protocol on the synthetic
+//! profile-matched circuits; the logic is scaled down and `κs` is reduced (it
+//! does not influence Eq. 15) so that the full sweep stays laptop-friendly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use benchgen::{generate_with_config, CircuitProfile, GeneratorConfig, TABLE1_PROFILES};
+use trilock::{analytic, encrypt, TriLockConfig};
+
+use crate::experiments::DEFAULT_SEED;
+use crate::report::TextTable;
+
+/// Configuration of the Fig. 7 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// α values swept (the paper uses 0, 0.3, 0.6, 0.9).
+    pub alphas: Vec<f64>,
+    /// κf values swept (the paper uses 1, 2, 3).
+    pub kappa_f_values: Vec<usize>,
+    /// Resilience cycles κs (the paper uses 4; FC does not depend on it).
+    pub kappa_s: usize,
+    /// Number of random input/key samples per configuration (paper: 800).
+    pub samples: usize,
+    /// Range of functional depths averaged, expressed as offsets from κs
+    /// (paper: 0..=5).
+    pub depth_offsets: std::ops::RangeInclusive<usize>,
+    /// Scale factor applied to the benchmark logic.
+    pub logic_scale: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            alphas: vec![0.0, 0.3, 0.6, 0.9],
+            kappa_f_values: vec![1, 2, 3],
+            kappa_s: 2,
+            samples: 800,
+            depth_offsets: 0..=5,
+            logic_scale: 16,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+/// FC measurements of one circuit for one κf, across the α sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Series {
+    /// Benchmark name.
+    pub circuit: &'static str,
+    /// Corruptibility cycles κf of this series.
+    pub kappa_f: usize,
+    /// `(α, measured FC, Eq. 15 prediction)` triples.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+/// Result of the Fig. 7 experiment.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Fig7Result {
+    /// One series per (circuit, κf) combination.
+    pub series: Vec<Fig7Series>,
+}
+
+impl Fig7Result {
+    /// Largest absolute deviation between measured FC and Eq. 15 across all
+    /// points (the paper reports ≤ 0.05).
+    pub fn max_absolute_error(&self) -> f64 {
+        self.series
+            .iter()
+            .flat_map(|s| s.points.iter())
+            .map(|&(_, measured, predicted)| (measured - predicted).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs the experiment on every Table I profile.
+///
+/// # Errors
+///
+/// Propagates generation, locking and simulation errors.
+pub fn run(config: &Config) -> Result<Fig7Result, Box<dyn std::error::Error>> {
+    run_on_profiles(config, &TABLE1_PROFILES)
+}
+
+/// Runs the experiment on a subset of profiles.
+///
+/// # Errors
+///
+/// Propagates generation, locking and simulation errors.
+pub fn run_on_profiles(
+    config: &Config,
+    profiles: &[CircuitProfile],
+) -> Result<Fig7Result, Box<dyn std::error::Error>> {
+    let mut result = Fig7Result::default();
+    for (index, profile) in profiles.iter().enumerate() {
+        let stand_in = CircuitProfile {
+            name: profile.name,
+            inputs: profile.inputs.min(16),
+            outputs: profile.outputs.min(16),
+            dffs: (profile.dffs / config.logic_scale).max(4),
+            gates: (profile.gates / config.logic_scale).max(32),
+        };
+        let original = generate_with_config(
+            &stand_in,
+            config.seed + index as u64,
+            GeneratorConfig::default(),
+        )?;
+        for &kappa_f in &config.kappa_f_values {
+            let mut points = Vec::with_capacity(config.alphas.len());
+            for &alpha in &config.alphas {
+                let lock_config = TriLockConfig::new(config.kappa_s, kappa_f).with_alpha(alpha);
+                let mut rng = StdRng::seed_from_u64(config.seed ^ (kappa_f as u64) << 8);
+                let locked = encrypt(&original, &lock_config, &mut rng)?;
+                // Average FC over the configured depth range, as in the paper.
+                let mut fc_sum = 0.0;
+                let mut count = 0usize;
+                let depths = config.depth_offsets.clone();
+                for offset in depths {
+                    let depth = config.kappa_s + offset;
+                    let mut fc_rng =
+                        StdRng::seed_from_u64(config.seed ^ 0xfc ^ (offset as u64));
+                    let per_depth_samples =
+                        (config.samples / config.depth_offsets.clone().count().max(1)).max(16);
+                    let est = sim::fc::estimate_fc(
+                        &original,
+                        &locked.netlist,
+                        locked.kappa(),
+                        depth,
+                        per_depth_samples,
+                        &mut fc_rng,
+                    )?;
+                    fc_sum += est.fc;
+                    count += 1;
+                }
+                let measured = fc_sum / count.max(1) as f64;
+                let predicted = analytic::fc_expected(stand_in.inputs, kappa_f, alpha);
+                points.push((alpha, measured, predicted));
+            }
+            result.series.push(Fig7Series {
+                circuit: profile.name,
+                kappa_f,
+                points,
+            });
+        }
+    }
+    Ok(result)
+}
+
+/// Renders the series grouped by κf, as in the paper's three panels.
+pub fn render(result: &Fig7Result) -> String {
+    let mut out = String::new();
+    let mut kappa_fs: Vec<usize> = result.series.iter().map(|s| s.kappa_f).collect();
+    kappa_fs.sort_unstable();
+    kappa_fs.dedup();
+    for kappa_f in kappa_fs {
+        out.push_str(&format!("κf = {kappa_f}\n"));
+        let alphas: Vec<f64> = result
+            .series
+            .iter()
+            .find(|s| s.kappa_f == kappa_f)
+            .map(|s| s.points.iter().map(|p| p.0).collect())
+            .unwrap_or_default();
+        let mut header = vec!["circuit".to_string()];
+        for a in &alphas {
+            header.push(format!("FC(α={a})"));
+            header.push(format!("Eq15(α={a})"));
+        }
+        let mut table = TextTable::new(header);
+        for series in result.series.iter().filter(|s| s.kappa_f == kappa_f) {
+            let mut row = vec![series.circuit.to_string()];
+            for &(_, measured, predicted) in &series.points {
+                row.push(format!("{measured:.3}"));
+                row.push(format!("{predicted:.3}"));
+            }
+            table.push_row(row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "max |measured − Eq.15| across all points: {:.3} (paper reports ≤ 0.05)\n",
+        result.max_absolute_error()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Config {
+        Config {
+            alphas: vec![0.0, 0.6],
+            kappa_f_values: vec![1],
+            kappa_s: 1,
+            samples: 240,
+            depth_offsets: 0..=2,
+            logic_scale: 64,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn measured_fc_tracks_eq15_within_tolerance() {
+        let profiles = [CircuitProfile::by_name("b12").unwrap()];
+        let result = run_on_profiles(&fast_config(), &profiles).unwrap();
+        assert_eq!(result.series.len(), 1);
+        assert!(
+            result.max_absolute_error() < 0.08,
+            "max error {}",
+            result.max_absolute_error()
+        );
+        // FC is monotone in α.
+        let points = &result.series[0].points;
+        assert!(points[0].1 <= points[1].1 + 0.02);
+    }
+
+    #[test]
+    fn render_mentions_kappa_f_panels() {
+        let profiles = [CircuitProfile::by_name("b12").unwrap()];
+        let result = run_on_profiles(&fast_config(), &profiles).unwrap();
+        let text = render(&result);
+        assert!(text.contains("κf = 1"));
+        assert!(text.contains("b12"));
+    }
+}

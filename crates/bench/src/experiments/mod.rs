@@ -1,0 +1,16 @@
+//! Experiment runners, one module per table/figure of the paper.
+//!
+//! Each runner is deterministic given its configuration (every random choice
+//! is seeded), returns a plain data structure and knows how to render itself
+//! as text, so the binaries, the Criterion benches and the integration tests
+//! all share the same code path.
+
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;
+pub mod table2;
+
+/// Default seed used across experiment runners so reruns are reproducible.
+pub const DEFAULT_SEED: u64 = 20220314;

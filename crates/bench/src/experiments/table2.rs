@@ -1,0 +1,233 @@
+//! Table II — removal-attack resilience: SCC structure of the locked designs
+//! for `S ∈ {0, 10, 30}` re-encoded register pairs.
+//!
+//! For every benchmark profile the runner locks the circuit, applies state
+//! re-encoding with the requested number of pairs and reports the number of
+//! O-SCCs, E-SCCs and M-SCCs of the register connection graph plus `P_M`, the
+//! percentage of registers hidden inside mixed components.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use attacks::removal_attack;
+use benchgen::{generate_with_config, CircuitProfile, GeneratorConfig, TABLE1_PROFILES};
+use trilock::{encrypt, reencode, TriLockConfig};
+
+use crate::experiments::DEFAULT_SEED;
+use crate::report::TextTable;
+
+/// Configuration of the Table II experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Numbers of re-encoded pairs to evaluate (the paper uses 0, 10, 30).
+    pub pair_counts: Vec<usize>,
+    /// Resilience cycles κs of the underlying locking.
+    pub kappa_s: usize,
+    /// Corruptibility cycles κf.
+    pub kappa_f: usize,
+    /// Corruptibility fraction α.
+    pub alpha: f64,
+    /// Scale factor applied to the benchmark logic.
+    pub logic_scale: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            pair_counts: vec![0, 10, 30],
+            kappa_s: 2,
+            kappa_f: 1,
+            alpha: 0.6,
+            logic_scale: 8,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+/// SCC statistics of one locked design at one re-encoding level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Cell {
+    /// Number of re-encoded pairs (`S`).
+    pub pairs: usize,
+    /// Number of O-SCCs.
+    pub num_original: usize,
+    /// Number of E-SCCs.
+    pub num_extra: usize,
+    /// Number of M-SCCs.
+    pub num_mixed: usize,
+    /// Percentage of registers inside M-SCCs (`P_M`).
+    pub percent_mixed: f64,
+}
+
+/// One Table II row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Benchmark profile.
+    pub profile: CircuitProfile,
+    /// One cell per requested `S`.
+    pub cells: Vec<Table2Cell>,
+}
+
+/// Full Table II result.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table2Result {
+    /// One row per benchmark circuit.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2Result {
+    /// Average reduction (in %) of the number of O-SCCs between the first and
+    /// the last configured `S` — the aggregate the paper quotes (71.71% for
+    /// S = 10, 83.80% for S = 30).
+    pub fn average_oscc_reduction(&self) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for row in &self.rows {
+            let (Some(first), Some(last)) = (row.cells.first(), row.cells.last()) else {
+                continue;
+            };
+            if first.num_original == 0 {
+                continue;
+            }
+            total += 100.0 * (first.num_original - last.num_original.min(first.num_original)) as f64
+                / first.num_original as f64;
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+/// Runs the experiment on every Table I profile.
+///
+/// # Errors
+///
+/// Propagates generation, locking and re-encoding errors.
+pub fn run(config: &Config) -> Result<Table2Result, Box<dyn std::error::Error>> {
+    run_on_profiles(config, &TABLE1_PROFILES)
+}
+
+/// Runs the experiment on a subset of profiles.
+///
+/// # Errors
+///
+/// Propagates generation, locking and re-encoding errors.
+pub fn run_on_profiles(
+    config: &Config,
+    profiles: &[CircuitProfile],
+) -> Result<Table2Result, Box<dyn std::error::Error>> {
+    let mut result = Table2Result::default();
+    for (index, profile) in profiles.iter().enumerate() {
+        let stand_in = CircuitProfile {
+            name: profile.name,
+            inputs: profile.inputs.min(16),
+            outputs: profile.outputs.min(16),
+            dffs: (profile.dffs / config.logic_scale).max(8),
+            gates: (profile.gates / config.logic_scale).max(64),
+        };
+        let original = generate_with_config(
+            &stand_in,
+            config.seed + index as u64,
+            GeneratorConfig::default(),
+        )?;
+        let lock_config = TriLockConfig::new(config.kappa_s, config.kappa_f)
+            .with_alpha(config.alpha);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7ab1e2 ^ index as u64);
+        let locked = encrypt(&original, &lock_config, &mut rng)?;
+
+        let mut cells = Vec::with_capacity(config.pair_counts.len());
+        for &pairs in &config.pair_counts {
+            let mut netlist = locked.netlist.clone();
+            if pairs > 0 {
+                reencode(&mut netlist, pairs)?;
+            }
+            let report = removal_attack(&netlist);
+            cells.push(Table2Cell {
+                pairs,
+                num_original: report.scc.num_original,
+                num_extra: report.scc.num_extra,
+                num_mixed: report.scc.num_mixed,
+                percent_mixed: report.percent_hidden(),
+            });
+        }
+        result.rows.push(Table2Row {
+            profile: *profile,
+            cells,
+        });
+    }
+    Ok(result)
+}
+
+/// Renders the table in the layout of the paper's Table II.
+pub fn render(result: &Table2Result) -> String {
+    let pair_counts: Vec<usize> = result
+        .rows
+        .first()
+        .map(|r| r.cells.iter().map(|c| c.pairs).collect())
+        .unwrap_or_default();
+    let mut header = vec!["Circuit".to_string()];
+    for s in &pair_counts {
+        header.push(format!("O(S={s})"));
+        header.push(format!("E(S={s})"));
+        header.push(format!("M(S={s})"));
+        header.push(format!("P_M(S={s})"));
+    }
+    let mut table = TextTable::new(header);
+    for row in &result.rows {
+        let mut cells = vec![row.profile.name.to_string()];
+        for cell in &row.cells {
+            cells.push(cell.num_original.to_string());
+            cells.push(cell.num_extra.to_string());
+            cells.push(cell.num_mixed.to_string());
+            cells.push(format!("{:.1}", cell.percent_mixed));
+        }
+        table.push_row(cells);
+    }
+    let mut out = table.render();
+    out.push_str(&format!(
+        "\naverage O-SCC reduction from S={} to S={}: {:.1}%\n",
+        pair_counts.first().copied().unwrap_or(0),
+        pair_counts.last().copied().unwrap_or(0),
+        result.average_oscc_reduction()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Config {
+        Config {
+            pair_counts: vec![0, 4],
+            logic_scale: 32,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn reencoding_increases_mixed_percentage() {
+        let profiles = [CircuitProfile::by_name("b12").unwrap()];
+        let result = run_on_profiles(&fast_config(), &profiles).unwrap();
+        let cells = &result.rows[0].cells;
+        assert_eq!(cells[0].pairs, 0);
+        assert_eq!(cells[0].num_mixed, 0);
+        assert!(cells[1].num_mixed >= 1);
+        assert!(cells[1].percent_mixed > cells[0].percent_mixed);
+        assert!(cells[1].num_original < cells[0].num_original || cells[0].num_original == 0);
+    }
+
+    #[test]
+    fn render_and_aggregate_are_consistent() {
+        let profiles = [CircuitProfile::by_name("b12").unwrap()];
+        let result = run_on_profiles(&fast_config(), &profiles).unwrap();
+        let text = render(&result);
+        assert!(text.contains("P_M(S=4)"));
+        assert!(result.average_oscc_reduction() >= 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Benchmark and experiment harness for the TriLock reproduction.
+//!
+//! Every table and figure of the paper's evaluation section has a
+//! corresponding experiment runner in [`experiments`] and a binary that prints
+//! the regenerated rows/series:
+//!
+//! | Paper artifact | Runner | Binary |
+//! |---|---|---|
+//! | Fig. 3 (error tables) | [`experiments::fig3`] | `cargo run -p trilock-bench --bin fig3` |
+//! | Fig. 4 (ndip / FC trade-off) | [`experiments::fig4`] | `cargo run -p trilock-bench --bin fig4` |
+//! | Table I (SAT-attack resilience) | [`experiments::table1`] | `cargo run -p trilock-bench --bin table1` |
+//! | Fig. 7 (FC vs α, κf) | [`experiments::fig7`] | `cargo run -p trilock-bench --bin fig7` |
+//! | Table II (removal resilience) | [`experiments::table2`] | `cargo run -p trilock-bench --bin table2` |
+//! | Fig. 6 (area/power/delay overhead) | [`experiments::fig6`] | `cargo run -p trilock-bench --bin fig6` |
+//!
+//! The Criterion benches under `benches/` time a representative slice of each
+//! experiment so `cargo bench --workspace` exercises every pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,128 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with blanks.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        while row.len() < self.header.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let columns = self.header.len().max(
+            self.rows.iter().map(Vec::len).max().unwrap_or(0),
+        );
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let format_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+            line
+        };
+        out.push_str(&format_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a (possibly huge) count in the compact scientific style of the
+/// paper's Table I (`3.9e+06`), falling back to plain integers below 10^6.
+pub fn format_count(value: f64) -> String {
+    if value < 1e6 {
+        format!("{}", value.round() as u64)
+    } else {
+        format!("{value:.1e}")
+    }
+}
+
+/// Formats a duration in seconds using the paper's style: plain seconds below
+/// an hour, otherwise scientific notation.
+pub fn format_seconds(seconds: f64) -> String {
+    if seconds < 3600.0 {
+        format!("{seconds:.2}")
+    } else {
+        format!("{seconds:.1e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["circuit", "ndip"]);
+        t.push_row(vec!["b12", "32"]);
+        t.push_row(vec!["s9234", "524288"]);
+        let text = t.render();
+        assert_eq!(t.num_rows(), 2);
+        assert!(text.contains("circuit"));
+        assert!(text.lines().count() >= 4);
+        // Columns are right-aligned to the same width.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.push_row(vec!["1"]);
+        assert!(t.render().lines().count() >= 3);
+    }
+
+    #[test]
+    fn count_formatting_switches_to_scientific() {
+        assert_eq!(format_count(32.0), "32");
+        assert_eq!(format_count(524288.0), "524288");
+        assert!(format_count(3.9e6).contains('e'));
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(format_seconds(55.444), "55.44");
+        assert!(format_seconds(2.7e11).contains('e'));
+    }
+}

@@ -1,0 +1,244 @@
+//! Pseudo-random sequential circuit generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use netlist::{GateKind, NetId, Netlist, NetlistError};
+
+use crate::profile::CircuitProfile;
+
+/// Tuning knobs of the generator. The defaults produce circuits whose register
+/// connection graphs contain several non-trivial SCCs, similar to real
+/// ISCAS/ITC control-dominated designs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// Probability that a gate input is taken from a "recent" net rather than
+    /// uniformly from everything available (locality of wiring).
+    pub locality: f64,
+    /// Size of the recent-net window as a fraction of the available nets.
+    pub window: f64,
+    /// Probability that a flip-flop's next state is taken from the last third
+    /// of the created gates (deep logic) rather than anywhere.
+    pub deep_next_state: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            locality: 0.7,
+            window: 0.1,
+            deep_next_state: 0.6,
+        }
+    }
+}
+
+/// Generates a synthetic sequential circuit matching `profile`, seeded
+/// deterministically so experiments are reproducible.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors (they indicate an internal bug, not
+/// a user error, but are surfaced as `Result` for robustness).
+pub fn generate(profile: &CircuitProfile, seed: u64) -> Result<Netlist, NetlistError> {
+    generate_with_config(profile, seed, GeneratorConfig::default())
+}
+
+/// Generates a scaled-down variant of `profile` (dividing every interface
+/// count by `factor`), useful for fast attack experiments.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors.
+pub fn generate_scaled(
+    profile: &CircuitProfile,
+    factor: usize,
+    seed: u64,
+) -> Result<Netlist, NetlistError> {
+    let scaled = profile.scaled_down(factor);
+    generate_with_config(&scaled, seed, GeneratorConfig::default())
+}
+
+/// Fully configurable generation entry point.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors.
+pub fn generate_with_config(
+    profile: &CircuitProfile,
+    seed: u64,
+    config: GeneratorConfig,
+) -> Result<Netlist, NetlistError> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7269_6c6f_636b);
+    let mut nl = Netlist::new(profile.name.to_string());
+
+    // Primary inputs.
+    let inputs: Vec<NetId> = (0..profile.inputs)
+        .map(|i| nl.add_input(format!("pi{i}")))
+        .collect();
+
+    // Flip-flops (Q nets available as gate inputs immediately).
+    let dff_qs: Vec<NetId> = (0..profile.dffs)
+        .map(|i| nl.declare_dff(format!("r{i}"), false))
+        .collect::<Result<_, _>>()?;
+
+    // Available driver nets, in creation order (guarantees acyclicity because
+    // gate inputs are only chosen among already-created nets).
+    let mut available: Vec<NetId> = Vec::with_capacity(profile.inputs + profile.dffs + profile.gates);
+    available.extend(&inputs);
+    available.extend(&dff_qs);
+
+    let kinds = [
+        (GateKind::And, 22u32),
+        (GateKind::Nand, 18),
+        (GateKind::Or, 18),
+        (GateKind::Nor, 14),
+        (GateKind::Xor, 8),
+        (GateKind::Xnor, 6),
+        (GateKind::Not, 10),
+        (GateKind::Buf, 4),
+    ];
+    let total_weight: u32 = kinds.iter().map(|&(_, w)| w).sum();
+
+    let mut gate_outputs: Vec<NetId> = Vec::with_capacity(profile.gates);
+    for g in 0..profile.gates {
+        let mut pick = rng.gen_range(0..total_weight);
+        let mut kind = GateKind::And;
+        for &(k, w) in &kinds {
+            if pick < w {
+                kind = k;
+                break;
+            }
+            pick -= w;
+        }
+        let arity = match kind {
+            GateKind::Not | GateKind::Buf => 1,
+            _ => {
+                if rng.gen_bool(0.8) {
+                    2
+                } else {
+                    3
+                }
+            }
+        };
+        let mut ins = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            ins.push(pick_net(&available, &mut rng, &config));
+        }
+        let out = nl.add_gate(kind, &ins, format!("g{g}"))?;
+        gate_outputs.push(out);
+        available.push(out);
+    }
+
+    // Bind flip-flop next states, preferring deeper logic so that registers
+    // depend on other registers and non-trivial SCC structure appears.
+    for &q in &dff_qs {
+        let d = if gate_outputs.is_empty() || !rng.gen_bool(config.deep_next_state) {
+            *pick_slice(&available, &mut rng)
+        } else {
+            let start = gate_outputs.len() - (gate_outputs.len() / 3).max(1);
+            gate_outputs[rng.gen_range(start..gate_outputs.len())]
+        };
+        nl.bind_dff(q, d)?;
+    }
+
+    // Primary outputs from distinct late gate outputs where possible.
+    let mut candidates: Vec<NetId> = gate_outputs.clone();
+    if candidates.is_empty() {
+        candidates = dff_qs.clone();
+    }
+    for o in 0..profile.outputs {
+        let pick = if o < candidates.len() {
+            candidates[candidates.len() - 1 - o]
+        } else {
+            *pick_slice(&available, &mut rng)
+        };
+        // Skip duplicates gracefully (mark_output rejects repeats).
+        if nl.mark_output(pick).is_err() {
+            let fresh = nl.add_gate(GateKind::Buf, &[pick], format!("po_buf{o}"))?;
+            nl.mark_output(fresh)?;
+        }
+    }
+
+    nl.validate()?;
+    Ok(nl)
+}
+
+fn pick_slice<'a, T, R: Rng + ?Sized>(slice: &'a [T], rng: &mut R) -> &'a T {
+    &slice[rng.gen_range(0..slice.len())]
+}
+
+fn pick_net<R: Rng + ?Sized>(available: &[NetId], rng: &mut R, config: &GeneratorConfig) -> NetId {
+    if available.len() > 8 && rng.gen_bool(config.locality) {
+        let window = ((available.len() as f64 * config.window) as usize).max(4);
+        let start = available.len() - window.min(available.len());
+        available[rng.gen_range(start..available.len())]
+    } else {
+        available[rng.gen_range(0..available.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{CircuitProfile, TABLE1_PROFILES};
+    use netlist::stats::NetlistStats;
+
+    #[test]
+    fn generated_circuit_matches_profile() {
+        let profile = CircuitProfile {
+            name: "test",
+            inputs: 7,
+            outputs: 9,
+            dffs: 20,
+            gates: 150,
+        };
+        let nl = generate(&profile, 1).unwrap();
+        let stats = NetlistStats::of(&nl);
+        assert_eq!(stats.num_inputs, 7);
+        assert_eq!(stats.num_outputs, 9);
+        assert_eq!(stats.num_dffs, 20);
+        // Output buffering may add a few gates beyond the requested count.
+        assert!(stats.num_gates >= 150 && stats.num_gates <= 150 + 9);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let profile = CircuitProfile::by_name("b12").unwrap().scaled_down(4);
+        let a = generate(&profile, 42).unwrap();
+        let b = generate(&profile, 42).unwrap();
+        assert_eq!(netlist::bench::write(&a), netlist::bench::write(&b));
+        let c = generate(&profile, 43).unwrap();
+        assert_ne!(netlist::bench::write(&a), netlist::bench::write(&c));
+    }
+
+    #[test]
+    fn generated_circuits_are_simulable() {
+        let profile = CircuitProfile::by_name("b12").unwrap().scaled_down(2);
+        let nl = generate(&profile, 3).unwrap();
+        let mut sim = sim::Simulator::new(&nl).unwrap();
+        let inputs = vec![vec![true; nl.num_inputs()]; 10];
+        let outs = sim.run(&inputs).unwrap();
+        assert_eq!(outs.len(), 10);
+        assert!(outs.iter().all(|o| o.len() == nl.num_outputs()));
+    }
+
+    #[test]
+    fn all_table1_profiles_generate_at_small_scale() {
+        for profile in &TABLE1_PROFILES {
+            let nl = generate_scaled(profile, 64, 7).unwrap();
+            nl.validate().unwrap();
+            assert!(nl.num_dffs() >= 2);
+        }
+    }
+
+    #[test]
+    fn round_trips_through_bench_format() {
+        let profile = CircuitProfile::by_name("b12").unwrap().scaled_down(8);
+        let nl = generate(&profile, 11).unwrap();
+        let text = netlist::bench::write(&nl);
+        let back = netlist::bench::parse(&text).unwrap();
+        assert_eq!(back.num_gates(), nl.num_gates());
+        assert_eq!(back.num_dffs(), nl.num_dffs());
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic benchmark circuit generation.
+//!
+//! The paper evaluates TriLock on ten ISCAS'89 / ITC'99 circuits. The original
+//! benchmark netlists are not redistributed here; instead this crate provides:
+//!
+//! * [`CircuitProfile`] — the interface statistics (PI, PO, FF, gate counts)
+//!   of each circuit used in the paper's Table I, and
+//! * [`generate`] — a deterministic pseudo-random sequential circuit generator
+//!   that produces a netlist matching a profile, and
+//! * [`small`] — a handful of small hand-written circuits used by tests,
+//!   examples and the fast end-to-end attack experiments.
+//!
+//! The security quantities reproduced from the paper (number of DIPs,
+//! functional corruptibility, SCC structure) depend on the interface sizes and
+//! the connectivity of the state, not on the exact Boolean functions, so
+//! profile-matched synthetic circuits preserve the experiments' shape (see
+//! `DESIGN.md`, substitution table).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod profile;
+
+pub mod small;
+
+pub use generator::{generate, generate_scaled, generate_with_config, GeneratorConfig};
+pub use profile::{CircuitProfile, TABLE1_PROFILES};

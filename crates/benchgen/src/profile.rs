@@ -1,0 +1,162 @@
+//! Benchmark circuit interface profiles.
+
+use std::fmt;
+
+/// Interface statistics of a benchmark circuit, matching the "Circuit Info."
+/// columns of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CircuitProfile {
+    /// Benchmark name (e.g. `"s9234"`).
+    pub name: &'static str,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of flip-flops.
+    pub dffs: usize,
+    /// Number of combinational gates.
+    pub gates: usize,
+}
+
+impl CircuitProfile {
+    /// Returns the profile scaled down by an integer factor (at least one
+    /// input/output/register/gate is kept). Used to run the expensive
+    /// experiments at laptop scale while preserving the relative shape.
+    pub fn scaled_down(&self, factor: usize) -> CircuitProfile {
+        let f = factor.max(1);
+        CircuitProfile {
+            name: self.name,
+            inputs: (self.inputs / f).max(1),
+            outputs: (self.outputs / f).max(1),
+            dffs: (self.dffs / f).max(2),
+            gates: (self.gates / f).max(8),
+        }
+    }
+
+    /// Looks a profile up by name.
+    pub fn by_name(name: &str) -> Option<CircuitProfile> {
+        TABLE1_PROFILES.iter().copied().find(|p| p.name == name)
+    }
+}
+
+impl fmt::Display for CircuitProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (PI={}, PO={}, FF={}, gates={})",
+            self.name, self.inputs, self.outputs, self.dffs, self.gates
+        )
+    }
+}
+
+/// The ten ISCAS'89 / ITC'99 circuits used in the paper's Table I, with their
+/// reported interface statistics.
+pub const TABLE1_PROFILES: [CircuitProfile; 10] = [
+    CircuitProfile {
+        name: "s9234",
+        inputs: 19,
+        outputs: 22,
+        dffs: 228,
+        gates: 5597,
+    },
+    CircuitProfile {
+        name: "s15850",
+        inputs: 13,
+        outputs: 87,
+        dffs: 597,
+        gates: 9772,
+    },
+    CircuitProfile {
+        name: "s35932",
+        inputs: 35,
+        outputs: 320,
+        dffs: 1728,
+        gates: 16065,
+    },
+    CircuitProfile {
+        name: "s38417",
+        inputs: 28,
+        outputs: 106,
+        dffs: 1636,
+        gates: 22179,
+    },
+    CircuitProfile {
+        name: "s38584",
+        inputs: 11,
+        outputs: 278,
+        dffs: 1452,
+        gates: 19253,
+    },
+    CircuitProfile {
+        name: "b12",
+        inputs: 5,
+        outputs: 6,
+        dffs: 121,
+        gates: 1000,
+    },
+    CircuitProfile {
+        name: "b14",
+        inputs: 32,
+        outputs: 54,
+        dffs: 245,
+        gates: 8567,
+    },
+    CircuitProfile {
+        name: "b15",
+        inputs: 36,
+        outputs: 70,
+        dffs: 447,
+        gates: 6931,
+    },
+    CircuitProfile {
+        name: "b18",
+        inputs: 37,
+        outputs: 23,
+        dffs: 20372,
+        gates: 94249,
+    },
+    CircuitProfile {
+        name: "b20",
+        inputs: 32,
+        outputs: 22,
+        dffs: 490,
+        gates: 17158,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_profiles_are_defined() {
+        assert_eq!(TABLE1_PROFILES.len(), 10);
+        let names: Vec<&str> = TABLE1_PROFILES.iter().map(|p| p.name).collect();
+        assert!(names.contains(&"s9234"));
+        assert!(names.contains(&"b18"));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let p = CircuitProfile::by_name("b12").unwrap();
+        assert_eq!(p.inputs, 5);
+        assert_eq!(p.gates, 1000);
+        assert!(CircuitProfile::by_name("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn scaling_preserves_minimums() {
+        let p = CircuitProfile::by_name("b12").unwrap();
+        let s = p.scaled_down(1000);
+        assert!(s.inputs >= 1 && s.outputs >= 1 && s.dffs >= 2 && s.gates >= 8);
+        let same = p.scaled_down(1);
+        assert_eq!(same, p);
+    }
+
+    #[test]
+    fn display_contains_all_counts() {
+        let p = CircuitProfile::by_name("s9234").unwrap();
+        let text = p.to_string();
+        assert!(text.contains("19") && text.contains("228") && text.contains("5597"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Small hand-written circuits for tests, examples and fast attack runs.
+
+use netlist::{GateKind, Netlist, NetlistError};
+
+/// An s27-style control circuit: 4 inputs, 1 output, 3 flip-flops, 10 gates.
+/// Structurally equivalent to the classic ISCAS'89 `s27` benchmark.
+///
+/// # Panics
+///
+/// Never panics; the embedded description is valid by construction (checked by
+/// tests).
+pub fn s27() -> Netlist {
+    const TEXT: &str = "\
+# name s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+";
+    netlist::bench::parse(TEXT).expect("embedded s27 description is valid")
+}
+
+/// A small accumulator-style datapath: `width` inputs, `width` outputs and
+/// `width` registers computing `state ^= inputs` each cycle and exposing the
+/// state. Every output depends on every past input, which makes it a good
+/// target for attack experiments (errors are observable immediately).
+///
+/// # Errors
+///
+/// Returns an error only if `width` is zero.
+pub fn accumulator(width: usize) -> Result<Netlist, NetlistError> {
+    if width == 0 {
+        return Err(NetlistError::InvalidParameter(
+            "accumulator width must be at least 1".to_string(),
+        ));
+    }
+    let mut nl = Netlist::new(format!("acc{width}"));
+    let inputs: Vec<_> = (0..width).map(|i| nl.add_input(format!("in{i}"))).collect();
+    for (i, &input) in inputs.iter().enumerate() {
+        let q = nl.declare_dff(format!("acc{i}"), false)?;
+        let mixed = if i == 0 {
+            nl.add_gate(GateKind::Xor, &[q, input], format!("next{i}"))?
+        } else {
+            // Couple neighbouring bits so registers form one SCC.
+            let prev_q = nl.net_id(&format!("acc{}", i - 1)).expect("previous bit");
+            let t = nl.add_gate(GateKind::Xor, &[q, input], format!("t{i}"))?;
+            nl.add_gate(GateKind::Xor, &[t, prev_q], format!("next{i}"))?
+        };
+        nl.bind_dff(q, mixed)?;
+        nl.mark_output(q)?;
+    }
+    // Close the coupling ring: bit 0 also depends on the last bit.
+    if width > 1 {
+        let q0 = nl.net_id("acc0").expect("bit 0");
+        let last = nl.net_id(&format!("acc{}", width - 1)).expect("last bit");
+        let d0 = nl.net_id("next0").expect("next0");
+        let new_d0 = nl.add_gate(GateKind::Xor, &[d0, last], "next0_ring")?;
+        nl.rebind_dff(q0, new_d0)?;
+    }
+    nl.validate()?;
+    Ok(nl)
+}
+
+/// A tiny two-register controller with `width` inputs and two outputs.
+/// Used where an even smaller state space than [`accumulator`] is needed
+/// (exhaustive error-table enumeration, paper Fig. 3 scale).
+///
+/// # Errors
+///
+/// Returns an error only if `width` is zero.
+pub fn toy_controller(width: usize) -> Result<Netlist, NetlistError> {
+    if width == 0 {
+        return Err(NetlistError::InvalidParameter(
+            "toy controller needs at least one input".to_string(),
+        ));
+    }
+    let mut nl = Netlist::new(format!("toy{width}"));
+    let inputs: Vec<_> = (0..width).map(|i| nl.add_input(format!("in{i}"))).collect();
+    let q0 = nl.declare_dff("s0", false)?;
+    let q1 = nl.declare_dff("s1", false)?;
+    let any_in = netlist::words::or_tree(&mut nl, &inputs, "anyin")?;
+    let d0 = nl.add_gate(GateKind::Xor, &[q0, any_in], "d0")?;
+    let d1 = nl.add_gate(GateKind::Xor, &[q1, q0], "d1")?;
+    nl.bind_dff(q0, d0)?;
+    nl.bind_dff(q1, d1)?;
+    let o0 = nl.add_gate(GateKind::Xor, &[q0, inputs[0]], "o0")?;
+    let o1 = nl.add_gate(GateKind::Or, &[q1, q0], "o1")?;
+    nl.mark_output(o0)?;
+    nl.mark_output(o1)?;
+    nl.validate()?;
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s27_has_expected_interface() {
+        let nl = s27();
+        assert_eq!(nl.num_inputs(), 4);
+        assert_eq!(nl.num_outputs(), 1);
+        assert_eq!(nl.num_dffs(), 3);
+        assert_eq!(nl.num_gates(), 10);
+    }
+
+    #[test]
+    fn accumulator_accumulates() {
+        let nl = accumulator(3).unwrap();
+        let mut sim = sim::Simulator::new(&nl).unwrap();
+        // After one cycle of all-ones, the state is still the reset value at
+        // the output (Moore style), after two cycles it reflects the input.
+        let first = sim.step(&[true, true, true]).unwrap();
+        assert_eq!(first, vec![false, false, false]);
+        let second = sim.step(&[false, false, false]).unwrap();
+        assert!(second.iter().any(|&b| b));
+    }
+
+    #[test]
+    fn accumulator_rejects_zero_width() {
+        assert!(accumulator(0).is_err());
+        assert!(toy_controller(0).is_err());
+    }
+
+    #[test]
+    fn toy_controller_validates_and_simulates() {
+        let nl = toy_controller(2).unwrap();
+        let mut sim = sim::Simulator::new(&nl).unwrap();
+        let outs = sim.run(&vec![vec![true, false]; 5]).unwrap();
+        assert_eq!(outs.len(), 5);
+    }
+
+    #[test]
+    fn accumulator_outputs_depend_on_inputs() {
+        let nl = accumulator(2).unwrap();
+        let mut sim = sim::Simulator::new(&nl).unwrap();
+        let quiet = sim.run_from_reset(&vec![vec![false, false]; 4]).unwrap();
+        let active = sim.run_from_reset(&vec![vec![true, false]; 4]).unwrap();
+        assert_ne!(quiet, active);
+    }
+}

@@ -1,0 +1,118 @@
+//! Closed-form security model of TriLock (paper Eqs. 6, 7, 10, 12, 15).
+//!
+//! All quantities are returned as `f64` because the DIP counts grow as
+//! `2^{κs·|I|}` and overflow 64-bit integers for realistic circuits (the
+//! paper's Table I itself reports them in scientific notation).
+
+/// Number of distinguishing input patterns required against TriLock
+/// (paper Eq. 10): `ndip = 2^{κs·|I|}`.
+pub fn ndip(num_inputs: usize, kappa_s: usize) -> f64 {
+    2f64.powi((kappa_s * num_inputs) as i32)
+}
+
+/// Number of DIPs required against the naive point-function locking `EN_b`
+/// (paper Eq. 6): `2^{κ·|I|} − 1`.
+pub fn naive_ndip(num_inputs: usize, kappa: usize) -> f64 {
+    2f64.powi((kappa * num_inputs) as i32) - 1.0
+}
+
+/// Functional corruptibility of the naive locking (paper Eq. 7):
+/// `FC ≈ 1 / 2^{κ·|I|}`.
+pub fn naive_fc(num_inputs: usize, kappa: usize) -> f64 {
+    1.0 / 2f64.powi((kappa * num_inputs) as i32)
+}
+
+/// Maximum achievable functional corruptibility of TriLock (paper Eq. 12):
+/// `FC_max = 1 − 1 / 2^{κf·|I|}`.
+pub fn fc_max(num_inputs: usize, kappa_f: usize) -> f64 {
+    1.0 - 1.0 / 2f64.powi((kappa_f * num_inputs) as i32)
+}
+
+/// Expected functional corruptibility for a configured `α` (paper Eq. 15):
+/// `FC ≈ α · (1 − 1 / 2^{κf·|I|})`.
+pub fn fc_expected(num_inputs: usize, kappa_f: usize, alpha: f64) -> f64 {
+    alpha * fc_max(num_inputs, kappa_f)
+}
+
+/// Minimum unrolling depth `b*` an attacker must use against TriLock
+/// (paper Section IV: `b* = κs`).
+pub fn min_unroll_depth(kappa_s: usize) -> usize {
+    kappa_s
+}
+
+/// Extrapolated attack runtime in seconds assuming a constant time-per-DIP
+/// ratio, the methodology the paper uses to fill the blue entries of Table I.
+pub fn extrapolate_runtime(ndip: f64, seconds_per_dip: f64) -> f64 {
+    ndip * seconds_per_dip
+}
+
+/// Relationship of Eq. 7: for the naive locking, `FC ≈ 1 / (ndip + 1)`.
+pub fn naive_fc_from_ndip(ndip: f64) -> f64 {
+    1.0 / (ndip + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_b12_values() {
+        // b12 has |I| = 5; the paper reports ndip = 32, 1024, 32768 for
+        // κs = 1, 2, 3.
+        assert_eq!(ndip(5, 1), 32.0);
+        assert_eq!(ndip(5, 2), 1024.0);
+        assert_eq!(ndip(5, 3), 32768.0);
+    }
+
+    #[test]
+    fn table1_large_circuit_values() {
+        // s38584 has |I| = 11: ndip = 2048 for κs = 1 (first numeric entry of
+        // the paper's Table I that completed).
+        assert_eq!(ndip(11, 1), 2048.0);
+        // s9234 has |I| = 19: κs = 1 → 524288.
+        assert_eq!(ndip(19, 1), 524_288.0);
+        // b14/b20 have |I| = 32: κs = 1 → ≈ 4.3e9.
+        let v = ndip(32, 1);
+        assert!((v - 4.294_967_296e9).abs() / v < 1e-12);
+    }
+
+    #[test]
+    fn naive_tradeoff_matches_eq7() {
+        // For the naive scheme FC ≈ 1/(ndip+1).
+        for kappa in 1..4 {
+            let n = naive_ndip(4, kappa);
+            let fc = naive_fc(4, kappa);
+            assert!((fc - naive_fc_from_ndip(n)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig3_scenario_fc_values() {
+        // Fig. 3(a): |I| = 2, κ = 2 → naive FC ≈ 1/16 ≈ 0.06.
+        assert!((naive_fc(2, 2) - 0.0625).abs() < 1e-12);
+        // Fig. 3(b): κf = 1, |I| = 2 → FC_max = 0.75.
+        assert!((fc_max(2, 1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_fc_scales_linearly_with_alpha() {
+        let full = fc_max(4, 1);
+        assert!((fc_expected(4, 1, 0.0) - 0.0).abs() < 1e-12);
+        assert!((fc_expected(4, 1, 0.5) - 0.5 * full).abs() < 1e-12);
+        assert!((fc_expected(4, 1, 1.0) - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fc_max_grows_with_kappa_f() {
+        assert!(fc_max(4, 2) > fc_max(4, 1));
+        assert!(fc_max(4, 3) > fc_max(4, 2));
+        assert!(fc_max(4, 3) < 1.0);
+    }
+
+    #[test]
+    fn unroll_depth_and_runtime_extrapolation() {
+        assert_eq!(min_unroll_depth(3), 3);
+        let t = extrapolate_runtime(ndip(5, 2), 1.5);
+        assert!((t - 1536.0).abs() < 1e-9);
+    }
+}

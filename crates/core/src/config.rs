@@ -1,0 +1,171 @@
+//! Locking configuration (the paper's encryption parameters `κs`, `κf`, `α`,
+//! `S` plus the error-handler fan-out).
+
+use crate::LockError;
+
+/// Encryption parameters of TriLock.
+///
+/// The defaults correspond to the configuration the paper uses for its
+/// overhead and removal-resilience experiments: `κf = 1`, `α = 0.6`,
+/// `S = 10`, with `κs` chosen by the designer according to the desired
+/// SAT-attack resilience (`ndip = 2^{κs·|I|}`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriLockConfig {
+    /// Number of key cycles devoted to SAT resilience (`κs`).
+    pub kappa_s: usize,
+    /// Number of key cycles devoted to corruptibility (`κf`). May be zero, in
+    /// which case the scheme degenerates to the naive point-function locking
+    /// `EN_b` of the paper's Section III-A.
+    pub kappa_f: usize,
+    /// Fraction `α ∈ [0, 1]` of the admissible key suffixes that trigger
+    /// corruption (Eq. 14), controlling the expected FC (Eq. 15).
+    pub alpha: f64,
+    /// Number of state registers whose next-state is inverted by the error
+    /// signal. Clamped to the number of registers of the target circuit.
+    pub state_error_targets: usize,
+    /// Number of primary outputs inverted by the error signal. Clamped to the
+    /// number of outputs of the target circuit.
+    pub output_error_targets: usize,
+    /// Number of register pairs to re-encode (`S` in Algorithm 1) when
+    /// [`crate::reencode`] is invoked through the full flow.
+    pub reencode_pairs: usize,
+}
+
+impl TriLockConfig {
+    /// Creates a configuration with the paper's default `α = 0.6`, four state
+    /// and four output error targets and `S = 10`.
+    pub fn new(kappa_s: usize, kappa_f: usize) -> Self {
+        TriLockConfig {
+            kappa_s,
+            kappa_f,
+            alpha: 0.6,
+            state_error_targets: 4,
+            output_error_targets: 4,
+            reencode_pairs: 10,
+        }
+    }
+
+    /// Naive point-function baseline (`EN_b`, paper Eq. 3): all key cycles are
+    /// resilience cycles and no corruptibility mechanism is added.
+    pub fn naive(kappa: usize) -> Self {
+        TriLockConfig {
+            kappa_s: kappa,
+            kappa_f: 0,
+            alpha: 0.0,
+            state_error_targets: 4,
+            output_error_targets: 4,
+            reencode_pairs: 0,
+        }
+    }
+
+    /// Sets `α`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the number of state-register error handlers.
+    pub fn with_state_error_targets(mut self, n: usize) -> Self {
+        self.state_error_targets = n;
+        self
+    }
+
+    /// Sets the number of output error handlers.
+    pub fn with_output_error_targets(mut self, n: usize) -> Self {
+        self.output_error_targets = n;
+        self
+    }
+
+    /// Sets the number of re-encoded register pairs (`S`).
+    pub fn with_reencode_pairs(mut self, pairs: usize) -> Self {
+        self.reencode_pairs = pairs;
+        self
+    }
+
+    /// Total key cycle length `κ = κs + κf`.
+    pub fn kappa(&self) -> usize {
+        self.kappa_s + self.kappa_f
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::InvalidConfig`] if `κs` is zero, `α` is outside
+    /// `[0, 1]`, or no error handler is requested at all.
+    pub fn validate(&self) -> Result<(), LockError> {
+        if self.kappa_s == 0 {
+            return Err(LockError::InvalidConfig(
+                "kappa_s must be at least 1".to_string(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(LockError::InvalidConfig(format!(
+                "alpha must lie in [0, 1], got {}",
+                self.alpha
+            )));
+        }
+        if self.state_error_targets == 0 && self.output_error_targets == 0 {
+            return Err(LockError::InvalidConfig(
+                "at least one state or output error target is required".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for TriLockConfig {
+    fn default() -> Self {
+        TriLockConfig::new(2, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = TriLockConfig::default();
+        assert_eq!(c.kappa_s, 2);
+        assert_eq!(c.kappa_f, 1);
+        assert!((c.alpha - 0.6).abs() < 1e-12);
+        assert_eq!(c.reencode_pairs, 10);
+        assert_eq!(c.kappa(), 3);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn naive_baseline_has_no_corruptibility_cycles() {
+        let c = TriLockConfig::naive(3);
+        assert_eq!(c.kappa_s, 3);
+        assert_eq!(c.kappa_f, 0);
+        assert_eq!(c.kappa(), 3);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let c = TriLockConfig::new(1, 2)
+            .with_alpha(0.9)
+            .with_state_error_targets(2)
+            .with_output_error_targets(0)
+            .with_reencode_pairs(30);
+        assert!((c.alpha - 0.9).abs() < 1e-12);
+        assert_eq!(c.state_error_targets, 2);
+        assert_eq!(c.output_error_targets, 0);
+        assert_eq!(c.reencode_pairs, 30);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(TriLockConfig::new(0, 1).validate().is_err());
+        assert!(TriLockConfig::new(1, 1).with_alpha(1.5).validate().is_err());
+        assert!(TriLockConfig::new(1, 1)
+            .with_state_error_targets(0)
+            .with_output_error_targets(0)
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Security diagnostics for a locked circuit.
+//!
+//! A designer tuning TriLock wants, for a candidate configuration, the same
+//! three quantities the paper's evaluation reports: the SAT-attack resilience
+//! (analytic, Eq. 10), the functional corruptibility (analytic Eq. 15 plus a
+//! Monte-Carlo measurement), and the removal-attack exposure (SCC structure
+//! of the register connection graph). [`SecurityReport::analyze`] gathers all
+//! of them in one pass so the trade-off can be inspected before committing to
+//! a configuration.
+
+use rand::Rng;
+
+use netlist::Netlist;
+use stg::{classify_sccs, RegisterGraph};
+
+use crate::analytic;
+use crate::encrypt::LockedCircuit;
+use crate::LockError;
+
+/// Aggregated security metrics of a locked circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecurityReport {
+    /// Analytic number of DIPs a SAT-based unrolling attack needs (Eq. 10).
+    pub ndip: f64,
+    /// Minimum unrolling depth the attacker must reach (`b* = κs`).
+    pub min_unroll_depth: usize,
+    /// Expected functional corruptibility from Eq. 15.
+    pub fc_expected: f64,
+    /// Maximum achievable functional corruptibility from Eq. 12.
+    pub fc_max: f64,
+    /// Monte-Carlo FC measurement over random keys.
+    pub fc_measured: f64,
+    /// Number of samples behind `fc_measured`.
+    pub fc_samples: usize,
+    /// Number of O-SCCs in the register connection graph.
+    pub osccs: usize,
+    /// Number of E-SCCs (pure locking components an attacker could excise).
+    pub esccs: usize,
+    /// Number of M-SCCs.
+    pub msccs: usize,
+    /// Percentage of registers hidden inside M-SCCs (`P_M`).
+    pub percent_mixed: f64,
+    /// Registers added by the locking scheme.
+    pub added_registers: usize,
+}
+
+impl SecurityReport {
+    /// Analyzes `locked` against its original circuit.
+    ///
+    /// `fc_cycles` and `fc_samples` configure the Monte-Carlo FC measurement
+    /// (the paper uses 800 samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::InvalidConfig`] if the two circuits have
+    /// incompatible interfaces or simulation fails.
+    pub fn analyze<R: Rng + ?Sized>(
+        original: &Netlist,
+        locked: &LockedCircuit,
+        fc_cycles: usize,
+        fc_samples: usize,
+        rng: &mut R,
+    ) -> Result<Self, LockError> {
+        let width = original.num_inputs();
+        let config = &locked.config;
+        let est = sim::fc::estimate_fc(
+            original,
+            &locked.netlist,
+            locked.kappa(),
+            fc_cycles,
+            fc_samples,
+            rng,
+        )
+        .map_err(|e| LockError::InvalidConfig(format!("fc estimation failed: {e}")))?;
+        let scc = classify_sccs(&RegisterGraph::build(&locked.netlist));
+        Ok(SecurityReport {
+            ndip: analytic::ndip(width, config.kappa_s),
+            min_unroll_depth: analytic::min_unroll_depth(config.kappa_s),
+            fc_expected: analytic::fc_expected(width, config.kappa_f, config.alpha),
+            fc_max: analytic::fc_max(width, config.kappa_f),
+            fc_measured: est.fc,
+            fc_samples: est.samples,
+            osccs: scc.num_original,
+            esccs: scc.num_extra,
+            msccs: scc.num_mixed,
+            percent_mixed: scc.percent_in_mixed,
+            added_registers: locked.summary.added_dffs,
+        })
+    }
+
+    /// `true` when the structural removal attack cannot isolate any locking
+    /// register (no pure E-SCC remains).
+    pub fn removal_resistant(&self) -> bool {
+        self.esccs == 0 && self.msccs > 0
+    }
+
+    /// Absolute difference between the measured and the expected FC — the
+    /// quantity the paper bounds by 0.05 in its Fig. 7 discussion.
+    pub fn fc_model_error(&self) -> f64 {
+        (self.fc_measured - self.fc_expected).abs()
+    }
+
+    /// Renders a short human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "ndip≥{:.3e} (b*={}), FC measured {:.3} / expected {:.3} (max {:.3}), \
+             SCCs O={} E={} M={} (P_M={:.1}%), +{} registers",
+            self.ndip,
+            self.min_unroll_depth,
+            self.fc_measured,
+            self.fc_expected,
+            self.fc_max,
+            self.osccs,
+            self.esccs,
+            self.msccs,
+            self.percent_mixed,
+            self.added_registers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{encrypt, lock, TriLockConfig};
+    use benchgen::small;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn report_collects_consistent_metrics() {
+        let original = small::s27();
+        let config = TriLockConfig::new(2, 1).with_alpha(0.6);
+        let mut rng = StdRng::seed_from_u64(1);
+        let locked = encrypt(&original, &config, &mut rng).unwrap();
+        let mut fc_rng = StdRng::seed_from_u64(2);
+        let report =
+            SecurityReport::analyze(&original, &locked, 6, 400, &mut fc_rng).unwrap();
+
+        assert_eq!(report.ndip, analytic::ndip(4, 2));
+        assert_eq!(report.min_unroll_depth, 2);
+        // Eq. 15 is an approximation: with |I| = 4 and κf = 1 the threshold
+        // α·(2^4−1) quantizes to 1/16 steps, so allow a wider band than the
+        // paper's large-circuit ±0.05.
+        assert!(report.fc_model_error() < 0.12, "{}", report.fc_model_error());
+        assert_eq!(report.added_registers, locked.summary.added_dffs);
+        assert!(report.esccs > 0, "no re-encoding yet: pure E-SCCs remain");
+        assert!(!report.removal_resistant());
+        assert!(report.summary().contains("ndip"));
+    }
+
+    #[test]
+    fn reencoded_design_is_reported_as_removal_resistant() {
+        let original = small::accumulator(6).unwrap();
+        let config = TriLockConfig::new(1, 1)
+            .with_alpha(0.5)
+            .with_reencode_pairs(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let flow = lock(&original, &config, &mut rng).unwrap();
+        let mut fc_rng = StdRng::seed_from_u64(4);
+        let report =
+            SecurityReport::analyze(&original, &flow.locked, 5, 200, &mut fc_rng).unwrap();
+        assert!(report.msccs >= 1);
+        assert!(report.percent_mixed > 0.0);
+        assert!(report.removal_resistant());
+    }
+
+    #[test]
+    fn higher_alpha_yields_higher_measured_fc() {
+        let original = small::s27();
+        let mut reports = Vec::new();
+        for alpha in [0.2, 0.8] {
+            let config = TriLockConfig::new(1, 1).with_alpha(alpha);
+            let mut rng = StdRng::seed_from_u64(7);
+            let locked = encrypt(&original, &config, &mut rng).unwrap();
+            let mut fc_rng = StdRng::seed_from_u64(8);
+            reports.push(
+                SecurityReport::analyze(&original, &locked, 5, 300, &mut fc_rng).unwrap(),
+            );
+        }
+        assert!(reports[1].fc_measured > reports[0].fc_measured);
+        assert_eq!(reports[0].ndip, reports[1].ndip);
+    }
+}

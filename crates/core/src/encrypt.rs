@@ -1,0 +1,586 @@
+//! The TriLock encryption flow: error-generator synthesis and error handlers.
+//!
+//! The inserted hardware follows the architecture of the paper's Fig. 2(a):
+//!
+//! * a saturating **phase counter** distinguishing the `κ` key-loading cycles
+//!   from the functional cycles that follow;
+//! * **key-prefix capture registers** latching the first `κs` key cycles so
+//!   that the `ES` comparison (key prefix vs. functional input prefix,
+//!   Eq. 8) can be evaluated after the key phase;
+//! * a **key tracker** comparing the applied key sequence with `k*` cycle by
+//!   cycle (its complement is the `wrong key` condition of every error term);
+//! * **key-suffix capture registers** plus a magnitude comparator realizing
+//!   the `EF` condition (suffix ≠ `k**` and suffix ≤ `α·(2^{κf|I|}−1)`,
+//!   Eqs. 13–14);
+//! * an **ES matcher** that compares the functional inputs of cycles
+//!   `κ+1 … κ+κs` with the captured key prefix and raises a sticky error when
+//!   they all match under a wrong key — this is what enforces the minimum
+//!   unrolling depth `b* = κs`;
+//! * **error handlers**: XOR gates inverting a configurable subset of state
+//!   registers and primary outputs whenever the error signal is asserted.
+//!
+//! In addition, the original state registers are *frozen* at their reset
+//! values during the key-loading phase so that, once the correct key has been
+//! applied, the locked circuit continues exactly where the original circuit
+//! would have started — the property checked by
+//! [`sim::equiv::key_restores_function`].
+
+use rand::Rng;
+
+use netlist::words;
+use netlist::{GateKind, NetId, Netlist, RegClass};
+
+use crate::config::TriLockConfig;
+use crate::key::KeySequence;
+use crate::LockError;
+
+/// Statistics about the logic added by [`encrypt`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockingSummary {
+    /// Flip-flops added by the locking scheme.
+    pub added_dffs: usize,
+    /// Combinational gates added by the locking scheme.
+    pub added_gates: usize,
+    /// Width of the phase counter in bits.
+    pub counter_bits: usize,
+    /// Names of the original registers that received a state error handler.
+    pub state_targets: Vec<String>,
+    /// Indices of the primary outputs that received an output error handler.
+    pub output_targets: Vec<usize>,
+}
+
+/// Result of the TriLock encryption flow.
+#[derive(Debug, Clone)]
+pub struct LockedCircuit {
+    /// The locked netlist (same primary interface as the original circuit).
+    pub netlist: Netlist,
+    /// The correct key sequence `k*` (`κ` cycles of `|I|` bits).
+    pub key: KeySequence,
+    /// The designer constant `k**` (`κf` cycles), empty when `κf = 0`.
+    pub decoy_suffix: Vec<Vec<bool>>,
+    /// The configuration used for locking.
+    pub config: TriLockConfig,
+    /// Inserted-logic statistics.
+    pub summary: LockingSummary,
+}
+
+impl LockedCircuit {
+    /// Total key cycle length `κ`.
+    pub fn kappa(&self) -> usize {
+        self.config.kappa()
+    }
+
+    /// A wrong key obtained by flipping one bit of the correct key.
+    pub fn wrong_key(&self) -> KeySequence {
+        self.key.with_flipped_bit(0, 0)
+    }
+}
+
+/// Applies TriLock to `original` and returns the locked circuit together with
+/// the correct key.
+///
+/// # Errors
+///
+/// Returns [`LockError::InvalidConfig`] if the configuration is inconsistent
+/// or the circuit has no primary inputs/outputs, and [`LockError::Netlist`]
+/// if an underlying netlist operation fails (which would indicate a bug).
+pub fn encrypt<R: Rng + ?Sized>(
+    original: &Netlist,
+    config: &TriLockConfig,
+    rng: &mut R,
+) -> Result<LockedCircuit, LockError> {
+    config.validate()?;
+    original.validate()?;
+    let width = original.num_inputs();
+    if width == 0 {
+        return Err(LockError::InvalidConfig(
+            "the circuit must have at least one primary input to carry the key sequence"
+                .to_string(),
+        ));
+    }
+    if original.num_outputs() == 0 {
+        return Err(LockError::InvalidConfig(
+            "the circuit must have at least one primary output".to_string(),
+        ));
+    }
+
+    let kappa_s = config.kappa_s;
+    let kappa_f = config.kappa_f;
+    let kappa = config.kappa();
+
+    // Correct key and decoy suffix k** (must differ from the correct suffix).
+    let key = KeySequence::random(rng, width, kappa);
+    let decoy_suffix: Vec<Vec<bool>> = if kappa_f > 0 {
+        let mut decoy = KeySequence::random(rng, width, kappa_f).cycles().to_vec();
+        if decoy == key.suffix(kappa_f) {
+            decoy[0][0] = !decoy[0][0];
+        }
+        decoy
+    } else {
+        Vec::new()
+    };
+
+    let mut nl = original.clone();
+    nl.set_name(format!("{}_trilock", original.name()));
+    let original_dffs = nl.num_dffs();
+    let original_gates = nl.num_gates();
+    let pis: Vec<NetId> = nl.inputs().to_vec();
+
+    // ------------------------------------------------------------------
+    // Phase counter (saturating at κ + κs).
+    // ------------------------------------------------------------------
+    let saturation = (kappa + kappa_s) as u64;
+    let counter_bits = words::bits_for(saturation);
+    let counter: Vec<NetId> = (0..counter_bits)
+        .map(|i| {
+            nl.declare_dff_with_class(format!("tl_cnt{i}"), false, RegClass::Locking)
+        })
+        .collect::<Result<_, _>>()?;
+    let incremented = words::increment(&mut nl, &counter, "tl_cnt_inc")?;
+    let at_saturation = words::eq_const(
+        &mut nl,
+        &counter,
+        &words::to_bits(saturation, counter_bits),
+        "tl_cnt_sat",
+    )?;
+    let counter_next = words::mux_word(&mut nl, at_saturation, &incremented, &counter, "tl_cnt_next")?;
+    for (&q, &d) in counter.iter().zip(&counter_next) {
+        nl.bind_dff(q, d)?;
+    }
+
+    // Cycle decode: is_cycle[t] for t in 0 .. κ+κs.
+    let mut is_cycle = Vec::with_capacity(kappa + kappa_s);
+    for t in 0..(kappa + kappa_s) {
+        is_cycle.push(words::eq_const(
+            &mut nl,
+            &counter,
+            &words::to_bits(t as u64, counter_bits),
+            &format!("tl_is_c{t}"),
+        )?);
+    }
+    // Functional phase: counter ≥ κ.
+    let in_key_phase = words::le_const(&mut nl, &counter, (kappa - 1) as u64, "tl_keyphase")?;
+    let in_functional = words::invert(&mut nl, in_key_phase, "tl_functional")?;
+
+    // ------------------------------------------------------------------
+    // Key tracker: key_ok stays 1 iff every key cycle matched k*.
+    // ------------------------------------------------------------------
+    let key_ok = nl.declare_dff_with_class("tl_key_ok", true, RegClass::Locking)?;
+    let mut mismatch_terms = Vec::with_capacity(kappa);
+    for (t, cycle) in key.cycles().iter().enumerate() {
+        let eq = words::eq_const(&mut nl, &pis, cycle, &format!("tl_keycmp{t}"))?;
+        let ne = words::invert(&mut nl, eq, &format!("tl_keycmp{t}"))?;
+        let term = nl.add_gate(
+            GateKind::And,
+            &[is_cycle[t], ne],
+            format!("tl_key_mismatch{t}"),
+        )?;
+        mismatch_terms.push(term);
+    }
+    let mismatch_now = words::or_tree(&mut nl, &mismatch_terms, "tl_key_mismatch_any")?;
+    let mismatch_now_n = words::invert(&mut nl, mismatch_now, "tl_key_mismatch_any")?;
+    let key_ok_next = nl.add_gate(GateKind::And, &[key_ok, mismatch_now_n], "tl_key_ok_next")?;
+    nl.bind_dff(key_ok, key_ok_next)?;
+    let wrong_key = words::invert(&mut nl, key_ok, "tl_wrong_key")?;
+
+    // ------------------------------------------------------------------
+    // Key-prefix capture (κs cycles) for the ES comparison.
+    // ------------------------------------------------------------------
+    let mut prefix_regs: Vec<Vec<NetId>> = Vec::with_capacity(kappa_s);
+    for t in 0..kappa_s {
+        let mut cycle_regs = Vec::with_capacity(width);
+        for i in 0..width {
+            let q = nl.declare_dff_with_class(
+                format!("tl_kp{t}_{i}"),
+                false,
+                RegClass::Locking,
+            )?;
+            let d = nl.add_gate(
+                GateKind::Mux,
+                &[is_cycle[t], q, pis[i]],
+                format!("tl_kp{t}_{i}_next"),
+            )?;
+            nl.bind_dff(q, d)?;
+            cycle_regs.push(q);
+        }
+        prefix_regs.push(cycle_regs);
+    }
+
+    // ------------------------------------------------------------------
+    // Key-suffix capture (κf cycles) and the EF condition.
+    // ------------------------------------------------------------------
+    let ef_active = if kappa_f > 0 && config.alpha > 0.0 {
+        let mut suffix_word: Vec<NetId> = Vec::with_capacity(kappa_f * width);
+        for t in 0..kappa_f {
+            for i in 0..width {
+                let q = nl.declare_dff_with_class(
+                    format!("tl_ks{t}_{i}"),
+                    false,
+                    RegClass::Locking,
+                )?;
+                let d = nl.add_gate(
+                    GateKind::Mux,
+                    &[is_cycle[kappa_s + t], q, pis[i]],
+                    format!("tl_ks{t}_{i}_next"),
+                )?;
+                nl.bind_dff(q, d)?;
+                suffix_word.push(q);
+            }
+        }
+        let decoy_bits: Vec<bool> = decoy_suffix.iter().flatten().copied().collect();
+        let eq_decoy = words::eq_const(&mut nl, &suffix_word, &decoy_bits, "tl_ef_decoy")?;
+        let ne_decoy = words::invert(&mut nl, eq_decoy, "tl_ef_decoy")?;
+        // Threshold comparison of Eq. 14. For wide suffixes the comparison is
+        // performed on the 32 most significant bits, which changes the
+        // selected fraction by less than 2^-32 — far below the ±0.05 band the
+        // paper reports for the simulated FC.
+        let total_bits = suffix_word.len();
+        let le_threshold = if total_bits <= 48 {
+            let max = (1u64 << total_bits) - 1;
+            let threshold = (config.alpha * max as f64).floor() as u64;
+            words::le_const(&mut nl, &suffix_word, threshold, "tl_ef_le")?
+        } else {
+            let msb_slice = &suffix_word[total_bits - 32..];
+            let max = (1u64 << 32) - 1;
+            let threshold = (config.alpha * max as f64).floor() as u64;
+            words::le_const(&mut nl, msb_slice, threshold, "tl_ef_le")?
+        };
+        words::and_tree(
+            &mut nl,
+            &[in_functional, wrong_key, ne_decoy, le_threshold],
+            "tl_ef_active",
+        )?
+    } else {
+        words::const0(&mut nl, "tl_ef_active")?
+    };
+
+    // ------------------------------------------------------------------
+    // ES matcher: functional inputs of cycles κ .. κ+κs-1 vs. the key prefix.
+    // ------------------------------------------------------------------
+    let mut prefix_match_per_cycle = Vec::with_capacity(kappa_s);
+    for (t, regs) in prefix_regs.iter().enumerate() {
+        prefix_match_per_cycle.push(words::eq_words(
+            &mut nl,
+            &pis,
+            regs,
+            &format!("tl_es_cmp{t}"),
+        )?);
+    }
+    let es_prog = nl.declare_dff_with_class("tl_es_prog", true, RegClass::Locking)?;
+    let mut func_mismatch_terms = Vec::with_capacity(kappa_s);
+    for t in 0..kappa_s {
+        let ne = words::invert(&mut nl, prefix_match_per_cycle[t], &format!("tl_es_ne{t}"))?;
+        let term = nl.add_gate(
+            GateKind::And,
+            &[is_cycle[kappa + t], ne],
+            format!("tl_es_mismatch{t}"),
+        )?;
+        func_mismatch_terms.push(term);
+    }
+    let func_mismatch = words::or_tree(&mut nl, &func_mismatch_terms, "tl_es_mismatch_any")?;
+    let func_mismatch_n = words::invert(&mut nl, func_mismatch, "tl_es_mismatch_any")?;
+    let es_prog_next = nl.add_gate(GateKind::And, &[es_prog, func_mismatch_n], "tl_es_prog_next")?;
+    nl.bind_dff(es_prog, es_prog_next)?;
+
+    // The error fires combinationally in the last matching cycle (functional
+    // cycle κs, enforcing b* = κs) and stays asserted through a sticky flop.
+    let es_now = words::and_tree(
+        &mut nl,
+        &[
+            is_cycle[kappa + kappa_s - 1],
+            wrong_key,
+            es_prog,
+            prefix_match_per_cycle[kappa_s - 1],
+        ],
+        "tl_es_now",
+    )?;
+    let es_sticky = nl.declare_dff_with_class("tl_es_sticky", false, RegClass::Locking)?;
+    let es_sticky_next = nl.add_gate(GateKind::Or, &[es_sticky, es_now], "tl_es_sticky_next")?;
+    nl.bind_dff(es_sticky, es_sticky_next)?;
+
+    // ------------------------------------------------------------------
+    // Error signal and error handlers.
+    // ------------------------------------------------------------------
+    let error = words::or_tree(&mut nl, &[es_now, es_sticky, ef_active], "tl_error")?;
+
+    // Freeze original registers during the key phase so the functional phase
+    // starts from the architectural reset state.
+    for idx in 0..original_dffs {
+        let dff = nl.dffs()[idx].clone();
+        let d = dff.d.expect("validated original netlist");
+        let q = dff.q;
+        let frozen = if dff.init {
+            let name = nl.fresh_name("tl_freeze_or");
+            nl.add_gate(GateKind::Or, &[d, in_key_phase], name)?
+        } else {
+            let name = nl.fresh_name("tl_freeze_and");
+            nl.add_gate(GateKind::And, &[d, in_functional], name)?
+        };
+        nl.rebind_dff(q, frozen)?;
+    }
+
+    // State error handlers on a random subset of the original registers.
+    let state_target_count = config.state_error_targets.min(original_dffs);
+    let state_indices = sample_indices(rng, original_dffs, state_target_count);
+    let mut state_targets = Vec::with_capacity(state_indices.len());
+    for &idx in &state_indices {
+        let dff = nl.dffs()[idx].clone();
+        let d = dff.d.expect("bound register");
+        let q = dff.q;
+        state_targets.push(nl.net_name(q).to_string());
+        let name = nl.fresh_name("tl_state_err");
+        let corrupted = nl.add_gate(GateKind::Xor, &[d, error], name)?;
+        nl.rebind_dff(q, corrupted)?;
+    }
+
+    // Output error handlers on a random subset of the primary outputs.
+    let output_target_count = config.output_error_targets.min(nl.num_outputs());
+    let output_indices = sample_indices(rng, nl.num_outputs(), output_target_count);
+    for &idx in &output_indices {
+        let old = nl.outputs()[idx];
+        let name = nl.fresh_name("tl_out_err");
+        let corrupted = nl.add_gate(GateKind::Xor, &[old, error], name)?;
+        nl.replace_output(idx, corrupted)?;
+    }
+
+    nl.validate()?;
+    let summary = LockingSummary {
+        added_dffs: nl.num_dffs() - original_dffs,
+        added_gates: nl.num_gates() - original_gates,
+        counter_bits,
+        state_targets,
+        output_targets: output_indices,
+    };
+    Ok(LockedCircuit {
+        netlist: nl,
+        key,
+        decoy_suffix,
+        config: *config,
+        summary,
+    })
+}
+
+/// Draws `count` distinct indices from `0..n` (Floyd-style partial shuffle).
+fn sample_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, count: usize) -> Vec<usize> {
+    let count = count.min(n);
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..count {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    let mut picked: Vec<usize> = pool[..count].to_vec();
+    picked.sort_unstable();
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benchgen::small;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lock_s27(config: &TriLockConfig, seed: u64) -> (Netlist, LockedCircuit) {
+        let original = small::s27();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let locked = encrypt(&original, config, &mut rng).unwrap();
+        (original, locked)
+    }
+
+    #[test]
+    fn correct_key_restores_the_original_function() {
+        let config = TriLockConfig::new(2, 1).with_alpha(0.6);
+        let (original, locked) = lock_s27(&config, 1);
+        let mut rng = StdRng::seed_from_u64(99);
+        let cex = sim::equiv::key_restores_function(
+            &original,
+            &locked.netlist,
+            locked.key.cycles(),
+            12,
+            40,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(cex.is_none(), "correct key must restore the function: {cex:?}");
+    }
+
+    #[test]
+    fn correct_key_works_for_the_naive_baseline_too() {
+        let config = TriLockConfig::naive(2);
+        let (original, locked) = lock_s27(&config, 3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let cex = sim::equiv::key_restores_function(
+            &original,
+            &locked.netlist,
+            locked.key.cycles(),
+            10,
+            30,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(cex.is_none());
+    }
+
+    #[test]
+    fn wrong_keys_corrupt_outputs_with_high_probability() {
+        // With κf = 1 and α close to 1, most wrong keys corrupt the outputs.
+        let config = TriLockConfig::new(1, 1).with_alpha(0.95);
+        let (original, locked) = lock_s27(&config, 5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let est = sim::fc::estimate_fc(
+            &original,
+            &locked.netlist,
+            locked.kappa(),
+            6,
+            300,
+            &mut rng,
+        )
+        .unwrap();
+        let expected = crate::analytic::fc_expected(original.num_inputs(), 1, 0.95);
+        assert!(
+            (est.fc - expected).abs() < 0.08,
+            "estimated FC {} vs expected {expected}",
+            est.fc
+        );
+    }
+
+    #[test]
+    fn alpha_zero_yields_negligible_corruptibility() {
+        let config = TriLockConfig::new(2, 1).with_alpha(0.0);
+        let (original, locked) = lock_s27(&config, 9);
+        let mut rng = StdRng::seed_from_u64(13);
+        let est = sim::fc::estimate_fc(
+            &original,
+            &locked.netlist,
+            locked.kappa(),
+            5,
+            300,
+            &mut rng,
+        )
+        .unwrap();
+        // Only the ES point function can fire, which is astronomically rare
+        // under random inputs.
+        assert!(est.fc < 0.05, "fc = {}", est.fc);
+    }
+
+    #[test]
+    fn flipping_one_key_bit_is_detected_for_targeted_inputs() {
+        // A wrong key whose prefix is replayed on the functional inputs must
+        // produce an error at functional cycle κs (the ES mechanism).
+        let config = TriLockConfig::new(2, 1).with_alpha(0.6);
+        let (original, locked) = lock_s27(&config, 21);
+        let wrong = locked.key.with_flipped_bit(locked.kappa() - 1, 0);
+        // Functional inputs replay the wrong key's κs-prefix, then idle.
+        let mut inputs: Vec<Vec<bool>> = wrong.cycles()[..config.kappa_s].to_vec();
+        inputs.extend(vec![vec![false; original.num_inputs()]; 4]);
+        let mut orig_sim = sim::Simulator::new(&original).unwrap();
+        let mut lock_sim = sim::Simulator::new(&locked.netlist).unwrap();
+        let differs =
+            sim::fc::outputs_differ(&mut orig_sim, &mut lock_sim, wrong.cycles(), &inputs)
+                .unwrap();
+        assert!(differs, "replaying the wrong key prefix must expose an error");
+    }
+
+    #[test]
+    fn locking_adds_registers_and_gates() {
+        let config = TriLockConfig::new(2, 1);
+        let (original, locked) = lock_s27(&config, 2);
+        assert!(locked.summary.added_dffs > 0);
+        assert!(locked.summary.added_gates > 0);
+        assert_eq!(
+            locked.netlist.num_dffs(),
+            original.num_dffs() + locked.summary.added_dffs
+        );
+        // Expected register budget: counter + key_ok + es_prog + es_sticky +
+        // (κs + κf) · |I| capture registers.
+        let expected = locked.summary.counter_bits
+            + 3
+            + (config.kappa_s + config.kappa_f) * original.num_inputs();
+        assert_eq!(locked.summary.added_dffs, expected);
+        // Interface is unchanged.
+        assert_eq!(locked.netlist.num_inputs(), original.num_inputs());
+        assert_eq!(locked.netlist.num_outputs(), original.num_outputs());
+    }
+
+    #[test]
+    fn added_registers_are_tagged_as_locking() {
+        let config = TriLockConfig::new(1, 1);
+        let (original, locked) = lock_s27(&config, 4);
+        let locking_regs = locked
+            .netlist
+            .dffs()
+            .iter()
+            .filter(|d| d.class == RegClass::Locking)
+            .count();
+        assert_eq!(locking_regs, locked.summary.added_dffs);
+        let original_regs = locked
+            .netlist
+            .dffs()
+            .iter()
+            .filter(|d| d.class == RegClass::Original)
+            .count();
+        assert_eq!(original_regs, original.num_dffs());
+    }
+
+    #[test]
+    fn circuits_without_io_are_rejected() {
+        let mut no_inputs = Netlist::new("no_in");
+        let q = no_inputs.declare_dff("q", false).unwrap();
+        let d = no_inputs.add_gate(GateKind::Not, &[q], "d").unwrap();
+        no_inputs.bind_dff(q, d).unwrap();
+        no_inputs.mark_output(q).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            encrypt(&no_inputs, &TriLockConfig::default(), &mut rng),
+            Err(LockError::InvalidConfig(_))
+        ));
+
+        let mut no_outputs = Netlist::new("no_out");
+        let a = no_outputs.add_input("a");
+        let q = no_outputs.declare_dff("q", false).unwrap();
+        no_outputs.bind_dff(q, a).unwrap();
+        assert!(matches!(
+            encrypt(&no_outputs, &TriLockConfig::default(), &mut rng),
+            Err(LockError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_key_helper_differs_from_correct_key() {
+        let config = TriLockConfig::new(1, 1);
+        let (_, locked) = lock_s27(&config, 6);
+        assert_ne!(locked.wrong_key(), locked.key);
+        assert_eq!(locked.wrong_key().len(), locked.key.len());
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_indices(&mut rng, 10, 4);
+        assert_eq!(s.len(), 4);
+        let mut dedup = s.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+        assert!(s.iter().all(|&i| i < 10));
+        assert_eq!(sample_indices(&mut rng, 3, 10).len(), 3);
+    }
+
+    #[test]
+    fn accumulator_locks_and_unlocks() {
+        let original = small::accumulator(4).unwrap();
+        let config = TriLockConfig::new(1, 1).with_alpha(0.5);
+        let mut rng = StdRng::seed_from_u64(17);
+        let locked = encrypt(&original, &config, &mut rng).unwrap();
+        let mut check = StdRng::seed_from_u64(18);
+        let cex = sim::equiv::key_restores_function(
+            &original,
+            &locked.netlist,
+            locked.key.cycles(),
+            10,
+            30,
+            &mut check,
+        )
+        .unwrap();
+        assert!(cex.is_none());
+    }
+}

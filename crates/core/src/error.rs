@@ -1,0 +1,55 @@
+//! Error type of the locking flow.
+
+use std::error::Error;
+use std::fmt;
+
+use netlist::NetlistError;
+
+/// Error produced by the TriLock encryption or re-encoding flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// The configuration is inconsistent with the target circuit (e.g. zero
+    /// key cycles, α outside `[0, 1]`, more error targets than ports).
+    InvalidConfig(String),
+    /// An underlying netlist operation failed.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::InvalidConfig(msg) => write!(f, "invalid locking configuration: {msg}"),
+            LockError::Netlist(e) => write!(f, "netlist error during locking: {e}"),
+        }
+    }
+}
+
+impl Error for LockError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LockError::InvalidConfig(_) => None,
+            LockError::Netlist(e) => Some(e),
+        }
+    }
+}
+
+impl From<NetlistError> for LockError {
+    fn from(e: NetlistError) -> Self {
+        LockError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LockError::InvalidConfig("alpha out of range".into());
+        assert!(e.to_string().contains("alpha"));
+        assert!(e.source().is_none());
+        let e = LockError::from(NetlistError::UnknownNet("x".into()));
+        assert!(e.to_string().contains('x'));
+        assert!(e.source().is_some());
+    }
+}

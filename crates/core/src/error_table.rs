@@ -1,0 +1,251 @@
+//! Exhaustive error tables (paper Fig. 3).
+//!
+//! For circuits whose key and input spaces are small enough to enumerate, the
+//! error table records, for every `(input sequence, key sequence)` pair,
+//! whether the locked circuit produces at least one output error over the `b`
+//! functional cycles. Each erroneous entry is additionally classified as an
+//! `ES` error (the input prefix replays the key prefix — the red squares of
+//! Fig. 3) or an `EF` error (the corruptibility mechanism — the blue squares).
+
+use netlist::Netlist;
+use sim::stimulus;
+use sim::{SimError, Simulator};
+
+use crate::encrypt::LockedCircuit;
+
+/// Classification of one error-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// No output error for this input/key pair.
+    None,
+    /// Error attributable to the SAT-resilience point function `ES_b`
+    /// (the input prefix equals the applied key prefix under a wrong key).
+    PointFunction,
+    /// Error attributable to the corruptibility mechanism `EF_b`.
+    Corruptibility,
+}
+
+/// Exhaustive error table of a locked circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorTable {
+    /// Number of primary inputs of the circuit (`|I|`).
+    pub width: usize,
+    /// Key cycle length (`κ`).
+    pub kappa: usize,
+    /// Number of functional cycles enumerated (`b`).
+    pub cycles: usize,
+    /// Row-major entries: `entries[input_value][key_value]`.
+    pub entries: Vec<Vec<ErrorKind>>,
+}
+
+impl ErrorTable {
+    /// Number of input rows (`2^{b·|I|}`).
+    pub fn num_inputs(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of key columns (`2^{κ·|I|}`).
+    pub fn num_keys(&self) -> usize {
+        self.entries.first().map_or(0, Vec::len)
+    }
+
+    /// Total number of erroneous entries.
+    pub fn num_errors(&self) -> usize {
+        self.entries
+            .iter()
+            .flatten()
+            .filter(|&&e| e != ErrorKind::None)
+            .count()
+    }
+
+    /// Exact functional corruptibility `FC_b` (paper Eq. 1) of the enumerated
+    /// space.
+    pub fn fc(&self) -> f64 {
+        let total = self.num_inputs() * self.num_keys();
+        if total == 0 {
+            0.0
+        } else {
+            self.num_errors() as f64 / total as f64
+        }
+    }
+
+    /// Entry for a packed input value and packed key value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn entry(&self, input_value: u64, key_value: u64) -> ErrorKind {
+        self.entries[input_value as usize][key_value as usize]
+    }
+
+    /// Renders the table as ASCII art in the layout of the paper's Fig. 3:
+    /// rows are input values, columns are key values; `#` marks point-function
+    /// (ES) errors, `+` marks corruptibility (EF) errors and `.` marks
+    /// error-free entries.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for row in &self.entries {
+            for &cell in row {
+                out.push(match cell {
+                    ErrorKind::None => '.',
+                    ErrorKind::PointFunction => '#',
+                    ErrorKind::Corruptibility => '+',
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Exhaustively enumerates the error table of `locked` against `original`
+/// over `cycles` functional cycles.
+///
+/// # Errors
+///
+/// Returns a simulator error if either netlist is invalid or the enumerated
+/// space exceeds 2^22 entries (the practical limit for exhaustive sweeps).
+pub fn error_table(
+    original: &Netlist,
+    locked: &LockedCircuit,
+    cycles: usize,
+) -> Result<ErrorTable, SimError> {
+    let width = original.num_inputs();
+    let kappa = locked.kappa();
+    let key_bits = kappa * width;
+    let input_bits = cycles * width;
+    if key_bits + input_bits > 22 {
+        return Err(SimError::InputWidthMismatch {
+            expected: 22,
+            got: key_bits + input_bits,
+        });
+    }
+    let mut orig_sim = Simulator::new(original)?;
+    let mut lock_sim = Simulator::new(&locked.netlist)?;
+
+    let correct_key = stimulus::value_from_sequence(locked.key.cycles());
+    let kappa_s = locked.config.kappa_s;
+
+    let mut entries = Vec::with_capacity(1usize << input_bits);
+    for input_value in 0..(1u64 << input_bits) {
+        let inputs = stimulus::sequence_from_value(input_value, width, cycles);
+        let mut row = Vec::with_capacity(1usize << key_bits);
+        for key_value in 0..(1u64 << key_bits) {
+            let key = stimulus::sequence_from_value(key_value, width, kappa);
+            let differs =
+                sim::fc::outputs_differ(&mut orig_sim, &mut lock_sim, &key, &inputs)?;
+            let kind = if !differs {
+                ErrorKind::None
+            } else if key_value != correct_key && prefix_matches(&key, &inputs, kappa_s) {
+                ErrorKind::PointFunction
+            } else {
+                ErrorKind::Corruptibility
+            };
+            row.push(kind);
+        }
+        entries.push(row);
+    }
+    Ok(ErrorTable {
+        width,
+        kappa,
+        cycles,
+        entries,
+    })
+}
+
+fn prefix_matches(key: &[Vec<bool>], inputs: &[Vec<bool>], kappa_s: usize) -> bool {
+    if inputs.len() < kappa_s {
+        return false;
+    }
+    key[..kappa_s] == inputs[..kappa_s]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analytic, encrypt, TriLockConfig};
+    use benchgen::small;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Fig. 3(b) analogue: a 2-input circuit, κs = b = 2, κf = 1, α = 1.
+    fn build_tables(alpha: f64) -> (ErrorTable, usize) {
+        let original = small::toy_controller(2).unwrap();
+        let config = TriLockConfig::new(2, 1)
+            .with_alpha(alpha)
+            .with_output_error_targets(2)
+            .with_state_error_targets(2);
+        let mut rng = StdRng::seed_from_u64(42);
+        let locked = encrypt(&original, &config, &mut rng).unwrap();
+        let table = error_table(&original, &locked, 2).unwrap();
+        (table, original.num_inputs())
+    }
+
+    #[test]
+    fn correct_key_column_is_error_free() {
+        let original = small::toy_controller(2).unwrap();
+        let config = TriLockConfig::new(2, 1).with_alpha(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let locked = encrypt(&original, &config, &mut rng).unwrap();
+        let table = error_table(&original, &locked, 2).unwrap();
+        let correct = stimulus::value_from_sequence(locked.key.cycles());
+        for input_value in 0..table.num_inputs() as u64 {
+            assert_eq!(table.entry(input_value, correct), ErrorKind::None);
+        }
+    }
+
+    #[test]
+    fn fc_matches_the_analytic_upper_bound_for_alpha_one() {
+        let (table, width) = build_tables(1.0);
+        // With α = 1 the FC approaches 1 − 2^{-κf·|I|} (Eq. 12); the exact
+        // exhaustive value may exceed the estimate slightly because ES errors
+        // also count, or fall below it because the correct key column and the
+        // decoy-suffix keys are error-free.
+        let expected = analytic::fc_max(width, 1);
+        assert!(
+            (table.fc() - expected).abs() < 0.1,
+            "fc {} vs expected {expected}",
+            table.fc()
+        );
+    }
+
+    #[test]
+    fn fc_scales_with_alpha() {
+        let (low, _) = build_tables(0.3);
+        let (high, _) = build_tables(0.9);
+        assert!(low.fc() < high.fc());
+    }
+
+    #[test]
+    fn table_shape_matches_the_enumerated_spaces() {
+        let (table, width) = build_tables(0.6);
+        assert_eq!(table.num_keys(), 1 << (table.kappa * width));
+        assert_eq!(table.num_inputs(), 1 << (table.cycles * width));
+        let art = table.render();
+        assert_eq!(art.lines().count(), table.num_inputs());
+    }
+
+    #[test]
+    fn point_function_errors_sit_on_matching_prefixes() {
+        let (table, width) = build_tables(0.6);
+        for input_value in 0..table.num_inputs() as u64 {
+            for key_value in 0..table.num_keys() as u64 {
+                if table.entry(input_value, key_value) == ErrorKind::PointFunction {
+                    let key = stimulus::sequence_from_value(key_value, width, table.kappa);
+                    let inputs = stimulus::sequence_from_value(input_value, width, table.cycles);
+                    assert!(prefix_matches(&key, &inputs, 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_spaces_are_refused() {
+        let original = small::s27();
+        let config = TriLockConfig::new(2, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let locked = encrypt(&original, &config, &mut rng).unwrap();
+        // 4 inputs * (3 key cycles + 4 cycles) = 28 bits > 22.
+        assert!(error_table(&original, &locked, 4).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Key sequences.
+
+use std::fmt;
+
+use rand::Rng;
+
+/// A key *sequence*: one pattern of primary-input bits per key-loading cycle.
+///
+/// TriLock keys are applied through the primary inputs during the first
+/// `κ = κs + κf` clock cycles after reset (paper Section II-A), so a key is a
+/// `κ × |I|` bit matrix rather than a flat vector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KeySequence {
+    cycles: Vec<Vec<bool>>,
+}
+
+impl KeySequence {
+    /// Builds a key sequence from per-cycle bit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycles do not all have the same width.
+    pub fn from_cycles(cycles: Vec<Vec<bool>>) -> Self {
+        if let Some(first) = cycles.first() {
+            assert!(
+                cycles.iter().all(|c| c.len() == first.len()),
+                "all key cycles must have the same width"
+            );
+        }
+        KeySequence { cycles }
+    }
+
+    /// Draws a uniformly random key sequence of `cycles` cycles over `width`
+    /// input bits.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, width: usize, cycles: usize) -> Self {
+        KeySequence {
+            cycles: (0..cycles)
+                .map(|_| (0..width).map(|_| rng.gen_bool(0.5)).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of key cycles (`κ`).
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// `true` when the key has no cycles.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Width of each cycle (the circuit's `|I|`).
+    pub fn width(&self) -> usize {
+        self.cycles.first().map_or(0, Vec::len)
+    }
+
+    /// The per-cycle patterns, in application order.
+    pub fn cycles(&self) -> &[Vec<bool>] {
+        &self.cycles
+    }
+
+    /// Bits of cycle `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn cycle(&self, t: usize) -> &[bool] {
+        &self.cycles[t]
+    }
+
+    /// Flattens the key into a single LSB-first bit vector (cycle 0 first).
+    pub fn flatten(&self) -> Vec<bool> {
+        self.cycles.iter().flatten().copied().collect()
+    }
+
+    /// The last `suffix_cycles` cycles of the key — the `κf`-suffix the EF
+    /// mechanism compares against `k**`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `suffix_cycles` exceeds the key length.
+    pub fn suffix(&self, suffix_cycles: usize) -> Vec<Vec<bool>> {
+        assert!(suffix_cycles <= self.cycles.len(), "suffix longer than key");
+        self.cycles[self.cycles.len() - suffix_cycles..].to_vec()
+    }
+
+    /// Returns a copy with one bit flipped, which is always a *wrong* key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is empty.
+    pub fn with_flipped_bit(&self, cycle: usize, bit: usize) -> Self {
+        let mut cycles = self.cycles.clone();
+        let c = cycle % cycles.len();
+        let b = bit % cycles[c].len();
+        cycles[c][b] = !cycles[c][b];
+        KeySequence { cycles }
+    }
+}
+
+impl fmt::Display for KeySequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, cycle) in self.cycles.iter().enumerate() {
+            if t > 0 {
+                write!(f, "|")?;
+            }
+            for &bit in cycle {
+                write!(f, "{}", u8::from(bit))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_accessors() {
+        let k = KeySequence::from_cycles(vec![vec![true, false], vec![false, false]]);
+        assert_eq!(k.len(), 2);
+        assert_eq!(k.width(), 2);
+        assert!(!k.is_empty());
+        assert_eq!(k.cycle(0), &[true, false]);
+        assert_eq!(k.flatten(), vec![true, false, false, false]);
+        assert_eq!(k.suffix(1), vec![vec![false, false]]);
+        assert_eq!(k.to_string(), "10|00");
+    }
+
+    #[test]
+    fn random_keys_are_reproducible() {
+        let a = KeySequence::random(&mut StdRng::seed_from_u64(9), 4, 3);
+        let b = KeySequence::random(&mut StdRng::seed_from_u64(9), 4, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.width(), 4);
+    }
+
+    #[test]
+    fn flipped_bit_differs() {
+        let k = KeySequence::random(&mut StdRng::seed_from_u64(1), 3, 2);
+        let w = k.with_flipped_bit(1, 2);
+        assert_ne!(k, w);
+        assert_eq!(k.len(), w.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "same width")]
+    fn ragged_cycles_panic() {
+        KeySequence::from_cycles(vec![vec![true], vec![true, false]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "suffix longer")]
+    fn oversized_suffix_panics() {
+        let k = KeySequence::from_cycles(vec![vec![true]]);
+        let _ = k.suffix(2);
+    }
+}

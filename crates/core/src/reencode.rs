@@ -1,0 +1,265 @@
+//! State re-encoding (paper Section III-C, Algorithm 1 and Fig. 5).
+//!
+//! Re-encoding selects pairs of registers — one from the largest O-SCC, one
+//! from the largest E-SCC of the register connection graph — and replaces each
+//! pair by a small block of *encoded* registers placed between an encoder
+//! (driven by the pair's next-state nets `s1`, `s2`) and a decoder (driving
+//! the pair's former outputs `s1'`, `s2'`). The encoder/decoder satisfies the
+//! fixed-point condition `dec(enc(a)) = a` and creates the looped signal path
+//! of Eq. 17, so the two SCCs merge into a single M-SCC that a structural
+//! removal attack can no longer split.
+//!
+//! The gate-level realization of the paper's sum/difference arithmetic coding
+//! for a 1-bit register pair stores four encoded bits:
+//!
+//! ```text
+//! enc:  p  = s1 ⊕ s2         (sum parity)
+//!       c  = s1 ∧ s2         (sum carry)
+//!       p' = s1 ⊕ s2         (difference parity)
+//!       w  = ¬s1 ∧ s2        (difference borrow)
+//! dec:  s1' = c ∨ (p  ∧ ¬w)
+//!       s2' = c ∨ (p' ∧  w)
+//! ```
+//!
+//! which is the identity on `(s1, s2)` (verified by unit and property tests)
+//! while every decoded bit depends on encoded bits computed from *both*
+//! original next-state nets.
+
+use netlist::{DffId, GateKind, NetId, Netlist, NetlistError, RegClass};
+use stg::{classify_sccs, RegisterGraph, SccClass};
+
+use crate::LockError;
+
+/// Outcome of the re-encoding pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReencodeReport {
+    /// The re-encoded register pairs, as `(original register, extra register)`
+    /// net names of the pair's `Q` outputs.
+    pub pairs: Vec<(String, String)>,
+    /// Number of encoded registers added (4 per pair).
+    pub added_registers: usize,
+    /// Number of registers removed (2 per pair).
+    pub removed_registers: usize,
+}
+
+impl ReencodeReport {
+    /// Number of pairs actually re-encoded (may be less than requested when
+    /// the graph runs out of O-/E-SCCs).
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+/// Applies Algorithm 1: iteratively selects up to `pairs` register pairs and
+/// re-encodes them in place.
+///
+/// # Errors
+///
+/// Returns [`LockError::Netlist`] if a structural edit fails (indicative of an
+/// internal bug rather than a user error).
+pub fn reencode(netlist: &mut Netlist, pairs: usize) -> Result<ReencodeReport, LockError> {
+    let mut report = ReencodeReport {
+        pairs: Vec::new(),
+        added_registers: 0,
+        removed_registers: 0,
+    };
+    for _ in 0..pairs {
+        let graph = RegisterGraph::build(netlist);
+        let sccs = classify_sccs(&graph);
+        let largest_o = sccs.largest_of(SccClass::Original);
+        let largest_e = sccs.largest_of(SccClass::Extra);
+        let largest_m = sccs.largest_of(SccClass::Mixed);
+
+        let (scc1, scc2) = match (largest_o, largest_e) {
+            (Some(o), Some(e)) => (o, e),
+            (Some(o), None) => match largest_m {
+                Some(m) => (o, m),
+                None => break,
+            },
+            (None, Some(e)) => match largest_m {
+                Some(m) => (m, e),
+                None => break,
+            },
+            (None, None) => break,
+        };
+
+        let r1 = max_degree_node(&graph, &scc1.nodes);
+        let r2 = max_degree_node(&graph, &scc2.nodes);
+        if r1 == r2 {
+            break;
+        }
+        let name1 = netlist.net_name(netlist.dffs()[r1].q).to_string();
+        let name2 = netlist.net_name(netlist.dffs()[r2].q).to_string();
+        reencode_pair(netlist, r1, r2)?;
+        report.pairs.push((name1, name2));
+        report.added_registers += 4;
+        report.removed_registers += 2;
+    }
+    netlist.validate().map_err(LockError::Netlist)?;
+    Ok(report)
+}
+
+fn max_degree_node(graph: &RegisterGraph, nodes: &[usize]) -> usize {
+    *nodes
+        .iter()
+        .max_by_key(|&&n| graph.degree(n))
+        .expect("SCCs are never empty")
+}
+
+/// Re-encodes one register pair (given by flip-flop indices) in place.
+fn reencode_pair(netlist: &mut Netlist, r1: usize, r2: usize) -> Result<(), NetlistError> {
+    let dff1 = netlist.dffs()[r1].clone();
+    let dff2 = netlist.dffs()[r2].clone();
+    let s1 = dff1.d.expect("validated netlist has bound flip-flops");
+    let s2 = dff2.d.expect("validated netlist has bound flip-flops");
+    let q1 = dff1.q;
+    let q2 = dff2.q;
+
+    // Encoder: four encoded next-state functions of (s1, s2).
+    let p = add_named(netlist, GateKind::Xor, &[s1, s2], "re_enc_p")?;
+    let c = add_named(netlist, GateKind::And, &[s1, s2], "re_enc_c")?;
+    let p2 = add_named(netlist, GateKind::Xor, &[s1, s2], "re_enc_p2")?;
+    let ns1 = add_named(netlist, GateKind::Not, &[s1], "re_enc_ns1")?;
+    let w = add_named(netlist, GateKind::And, &[ns1, s2], "re_enc_w")?;
+
+    // Encoded registers. Reset values must encode the pair's reset values so
+    // that behaviour is preserved from the very first cycle.
+    let (i1, i2) = (dff1.init, dff2.init);
+    let re_p = declare_encoded(netlist, "re_p", i1 ^ i2)?;
+    let re_c = declare_encoded(netlist, "re_c", i1 && i2)?;
+    let re_p2 = declare_encoded(netlist, "re_p2", i1 ^ i2)?;
+    let re_w = declare_encoded(netlist, "re_w", !i1 && i2)?;
+    netlist.bind_dff(re_p, p)?;
+    netlist.bind_dff(re_c, c)?;
+    netlist.bind_dff(re_p2, p2)?;
+    netlist.bind_dff(re_w, w)?;
+
+    // Decoder: reconstruct the pair's present-state values.
+    let nw = add_named(netlist, GateKind::Not, &[re_w], "re_dec_nw")?;
+    let t1 = add_named(netlist, GateKind::And, &[re_p, nw], "re_dec_t1")?;
+    let s1_dec = add_named(netlist, GateKind::Or, &[re_c, t1], "re_dec_s1")?;
+    let t2 = add_named(netlist, GateKind::And, &[re_p2, re_w], "re_dec_t2")?;
+    let s2_dec = add_named(netlist, GateKind::Or, &[re_c, t2], "re_dec_s2")?;
+
+    // Remove the original pair (higher index first so the other id stays
+    // valid), then drive their former Q nets from the decoder.
+    let (first, second) = if r1 > r2 { (r1, r2) } else { (r2, r1) };
+    netlist.remove_dff(DffId::from_index(first));
+    // After a swap-remove the second index is still valid because it is
+    // strictly smaller than the removed (larger) index.
+    netlist.remove_dff(DffId::from_index(second));
+    netlist.add_gate_driving(GateKind::Buf, &[s1_dec], q1)?;
+    netlist.add_gate_driving(GateKind::Buf, &[s2_dec], q2)?;
+    Ok(())
+}
+
+fn add_named(
+    netlist: &mut Netlist,
+    kind: GateKind,
+    inputs: &[NetId],
+    prefix: &str,
+) -> Result<NetId, NetlistError> {
+    let name = netlist.fresh_name(prefix);
+    netlist.add_gate(kind, inputs, name)
+}
+
+fn declare_encoded(
+    netlist: &mut Netlist,
+    prefix: &str,
+    init: bool,
+) -> Result<NetId, NetlistError> {
+    let name = netlist.fresh_name(prefix);
+    netlist.declare_dff_with_class(name, init, RegClass::Encoded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{encrypt, TriLockConfig};
+    use benchgen::small;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Re-encoding a locked circuit must not change its behaviour under the
+    /// correct key.
+    #[test]
+    fn reencoding_preserves_function() {
+        let original = small::s27();
+        let config = TriLockConfig::new(2, 1).with_alpha(0.6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut locked = encrypt(&original, &config, &mut rng).unwrap();
+        let report = reencode(&mut locked.netlist, 3).unwrap();
+        assert!(report.num_pairs() >= 1);
+        let mut check = StdRng::seed_from_u64(5);
+        let cex = sim::equiv::key_restores_function(
+            &original,
+            &locked.netlist,
+            locked.key.cycles(),
+            10,
+            40,
+            &mut check,
+        )
+        .unwrap();
+        assert!(cex.is_none(), "re-encoding changed behaviour: {cex:?}");
+    }
+
+    #[test]
+    fn reencoding_merges_sccs_into_mixed_components() {
+        let original = small::accumulator(6).unwrap();
+        let config = TriLockConfig::new(2, 1).with_alpha(0.6);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut locked = encrypt(&original, &config, &mut rng).unwrap();
+
+        let before = classify_sccs(&RegisterGraph::build(&locked.netlist));
+        let report = reencode(&mut locked.netlist, 5).unwrap();
+        let after = classify_sccs(&RegisterGraph::build(&locked.netlist));
+
+        assert!(report.num_pairs() >= 1);
+        assert!(after.num_mixed >= 1, "expected at least one M-SCC");
+        assert!(
+            after.percent_in_mixed > before.percent_in_mixed,
+            "P_M must increase: {} -> {}",
+            before.percent_in_mixed,
+            after.percent_in_mixed
+        );
+    }
+
+    #[test]
+    fn pair_count_is_bounded_by_request() {
+        let original = small::accumulator(4).unwrap();
+        let config = TriLockConfig::new(1, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut locked = encrypt(&original, &config, &mut rng).unwrap();
+        let report = reencode(&mut locked.netlist, 2).unwrap();
+        assert!(report.num_pairs() <= 2);
+        assert_eq!(report.added_registers, 4 * report.num_pairs());
+        assert_eq!(report.removed_registers, 2 * report.num_pairs());
+    }
+
+    #[test]
+    fn reencode_on_unlocked_circuit_is_a_no_op_or_safe() {
+        // Without locking registers there is no E-SCC and no M-SCC, so the
+        // algorithm stops immediately.
+        let mut nl = small::accumulator(3).unwrap();
+        let report = reencode(&mut nl, 4).unwrap();
+        assert_eq!(report.num_pairs(), 0);
+        nl.validate().unwrap();
+    }
+
+    /// Exhaustive check of the encoder/decoder fixed-point condition
+    /// dec(enc(a)) = a for all four values of a 1-bit register pair.
+    #[test]
+    fn encoder_decoder_fixed_point() {
+        for s1 in [false, true] {
+            for s2 in [false, true] {
+                let p = s1 ^ s2;
+                let c = s1 && s2;
+                let w = !s1 && s2;
+                let s1_dec = c || (p && !w);
+                let s2_dec = c || (p && w);
+                assert_eq!(s1_dec, s1, "s1 mismatch for ({s1},{s2})");
+                assert_eq!(s2_dec, s2, "s2 mismatch for ({s1},{s2})");
+            }
+        }
+    }
+}

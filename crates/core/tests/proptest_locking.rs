@@ -1,0 +1,100 @@
+//! Property-based tests of the locking flow: for randomly drawn
+//! configurations and circuits, the correct key always restores the original
+//! function, the interface never changes, and the inserted register budget
+//! matches the architecture description.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use benchgen::small;
+use trilock::{encrypt, reencode, TriLockConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Locking with any valid configuration preserves behaviour under the
+    /// correct key and keeps the primary interface unchanged.
+    #[test]
+    fn correct_key_restores_function_for_random_configs(
+        kappa_s in 1usize..=2,
+        kappa_f in 0usize..=2,
+        alpha_milli in 0u32..=1000,
+        width in 2usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let alpha = f64::from(alpha_milli) / 1000.0;
+        let original = small::accumulator(width).expect("builds");
+        let config = TriLockConfig::new(kappa_s, kappa_f).with_alpha(alpha);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let locked = encrypt(&original, &config, &mut rng).expect("locking succeeds");
+
+        prop_assert_eq!(locked.netlist.num_inputs(), original.num_inputs());
+        prop_assert_eq!(locked.netlist.num_outputs(), original.num_outputs());
+        prop_assert_eq!(locked.key.len(), kappa_s + kappa_f);
+        prop_assert_eq!(locked.key.width(), original.num_inputs());
+
+        let mut check_rng = StdRng::seed_from_u64(seed ^ 0xc4ec);
+        let cex = sim::equiv::key_restores_function(
+            &original,
+            &locked.netlist,
+            locked.key.cycles(),
+            8,
+            12,
+            &mut check_rng,
+        )
+        .expect("equivalence check runs");
+        prop_assert!(cex.is_none(), "correct key failed: {:?}", cex);
+    }
+
+    /// The inserted register count follows the architecture: a phase counter,
+    /// three control flops and one capture register per key cycle and input.
+    #[test]
+    fn register_budget_matches_architecture(
+        kappa_s in 1usize..=3,
+        kappa_f in 0usize..=2,
+        width in 2usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let original = small::accumulator(width).expect("builds");
+        let config = TriLockConfig::new(kappa_s, kappa_f).with_alpha(0.6);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let locked = encrypt(&original, &config, &mut rng).expect("locking succeeds");
+        let width = original.num_inputs();
+        let counter_bits = locked.summary.counter_bits;
+        let capture = if kappa_f > 0 {
+            (kappa_s + kappa_f) * width
+        } else {
+            kappa_s * width
+        };
+        prop_assert_eq!(locked.summary.added_dffs, counter_bits + 3 + capture);
+    }
+
+    /// Re-encoding any number of pairs never breaks validation or behaviour.
+    #[test]
+    fn reencoding_is_always_safe(
+        pairs in 0usize..=6,
+        width in 3usize..=5,
+        seed in any::<u64>(),
+    ) {
+        let original = small::accumulator(width).expect("builds");
+        let config = TriLockConfig::new(1, 1).with_alpha(0.5);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut locked = encrypt(&original, &config, &mut rng).expect("locking succeeds");
+        let report = reencode(&mut locked.netlist, pairs).expect("re-encoding succeeds");
+        prop_assert!(report.num_pairs() <= pairs);
+        locked.netlist.validate().expect("still valid");
+
+        let mut check_rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        let cex = sim::equiv::key_restores_function(
+            &original,
+            &locked.netlist,
+            locked.key.cycles(),
+            6,
+            10,
+            &mut check_rng,
+        )
+        .expect("equivalence check runs");
+        prop_assert!(cex.is_none(), "re-encoded circuit diverged: {:?}", cex);
+    }
+}

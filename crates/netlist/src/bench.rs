@@ -1,0 +1,328 @@
+//! Reader and writer for the ISCAS'89 `.bench` netlist format.
+//!
+//! The format is line oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = DFF(G14)
+//! G11 = NOT(G5)
+//! G16 = AND(G3, G8)
+//! ```
+//!
+//! Flip-flops reset to 0 unless the extension directive
+//! `# init <net> 1` precedes them, which this implementation emits and
+//! understands so that round-trips preserve reset values.
+
+use std::collections::HashMap;
+
+use crate::gate::GateKind;
+use crate::model::{Netlist, RegClass};
+use crate::NetlistError;
+
+/// Parses a `.bench` description into a [`Netlist`].
+///
+/// The resulting netlist is validated before being returned.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines and the usual
+/// construction errors (duplicate definitions, unknown nets, cycles).
+pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
+    let mut netlist = Netlist::new("bench");
+    let mut init_overrides: HashMap<String, bool> = HashMap::new();
+
+    #[derive(Debug)]
+    enum Stmt {
+        Input(String),
+        Output(String),
+        Dff { q: String, d: String },
+        Gate { out: String, kind: GateKind, args: Vec<String> },
+    }
+
+    let mut stmts: Vec<(usize, Stmt)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(spec) = rest.strip_prefix("init ") {
+                let mut parts = spec.split_whitespace();
+                let net = parts.next().unwrap_or_default().to_string();
+                let value = parts.next().unwrap_or("0") == "1";
+                init_overrides.insert(net, value);
+            } else if let Some(name) = rest.strip_prefix("name ") {
+                netlist.set_name(name.trim().to_string());
+            }
+            continue;
+        }
+        if let Some(arg) = parse_directive(line, "INPUT") {
+            stmts.push((lineno, Stmt::Input(arg)));
+            continue;
+        }
+        if let Some(arg) = parse_directive(line, "OUTPUT") {
+            stmts.push((lineno, Stmt::Output(arg)));
+            continue;
+        }
+        // Assignment: out = KIND(a, b, ...)
+        let (out, rhs) = line.split_once('=').ok_or_else(|| NetlistError::Parse {
+            line: lineno,
+            message: format!("expected `=` in `{line}`"),
+        })?;
+        let out = out.trim().to_string();
+        let rhs = rhs.trim();
+        let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+            line: lineno,
+            message: format!("expected `(` in `{rhs}`"),
+        })?;
+        if !rhs.ends_with(')') {
+            return Err(NetlistError::Parse {
+                line: lineno,
+                message: format!("expected trailing `)` in `{rhs}`"),
+            });
+        }
+        let kind_str = rhs[..open].trim();
+        let args_str = &rhs[open + 1..rhs.len() - 1];
+        let args: Vec<String> = args_str
+            .split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+        if kind_str.eq_ignore_ascii_case("DFF") {
+            if args.len() != 1 {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    message: format!("DFF takes exactly one argument, got {}", args.len()),
+                });
+            }
+            stmts.push((
+                lineno,
+                Stmt::Dff {
+                    q: out,
+                    d: args[0].clone(),
+                },
+            ));
+        } else {
+            let kind = GateKind::from_mnemonic(kind_str).ok_or_else(|| NetlistError::Parse {
+                line: lineno,
+                message: format!("unknown gate kind `{kind_str}`"),
+            })?;
+            stmts.push((lineno, Stmt::Gate { out, kind, args }));
+        }
+    }
+
+    // Pass 1: declare all nets (inputs, DFF outputs, gate outputs).
+    for (lineno, stmt) in &stmts {
+        let result = match stmt {
+            Stmt::Input(name) => netlist.try_add_input(name.clone()).map(|_| ()),
+            Stmt::Dff { q, .. } => {
+                let init = init_overrides.get(q).copied().unwrap_or(false);
+                netlist
+                    .declare_dff_with_class(q.clone(), init, RegClass::Original)
+                    .map(|_| ())
+            }
+            Stmt::Gate { out, .. } => netlist.declare_net(out.clone()).map(|_| ()),
+            Stmt::Output(_) => Ok(()),
+        };
+        result.map_err(|e| NetlistError::Parse {
+            line: *lineno,
+            message: e.to_string(),
+        })?;
+    }
+
+    // Pass 2: connect gates, flip-flops and outputs.
+    for (lineno, stmt) in &stmts {
+        let result: Result<(), NetlistError> = match stmt {
+            Stmt::Input(_) => Ok(()),
+            Stmt::Output(name) => {
+                let id = netlist
+                    .net_id(name)
+                    .ok_or_else(|| NetlistError::UnknownNet(name.clone()))?;
+                netlist.mark_output(id)
+            }
+            Stmt::Dff { q, d } => {
+                let q_id = netlist
+                    .net_id(q)
+                    .ok_or_else(|| NetlistError::UnknownNet(q.clone()))?;
+                let d_id = netlist
+                    .net_id(d)
+                    .ok_or_else(|| NetlistError::UnknownNet(d.clone()))?;
+                netlist.bind_dff(q_id, d_id)
+            }
+            Stmt::Gate { out, kind, args } => {
+                let out_id = netlist
+                    .net_id(out)
+                    .ok_or_else(|| NetlistError::UnknownNet(out.clone()))?;
+                let mut inputs = Vec::with_capacity(args.len());
+                for a in args {
+                    inputs.push(
+                        netlist
+                            .net_id(a)
+                            .ok_or_else(|| NetlistError::UnknownNet(a.clone()))?,
+                    );
+                }
+                netlist.add_gate_driving(*kind, &inputs, out_id).map(|_| ())
+            }
+        };
+        result.map_err(|e| match e {
+            NetlistError::Parse { .. } => e,
+            other => NetlistError::Parse {
+                line: *lineno,
+                message: other.to_string(),
+            },
+        })?;
+    }
+
+    netlist.validate()?;
+    Ok(netlist)
+}
+
+fn parse_directive(line: &str, keyword: &str) -> Option<String> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    Some(rest.trim().to_string())
+}
+
+/// Serializes a [`Netlist`] to the `.bench` format.
+///
+/// The output can be re-read by [`parse`]; reset values of 1 and the design
+/// name are preserved through `# init` / `# name` comment directives.
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# name {}\n", netlist.name()));
+    out.push_str(&format!(
+        "# {} inputs, {} outputs, {} flip-flops, {} gates\n",
+        netlist.num_inputs(),
+        netlist.num_outputs(),
+        netlist.num_dffs(),
+        netlist.num_gates()
+    ));
+    for dff in netlist.dffs() {
+        if dff.init {
+            out.push_str(&format!("# init {} 1\n", netlist.net_name(dff.q)));
+        }
+    }
+    for &input in netlist.inputs() {
+        out.push_str(&format!("INPUT({})\n", netlist.net_name(input)));
+    }
+    for &output in netlist.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", netlist.net_name(output)));
+    }
+    for dff in netlist.dffs() {
+        let d = dff.d.expect("serializing an unbound flip-flop");
+        out.push_str(&format!(
+            "{} = DFF({})\n",
+            netlist.net_name(dff.q),
+            netlist.net_name(d)
+        ));
+    }
+    for gate in netlist.gates() {
+        let args: Vec<&str> = gate.inputs.iter().map(|&n| netlist.net_name(n)).collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            netlist.net_name(gate.output),
+            gate.kind.mnemonic(),
+            args.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S27_LIKE: &str = "\
+# name s27demo
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+";
+
+    #[test]
+    fn parse_s27_like_circuit() {
+        let nl = parse(S27_LIKE).unwrap();
+        assert_eq!(nl.name(), "s27demo");
+        assert_eq!(nl.num_inputs(), 4);
+        assert_eq!(nl.num_outputs(), 1);
+        assert_eq!(nl.num_dffs(), 3);
+        assert_eq!(nl.num_gates(), 10);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let nl = parse(S27_LIKE).unwrap();
+        let text = write(&nl);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed.name(), nl.name());
+        assert_eq!(reparsed.num_inputs(), nl.num_inputs());
+        assert_eq!(reparsed.num_outputs(), nl.num_outputs());
+        assert_eq!(reparsed.num_dffs(), nl.num_dffs());
+        assert_eq!(reparsed.num_gates(), nl.num_gates());
+    }
+
+    #[test]
+    fn init_directive_round_trips() {
+        let text = "# init q 1\nINPUT(a)\nOUTPUT(q)\nq = DFF(a)\n";
+        let nl = parse(text).unwrap();
+        assert!(nl.dffs()[0].init);
+        let rewritten = write(&nl);
+        let nl2 = parse(&rewritten).unwrap();
+        assert!(nl2.dffs()[0].init);
+    }
+
+    #[test]
+    fn missing_equals_is_a_parse_error() {
+        let err = parse("INPUT(a)\nfoo AND(a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_gate_kind_is_reported() {
+        let err = parse("INPUT(a)\nx = FROB(a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn reference_to_undefined_net_is_reported() {
+        let err = parse("INPUT(a)\nOUTPUT(x)\nx = AND(a, ghost)\n").unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::Parse { .. } | NetlistError::UnknownNet(_)
+        ));
+    }
+
+    #[test]
+    fn dff_with_two_args_is_rejected() {
+        let err = parse("INPUT(a)\nq = DFF(a, a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn buff_alias_is_accepted() {
+        let nl = parse("INPUT(a)\nOUTPUT(b)\nb = BUFF(a)\n").unwrap();
+        assert_eq!(nl.gates()[0].kind, GateKind::Buf);
+    }
+}

@@ -1,0 +1,172 @@
+//! Fan-in / fan-out cone extraction.
+//!
+//! These traversals stop at *sequential boundaries*: primary inputs and
+//! flip-flop `Q` pins terminate a backward traversal, flip-flop `D` pins and
+//! primary outputs terminate a forward traversal. They are the building block
+//! of the register connection graph used by the removal-attack analysis
+//! (paper Section III-C).
+
+use std::collections::HashSet;
+
+use crate::ids::{DffId, NetId};
+use crate::model::{Driver, Netlist};
+
+/// Result of a backward (fan-in) cone traversal from a net.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaninCone {
+    /// Primary inputs reached.
+    pub inputs: Vec<NetId>,
+    /// Flip-flops whose `Q` pin was reached.
+    pub registers: Vec<DffId>,
+    /// All nets visited (including the start net).
+    pub nets: Vec<NetId>,
+}
+
+/// Computes the combinational fan-in cone of `net`: every net with a purely
+/// combinational path to `net`, plus the primary inputs and registers feeding
+/// that cone.
+pub fn fanin_cone(netlist: &Netlist, net: NetId) -> FaninCone {
+    let mut cone = FaninCone::default();
+    let mut seen: HashSet<NetId> = HashSet::new();
+    let mut regs: HashSet<DffId> = HashSet::new();
+    let mut stack = vec![net];
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        cone.nets.push(n);
+        match netlist.driver(n) {
+            Driver::Input => cone.inputs.push(n),
+            Driver::Dff(id) => {
+                if regs.insert(id) {
+                    cone.registers.push(id);
+                }
+            }
+            Driver::Gate(gid) => {
+                for &input in &netlist.gate(gid).inputs {
+                    stack.push(input);
+                }
+            }
+            Driver::None => {}
+        }
+    }
+    cone.inputs.sort_unstable();
+    cone.registers.sort_unstable();
+    cone.nets.sort_unstable();
+    cone
+}
+
+/// Registers that combinationally feed the `D` pin of `target`.
+///
+/// Returns an empty vector if the flip-flop is unbound.
+pub fn register_fanin(netlist: &Netlist, target: DffId) -> Vec<DffId> {
+    match netlist.dff(target).d {
+        Some(d) => fanin_cone(netlist, d).registers,
+        None => Vec::new(),
+    }
+}
+
+/// Computes, for every net, the set of gate-input positions reading it.
+/// Returned as an adjacency list indexed by [`NetId::index`]; each entry holds
+/// the indices of gates that read the net.
+pub fn fanout_map(netlist: &Netlist) -> Vec<Vec<u32>> {
+    let mut map = vec![Vec::new(); netlist.num_nets()];
+    for gid in netlist.gate_ids() {
+        for &input in &netlist.gate(gid).inputs {
+            map[input.index()].push(gid.index() as u32);
+        }
+    }
+    map
+}
+
+/// Counts how many sinks (gate inputs, flip-flop `D` pins, primary outputs)
+/// read each net. Nets with zero fanout are dangling.
+pub fn fanout_counts(netlist: &Netlist) -> Vec<usize> {
+    let mut counts = vec![0usize; netlist.num_nets()];
+    for gate in netlist.gates() {
+        for &input in &gate.inputs {
+            counts[input.index()] += 1;
+        }
+    }
+    for dff in netlist.dffs() {
+        if let Some(d) = dff.d {
+            counts[d.index()] += 1;
+        }
+    }
+    for &out in netlist.outputs() {
+        counts[out.index()] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    /// Two registers, r1 feeds r0 through an AND; an input feeds both.
+    fn fixture() -> Netlist {
+        let mut nl = Netlist::new("fx");
+        let a = nl.add_input("a");
+        let q0 = nl.declare_dff("q0", false).unwrap();
+        let q1 = nl.declare_dff("q1", false).unwrap();
+        let d0 = nl.add_gate(GateKind::And, &[a, q1], "d0").unwrap();
+        let d1 = nl.add_gate(GateKind::Not, &[a], "d1").unwrap();
+        nl.bind_dff(q0, d0).unwrap();
+        nl.bind_dff(q1, d1).unwrap();
+        nl.mark_output(q0).unwrap();
+        nl
+    }
+
+    #[test]
+    fn fanin_cone_stops_at_registers() {
+        let nl = fixture();
+        let d0 = nl.net_id("d0").unwrap();
+        let cone = fanin_cone(&nl, d0);
+        assert_eq!(cone.inputs.len(), 1);
+        assert_eq!(cone.registers.len(), 1);
+        assert_eq!(cone.registers[0], DffId::from_index(1));
+        // The cone must not walk through q1 into d1.
+        assert!(!cone.nets.contains(&nl.net_id("d1").unwrap()));
+    }
+
+    #[test]
+    fn register_fanin_reports_feeding_registers() {
+        let nl = fixture();
+        assert_eq!(
+            register_fanin(&nl, DffId::from_index(0)),
+            vec![DffId::from_index(1)]
+        );
+        assert!(register_fanin(&nl, DffId::from_index(1)).is_empty());
+    }
+
+    #[test]
+    fn fanout_counts_include_outputs_and_dff_d() {
+        let nl = fixture();
+        let counts = fanout_counts(&nl);
+        let a = nl.net_id("a").unwrap();
+        assert_eq!(counts[a.index()], 2); // feeds the AND and the NOT
+        let q0 = nl.net_id("q0").unwrap();
+        assert_eq!(counts[q0.index()], 1); // primary output only
+        let d0 = nl.net_id("d0").unwrap();
+        assert_eq!(counts[d0.index()], 1); // D pin of q0
+    }
+
+    #[test]
+    fn fanout_map_lists_reading_gates() {
+        let nl = fixture();
+        let map = fanout_map(&nl);
+        let a = nl.net_id("a").unwrap();
+        assert_eq!(map[a.index()].len(), 2);
+    }
+
+    #[test]
+    fn cone_of_input_is_trivial() {
+        let nl = fixture();
+        let a = nl.net_id("a").unwrap();
+        let cone = fanin_cone(&nl, a);
+        assert_eq!(cone.inputs, vec![a]);
+        assert!(cone.registers.is_empty());
+        assert_eq!(cone.nets, vec![a]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type shared by all netlist operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building, validating, parsing or transforming a
+/// netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net name was declared twice.
+    DuplicateNet(String),
+    /// A referenced net name does not exist.
+    UnknownNet(String),
+    /// A net identifier does not belong to the netlist.
+    InvalidNetId(usize),
+    /// A net has more than one driver.
+    MultipleDrivers(String),
+    /// A net that must be driven has no driver.
+    Undriven(String),
+    /// The gate kind received the wrong number of inputs.
+    BadArity {
+        /// Gate kind that was being constructed.
+        kind: &'static str,
+        /// Number of inputs supplied.
+        got: usize,
+        /// Human-readable description of the expected arity.
+        expected: &'static str,
+    },
+    /// A flip-flop was bound twice or the target is not a flip-flop output.
+    BadDffBinding(String),
+    /// The combinational portion of the netlist contains a cycle through the
+    /// named net.
+    CombinationalCycle(String),
+    /// A `.bench` file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A transformation received parameters that do not fit the netlist.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateNet(name) => write!(f, "net `{name}` declared twice"),
+            NetlistError::UnknownNet(name) => write!(f, "unknown net `{name}`"),
+            NetlistError::InvalidNetId(idx) => write!(f, "net id {idx} out of range"),
+            NetlistError::MultipleDrivers(name) => {
+                write!(f, "net `{name}` has more than one driver")
+            }
+            NetlistError::Undriven(name) => write!(f, "net `{name}` has no driver"),
+            NetlistError::BadArity {
+                kind,
+                got,
+                expected,
+            } => write!(f, "gate `{kind}` given {got} inputs, expected {expected}"),
+            NetlistError::BadDffBinding(name) => {
+                write!(f, "invalid flip-flop binding for net `{name}`")
+            }
+            NetlistError::CombinationalCycle(name) => {
+                write!(f, "combinational cycle through net `{name}`")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::InvalidParameter(message) => {
+                write!(f, "invalid parameter: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::DuplicateNet("a".into());
+        assert_eq!(e.to_string(), "net `a` declared twice");
+        let e = NetlistError::BadArity {
+            kind: "NOT",
+            got: 2,
+            expected: "exactly 1",
+        };
+        assert!(e.to_string().contains("NOT"));
+        assert!(e.to_string().contains('2'));
+        let e = NetlistError::Parse {
+            line: 4,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<NetlistError>();
+    }
+}

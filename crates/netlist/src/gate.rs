@@ -1,0 +1,275 @@
+//! Combinational gate primitives.
+
+use crate::ids::NetId;
+use crate::NetlistError;
+use std::fmt;
+
+/// The Boolean function computed by a combinational gate.
+///
+/// The set mirrors the primitives of the ISCAS'89 `.bench` format plus the
+/// constants and a 2:1 multiplexer, which is convenient when synthesizing the
+/// locking logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Constant logic 0 (no inputs).
+    Const0,
+    /// Constant logic 1 (no inputs).
+    Const1,
+    /// Identity buffer (1 input).
+    Buf,
+    /// Inverter (1 input).
+    Not,
+    /// Conjunction (2 or more inputs).
+    And,
+    /// Negated conjunction (2 or more inputs).
+    Nand,
+    /// Disjunction (2 or more inputs).
+    Or,
+    /// Negated disjunction (2 or more inputs).
+    Nor,
+    /// Exclusive or (2 or more inputs, parity).
+    Xor,
+    /// Negated exclusive or (2 or more inputs, negated parity).
+    Xnor,
+    /// 2:1 multiplexer; inputs are `[select, if_false, if_true]`.
+    Mux,
+}
+
+impl GateKind {
+    /// All gate kinds, useful for exhaustive tests and histograms.
+    pub const ALL: [GateKind; 11] = [
+        GateKind::Const0,
+        GateKind::Const1,
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Mux,
+    ];
+
+    /// Upper-case mnemonic as used by the `.bench` format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Mux => "MUX",
+        }
+    }
+
+    /// Parses a `.bench` mnemonic (case-insensitive). `BUFF` is accepted as an
+    /// alias of `BUF`, as emitted by some ISCAS distributions.
+    pub fn from_mnemonic(s: &str) -> Option<GateKind> {
+        let upper = s.to_ascii_uppercase();
+        Some(match upper.as_str() {
+            "CONST0" | "GND" => GateKind::Const0,
+            "CONST1" | "VDD" => GateKind::Const1,
+            "BUF" | "BUFF" => GateKind::Buf,
+            "NOT" | "INV" => GateKind::Not,
+            "AND" => GateKind::And,
+            "NAND" => GateKind::Nand,
+            "OR" => GateKind::Or,
+            "NOR" => GateKind::Nor,
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            "MUX" => GateKind::Mux,
+            _ => return None,
+        })
+    }
+
+    /// Checks whether `n` inputs is a legal arity for this gate kind.
+    pub fn arity_ok(self, n: usize) -> bool {
+        match self {
+            GateKind::Const0 | GateKind::Const1 => n == 0,
+            GateKind::Buf | GateKind::Not => n == 1,
+            GateKind::Mux => n == 3,
+            _ => n >= 2,
+        }
+    }
+
+    /// Human-readable description of the expected arity.
+    pub fn arity_description(self) -> &'static str {
+        match self {
+            GateKind::Const0 | GateKind::Const1 => "exactly 0",
+            GateKind::Buf | GateKind::Not => "exactly 1",
+            GateKind::Mux => "exactly 3 (select, if_false, if_true)",
+            _ => "at least 2",
+        }
+    }
+
+    /// Evaluates the gate on concrete Boolean input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs violates [`GateKind::arity_ok`]; callers
+    /// obtain well-formed gates from a validated [`crate::Netlist`] so this is
+    /// an internal-consistency panic rather than a recoverable error.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert!(
+            self.arity_ok(inputs.len()),
+            "gate {self:?} evaluated with {} inputs",
+            inputs.len()
+        );
+        match self {
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Xnor => !inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Mux => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+        }
+    }
+
+    /// Returns `true` for gate kinds whose output is the complement of the
+    /// corresponding positive form (`NAND`, `NOR`, `XNOR`, `NOT`).
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor
+        )
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A combinational gate instance: a [`GateKind`], its input nets and its
+/// single output net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Boolean function computed by the gate.
+    pub kind: GateKind,
+    /// Input nets, in positional order (significant for [`GateKind::Mux`]).
+    pub inputs: Vec<NetId>,
+    /// Output net driven by the gate.
+    pub output: NetId,
+}
+
+impl Gate {
+    /// Creates a gate after checking the arity of `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] if the number of inputs is not legal
+    /// for `kind`.
+    pub fn new(kind: GateKind, inputs: Vec<NetId>, output: NetId) -> Result<Self, NetlistError> {
+        if !kind.arity_ok(inputs.len()) {
+            return Err(NetlistError::BadArity {
+                kind: kind.mnemonic(),
+                got: inputs.len(),
+                expected: kind.arity_description(),
+            });
+        }
+        Ok(Gate {
+            kind,
+            inputs,
+            output,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonic_round_trip() {
+        for kind in GateKind::ALL {
+            assert_eq!(GateKind::from_mnemonic(kind.mnemonic()), Some(kind));
+        }
+        assert_eq!(GateKind::from_mnemonic("buff"), Some(GateKind::Buf));
+        assert_eq!(GateKind::from_mnemonic("inv"), Some(GateKind::Not));
+        assert_eq!(GateKind::from_mnemonic("nope"), None);
+    }
+
+    #[test]
+    fn eval_two_input_truth_tables() {
+        let cases = [
+            (GateKind::And, [false, false, false, true]),
+            (GateKind::Nand, [true, true, true, false]),
+            (GateKind::Or, [false, true, true, true]),
+            (GateKind::Nor, [true, false, false, false]),
+            (GateKind::Xor, [false, true, true, false]),
+            (GateKind::Xnor, [true, false, false, true]),
+        ];
+        for (kind, expect) in cases {
+            let mut idx = 0;
+            for a in [false, true] {
+                for b in [false, true] {
+                    assert_eq!(kind.eval(&[a, b]), expect[idx], "{kind} on ({a},{b})");
+                    idx += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_unary_constants_and_mux() {
+        assert!(!GateKind::Const0.eval(&[]));
+        assert!(GateKind::Const1.eval(&[]));
+        assert!(GateKind::Buf.eval(&[true]));
+        assert!(!GateKind::Not.eval(&[true]));
+        // MUX: select, if_false, if_true
+        assert!(!GateKind::Mux.eval(&[false, false, true]));
+        assert!(GateKind::Mux.eval(&[true, false, true]));
+    }
+
+    #[test]
+    fn eval_multi_input_parity() {
+        assert!(GateKind::Xor.eval(&[true, true, true]));
+        assert!(!GateKind::Xor.eval(&[true, true, true, true]));
+        assert!(!GateKind::Xnor.eval(&[true, true, true]));
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert!(GateKind::Not.arity_ok(1));
+        assert!(!GateKind::Not.arity_ok(2));
+        assert!(GateKind::And.arity_ok(4));
+        assert!(!GateKind::And.arity_ok(1));
+        assert!(GateKind::Mux.arity_ok(3));
+        assert!(GateKind::Const1.arity_ok(0));
+    }
+
+    #[test]
+    fn gate_new_rejects_bad_arity() {
+        let err = Gate::new(
+            GateKind::Not,
+            vec![NetId::from_index(0), NetId::from_index(1)],
+            NetId::from_index(2),
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetlistError::BadArity { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluated with")]
+    fn eval_panics_on_bad_arity() {
+        GateKind::Mux.eval(&[true]);
+    }
+}

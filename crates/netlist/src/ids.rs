@@ -1,0 +1,76 @@
+//! Typed identifiers for nets, gates and flip-flops.
+
+use std::fmt;
+
+/// Identifier of a net (a named signal) inside a [`crate::Netlist`].
+///
+/// Net identifiers are dense indices assigned in creation order; they are only
+/// meaningful for the netlist that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+/// Identifier of a combinational gate inside a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(pub(crate) u32);
+
+/// Identifier of a D flip-flop inside a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DffId(pub(crate) u32);
+
+macro_rules! impl_id {
+    ($ty:ident, $prefix:literal) => {
+        impl $ty {
+            /// Returns the dense index behind this identifier.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an identifier from a dense index.
+            ///
+            /// This is intended for callers that store ids in parallel arrays
+            /// (e.g. graph algorithms); it does not check that the index is
+            /// valid for any particular netlist.
+            pub fn from_index(index: usize) -> Self {
+                Self(index as u32)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_id!(NetId, "n");
+impl_id!(GateId, "g");
+impl_id!(DffId, "ff");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let n = NetId::from_index(42);
+        assert_eq!(n.index(), 42);
+        let g = GateId::from_index(7);
+        assert_eq!(g.index(), 7);
+        let d = DffId::from_index(0);
+        assert_eq!(d.index(), 0);
+    }
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(NetId::from_index(3).to_string(), "n3");
+        assert_eq!(GateId::from_index(3).to_string(), "g3");
+        assert_eq!(DffId::from_index(3).to_string(), "ff3");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NetId::from_index(1) < NetId::from_index(2));
+        assert!(DffId::from_index(0) < DffId::from_index(10));
+    }
+}

@@ -1,0 +1,54 @@
+//! Gate-level sequential netlist infrastructure.
+//!
+//! This crate provides the data model every other crate in the TriLock
+//! reproduction builds on:
+//!
+//! * [`Netlist`] — a sequential gate-level circuit: primary inputs/outputs,
+//!   combinational gates and D flip-flops.
+//! * [`bench`] — parser and writer for the ISCAS'89 `.bench` format.
+//! * [`words`] — word-level synthesis helpers (comparators, counters,
+//!   reduction trees) used by the locking flow and the benchmark generator.
+//! * [`topo`] / [`cone`] — structural analysis: topological ordering,
+//!   levelization and fan-in cone extraction.
+//! * [`unroll`] — time-frame expansion of a sequential circuit into a
+//!   combinational one, the substrate of SAT-based sequential attacks.
+//! * [`stats`] — gate histograms and interface statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::{Netlist, GateKind};
+//!
+//! # fn main() -> Result<(), netlist::NetlistError> {
+//! let mut nl = Netlist::new("toggle");
+//! let en = nl.add_input("en");
+//! let q = nl.declare_dff("state", false)?;
+//! let next = nl.add_gate(GateKind::Xor, &[en, q], "next")?;
+//! nl.bind_dff(q, next)?;
+//! nl.mark_output(q)?;
+//! nl.validate()?;
+//! assert_eq!(nl.num_dffs(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod gate;
+mod ids;
+mod model;
+
+pub mod bench;
+pub mod cone;
+pub mod stats;
+pub mod topo;
+pub mod transform;
+pub mod unroll;
+pub mod words;
+
+pub use error::NetlistError;
+pub use gate::{Gate, GateKind};
+pub use ids::{DffId, GateId, NetId};
+pub use model::{Dff, Driver, Netlist, RegClass};

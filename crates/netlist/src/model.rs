@@ -1,0 +1,701 @@
+//! The [`Netlist`] data model.
+
+use std::collections::HashMap;
+
+use crate::gate::{Gate, GateKind};
+use crate::ids::{DffId, GateId, NetId};
+use crate::NetlistError;
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// The net has not been connected to a driver yet.
+    None,
+    /// The net is a primary input.
+    Input,
+    /// The net is the output of a combinational gate.
+    Gate(GateId),
+    /// The net is the `Q` output of a flip-flop.
+    Dff(DffId),
+}
+
+/// Provenance of a state register, used as ground truth by the removal-attack
+/// evaluation (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RegClass {
+    /// Register present in the original (pre-locking) design.
+    #[default]
+    Original,
+    /// Register inserted by the locking scheme (error generator, counters…).
+    Locking,
+    /// Register produced by state re-encoding; it carries a mix of original
+    /// and locking state and is therefore not attributable to either side.
+    Encoded,
+}
+
+/// A D flip-flop. Reset is implicit: on reset the register holds `init`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dff {
+    /// Next-state (D) net; `None` until [`Netlist::bind_dff`] is called.
+    pub d: Option<NetId>,
+    /// Present-state (Q) net.
+    pub q: NetId,
+    /// Reset value.
+    pub init: bool,
+    /// Provenance tag.
+    pub class: RegClass,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct NetInfo {
+    name: String,
+    driver: Driver,
+}
+
+/// A sequential gate-level circuit.
+///
+/// A netlist owns a set of named nets; each net is driven by exactly one of a
+/// primary input, a combinational gate or a flip-flop `Q` pin. Construction is
+/// incremental and cheap; [`Netlist::validate`] performs the global checks
+/// (every used net driven, flip-flops bound, no combinational cycles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<NetInfo>,
+    by_name: HashMap<String, NetId>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    gates: Vec<Gate>,
+    dffs: Vec<Dff>,
+    fresh_counter: u64,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            nets: Vec::new(),
+            by_name: HashMap::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            gates: Vec::new(),
+            dffs: Vec::new(),
+            fresh_counter: 0,
+        }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the design.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    // ------------------------------------------------------------------
+    // Net management
+    // ------------------------------------------------------------------
+
+    fn insert_net(&mut self, name: String, driver: Driver) -> Result<NetId, NetlistError> {
+        if self.by_name.contains_key(&name) {
+            return Err(NetlistError::DuplicateNet(name));
+        }
+        let id = NetId(self.nets.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.nets.push(NetInfo { name, driver });
+        Ok(id)
+    }
+
+    /// Declares a net with no driver yet. Useful when a signal must be
+    /// referenced before its producer is created (e.g. feedback loops).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateNet`] if the name already exists.
+    pub fn declare_net(&mut self, name: impl Into<String>) -> Result<NetId, NetlistError> {
+        self.insert_net(name.into(), Driver::None)
+    }
+
+    /// Adds a primary input and returns its net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name already exists; inputs are normally created first,
+    /// from unique names.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self
+            .insert_net(name.into(), Driver::Input)
+            .expect("duplicate primary input name");
+        self.inputs.push(id);
+        id
+    }
+
+    /// Fallible variant of [`Netlist::add_input`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateNet`] if the name already exists.
+    pub fn try_add_input(&mut self, name: impl Into<String>) -> Result<NetId, NetlistError> {
+        let id = self.insert_net(name.into(), Driver::Input)?;
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Marks an existing net as a primary output. A net may be listed as an
+    /// output only once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidNetId`] for a foreign id and
+    /// [`NetlistError::DuplicateNet`] if the net is already an output.
+    pub fn mark_output(&mut self, net: NetId) -> Result<(), NetlistError> {
+        self.check_net(net)?;
+        if self.outputs.contains(&net) {
+            return Err(NetlistError::DuplicateNet(self.net_name(net).to_string()));
+        }
+        self.outputs.push(net);
+        Ok(())
+    }
+
+    /// Replaces the `index`-th primary output with `net` (used by the locking
+    /// flow when inserting output error handlers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidParameter`] if `index` is out of range
+    /// or [`NetlistError::InvalidNetId`] for a foreign net id.
+    pub fn replace_output(&mut self, index: usize, net: NetId) -> Result<(), NetlistError> {
+        self.check_net(net)?;
+        if index >= self.outputs.len() {
+            return Err(NetlistError::InvalidParameter(format!(
+                "output index {index} out of range ({} outputs)",
+                self.outputs.len()
+            )));
+        }
+        self.outputs[index] = net;
+        Ok(())
+    }
+
+    fn check_net(&self, net: NetId) -> Result<(), NetlistError> {
+        if net.index() >= self.nets.len() {
+            return Err(NetlistError::InvalidNetId(net.index()));
+        }
+        Ok(())
+    }
+
+    /// Looks a net up by name.
+    pub fn net_id(&self, name: &str) -> Option<NetId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not belong to this netlist.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.nets[net.index()].name
+    }
+
+    /// Driver of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not belong to this netlist.
+    pub fn driver(&self, net: NetId) -> Driver {
+        self.nets[net.index()].driver
+    }
+
+    /// Generates a fresh, unique net name with the given prefix.
+    pub fn fresh_name(&mut self, prefix: &str) -> String {
+        loop {
+            let candidate = format!("{prefix}__{}", self.fresh_counter);
+            self.fresh_counter += 1;
+            if !self.by_name.contains_key(&candidate) {
+                return candidate;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Gates
+    // ------------------------------------------------------------------
+
+    /// Adds a gate whose output is a newly created net named `out_name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] for an illegal input count or
+    /// [`NetlistError::DuplicateNet`] if `out_name` already exists.
+    pub fn add_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        out_name: impl Into<String>,
+    ) -> Result<NetId, NetlistError> {
+        for &i in inputs {
+            self.check_net(i)?;
+        }
+        if !kind.arity_ok(inputs.len()) {
+            return Err(NetlistError::BadArity {
+                kind: kind.mnemonic(),
+                got: inputs.len(),
+                expected: kind.arity_description(),
+            });
+        }
+        let gate_id = GateId(self.gates.len() as u32);
+        let out = self.insert_net(out_name.into(), Driver::Gate(gate_id))?;
+        let gate = Gate::new(kind, inputs.to_vec(), out)?;
+        self.gates.push(gate);
+        Ok(out)
+    }
+
+    /// Adds a gate with an auto-generated output net name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] for an illegal input count.
+    pub fn add_gate_auto(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+    ) -> Result<NetId, NetlistError> {
+        let name = self.fresh_name(&format!("w_{}", kind.mnemonic().to_ascii_lowercase()));
+        self.add_gate(kind, inputs, name)
+    }
+
+    /// Adds a gate driving an already-declared, currently undriven net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MultipleDrivers`] if the target net already has
+    /// a driver, or [`NetlistError::BadArity`] for an illegal input count.
+    pub fn add_gate_driving(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<GateId, NetlistError> {
+        self.check_net(output)?;
+        for &i in inputs {
+            self.check_net(i)?;
+        }
+        if self.nets[output.index()].driver != Driver::None {
+            return Err(NetlistError::MultipleDrivers(
+                self.net_name(output).to_string(),
+            ));
+        }
+        let gate_id = GateId(self.gates.len() as u32);
+        let gate = Gate::new(kind, inputs.to_vec(), output)?;
+        self.nets[output.index()].driver = Driver::Gate(gate_id);
+        self.gates.push(gate);
+        Ok(gate_id)
+    }
+
+    // ------------------------------------------------------------------
+    // Flip-flops
+    // ------------------------------------------------------------------
+
+    /// Declares a flip-flop: creates its `Q` net (named `q_name`) and records
+    /// the reset value. The `D` pin is connected later with
+    /// [`Netlist::bind_dff`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateNet`] if `q_name` already exists.
+    pub fn declare_dff(
+        &mut self,
+        q_name: impl Into<String>,
+        init: bool,
+    ) -> Result<NetId, NetlistError> {
+        self.declare_dff_with_class(q_name, init, RegClass::Original)
+    }
+
+    /// Like [`Netlist::declare_dff`] but with an explicit provenance tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateNet`] if `q_name` already exists.
+    pub fn declare_dff_with_class(
+        &mut self,
+        q_name: impl Into<String>,
+        init: bool,
+        class: RegClass,
+    ) -> Result<NetId, NetlistError> {
+        let dff_id = DffId(self.dffs.len() as u32);
+        let q = self.insert_net(q_name.into(), Driver::Dff(dff_id))?;
+        self.dffs.push(Dff {
+            d: None,
+            q,
+            init,
+            class,
+        });
+        Ok(q)
+    }
+
+    /// Connects the `D` pin of the flip-flop whose `Q` net is `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadDffBinding`] if `q` is not a flip-flop output
+    /// or was already bound.
+    pub fn bind_dff(&mut self, q: NetId, d: NetId) -> Result<(), NetlistError> {
+        self.check_net(q)?;
+        self.check_net(d)?;
+        match self.nets[q.index()].driver {
+            Driver::Dff(id) => {
+                let dff = &mut self.dffs[id.index()];
+                if dff.d.is_some() {
+                    return Err(NetlistError::BadDffBinding(
+                        self.nets[q.index()].name.clone(),
+                    ));
+                }
+                dff.d = Some(d);
+                Ok(())
+            }
+            _ => Err(NetlistError::BadDffBinding(
+                self.nets[q.index()].name.clone(),
+            )),
+        }
+    }
+
+    /// Rebinds the `D` pin of an already-bound flip-flop (used when inserting
+    /// state error handlers in front of a register).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadDffBinding`] if `q` is not a flip-flop output.
+    pub fn rebind_dff(&mut self, q: NetId, d: NetId) -> Result<(), NetlistError> {
+        self.check_net(q)?;
+        self.check_net(d)?;
+        match self.nets[q.index()].driver {
+            Driver::Dff(id) => {
+                self.dffs[id.index()].d = Some(d);
+                Ok(())
+            }
+            _ => Err(NetlistError::BadDffBinding(
+                self.nets[q.index()].name.clone(),
+            )),
+        }
+    }
+
+    /// Removes a flip-flop, leaving its former `Q` net undriven so that a gate
+    /// can take over (used by state re-encoding).
+    ///
+    /// The last flip-flop is swapped into the removed slot, so previously held
+    /// [`DffId`]s are invalidated; callers should re-derive register graphs
+    /// after structural edits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn remove_dff(&mut self, id: DffId) -> Dff {
+        let removed = self.dffs.swap_remove(id.index());
+        self.nets[removed.q.index()].driver = Driver::None;
+        if id.index() < self.dffs.len() {
+            // Fix the driver pointer of the flip-flop that was swapped in.
+            let moved_q = self.dffs[id.index()].q;
+            self.nets[moved_q.index()].driver = Driver::Dff(id);
+        }
+        removed
+    }
+
+    /// Replaces every *use* of `old` (gate inputs, flip-flop `D` pins, primary
+    /// outputs) with `new`. The driver of `old` is left untouched.
+    ///
+    /// Returns the number of replaced references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidNetId`] for foreign ids.
+    pub fn replace_net_uses(&mut self, old: NetId, new: NetId) -> Result<usize, NetlistError> {
+        self.check_net(old)?;
+        self.check_net(new)?;
+        let mut count = 0;
+        for gate in &mut self.gates {
+            for input in &mut gate.inputs {
+                if *input == old {
+                    *input = new;
+                    count += 1;
+                }
+            }
+        }
+        for dff in &mut self.dffs {
+            if dff.d == Some(old) {
+                dff.d = Some(new);
+                count += 1;
+            }
+        }
+        for out in &mut self.outputs {
+            if *out == old {
+                *out = new;
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Primary input nets, in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary output nets, in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Combinational gates.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// A single gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Flip-flops.
+    pub fn dffs(&self) -> &[Dff] {
+        &self.dffs
+    }
+
+    /// A single flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn dff(&self, id: DffId) -> &Dff {
+        &self.dffs[id.index()]
+    }
+
+    /// Mutable access to a flip-flop (e.g. to adjust its provenance tag).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn dff_mut(&mut self, id: DffId) -> &mut Dff {
+        &mut self.dffs[id.index()]
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of combinational gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of flip-flops.
+    pub fn num_dffs(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Iterator over `(NetId, name)` pairs.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nets.len()).map(|i| NetId(i as u32))
+    }
+
+    /// Ids of all flip-flops.
+    pub fn dff_ids(&self) -> impl Iterator<Item = DffId> + '_ {
+        (0..self.dffs.len()).map(|i| DffId(i as u32))
+    }
+
+    /// Ids of all gates.
+    pub fn gate_ids(&self) -> impl Iterator<Item = GateId> + '_ {
+        (0..self.gates.len()).map(|i| GateId(i as u32))
+    }
+
+    // ------------------------------------------------------------------
+    // Validation
+    // ------------------------------------------------------------------
+
+    /// Checks global well-formedness: every used net has a driver, every
+    /// flip-flop `D` pin is bound, and the combinational logic is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        // Every flip-flop bound.
+        for dff in &self.dffs {
+            if dff.d.is_none() {
+                return Err(NetlistError::BadDffBinding(
+                    self.net_name(dff.q).to_string(),
+                ));
+            }
+        }
+        // Every used net driven.
+        let mut used: Vec<NetId> = Vec::new();
+        used.extend(self.outputs.iter().copied());
+        for gate in &self.gates {
+            used.extend(gate.inputs.iter().copied());
+        }
+        for dff in &self.dffs {
+            used.extend(dff.d);
+        }
+        for net in used {
+            if self.nets[net.index()].driver == Driver::None {
+                return Err(NetlistError::Undriven(self.net_name(net).to_string()));
+            }
+        }
+        // Combinational acyclicity (topological sort over gates).
+        crate::topo::gate_order(self).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_bit_counter() -> Netlist {
+        let mut nl = Netlist::new("cnt2");
+        let en = nl.add_input("en");
+        let q0 = nl.declare_dff("q0", false).unwrap();
+        let q1 = nl.declare_dff("q1", false).unwrap();
+        let n0 = nl.add_gate(GateKind::Xor, &[q0, en], "n0").unwrap();
+        let carry = nl.add_gate(GateKind::And, &[q0, en], "carry").unwrap();
+        let n1 = nl.add_gate(GateKind::Xor, &[q1, carry], "n1").unwrap();
+        nl.bind_dff(q0, n0).unwrap();
+        nl.bind_dff(q1, n1).unwrap();
+        nl.mark_output(q0).unwrap();
+        nl.mark_output(q1).unwrap();
+        nl
+    }
+
+    #[test]
+    fn build_and_validate_counter() {
+        let nl = two_bit_counter();
+        assert_eq!(nl.num_inputs(), 1);
+        assert_eq!(nl.num_outputs(), 2);
+        assert_eq!(nl.num_dffs(), 2);
+        assert_eq!(nl.num_gates(), 3);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_net_names_rejected() {
+        let mut nl = Netlist::new("t");
+        nl.add_input("a");
+        assert!(matches!(
+            nl.try_add_input("a"),
+            Err(NetlistError::DuplicateNet(_))
+        ));
+        let err = nl.declare_net("a").unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateNet(_)));
+    }
+
+    #[test]
+    fn unbound_dff_fails_validation() {
+        let mut nl = Netlist::new("t");
+        let _q = nl.declare_dff("q", false).unwrap();
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::BadDffBinding(_))
+        ));
+    }
+
+    #[test]
+    fn undriven_used_net_fails_validation() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let x = nl.declare_net("x").unwrap();
+        let y = nl.add_gate(GateKind::And, &[a, x], "y").unwrap();
+        nl.mark_output(y).unwrap();
+        assert!(matches!(nl.validate(), Err(NetlistError::Undriven(_))));
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let x = nl.declare_net("x").unwrap();
+        let y = nl.add_gate(GateKind::And, &[a, x], "y").unwrap();
+        nl.add_gate_driving(GateKind::Or, &[y, a], x).unwrap();
+        nl.mark_output(y).unwrap();
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn double_bind_rejected_but_rebind_allowed() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let q = nl.declare_dff("q", false).unwrap();
+        nl.bind_dff(q, a).unwrap();
+        assert!(nl.bind_dff(q, a).is_err());
+        nl.rebind_dff(q, a).unwrap();
+    }
+
+    #[test]
+    fn replace_net_uses_rewires_gates_outputs_and_dffs() {
+        let mut nl = two_bit_counter();
+        let en = nl.net_id("en").unwrap();
+        let q0 = nl.net_id("q0").unwrap();
+        let replaced = nl.replace_net_uses(q0, en).unwrap();
+        // q0 was used by two gates and listed as an output.
+        assert_eq!(replaced, 3);
+        assert!(nl.outputs().contains(&en));
+    }
+
+    #[test]
+    fn remove_dff_leaves_net_undriven_and_fixes_swapped_driver() {
+        let mut nl = two_bit_counter();
+        let q0 = nl.net_id("q0").unwrap();
+        let q1 = nl.net_id("q1").unwrap();
+        let removed = nl.remove_dff(DffId::from_index(0));
+        assert_eq!(removed.q, q0);
+        assert_eq!(nl.driver(q0), Driver::None);
+        // The former ff1 moved into slot 0; its Q driver must still resolve.
+        assert_eq!(nl.driver(q1), Driver::Dff(DffId::from_index(0)));
+        assert_eq!(nl.num_dffs(), 1);
+    }
+
+    #[test]
+    fn fresh_names_never_collide() {
+        let mut nl = Netlist::new("t");
+        nl.add_input("w_and__0");
+        let n1 = nl.fresh_name("w_and");
+        let n2 = nl.fresh_name("w_and");
+        assert_ne!(n1, "w_and__0");
+        assert_ne!(n1, n2);
+    }
+
+    #[test]
+    fn mark_output_twice_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        nl.mark_output(a).unwrap();
+        assert!(nl.mark_output(a).is_err());
+    }
+
+    #[test]
+    fn reg_class_default_is_original() {
+        assert_eq!(RegClass::default(), RegClass::Original);
+    }
+}

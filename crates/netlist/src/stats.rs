@@ -1,0 +1,99 @@
+//! Interface and gate statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::model::{Netlist, RegClass};
+
+/// Summary statistics of a netlist, in the shape of the "Circuit Info."
+/// columns of the paper's Table I (PI, PO, FF, Gate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Number of flip-flops.
+    pub num_dffs: usize,
+    /// Number of combinational gates.
+    pub num_gates: usize,
+    /// Histogram of gate kinds.
+    pub gate_histogram: BTreeMap<GateKind, usize>,
+    /// Number of flip-flops per provenance class.
+    pub dffs_by_class: BTreeMap<&'static str, usize>,
+}
+
+impl NetlistStats {
+    /// Gathers statistics from a netlist.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut gate_histogram = BTreeMap::new();
+        for gate in netlist.gates() {
+            *gate_histogram.entry(gate.kind).or_insert(0) += 1;
+        }
+        let mut dffs_by_class = BTreeMap::new();
+        for dff in netlist.dffs() {
+            let key = match dff.class {
+                RegClass::Original => "original",
+                RegClass::Locking => "locking",
+                RegClass::Encoded => "encoded",
+            };
+            *dffs_by_class.entry(key).or_insert(0) += 1;
+        }
+        NetlistStats {
+            num_inputs: netlist.num_inputs(),
+            num_outputs: netlist.num_outputs(),
+            num_dffs: netlist.num_dffs(),
+            num_gates: netlist.num_gates(),
+            gate_histogram,
+            dffs_by_class,
+        }
+    }
+
+    /// Count of gates of a specific kind.
+    pub fn gates_of_kind(&self, kind: GateKind) -> usize {
+        self.gate_histogram.get(&kind).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PI={} PO={} FF={} gates={}",
+            self.num_inputs, self.num_outputs, self.num_dffs, self.num_gates
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateKind, Netlist, RegClass};
+
+    #[test]
+    fn stats_count_everything() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let q = nl
+            .declare_dff_with_class("q", false, RegClass::Locking)
+            .unwrap();
+        let x = nl.add_gate(GateKind::And, &[a, b], "x").unwrap();
+        let y = nl.add_gate(GateKind::And, &[x, q], "y").unwrap();
+        let z = nl.add_gate(GateKind::Not, &[y], "z").unwrap();
+        nl.bind_dff(q, z).unwrap();
+        nl.mark_output(z).unwrap();
+
+        let stats = NetlistStats::of(&nl);
+        assert_eq!(stats.num_inputs, 2);
+        assert_eq!(stats.num_outputs, 1);
+        assert_eq!(stats.num_dffs, 1);
+        assert_eq!(stats.num_gates, 3);
+        assert_eq!(stats.gates_of_kind(GateKind::And), 2);
+        assert_eq!(stats.gates_of_kind(GateKind::Not), 1);
+        assert_eq!(stats.gates_of_kind(GateKind::Xor), 0);
+        assert_eq!(stats.dffs_by_class.get("locking"), Some(&1));
+        assert!(stats.to_string().contains("PI=2"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Structural clean-up transformations.
+//!
+//! The locking flow and the state re-encoding pass insert generic gate
+//! structures (constant nets, buffers, single-input trees). A light-weight
+//! clean-up pass keeps the cost model honest and mirrors what a synthesis
+//! tool would do before reporting area:
+//!
+//! * [`propagate_constants`] — evaluates gates whose inputs are all known
+//!   constants and replaces them with constant cells;
+//! * [`sweep_dangling`] — removes gates whose output drives nothing
+//!   (no gate input, no flip-flop `D`, no primary output);
+//! * [`cleanup`] — runs both to a fixed point and reports what was removed.
+
+use std::collections::HashMap;
+
+use crate::gate::{Gate, GateKind};
+use crate::ids::NetId;
+use crate::model::{Driver, Netlist};
+use crate::NetlistError;
+
+/// Summary of a clean-up run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleanupReport {
+    /// Gates replaced by constants.
+    pub constants_folded: usize,
+    /// Dangling gates removed.
+    pub gates_swept: usize,
+    /// Fixed-point iterations executed.
+    pub iterations: usize,
+}
+
+/// Rebuilds the netlist keeping only the listed gates (identified by index in
+/// the original gate vector), preserving inputs, outputs and flip-flops.
+fn rebuild_with_gates(
+    source: &Netlist,
+    keep: &[bool],
+    replacements: &HashMap<NetId, GateKind>,
+) -> Result<Netlist, NetlistError> {
+    let mut rebuilt = Netlist::new(source.name().to_string());
+    let mut map: HashMap<NetId, NetId> = HashMap::with_capacity(source.num_nets());
+    for &input in source.inputs() {
+        let id = rebuilt.try_add_input(source.net_name(input).to_string())?;
+        map.insert(input, id);
+    }
+    for dff in source.dffs() {
+        let q = rebuilt.declare_dff_with_class(
+            source.net_name(dff.q).to_string(),
+            dff.init,
+            dff.class,
+        )?;
+        map.insert(dff.q, q);
+    }
+    // Declare the surviving gate outputs (and constant replacements) first so
+    // that forward references resolve regardless of gate order.
+    for (idx, gate) in source.gates().iter().enumerate() {
+        let replaced = replacements.contains_key(&gate.output);
+        if keep[idx] || replaced {
+            let id = rebuilt.declare_net(source.net_name(gate.output).to_string())?;
+            map.insert(gate.output, id);
+        }
+    }
+    for (idx, gate) in source.gates().iter().enumerate() {
+        let out = match map.get(&gate.output) {
+            Some(&o) => o,
+            None => continue, // swept
+        };
+        if let Some(&kind) = replacements.get(&gate.output) {
+            rebuilt.add_gate_driving(kind, &[], out)?;
+            continue;
+        }
+        if !keep[idx] {
+            continue;
+        }
+        let inputs: Vec<NetId> = gate
+            .inputs
+            .iter()
+            .map(|n| {
+                map.get(n).copied().ok_or_else(|| {
+                    NetlistError::UnknownNet(source.net_name(*n).to_string())
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        rebuilt.add_gate_driving(gate.kind, &inputs, out)?;
+    }
+    for dff in source.dffs() {
+        let d = dff.d.expect("validated source netlist");
+        let mapped = map
+            .get(&d)
+            .copied()
+            .ok_or_else(|| NetlistError::UnknownNet(source.net_name(d).to_string()))?;
+        rebuilt.bind_dff(map[&dff.q], mapped)?;
+    }
+    for &out in source.outputs() {
+        let mapped = map
+            .get(&out)
+            .copied()
+            .ok_or_else(|| NetlistError::UnknownNet(source.net_name(out).to_string()))?;
+        if rebuilt.mark_output(mapped).is_err() {
+            // The same net can legitimately be listed once only; alias it.
+            let alias = rebuilt.fresh_name("cleanup_alias");
+            let buf = rebuilt.add_gate(GateKind::Buf, &[mapped], alias)?;
+            rebuilt.mark_output(buf)?;
+        }
+    }
+    Ok(rebuilt)
+}
+
+/// Replaces gates whose inputs are all constants with constant cells.
+/// Returns the number of gates folded.
+///
+/// # Errors
+///
+/// Propagates netlist reconstruction errors.
+pub fn propagate_constants(netlist: &mut Netlist) -> Result<usize, NetlistError> {
+    // Known constant value per net.
+    let mut known: HashMap<NetId, bool> = HashMap::new();
+    let order = crate::topo::gate_order(netlist)?;
+    let mut replacements: HashMap<NetId, GateKind> = HashMap::new();
+    for gid in order {
+        let gate: &Gate = netlist.gate(gid);
+        match gate.kind {
+            GateKind::Const0 => {
+                known.insert(gate.output, false);
+                continue;
+            }
+            GateKind::Const1 => {
+                known.insert(gate.output, true);
+                continue;
+            }
+            _ => {}
+        }
+        let values: Option<Vec<bool>> = gate
+            .inputs
+            .iter()
+            .map(|n| known.get(n).copied())
+            .collect();
+        if let Some(values) = values {
+            let value = gate.kind.eval(&values);
+            known.insert(gate.output, value);
+            replacements.insert(
+                gate.output,
+                if value { GateKind::Const1 } else { GateKind::Const0 },
+            );
+        }
+    }
+    if replacements.is_empty() {
+        return Ok(0);
+    }
+    let keep = vec![true; netlist.num_gates()];
+    let rebuilt = rebuild_with_gates(netlist, &keep, &replacements)?;
+    let folded = replacements.len();
+    *netlist = rebuilt;
+    Ok(folded)
+}
+
+/// Removes gates whose output has no reader. Returns the number removed.
+///
+/// # Errors
+///
+/// Propagates netlist reconstruction errors.
+pub fn sweep_dangling(netlist: &mut Netlist) -> Result<usize, NetlistError> {
+    let counts = crate::cone::fanout_counts(netlist);
+    let mut keep = vec![true; netlist.num_gates()];
+    let mut changed = true;
+    let mut removed_total = 0usize;
+    // Iterate locally: removing a gate can orphan its predecessors.
+    let mut local_counts = counts;
+    while changed {
+        changed = false;
+        for (idx, gate) in netlist.gates().iter().enumerate() {
+            if keep[idx] && local_counts[gate.output.index()] == 0 {
+                keep[idx] = false;
+                removed_total += 1;
+                changed = true;
+                for &input in &gate.inputs {
+                    local_counts[input.index()] =
+                        local_counts[input.index()].saturating_sub(1);
+                }
+            }
+        }
+    }
+    if removed_total == 0 {
+        return Ok(0);
+    }
+    let rebuilt = rebuild_with_gates(netlist, &keep, &HashMap::new())?;
+    *netlist = rebuilt;
+    Ok(removed_total)
+}
+
+/// Runs constant propagation and dangling-gate sweeping to a fixed point.
+///
+/// # Errors
+///
+/// Propagates netlist reconstruction errors.
+pub fn cleanup(netlist: &mut Netlist) -> Result<CleanupReport, NetlistError> {
+    let mut report = CleanupReport::default();
+    loop {
+        report.iterations += 1;
+        let folded = propagate_constants(netlist)?;
+        let swept = sweep_dangling(netlist)?;
+        report.constants_folded += folded;
+        report.gates_swept += swept;
+        if folded == 0 && swept == 0 {
+            break;
+        }
+        if report.iterations > 64 {
+            break; // safety valve; never hit in practice
+        }
+    }
+    netlist.validate()?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn has_driver_kind(netlist: &Netlist, net_name: &str, kind: GateKind) -> bool {
+        let net = netlist.net_id(net_name).expect("net exists");
+        match netlist.driver(net) {
+            Driver::Gate(g) => netlist.gate(g).kind == kind,
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn constants_fold_through_gates() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let one = nl.add_gate(GateKind::Const1, &[], "one").unwrap();
+        let zero = nl.add_gate(GateKind::Const0, &[], "zero").unwrap();
+        let and = nl.add_gate(GateKind::And, &[one, zero], "and01").unwrap();
+        let or = nl.add_gate(GateKind::Or, &[and, a], "keepme").unwrap();
+        nl.mark_output(or).unwrap();
+
+        let folded = propagate_constants(&mut nl).unwrap();
+        assert_eq!(folded, 1);
+        assert!(has_driver_kind(&nl, "and01", GateKind::Const0));
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn dangling_chains_are_swept_transitively() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let used = nl.add_gate(GateKind::Not, &[a], "used").unwrap();
+        let dead1 = nl.add_gate(GateKind::Not, &[a], "dead1").unwrap();
+        let _dead2 = nl.add_gate(GateKind::Not, &[dead1], "dead2").unwrap();
+        nl.mark_output(used).unwrap();
+
+        let swept = sweep_dangling(&mut nl).unwrap();
+        assert_eq!(swept, 2);
+        assert_eq!(nl.num_gates(), 1);
+        assert!(nl.net_id("dead1").is_none());
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn cleanup_reaches_a_fixed_point() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let one = nl.add_gate(GateKind::Const1, &[], "one").unwrap();
+        // This gate folds to a constant and then becomes dangling garbage
+        // feeding another dangling inverter.
+        let folded = nl.add_gate(GateKind::And, &[one, one], "folded").unwrap();
+        let _dead = nl.add_gate(GateKind::Not, &[folded], "dead").unwrap();
+        let out = nl.add_gate(GateKind::Buf, &[a], "out").unwrap();
+        nl.mark_output(out).unwrap();
+
+        let report = cleanup(&mut nl).unwrap();
+        assert!(report.constants_folded >= 1);
+        assert!(report.gates_swept >= 2);
+        assert!(report.iterations >= 2);
+        // Only the output buffer survives.
+        assert_eq!(nl.num_gates(), 1);
+    }
+
+    #[test]
+    fn cleanup_preserves_sequential_structure() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a");
+        let q = nl.declare_dff("q", true).unwrap();
+        let d = nl.add_gate(GateKind::Xor, &[a, q], "d").unwrap();
+        nl.bind_dff(q, d).unwrap();
+        nl.mark_output(q).unwrap();
+        let _dead = nl.add_gate(GateKind::Not, &[a], "dead").unwrap();
+
+        let report = cleanup(&mut nl).unwrap();
+        assert_eq!(report.gates_swept, 1);
+        assert_eq!(nl.num_dffs(), 1);
+        assert!(nl.dffs()[0].init);
+        assert_eq!(nl.num_outputs(), 1);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn cleanup_on_clean_netlist_is_a_no_op() {
+        let mut nl = Netlist::new("clean");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_gate(GateKind::And, &[a, b], "x").unwrap();
+        nl.mark_output(x).unwrap();
+        let before = nl.clone();
+        let report = cleanup(&mut nl).unwrap();
+        assert_eq!(report.constants_folded, 0);
+        assert_eq!(report.gates_swept, 0);
+        assert_eq!(nl.num_gates(), before.num_gates());
+    }
+}

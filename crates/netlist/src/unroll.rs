@@ -1,0 +1,227 @@
+//! Time-frame expansion ("unrolling") of a sequential circuit.
+//!
+//! The `b`-unrolled version of a circuit `C` (paper Fig. 1) is a purely
+//! combinational circuit `C_b` that reproduces the behaviour of `C` over its
+//! first `b` clock cycles after reset: the register state of cycle `t` is the
+//! next-state function evaluated on the cycle `t-1` copy, and the reset values
+//! seed cycle 0. This is the substrate on which SAT-based sequential attacks
+//! run COMB-SAT.
+
+use std::collections::HashMap;
+
+use crate::gate::GateKind;
+use crate::ids::NetId;
+use crate::model::Netlist;
+use crate::NetlistError;
+
+/// A combinational unrolled circuit plus the per-cycle mapping of the original
+/// interface onto the new one.
+#[derive(Debug, Clone)]
+pub struct Unrolled {
+    /// The purely combinational expanded netlist.
+    pub netlist: Netlist,
+    /// `inputs[t][i]` is the cycle-`t` copy of original primary input `i`.
+    pub inputs: Vec<Vec<NetId>>,
+    /// `outputs[t][o]` is the cycle-`t` copy of original primary output `o`.
+    pub outputs: Vec<Vec<NetId>>,
+    /// Number of expanded cycles.
+    pub cycles: usize,
+}
+
+/// Expands `source` over `cycles` clock cycles.
+///
+/// # Errors
+///
+/// Returns an error if `cycles` is zero, if the source netlist fails
+/// validation, or if construction of the expanded netlist fails.
+pub fn unroll(source: &Netlist, cycles: usize) -> Result<Unrolled, NetlistError> {
+    if cycles == 0 {
+        return Err(NetlistError::InvalidParameter(
+            "cannot unroll over zero cycles".to_string(),
+        ));
+    }
+    source.validate()?;
+    let order = crate::topo::gate_order(source)?;
+
+    let mut expanded = Netlist::new(format!("{}_unrolled_{}", source.name(), cycles));
+    let mut inputs_per_cycle = Vec::with_capacity(cycles);
+    let mut outputs_per_cycle = Vec::with_capacity(cycles);
+
+    // Current-state values of each register, as nets of the expanded circuit.
+    let mut state: Vec<NetId> = Vec::with_capacity(source.num_dffs());
+    for (i, dff) in source.dffs().iter().enumerate() {
+        let kind = if dff.init {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
+        let name = format!("{}@reset{}", source.net_name(dff.q), i);
+        state.push(expanded.add_gate(kind, &[], name)?);
+    }
+
+    for t in 0..cycles {
+        // Map from source net to expanded net for this time frame.
+        let mut map: HashMap<NetId, NetId> = HashMap::with_capacity(source.num_nets());
+        let mut cycle_inputs = Vec::with_capacity(source.num_inputs());
+        for &input in source.inputs() {
+            let name = format!("{}@{}", source.net_name(input), t);
+            let id = expanded.try_add_input(name)?;
+            map.insert(input, id);
+            cycle_inputs.push(id);
+        }
+        for (i, dff) in source.dffs().iter().enumerate() {
+            map.insert(dff.q, state[i]);
+        }
+        for &gid in &order {
+            let gate = source.gate(gid);
+            let ins: Vec<NetId> = gate
+                .inputs
+                .iter()
+                .map(|n| {
+                    map.get(n).copied().ok_or_else(|| {
+                        NetlistError::UnknownNet(source.net_name(*n).to_string())
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let name = format!("{}@{}", source.net_name(gate.output), t);
+            let out = expanded.add_gate(gate.kind, &ins, name)?;
+            map.insert(gate.output, out);
+        }
+        let mut cycle_outputs = Vec::with_capacity(source.num_outputs());
+        for &out in source.outputs() {
+            let mut mapped = map[&out];
+            // The same expanded net can implement two different observation
+            // points (e.g. a register output at cycle t+1 aliases the D net
+            // observed at cycle t). Keep the output list duplicate-free by
+            // inserting a buffer alias in that case.
+            if expanded.outputs().contains(&mapped) {
+                let alias = format!("{}@{}_alias", source.net_name(out), t);
+                mapped = expanded.add_gate(GateKind::Buf, &[mapped], alias)?;
+            }
+            cycle_outputs.push(mapped);
+            expanded.mark_output(mapped)?;
+        }
+        // Advance register state for the next frame.
+        let mut next_state = Vec::with_capacity(source.num_dffs());
+        for dff in source.dffs() {
+            let d = dff.d.expect("validated netlist has bound flip-flops");
+            next_state.push(map[&d]);
+        }
+        state = next_state;
+
+        inputs_per_cycle.push(cycle_inputs);
+        outputs_per_cycle.push(cycle_outputs);
+    }
+
+    expanded.validate()?;
+    Ok(Unrolled {
+        netlist: expanded,
+        inputs: inputs_per_cycle,
+        outputs: outputs_per_cycle,
+        cycles,
+    })
+}
+
+impl Unrolled {
+    /// All expanded input nets flattened cycle-major (cycle 0 inputs first).
+    pub fn flat_inputs(&self) -> Vec<NetId> {
+        self.inputs.iter().flatten().copied().collect()
+    }
+
+    /// All expanded output nets flattened cycle-major.
+    pub fn flat_outputs(&self) -> Vec<NetId> {
+        self.outputs.iter().flatten().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1-bit accumulator: q' = q XOR in, output = q.
+    fn toggle() -> Netlist {
+        let mut nl = Netlist::new("toggle");
+        let a = nl.add_input("a");
+        let q = nl.declare_dff("q", false).unwrap();
+        let d = nl.add_gate(GateKind::Xor, &[q, a], "d").unwrap();
+        nl.bind_dff(q, d).unwrap();
+        nl.mark_output(q).unwrap();
+        nl
+    }
+
+    fn eval(netlist: &Netlist, inputs: &[(NetId, bool)], target: NetId) -> bool {
+        let order = crate::topo::gate_order(netlist).unwrap();
+        let mut values = vec![false; netlist.num_nets()];
+        for &(n, v) in inputs {
+            values[n.index()] = v;
+        }
+        for gid in order {
+            let g = netlist.gate(gid);
+            let ins: Vec<bool> = g.inputs.iter().map(|&n| values[n.index()]).collect();
+            values[g.output.index()] = g.kind.eval(&ins);
+        }
+        values[target.index()]
+    }
+
+    #[test]
+    fn unrolled_toggle_matches_sequential_semantics() {
+        let nl = toggle();
+        let unrolled = unroll(&nl, 4).unwrap();
+        assert_eq!(unrolled.cycles, 4);
+        assert_eq!(unrolled.inputs.len(), 4);
+        assert_eq!(unrolled.netlist.num_dffs(), 0);
+
+        // Input sequence 1,1,0,1 — the register sees 0,1,0,0 ... compute by hand:
+        // out@0 = 0 (reset), state after c0 = 0^1 = 1
+        // out@1 = 1, state = 1^1 = 0
+        // out@2 = 0, state = 0^0 = 0
+        // out@3 = 0
+        let stim = [true, true, false, true];
+        let assignment: Vec<(NetId, bool)> = (0..4)
+            .map(|t| (unrolled.inputs[t][0], stim[t]))
+            .collect();
+        let expected = [false, true, false, false];
+        for t in 0..4 {
+            assert_eq!(
+                eval(&unrolled.netlist, &assignment, unrolled.outputs[t][0]),
+                expected[t],
+                "cycle {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_value_of_one_is_honored() {
+        let mut nl = Netlist::new("hold");
+        let a = nl.add_input("a");
+        let q = nl.declare_dff("q", true).unwrap();
+        let d = nl.add_gate(GateKind::And, &[q, a], "d").unwrap();
+        nl.bind_dff(q, d).unwrap();
+        nl.mark_output(q).unwrap();
+
+        let unrolled = unroll(&nl, 2).unwrap();
+        // Cycle-0 output reflects the reset value regardless of inputs.
+        let assignment = vec![
+            (unrolled.inputs[0][0], false),
+            (unrolled.inputs[1][0], false),
+        ];
+        assert!(eval(&unrolled.netlist, &assignment, unrolled.outputs[0][0]));
+        assert!(!eval(&unrolled.netlist, &assignment, unrolled.outputs[1][0]));
+    }
+
+    #[test]
+    fn zero_cycles_is_rejected() {
+        let nl = toggle();
+        assert!(unroll(&nl, 0).is_err());
+    }
+
+    #[test]
+    fn interface_sizes_scale_with_cycles() {
+        let nl = toggle();
+        let unrolled = unroll(&nl, 5).unwrap();
+        assert_eq!(unrolled.flat_inputs().len(), 5 * nl.num_inputs());
+        assert_eq!(unrolled.flat_outputs().len(), 5 * nl.num_outputs());
+        assert_eq!(unrolled.netlist.num_inputs(), 5);
+        assert_eq!(unrolled.netlist.num_outputs(), 5);
+    }
+}

@@ -1,0 +1,470 @@
+//! Word-level synthesis helpers.
+//!
+//! A *word* is simply a slice of nets interpreted LSB-first. These helpers
+//! emit 2-input gate structures (balanced trees, ripple chains) so that the
+//! produced logic maps one-to-one onto standard-cell style cost models.
+//!
+//! They are used by the locking flow (key comparators, the EF-threshold
+//! magnitude comparator of paper Eq. 14, the phase counter) and by the
+//! synthetic benchmark generator.
+
+use crate::gate::GateKind;
+use crate::ids::NetId;
+use crate::model::Netlist;
+use crate::NetlistError;
+
+/// Creates a constant-0 net.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors.
+pub fn const0(netlist: &mut Netlist, prefix: &str) -> Result<NetId, NetlistError> {
+    let name = netlist.fresh_name(&format!("{prefix}_const0"));
+    netlist.add_gate(GateKind::Const0, &[], name)
+}
+
+/// Creates a constant-1 net.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors.
+pub fn const1(netlist: &mut Netlist, prefix: &str) -> Result<NetId, NetlistError> {
+    let name = netlist.fresh_name(&format!("{prefix}_const1"));
+    netlist.add_gate(GateKind::Const1, &[], name)
+}
+
+/// Reduces `nets` with a balanced tree of 2-input gates of the given kind.
+/// For an empty slice a constant is returned: 1 for AND (empty conjunction),
+/// 0 for OR/XOR.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors.
+///
+/// # Panics
+///
+/// Panics if `kind` is not one of `And`, `Or`, `Xor`.
+pub fn reduce_tree(
+    netlist: &mut Netlist,
+    kind: GateKind,
+    nets: &[NetId],
+    prefix: &str,
+) -> Result<NetId, NetlistError> {
+    assert!(
+        matches!(kind, GateKind::And | GateKind::Or | GateKind::Xor),
+        "reduce_tree supports AND/OR/XOR, got {kind}"
+    );
+    match nets.len() {
+        0 => {
+            if kind == GateKind::And {
+                const1(netlist, prefix)
+            } else {
+                const0(netlist, prefix)
+            }
+        }
+        1 => Ok(nets[0]),
+        _ => {
+            let mut layer: Vec<NetId> = nets.to_vec();
+            while layer.len() > 1 {
+                let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                for pair in layer.chunks(2) {
+                    if pair.len() == 2 {
+                        let name = netlist.fresh_name(prefix);
+                        next.push(netlist.add_gate(kind, &[pair[0], pair[1]], name)?);
+                    } else {
+                        next.push(pair[0]);
+                    }
+                }
+                layer = next;
+            }
+            Ok(layer[0])
+        }
+    }
+}
+
+/// Balanced AND reduction.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors.
+pub fn and_tree(netlist: &mut Netlist, nets: &[NetId], prefix: &str) -> Result<NetId, NetlistError> {
+    reduce_tree(netlist, GateKind::And, nets, prefix)
+}
+
+/// Balanced OR reduction.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors.
+pub fn or_tree(netlist: &mut Netlist, nets: &[NetId], prefix: &str) -> Result<NetId, NetlistError> {
+    reduce_tree(netlist, GateKind::Or, nets, prefix)
+}
+
+/// Inverts a net.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors.
+pub fn invert(netlist: &mut Netlist, net: NetId, prefix: &str) -> Result<NetId, NetlistError> {
+    let name = netlist.fresh_name(&format!("{prefix}_n"));
+    netlist.add_gate(GateKind::Not, &[net], name)
+}
+
+/// `out = a == constant_bits` where `constant_bits` is LSB-first and must have
+/// the same width as `word`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidParameter`] on width mismatch and propagates
+/// construction errors.
+pub fn eq_const(
+    netlist: &mut Netlist,
+    word: &[NetId],
+    constant_bits: &[bool],
+    prefix: &str,
+) -> Result<NetId, NetlistError> {
+    if word.len() != constant_bits.len() {
+        return Err(NetlistError::InvalidParameter(format!(
+            "eq_const width mismatch: word has {} bits, constant has {}",
+            word.len(),
+            constant_bits.len()
+        )));
+    }
+    let mut terms = Vec::with_capacity(word.len());
+    for (i, (&net, &bit)) in word.iter().zip(constant_bits).enumerate() {
+        if bit {
+            terms.push(net);
+        } else {
+            terms.push(invert(netlist, net, &format!("{prefix}_b{i}"))?);
+        }
+    }
+    and_tree(netlist, &terms, &format!("{prefix}_eq"))
+}
+
+/// `out = (a == b)` bit-wise over two equally sized words.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidParameter`] on width mismatch and propagates
+/// construction errors.
+pub fn eq_words(
+    netlist: &mut Netlist,
+    a: &[NetId],
+    b: &[NetId],
+    prefix: &str,
+) -> Result<NetId, NetlistError> {
+    if a.len() != b.len() {
+        return Err(NetlistError::InvalidParameter(format!(
+            "eq_words width mismatch: {} vs {} bits",
+            a.len(),
+            b.len()
+        )));
+    }
+    let mut terms = Vec::with_capacity(a.len());
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let name = netlist.fresh_name(&format!("{prefix}_xnor{i}"));
+        terms.push(netlist.add_gate(GateKind::Xnor, &[x, y], name)?);
+    }
+    and_tree(netlist, &terms, &format!("{prefix}_eq"))
+}
+
+/// `out = (word <= constant)` treating `word` as an unsigned LSB-first number.
+///
+/// This realizes the threshold comparison `k_suffix <= alpha * (2^{kf|I|}-1)`
+/// of the paper's Eq. 14.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidParameter`] if the constant does not fit in
+/// the word width; propagates construction errors.
+pub fn le_const(
+    netlist: &mut Netlist,
+    word: &[NetId],
+    constant: u64,
+    prefix: &str,
+) -> Result<NetId, NetlistError> {
+    let width = word.len();
+    if width < 64 && constant >= (1u64 << width) {
+        return Err(NetlistError::InvalidParameter(format!(
+            "le_const constant {constant} does not fit in {width} bits"
+        )));
+    }
+    // Walk from MSB to LSB maintaining gt ("word is already greater") and
+    // eq ("all inspected bits equal the constant").
+    let mut gt = const0(netlist, &format!("{prefix}_gt_init"))?;
+    let mut eq = const1(netlist, &format!("{prefix}_eq_init"))?;
+    for i in (0..width).rev() {
+        let cbit = (constant >> i) & 1 == 1;
+        let w = word[i];
+        if cbit {
+            // word bit can never exceed a constant 1; equality requires w=1.
+            let name = netlist.fresh_name(&format!("{prefix}_eq{i}"));
+            eq = netlist.add_gate(GateKind::And, &[eq, w], name)?;
+        } else {
+            let name = netlist.fresh_name(&format!("{prefix}_exceed{i}"));
+            let exceed = netlist.add_gate(GateKind::And, &[eq, w], name)?;
+            let name = netlist.fresh_name(&format!("{prefix}_gt{i}"));
+            gt = netlist.add_gate(GateKind::Or, &[gt, exceed], name)?;
+            let nw = invert(netlist, w, &format!("{prefix}_nb{i}"))?;
+            let name = netlist.fresh_name(&format!("{prefix}_eq{i}"));
+            eq = netlist.add_gate(GateKind::And, &[eq, nw], name)?;
+        }
+    }
+    invert(netlist, gt, &format!("{prefix}_le"))
+}
+
+/// Ripple-carry incrementer: returns `word + 1` (same width, wrap-around).
+///
+/// # Errors
+///
+/// Propagates netlist construction errors.
+pub fn increment(
+    netlist: &mut Netlist,
+    word: &[NetId],
+    prefix: &str,
+) -> Result<Vec<NetId>, NetlistError> {
+    let mut out = Vec::with_capacity(word.len());
+    let mut carry = const1(netlist, &format!("{prefix}_c_in"))?;
+    for (i, &bit) in word.iter().enumerate() {
+        let name = netlist.fresh_name(&format!("{prefix}_sum{i}"));
+        let sum = netlist.add_gate(GateKind::Xor, &[bit, carry], name)?;
+        out.push(sum);
+        if i + 1 < word.len() {
+            let name = netlist.fresh_name(&format!("{prefix}_carry{i}"));
+            carry = netlist.add_gate(GateKind::And, &[bit, carry], name)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Per-bit 2:1 multiplexer over two equally sized words:
+/// `out[i] = if sel { if_true[i] } else { if_false[i] }`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidParameter`] on width mismatch; propagates
+/// construction errors.
+pub fn mux_word(
+    netlist: &mut Netlist,
+    sel: NetId,
+    if_false: &[NetId],
+    if_true: &[NetId],
+    prefix: &str,
+) -> Result<Vec<NetId>, NetlistError> {
+    if if_false.len() != if_true.len() {
+        return Err(NetlistError::InvalidParameter(format!(
+            "mux_word width mismatch: {} vs {} bits",
+            if_false.len(),
+            if_true.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(if_false.len());
+    for (i, (&f, &t)) in if_false.iter().zip(if_true).enumerate() {
+        let name = netlist.fresh_name(&format!("{prefix}_mux{i}"));
+        out.push(netlist.add_gate(GateKind::Mux, &[sel, f, t], name)?);
+    }
+    Ok(out)
+}
+
+/// Number of bits needed to represent `value` (at least 1).
+pub fn bits_for(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// Converts an unsigned value to an LSB-first bit vector of the given width.
+///
+/// # Panics
+///
+/// Panics if the value does not fit in `width` bits.
+pub fn to_bits(value: u64, width: usize) -> Vec<bool> {
+    assert!(
+        width >= bits_for(value) || value == 0,
+        "value {value} does not fit in {width} bits"
+    );
+    (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+/// Converts an LSB-first bit slice back to an unsigned value.
+///
+/// # Panics
+///
+/// Panics if the slice is wider than 64 bits.
+pub fn from_bits(bits: &[bool]) -> u64 {
+    assert!(bits.len() <= 64, "from_bits supports at most 64 bits");
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively evaluates a single-output combinational block by direct
+    /// gate evaluation in topological order.
+    fn eval_net(netlist: &Netlist, assignment: &[(NetId, bool)], target: NetId) -> bool {
+        let order = crate::topo::gate_order(netlist).unwrap();
+        let mut values = vec![false; netlist.num_nets()];
+        for &(net, val) in assignment {
+            values[net.index()] = val;
+        }
+        for gid in order {
+            let gate = netlist.gate(gid);
+            let ins: Vec<bool> = gate.inputs.iter().map(|&n| values[n.index()]).collect();
+            values[gate.output.index()] = gate.kind.eval(&ins);
+        }
+        values[target.index()]
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for v in [0u64, 1, 5, 255, 1023] {
+            let w = bits_for(v).max(10);
+            assert_eq!(from_bits(&to_bits(v, w)), v);
+        }
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+    }
+
+    #[test]
+    fn eq_const_matches_exactly_one_pattern() {
+        let mut nl = Netlist::new("t");
+        let word: Vec<NetId> = (0..3).map(|i| nl.add_input(format!("w{i}"))).collect();
+        let eq = eq_const(&mut nl, &word, &to_bits(5, 3), "cmp").unwrap();
+        for v in 0..8u64 {
+            let assignment: Vec<(NetId, bool)> = word
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n, (v >> i) & 1 == 1))
+                .collect();
+            assert_eq!(eval_net(&nl, &assignment, eq), v == 5, "value {v}");
+        }
+    }
+
+    #[test]
+    fn eq_words_detects_equality() {
+        let mut nl = Netlist::new("t");
+        let a: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let b: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("b{i}"))).collect();
+        let eq = eq_words(&mut nl, &a, &b, "cmp").unwrap();
+        for va in 0..16u64 {
+            for vb in 0..16u64 {
+                let mut assignment = Vec::new();
+                for i in 0..4 {
+                    assignment.push((a[i], (va >> i) & 1 == 1));
+                    assignment.push((b[i], (vb >> i) & 1 == 1));
+                }
+                assert_eq!(eval_net(&nl, &assignment, eq), va == vb);
+            }
+        }
+    }
+
+    #[test]
+    fn le_const_is_exact_for_all_values() {
+        for threshold in [0u64, 3, 7, 9, 15] {
+            let mut nl = Netlist::new("t");
+            let word: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("w{i}"))).collect();
+            let le = le_const(&mut nl, &word, threshold, "cmp").unwrap();
+            for v in 0..16u64 {
+                let assignment: Vec<(NetId, bool)> = word
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &n)| (n, (v >> i) & 1 == 1))
+                    .collect();
+                assert_eq!(
+                    eval_net(&nl, &assignment, le),
+                    v <= threshold,
+                    "v={v} threshold={threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn le_const_rejects_oversized_constant() {
+        let mut nl = Netlist::new("t");
+        let word: Vec<NetId> = (0..3).map(|i| nl.add_input(format!("w{i}"))).collect();
+        assert!(le_const(&mut nl, &word, 8, "cmp").is_err());
+    }
+
+    #[test]
+    fn increment_wraps_around() {
+        let mut nl = Netlist::new("t");
+        let word: Vec<NetId> = (0..3).map(|i| nl.add_input(format!("w{i}"))).collect();
+        let inc = increment(&mut nl, &word, "inc").unwrap();
+        for v in 0..8u64 {
+            let assignment: Vec<(NetId, bool)> = word
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n, (v >> i) & 1 == 1))
+                .collect();
+            let got: u64 = inc
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (eval_net(&nl, &assignment, n) as u64) << i)
+                .sum();
+            assert_eq!(got, (v + 1) % 8, "v={v}");
+        }
+    }
+
+    #[test]
+    fn mux_word_selects_correct_side() {
+        let mut nl = Netlist::new("t");
+        let sel = nl.add_input("sel");
+        let a: Vec<NetId> = (0..2).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let b: Vec<NetId> = (0..2).map(|i| nl.add_input(format!("b{i}"))).collect();
+        let out = mux_word(&mut nl, sel, &a, &b, "m").unwrap();
+        let assignment = vec![
+            (sel, false),
+            (a[0], true),
+            (a[1], false),
+            (b[0], false),
+            (b[1], true),
+        ];
+        assert!(eval_net(&nl, &assignment, out[0]));
+        assert!(!eval_net(&nl, &assignment, out[1]));
+        let assignment = vec![
+            (sel, true),
+            (a[0], true),
+            (a[1], false),
+            (b[0], false),
+            (b[1], true),
+        ];
+        assert!(!eval_net(&nl, &assignment, out[0]));
+        assert!(eval_net(&nl, &assignment, out[1]));
+    }
+
+    #[test]
+    fn reduction_trees_handle_degenerate_sizes() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let empty_and = and_tree(&mut nl, &[], "e").unwrap();
+        let empty_or = or_tree(&mut nl, &[], "e").unwrap();
+        let single = and_tree(&mut nl, &[a], "s").unwrap();
+        assert_eq!(single, a);
+        assert!(eval_net(&nl, &[(a, false)], empty_and));
+        assert!(!eval_net(&nl, &[(a, false)], empty_or));
+    }
+
+    #[test]
+    fn and_tree_matches_conjunction_for_many_inputs() {
+        let mut nl = Netlist::new("t");
+        let nets: Vec<NetId> = (0..7).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let out = and_tree(&mut nl, &nets, "a").unwrap();
+        for v in 0..128u64 {
+            let assignment: Vec<(NetId, bool)> = nets
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n, (v >> i) & 1 == 1))
+                .collect();
+            assert_eq!(eval_net(&nl, &assignment, out), v == 127);
+        }
+    }
+}

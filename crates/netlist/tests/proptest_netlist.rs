@@ -1,0 +1,140 @@
+//! Property-based tests for the netlist crate: `.bench` round-trips, word
+//! helper correctness and unrolling interface invariants on randomly built
+//! sequential circuits.
+
+use proptest::prelude::*;
+
+use netlist::{words, GateKind, NetId, Netlist};
+
+/// A recipe for one random gate.
+type GateRecipe = (u8, u8, u8);
+
+/// Builds a random sequential circuit: `num_inputs` inputs, `num_dffs`
+/// registers and one gate per recipe; every register's next state is a gate
+/// output (or an input when no gate exists) and the last nets are outputs.
+fn build_sequential(num_inputs: usize, num_dffs: usize, recipes: &[GateRecipe]) -> Netlist {
+    let kinds = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+    ];
+    let mut nl = Netlist::new("prop_seq");
+    let mut nets: Vec<NetId> = (0..num_inputs)
+        .map(|i| nl.add_input(format!("in{i}")))
+        .collect();
+    let dffs: Vec<NetId> = (0..num_dffs)
+        .map(|i| nl.declare_dff(format!("r{i}"), i % 2 == 0).expect("unique"))
+        .collect();
+    nets.extend(&dffs);
+    for (g, &(kind_pick, a, b)) in recipes.iter().enumerate() {
+        let kind = kinds[kind_pick as usize % kinds.len()];
+        let pick = |x: u8| nets[x as usize % nets.len()];
+        let inputs: Vec<NetId> = if kind == GateKind::Not {
+            vec![pick(a)]
+        } else {
+            vec![pick(a), pick(b)]
+        };
+        let out = nl.add_gate(kind, &inputs, format!("g{g}")).expect("arity ok");
+        nets.push(out);
+    }
+    for (i, &q) in dffs.iter().enumerate() {
+        let d = nets[(i * 7 + 3) % nets.len()];
+        nl.bind_dff(q, d).expect("first binding");
+    }
+    let num_outputs = nets.len().min(2);
+    for &net in nets.iter().rev().take(num_outputs) {
+        nl.mark_output(net).expect("distinct output nets");
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Writing and re-parsing the `.bench` form preserves the structure.
+    #[test]
+    fn bench_round_trip_preserves_structure(
+        recipes in proptest::collection::vec(any::<GateRecipe>(), 1..20),
+        num_inputs in 1usize..5,
+        num_dffs in 1usize..5,
+    ) {
+        let nl = build_sequential(num_inputs, num_dffs, &recipes);
+        nl.validate().expect("constructed netlists validate");
+        let text = netlist::bench::write(&nl);
+        let back = netlist::bench::parse(&text).expect("round-trip parses");
+        prop_assert_eq!(back.num_inputs(), nl.num_inputs());
+        prop_assert_eq!(back.num_outputs(), nl.num_outputs());
+        prop_assert_eq!(back.num_dffs(), nl.num_dffs());
+        prop_assert_eq!(back.num_gates(), nl.num_gates());
+        // Reset values survive via the `# init` directives.
+        let inits_a: Vec<bool> = nl.dffs().iter().map(|d| d.init).collect();
+        let inits_b: Vec<bool> = back.dffs().iter().map(|d| d.init).collect();
+        prop_assert_eq!(inits_a, inits_b);
+    }
+
+    /// Unrolling multiplies the interface by the number of cycles and removes
+    /// every register.
+    #[test]
+    fn unrolling_interface_invariants(
+        recipes in proptest::collection::vec(any::<GateRecipe>(), 1..16),
+        cycles in 1usize..5,
+    ) {
+        let nl = build_sequential(3, 2, &recipes);
+        let unrolled = netlist::unroll::unroll(&nl, cycles).expect("unrolls");
+        prop_assert_eq!(unrolled.netlist.num_dffs(), 0);
+        prop_assert_eq!(unrolled.netlist.num_inputs(), cycles * nl.num_inputs());
+        prop_assert_eq!(unrolled.netlist.num_outputs(), cycles * nl.num_outputs());
+        prop_assert_eq!(unrolled.inputs.len(), cycles);
+        prop_assert!(unrolled.netlist.num_gates() >= cycles * nl.num_gates());
+    }
+
+    /// Word-level comparator helpers agree with integer arithmetic.
+    #[test]
+    fn word_helpers_match_integer_semantics(
+        width in 1usize..7,
+        value in 0u64..128,
+        threshold in 0u64..128,
+    ) {
+        let value = value & ((1 << width) - 1);
+        let threshold = threshold & ((1 << width) - 1);
+        let mut nl = Netlist::new("words");
+        let word: Vec<NetId> = (0..width).map(|i| nl.add_input(format!("w{i}"))).collect();
+        let eq = words::eq_const(&mut nl, &word, &words::to_bits(threshold, width), "eq")
+            .expect("builds");
+        let le = words::le_const(&mut nl, &word, threshold, "le").expect("builds");
+        let inc = words::increment(&mut nl, &word, "inc").expect("builds");
+
+        // Evaluate directly.
+        let order = netlist::topo::gate_order(&nl).expect("acyclic");
+        let mut values = vec![false; nl.num_nets()];
+        for (i, &net) in word.iter().enumerate() {
+            values[net.index()] = (value >> i) & 1 == 1;
+        }
+        for gid in order {
+            let gate = nl.gate(gid);
+            let ins: Vec<bool> = gate.inputs.iter().map(|&n| values[n.index()]).collect();
+            values[gate.output.index()] = gate.kind.eval(&ins);
+        }
+        prop_assert_eq!(values[eq.index()], value == threshold);
+        prop_assert_eq!(values[le.index()], value <= threshold);
+        let incremented: u64 = inc
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (values[n.index()] as u64) << i)
+            .sum();
+        prop_assert_eq!(incremented, (value + 1) % (1 << width));
+    }
+
+    /// Bit-vector packing helpers are inverses of each other.
+    #[test]
+    fn bit_packing_round_trips(value in 0u64..u64::MAX / 2, width in 1usize..63) {
+        let masked = value & ((1u64 << width) - 1);
+        let bits = words::to_bits(masked, width);
+        prop_assert_eq!(bits.len(), width);
+        prop_assert_eq!(words::from_bits(&bits), masked);
+    }
+}

@@ -1,0 +1,146 @@
+//! Clause database in conjunctive normal form.
+
+use crate::types::{Lit, Var};
+
+/// A CNF formula: a number of variables plus a list of clauses.
+///
+/// [`Cnf`] is a plain container (no solving logic); it is what the DIMACS
+/// reader produces and what the Tseitin encoder can target when a formula
+/// should be inspected or serialized rather than solved directly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Ensures that at least `n` variables exist.
+    pub fn ensure_vars(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable that has not been allocated.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        for lit in lits {
+            assert!(
+                lit.var().index() < self.num_vars,
+                "literal {lit} references an unallocated variable"
+            );
+        }
+        self.clauses.push(lits.to_vec());
+    }
+
+    /// The clauses of the formula.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Evaluates the formula under a full assignment indexed by variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is narrower than [`Cnf::num_vars`].
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars, "assignment too narrow");
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|lit| assignment[lit.var().index()] != lit.is_negative())
+        })
+    }
+
+    /// Brute-force satisfiability check by enumerating all assignments.
+    /// Intended for cross-checking the CDCL solver on small formulas.
+    ///
+    /// Returns a satisfying assignment if one exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula has more than 24 variables.
+    pub fn brute_force(&self) -> Option<Vec<bool>> {
+        assert!(
+            self.num_vars <= 24,
+            "brute force limited to 24 variables, formula has {}",
+            self.num_vars
+        );
+        let n = self.num_vars;
+        for bits in 0u64..(1u64 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            if self.evaluate(&assignment) {
+                return Some(assignment);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_evaluate() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause(&[Lit::positive(a), Lit::positive(b)]);
+        cnf.add_clause(&[Lit::negative(a)]);
+        assert_eq!(cnf.num_vars(), 2);
+        assert_eq!(cnf.num_clauses(), 2);
+        assert!(cnf.evaluate(&[false, true]));
+        assert!(!cnf.evaluate(&[true, true]));
+        assert!(!cnf.evaluate(&[false, false]));
+    }
+
+    #[test]
+    fn brute_force_finds_models_and_detects_unsat() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        cnf.add_clause(&[Lit::positive(a)]);
+        assert_eq!(cnf.brute_force(), Some(vec![true]));
+        cnf.add_clause(&[Lit::negative(a)]);
+        assert_eq!(cnf.brute_force(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn adding_clause_with_unknown_variable_panics() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[Lit::positive(Var::from_index(3))]);
+    }
+
+    #[test]
+    fn ensure_vars_grows_only() {
+        let mut cnf = Cnf::new();
+        cnf.ensure_vars(5);
+        assert_eq!(cnf.num_vars(), 5);
+        cnf.ensure_vars(2);
+        assert_eq!(cnf.num_vars(), 5);
+    }
+}

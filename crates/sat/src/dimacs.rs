@@ -1,0 +1,184 @@
+//! DIMACS CNF reader and writer.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::cnf::Cnf;
+use crate::types::Lit;
+
+/// Error produced while parsing a DIMACS file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses a DIMACS CNF document.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] for malformed headers, non-integer tokens or
+/// literals referencing variables beyond the declared count.
+pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut cnf = Cnf::new();
+    let mut declared_vars: Option<usize> = None;
+    let mut current: Vec<Lit> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(ParseDimacsError {
+                    line: lineno,
+                    message: "expected `p cnf <vars> <clauses>`".to_string(),
+                });
+            }
+            let vars: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseDimacsError {
+                    line: lineno,
+                    message: "missing or invalid variable count".to_string(),
+                })?;
+            declared_vars = Some(vars);
+            cnf.ensure_vars(vars);
+            continue;
+        }
+        for token in line.split_whitespace() {
+            let value: i64 = token.parse().map_err(|_| ParseDimacsError {
+                line: lineno,
+                message: format!("invalid literal `{token}`"),
+            })?;
+            match Lit::from_dimacs(value) {
+                None => {
+                    cnf.add_clause(&current);
+                    current.clear();
+                }
+                Some(lit) => {
+                    if let Some(max) = declared_vars {
+                        if lit.var().index() >= max {
+                            return Err(ParseDimacsError {
+                                line: lineno,
+                                message: format!(
+                                    "literal {value} exceeds declared variable count {max}"
+                                ),
+                            });
+                        }
+                    } else {
+                        cnf.ensure_vars(lit.var().index() + 1);
+                    }
+                    current.push(lit);
+                }
+            }
+        }
+    }
+    if !current.is_empty() {
+        cnf.add_clause(&current);
+    }
+    Ok(cnf)
+}
+
+/// Serializes a CNF formula to the DIMACS format.
+pub fn write(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("p cnf {} {}\n", cnf.num_vars(), cnf.num_clauses()));
+    for clause in cnf.clauses() {
+        for lit in clause {
+            out.push_str(&lit.to_dimacs().to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SatResult, Solver};
+
+    const SAMPLE: &str = "\
+c sample instance
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+";
+
+    #[test]
+    fn parse_sample() {
+        let cnf = parse(SAMPLE).unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 3);
+        // Satisfiable with x1=0, x2=0, x3=1.
+        assert!(cnf.evaluate(&[false, false, true]));
+    }
+
+    #[test]
+    fn round_trip() {
+        let cnf = parse(SAMPLE).unwrap();
+        let text = write(&cnf);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed, cnf);
+    }
+
+    #[test]
+    fn solver_agrees_with_brute_force_on_parsed_instance() {
+        let cnf = parse(SAMPLE).unwrap();
+        let mut solver = Solver::new();
+        for _ in 0..cnf.num_vars() {
+            solver.new_var();
+        }
+        for clause in cnf.clauses() {
+            solver.add_clause(clause);
+        }
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                let assignment: Vec<bool> = (0..cnf.num_vars())
+                    .map(|i| model.value(crate::Var::from_index(i)))
+                    .collect();
+                assert!(cnf.evaluate(&assignment));
+            }
+            SatResult::Unsat => assert!(cnf.brute_force().is_none()),
+        }
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        assert!(parse("p dnf 1 1\n1 0\n").is_err());
+        assert!(parse("p cnf x 1\n").is_err());
+    }
+
+    #[test]
+    fn literal_beyond_declared_count_is_rejected() {
+        assert!(parse("p cnf 1 1\n2 0\n").is_err());
+    }
+
+    #[test]
+    fn missing_header_infers_variable_count() {
+        let cnf = parse("1 2 0\n-2 3 0\n").unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 2);
+    }
+
+    #[test]
+    fn trailing_clause_without_zero_is_kept() {
+        let cnf = parse("p cnf 2 1\n1 2\n").unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+    }
+}

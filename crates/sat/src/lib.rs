@@ -1,0 +1,47 @@
+//! Boolean satisfiability infrastructure for the TriLock reproduction.
+//!
+//! The SAT-based sequential attack of the paper (COMB-SAT on the unrolled
+//! locked circuit) needs three ingredients, all provided here from scratch:
+//!
+//! * [`Solver`] — a conflict-driven clause-learning (CDCL) SAT solver with
+//!   two-literal watching, VSIDS branching, first-UIP learning, phase saving
+//!   and Luby restarts. It supports incremental clause addition between
+//!   `solve` calls and solving under assumptions.
+//! * [`Cnf`] / [`dimacs`] — a clause database and DIMACS reader/writer used
+//!   for testing and interoperability.
+//! * [`tseitin`] — Tseitin encoding of combinational [`netlist::Netlist`]s
+//!   into CNF, with support for sharing variables between circuit copies
+//!   (the key ingredient of miter construction).
+//! * [`miter`] — helper constraints: equality, difference ("at least one
+//!   output differs"), and fixing nets to constants.
+//!
+//! # Example
+//!
+//! ```
+//! use sat::{Lit, Solver, SatResult};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause(&[Lit::positive(a), Lit::positive(b)]);
+//! solver.add_clause(&[Lit::negative(a)]);
+//! match solver.solve() {
+//!     SatResult::Sat(model) => assert!(model.value(b)),
+//!     SatResult::Unsat => unreachable!("formula is satisfiable"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnf;
+mod solver;
+mod types;
+
+pub mod dimacs;
+pub mod miter;
+pub mod tseitin;
+
+pub use cnf::Cnf;
+pub use solver::{Model, SatResult, Solver, SolverStats};
+pub use types::{Lit, Var};

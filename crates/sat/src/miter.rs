@@ -1,0 +1,163 @@
+//! Miter-style constraint helpers.
+//!
+//! The COMB-SAT attack repeatedly needs three kinds of constraints on top of
+//! the Tseitin-encoded circuit copies:
+//!
+//! * fix a net (or a whole word) to a concrete value — used when replaying a
+//!   distinguishing input pattern and the oracle response;
+//! * force two literals to be equal — used to tie the outputs of a circuit
+//!   copy to the oracle response;
+//! * ask for *some* difference between two output vectors — the core of the
+//!   DIP search.
+
+use crate::solver::Solver;
+use crate::types::Lit;
+
+/// Forces `lit` to take the given Boolean value.
+pub fn assert_value(solver: &mut Solver, lit: Lit, value: bool) {
+    solver.add_clause(&[if value { lit } else { !lit }]);
+}
+
+/// Forces every literal of `lits` to the corresponding value in `values`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn assert_values(solver: &mut Solver, lits: &[Lit], values: &[bool]) {
+    assert_eq!(
+        lits.len(),
+        values.len(),
+        "literal and value vectors must have the same width"
+    );
+    for (&lit, &value) in lits.iter().zip(values) {
+        assert_value(solver, lit, value);
+    }
+}
+
+/// Forces `a = b`.
+pub fn assert_equal(solver: &mut Solver, a: Lit, b: Lit) {
+    solver.add_clause(&[!a, b]);
+    solver.add_clause(&[a, !b]);
+}
+
+/// Forces the two words to be equal element-wise.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn assert_equal_words(solver: &mut Solver, a: &[Lit], b: &[Lit]) {
+    assert_eq!(a.len(), b.len(), "words must have the same width");
+    for (&x, &y) in a.iter().zip(b) {
+        assert_equal(solver, x, y);
+    }
+}
+
+/// Returns a fresh literal that is true iff `a != b`.
+pub fn difference(solver: &mut Solver, a: Lit, b: Lit) -> Lit {
+    let d = Lit::positive(solver.new_var());
+    // d = a xor b
+    solver.add_clause(&[!d, a, b]);
+    solver.add_clause(&[!d, !a, !b]);
+    solver.add_clause(&[d, !a, b]);
+    solver.add_clause(&[d, a, !b]);
+    d
+}
+
+/// Returns a fresh literal that is true iff at least one pair of literals
+/// differs. The returned literal is *not* asserted; callers either add it as a
+/// unit clause (permanent miter) or pass it as an assumption (retractable
+/// query).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn any_difference(solver: &mut Solver, a: &[Lit], b: &[Lit]) -> Lit {
+    assert_eq!(a.len(), b.len(), "words must have the same width");
+    let diffs: Vec<Lit> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| difference(solver, x, y))
+        .collect();
+    let any = Lit::positive(solver.new_var());
+    // any = OR(diffs)
+    let mut long = Vec::with_capacity(diffs.len() + 1);
+    for &d in &diffs {
+        solver.add_clause(&[any, !d]);
+        long.push(d);
+    }
+    long.push(!any);
+    solver.add_clause(&long);
+    any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SatResult, Solver};
+
+    #[test]
+    fn assert_value_fixes_literals() {
+        let mut s = Solver::new();
+        let a = Lit::positive(s.new_var());
+        assert_value(&mut s, a, false);
+        match s.solve() {
+            SatResult::Sat(m) => assert!(!m.lit_value(a)),
+            SatResult::Unsat => panic!("satisfiable"),
+        }
+    }
+
+    #[test]
+    fn equal_words_propagate() {
+        let mut s = Solver::new();
+        let a: Vec<Lit> = (0..3).map(|_| Lit::positive(s.new_var())).collect();
+        let b: Vec<Lit> = (0..3).map(|_| Lit::positive(s.new_var())).collect();
+        assert_equal_words(&mut s, &a, &b);
+        assert_values(&mut s, &a, &[true, false, true]);
+        match s.solve() {
+            SatResult::Sat(m) => {
+                assert!(m.lit_value(b[0]));
+                assert!(!m.lit_value(b[1]));
+                assert!(m.lit_value(b[2]));
+            }
+            SatResult::Unsat => panic!("satisfiable"),
+        }
+    }
+
+    #[test]
+    fn any_difference_is_unsat_for_tied_words() {
+        let mut s = Solver::new();
+        let a: Vec<Lit> = (0..4).map(|_| Lit::positive(s.new_var())).collect();
+        let b: Vec<Lit> = (0..4).map(|_| Lit::positive(s.new_var())).collect();
+        assert_equal_words(&mut s, &a, &b);
+        let diff = any_difference(&mut s, &a, &b);
+        assert_eq!(s.solve_with_assumptions(&[diff]), SatResult::Unsat);
+        // Without the assumption the formula is satisfiable.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn any_difference_finds_a_differing_assignment() {
+        let mut s = Solver::new();
+        let a: Vec<Lit> = (0..2).map(|_| Lit::positive(s.new_var())).collect();
+        let b: Vec<Lit> = (0..2).map(|_| Lit::positive(s.new_var())).collect();
+        let diff = any_difference(&mut s, &a, &b);
+        s.add_clause(&[diff]);
+        match s.solve() {
+            SatResult::Sat(m) => {
+                let va: Vec<bool> = a.iter().map(|&l| m.lit_value(l)).collect();
+                let vb: Vec<bool> = b.iter().map(|&l| m.lit_value(l)).collect();
+                assert_ne!(va, vb);
+            }
+            SatResult::Unsat => panic!("difference must be achievable"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same width")]
+    fn mismatched_word_widths_panic() {
+        let mut s = Solver::new();
+        let a = vec![Lit::positive(s.new_var())];
+        let b = vec![];
+        assert_equal_words(&mut s, &a, &b);
+    }
+}

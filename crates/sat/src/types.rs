@@ -1,0 +1,166 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, identified by a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Dense index of the variable (0-based).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a variable from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        Var(index as u32)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Internally encoded as `2*var + sign` where `sign == 1` means negated, the
+/// usual MiniSat convention. The encoding is exposed through
+/// [`Lit::code`] so that watch lists can be indexed directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn positive(var: Var) -> Self {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn negative(var: Var) -> Self {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// Builds a literal with an explicit polarity (`true` = positive).
+    pub fn new(var: Var, positive: bool) -> Self {
+        if positive {
+            Lit::positive(var)
+        } else {
+            Lit::negative(var)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if the literal is negated.
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// `true` if the literal is positive.
+    pub fn is_positive(self) -> bool {
+        !self.is_negative()
+    }
+
+    /// Dense code of the literal (`2*var + sign`), usable as an array index.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a literal back from its dense code.
+    pub fn from_code(code: usize) -> Self {
+        Lit(code as u32)
+    }
+
+    /// Reads a literal from the DIMACS integer convention: positive integers
+    /// are positive literals of variable `n-1`, negative integers are negated.
+    ///
+    /// Returns `None` for 0 (the DIMACS clause terminator).
+    pub fn from_dimacs(value: i64) -> Option<Self> {
+        if value == 0 {
+            return None;
+        }
+        let var = Var((value.unsigned_abs() - 1) as u32);
+        Some(Lit::new(var, value > 0))
+    }
+
+    /// Converts to the DIMACS integer convention.
+    pub fn to_dimacs(self) -> i64 {
+        let v = (self.var().0 + 1) as i64;
+        if self.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let v = Var::from_index(5);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(n.is_negative());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(Lit::from_code(p.code()), p);
+    }
+
+    #[test]
+    fn dimacs_conversion() {
+        let v = Var::from_index(0);
+        assert_eq!(Lit::positive(v).to_dimacs(), 1);
+        assert_eq!(Lit::negative(v).to_dimacs(), -1);
+        assert_eq!(Lit::from_dimacs(3), Some(Lit::positive(Var::from_index(2))));
+        assert_eq!(
+            Lit::from_dimacs(-3),
+            Some(Lit::negative(Var::from_index(2)))
+        );
+        assert_eq!(Lit::from_dimacs(0), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Var::from_index(0);
+        assert_eq!(Lit::positive(v).to_string(), "x1");
+        assert_eq!(Lit::negative(v).to_string(), "¬x1");
+    }
+
+    #[test]
+    fn new_respects_polarity_flag() {
+        let v = Var::from_index(9);
+        assert_eq!(Lit::new(v, true), Lit::positive(v));
+        assert_eq!(Lit::new(v, false), Lit::negative(v));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests: the CDCL solver agrees with brute-force enumeration
+//! on random small CNF formulas, and its models actually satisfy the formula.
+
+use proptest::prelude::*;
+
+use sat::{Cnf, Lit, SatResult, Solver, Var};
+
+/// Strategy producing a random CNF with up to `max_vars` variables and
+/// `max_clauses` clauses of 1..=4 literals.
+fn cnf_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    let literal = (1..=max_vars as i64).prop_flat_map(|v| {
+        prop_oneof![Just(v), Just(-v)]
+    });
+    let clause = proptest::collection::vec(literal, 1..=4);
+    proptest::collection::vec(clause, 1..=max_clauses)
+}
+
+fn build(clauses: &[Vec<i64>]) -> (Cnf, Solver, usize) {
+    let num_vars = clauses
+        .iter()
+        .flatten()
+        .map(|l| l.unsigned_abs() as usize)
+        .max()
+        .unwrap_or(0);
+    let mut cnf = Cnf::new();
+    cnf.ensure_vars(num_vars);
+    let mut solver = Solver::new();
+    for _ in 0..num_vars {
+        solver.new_var();
+    }
+    for clause in clauses {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&l| Lit::from_dimacs(l).expect("non-zero"))
+            .collect();
+        cnf.add_clause(&lits);
+        solver.add_clause(&lits);
+    }
+    (cnf, solver, num_vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The CDCL verdict matches exhaustive enumeration.
+    #[test]
+    fn cdcl_agrees_with_brute_force(clauses in cnf_strategy(10, 30)) {
+        let (cnf, mut solver, num_vars) = build(&clauses);
+        let brute = cnf.brute_force();
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                prop_assert!(brute.is_some(), "solver said SAT, brute force said UNSAT");
+                let assignment: Vec<bool> =
+                    (0..num_vars).map(|i| model.value(Var::from_index(i))).collect();
+                prop_assert!(cnf.evaluate(&assignment), "model does not satisfy the formula");
+            }
+            SatResult::Unsat => {
+                prop_assert!(brute.is_none(), "solver said UNSAT, brute force found {brute:?}");
+            }
+        }
+    }
+
+    /// Solving under assumptions never contradicts solving the formula alone,
+    /// and an assumption-satisfying model honors the assumptions.
+    #[test]
+    fn assumptions_are_honored(clauses in cnf_strategy(8, 20), pick in 1..=8i64) {
+        let (cnf, mut solver, num_vars) = build(&clauses);
+        if num_vars == 0 {
+            return Ok(());
+        }
+        let var = ((pick.unsigned_abs() as usize - 1) % num_vars) as usize;
+        let assumption = Lit::positive(Var::from_index(var));
+        match solver.solve_with_assumptions(&[assumption]) {
+            SatResult::Sat(model) => {
+                prop_assert!(model.lit_value(assumption));
+                let assignment: Vec<bool> =
+                    (0..num_vars).map(|i| model.value(Var::from_index(i))).collect();
+                prop_assert!(cnf.evaluate(&assignment));
+            }
+            SatResult::Unsat => {
+                // The formula with the unit clause added must indeed be UNSAT.
+                let mut strengthened = cnf.clone();
+                strengthened.add_clause(&[assumption]);
+                prop_assert!(strengthened.brute_force().is_none());
+            }
+        }
+        // The solver is still usable afterwards and agrees with brute force.
+        let verdict_after = solver.solve().is_sat();
+        prop_assert_eq!(verdict_after, cnf.brute_force().is_some());
+    }
+
+    /// DIMACS serialization round-trips.
+    #[test]
+    fn dimacs_round_trip(clauses in cnf_strategy(12, 24)) {
+        let (cnf, _, _) = build(&clauses);
+        let text = sat::dimacs::write(&cnf);
+        let reparsed = sat::dimacs::parse(&text).expect("round-trip parses");
+        prop_assert_eq!(reparsed.num_clauses(), cnf.num_clauses());
+        prop_assert!(reparsed.num_vars() >= cnf.clauses().iter().flatten()
+            .map(|l| l.var().index() + 1).max().unwrap_or(0));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based test: the Tseitin encoding of a random combinational
+//! netlist is consistent with direct gate-level evaluation under every
+//! sampled input assignment.
+
+use proptest::prelude::*;
+
+use netlist::{GateKind, NetId, Netlist};
+use sat::{miter, tseitin::CircuitEncoder, SatResult, Solver};
+
+/// A recipe for one random gate: kind index and input picks.
+type GateRecipe = (u8, u8, u8, u8);
+
+fn build_circuit(num_inputs: usize, recipes: &[GateRecipe]) -> Netlist {
+    let kinds = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Mux,
+    ];
+    let mut nl = Netlist::new("random");
+    let mut nets: Vec<NetId> = (0..num_inputs)
+        .map(|i| nl.add_input(format!("in{i}")))
+        .collect();
+    for (g, &(kind_pick, a, b, c)) in recipes.iter().enumerate() {
+        let kind = kinds[kind_pick as usize % kinds.len()];
+        let pick = |x: u8| nets[x as usize % nets.len()];
+        let inputs: Vec<NetId> = match kind {
+            GateKind::Not => vec![pick(a)],
+            GateKind::Mux => vec![pick(a), pick(b), pick(c)],
+            _ => vec![pick(a), pick(b)],
+        };
+        let out = nl
+            .add_gate(kind, &inputs, format!("g{g}"))
+            .expect("arity is correct by construction");
+        nets.push(out);
+    }
+    // Mark the last few nets as outputs.
+    let num_outputs = nets.len().min(3);
+    for &net in nets.iter().rev().take(num_outputs) {
+        nl.mark_output(net).expect("distinct nets");
+    }
+    nl
+}
+
+fn evaluate_directly(netlist: &Netlist, inputs: &[bool]) -> Vec<bool> {
+    let order = netlist::topo::gate_order(netlist).expect("acyclic");
+    let mut values = vec![false; netlist.num_nets()];
+    for (i, &net) in netlist.inputs().iter().enumerate() {
+        values[net.index()] = inputs[i];
+    }
+    for gid in order {
+        let gate = netlist.gate(gid);
+        let ins: Vec<bool> = gate.inputs.iter().map(|&n| values[n.index()]).collect();
+        values[gate.output.index()] = gate.kind.eval(&ins);
+    }
+    netlist.outputs().iter().map(|&o| values[o.index()]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tseitin_encoding_matches_direct_evaluation(
+        recipes in proptest::collection::vec(any::<GateRecipe>(), 1..24),
+        input_bits in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        let netlist = build_circuit(input_bits.len(), &recipes);
+        let expected = evaluate_directly(&netlist, &input_bits);
+
+        let mut solver = Solver::new();
+        let mut encoder = CircuitEncoder::new(&netlist).expect("combinational");
+        encoder.encode(&mut solver).expect("encodes");
+        miter::assert_values(&mut solver, &encoder.input_lits(), &input_bits);
+
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                let got: Vec<bool> = encoder
+                    .output_lits()
+                    .iter()
+                    .map(|&l| model.lit_value(l))
+                    .collect();
+                prop_assert_eq!(got, expected);
+            }
+            SatResult::Unsat => prop_assert!(false, "constrained encoding must be satisfiable"),
+        }
+    }
+
+    /// A miter of a circuit against itself can never find a difference.
+    #[test]
+    fn self_miter_is_unsat(
+        recipes in proptest::collection::vec(any::<GateRecipe>(), 1..16),
+    ) {
+        let netlist = build_circuit(3, &recipes);
+        let mut solver = Solver::new();
+        let shared: Vec<sat::Lit> = (0..netlist.num_inputs())
+            .map(|_| sat::Lit::positive(solver.new_var()))
+            .collect();
+        let mut enc1 = CircuitEncoder::new(&netlist).expect("combinational");
+        let mut enc2 = CircuitEncoder::new(&netlist).expect("combinational");
+        for (i, &input) in netlist.inputs().iter().enumerate() {
+            enc1.bind(input, shared[i]);
+            enc2.bind(input, shared[i]);
+        }
+        enc1.encode(&mut solver).expect("encodes");
+        enc2.encode(&mut solver).expect("encodes");
+        let diff = miter::any_difference(&mut solver, &enc1.output_lits(), &enc2.output_lits());
+        prop_assert_eq!(solver.solve_with_assumptions(&[diff]), SatResult::Unsat);
+    }
+}

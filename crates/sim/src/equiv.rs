@@ -1,0 +1,189 @@
+//! Randomized sequential equivalence checking.
+//!
+//! Full sequential equivalence checking is PSPACE-hard; for the purposes of
+//! the attack loop (candidate-key validation) and of the locking flow
+//! (correct-key sanity check) a randomized simulation-based check over many
+//! independent input sequences is the standard practical substitute and is
+//! what this module provides.
+
+use rand::Rng;
+
+use netlist::Netlist;
+
+use crate::simulator::{SimError, Simulator};
+use crate::stimulus;
+
+/// A witness that two circuits differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Key sequence applied to the locked circuit (empty for plain checks).
+    pub key: Vec<Vec<bool>>,
+    /// Functional input sequence that exposes the difference.
+    pub inputs: Vec<Vec<bool>>,
+    /// Cycle (0-based, within the functional phase) of the first mismatch.
+    pub cycle: usize,
+}
+
+/// Compares two circuits with identical interfaces over `sequences` random
+/// input sequences of `cycles` cycles each. Returns `None` if no difference
+/// was observed.
+///
+/// # Errors
+///
+/// Propagates simulator errors (invalid netlists, interface mismatches).
+pub fn random_equiv_check<R: Rng + ?Sized>(
+    a: &Netlist,
+    b: &Netlist,
+    cycles: usize,
+    sequences: usize,
+    rng: &mut R,
+) -> Result<Option<Counterexample>, SimError> {
+    let mut sim_a = Simulator::new(a)?;
+    let mut sim_b = Simulator::new(b)?;
+    if a.num_inputs() != b.num_inputs() {
+        return Err(SimError::InputWidthMismatch {
+            expected: a.num_inputs(),
+            got: b.num_inputs(),
+        });
+    }
+    let width = a.num_inputs();
+    for _ in 0..sequences {
+        let inputs = stimulus::random_sequence(rng, width, cycles);
+        sim_a.reset();
+        sim_b.reset();
+        for (t, cycle_inputs) in inputs.iter().enumerate() {
+            let out_a = sim_a.step(cycle_inputs)?;
+            let out_b = sim_b.step(cycle_inputs)?;
+            if out_a != out_b {
+                return Ok(Some(Counterexample {
+                    key: Vec::new(),
+                    inputs,
+                    cycle: t,
+                }));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Checks that the locked circuit configured with `key` behaves like the
+/// original over `sequences` random input sequences of `cycles` cycles.
+///
+/// The key sequence is applied to the locked circuit right after reset; the
+/// original circuit starts directly with the functional inputs, exactly as in
+/// the paper's threat model.
+///
+/// # Errors
+///
+/// Propagates simulator errors (invalid netlists, interface mismatches).
+pub fn key_restores_function<R: Rng + ?Sized>(
+    original: &Netlist,
+    locked: &Netlist,
+    key: &[Vec<bool>],
+    cycles: usize,
+    sequences: usize,
+    rng: &mut R,
+) -> Result<Option<Counterexample>, SimError> {
+    let mut orig_sim = Simulator::new(original)?;
+    let mut lock_sim = Simulator::new(locked)?;
+    if original.num_inputs() != locked.num_inputs() {
+        return Err(SimError::InputWidthMismatch {
+            expected: original.num_inputs(),
+            got: locked.num_inputs(),
+        });
+    }
+    let width = original.num_inputs();
+    for _ in 0..sequences {
+        let inputs = stimulus::random_sequence(rng, width, cycles);
+        orig_sim.reset();
+        lock_sim.reset();
+        for key_cycle in key {
+            lock_sim.step(key_cycle)?;
+        }
+        for (t, cycle_inputs) in inputs.iter().enumerate() {
+            let expected = orig_sim.step(cycle_inputs)?;
+            let got = lock_sim.step(cycle_inputs)?;
+            if expected != got {
+                return Ok(Some(Counterexample {
+                    key: key.to_vec(),
+                    inputs,
+                    cycle: t,
+                }));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GateKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_circuit(invert: bool) -> Netlist {
+        let mut nl = Netlist::new(if invert { "b" } else { "a" });
+        let x = nl.add_input("x");
+        let y = nl.add_input("y");
+        let kind = if invert { GateKind::Xnor } else { GateKind::Xor };
+        let o = nl.add_gate(kind, &[x, y], "o").unwrap();
+        nl.mark_output(o).unwrap();
+        nl
+    }
+
+    #[test]
+    fn identical_circuits_are_equivalent() {
+        let a = xor_circuit(false);
+        let b = xor_circuit(false);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(random_equiv_check(&a, &b, 4, 16, &mut rng)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn different_circuits_yield_a_counterexample() {
+        let a = xor_circuit(false);
+        let b = xor_circuit(true);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cex = random_equiv_check(&a, &b, 4, 16, &mut rng).unwrap();
+        let cex = cex.expect("xor and xnor must differ");
+        assert_eq!(cex.cycle, 0);
+        assert!(cex.key.is_empty());
+    }
+
+    #[test]
+    fn key_check_skips_the_key_phase() {
+        // Original: out = x. "Locked": after one key cycle the output equals x
+        // regardless of key value (trivially correct for any key).
+        let mut original = Netlist::new("o");
+        let x = original.add_input("x");
+        let o = original.add_gate(GateKind::Buf, &[x], "o").unwrap();
+        original.mark_output(o).unwrap();
+
+        let mut locked = Netlist::new("l");
+        let x = locked.add_input("x");
+        let o = locked.add_gate(GateKind::Buf, &[x], "o").unwrap();
+        locked.mark_output(o).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let key = vec![vec![true]];
+        assert!(
+            key_restores_function(&original, &locked, &key, 3, 8, &mut rng)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn interface_mismatch_is_an_error() {
+        let a = xor_circuit(false);
+        let mut b = Netlist::new("one_input");
+        let x = b.add_input("x");
+        let o = b.add_gate(GateKind::Buf, &[x], "o").unwrap();
+        b.mark_output(o).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(random_equiv_check(&a, &b, 2, 2, &mut rng).is_err());
+    }
+}

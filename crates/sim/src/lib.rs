@@ -1,0 +1,45 @@
+//! Cycle-accurate gate-level simulation.
+//!
+//! This crate drives [`netlist::Netlist`] designs through time:
+//!
+//! * [`Simulator`] — two-valued, event-free cycle simulation (evaluate the
+//!   combinational cloud in topological order, then clock every register).
+//! * [`stimulus`] — deterministic pseudo-random input/key sequence generation.
+//! * [`fc`] — Monte-Carlo estimation of the *functional corruptibility* of a
+//!   locked circuit (paper Eq. 1), mirroring the 800-sample VCS protocol used
+//!   in the paper's evaluation.
+//! * [`equiv`] — randomized sequential equivalence checking, used to confirm
+//!   that the correct key restores the original function and that attacks
+//!   recovered a usable key.
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::{Netlist, GateKind};
+//! use sim::Simulator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut nl = Netlist::new("toggle");
+//! let en = nl.add_input("en");
+//! let q = nl.declare_dff("q", false)?;
+//! let d = nl.add_gate(GateKind::Xor, &[q, en], "d")?;
+//! nl.bind_dff(q, d)?;
+//! nl.mark_output(q)?;
+//!
+//! let mut s = Simulator::new(&nl)?;
+//! assert_eq!(s.step(&[true])?, vec![false]);
+//! assert_eq!(s.step(&[true])?, vec![true]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod simulator;
+
+pub mod equiv;
+pub mod fc;
+pub mod stimulus;
+
+pub use simulator::{SimError, Simulator};

@@ -1,0 +1,349 @@
+//! The cycle-accurate simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use netlist::{GateId, NetId, Netlist, NetlistError};
+
+/// Error produced by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The netlist failed validation (details inside).
+    InvalidNetlist(NetlistError),
+    /// The number of input values supplied to a cycle does not match the
+    /// number of primary inputs.
+    InputWidthMismatch {
+        /// Number of primary inputs the netlist has.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidNetlist(e) => write!(f, "invalid netlist: {e}"),
+            SimError::InputWidthMismatch { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvalidNetlist(e) => Some(e),
+            SimError::InputWidthMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SimError {
+    fn from(e: NetlistError) -> Self {
+        SimError::InvalidNetlist(e)
+    }
+}
+
+/// Two-valued cycle-accurate simulator for a sequential netlist.
+///
+/// The simulator borrows the netlist; construct one per design and call
+/// [`Simulator::step`] once per clock cycle. [`Simulator::reset`] restores all
+/// registers to their declared reset values.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<GateId>,
+    /// Value of every net after the latest combinational evaluation.
+    values: Vec<bool>,
+    /// Present-state value of every flip-flop.
+    state: Vec<bool>,
+    cycle: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for `netlist` in the reset state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidNetlist`] if the netlist does not validate
+    /// (unbound flip-flops, undriven nets, combinational cycles).
+    pub fn new(netlist: &'a Netlist) -> Result<Self, SimError> {
+        netlist.validate()?;
+        let order = netlist::topo::gate_order(netlist)?;
+        let state = netlist.dffs().iter().map(|d| d.init).collect();
+        Ok(Simulator {
+            netlist,
+            order,
+            values: vec![false; netlist.num_nets()],
+            state,
+            cycle: 0,
+        })
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// Number of clock cycles applied since the last reset.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Restores every register to its reset value.
+    pub fn reset(&mut self) {
+        for (slot, dff) in self.state.iter_mut().zip(self.netlist.dffs()) {
+            *slot = dff.init;
+        }
+        self.cycle = 0;
+    }
+
+    /// Present-state values of all flip-flops, in [`Netlist::dffs`] order.
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Overrides the present state (useful for reachability experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the number of flip-flops.
+    pub fn load_state(&mut self, state: &[bool]) {
+        assert_eq!(
+            state.len(),
+            self.state.len(),
+            "state width mismatch when loading simulator state"
+        );
+        self.state.copy_from_slice(state);
+    }
+
+    /// Value of an arbitrary net after the most recent [`Simulator::step`] or
+    /// [`Simulator::peek_outputs`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net does not belong to the simulated netlist.
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    fn evaluate(&mut self, inputs: &[bool]) -> Result<(), SimError> {
+        if inputs.len() != self.netlist.num_inputs() {
+            return Err(SimError::InputWidthMismatch {
+                expected: self.netlist.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        for (&net, &value) in self.netlist.inputs().iter().zip(inputs) {
+            self.values[net.index()] = value;
+        }
+        for (dff, &value) in self.netlist.dffs().iter().zip(&self.state) {
+            self.values[dff.q.index()] = value;
+        }
+        for &gid in &self.order {
+            let gate = self.netlist.gate(gid);
+            let value = match gate.kind {
+                netlist::GateKind::Mux => {
+                    let sel = self.values[gate.inputs[0].index()];
+                    let pick = if sel { gate.inputs[2] } else { gate.inputs[1] };
+                    self.values[pick.index()]
+                }
+                _ => {
+                    // Evaluate via the gate-kind truth function on a small
+                    // stack buffer to avoid per-gate allocation.
+                    let mut buf = [false; 8];
+                    if gate.inputs.len() <= buf.len() {
+                        for (slot, &n) in buf.iter_mut().zip(&gate.inputs) {
+                            *slot = self.values[n.index()];
+                        }
+                        gate.kind.eval(&buf[..gate.inputs.len()])
+                    } else {
+                        let ins: Vec<bool> = gate
+                            .inputs
+                            .iter()
+                            .map(|&n| self.values[n.index()])
+                            .collect();
+                        gate.kind.eval(&ins)
+                    }
+                }
+            };
+            self.values[gate.output.index()] = value;
+        }
+        Ok(())
+    }
+
+    /// Evaluates the combinational logic for the given input vector *without*
+    /// advancing the registers, and returns the primary output values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InputWidthMismatch`] if `inputs` has the wrong
+    /// width.
+    pub fn peek_outputs(&mut self, inputs: &[bool]) -> Result<Vec<bool>, SimError> {
+        self.evaluate(inputs)?;
+        Ok(self
+            .netlist
+            .outputs()
+            .iter()
+            .map(|&o| self.values[o.index()])
+            .collect())
+    }
+
+    /// Applies one clock cycle: evaluates the combinational logic on `inputs`,
+    /// captures the primary outputs, then clocks every register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InputWidthMismatch`] if `inputs` has the wrong
+    /// width.
+    pub fn step(&mut self, inputs: &[bool]) -> Result<Vec<bool>, SimError> {
+        self.evaluate(inputs)?;
+        let outputs = self
+            .netlist
+            .outputs()
+            .iter()
+            .map(|&o| self.values[o.index()])
+            .collect();
+        for (slot, dff) in self.state.iter_mut().zip(self.netlist.dffs()) {
+            let d = dff.d.expect("validated netlist has bound flip-flops");
+            *slot = self.values[d.index()];
+        }
+        self.cycle += 1;
+        Ok(outputs)
+    }
+
+    /// Runs a whole input sequence from the *current* state and returns the
+    /// output vector of every cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InputWidthMismatch`] if any cycle has the wrong
+    /// width.
+    pub fn run(&mut self, sequence: &[Vec<bool>]) -> Result<Vec<Vec<bool>>, SimError> {
+        let mut outputs = Vec::with_capacity(sequence.len());
+        for cycle_inputs in sequence {
+            outputs.push(self.step(cycle_inputs)?);
+        }
+        Ok(outputs)
+    }
+
+    /// Convenience: reset, then run the sequence from the reset state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InputWidthMismatch`] if any cycle has the wrong
+    /// width.
+    pub fn run_from_reset(&mut self, sequence: &[Vec<bool>]) -> Result<Vec<Vec<bool>>, SimError> {
+        self.reset();
+        self.run(sequence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GateKind;
+
+    fn counter2() -> Netlist {
+        let mut nl = Netlist::new("cnt2");
+        let en = nl.add_input("en");
+        let q0 = nl.declare_dff("q0", false).unwrap();
+        let q1 = nl.declare_dff("q1", false).unwrap();
+        let n0 = nl.add_gate(GateKind::Xor, &[q0, en], "n0").unwrap();
+        let c = nl.add_gate(GateKind::And, &[q0, en], "c").unwrap();
+        let n1 = nl.add_gate(GateKind::Xor, &[q1, c], "n1").unwrap();
+        nl.bind_dff(q0, n0).unwrap();
+        nl.bind_dff(q1, n1).unwrap();
+        nl.mark_output(q0).unwrap();
+        nl.mark_output(q1).unwrap();
+        nl
+    }
+
+    #[test]
+    fn counter_counts_when_enabled() {
+        let nl = counter2();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            let out = sim.step(&[true]).unwrap();
+            seen.push((out[1] as u8) << 1 | out[0] as u8);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 0]);
+        assert_eq!(sim.cycle(), 5);
+    }
+
+    #[test]
+    fn counter_holds_when_disabled() {
+        let nl = counter2();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.step(&[true]).unwrap();
+        sim.step(&[true]).unwrap();
+        let before = sim.state().to_vec();
+        sim.step(&[false]).unwrap();
+        assert_eq!(sim.state(), &before[..]);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let nl = counter2();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.step(&[true]).unwrap();
+        sim.reset();
+        assert_eq!(sim.state(), &[false, false]);
+        assert_eq!(sim.cycle(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_clock_registers() {
+        let nl = counter2();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let out = sim.peek_outputs(&[true]).unwrap();
+        assert_eq!(out, vec![false, false]);
+        assert_eq!(sim.state(), &[false, false]);
+    }
+
+    #[test]
+    fn wrong_input_width_is_an_error() {
+        let nl = counter2();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let err = sim.step(&[true, false]).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InputWidthMismatch {
+                expected: 1,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn load_state_overrides_registers() {
+        let nl = counter2();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.load_state(&[true, true]);
+        let out = sim.peek_outputs(&[false]).unwrap();
+        assert_eq!(out, vec![true, true]);
+    }
+
+    #[test]
+    fn run_from_reset_is_deterministic() {
+        let nl = counter2();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let seq: Vec<Vec<bool>> = vec![vec![true]; 4];
+        let a = sim.run_from_reset(&seq).unwrap();
+        let b = sim.run_from_reset(&seq).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_netlist_is_rejected() {
+        let mut nl = Netlist::new("bad");
+        nl.declare_dff("q", false).unwrap();
+        assert!(matches!(
+            Simulator::new(&nl),
+            Err(SimError::InvalidNetlist(_))
+        ));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the simulator: unrolled evaluation agrees with
+//! sequential simulation, resets are idempotent, and the FC estimator is a
+//! probability.
+
+use proptest::prelude::*;
+
+use netlist::{GateKind, Netlist};
+use sim::{stimulus, Simulator};
+
+/// Builds a small sequential circuit parameterized by a few recipe bytes.
+fn build_circuit(recipes: &[(u8, u8, u8)]) -> Netlist {
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Xor,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xnor,
+    ];
+    let mut nl = Netlist::new("prop_sim");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let q0 = nl.declare_dff("q0", false).expect("unique");
+    let q1 = nl.declare_dff("q1", true).expect("unique");
+    let mut nets = vec![a, b, q0, q1];
+    for (g, &(kind_pick, x, y)) in recipes.iter().enumerate() {
+        let kind = kinds[kind_pick as usize % kinds.len()];
+        let pick = |v: u8| nets[v as usize % nets.len()];
+        let out = nl
+            .add_gate(kind, &[pick(x), pick(y)], format!("g{g}"))
+            .expect("arity ok");
+        nets.push(out);
+    }
+    let last = *nets.last().expect("non-empty");
+    let second_last = nets[nets.len().saturating_sub(2)];
+    nl.bind_dff(q0, last).expect("first binding");
+    nl.bind_dff(q1, second_last).expect("first binding");
+    nl.mark_output(last).expect("output");
+    nl.mark_output(q0).expect("output");
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The unrolled circuit computes exactly the same outputs as stepping the
+    /// sequential simulator cycle by cycle.
+    #[test]
+    fn unrolled_evaluation_matches_sequential_simulation(
+        recipes in proptest::collection::vec(any::<(u8, u8, u8)>(), 1..12),
+        stimulus_bits in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let nl = build_circuit(&recipes);
+        let cycles = stimulus_bits.len() / nl.num_inputs();
+        let stimulus: Vec<Vec<bool>> = stimulus_bits
+            .chunks(nl.num_inputs())
+            .take(cycles)
+            .map(<[bool]>::to_vec)
+            .collect();
+
+        let mut seq = Simulator::new(&nl).expect("valid netlist");
+        let sequential = seq.run_from_reset(&stimulus).expect("runs");
+
+        let unrolled = netlist::unroll::unroll(&nl, cycles).expect("unrolls");
+        let mut comb = Simulator::new(&unrolled.netlist).expect("combinational sim");
+        let mut flat = vec![false; unrolled.netlist.num_inputs()];
+        for (t, cycle) in stimulus.iter().enumerate() {
+            for (i, &bit) in cycle.iter().enumerate() {
+                let net = unrolled.inputs[t][i];
+                let pos = unrolled
+                    .netlist
+                    .inputs()
+                    .iter()
+                    .position(|n| *n == net)
+                    .expect("input present");
+                flat[pos] = bit;
+            }
+        }
+        let outputs = comb.peek_outputs(&flat).expect("evaluates");
+        let flattened_sequential: Vec<bool> = sequential.into_iter().flatten().collect();
+        prop_assert_eq!(outputs, flattened_sequential);
+    }
+
+    /// Reset brings the simulator back to a state from which behaviour is
+    /// reproducible.
+    #[test]
+    fn reset_makes_runs_reproducible(
+        recipes in proptest::collection::vec(any::<(u8, u8, u8)>(), 1..10),
+        seed in any::<u64>(),
+    ) {
+        let nl = build_circuit(&recipes);
+        let mut sim = Simulator::new(&nl).expect("valid netlist");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let stimulus = stimulus::random_sequence(&mut rng, nl.num_inputs(), 6);
+        let first = sim.run_from_reset(&stimulus).expect("runs");
+        let second = sim.run_from_reset(&stimulus).expect("runs");
+        prop_assert_eq!(first, second);
+    }
+
+    /// The FC estimator always returns a probability and is zero for a
+    /// circuit compared against itself.
+    #[test]
+    fn fc_estimates_are_probabilities(
+        recipes in proptest::collection::vec(any::<(u8, u8, u8)>(), 1..10),
+        seed in any::<u64>(),
+    ) {
+        let nl = build_circuit(&recipes);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // A circuit compared against itself with an empty key phase (κ = 0)
+        // must never mismatch.
+        let est = sim::fc::estimate_fc(&nl, &nl, 0, 3, 40, &mut rng).expect("estimates");
+        prop_assert!(est.fc >= 0.0 && est.fc <= 1.0);
+        prop_assert_eq!(est.mismatches, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Construction of the register connection graph.
+
+use std::collections::BTreeSet;
+
+use netlist::{cone, DffId, Netlist, RegClass};
+
+/// The register connection graph of a sequential netlist.
+///
+/// Node `i` corresponds to flip-flop `i` of the source netlist (same index as
+/// [`Netlist::dffs`]). An edge `a → b` means that a purely combinational path
+/// exists from the `Q` output of register `a` to the `D` input of register
+/// `b`, i.e. the present state of `a` can influence the next state of `b`
+/// within one clock cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterGraph {
+    /// Adjacency list: `successors[a]` holds every `b` with an edge `a → b`.
+    successors: Vec<Vec<usize>>,
+    /// Reverse adjacency list.
+    predecessors: Vec<Vec<usize>>,
+    /// Provenance tag of each register, copied from the netlist.
+    classes: Vec<RegClass>,
+}
+
+impl RegisterGraph {
+    /// Builds the RCG of `netlist`.
+    pub fn build(netlist: &Netlist) -> Self {
+        let n = netlist.num_dffs();
+        let mut successors: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for target in 0..n {
+            let sources = cone::register_fanin(netlist, DffId::from_index(target));
+            for src in sources {
+                successors[src.index()].insert(target);
+            }
+        }
+        let successors: Vec<Vec<usize>> = successors
+            .into_iter()
+            .map(|set| set.into_iter().collect())
+            .collect();
+        let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (src, succs) in successors.iter().enumerate() {
+            for &dst in succs {
+                predecessors[dst].push(src);
+            }
+        }
+        let classes = netlist.dffs().iter().map(|d| d.class).collect();
+        RegisterGraph {
+            successors,
+            predecessors,
+            classes,
+        }
+    }
+
+    /// Builds a graph directly from adjacency data (mostly for tests and for
+    /// synthetic experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node out of range or if `classes` has a
+    /// different length than the adjacency list.
+    pub fn from_edges(num_nodes: usize, edges: &[(usize, usize)], classes: Vec<RegClass>) -> Self {
+        assert_eq!(classes.len(), num_nodes, "one class per node required");
+        let mut successors: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); num_nodes];
+        for &(a, b) in edges {
+            assert!(a < num_nodes && b < num_nodes, "edge ({a},{b}) out of range");
+            successors[a].insert(b);
+        }
+        let successors: Vec<Vec<usize>> = successors
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
+        let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+        for (src, succs) in successors.iter().enumerate() {
+            for &dst in succs {
+                predecessors[dst].push(src);
+            }
+        }
+        RegisterGraph {
+            successors,
+            predecessors,
+            classes,
+        }
+    }
+
+    /// Number of registers (nodes).
+    pub fn num_nodes(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.successors.iter().map(Vec::len).sum()
+    }
+
+    /// Successors of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn successors(&self, node: usize) -> &[usize] {
+        &self.successors[node]
+    }
+
+    /// Predecessors of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn predecessors(&self, node: usize) -> &[usize] {
+        &self.predecessors[node]
+    }
+
+    /// Provenance class of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn class(&self, node: usize) -> RegClass {
+        self.classes[node]
+    }
+
+    /// Total degree (in + out) of a node, the "number of edges" criterion used
+    /// by Algorithm 1 when picking the representative register of an SCC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn degree(&self, node: usize) -> usize {
+        self.successors[node].len() + self.predecessors[node].len()
+    }
+
+    /// `true` if the graph has an edge `a → b`.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.successors[a].binary_search(&b).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GateKind;
+
+    /// r0 -> r1 -> r2 -> r0 ring plus an isolated register r3 fed by an input.
+    fn ring_netlist() -> Netlist {
+        let mut nl = Netlist::new("ring");
+        let a = nl.add_input("a");
+        let q0 = nl.declare_dff("q0", false).unwrap();
+        let q1 = nl.declare_dff("q1", false).unwrap();
+        let q2 = nl.declare_dff("q2", false).unwrap();
+        let q3 = nl
+            .declare_dff_with_class("q3", false, RegClass::Locking)
+            .unwrap();
+        let d1 = nl.add_gate(GateKind::Buf, &[q0], "d1").unwrap();
+        let d2 = nl.add_gate(GateKind::Not, &[q1], "d2").unwrap();
+        let d0 = nl.add_gate(GateKind::And, &[q2, a], "d0").unwrap();
+        let d3 = nl.add_gate(GateKind::Not, &[a], "d3").unwrap();
+        nl.bind_dff(q0, d0).unwrap();
+        nl.bind_dff(q1, d1).unwrap();
+        nl.bind_dff(q2, d2).unwrap();
+        nl.bind_dff(q3, d3).unwrap();
+        nl.mark_output(q2).unwrap();
+        nl.mark_output(q3).unwrap();
+        nl
+    }
+
+    #[test]
+    fn rcg_of_ring_has_ring_edges_only() {
+        let nl = ring_netlist();
+        let g = RegisterGraph::build(&nl);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(g.successors(3).is_empty());
+        assert!(g.predecessors(3).is_empty());
+        assert_eq!(g.class(3), RegClass::Locking);
+        assert_eq!(g.class(0), RegClass::Original);
+    }
+
+    #[test]
+    fn degree_counts_both_directions() {
+        let nl = ring_netlist();
+        let g = RegisterGraph::build(&nl);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn from_edges_deduplicates() {
+        let g = RegisterGraph::from_edges(
+            3,
+            &[(0, 1), (0, 1), (1, 2)],
+            vec![RegClass::Original; 3],
+        );
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.predecessors(2), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_rejects_bad_nodes() {
+        RegisterGraph::from_edges(2, &[(0, 5)], vec![RegClass::Original; 2]);
+    }
+
+    #[test]
+    fn self_loop_when_register_feeds_itself() {
+        let mut nl = Netlist::new("self");
+        let q = nl.declare_dff("q", false).unwrap();
+        let d = nl.add_gate(GateKind::Not, &[q], "d").unwrap();
+        nl.bind_dff(q, d).unwrap();
+        nl.mark_output(q).unwrap();
+        let g = RegisterGraph::build(&nl);
+        assert!(g.has_edge(0, 0));
+        assert_eq!(g.num_edges(), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! Register connection graph (RCG) analysis.
+//!
+//! The removal-attack analysis of the paper (Section III-C, Table II) works on
+//! the *register connection graph*: one node per flip-flop and a directed edge
+//! `r1 → r2` whenever a combinational path leads from the `Q` pin of `r1` to
+//! the `D` pin of `r2`. Strongly connected components (SCCs) of this graph are
+//! then classified by the provenance of the registers they contain:
+//!
+//! * **O-SCC** — only original registers,
+//! * **E-SCC** — only registers added by the locking scheme,
+//! * **M-SCC** — a mix of both (what state re-encoding tries to create).
+//!
+//! This crate builds the RCG from a [`netlist::Netlist`], computes SCCs with
+//! Tarjan's algorithm, and produces the classification report used both by
+//! Algorithm 1 (the register-pair selection of state re-encoding) and by the
+//! Table II evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod scc;
+
+pub mod transition;
+
+pub use graph::RegisterGraph;
+pub use scc::{classify_sccs, tarjan_scc, Scc, SccClass, SccReport};

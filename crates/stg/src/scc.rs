@@ -1,0 +1,311 @@
+//! Tarjan's strongly-connected-components algorithm and SCC classification.
+
+use std::fmt;
+
+use netlist::RegClass;
+
+use crate::graph::RegisterGraph;
+
+/// Classification of an SCC by the provenance of its registers (paper
+/// Section III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SccClass {
+    /// Contains only original registers.
+    Original,
+    /// Contains only registers added by the locking scheme.
+    Extra,
+    /// Contains both kinds (or re-encoded registers): the attacker cannot
+    /// split it by connectivity alone.
+    Mixed,
+}
+
+impl fmt::Display for SccClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SccClass::Original => "O-SCC",
+            SccClass::Extra => "E-SCC",
+            SccClass::Mixed => "M-SCC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One strongly connected component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scc {
+    /// Node (register) indices belonging to the component.
+    pub nodes: Vec<usize>,
+    /// Classification of the component.
+    pub class: SccClass,
+}
+
+impl Scc {
+    /// Number of registers in the component.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the component is empty (never produced by the algorithm).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Aggregate report over all SCCs of an RCG — the row format of the paper's
+/// Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SccReport {
+    /// All components, largest first.
+    pub sccs: Vec<Scc>,
+    /// Number of O-SCCs.
+    pub num_original: usize,
+    /// Number of E-SCCs.
+    pub num_extra: usize,
+    /// Number of M-SCCs.
+    pub num_mixed: usize,
+    /// Percentage (0–100) of registers that live in some M-SCC (`P_M`).
+    pub percent_in_mixed: f64,
+}
+
+impl SccReport {
+    /// Total number of registers covered by the report.
+    pub fn num_registers(&self) -> usize {
+        self.sccs.iter().map(Scc::len).sum()
+    }
+
+    /// The largest component of a given class, if any.
+    pub fn largest_of(&self, class: SccClass) -> Option<&Scc> {
+        self.sccs.iter().find(|s| s.class == class)
+    }
+}
+
+/// Computes the strongly connected components of the graph with Tarjan's
+/// algorithm (iterative formulation, so deep graphs cannot overflow the call
+/// stack). Components are returned in reverse topological order of the
+/// condensation, each as a sorted list of node indices.
+pub fn tarjan_scc(graph: &RegisterGraph) -> Vec<Vec<usize>> {
+    let n = graph.num_nodes();
+    const UNVISITED: usize = usize::MAX;
+    let mut index_of = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS state: (node, next successor position to explore).
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index_of[start] != UNVISITED {
+            continue;
+        }
+        call_stack.push((start, 0));
+        index_of[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (node, ref mut succ_pos)) = call_stack.last_mut() {
+            if *succ_pos < graph.successors(node).len() {
+                let succ = graph.successors(node)[*succ_pos];
+                *succ_pos += 1;
+                if index_of[succ] == UNVISITED {
+                    index_of[succ] = next_index;
+                    lowlink[succ] = next_index;
+                    next_index += 1;
+                    stack.push(succ);
+                    on_stack[succ] = true;
+                    call_stack.push((succ, 0));
+                } else if on_stack[succ] {
+                    lowlink[node] = lowlink[node].min(index_of[succ]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[node]);
+                }
+                if lowlink[node] == index_of[node] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == node {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+fn classify_component(graph: &RegisterGraph, nodes: &[usize]) -> SccClass {
+    let mut has_original = false;
+    let mut has_extra = false;
+    for &n in nodes {
+        match graph.class(n) {
+            RegClass::Original => has_original = true,
+            RegClass::Locking => has_extra = true,
+            // Re-encoded registers blend original and locking state, so any
+            // component containing one is by definition mixed.
+            RegClass::Encoded => {
+                has_original = true;
+                has_extra = true;
+            }
+        }
+    }
+    match (has_original, has_extra) {
+        (true, true) => SccClass::Mixed,
+        (true, false) => SccClass::Original,
+        (false, true) => SccClass::Extra,
+        (false, false) => SccClass::Original,
+    }
+}
+
+/// Runs SCC detection and classifies every component, producing the Table II
+/// style report. Components are sorted by size, largest first.
+pub fn classify_sccs(graph: &RegisterGraph) -> SccReport {
+    let mut sccs: Vec<Scc> = tarjan_scc(graph)
+        .into_iter()
+        .map(|nodes| {
+            let class = classify_component(graph, &nodes);
+            Scc { nodes, class }
+        })
+        .collect();
+    sccs.sort_by(|a, b| b.len().cmp(&a.len()));
+    let num_original = sccs.iter().filter(|s| s.class == SccClass::Original).count();
+    let num_extra = sccs.iter().filter(|s| s.class == SccClass::Extra).count();
+    let num_mixed = sccs.iter().filter(|s| s.class == SccClass::Mixed).count();
+    let total: usize = sccs.iter().map(Scc::len).sum();
+    let in_mixed: usize = sccs
+        .iter()
+        .filter(|s| s.class == SccClass::Mixed)
+        .map(Scc::len)
+        .sum();
+    let percent_in_mixed = if total == 0 {
+        0.0
+    } else {
+        100.0 * in_mixed as f64 / total as f64
+    };
+    SccReport {
+        sccs,
+        num_original,
+        num_extra,
+        num_mixed,
+        percent_in_mixed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes(original: usize, locking: usize) -> Vec<RegClass> {
+        let mut v = vec![RegClass::Original; original];
+        v.extend(std::iter::repeat(RegClass::Locking).take(locking));
+        v
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = RegisterGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)], classes(3, 0));
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dag_yields_singletons_in_reverse_topological_order() {
+        let g = RegisterGraph::from_edges(3, &[(0, 1), (1, 2)], classes(3, 0));
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 3);
+        // Reverse topological order of the condensation: sinks first.
+        assert_eq!(sccs[0], vec![2]);
+        assert_eq!(sccs[2], vec![0]);
+    }
+
+    #[test]
+    fn two_cycles_bridged_one_way_stay_separate() {
+        // 0<->1 and 2<->3 with a bridge 1 -> 2: two SCCs.
+        let g = RegisterGraph::from_edges(
+            4,
+            &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)],
+            classes(2, 2),
+        );
+        let report = classify_sccs(&g);
+        assert_eq!(report.sccs.len(), 2);
+        assert_eq!(report.num_original, 1);
+        assert_eq!(report.num_extra, 1);
+        assert_eq!(report.num_mixed, 0);
+        assert_eq!(report.percent_in_mixed, 0.0);
+    }
+
+    #[test]
+    fn bidirectional_bridge_merges_into_mixed_component() {
+        // Same as above plus the back edge 2 -> 1: everything collapses.
+        let g = RegisterGraph::from_edges(
+            4,
+            &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2), (2, 1)],
+            classes(2, 2),
+        );
+        let report = classify_sccs(&g);
+        assert_eq!(report.sccs.len(), 1);
+        assert_eq!(report.num_mixed, 1);
+        assert_eq!(report.num_original, 0);
+        assert_eq!(report.num_extra, 0);
+        assert!((report.percent_in_mixed - 100.0).abs() < 1e-9);
+        assert_eq!(report.largest_of(SccClass::Mixed).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn encoded_registers_force_mixed_class() {
+        let g = RegisterGraph::from_edges(
+            2,
+            &[(0, 1), (1, 0)],
+            vec![RegClass::Encoded, RegClass::Encoded],
+        );
+        let report = classify_sccs(&g);
+        assert_eq!(report.num_mixed, 1);
+    }
+
+    #[test]
+    fn singleton_nodes_are_counted() {
+        let g = RegisterGraph::from_edges(3, &[], classes(2, 1));
+        let report = classify_sccs(&g);
+        assert_eq!(report.sccs.len(), 3);
+        assert_eq!(report.num_original, 2);
+        assert_eq!(report.num_extra, 1);
+        assert_eq!(report.num_registers(), 3);
+    }
+
+    #[test]
+    fn empty_graph_report_is_sane() {
+        let g = RegisterGraph::from_edges(0, &[], vec![]);
+        let report = classify_sccs(&g);
+        assert!(report.sccs.is_empty());
+        assert_eq!(report.percent_in_mixed, 0.0);
+    }
+
+    #[test]
+    fn large_random_ring_is_a_single_component() {
+        let n = 500;
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = RegisterGraph::from_edges(n, &edges, classes(n, 0));
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), n);
+    }
+
+    #[test]
+    fn display_names_match_paper_terms() {
+        assert_eq!(SccClass::Original.to_string(), "O-SCC");
+        assert_eq!(SccClass::Extra.to_string(), "E-SCC");
+        assert_eq!(SccClass::Mixed.to_string(), "M-SCC");
+    }
+}

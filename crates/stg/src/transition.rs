@@ -1,0 +1,222 @@
+//! Explicit state-transition-graph (STG) exploration for small circuits.
+//!
+//! The paper's background section discusses attacks that look for signatures
+//! in the STG of an encrypted circuit (e.g. sink state clusters added by
+//! State-Deflection, or single entry edges from the locking states into the
+//! original state space). Exhaustively enumerating the STG is only feasible
+//! for small register counts, but it is exactly what is needed to study such
+//! signatures on toy circuits and to validate the register-level (RCG)
+//! abstraction used everywhere else: every edge of the RCG corresponds to a
+//! dependency that the STG exploration can actually exercise.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use netlist::{Netlist, NetlistError};
+
+/// An explicit state transition graph over the *reachable* states of a
+/// sequential circuit, enumerated by exhaustive input sweeps from the reset
+/// state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateGraph {
+    /// Number of state bits (flip-flops).
+    pub state_bits: usize,
+    /// Reachable states, encoded LSB-first as integers, in discovery order.
+    pub states: Vec<u64>,
+    /// Directed edges `from -> to` labelled with one input value that
+    /// triggers the transition (the smallest one found).
+    pub edges: BTreeMap<(u64, u64), u64>,
+}
+
+impl StateGraph {
+    /// Number of reachable states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of distinct transitions.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// States with no outgoing edge to a *different* state (every input keeps
+    /// the circuit in place) — the "sink" signature the paper mentions for
+    /// State-Deflection-style schemes.
+    pub fn sink_states(&self) -> Vec<u64> {
+        self.states
+            .iter()
+            .copied()
+            .filter(|&s| {
+                !self
+                    .edges
+                    .keys()
+                    .any(|&(from, to)| from == s && to != s)
+            })
+            .collect()
+    }
+
+    /// Successors of a state.
+    pub fn successors(&self, state: u64) -> Vec<u64> {
+        self.edges
+            .keys()
+            .filter(|&&(from, _)| from == state)
+            .map(|&(_, to)| to)
+            .collect()
+    }
+}
+
+/// Exhaustively explores the reachable STG of `netlist`.
+///
+/// The exploration sweeps every input value from every reachable state, so it
+/// is limited to circuits with at most `max_state_bits` flip-flops and
+/// `max_input_bits` primary inputs (both capped at 20 combined to keep the
+/// sweep bounded).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidParameter`] if the circuit exceeds the
+/// configured bounds, or a validation error if the netlist is malformed.
+pub fn explore(
+    netlist: &Netlist,
+    max_state_bits: usize,
+    max_input_bits: usize,
+) -> Result<StateGraph, NetlistError> {
+    netlist.validate()?;
+    let state_bits = netlist.num_dffs();
+    let input_bits = netlist.num_inputs();
+    if state_bits > max_state_bits
+        || input_bits > max_input_bits
+        || state_bits + input_bits > 20
+    {
+        return Err(NetlistError::InvalidParameter(format!(
+            "STG exploration limited to {max_state_bits} state bits and {max_input_bits} input \
+             bits (got {state_bits} and {input_bits})"
+        )));
+    }
+    let order = netlist::topo::gate_order(netlist)?;
+
+    let encode = |bits: &[bool]| -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    };
+    let reset: Vec<bool> = netlist.dffs().iter().map(|d| d.init).collect();
+    let reset_code = encode(&reset);
+
+    let mut discovered: BTreeSet<u64> = BTreeSet::new();
+    let mut states = Vec::new();
+    let mut edges = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    discovered.insert(reset_code);
+    states.push(reset_code);
+    queue.push_back(reset_code);
+
+    let mut values = vec![false; netlist.num_nets()];
+    while let Some(state_code) = queue.pop_front() {
+        for input_value in 0..(1u64 << input_bits) {
+            // Load state and inputs.
+            for (i, dff) in netlist.dffs().iter().enumerate() {
+                values[dff.q.index()] = (state_code >> i) & 1 == 1;
+            }
+            for (i, &input) in netlist.inputs().iter().enumerate() {
+                values[input.index()] = (input_value >> i) & 1 == 1;
+            }
+            for &gid in &order {
+                let gate = netlist.gate(gid);
+                let ins: Vec<bool> = gate.inputs.iter().map(|&n| values[n.index()]).collect();
+                values[gate.output.index()] = gate.kind.eval(&ins);
+            }
+            let next: Vec<bool> = netlist
+                .dffs()
+                .iter()
+                .map(|d| values[d.d.expect("validated netlist").index()])
+                .collect();
+            let next_code = encode(&next);
+            edges.entry((state_code, next_code)).or_insert(input_value);
+            if discovered.insert(next_code) {
+                states.push(next_code);
+                queue.push_back(next_code);
+            }
+        }
+    }
+    Ok(StateGraph {
+        state_bits,
+        states,
+        edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GateKind;
+
+    /// A 2-bit counter with enable: 4 reachable states in a ring.
+    fn counter() -> Netlist {
+        let mut nl = Netlist::new("cnt2");
+        let en = nl.add_input("en");
+        let q0 = nl.declare_dff("q0", false).unwrap();
+        let q1 = nl.declare_dff("q1", false).unwrap();
+        let n0 = nl.add_gate(GateKind::Xor, &[q0, en], "n0").unwrap();
+        let c = nl.add_gate(GateKind::And, &[q0, en], "c").unwrap();
+        let n1 = nl.add_gate(GateKind::Xor, &[q1, c], "n1").unwrap();
+        nl.bind_dff(q0, n0).unwrap();
+        nl.bind_dff(q1, n1).unwrap();
+        nl.mark_output(q1).unwrap();
+        nl
+    }
+
+    #[test]
+    fn counter_stg_is_a_ring_with_self_loops() {
+        let nl = counter();
+        let stg = explore(&nl, 8, 8).unwrap();
+        assert_eq!(stg.num_states(), 4);
+        // Each state has a self-loop (en=0) and an edge to the next value.
+        assert_eq!(stg.num_edges(), 8);
+        assert_eq!(stg.successors(0), vec![0, 1]);
+        assert_eq!(stg.successors(3), vec![0, 3]);
+        assert!(stg.sink_states().is_empty());
+    }
+
+    #[test]
+    fn stuck_state_is_reported_as_sink() {
+        // A register that, once set, never clears: state 1 is a sink.
+        let mut nl = Netlist::new("latching");
+        let a = nl.add_input("a");
+        let q = nl.declare_dff("q", false).unwrap();
+        let d = nl.add_gate(GateKind::Or, &[q, a], "d").unwrap();
+        nl.bind_dff(q, d).unwrap();
+        nl.mark_output(q).unwrap();
+        let stg = explore(&nl, 4, 4).unwrap();
+        assert_eq!(stg.num_states(), 2);
+        assert_eq!(stg.sink_states(), vec![1]);
+    }
+
+    #[test]
+    fn oversized_circuits_are_refused() {
+        let mut nl = Netlist::new("wide");
+        let mut last = nl.add_input("a");
+        for i in 0..25 {
+            let q = nl.declare_dff(format!("q{i}"), false).unwrap();
+            nl.bind_dff(q, last).unwrap();
+            last = q;
+        }
+        nl.mark_output(last).unwrap();
+        assert!(explore(&nl, 8, 8).is_err());
+        assert!(explore(&nl, 30, 8).is_err());
+    }
+
+    #[test]
+    fn unreachable_states_are_not_enumerated() {
+        // q1 can only ever hold 0 because its D input is constant 0.
+        let mut nl = Netlist::new("dead");
+        let a = nl.add_input("a");
+        let q0 = nl.declare_dff("q0", false).unwrap();
+        let q1 = nl.declare_dff("q1", false).unwrap();
+        let zero = nl.add_gate(GateKind::Const0, &[], "zero").unwrap();
+        nl.bind_dff(q0, a).unwrap();
+        nl.bind_dff(q1, zero).unwrap();
+        nl.mark_output(q0).unwrap();
+        let stg = explore(&nl, 8, 8).unwrap();
+        assert_eq!(stg.num_states(), 2); // q1 stuck at 0 halves the space
+    }
+}

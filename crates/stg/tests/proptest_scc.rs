@@ -1,0 +1,112 @@
+//! Property-based tests of the SCC machinery: the computed components form a
+//! partition, nodes inside one component are mutually reachable, nodes in
+//! different components are not mutually reachable, and the classification is
+//! consistent with the register provenance tags.
+
+use proptest::prelude::*;
+
+use netlist::RegClass;
+use stg::{classify_sccs, tarjan_scc, RegisterGraph, SccClass};
+
+/// Reachability by BFS over the successor lists.
+fn reachable(graph: &RegisterGraph, from: usize, to: usize) -> bool {
+    let mut seen = vec![false; graph.num_nodes()];
+    let mut queue = vec![from];
+    seen[from] = true;
+    while let Some(n) = queue.pop() {
+        if n == to {
+            return true;
+        }
+        for &succ in graph.successors(n) {
+            if !seen[succ] {
+                seen[succ] = true;
+                queue.push(succ);
+            }
+        }
+    }
+    from == to
+}
+
+fn graph_strategy(max_nodes: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<bool>)> {
+    (2..=max_nodes).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..(3 * n));
+        let classes = proptest::collection::vec(any::<bool>(), n);
+        (Just(n), edges, classes)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sccs_partition_the_nodes((n, edges, locking) in graph_strategy(14)) {
+        let classes: Vec<RegClass> = locking
+            .iter()
+            .map(|&l| if l { RegClass::Locking } else { RegClass::Original })
+            .collect();
+        let graph = RegisterGraph::from_edges(n, &edges, classes);
+        let sccs = tarjan_scc(&graph);
+
+        // Partition: every node appears exactly once.
+        let mut seen = vec![0usize; n];
+        for component in &sccs {
+            for &node in component {
+                seen[node] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "not a partition: {seen:?}");
+    }
+
+    #[test]
+    fn scc_membership_equals_mutual_reachability((n, edges, locking) in graph_strategy(10)) {
+        let classes: Vec<RegClass> = locking
+            .iter()
+            .map(|&l| if l { RegClass::Locking } else { RegClass::Original })
+            .collect();
+        let graph = RegisterGraph::from_edges(n, &edges, classes);
+        let sccs = tarjan_scc(&graph);
+        let mut component_of = vec![usize::MAX; n];
+        for (idx, component) in sccs.iter().enumerate() {
+            for &node in component {
+                component_of[node] = idx;
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                let mutually = reachable(&graph, a, b) && reachable(&graph, b, a);
+                prop_assert_eq!(
+                    component_of[a] == component_of[b],
+                    mutually,
+                    "nodes {} and {} disagree", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_consistent_with_tags((n, edges, locking) in graph_strategy(12)) {
+        let classes: Vec<RegClass> = locking
+            .iter()
+            .map(|&l| if l { RegClass::Locking } else { RegClass::Original })
+            .collect();
+        let graph = RegisterGraph::from_edges(n, &edges, classes.clone());
+        let report = classify_sccs(&graph);
+
+        prop_assert_eq!(report.num_registers(), n);
+        prop_assert_eq!(
+            report.num_original + report.num_extra + report.num_mixed,
+            report.sccs.len()
+        );
+        for component in &report.sccs {
+            let has_original = component.nodes.iter().any(|&x| classes[x] == RegClass::Original);
+            let has_locking = component.nodes.iter().any(|&x| classes[x] == RegClass::Locking);
+            let expected = match (has_original, has_locking) {
+                (true, true) => SccClass::Mixed,
+                (false, true) => SccClass::Extra,
+                _ => SccClass::Original,
+            };
+            prop_assert_eq!(component.class, expected);
+        }
+        prop_assert!(report.percent_in_mixed >= 0.0 && report.percent_in_mixed <= 100.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Standard-cell style cost model (area, delay, power) for netlists.
+//!
+//! The paper synthesizes locked netlists with Synopsys Design Compiler and the
+//! Nangate 45nm Open Cell Library and reports area/delay/power overhead ratios
+//! (Fig. 6). A commercial synthesis flow is not reproducible here, so this
+//! crate provides a deterministic cost model with Nangate-45nm-like per-cell
+//! constants:
+//!
+//! * **area** — sum of per-cell areas (µm²),
+//! * **delay** — longest register-to-register / input-to-output combinational
+//!   path under per-cell propagation delays (ns),
+//! * **power** — per-cell leakage plus activity-weighted dynamic power, with
+//!   switching activity measured by random simulation inside this crate (µW).
+//!
+//! Because Fig. 6 reports *ratios* (locked vs. original), a consistent cost
+//! model preserves the paper's trends even though absolute numbers differ from
+//! a real synthesis run. See `DESIGN.md` for the substitution rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod library;
+mod metrics;
+
+pub use library::{CellCost, TechLibrary};
+pub use metrics::{
+    estimate_activity, AreaReport, DelayReport, OverheadReport, PowerReport,
+};

@@ -1,0 +1,205 @@
+//! Per-cell cost tables.
+
+use netlist::GateKind;
+
+/// Cost of a single standard cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellCost {
+    /// Cell area in µm².
+    pub area: f64,
+    /// Typical propagation delay in ns.
+    pub delay: f64,
+    /// Leakage power in nW.
+    pub leakage: f64,
+    /// Dynamic energy per output toggle, in fJ (scaled into µW at a nominal
+    /// clock by the power report).
+    pub dynamic: f64,
+}
+
+/// A technology library: one [`CellCost`] per gate kind plus the flip-flop.
+///
+/// The default [`TechLibrary::nangate45`] table uses values in the range of
+/// the Nangate 45nm Open Cell Library typical corner; the exact numbers only
+/// matter up to ratios for the paper's Fig. 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechLibrary {
+    name: String,
+    const_cost: CellCost,
+    buf: CellCost,
+    not: CellCost,
+    and2: CellCost,
+    nand2: CellCost,
+    or2: CellCost,
+    nor2: CellCost,
+    xor2: CellCost,
+    xnor2: CellCost,
+    mux2: CellCost,
+    dff: CellCost,
+}
+
+impl TechLibrary {
+    /// A Nangate-45nm-like typical-corner library.
+    pub fn nangate45() -> Self {
+        TechLibrary {
+            name: "nangate45-like".to_string(),
+            const_cost: CellCost {
+                area: 0.0,
+                delay: 0.0,
+                leakage: 0.0,
+                dynamic: 0.0,
+            },
+            buf: CellCost {
+                area: 0.798,
+                delay: 0.030,
+                leakage: 10.0,
+                dynamic: 0.6,
+            },
+            not: CellCost {
+                area: 0.532,
+                delay: 0.012,
+                leakage: 8.0,
+                dynamic: 0.5,
+            },
+            and2: CellCost {
+                area: 1.064,
+                delay: 0.032,
+                leakage: 17.0,
+                dynamic: 0.9,
+            },
+            nand2: CellCost {
+                area: 0.798,
+                delay: 0.014,
+                leakage: 12.0,
+                dynamic: 0.7,
+            },
+            or2: CellCost {
+                area: 1.064,
+                delay: 0.035,
+                leakage: 18.0,
+                dynamic: 0.9,
+            },
+            nor2: CellCost {
+                area: 0.798,
+                delay: 0.018,
+                leakage: 13.0,
+                dynamic: 0.7,
+            },
+            xor2: CellCost {
+                area: 1.596,
+                delay: 0.045,
+                leakage: 26.0,
+                dynamic: 1.4,
+            },
+            xnor2: CellCost {
+                area: 1.596,
+                delay: 0.046,
+                leakage: 26.0,
+                dynamic: 1.4,
+            },
+            mux2: CellCost {
+                area: 1.862,
+                delay: 0.050,
+                leakage: 30.0,
+                dynamic: 1.5,
+            },
+            dff: CellCost {
+                area: 4.522,
+                delay: 0.090,
+                leakage: 60.0,
+                dynamic: 3.2,
+            },
+        }
+    }
+
+    /// Name of the library.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cost of a flip-flop cell.
+    pub fn dff_cost(&self) -> CellCost {
+        self.dff
+    }
+
+    fn base_cost(&self, kind: GateKind) -> CellCost {
+        match kind {
+            GateKind::Const0 | GateKind::Const1 => self.const_cost,
+            GateKind::Buf => self.buf,
+            GateKind::Not => self.not,
+            GateKind::And => self.and2,
+            GateKind::Nand => self.nand2,
+            GateKind::Or => self.or2,
+            GateKind::Nor => self.nor2,
+            GateKind::Xor => self.xor2,
+            GateKind::Xnor => self.xnor2,
+            GateKind::Mux => self.mux2,
+        }
+    }
+
+    /// Cost of a gate with the given number of inputs.
+    ///
+    /// Gates wider than two inputs are priced as a balanced tree of 2-input
+    /// cells (`n-1` cells, `ceil(log2 n)` levels of delay), which is how a
+    /// technology mapper would decompose them.
+    pub fn gate_cost(&self, kind: GateKind, num_inputs: usize) -> CellCost {
+        let base = self.base_cost(kind);
+        if num_inputs <= 2 {
+            return base;
+        }
+        let cells = (num_inputs - 1) as f64;
+        let levels = (num_inputs as f64).log2().ceil();
+        CellCost {
+            area: base.area * cells,
+            delay: base.delay * levels,
+            leakage: base.leakage * cells,
+            dynamic: base.dynamic * cells,
+        }
+    }
+}
+
+impl Default for TechLibrary {
+    fn default() -> Self {
+        TechLibrary::nangate45()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_input_cost_is_the_base_cost() {
+        let lib = TechLibrary::nangate45();
+        let c = lib.gate_cost(GateKind::Nand, 2);
+        assert!((c.area - 0.798).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wide_gates_cost_a_tree_of_cells() {
+        let lib = TechLibrary::nangate45();
+        let c4 = lib.gate_cost(GateKind::And, 4);
+        let c2 = lib.gate_cost(GateKind::And, 2);
+        assert!((c4.area - 3.0 * c2.area).abs() < 1e-9);
+        assert!((c4.delay - 2.0 * c2.delay).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constants_are_free() {
+        let lib = TechLibrary::nangate45();
+        assert_eq!(lib.gate_cost(GateKind::Const0, 0).area, 0.0);
+    }
+
+    #[test]
+    fn dff_is_the_most_expensive_cell() {
+        let lib = TechLibrary::nangate45();
+        let dff = lib.dff_cost();
+        for kind in GateKind::ALL {
+            assert!(dff.area >= lib.gate_cost(kind, 2).area);
+        }
+    }
+
+    #[test]
+    fn default_is_nangate45() {
+        assert_eq!(TechLibrary::default(), TechLibrary::nangate45());
+    }
+}

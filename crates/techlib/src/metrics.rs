@@ -1,0 +1,327 @@
+//! Area, delay and power reports plus the locked-vs-original overhead ratio.
+
+use rand::Rng;
+
+use netlist::{Netlist, NetlistError};
+
+use crate::library::TechLibrary;
+
+/// Area breakdown of a netlist (µm²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// Combinational cell area.
+    pub combinational: f64,
+    /// Sequential (flip-flop) cell area.
+    pub sequential: f64,
+    /// Total cell area.
+    pub total: f64,
+}
+
+impl AreaReport {
+    /// Computes the area of a netlist under a library.
+    pub fn of(netlist: &Netlist, library: &TechLibrary) -> Self {
+        let combinational = netlist
+            .gates()
+            .iter()
+            .map(|g| library.gate_cost(g.kind, g.inputs.len()).area)
+            .sum();
+        let sequential = netlist.num_dffs() as f64 * library.dff_cost().area;
+        AreaReport {
+            combinational,
+            sequential,
+            total: combinational + sequential,
+        }
+    }
+}
+
+/// Critical-path delay of a netlist (ns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayReport {
+    /// Longest combinational path delay including the launching flip-flop's
+    /// clock-to-Q contribution.
+    pub critical_path: f64,
+    /// Number of cells on the longest topological path.
+    pub logic_levels: u32,
+}
+
+impl DelayReport {
+    /// Computes the critical-path delay of a netlist under a library.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the combinational logic is cyclic.
+    pub fn of(netlist: &Netlist, library: &TechLibrary) -> Result<Self, NetlistError> {
+        let order = netlist::topo::gate_order(netlist)?;
+        let clk_to_q = library.dff_cost().delay;
+        // Arrival time per net: primary inputs arrive at 0, register outputs
+        // at clock-to-Q.
+        let mut arrival = vec![0.0f64; netlist.num_nets()];
+        let mut depth = vec![0u32; netlist.num_nets()];
+        for dff in netlist.dffs() {
+            arrival[dff.q.index()] = clk_to_q;
+        }
+        for gid in order {
+            let gate = netlist.gate(gid);
+            let cost = library.gate_cost(gate.kind, gate.inputs.len());
+            let (max_arrival, max_depth) = gate
+                .inputs
+                .iter()
+                .map(|n| (arrival[n.index()], depth[n.index()]))
+                .fold((0.0f64, 0u32), |(a, d), (na, nd)| (a.max(na), d.max(nd)));
+            arrival[gate.output.index()] = max_arrival + cost.delay;
+            depth[gate.output.index()] = max_depth + 1;
+        }
+        let mut critical_path = 0.0f64;
+        let mut logic_levels = 0u32;
+        for end in netlist::topo::path_endpoints(netlist) {
+            critical_path = critical_path.max(arrival[end.index()]);
+            logic_levels = logic_levels.max(depth[end.index()]);
+        }
+        Ok(DelayReport {
+            critical_path,
+            logic_levels,
+        })
+    }
+}
+
+/// Power estimate of a netlist (µW at a nominal 1 GHz clock).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Leakage power (activity independent).
+    pub leakage: f64,
+    /// Dynamic (switching) power.
+    pub dynamic: f64,
+    /// Total power.
+    pub total: f64,
+}
+
+impl PowerReport {
+    /// Computes leakage and activity-weighted dynamic power. Switching
+    /// activity is measured by simulating `cycles` cycles of uniformly random
+    /// primary inputs with the provided RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist does not validate.
+    pub fn of<R: Rng + ?Sized>(
+        netlist: &Netlist,
+        library: &TechLibrary,
+        cycles: usize,
+        rng: &mut R,
+    ) -> Result<Self, NetlistError> {
+        let activity = estimate_activity(netlist, cycles, rng)?;
+        let mut leakage = 0.0;
+        let mut dynamic = 0.0;
+        for gate in netlist.gates() {
+            let cost = library.gate_cost(gate.kind, gate.inputs.len());
+            leakage += cost.leakage;
+            dynamic += cost.dynamic * activity[gate.output.index()];
+        }
+        let dff_cost = library.dff_cost();
+        for dff in netlist.dffs() {
+            leakage += dff_cost.leakage;
+            dynamic += dff_cost.dynamic * activity[dff.q.index()];
+        }
+        // Leakage is tabulated in nW, dynamic in fJ/toggle at 1 GHz ≈ µW.
+        let leakage = leakage * 1e-3;
+        Ok(PowerReport {
+            leakage,
+            dynamic,
+            total: leakage + dynamic,
+        })
+    }
+}
+
+/// Estimates the toggle rate (transitions per cycle, in `[0, 1]`) of every net
+/// by random simulation. The result is indexed by net id.
+///
+/// # Errors
+///
+/// Returns an error if the netlist does not validate.
+pub fn estimate_activity<R: Rng + ?Sized>(
+    netlist: &Netlist,
+    cycles: usize,
+    rng: &mut R,
+) -> Result<Vec<f64>, NetlistError> {
+    netlist.validate()?;
+    let order = netlist::topo::gate_order(netlist)?;
+    let mut values = vec![false; netlist.num_nets()];
+    let mut previous = vec![false; netlist.num_nets()];
+    let mut toggles = vec![0usize; netlist.num_nets()];
+    let mut state: Vec<bool> = netlist.dffs().iter().map(|d| d.init).collect();
+
+    for cycle in 0..cycles.max(1) {
+        for &input in netlist.inputs() {
+            values[input.index()] = rng.gen_bool(0.5);
+        }
+        for (dff, &s) in netlist.dffs().iter().zip(&state) {
+            values[dff.q.index()] = s;
+        }
+        for &gid in &order {
+            let gate = netlist.gate(gid);
+            let ins: Vec<bool> = gate.inputs.iter().map(|&n| values[n.index()]).collect();
+            values[gate.output.index()] = gate.kind.eval(&ins);
+        }
+        if cycle > 0 {
+            for (i, (&now, &before)) in values.iter().zip(&previous).enumerate() {
+                if now != before {
+                    toggles[i] += 1;
+                }
+            }
+        }
+        previous.copy_from_slice(&values);
+        for (slot, dff) in state.iter_mut().zip(netlist.dffs()) {
+            *slot = values[dff.d.expect("validated netlist").index()];
+        }
+    }
+    let denom = cycles.max(2) as f64 - 1.0;
+    Ok(toggles.into_iter().map(|t| t as f64 / denom).collect())
+}
+
+/// Relative cost of a locked design versus the original design, in the shape
+/// of the paper's Fig. 6 (overhead expressed as `locked/original − 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadReport {
+    /// Area overhead ratio.
+    pub area: f64,
+    /// Critical-path delay overhead ratio.
+    pub delay: f64,
+    /// Power overhead ratio.
+    pub power: f64,
+}
+
+impl OverheadReport {
+    /// Computes the overhead of `locked` relative to `original` under the
+    /// library, measuring switching activity over `cycles` random cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either netlist fails validation.
+    pub fn between<R: Rng + ?Sized>(
+        original: &Netlist,
+        locked: &Netlist,
+        library: &TechLibrary,
+        cycles: usize,
+        rng: &mut R,
+    ) -> Result<Self, NetlistError> {
+        use rand::SeedableRng;
+        let area_o = AreaReport::of(original, library);
+        let area_l = AreaReport::of(locked, library);
+        let delay_o = DelayReport::of(original, library)?;
+        let delay_l = DelayReport::of(locked, library)?;
+        // Use the same random input stream for both designs so that identical
+        // circuits report identical switching power.
+        let seed: u64 = rng.gen();
+        let mut rng_o = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng_l = rand::rngs::StdRng::seed_from_u64(seed);
+        let power_o = PowerReport::of(original, library, cycles, &mut rng_o)?;
+        let power_l = PowerReport::of(locked, library, cycles, &mut rng_l)?;
+        let ratio = |locked: f64, original: f64| {
+            if original <= f64::EPSILON {
+                0.0
+            } else {
+                locked / original - 1.0
+            }
+        };
+        Ok(OverheadReport {
+            area: ratio(area_l.total, area_o.total),
+            delay: ratio(delay_l.critical_path, delay_o.critical_path),
+            power: ratio(power_l.total, power_o.total),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GateKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_seq() -> Netlist {
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let q = nl.declare_dff("q", false).unwrap();
+        let x = nl.add_gate(GateKind::And, &[a, b], "x").unwrap();
+        let y = nl.add_gate(GateKind::Xor, &[x, q], "y").unwrap();
+        nl.bind_dff(q, y).unwrap();
+        nl.mark_output(y).unwrap();
+        nl
+    }
+
+    #[test]
+    fn area_accumulates_cells_and_dffs() {
+        let nl = small_seq();
+        let lib = TechLibrary::nangate45();
+        let area = AreaReport::of(&nl, &lib);
+        assert!(area.sequential > 0.0);
+        assert!(area.combinational > 0.0);
+        assert!((area.total - area.sequential - area.combinational).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_tracks_the_longest_path() {
+        let nl = small_seq();
+        let lib = TechLibrary::nangate45();
+        let delay = DelayReport::of(&nl, &lib).unwrap();
+        // clk->q + AND + XOR is the longest path; it has two logic levels.
+        assert_eq!(delay.logic_levels, 2);
+        let expected = lib.dff_cost().delay
+            + lib.gate_cost(GateKind::Xor, 2).delay
+            + 0.0f64.max(lib.gate_cost(GateKind::And, 2).delay);
+        assert!(delay.critical_path <= expected + 1e-9);
+        assert!(delay.critical_path > lib.dff_cost().delay);
+    }
+
+    #[test]
+    fn power_is_positive_and_activity_dependent() {
+        let nl = small_seq();
+        let lib = TechLibrary::nangate45();
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = PowerReport::of(&nl, &lib, 200, &mut rng).unwrap();
+        assert!(p.leakage > 0.0);
+        assert!(p.dynamic > 0.0);
+        assert!((p.total - p.leakage - p.dynamic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activity_of_constant_nets_is_zero() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let k = nl.add_gate(GateKind::Const1, &[], "k").unwrap();
+        let o = nl.add_gate(GateKind::And, &[a, k], "o").unwrap();
+        nl.mark_output(o).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let act = estimate_activity(&nl, 100, &mut rng).unwrap();
+        assert_eq!(act[k.index()], 0.0);
+        assert!(act[a.index()] > 0.2);
+    }
+
+    #[test]
+    fn overhead_of_identical_designs_is_zero() {
+        let nl = small_seq();
+        let lib = TechLibrary::nangate45();
+        let mut rng = StdRng::seed_from_u64(5);
+        let o = OverheadReport::between(&nl, &nl, &lib, 100, &mut rng).unwrap();
+        assert!(o.area.abs() < 1e-9);
+        assert!(o.delay.abs() < 1e-9);
+        assert!(o.power.abs() < 0.2, "power ratio {}", o.power);
+    }
+
+    #[test]
+    fn adding_logic_increases_overhead() {
+        let original = small_seq();
+        let mut locked = small_seq();
+        // Add an extra register and a few gates.
+        let a = locked.net_id("a").unwrap();
+        let q2 = locked.declare_dff("q2", false).unwrap();
+        let z = locked.add_gate(GateKind::Xor, &[a, q2], "z").unwrap();
+        locked.bind_dff(q2, z).unwrap();
+        let lib = TechLibrary::nangate45();
+        let mut rng = StdRng::seed_from_u64(5);
+        let o = OverheadReport::between(&original, &locked, &lib, 100, &mut rng).unwrap();
+        assert!(o.area > 0.0);
+        assert!(o.power > 0.0);
+    }
+}

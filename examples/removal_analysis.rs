@@ -1,0 +1,51 @@
+//! Removal-attack analysis: compare the register-connection-graph structure
+//! of a TriLock-locked design before and after state re-encoding
+//! (paper Section III-C and Table II, at example scale).
+//!
+//! Run with `cargo run --example removal_analysis`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use attacks::removal_attack;
+use benchgen::{generate_scaled, CircuitProfile};
+use trilock::{encrypt, reencode, TriLockConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A scaled-down b12-profile synthetic circuit keeps the run fast.
+    let profile = CircuitProfile::by_name("b12").expect("profile exists");
+    let original = generate_scaled(&profile, 4, 2022)?;
+    println!(
+        "target: {}-profile synthetic circuit with {} registers",
+        profile.name,
+        original.num_dffs()
+    );
+
+    let config = TriLockConfig::new(2, 1).with_alpha(0.6);
+    let mut rng = StdRng::seed_from_u64(5);
+    let locked = encrypt(&original, &config, &mut rng)?;
+
+    println!("\n{:>6} {:>6} {:>6} {:>6} {:>8} {:>10}", "S", "O", "E", "M", "P_M(%)", "protected");
+    for pairs in [0usize, 4, 10] {
+        let mut netlist = locked.netlist.clone();
+        if pairs > 0 {
+            reencode(&mut netlist, pairs)?;
+        }
+        let report = removal_attack(&netlist);
+        println!(
+            "{:>6} {:>6} {:>6} {:>6} {:>8.1} {:>7}/{}",
+            pairs,
+            report.scc.num_original,
+            report.scc.num_extra,
+            report.scc.num_mixed,
+            report.percent_hidden(),
+            report.protected_locking_registers,
+            report.total_locking_registers
+        );
+    }
+    println!(
+        "\nAs in the paper's Table II, re-encoding collapses the pure O-/E-SCCs into mixed\n\
+         components, so the structural attack can no longer tell locking registers apart."
+    );
+    Ok(())
+}

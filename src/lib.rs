@@ -1,0 +1,41 @@
+//! Workspace facade for the TriLock reproduction.
+//!
+//! This crate exists so that the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`) at the repository root have a
+//! single dependency that re-exports every component of the reproduction:
+//!
+//! * [`netlist`] — gate-level netlist model, `.bench` I/O, unrolling;
+//! * [`sat`] — CDCL SAT solver and Tseitin encoding;
+//! * [`sim`] — cycle-accurate simulation, FC estimation, equivalence checks;
+//! * [`stg`] — register connection graph and SCC analysis;
+//! * [`techlib`] — area/delay/power cost model;
+//! * [`benchgen`] — synthetic ISCAS/ITC-profile benchmark generation;
+//! * [`trilock`] — the TriLock locking scheme itself;
+//! * [`attacks`] — SAT-based unrolling attack and removal attack.
+//!
+//! Library users should depend on the individual crates directly; this façade
+//! is a convenience for the examples and experiments shipped in this
+//! repository.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use attacks;
+pub use benchgen;
+pub use netlist;
+pub use sat;
+pub use sim;
+pub use stg;
+pub use techlib;
+pub use trilock;
+
+/// Version of the reproduction suite (mirrors the workspace version).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_populated() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

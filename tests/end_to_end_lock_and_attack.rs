@@ -1,0 +1,98 @@
+//! End-to-end integration test: lock a circuit with TriLock, estimate the
+//! attacker's minimum unrolling depth, run the SAT-based unrolling attack and
+//! check that the recovered key restores the original function — the complete
+//! pipeline of the paper's evaluation at toy scale.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use trilock_suite::attacks::{
+    estimate_min_unroll_depth, AttackStatus, SatAttack, SatAttackConfig,
+};
+use trilock_suite::benchgen::small;
+use trilock_suite::sim;
+use trilock_suite::trilock::{analytic, encrypt, TriLockConfig};
+
+#[test]
+fn full_pipeline_recovers_a_functionally_correct_key() {
+    let original = small::toy_controller(2).expect("toy circuit builds");
+    let config = TriLockConfig::new(1, 1).with_alpha(0.6);
+    let mut rng = StdRng::seed_from_u64(2022);
+    let locked = encrypt(&original, &config, &mut rng).expect("locking succeeds");
+
+    // The attacker estimates b* (paper: b* = κs).
+    let mut est_rng = StdRng::seed_from_u64(1);
+    let b_star = estimate_min_unroll_depth(
+        &original,
+        &locked.netlist,
+        locked.kappa(),
+        6,
+        48,
+        &mut est_rng,
+    )
+    .expect("estimation runs")
+    .expect("wrong keys are observable");
+    assert_eq!(b_star, analytic::min_unroll_depth(config.kappa_s));
+
+    // The SAT attack completes on this tiny configuration.
+    let attack = SatAttack::new(&original, &locked.netlist, locked.kappa()).expect("interfaces");
+    let attack_config = SatAttackConfig {
+        initial_unroll: b_star,
+        max_unroll: 5,
+        max_dips: 20_000,
+        verify_sequences: 24,
+        verify_cycles: 10,
+    };
+    let mut attack_rng = StdRng::seed_from_u64(77);
+    let outcome = attack.run(&attack_config, &mut attack_rng).expect("attack runs");
+    let key = match outcome.status {
+        AttackStatus::KeyFound(key) => key,
+        other => panic!("attack did not finish: {other:?}"),
+    };
+
+    // The number of DIPs respects the paper's lower bound (Eq. 10).
+    assert!(outcome.dips as f64 >= analytic::ndip(original.num_inputs(), config.kappa_s));
+
+    // The recovered key is functionally correct.
+    let mut check_rng = StdRng::seed_from_u64(5);
+    let cex = sim::equiv::key_restores_function(
+        &original,
+        &locked.netlist,
+        key.cycles(),
+        12,
+        50,
+        &mut check_rng,
+    )
+    .expect("equivalence check runs");
+    assert!(cex.is_none(), "recovered key must restore the function");
+}
+
+#[test]
+fn attack_effort_grows_with_kappa_s_as_predicted() {
+    let original = small::toy_controller(2).expect("toy circuit builds");
+    let mut dips = Vec::new();
+    for kappa_s in [1usize, 2] {
+        let config = TriLockConfig::new(kappa_s, 1).with_alpha(0.6);
+        let mut rng = StdRng::seed_from_u64(50 + kappa_s as u64);
+        let locked = encrypt(&original, &config, &mut rng).expect("locking succeeds");
+        let attack =
+            SatAttack::new(&original, &locked.netlist, locked.kappa()).expect("interfaces");
+        let attack_config = SatAttackConfig {
+            initial_unroll: kappa_s,
+            max_unroll: kappa_s + 3,
+            max_dips: 20_000,
+            verify_sequences: 24,
+            verify_cycles: 12,
+        };
+        let mut attack_rng = StdRng::seed_from_u64(7);
+        let outcome = attack.run(&attack_config, &mut attack_rng).expect("attack runs");
+        assert!(outcome.succeeded(), "κs={kappa_s}: {:?}", outcome.status);
+        dips.push(outcome.dips);
+    }
+    // Going from κs = 1 to κs = 2 must multiply the effort by at least 2^|I|/2.
+    assert!(
+        dips[1] >= dips[0] * 2,
+        "dips did not grow: {dips:?} (expected roughly ×{})",
+        1 << original.num_inputs()
+    );
+}

@@ -1,0 +1,90 @@
+//! Integration test: the simulated functional corruptibility of locked
+//! circuits tracks the closed-form model (paper Eq. 15, evaluated in Fig. 7).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use trilock_suite::benchgen::small;
+use trilock_suite::sim;
+use trilock_suite::trilock::{analytic, encrypt, TriLockConfig};
+
+fn measured_fc(alpha: f64, kappa_f: usize, seed: u64) -> (f64, f64) {
+    let original = small::s27();
+    let config = TriLockConfig::new(2, kappa_f).with_alpha(alpha);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let locked = encrypt(&original, &config, &mut rng).expect("locking succeeds");
+    let mut fc_rng = StdRng::seed_from_u64(seed ^ 0xfc);
+    let est = sim::fc::estimate_fc(&original, &locked.netlist, locked.kappa(), 6, 800, &mut fc_rng)
+        .expect("fc estimation runs");
+    (
+        est.fc,
+        analytic::fc_expected(original.num_inputs(), kappa_f, alpha),
+    )
+}
+
+#[test]
+fn fc_matches_eq15_within_the_papers_tolerance() {
+    // The paper reports an absolute error within ±0.05 for its 800-sample
+    // protocol; allow a slightly wider band for the smaller circuit.
+    for (alpha, kappa_f) in [(0.3, 1), (0.6, 1), (0.9, 1), (0.6, 2)] {
+        let (measured, predicted) = measured_fc(alpha, kappa_f, 7);
+        assert!(
+            (measured - predicted).abs() < 0.07,
+            "α={alpha} κf={kappa_f}: measured {measured:.3} vs predicted {predicted:.3}"
+        );
+    }
+}
+
+#[test]
+fn fc_is_monotone_in_alpha() {
+    let (low, _) = measured_fc(0.2, 1, 11);
+    let (mid, _) = measured_fc(0.5, 1, 11);
+    let (high, _) = measured_fc(0.9, 1, 11);
+    assert!(low <= mid + 0.03, "low {low} mid {mid}");
+    assert!(mid <= high + 0.03, "mid {mid} high {high}");
+}
+
+#[test]
+fn correct_key_always_has_zero_fc() {
+    let original = small::s27();
+    let config = TriLockConfig::new(2, 1).with_alpha(0.9);
+    let mut rng = StdRng::seed_from_u64(3);
+    let locked = encrypt(&original, &config, &mut rng).expect("locking succeeds");
+    let mut fc_rng = StdRng::seed_from_u64(4);
+    let est = sim::fc::estimate_fc_for_key(
+        &original,
+        &locked.netlist,
+        locked.key.cycles(),
+        8,
+        200,
+        &mut fc_rng,
+    )
+    .expect("fc estimation runs");
+    assert_eq!(est.mismatches, 0);
+}
+
+#[test]
+fn naive_locking_has_negligible_fc_but_trilock_does_not() {
+    // The trade-off of paper Fig. 4: at equal κ the naive scheme corrupts
+    // almost nothing while TriLock reaches α·(1 − 2^{-κf|I|}).
+    let original = small::s27();
+    let mut rng = StdRng::seed_from_u64(9);
+    let naive = encrypt(&original, &TriLockConfig::naive(3), &mut rng).expect("naive locks");
+    let mut rng = StdRng::seed_from_u64(9);
+    let trilock = encrypt(
+        &original,
+        &TriLockConfig::new(2, 1).with_alpha(0.6),
+        &mut rng,
+    )
+    .expect("trilock locks");
+
+    let mut fc_rng = StdRng::seed_from_u64(10);
+    let naive_fc =
+        sim::fc::estimate_fc(&original, &naive.netlist, 3, 6, 600, &mut fc_rng).expect("fc");
+    let mut fc_rng = StdRng::seed_from_u64(10);
+    let trilock_fc =
+        sim::fc::estimate_fc(&original, &trilock.netlist, 3, 6, 600, &mut fc_rng).expect("fc");
+
+    assert!(naive_fc.fc < 0.05, "naive fc {}", naive_fc.fc);
+    assert!(trilock_fc.fc > 0.4, "trilock fc {}", trilock_fc.fc);
+}

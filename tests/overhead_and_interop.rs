@@ -1,0 +1,128 @@
+//! Integration test: overhead trends (paper Fig. 6) and netlist-format
+//! interoperability of locked designs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use trilock_suite::benchgen::{generate_scaled, CircuitProfile};
+use trilock_suite::netlist;
+use trilock_suite::sim;
+use trilock_suite::techlib::{AreaReport, DelayReport, OverheadReport, TechLibrary};
+use trilock_suite::trilock::{encrypt, reencode, TriLockConfig};
+
+fn original_circuit(seed: u64) -> netlist::Netlist {
+    let profile = CircuitProfile::by_name("s9234").expect("profile exists");
+    generate_scaled(&profile, 16, seed).expect("generation succeeds")
+}
+
+#[test]
+fn overhead_grows_with_kappa_s() {
+    let library = TechLibrary::nangate45();
+    let original = original_circuit(3);
+    let mut last_area = 0.0;
+    for kappa_s in [1usize, 3, 5] {
+        let config = TriLockConfig::new(kappa_s, 1).with_alpha(0.6);
+        let mut rng = StdRng::seed_from_u64(kappa_s as u64);
+        let locked = encrypt(&original, &config, &mut rng).expect("locking succeeds");
+        let mut ov_rng = StdRng::seed_from_u64(8);
+        let overhead =
+            OverheadReport::between(&original, &locked.netlist, &library, 128, &mut ov_rng)
+                .expect("overhead computes");
+        assert!(overhead.area > last_area, "area overhead must grow with κs");
+        assert!(overhead.power > 0.0);
+        assert!(overhead.delay >= 0.0);
+        last_area = overhead.area;
+    }
+}
+
+#[test]
+fn locking_never_reduces_area_or_registers() {
+    let library = TechLibrary::nangate45();
+    let original = original_circuit(5);
+    let config = TriLockConfig::new(2, 1).with_alpha(0.6);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut locked = encrypt(&original, &config, &mut rng).expect("locking succeeds");
+    reencode(&mut locked.netlist, 10).expect("re-encoding succeeds");
+
+    let area_before = AreaReport::of(&original, &library);
+    let area_after = AreaReport::of(&locked.netlist, &library);
+    assert!(area_after.total > area_before.total);
+    assert!(locked.netlist.num_dffs() >= original.num_dffs());
+
+    let delay_before = DelayReport::of(&original, &library).expect("delay");
+    let delay_after = DelayReport::of(&locked.netlist, &library).expect("delay");
+    assert!(delay_after.critical_path >= delay_before.critical_path);
+}
+
+#[test]
+fn locked_netlists_round_trip_through_the_bench_format() {
+    let original = original_circuit(9);
+    let config = TriLockConfig::new(1, 1).with_alpha(0.5);
+    let mut rng = StdRng::seed_from_u64(11);
+    let locked = encrypt(&original, &config, &mut rng).expect("locking succeeds");
+
+    let text = netlist::bench::write(&locked.netlist);
+    let reparsed = netlist::bench::parse(&text).expect("round-trip parses");
+    assert_eq!(reparsed.num_inputs(), locked.netlist.num_inputs());
+    assert_eq!(reparsed.num_outputs(), locked.netlist.num_outputs());
+    assert_eq!(reparsed.num_dffs(), locked.netlist.num_dffs());
+    assert_eq!(reparsed.num_gates(), locked.netlist.num_gates());
+
+    // The reparsed circuit behaves identically (reset values are preserved by
+    // the `# init` directives).
+    let mut rng = StdRng::seed_from_u64(13);
+    let cex = sim::equiv::random_equiv_check(&locked.netlist, &reparsed, 8, 20, &mut rng)
+        .expect("equivalence check runs");
+    assert!(cex.is_none(), "bench round-trip changed behaviour: {cex:?}");
+}
+
+#[test]
+fn unrolled_locked_circuit_matches_sequential_simulation() {
+    // The unrolling substrate used by the SAT attack must agree with the
+    // cycle-accurate simulator on the locked circuit.
+    let original = trilock_suite::benchgen::small::s27();
+    let config = TriLockConfig::new(1, 1).with_alpha(0.6);
+    let mut rng = StdRng::seed_from_u64(21);
+    let locked = encrypt(&original, &config, &mut rng).expect("locking succeeds");
+
+    let cycles = locked.kappa() + 3;
+    let unrolled = netlist::unroll::unroll(&locked.netlist, cycles).expect("unrolls");
+    let mut seq_sim = sim::Simulator::new(&locked.netlist).expect("sequential sim");
+    let mut comb_sim = sim::Simulator::new(&unrolled.netlist).expect("combinational sim");
+
+    let mut stim_rng = StdRng::seed_from_u64(33);
+    for _ in 0..20 {
+        let stimulus =
+            sim::stimulus::random_sequence(&mut stim_rng, original.num_inputs(), cycles);
+        let sequential = seq_sim.run_from_reset(&stimulus).expect("runs");
+        // Drive the unrolled copy: all cycles at once.
+        let mut flat_inputs = Vec::new();
+        for (t, cycle) in stimulus.iter().enumerate() {
+            for (i, &bit) in cycle.iter().enumerate() {
+                flat_inputs.push((unrolled.inputs[t][i], bit));
+            }
+        }
+        let inputs_by_index: Vec<bool> = {
+            // The unrolled netlist's primary inputs are in cycle-major order.
+            let mut v = vec![false; unrolled.netlist.num_inputs()];
+            for (net, bit) in &flat_inputs {
+                let pos = unrolled
+                    .netlist
+                    .inputs()
+                    .iter()
+                    .position(|n| n == net)
+                    .expect("input exists");
+                v[pos] = *bit;
+            }
+            v
+        };
+        let outputs = comb_sim.peek_outputs(&inputs_by_index).expect("evaluates");
+        // Compare every cycle's outputs.
+        let mut offset = 0;
+        for (t, cycle_outputs) in sequential.iter().enumerate() {
+            let slice = &outputs[offset..offset + cycle_outputs.len()];
+            assert_eq!(slice, &cycle_outputs[..], "cycle {t} mismatch");
+            offset += cycle_outputs.len();
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Integration test: the removal-attack pipeline (lock → re-encode → SCC
+//! analysis) reproduces the qualitative behaviour of the paper's Table II.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use trilock_suite::attacks::removal_attack;
+use trilock_suite::benchgen::{generate_scaled, CircuitProfile};
+use trilock_suite::sim;
+use trilock_suite::stg::{classify_sccs, RegisterGraph};
+use trilock_suite::trilock::{encrypt, reencode, TriLockConfig};
+
+fn locked_profile_circuit(seed: u64) -> (netlist::Netlist, trilock::LockedCircuit) {
+    let profile = CircuitProfile::by_name("b12").expect("profile exists");
+    let original = generate_scaled(&profile, 8, seed).expect("generation succeeds");
+    let config = TriLockConfig::new(2, 1).with_alpha(0.6);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x10c);
+    let locked = encrypt(&original, &config, &mut rng).expect("locking succeeds");
+    (original, locked)
+}
+
+#[test]
+fn reencoding_collapses_pure_sccs_into_mixed_ones() {
+    let (_, locked) = locked_profile_circuit(31);
+    let baseline = removal_attack(&locked.netlist);
+    assert_eq!(baseline.scc.num_mixed, 0, "no M-SCC before re-encoding");
+    assert!(baseline.scc.num_extra > 0, "locking registers form E-SCCs");
+    assert!(baseline.attack_succeeded());
+
+    for pairs in [5usize, 15] {
+        let mut netlist = locked.netlist.clone();
+        reencode(&mut netlist, pairs).expect("re-encoding succeeds");
+        let report = removal_attack(&netlist);
+        assert!(report.scc.num_mixed >= 1, "S={pairs}: expected an M-SCC");
+        assert!(
+            report.percent_hidden() > baseline.percent_hidden(),
+            "S={pairs}: P_M must increase"
+        );
+        assert!(
+            report.scc.num_original < baseline.scc.num_original,
+            "S={pairs}: O-SCC count must shrink"
+        );
+        assert!(!report.attack_succeeded());
+    }
+}
+
+#[test]
+fn more_pairs_hide_at_least_as_many_registers() {
+    let (_, locked) = locked_profile_circuit(77);
+    let mut previous = -1.0f64;
+    for pairs in [0usize, 3, 8, 15] {
+        let mut netlist = locked.netlist.clone();
+        if pairs > 0 {
+            reencode(&mut netlist, pairs).expect("re-encoding succeeds");
+        }
+        let report = removal_attack(&netlist);
+        assert!(
+            report.percent_hidden() >= previous - 1e-9,
+            "P_M must be non-decreasing in S (S={pairs})"
+        );
+        previous = report.percent_hidden();
+    }
+    assert!(previous > 0.0);
+}
+
+#[test]
+fn reencoding_preserves_functionality_on_profile_circuits() {
+    let (original, locked) = locked_profile_circuit(13);
+    let mut netlist = locked.netlist.clone();
+    reencode(&mut netlist, 10).expect("re-encoding succeeds");
+    let mut rng = StdRng::seed_from_u64(99);
+    let cex = sim::equiv::key_restores_function(
+        &original,
+        &netlist,
+        locked.key.cycles(),
+        10,
+        25,
+        &mut rng,
+    )
+    .expect("equivalence check runs");
+    assert!(cex.is_none(), "re-encoded circuit diverged: {cex:?}");
+}
+
+#[test]
+fn scc_report_is_consistent_with_the_graph() {
+    let (_, locked) = locked_profile_circuit(5);
+    let graph = RegisterGraph::build(&locked.netlist);
+    let report = classify_sccs(&graph);
+    assert_eq!(report.num_registers(), locked.netlist.num_dffs());
+    assert_eq!(
+        report.num_original + report.num_extra + report.num_mixed,
+        report.sccs.len()
+    );
+}
