@@ -148,8 +148,7 @@ mod tests {
     fn register_name_partitions_are_disjoint_and_complete() {
         let locked = locked_accumulator(3);
         let report = removal_attack(&locked);
-        let total =
-            report.removable.len() + report.keepable.len() + report.hidden.len();
+        let total = report.removable.len() + report.keepable.len() + report.hidden.len();
         assert_eq!(total, locked.num_dffs());
     }
 }

@@ -14,8 +14,12 @@ fn bench_overhead(c: &mut Criterion) {
     let profile = CircuitProfile::by_name("s9234").expect("profile");
     let original = benchgen::generate_scaled(&profile, 8, 3).expect("generates");
     let mut rng = StdRng::seed_from_u64(6);
-    let locked = encrypt(&original, &TriLockConfig::new(2, 1).with_alpha(0.6), &mut rng)
-        .expect("locks");
+    let locked = encrypt(
+        &original,
+        &TriLockConfig::new(2, 1).with_alpha(0.6),
+        &mut rng,
+    )
+    .expect("locks");
 
     let mut group = c.benchmark_group("fig6");
     group.bench_function("area_report", |b| {

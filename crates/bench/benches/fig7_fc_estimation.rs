@@ -34,8 +34,12 @@ fn bench_fc(c: &mut Criterion) {
     // Raw estimator on a fixed locked circuit.
     let original = benchgen::generate_scaled(&profiles[0], 32, 5).expect("generates");
     let mut rng = StdRng::seed_from_u64(2);
-    let locked = encrypt(&original, &TriLockConfig::new(2, 1).with_alpha(0.6), &mut rng)
-        .expect("locks");
+    let locked = encrypt(
+        &original,
+        &TriLockConfig::new(2, 1).with_alpha(0.6),
+        &mut rng,
+    )
+    .expect("locks");
     group.bench_function("estimate_fc_800_samples", |b| {
         b.iter(|| {
             let mut fc_rng = StdRng::seed_from_u64(3);

@@ -12,8 +12,12 @@ use trilock::{encrypt, TriLockConfig};
 fn bench_sat_attack(c: &mut Criterion) {
     let original = benchgen::small::toy_controller(2).expect("toy circuit");
     let mut rng = StdRng::seed_from_u64(3);
-    let locked = encrypt(&original, &TriLockConfig::new(1, 1).with_alpha(0.6), &mut rng)
-        .expect("locks");
+    let locked = encrypt(
+        &original,
+        &TriLockConfig::new(1, 1).with_alpha(0.6),
+        &mut rng,
+    )
+    .expect("locks");
 
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);

@@ -14,8 +14,12 @@ fn bench_scc(c: &mut Criterion) {
     let profile = CircuitProfile::by_name("b12").expect("profile");
     let original = benchgen::generate_scaled(&profile, 8, 11).expect("generates");
     let mut rng = StdRng::seed_from_u64(4);
-    let locked = encrypt(&original, &TriLockConfig::new(2, 1).with_alpha(0.6), &mut rng)
-        .expect("locks");
+    let locked = encrypt(
+        &original,
+        &TriLockConfig::new(2, 1).with_alpha(0.6),
+        &mut rng,
+    )
+    .expect("locks");
 
     let mut group = c.benchmark_group("table2");
     group.bench_function("rcg_and_scc_classification", |b| {

@@ -4,7 +4,9 @@
 use trilock_bench::experiments::fig4;
 
 fn main() {
-    println!("== Fig. 4: SAT-attack resilience vs functional corruptibility (4-input circuit) ==\n");
+    println!(
+        "== Fig. 4: SAT-attack resilience vs functional corruptibility (4-input circuit) ==\n"
+    );
     let result = fig4::run(&fig4::Config::default());
     println!("{}", fig4::render(&result));
 }

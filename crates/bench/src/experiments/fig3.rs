@@ -106,7 +106,9 @@ pub fn render(result: &Fig3Result) -> String {
         result.trilock_fc_analytic
     ));
     out.push_str(&result.trilock.render());
-    out.push_str("\nlegend: '#' point-function (ES) error, '+' corruptibility (EF) error, '.' no error\n");
+    out.push_str(
+        "\nlegend: '#' point-function (ES) error, '+' corruptibility (EF) error, '.' no error\n",
+    );
     out
 }
 

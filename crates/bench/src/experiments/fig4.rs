@@ -117,10 +117,7 @@ pub fn render(result: &Fig4Result) -> String {
     header.extend(result.alphas.iter().map(|a| format!("FC(α={a})")));
     let mut table = crate::report::TextTable::new(header);
     for p in &result.trilock {
-        let mut row = vec![
-            p.kappa_s.to_string(),
-            crate::report::format_count(p.ndip),
-        ];
+        let mut row = vec![p.kappa_s.to_string(), crate::report::format_count(p.ndip)];
         row.extend(p.fc_per_alpha.iter().map(|fc| format!("{fc:.4}")));
         table.push_row(row);
     }

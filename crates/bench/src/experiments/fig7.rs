@@ -124,8 +124,7 @@ pub fn run_on_profiles(
                 let depths = config.depth_offsets.clone();
                 for offset in depths {
                     let depth = config.kappa_s + offset;
-                    let mut fc_rng =
-                        StdRng::seed_from_u64(config.seed ^ 0xfc ^ (offset as u64));
+                    let mut fc_rng = StdRng::seed_from_u64(config.seed ^ 0xfc ^ (offset as u64));
                     let per_depth_samples =
                         (config.samples / config.depth_offsets.clone().count().max(1)).max(16);
                     let est = sim::fc::estimate_fc(

@@ -219,7 +219,12 @@ pub fn render(result: &Table1Result) -> String {
         "FF".to_string(),
         "Gate".to_string(),
     ];
-    for entry in &result.rows.first().map(|r| r.entries.clone()).unwrap_or_default() {
+    for entry in &result
+        .rows
+        .first()
+        .map(|r| r.entries.clone())
+        .unwrap_or_default()
+    {
         header.push(format!("ndip(κs={})", entry.kappa_s));
         header.push(format!("T(s)(κs={})", entry.kappa_s));
     }

@@ -91,7 +91,8 @@ impl Table2Result {
             if first.num_original == 0 {
                 continue;
             }
-            total += 100.0 * (first.num_original - last.num_original.min(first.num_original)) as f64
+            total += 100.0
+                * (first.num_original - last.num_original.min(first.num_original)) as f64
                 / first.num_original as f64;
             count += 1;
         }
@@ -135,8 +136,8 @@ pub fn run_on_profiles(
             config.seed + index as u64,
             GeneratorConfig::default(),
         )?;
-        let lock_config = TriLockConfig::new(config.kappa_s, config.kappa_f)
-            .with_alpha(config.alpha);
+        let lock_config =
+            TriLockConfig::new(config.kappa_s, config.kappa_f).with_alpha(config.alpha);
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7ab1e2 ^ index as u64);
         let locked = encrypt(&original, &lock_config, &mut rng)?;
 

@@ -83,7 +83,8 @@ pub fn generate_with_config(
 
     // Available driver nets, in creation order (guarantees acyclicity because
     // gate inputs are only chosen among already-created nets).
-    let mut available: Vec<NetId> = Vec::with_capacity(profile.inputs + profile.dffs + profile.gates);
+    let mut available: Vec<NetId> =
+        Vec::with_capacity(profile.inputs + profile.dffs + profile.gates);
     available.extend(&inputs);
     available.extend(&dff_qs);
 

@@ -1,0 +1,451 @@
+//! `trilock-cli` — the unified command-line driver of the TriLock
+//! reproduction.
+//!
+//! Four subcommands wire the library pipeline to any supported netlist
+//! format (`.bench`, EDIF, structural Verilog; auto-detected from the file
+//! extension or content):
+//!
+//! * `convert` — translate a circuit between formats;
+//! * `stats` — print interface and gate statistics;
+//! * `lock` — apply the TriLock locking flow and export the locked design
+//!   plus its key sequence;
+//! * `sat-attack` — run the SAT-based unrolling attack against a locked
+//!   design, using the original as the oracle.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::str::FromStr;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use attacks::{AttackStatus, SatAttack, SatAttackConfig};
+use netlist::stats::NetlistStats;
+use netlist::Netlist;
+use trilock::{KeySequence, TriLockConfig};
+use trilock_io::CircuitFormat;
+
+/// `println!` that survives a closed stdout (e.g. `trilock-cli stats | head`):
+/// a broken pipe ends the output, it should not abort the process.
+macro_rules! say {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
+}
+
+const USAGE: &str = "\
+trilock-cli — sequential logic locking toolkit (TriLock, DATE 2022)
+
+USAGE:
+    trilock-cli <COMMAND> [ARGS]
+
+COMMANDS:
+    convert <IN> <OUT> [--from FMT] [--to FMT]
+        Translate a circuit between formats (bench, edif, verilog).
+        Formats default to the file extensions (content sniffing on read).
+
+    stats <IN> [--from FMT]
+        Print interface statistics and the gate histogram.
+
+    lock <IN> <OUT> [--kappa-s N] [--kappa-f N] [--alpha F]
+                    [--state-targets N] [--output-targets N]
+                    [--reencode-pairs N] [--seed N] [--key-out FILE]
+                    [--from FMT] [--to FMT]
+        Apply the TriLock flow (encryption + state re-encoding) and write the
+        locked circuit. The correct key sequence is printed (and optionally
+        saved to --key-out, one line of 0/1 per key cycle).
+
+    sat-attack <ORIGINAL> <LOCKED> --kappa N
+                    [--initial-unroll N] [--max-unroll N] [--max-dips N]
+                    [--verify-sequences N] [--verify-cycles N] [--seed N]
+                    [--from FMT] [--locked-from FMT]
+        Run the SAT-based unrolling attack; ORIGINAL plays the oracle.
+        --from pins the oracle's format, --locked-from the locked design's
+        (each defaults to auto-detection).
+
+    help
+        Show this message.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        say!("{USAGE}");
+        return Err("missing command".into());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "convert" => cmd_convert(&Opts::parse(rest, 2, &["from", "to"])?),
+        "stats" => cmd_stats(&Opts::parse(rest, 1, &["from"])?),
+        "lock" => cmd_lock(&Opts::parse(
+            rest,
+            2,
+            &[
+                "kappa-s",
+                "kappa-f",
+                "alpha",
+                "state-targets",
+                "output-targets",
+                "reencode-pairs",
+                "seed",
+                "key-out",
+                "from",
+                "to",
+            ],
+        )?),
+        "sat-attack" => cmd_sat_attack(&Opts::parse(
+            rest,
+            2,
+            &[
+                "kappa",
+                "initial-unroll",
+                "max-unroll",
+                "max-dips",
+                "verify-sequences",
+                "verify-cycles",
+                "seed",
+                "from",
+                "locked-from",
+            ],
+        )?),
+        "help" | "--help" | "-h" => {
+            say!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown command `{other}` (try `trilock-cli help`)"
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Option parsing
+// ---------------------------------------------------------------------------
+
+/// Parsed command arguments: positionals plus `--flag value` pairs.
+#[derive(Debug)]
+struct Opts {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Opts {
+    /// Parses `args`, rejecting flags outside `allowed` and positionals
+    /// beyond `max_positionals` — a misspelled option must fail loudly, not
+    /// silently run with defaults.
+    fn parse(args: &[String], max_positionals: usize, allowed: &[&str]) -> Result<Opts, String> {
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if !allowed.contains(&name) {
+                    return Err(format!(
+                        "unknown flag `--{name}` (expected one of: {})",
+                        allowed
+                            .iter()
+                            .map(|f| format!("--{f}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag `--{name}` expects a value"))?;
+                if flags.insert(name.to_string(), value.clone()).is_some() {
+                    return Err(format!("flag `--{name}` given twice"));
+                }
+            } else {
+                if positional.len() == max_positionals {
+                    return Err(format!(
+                        "unexpected argument `{arg}` (at most {max_positionals} expected)"
+                    ));
+                }
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Opts { positional, flags })
+    }
+
+    fn positional(&self, index: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(index)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what} argument"))
+    }
+
+    fn value<T: FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| format!("invalid value `{raw}` for `--{name}`: {e}")),
+        }
+    }
+
+    fn required<T: FromStr>(&self, name: &str, why: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let raw = self
+            .flags
+            .get(name)
+            .ok_or_else(|| format!("`--{name}` is required ({why})"))?;
+        raw.parse()
+            .map_err(|e| format!("invalid value `{raw}` for `--{name}`: {e}"))
+    }
+
+    fn format(&self, name: &str) -> Result<Option<CircuitFormat>, String> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("invalid `--{name}`: {e}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+fn read(path: &str, format: Option<CircuitFormat>) -> Result<Netlist, String> {
+    let result = match format {
+        Some(f) => trilock_io::read_circuit_as(path, f),
+        None => trilock_io::read_circuit(path),
+    };
+    result.map_err(|e| e.to_string())
+}
+
+fn write(
+    path: &str,
+    netlist: &Netlist,
+    format: Option<CircuitFormat>,
+) -> Result<CircuitFormat, String> {
+    let format = match format {
+        Some(f) => f,
+        None => CircuitFormat::from_path(std::path::Path::new(path)).ok_or_else(|| {
+            format!("cannot infer output format of `{path}`; pass `--to bench|edif|verilog`")
+        })?,
+    };
+    trilock_io::write_circuit(path, netlist, format).map_err(|e| e.to_string())?;
+    Ok(format)
+}
+
+fn brief(netlist: &Netlist) -> String {
+    format!(
+        "`{}` (PI={} PO={} FF={} gates={})",
+        netlist.name(),
+        netlist.num_inputs(),
+        netlist.num_outputs(),
+        netlist.num_dffs(),
+        netlist.num_gates()
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+fn cmd_convert(opts: &Opts) -> Result<(), String> {
+    let input = opts.positional(0, "input path")?;
+    let output = opts.positional(1, "output path")?;
+    let netlist = read(input, opts.format("from")?)?;
+    let to = write(output, &netlist, opts.format("to")?)?;
+    say!("converted {} -> {output} ({to})", brief(&netlist));
+    Ok(())
+}
+
+fn cmd_stats(opts: &Opts) -> Result<(), String> {
+    let input = opts.positional(0, "input path")?;
+    let netlist = read(input, opts.format("from")?)?;
+    let stats = NetlistStats::of(&netlist);
+    say!("design   {}", netlist.name());
+    say!("inputs   {}", stats.num_inputs);
+    say!("outputs  {}", stats.num_outputs);
+    say!("dffs     {}", stats.num_dffs);
+    say!("gates    {}", stats.num_gates);
+    for (kind, count) in &stats.gate_histogram {
+        say!("  {:<6} {count}", kind.mnemonic());
+    }
+    if !stats.dffs_by_class.is_empty() {
+        say!("registers by provenance:");
+        for (class, count) in &stats.dffs_by_class {
+            say!("  {class:<9} {count}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_lock(opts: &Opts) -> Result<(), String> {
+    let input = opts.positional(0, "input path")?;
+    let output = opts.positional(1, "output path")?;
+    let kappa_s = opts.value("kappa-s", 2usize)?;
+    let kappa_f = opts.value("kappa-f", 1usize)?;
+    let alpha = opts.value("alpha", 0.6f64)?;
+    let seed = opts.value("seed", 1u64)?;
+
+    let mut config = TriLockConfig::new(kappa_s, kappa_f).with_alpha(alpha);
+    config.state_error_targets = opts.value("state-targets", config.state_error_targets)?;
+    config.output_error_targets = opts.value("output-targets", config.output_error_targets)?;
+    config.reencode_pairs = opts.value("reencode-pairs", config.reencode_pairs)?;
+
+    let original = read(input, opts.format("from")?)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let result = trilock::lock(&original, &config, &mut rng).map_err(|e| e.to_string())?;
+    let to = write(output, &result.locked.netlist, opts.format("to")?)?;
+
+    say!("locked {} -> {output} ({to})", brief(&original));
+    say!(
+        "  kappa = {} (s={kappa_s}, f={kappa_f}), alpha = {alpha}, seed = {seed}",
+        config.kappa()
+    );
+    say!(
+        "  added {} flip-flops, {} gates; re-encoded {} register pairs",
+        result.locked.summary.added_dffs,
+        result.locked.summary.added_gates,
+        result.reencode.num_pairs()
+    );
+    say!("  key = {}", result.locked.key);
+    if let Some(key_path) = opts.flags.get("key-out") {
+        std::fs::write(key_path, key_file(&result.locked.key))
+            .map_err(|e| format!("cannot write `{key_path}`: {e}"))?;
+        say!("  key written to {key_path}");
+    }
+    Ok(())
+}
+
+/// One line of `0`/`1` per key cycle.
+fn key_file(key: &KeySequence) -> String {
+    let mut out = String::new();
+    for cycle in key.cycles() {
+        for &bit in cycle {
+            out.push(if bit { '1' } else { '0' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn cmd_sat_attack(opts: &Opts) -> Result<(), String> {
+    let original_path = opts.positional(0, "original (oracle) path")?;
+    let locked_path = opts.positional(1, "locked path")?;
+    let kappa: usize = opts.required("kappa", "key cycle length known to the attacker")?;
+    let seed = opts.value("seed", 1u64)?;
+
+    let defaults = SatAttackConfig::default();
+    let config = SatAttackConfig {
+        initial_unroll: opts.value("initial-unroll", defaults.initial_unroll)?,
+        max_unroll: opts.value("max-unroll", defaults.max_unroll)?,
+        max_dips: opts.value("max-dips", defaults.max_dips)?,
+        verify_sequences: opts.value("verify-sequences", defaults.verify_sequences)?,
+        verify_cycles: opts.value("verify-cycles", defaults.verify_cycles)?,
+    };
+
+    let original = read(original_path, opts.format("from")?)?;
+    let locked = read(locked_path, opts.format("locked-from")?)?;
+    let attack = SatAttack::new(&original, &locked, kappa).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let outcome = attack.run(&config, &mut rng).map_err(|e| e.to_string())?;
+
+    say!(
+        "sat-attack on {} (kappa = {kappa}, seed = {seed})",
+        brief(&locked)
+    );
+    say!(
+        "  dips = {}, unroll depth = {}, elapsed = {:.3}s, cnf = {} vars / {} clauses",
+        outcome.dips,
+        outcome.unroll_depth,
+        outcome.elapsed.as_secs_f64(),
+        outcome.solver_vars,
+        outcome.solver_clauses
+    );
+    match &outcome.status {
+        AttackStatus::KeyFound(key) => say!("  status = key found: {key}"),
+        AttackStatus::DipBudgetExhausted => {
+            say!("  status = resisted (DIP budget exhausted)");
+        }
+        AttackStatus::UnrollBudgetExhausted => {
+            say!("  status = resisted (unroll budget exhausted)");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn opts_split_positionals_and_flags() {
+        let opts = Opts::parse(&strings(&["a.bench", "--seed", "7", "b.v"]), 2, &["seed"]).unwrap();
+        assert_eq!(opts.positional, vec!["a.bench", "b.v"]);
+        assert_eq!(opts.value("seed", 0u64).unwrap(), 7);
+        assert_eq!(opts.value("missing", 3usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn opts_reject_missing_value_and_duplicates() {
+        assert!(Opts::parse(&strings(&["--seed"]), 0, &["seed"]).is_err());
+        assert!(Opts::parse(&strings(&["--seed", "1", "--seed", "2"]), 0, &["seed"]).is_err());
+    }
+
+    #[test]
+    fn required_flag_reports_why() {
+        let opts = Opts::parse(&strings(&[]), 0, &["kappa"]).unwrap();
+        let err = opts
+            .required::<usize>("kappa", "key cycle length")
+            .unwrap_err();
+        assert!(err.contains("--kappa"));
+        assert!(err.contains("key cycle length"));
+    }
+
+    #[test]
+    fn format_flag_parses() {
+        let opts = Opts::parse(&strings(&["--to", "edif"]), 0, &["to", "from"]).unwrap();
+        assert_eq!(opts.format("to").unwrap(), Some(CircuitFormat::Edif));
+        assert_eq!(opts.format("from").unwrap(), None);
+        let bad = Opts::parse(&strings(&["--to", "vhdl"]), 0, &["to"]).unwrap();
+        assert!(bad.format("to").is_err());
+    }
+
+    #[test]
+    fn key_file_renders_cycles_as_lines() {
+        let key = KeySequence::from_cycles(vec![vec![true, false], vec![false, true]]);
+        assert_eq!(key_file(&key), "10\n01\n");
+    }
+
+    #[test]
+    fn unknown_flags_and_extra_positionals_are_rejected() {
+        let err = Opts::parse(&strings(&["--kappa_s", "4"]), 2, &["kappa-s"]).unwrap_err();
+        assert!(err.contains("unknown flag `--kappa_s`"), "{err}");
+        assert!(err.contains("--kappa-s"), "{err}");
+        let err = Opts::parse(&strings(&["a", "b", "c"]), 2, &[]).unwrap_err();
+        assert!(err.contains("unexpected argument `c`"), "{err}");
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&strings(&["frobnicate"])).is_err());
+        assert!(run(&strings(&["help"])).is_ok());
+    }
+}

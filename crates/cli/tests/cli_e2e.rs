@@ -1,0 +1,124 @@
+//! Integration tests driving the built `trilock-cli` binary over the
+//! committed `s27` fixtures: convert between all formats, print stats, lock
+//! an EDIF design and run the SAT attack against the result.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(name)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("trilock_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_trilock-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn cli_ok(args: &[&str]) -> String {
+    let output = cli(args);
+    assert!(
+        output.status.success(),
+        "`trilock-cli {}` failed:\nstdout: {}\nstderr: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn convert_round_trips_the_fixture_across_all_formats() {
+    let dir = tmp_dir("convert");
+    let bench = fixture("s27.bench");
+    let edif = dir.join("s27.edif");
+    let verilog = dir.join("s27.v");
+    let back = dir.join("s27_back.bench");
+
+    cli_ok(&["convert", bench.to_str().unwrap(), edif.to_str().unwrap()]);
+    cli_ok(&["convert", edif.to_str().unwrap(), verilog.to_str().unwrap()]);
+    let stdout = cli_ok(&["convert", verilog.to_str().unwrap(), back.to_str().unwrap()]);
+    assert!(stdout.contains("PI=4 PO=1 FF=3"), "{stdout}");
+
+    let original = trilock_io::read_circuit(&bench).unwrap();
+    let returned = trilock_io::read_circuit(&back).unwrap();
+    assert_eq!(original.num_inputs(), returned.num_inputs());
+    assert_eq!(original.num_dffs(), returned.num_dffs());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stats_prints_the_interface_and_histogram() {
+    let stdout = cli_ok(&["stats", fixture("s27.v").to_str().unwrap()]);
+    assert!(stdout.contains("inputs   4"), "{stdout}");
+    assert!(stdout.contains("dffs     3"), "{stdout}");
+    assert!(stdout.contains("NOR"), "{stdout}");
+}
+
+#[test]
+fn lock_then_sat_attack_completes_on_the_edif_fixture() {
+    let dir = tmp_dir("lock_attack");
+    let original = fixture("s27.edif");
+    let locked = dir.join("s27_locked.edif");
+    let key_out = dir.join("key.txt");
+
+    let stdout = cli_ok(&[
+        "lock",
+        original.to_str().unwrap(),
+        locked.to_str().unwrap(),
+        "--kappa-s",
+        "1",
+        "--kappa-f",
+        "1",
+        "--reencode-pairs",
+        "2",
+        "--seed",
+        "3",
+        "--key-out",
+        key_out.to_str().unwrap(),
+    ]);
+    assert!(stdout.contains("key ="), "{stdout}");
+    let key_text = std::fs::read_to_string(&key_out).unwrap();
+    assert_eq!(key_text.lines().count(), 2, "one line per key cycle");
+    assert!(key_text.lines().all(|l| l.len() == 4), "width |I| = 4");
+
+    let stdout = cli_ok(&[
+        "sat-attack",
+        original.to_str().unwrap(),
+        locked.to_str().unwrap(),
+        "--kappa",
+        "2",
+        "--max-unroll",
+        "4",
+        "--seed",
+        "9",
+    ]);
+    assert!(stdout.contains("dips ="), "{stdout}");
+    assert!(stdout.contains("status ="), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    let output = cli(&["stats", "/no/such/file.bench"]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+
+    let output = cli(&["sat-attack", "a.bench", "b.bench"]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--kappa"), "{stderr}");
+
+    let output = cli(&["frobnicate"]);
+    assert!(!output.status.success());
+}

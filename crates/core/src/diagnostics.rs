@@ -134,15 +134,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let locked = encrypt(&original, &config, &mut rng).unwrap();
         let mut fc_rng = StdRng::seed_from_u64(2);
-        let report =
-            SecurityReport::analyze(&original, &locked, 6, 400, &mut fc_rng).unwrap();
+        let report = SecurityReport::analyze(&original, &locked, 6, 400, &mut fc_rng).unwrap();
 
         assert_eq!(report.ndip, analytic::ndip(4, 2));
         assert_eq!(report.min_unroll_depth, 2);
         // Eq. 15 is an approximation: with |I| = 4 and κf = 1 the threshold
         // α·(2^4−1) quantizes to 1/16 steps, so allow a wider band than the
         // paper's large-circuit ±0.05.
-        assert!(report.fc_model_error() < 0.12, "{}", report.fc_model_error());
+        assert!(
+            report.fc_model_error() < 0.12,
+            "{}",
+            report.fc_model_error()
+        );
         assert_eq!(report.added_registers, locked.summary.added_dffs);
         assert!(report.esccs > 0, "no re-encoding yet: pure E-SCCs remain");
         assert!(!report.removal_resistant());
@@ -158,8 +161,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let flow = lock(&original, &config, &mut rng).unwrap();
         let mut fc_rng = StdRng::seed_from_u64(4);
-        let report =
-            SecurityReport::analyze(&original, &flow.locked, 5, 200, &mut fc_rng).unwrap();
+        let report = SecurityReport::analyze(&original, &flow.locked, 5, 200, &mut fc_rng).unwrap();
         assert!(report.msccs >= 1);
         assert!(report.percent_mixed > 0.0);
         assert!(report.removal_resistant());
@@ -174,9 +176,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(7);
             let locked = encrypt(&original, &config, &mut rng).unwrap();
             let mut fc_rng = StdRng::seed_from_u64(8);
-            reports.push(
-                SecurityReport::analyze(&original, &locked, 5, 300, &mut fc_rng).unwrap(),
-            );
+            reports.push(SecurityReport::analyze(&original, &locked, 5, 300, &mut fc_rng).unwrap());
         }
         assert!(reports[1].fc_measured > reports[0].fc_measured);
         assert_eq!(reports[0].ndip, reports[1].ndip);

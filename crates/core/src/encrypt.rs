@@ -132,9 +132,7 @@ pub fn encrypt<R: Rng + ?Sized>(
     let saturation = (kappa + kappa_s) as u64;
     let counter_bits = words::bits_for(saturation);
     let counter: Vec<NetId> = (0..counter_bits)
-        .map(|i| {
-            nl.declare_dff_with_class(format!("tl_cnt{i}"), false, RegClass::Locking)
-        })
+        .map(|i| nl.declare_dff_with_class(format!("tl_cnt{i}"), false, RegClass::Locking))
         .collect::<Result<_, _>>()?;
     let incremented = words::increment(&mut nl, &counter, "tl_cnt_inc")?;
     let at_saturation = words::eq_const(
@@ -143,7 +141,13 @@ pub fn encrypt<R: Rng + ?Sized>(
         &words::to_bits(saturation, counter_bits),
         "tl_cnt_sat",
     )?;
-    let counter_next = words::mux_word(&mut nl, at_saturation, &incremented, &counter, "tl_cnt_next")?;
+    let counter_next = words::mux_word(
+        &mut nl,
+        at_saturation,
+        &incremented,
+        &counter,
+        "tl_cnt_next",
+    )?;
     for (&q, &d) in counter.iter().zip(&counter_next) {
         nl.bind_dff(q, d)?;
     }
@@ -187,14 +191,11 @@ pub fn encrypt<R: Rng + ?Sized>(
     // Key-prefix capture (κs cycles) for the ES comparison.
     // ------------------------------------------------------------------
     let mut prefix_regs: Vec<Vec<NetId>> = Vec::with_capacity(kappa_s);
+    #[allow(clippy::needless_range_loop)] // t and i index three arrays in lockstep
     for t in 0..kappa_s {
         let mut cycle_regs = Vec::with_capacity(width);
         for i in 0..width {
-            let q = nl.declare_dff_with_class(
-                format!("tl_kp{t}_{i}"),
-                false,
-                RegClass::Locking,
-            )?;
+            let q = nl.declare_dff_with_class(format!("tl_kp{t}_{i}"), false, RegClass::Locking)?;
             let d = nl.add_gate(
                 GateKind::Mux,
                 &[is_cycle[t], q, pis[i]],
@@ -211,13 +212,11 @@ pub fn encrypt<R: Rng + ?Sized>(
     // ------------------------------------------------------------------
     let ef_active = if kappa_f > 0 && config.alpha > 0.0 {
         let mut suffix_word: Vec<NetId> = Vec::with_capacity(kappa_f * width);
+        #[allow(clippy::needless_range_loop)] // t and i index three arrays in lockstep
         for t in 0..kappa_f {
             for i in 0..width {
-                let q = nl.declare_dff_with_class(
-                    format!("tl_ks{t}_{i}"),
-                    false,
-                    RegClass::Locking,
-                )?;
+                let q =
+                    nl.declare_dff_with_class(format!("tl_ks{t}_{i}"), false, RegClass::Locking)?;
                 let d = nl.add_gate(
                     GateKind::Mux,
                     &[is_cycle[kappa_s + t], q, pis[i]],
@@ -279,7 +278,11 @@ pub fn encrypt<R: Rng + ?Sized>(
     }
     let func_mismatch = words::or_tree(&mut nl, &func_mismatch_terms, "tl_es_mismatch_any")?;
     let func_mismatch_n = words::invert(&mut nl, func_mismatch, "tl_es_mismatch_any")?;
-    let es_prog_next = nl.add_gate(GateKind::And, &[es_prog, func_mismatch_n], "tl_es_prog_next")?;
+    let es_prog_next = nl.add_gate(
+        GateKind::And,
+        &[es_prog, func_mismatch_n],
+        "tl_es_prog_next",
+    )?;
     nl.bind_dff(es_prog, es_prog_next)?;
 
     // The error fires combinationally in the last matching cycle (functional
@@ -401,7 +404,10 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        assert!(cex.is_none(), "correct key must restore the function: {cex:?}");
+        assert!(
+            cex.is_none(),
+            "correct key must restore the function: {cex:?}"
+        );
     }
 
     #[test]
@@ -427,15 +433,9 @@ mod tests {
         let config = TriLockConfig::new(1, 1).with_alpha(0.95);
         let (original, locked) = lock_s27(&config, 5);
         let mut rng = StdRng::seed_from_u64(11);
-        let est = sim::fc::estimate_fc(
-            &original,
-            &locked.netlist,
-            locked.kappa(),
-            6,
-            300,
-            &mut rng,
-        )
-        .unwrap();
+        let est =
+            sim::fc::estimate_fc(&original, &locked.netlist, locked.kappa(), 6, 300, &mut rng)
+                .unwrap();
         let expected = crate::analytic::fc_expected(original.num_inputs(), 1, 0.95);
         assert!(
             (est.fc - expected).abs() < 0.08,
@@ -449,15 +449,9 @@ mod tests {
         let config = TriLockConfig::new(2, 1).with_alpha(0.0);
         let (original, locked) = lock_s27(&config, 9);
         let mut rng = StdRng::seed_from_u64(13);
-        let est = sim::fc::estimate_fc(
-            &original,
-            &locked.netlist,
-            locked.kappa(),
-            5,
-            300,
-            &mut rng,
-        )
-        .unwrap();
+        let est =
+            sim::fc::estimate_fc(&original, &locked.netlist, locked.kappa(), 5, 300, &mut rng)
+                .unwrap();
         // Only the ES point function can fire, which is astronomically rare
         // under random inputs.
         assert!(est.fc < 0.05, "fc = {}", est.fc);
@@ -476,9 +470,11 @@ mod tests {
         let mut orig_sim = sim::Simulator::new(&original).unwrap();
         let mut lock_sim = sim::Simulator::new(&locked.netlist).unwrap();
         let differs =
-            sim::fc::outputs_differ(&mut orig_sim, &mut lock_sim, wrong.cycles(), &inputs)
-                .unwrap();
-        assert!(differs, "replaying the wrong key prefix must expose an error");
+            sim::fc::outputs_differ(&mut orig_sim, &mut lock_sim, wrong.cycles(), &inputs).unwrap();
+        assert!(
+            differs,
+            "replaying the wrong key prefix must expose an error"
+        );
     }
 
     #[test]

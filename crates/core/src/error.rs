@@ -13,6 +13,10 @@ pub enum LockError {
     InvalidConfig(String),
     /// An underlying netlist operation failed.
     Netlist(NetlistError),
+    /// A circuit file could not be read or written by the path-based flow
+    /// entry points (rendered message; the structured error is in
+    /// `trilock_io::IoError`).
+    Io(String),
 }
 
 impl fmt::Display for LockError {
@@ -20,6 +24,7 @@ impl fmt::Display for LockError {
         match self {
             LockError::InvalidConfig(msg) => write!(f, "invalid locking configuration: {msg}"),
             LockError::Netlist(e) => write!(f, "netlist error during locking: {e}"),
+            LockError::Io(msg) => write!(f, "i/o error during locking: {msg}"),
         }
     }
 }
@@ -27,7 +32,7 @@ impl fmt::Display for LockError {
 impl Error for LockError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            LockError::InvalidConfig(_) => None,
+            LockError::InvalidConfig(_) | LockError::Io(_) => None,
             LockError::Netlist(e) => Some(e),
         }
     }
@@ -36,6 +41,12 @@ impl Error for LockError {
 impl From<NetlistError> for LockError {
     fn from(e: NetlistError) -> Self {
         LockError::Netlist(e)
+    }
+}
+
+impl From<trilock_io::IoError> for LockError {
+    fn from(e: trilock_io::IoError) -> Self {
+        LockError::Io(e.to_string())
     }
 }
 

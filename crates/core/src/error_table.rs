@@ -132,8 +132,7 @@ pub fn error_table(
         let mut row = Vec::with_capacity(1usize << key_bits);
         for key_value in 0..(1u64 << key_bits) {
             let key = stimulus::sequence_from_value(key_value, width, kappa);
-            let differs =
-                sim::fc::outputs_differ(&mut orig_sim, &mut lock_sim, &key, &inputs)?;
+            let differs = sim::fc::outputs_differ(&mut orig_sim, &mut lock_sim, &key, &inputs)?;
             let kind = if !differs {
                 ErrorKind::None
             } else if key_value != correct_key && prefix_matches(&key, &inputs, kappa_s) {

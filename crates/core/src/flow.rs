@@ -63,6 +63,41 @@ pub fn lock<R: Rng + ?Sized>(
     })
 }
 
+/// Runs the complete TriLock flow on a circuit file in any supported format
+/// (`.bench`, EDIF, structural Verilog; auto-detected from the extension or
+/// content).
+///
+/// # Errors
+///
+/// Returns [`LockError::Io`] when the file cannot be read or parsed, and
+/// propagates [`LockError`] from the locking stages.
+pub fn lock_path<R: Rng + ?Sized>(
+    input: impl AsRef<std::path::Path>,
+    config: &TriLockConfig,
+    rng: &mut R,
+) -> Result<FlowResult, LockError> {
+    let original = trilock_io::read_circuit(input)?;
+    lock(&original, config, rng)
+}
+
+/// Like [`lock_path`], but additionally writes the locked netlist to
+/// `output` in the format implied by its extension.
+///
+/// # Errors
+///
+/// Returns [`LockError::Io`] for read, parse or write failures and
+/// propagates [`LockError`] from the locking stages.
+pub fn lock_path_to<R: Rng + ?Sized>(
+    input: impl AsRef<std::path::Path>,
+    output: impl AsRef<std::path::Path>,
+    config: &TriLockConfig,
+    rng: &mut R,
+) -> Result<FlowResult, LockError> {
+    let result = lock_path(input, config, rng)?;
+    trilock_io::write_circuit_auto(output, &result.locked.netlist)?;
+    Ok(result)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,7 +108,9 @@ mod tests {
     #[test]
     fn flow_combines_both_stages() {
         let original = small::accumulator(5).unwrap();
-        let config = TriLockConfig::new(1, 1).with_alpha(0.6).with_reencode_pairs(3);
+        let config = TriLockConfig::new(1, 1)
+            .with_alpha(0.6)
+            .with_reencode_pairs(3);
         let mut rng = StdRng::seed_from_u64(1);
         let result = lock(&original, &config, &mut rng).unwrap();
         assert!(result.reencode.num_pairs() >= 1);
@@ -108,5 +145,43 @@ mod tests {
         let original = small::s27();
         let mut rng = StdRng::seed_from_u64(4);
         assert!(lock(&original, &TriLockConfig::new(0, 1), &mut rng).is_err());
+    }
+
+    #[test]
+    fn lock_path_to_round_trips_through_files() {
+        let dir = std::env::temp_dir().join(format!("trilock_flow_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("s27.bench");
+        let output = dir.join("s27_locked.edif");
+        std::fs::write(&input, netlist::bench::write(&small::s27())).unwrap();
+
+        let config = TriLockConfig::new(1, 1).with_reencode_pairs(2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let result = lock_path_to(&input, &output, &config, &mut rng).unwrap();
+        let reread = trilock_io::read_circuit(&output).unwrap();
+        assert_eq!(reread.num_dffs(), result.locked.netlist.num_dffs());
+        assert_eq!(reread.num_inputs(), result.locked.netlist.num_inputs());
+
+        // The re-read locked circuit still unlocks with the correct key.
+        let mut check = StdRng::seed_from_u64(8);
+        let cex = sim::equiv::key_restores_function(
+            &small::s27(),
+            &reread,
+            result.locked.key.cycles(),
+            6,
+            12,
+            &mut check,
+        )
+        .unwrap();
+        assert!(cex.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lock_path_reports_missing_files() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let err =
+            lock_path("/no/such/file.bench", &TriLockConfig::new(1, 1), &mut rng).unwrap_err();
+        assert!(matches!(err, crate::LockError::Io(_)), "{err:?}");
     }
 }

@@ -61,8 +61,8 @@
 mod config;
 mod diagnostics;
 mod encrypt;
-mod flow;
 mod error;
+mod flow;
 mod key;
 mod reencode;
 
@@ -72,7 +72,7 @@ pub mod error_table;
 pub use config::TriLockConfig;
 pub use diagnostics::SecurityReport;
 pub use encrypt::{encrypt, LockedCircuit, LockingSummary};
-pub use flow::{lock, FlowResult};
 pub use error::LockError;
+pub use flow::{lock, lock_path, lock_path_to, FlowResult};
 pub use key::KeySequence;
 pub use reencode::{reencode, ReencodeReport};

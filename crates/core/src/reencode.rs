@@ -163,11 +163,7 @@ fn add_named(
     netlist.add_gate(kind, inputs, name)
 }
 
-fn declare_encoded(
-    netlist: &mut Netlist,
-    prefix: &str,
-    init: bool,
-) -> Result<NetId, NetlistError> {
+fn declare_encoded(netlist: &mut Netlist, prefix: &str, init: bool) -> Result<NetId, NetlistError> {
     let name = netlist.fresh_name(prefix);
     netlist.declare_dff_with_class(name, init, RegClass::Encoded)
 }

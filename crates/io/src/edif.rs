@@ -1,0 +1,1071 @@
+//! Reader and writer for EDIF 2.0.0 netlists.
+//!
+//! The writer emits a self-contained EDIF file with two libraries: a
+//! primitive library `TRILOCK_PRIMS` declaring one cell per used gate
+//! function/arity (inputs `I0..In`, output `Y`; flip-flops `D`/`Q`) and a
+//! design library holding the netlist itself. Reset values and register
+//! provenance ride on instance properties (`INIT`, `TRILOCK_CLASS`) so that
+//! locked circuits round-trip losslessly.
+//!
+//! The reader accepts that dialect plus the common aliases found in
+//! vendor-emitted gate-level EDIF: case-insensitive keywords, `(rename id
+//! "original")` names, `A/B/C…` or `IN<k>` input pins and `Z`/`O`/`OUT`
+//! output pins, and `VDD`/`GND`/`TIE0`/`TIE1` constant cells.
+
+use std::collections::HashMap;
+
+use netlist::{GateKind, Netlist, RegClass};
+
+use crate::error::IoError;
+use crate::names;
+use crate::prims::{self, PinRole, PrimKind};
+use crate::sexpr::{self, Sexpr};
+
+const FORMAT: &str = "edif";
+const PRIM_LIBRARY: &str = "TRILOCK_PRIMS";
+const DESIGN_LIBRARY: &str = "DESIGNS";
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct EdifInstance {
+    name: String,
+    prim: PrimKind,
+    cell: String,
+    init: bool,
+    class: RegClass,
+    line: usize,
+}
+
+#[derive(Debug)]
+struct EdifPort {
+    /// EDIF identifier, the token portrefs use.
+    id: String,
+    /// Display name (`rename` original when present).
+    name: String,
+    is_input: bool,
+}
+
+#[derive(Debug)]
+struct PortRef {
+    pin: String,
+    instance: Option<String>,
+}
+
+#[derive(Debug)]
+struct EdifNet {
+    name: String,
+    refs: Vec<PortRef>,
+    line: usize,
+}
+
+#[derive(Debug)]
+struct EdifCell {
+    id: String,
+    name: String,
+    ports: Vec<EdifPort>,
+    instances: Vec<EdifInstance>,
+    nets: Vec<EdifNet>,
+}
+
+/// Parses an EDIF 2.0.0 description into a [`Netlist`].
+///
+/// The resulting netlist is validated before being returned.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] for malformed input, [`IoError::Unsupported`]
+/// for constructs outside the gate-level subset (array ports, inout ports,
+/// unmapped cells) and [`IoError::Netlist`] for structurally broken circuits.
+pub fn parse(text: &str) -> Result<Netlist, IoError> {
+    let root = sexpr::parse(text)?;
+    let items = root.expect_form("edif")?;
+    if items.is_empty() {
+        return Err(IoError::parse(FORMAT, root.line, "missing design name"));
+    }
+    let mut cells: Vec<EdifCell> = Vec::new();
+    let mut design_ref: Option<String> = None;
+    for item in &items[1..] {
+        if item.is_form("library") || item.is_form("external") {
+            let lib_items = item.as_list().expect("checked by is_form");
+            for entry in &lib_items[1..] {
+                if entry.is_form("cell") {
+                    cells.push(parse_cell(entry)?);
+                }
+            }
+        } else if item.is_form("design") {
+            let design = item.as_list().expect("checked by is_form");
+            for entry in &design[1..] {
+                if entry.is_form("cellref") {
+                    let cellref = entry.as_list().expect("checked by is_form");
+                    if let Some(name) = cellref.get(1).and_then(Sexpr::as_symbol) {
+                        design_ref = Some(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    let top = pick_top_cell(&cells, design_ref.as_deref())
+        .ok_or_else(|| IoError::parse(FORMAT, root.line, "no cell with contents found"))?;
+    build_netlist(top)
+}
+
+fn pick_top_cell<'a>(cells: &'a [EdifCell], design_ref: Option<&str>) -> Option<&'a EdifCell> {
+    if let Some(wanted) = design_ref {
+        if let Some(cell) = cells
+            .iter()
+            .find(|c| c.id.eq_ignore_ascii_case(wanted) || c.name.eq_ignore_ascii_case(wanted))
+        {
+            return Some(cell);
+        }
+    }
+    // Fall back to the cell with the largest contents: primitive declarations
+    // are empty, the design cell is not.
+    cells
+        .iter()
+        .filter(|c| !c.instances.is_empty() || !c.nets.is_empty())
+        .max_by_key(|c| c.instances.len() + c.nets.len())
+}
+
+/// Extracts `(identifier, display name)` from a name position: a bare symbol
+/// names itself, a `(rename id "original")` form separates the identifier
+/// other constructs reference from the display name.
+fn parse_name_pair(e: &Sexpr) -> Result<(String, String), IoError> {
+    if let Some(sym) = e.as_symbol() {
+        return Ok((sym.to_string(), sym.to_string()));
+    }
+    if e.is_form("rename") {
+        let items = e.as_list().expect("checked by is_form");
+        if let Some(id) = items.get(1).and_then(Sexpr::as_symbol) {
+            let original = items
+                .get(2)
+                .and_then(Sexpr::as_str)
+                .unwrap_or(id)
+                .to_string();
+            return Ok((id.to_string(), original));
+        }
+    }
+    Err(IoError::parse(
+        FORMAT,
+        e.line,
+        "expected a name (symbol or `(rename id \"original\")`)",
+    ))
+}
+
+/// Display name of a name position (the `rename` original when present).
+fn parse_name(e: &Sexpr) -> Result<String, IoError> {
+    parse_name_pair(e).map(|(_, name)| name)
+}
+
+fn parse_cell(e: &Sexpr) -> Result<EdifCell, IoError> {
+    let items = e.expect_form("cell")?;
+    let (id, name) = parse_name_pair(
+        items
+            .first()
+            .ok_or_else(|| IoError::parse(FORMAT, e.line, "cell without a name"))?,
+    )?;
+    let mut cell = EdifCell {
+        id,
+        name,
+        ports: Vec::new(),
+        instances: Vec::new(),
+        nets: Vec::new(),
+    };
+    for item in &items[1..] {
+        if item.is_form("view") {
+            parse_view(item, &mut cell)?;
+        }
+    }
+    Ok(cell)
+}
+
+fn parse_view(e: &Sexpr, cell: &mut EdifCell) -> Result<(), IoError> {
+    let items = e.expect_form("view")?;
+    for item in items {
+        if item.is_form("interface") {
+            let iface = item.as_list().expect("checked by is_form");
+            for port in &iface[1..] {
+                if port.is_form("port") {
+                    cell.ports.push(parse_port(port)?);
+                }
+            }
+        } else if item.is_form("contents") {
+            let contents = item.as_list().expect("checked by is_form");
+            for entry in &contents[1..] {
+                if entry.is_form("instance") {
+                    cell.instances.push(parse_instance(entry)?);
+                } else if entry.is_form("net") {
+                    cell.nets.push(parse_net(entry)?);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_port(e: &Sexpr) -> Result<EdifPort, IoError> {
+    let items = e.expect_form("port")?;
+    let name_node = items
+        .first()
+        .ok_or_else(|| IoError::parse(FORMAT, e.line, "port without a name"))?;
+    if name_node.is_form("array") {
+        return Err(IoError::unsupported(
+            FORMAT,
+            format!("array port at line {} (bit-blasted ports required)", e.line),
+        ));
+    }
+    let (id, name) = parse_name_pair(name_node)?;
+    let mut is_input = None;
+    for item in &items[1..] {
+        if item.is_form("direction") {
+            let dir = item.as_list().expect("checked by is_form");
+            let dir = dir
+                .get(1)
+                .and_then(Sexpr::as_symbol)
+                .unwrap_or_default()
+                .to_ascii_uppercase();
+            is_input = match dir.as_str() {
+                "INPUT" => Some(true),
+                "OUTPUT" => Some(false),
+                "INOUT" => {
+                    return Err(IoError::unsupported(
+                        FORMAT,
+                        format!("inout port `{name}` at line {}", e.line),
+                    ))
+                }
+                other => {
+                    return Err(IoError::parse(
+                        FORMAT,
+                        item.line,
+                        format!("unknown port direction `{other}`"),
+                    ))
+                }
+            };
+        }
+    }
+    let is_input = is_input
+        .ok_or_else(|| IoError::parse(FORMAT, e.line, format!("port `{name}` has no direction")))?;
+    Ok(EdifPort { id, name, is_input })
+}
+
+fn parse_instance(e: &Sexpr) -> Result<EdifInstance, IoError> {
+    let items = e.expect_form("instance")?;
+    let (name, _display) = parse_name_pair(
+        items
+            .first()
+            .ok_or_else(|| IoError::parse(FORMAT, e.line, "instance without a name"))?,
+    )?;
+    let mut cell = None;
+    let mut init_override = None;
+    let mut class_override = None;
+    for item in &items[1..] {
+        if item.is_form("viewref") {
+            let viewref = item.as_list().expect("checked by is_form");
+            for sub in &viewref[1..] {
+                if sub.is_form("cellref") {
+                    let cellref = sub.as_list().expect("checked by is_form");
+                    if let Some(name_node) = cellref.get(1) {
+                        cell = Some(parse_name(name_node)?);
+                    }
+                }
+            }
+        } else if item.is_form("cellref") {
+            let cellref = item.as_list().expect("checked by is_form");
+            if let Some(name_node) = cellref.get(1) {
+                cell = Some(parse_name(name_node)?);
+            }
+        } else if item.is_form("property") {
+            let prop = item.as_list().expect("checked by is_form");
+            let key = prop
+                .get(1)
+                .and_then(Sexpr::as_symbol)
+                .unwrap_or_default()
+                .to_ascii_uppercase();
+            match key.as_str() {
+                "INIT" => {
+                    // Override only when the value is recognizable; an
+                    // unknown encoding keeps the cell-implied reset value
+                    // rather than silently forcing 0.
+                    let value = prop.get(2).and_then(|v| {
+                        let inner = v.as_list().and_then(|items| items.get(1))?;
+                        inner
+                            .as_int()
+                            .map(|i| i != 0)
+                            .or_else(|| match inner.as_str() {
+                                Some("1") => Some(true),
+                                Some("0") => Some(false),
+                                _ => None,
+                            })
+                    });
+                    if let Some(value) = value {
+                        init_override = Some(value);
+                    }
+                }
+                "TRILOCK_CLASS" => {
+                    // Like INIT: an unrecognized spelling keeps the
+                    // cell-implied class instead of silently resetting it.
+                    let value = prop.get(2).and_then(|v| {
+                        v.as_list()
+                            .and_then(|items| items.get(1))
+                            .and_then(Sexpr::as_str)
+                    });
+                    class_override = match value.map(str::to_ascii_lowercase).as_deref() {
+                        Some("locking") => Some(RegClass::Locking),
+                        Some("encoded") => Some(RegClass::Encoded),
+                        Some("original") => Some(RegClass::Original),
+                        _ => class_override,
+                    };
+                }
+                _ => {}
+            }
+        }
+    }
+    let cell = cell.ok_or_else(|| {
+        IoError::parse(
+            FORMAT,
+            e.line,
+            format!("instance `{name}` has no cell reference"),
+        )
+    })?;
+    let prim = prims::resolve_cell(&cell).ok_or_else(|| {
+        IoError::unsupported(
+            FORMAT,
+            format!(
+                "instance `{name}` references cell `{cell}` with no primitive mapping (line {})",
+                e.line
+            ),
+        )
+    })?;
+    // The cell name implies defaults; explicit instance properties win.
+    let (cell_init, cell_class) = match prim {
+        PrimKind::Dff { init, class } => (init, class),
+        PrimKind::Gate(_) => (false, RegClass::Original),
+    };
+    Ok(EdifInstance {
+        name,
+        prim,
+        cell,
+        init: init_override.unwrap_or(cell_init),
+        class: class_override.unwrap_or(cell_class),
+        line: e.line,
+    })
+}
+
+fn parse_net(e: &Sexpr) -> Result<EdifNet, IoError> {
+    let items = e.expect_form("net")?;
+    let name = parse_name(
+        items
+            .first()
+            .ok_or_else(|| IoError::parse(FORMAT, e.line, "net without a name"))?,
+    )?;
+    let mut refs = Vec::new();
+    for item in &items[1..] {
+        if item.is_form("joined") {
+            let joined = item.as_list().expect("checked by is_form");
+            for portref in &joined[1..] {
+                let pr = portref.expect_form("portref")?;
+                let pin = pr
+                    .first()
+                    .and_then(Sexpr::as_symbol)
+                    .ok_or_else(|| {
+                        IoError::parse(FORMAT, portref.line, "portref without a port name")
+                    })?
+                    .to_string();
+                let mut instance = None;
+                for sub in &pr[1..] {
+                    if sub.is_form("instanceref") {
+                        let iref = sub.as_list().expect("checked by is_form");
+                        if let Some(inst) = iref.get(1) {
+                            instance = Some(parse_name_pair(inst)?.0);
+                        }
+                    }
+                }
+                refs.push(PortRef { pin, instance });
+            }
+        }
+    }
+    Ok(EdifNet {
+        name,
+        refs,
+        line: e.line,
+    })
+}
+
+fn build_netlist(cell: &EdifCell) -> Result<Netlist, IoError> {
+    let mut nl = Netlist::new(cell.name.clone());
+
+    // EDIF identifiers are case-insensitive; references are matched through
+    // uppercased keys.
+    let instance_index: HashMap<String, usize> = cell
+        .instances
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| (inst.name.to_ascii_uppercase(), i))
+        .collect();
+
+    // Resolve every net's connections into (instance pin, role) pairs and
+    // remember which net touches which top-level port.
+    let mut net_of_port: HashMap<String, usize> = HashMap::new();
+    // instance -> [(input slot, net)] and instance -> output net
+    let mut inst_inputs: Vec<Vec<(usize, usize)>> = vec![Vec::new(); cell.instances.len()];
+    let mut inst_output: Vec<Option<usize>> = vec![None; cell.instances.len()];
+
+    for (net_idx, net) in cell.nets.iter().enumerate() {
+        for r in &net.refs {
+            match &r.instance {
+                None => {
+                    net_of_port.insert(r.pin.to_ascii_uppercase(), net_idx);
+                }
+                Some(inst_name) => {
+                    let &inst_idx = instance_index
+                        .get(&inst_name.to_ascii_uppercase())
+                        .ok_or_else(|| {
+                            IoError::parse(
+                                FORMAT,
+                                net.line,
+                                format!(
+                                    "net `{}` references unknown instance `{inst_name}`",
+                                    net.name
+                                ),
+                            )
+                        })?;
+                    let inst = &cell.instances[inst_idx];
+                    let role = prims::resolve_pin(inst.prim, &r.pin).ok_or_else(|| {
+                        IoError::unsupported(
+                            FORMAT,
+                            format!(
+                                "pin `{}` of cell `{}` (instance `{}`, line {})",
+                                r.pin, inst.cell, inst.name, net.line
+                            ),
+                        )
+                    })?;
+                    match role {
+                        PinRole::Output => inst_output[inst_idx] = Some(net_idx),
+                        PinRole::Input(slot) => inst_inputs[inst_idx].push((slot, net_idx)),
+                    }
+                }
+            }
+        }
+    }
+
+    // Declare nets. Primary inputs first, in port order.
+    let mut net_ids: Vec<Option<netlist::NetId>> = vec![None; cell.nets.len()];
+    for port in cell.ports.iter().filter(|p| p.is_input) {
+        match net_of_port.get(&port.id.to_ascii_uppercase()) {
+            Some(&net_idx) => {
+                let id = nl
+                    .try_add_input(cell.nets[net_idx].name.clone())
+                    .map_err(IoError::Netlist)?;
+                net_ids[net_idx] = Some(id);
+            }
+            None => {
+                // Dangling input port: keep it so the interface width matches.
+                nl.try_add_input(port.name.clone())
+                    .map_err(IoError::Netlist)?;
+            }
+        }
+    }
+    // Flip-flop outputs.
+    for (inst_idx, inst) in cell.instances.iter().enumerate() {
+        if matches!(inst.prim, PrimKind::Dff { .. }) {
+            let net_idx = inst_output[inst_idx].ok_or_else(|| {
+                IoError::parse(
+                    FORMAT,
+                    inst.line,
+                    format!("flip-flop `{}` has an unconnected Q pin", inst.name),
+                )
+            })?;
+            let id = nl
+                .declare_dff_with_class(cell.nets[net_idx].name.clone(), inst.init, inst.class)
+                .map_err(IoError::Netlist)?;
+            net_ids[net_idx] = Some(id);
+        }
+    }
+    // Everything else (gate outputs and floating nets).
+    for (net_idx, net) in cell.nets.iter().enumerate() {
+        if net_ids[net_idx].is_none() {
+            let id = nl.declare_net(net.name.clone()).map_err(IoError::Netlist)?;
+            net_ids[net_idx] = Some(id);
+        }
+    }
+
+    // Connect instances.
+    for (inst_idx, inst) in cell.instances.iter().enumerate() {
+        let resolve = |net_idx: usize| net_ids[net_idx].expect("all nets declared above");
+        match inst.prim {
+            PrimKind::Dff { .. } => {
+                let q = resolve(inst_output[inst_idx].expect("checked during declaration"));
+                let mut inputs = inst_inputs[inst_idx].iter();
+                let Some(&(_, d_net)) = inputs.next() else {
+                    return Err(IoError::parse(
+                        FORMAT,
+                        inst.line,
+                        format!("flip-flop `{}` has an unconnected D pin", inst.name),
+                    ));
+                };
+                nl.bind_dff(q, resolve(d_net)).map_err(IoError::Netlist)?;
+            }
+            PrimKind::Gate(kind) => {
+                let out_net = inst_output[inst_idx].ok_or_else(|| {
+                    IoError::parse(
+                        FORMAT,
+                        inst.line,
+                        format!("gate `{}` has an unconnected output pin", inst.name),
+                    )
+                })?;
+                let mut pins = inst_inputs[inst_idx].clone();
+                pins.sort_by_key(|&(slot, _)| slot);
+                let declared = prims::declared_arity(&inst.cell);
+                let expected_pins = declared.unwrap_or(pins.len());
+                for expected in 0..expected_pins.max(pins.len()) {
+                    if pins.get(expected).map(|&(slot, _)| slot) != Some(expected) {
+                        return Err(IoError::parse(
+                            FORMAT,
+                            inst.line,
+                            format!(
+                                "gate `{}` (cell `{}`): input pin {expected} is unconnected",
+                                inst.name, inst.cell
+                            ),
+                        ));
+                    }
+                }
+                let inputs: Vec<netlist::NetId> =
+                    pins.iter().map(|&(_, net)| resolve(net)).collect();
+                nl.add_gate_driving(kind, &inputs, resolve(out_net))
+                    .map_err(IoError::Netlist)?;
+            }
+        }
+    }
+
+    // Primary outputs, in port order.
+    for port in cell.ports.iter().filter(|p| !p.is_input) {
+        let &net_idx = net_of_port
+            .get(&port.id.to_ascii_uppercase())
+            .ok_or_else(|| {
+                IoError::parse(
+                    FORMAT,
+                    1,
+                    format!("output port `{}` is not joined to any net", port.name),
+                )
+            })?;
+        let id = net_ids[net_idx].expect("all nets declared above");
+        nl.mark_output(id).map_err(IoError::Netlist)?;
+    }
+
+    nl.validate().map_err(IoError::Netlist)?;
+    Ok(nl)
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn name_node(id: &str, original: &str) -> Sexpr {
+    if id == original {
+        Sexpr::symbol(id)
+    } else {
+        Sexpr::list(vec![
+            Sexpr::symbol("rename"),
+            Sexpr::symbol(id),
+            Sexpr::string(original),
+        ])
+    }
+}
+
+/// Serializes a [`Netlist`] to EDIF 2.0.0.
+///
+/// The output can be re-read by [`parse`]; reset values and register
+/// provenance are preserved through instance properties, original net names
+/// through `(rename ...)` forms.
+pub fn write(netlist: &Netlist) -> String {
+    let input_set: std::collections::HashSet<netlist::NetId> =
+        netlist.inputs().iter().copied().collect();
+    let mut names = names::NameTable::new(names::edif_sanitize);
+    let design_id = names.intern("design", netlist.name());
+
+    // Net ids (shared between ports, instances and net declarations).
+    let net_edif_id: Vec<String> = netlist
+        .net_ids()
+        .map(|n| names.intern("net", netlist.net_name(n)))
+        .collect();
+
+    // Primitive library: one cell per used function/arity.
+    let mut used_prims: Vec<(GateKind, usize)> = netlist
+        .gates()
+        .iter()
+        .map(|g| (g.kind, g.inputs.len()))
+        .collect();
+    used_prims.sort();
+    used_prims.dedup();
+
+    let mut prim_cells: Vec<Sexpr> = used_prims
+        .iter()
+        .map(|&(kind, arity)| {
+            let mut ports = Vec::with_capacity(arity + 1);
+            for i in 0..arity {
+                ports.push(port_decl(&format!("I{i}"), true));
+            }
+            ports.push(port_decl("Y", false));
+            prim_cell(&prims::gate_cell_name(kind, arity), ports)
+        })
+        .collect();
+    if netlist.num_dffs() > 0 {
+        prim_cells.push(prim_cell(
+            "DFF",
+            vec![port_decl("D", true), port_decl("Q", false)],
+        ));
+    }
+
+    // Top-level interface. Output port names must not collide with input
+    // port names (a primary input can also be listed as an output).
+    let mut iface = vec![Sexpr::symbol("interface")];
+    for &input in netlist.inputs() {
+        iface.push(Sexpr::list(vec![
+            Sexpr::symbol("port"),
+            name_node(&net_edif_id[input.index()], netlist.net_name(input)),
+            direction(true),
+        ]));
+    }
+    let output_port_ids: Vec<String> = netlist
+        .outputs()
+        .iter()
+        .map(|&out| {
+            if input_set.contains(&out) {
+                names.fresh(&format!("po_{}", net_edif_id[out.index()]))
+            } else {
+                net_edif_id[out.index()].clone()
+            }
+        })
+        .collect();
+    for (&out, port_id) in netlist.outputs().iter().zip(&output_port_ids) {
+        iface.push(Sexpr::list(vec![
+            Sexpr::symbol("port"),
+            name_node(port_id, netlist.net_name(out)),
+            direction(false),
+        ]));
+    }
+
+    // Contents: instances then nets.
+    let mut contents = vec![Sexpr::symbol("contents")];
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        contents.push(Sexpr::list(vec![
+            Sexpr::symbol("instance"),
+            Sexpr::symbol(format!("g{i}")),
+            view_ref(&prims::gate_cell_name(gate.kind, gate.inputs.len())),
+        ]));
+    }
+    for (i, dff) in netlist.dffs().iter().enumerate() {
+        let mut inst = vec![
+            Sexpr::symbol("instance"),
+            Sexpr::symbol(format!("ff{i}")),
+            view_ref("DFF"),
+        ];
+        if dff.init {
+            inst.push(Sexpr::list(vec![
+                Sexpr::symbol("property"),
+                Sexpr::symbol("INIT"),
+                Sexpr::list(vec![Sexpr::symbol("integer"), Sexpr::int(1)]),
+            ]));
+        }
+        if dff.class != RegClass::Original {
+            let tag = match dff.class {
+                RegClass::Locking => "locking",
+                RegClass::Encoded => "encoded",
+                RegClass::Original => unreachable!("filtered above"),
+            };
+            inst.push(Sexpr::list(vec![
+                Sexpr::symbol("property"),
+                Sexpr::symbol("TRILOCK_CLASS"),
+                Sexpr::list(vec![Sexpr::symbol("string"), Sexpr::string(tag)]),
+            ]));
+        }
+        contents.push(Sexpr::list(inst));
+    }
+
+    // Connectivity: for every net, collect the portrefs that touch it.
+    let num_nets = netlist.num_nets();
+    let mut joined: Vec<Vec<Sexpr>> = vec![Vec::new(); num_nets];
+    for &input in netlist.inputs() {
+        joined[input.index()].push(portref(&net_edif_id[input.index()], None));
+    }
+    for (&out, port_id) in netlist.outputs().iter().zip(&output_port_ids) {
+        joined[out.index()].push(portref(port_id, None));
+    }
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let inst = format!("g{i}");
+        joined[gate.output.index()].push(portref("Y", Some(&inst)));
+        for (slot, &net) in gate.inputs.iter().enumerate() {
+            joined[net.index()].push(portref(&format!("I{slot}"), Some(&inst)));
+        }
+    }
+    for (i, dff) in netlist.dffs().iter().enumerate() {
+        let inst = format!("ff{i}");
+        joined[dff.q.index()].push(portref("Q", Some(&inst)));
+        if let Some(d) = dff.d {
+            joined[d.index()].push(portref("D", Some(&inst)));
+        }
+    }
+    for net in netlist.net_ids() {
+        let refs = std::mem::take(&mut joined[net.index()]);
+        if refs.is_empty() {
+            continue;
+        }
+        let mut joined_form = vec![Sexpr::symbol("joined")];
+        joined_form.extend(refs);
+        contents.push(Sexpr::list(vec![
+            Sexpr::symbol("net"),
+            name_node(&net_edif_id[net.index()], netlist.net_name(net)),
+            Sexpr::list(joined_form),
+        ]));
+    }
+
+    let design_cell = Sexpr::list(vec![
+        Sexpr::symbol("cell"),
+        name_node(&design_id, netlist.name()),
+        Sexpr::list(vec![Sexpr::symbol("cellType"), Sexpr::symbol("GENERIC")]),
+        Sexpr::list(vec![
+            Sexpr::symbol("view"),
+            Sexpr::symbol("netlist"),
+            Sexpr::list(vec![Sexpr::symbol("viewType"), Sexpr::symbol("NETLIST")]),
+            Sexpr::list(iface),
+            Sexpr::list(contents),
+        ]),
+    ]);
+
+    let mut prim_library = vec![
+        Sexpr::symbol("library"),
+        Sexpr::symbol(PRIM_LIBRARY),
+        Sexpr::list(vec![Sexpr::symbol("edifLevel"), Sexpr::int(0)]),
+        Sexpr::list(vec![
+            Sexpr::symbol("technology"),
+            Sexpr::list(vec![Sexpr::symbol("numberDefinition")]),
+        ]),
+    ];
+    prim_library.append(&mut prim_cells);
+
+    let root = Sexpr::list(vec![
+        Sexpr::symbol("edif"),
+        name_node(&design_id, netlist.name()),
+        Sexpr::list(vec![
+            Sexpr::symbol("edifVersion"),
+            Sexpr::int(2),
+            Sexpr::int(0),
+            Sexpr::int(0),
+        ]),
+        Sexpr::list(vec![Sexpr::symbol("edifLevel"), Sexpr::int(0)]),
+        Sexpr::list(vec![
+            Sexpr::symbol("keywordMap"),
+            Sexpr::list(vec![Sexpr::symbol("keywordLevel"), Sexpr::int(0)]),
+        ]),
+        Sexpr::list(vec![
+            Sexpr::symbol("status"),
+            Sexpr::list(vec![
+                Sexpr::symbol("written"),
+                Sexpr::list(vec![
+                    Sexpr::symbol("timeStamp"),
+                    Sexpr::int(1970),
+                    Sexpr::int(1),
+                    Sexpr::int(1),
+                    Sexpr::int(0),
+                    Sexpr::int(0),
+                    Sexpr::int(0),
+                ]),
+                Sexpr::list(vec![Sexpr::symbol("program"), Sexpr::string("trilock-io")]),
+            ]),
+        ]),
+        Sexpr::list(prim_library),
+        Sexpr::list(vec![
+            Sexpr::symbol("library"),
+            Sexpr::symbol(DESIGN_LIBRARY),
+            Sexpr::list(vec![Sexpr::symbol("edifLevel"), Sexpr::int(0)]),
+            Sexpr::list(vec![
+                Sexpr::symbol("technology"),
+                Sexpr::list(vec![Sexpr::symbol("numberDefinition")]),
+            ]),
+            design_cell,
+        ]),
+        Sexpr::list(vec![
+            Sexpr::symbol("design"),
+            Sexpr::symbol(&design_id),
+            Sexpr::list(vec![
+                Sexpr::symbol("cellRef"),
+                Sexpr::symbol(&design_id),
+                Sexpr::list(vec![
+                    Sexpr::symbol("libraryRef"),
+                    Sexpr::symbol(DESIGN_LIBRARY),
+                ]),
+            ]),
+        ]),
+    ]);
+    sexpr::write(&root)
+}
+
+fn direction(input: bool) -> Sexpr {
+    Sexpr::list(vec![
+        Sexpr::symbol("direction"),
+        Sexpr::symbol(if input { "INPUT" } else { "OUTPUT" }),
+    ])
+}
+
+fn port_decl(name: &str, input: bool) -> Sexpr {
+    Sexpr::list(vec![
+        Sexpr::symbol("port"),
+        Sexpr::symbol(name),
+        direction(input),
+    ])
+}
+
+fn prim_cell(name: &str, ports: Vec<Sexpr>) -> Sexpr {
+    let mut iface = vec![Sexpr::symbol("interface")];
+    iface.extend(ports);
+    Sexpr::list(vec![
+        Sexpr::symbol("cell"),
+        Sexpr::symbol(name),
+        Sexpr::list(vec![Sexpr::symbol("cellType"), Sexpr::symbol("GENERIC")]),
+        Sexpr::list(vec![
+            Sexpr::symbol("view"),
+            Sexpr::symbol("prim"),
+            Sexpr::list(vec![Sexpr::symbol("viewType"), Sexpr::symbol("NETLIST")]),
+            Sexpr::list(iface),
+        ]),
+    ])
+}
+
+fn view_ref(cell: &str) -> Sexpr {
+    Sexpr::list(vec![
+        Sexpr::symbol("viewRef"),
+        Sexpr::symbol("prim"),
+        Sexpr::list(vec![
+            Sexpr::symbol("cellRef"),
+            Sexpr::symbol(cell),
+            Sexpr::list(vec![
+                Sexpr::symbol("libraryRef"),
+                Sexpr::symbol(PRIM_LIBRARY),
+            ]),
+        ]),
+    ])
+}
+
+fn portref(pin: &str, instance: Option<&str>) -> Sexpr {
+    let mut items = vec![Sexpr::symbol("portRef"), Sexpr::symbol(pin)];
+    if let Some(inst) = instance {
+        items.push(Sexpr::list(vec![
+            Sexpr::symbol("instanceRef"),
+            Sexpr::symbol(inst),
+        ]));
+    }
+    Sexpr::list(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GateKind;
+
+    fn counter() -> Netlist {
+        let mut nl = Netlist::new("cnt2");
+        let en = nl.add_input("en");
+        let q0 = nl.declare_dff("q0", true).unwrap();
+        let q1 = nl
+            .declare_dff_with_class("q1", false, RegClass::Locking)
+            .unwrap();
+        let n0 = nl.add_gate(GateKind::Xor, &[q0, en], "n0").unwrap();
+        let carry = nl.add_gate(GateKind::And, &[q0, en], "carry").unwrap();
+        let n1 = nl.add_gate(GateKind::Xor, &[q1, carry], "n1").unwrap();
+        nl.bind_dff(q0, n0).unwrap();
+        nl.bind_dff(q1, n1).unwrap();
+        nl.mark_output(q0).unwrap();
+        nl.mark_output(q1).unwrap();
+        nl
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_metadata() {
+        let nl = counter();
+        let text = write(&nl);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.name(), "cnt2");
+        assert_eq!(back.num_inputs(), 1);
+        assert_eq!(back.num_outputs(), 2);
+        assert_eq!(back.num_dffs(), 2);
+        assert_eq!(back.num_gates(), 3);
+        // Reset values and provenance survive.
+        let q0 = back.net_id("q0").unwrap();
+        let netlist::Driver::Dff(id0) = back.driver(q0) else {
+            panic!("q0 must be a register");
+        };
+        assert!(back.dff(id0).init);
+        let q1 = back.net_id("q1").unwrap();
+        let netlist::Driver::Dff(id1) = back.driver(q1) else {
+            panic!("q1 must be a register");
+        };
+        assert_eq!(back.dff(id1).class, RegClass::Locking);
+    }
+
+    #[test]
+    fn input_listed_as_output_round_trips() {
+        let mut nl = Netlist::new("pass");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate(GateKind::And, &[a, b], "y").unwrap();
+        nl.mark_output(a).unwrap();
+        nl.mark_output(y).unwrap();
+        let back = parse(&write(&nl)).unwrap();
+        assert_eq!(back.num_inputs(), 2);
+        assert_eq!(back.num_outputs(), 2);
+        // First output is the pass-through of the first input.
+        assert_eq!(back.outputs()[0], back.inputs()[0]);
+    }
+
+    #[test]
+    fn names_needing_rename_survive() {
+        let mut nl = Netlist::new("weird design!");
+        let a = nl.add_input("3a[0]");
+        let y = nl.add_gate(GateKind::Not, &[a], "y.out").unwrap();
+        nl.mark_output(y).unwrap();
+        let back = parse(&write(&nl)).unwrap();
+        assert_eq!(back.name(), "weird design!");
+        assert!(back.net_id("3a[0]").is_some());
+        assert!(back.net_id("y.out").is_some());
+    }
+
+    #[test]
+    fn quote_in_name_round_trips() {
+        let mut nl = Netlist::new("q");
+        let a = nl.add_input("a\"b");
+        let y = nl.add_gate(GateKind::Not, &[a], "y").unwrap();
+        nl.mark_output(y).unwrap();
+        let back = parse(&write(&nl)).unwrap();
+        assert!(back.net_id("a\"b").is_some());
+    }
+
+    #[test]
+    fn string_init_property_is_honored() {
+        let text = r#"
+(edif top (edifVersion 2 0 0)
+  (library work (edifLevel 0) (technology (numberDefinition))
+    (cell top (cellType GENERIC)
+      (view netlist (viewType NETLIST)
+        (interface (port a (direction INPUT)) (port q (direction OUTPUT)))
+        (contents
+          (instance ff (viewRef netlist (cellRef DFF (libraryRef lib)))
+            (property INIT (string "1")))
+          (net a (joined (portRef D (instanceRef ff)) (portRef a)))
+          (net q (joined (portRef Q (instanceRef ff)) (portRef q))))))))
+"#;
+        let nl = parse(text).unwrap();
+        assert!(nl.dffs()[0].init);
+    }
+
+    #[test]
+    fn unknown_init_encoding_keeps_the_cell_default() {
+        let text = r#"
+(edif top (edifVersion 2 0 0)
+  (library work (edifLevel 0) (technology (numberDefinition))
+    (cell top (cellType GENERIC)
+      (view netlist (viewType NETLIST)
+        (interface (port a (direction INPUT)) (port q (direction OUTPUT)))
+        (contents
+          (instance ff (viewRef netlist (cellRef DFF1 (libraryRef lib)))
+            (property INIT (string "1'b1")))
+          (net a (joined (portRef D (instanceRef ff)) (portRef a)))
+          (net q (joined (portRef Q (instanceRef ff)) (portRef q))))))))
+"#;
+        let nl = parse(text).unwrap();
+        // DFF1 implies init = 1; the unparseable property must not flip it.
+        assert!(nl.dffs()[0].init);
+    }
+
+    #[test]
+    fn constants_round_trip() {
+        let mut nl = Netlist::new("consts");
+        let one = nl.add_gate(GateKind::Const1, &[], "one").unwrap();
+        let zero = nl.add_gate(GateKind::Const0, &[], "zero").unwrap();
+        let y = nl.add_gate(GateKind::Or, &[one, zero], "y").unwrap();
+        nl.mark_output(y).unwrap();
+        let back = parse(&write(&nl)).unwrap();
+        assert_eq!(back.num_gates(), 3);
+    }
+
+    #[test]
+    fn vendor_style_pin_names_are_accepted() {
+        let text = r#"
+(edif top (edifVersion 2 0 0) (edifLevel 0) (keywordMap (keywordLevel 0))
+  (library work (edifLevel 0) (technology (numberDefinition))
+    (cell top (cellType GENERIC)
+      (view netlist (viewType NETLIST)
+        (interface
+          (port a (direction INPUT))
+          (port b (direction INPUT))
+          (port y (direction OUTPUT)))
+        (contents
+          (instance u1 (viewRef netlist (cellRef NAND2 (libraryRef lib))))
+          (net a (joined (portRef A (instanceRef u1)) (portRef a)))
+          (net b (joined (portRef B (instanceRef u1)) (portRef b)))
+          (net y (joined (portRef Z (instanceRef u1)) (portRef y))))))))
+"#;
+        let nl = parse(text).unwrap();
+        assert_eq!(nl.num_gates(), 1);
+        assert_eq!(nl.gates()[0].kind, GateKind::Nand);
+        assert_eq!(nl.num_inputs(), 2);
+    }
+
+    #[test]
+    fn references_are_matched_case_insensitively() {
+        // EDIF identifiers are case-insensitive: the portrefs and the
+        // instanceref differ in case from the declarations.
+        let text = r#"
+(edif top (edifVersion 2 0 0)
+  (library work (edifLevel 0) (technology (numberDefinition))
+    (cell top (cellType GENERIC)
+      (view netlist (viewType NETLIST)
+        (interface
+          (port DATA_IN (direction INPUT))
+          (port Y_OUT (direction OUTPUT)))
+        (contents
+          (instance Inv1 (viewRef netlist (cellRef INV (libraryRef lib))))
+          (net a (joined (portRef I0 (instanceRef INV1)) (portRef data_in)))
+          (net y (joined (portRef Y (instanceRef inv1)) (portRef y_out))))))))
+"#;
+        let nl = parse(text).unwrap();
+        assert_eq!(nl.num_inputs(), 1);
+        assert_eq!(nl.num_outputs(), 1);
+        assert_eq!(nl.gates()[0].kind, GateKind::Not);
+    }
+
+    #[test]
+    fn unmapped_cell_is_an_unsupported_error() {
+        let text = r#"
+(edif top (edifVersion 2 0 0)
+  (library work (edifLevel 0) (technology (numberDefinition))
+    (cell top (cellType GENERIC)
+      (view netlist (viewType NETLIST)
+        (interface (port y (direction OUTPUT)))
+        (contents
+          (instance u1 (viewRef netlist (cellRef LUT6 (libraryRef lib))))
+          (net y (joined (portRef Z (instanceRef u1)) (portRef y))))))))
+"#;
+        let err = parse(text).unwrap_err();
+        assert!(matches!(err, IoError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_gate_input_pin_is_reported() {
+        let text = r#"
+(edif top (edifVersion 2 0 0)
+  (library work (edifLevel 0) (technology (numberDefinition))
+    (cell top (cellType GENERIC)
+      (view netlist (viewType NETLIST)
+        (interface (port a (direction INPUT)) (port y (direction OUTPUT)))
+        (contents
+          (instance u1 (viewRef netlist (cellRef AND2 (libraryRef lib))))
+          (net a (joined (portRef I0 (instanceRef u1)) (portRef a)))
+          (net y (joined (portRef Y (instanceRef u1)) (portRef y))))))))
+"#;
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("unconnected"), "{err}");
+    }
+}

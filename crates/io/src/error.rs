@@ -1,0 +1,126 @@
+//! Error type shared by every frontend in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+use netlist::NetlistError;
+
+/// Error produced while reading or writing a circuit file.
+#[derive(Debug)]
+pub enum IoError {
+    /// The underlying file could not be read or written.
+    File {
+        /// Path involved in the failed operation.
+        path: String,
+        /// Operating-system error.
+        source: std::io::Error,
+    },
+    /// The text could not be parsed in the requested format.
+    Parse {
+        /// Format that was being parsed.
+        format: &'static str,
+        /// 1-based line number of the offending construct.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The text parsed but uses a construct outside the supported subset
+    /// (e.g. Verilog vector ports, EDIF cells with no primitive mapping).
+    Unsupported {
+        /// Format that was being parsed.
+        format: &'static str,
+        /// Description of the unsupported construct.
+        message: String,
+    },
+    /// The format could not be determined from the path or content.
+    UnknownFormat(String),
+    /// The parsed structure is not a well-formed netlist.
+    Netlist(NetlistError),
+}
+
+impl IoError {
+    pub(crate) fn parse(format: &'static str, line: usize, message: impl Into<String>) -> Self {
+        IoError::Parse {
+            format,
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn unsupported(format: &'static str, message: impl Into<String>) -> Self {
+        IoError::Unsupported {
+            format,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::File { path, source } => write!(f, "cannot access `{path}`: {source}"),
+            IoError::Parse {
+                format,
+                line,
+                message,
+            } => write!(f, "{format} parse error at line {line}: {message}"),
+            IoError::Unsupported { format, message } => {
+                write!(f, "unsupported {format} construct: {message}")
+            }
+            IoError::UnknownFormat(what) => {
+                write!(f, "cannot determine circuit format of {what}")
+            }
+            IoError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for IoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IoError::File { source, .. } => Some(source),
+            IoError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for IoError {
+    fn from(e: NetlistError) -> Self {
+        // Keep `.bench` line information when the netlist parser reports it.
+        match e {
+            NetlistError::Parse { line, message } => IoError::Parse {
+                format: "bench",
+                line,
+                message,
+            },
+            other => IoError::Netlist(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let e = IoError::parse("edif", 3, "bad token");
+        assert!(e.to_string().contains("line 3"));
+        let e = IoError::unsupported("verilog", "vector port");
+        assert!(e.to_string().contains("vector port"));
+        let e = IoError::UnknownFormat("`x.dat`".into());
+        assert!(e.to_string().contains("x.dat"));
+        let e = IoError::from(NetlistError::UnknownNet("n".into()));
+        assert!(matches!(e, IoError::Netlist(_)));
+    }
+
+    #[test]
+    fn bench_parse_errors_keep_their_line() {
+        let e = IoError::from(NetlistError::Parse {
+            line: 7,
+            message: "oops".into(),
+        });
+        assert!(matches!(e, IoError::Parse { line: 7, .. }));
+    }
+}

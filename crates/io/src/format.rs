@@ -1,0 +1,301 @@
+//! Format selection and the path-based entry points.
+
+use std::fmt;
+use std::path::Path;
+use std::str::FromStr;
+
+use netlist::Netlist;
+
+use crate::edif;
+use crate::error::IoError;
+use crate::verilog;
+
+/// A supported circuit exchange format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CircuitFormat {
+    /// ISCAS'89 `.bench`.
+    Bench,
+    /// EDIF 2.0.0 (`.edif` / `.edf` / `.edn`).
+    Edif,
+    /// Structural Verilog subset (`.v` / `.sv`).
+    Verilog,
+}
+
+impl CircuitFormat {
+    /// All supported formats.
+    pub const ALL: [CircuitFormat; 3] = [
+        CircuitFormat::Bench,
+        CircuitFormat::Edif,
+        CircuitFormat::Verilog,
+    ];
+
+    /// Canonical lower-case name (`bench`, `edif`, `verilog`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CircuitFormat::Bench => "bench",
+            CircuitFormat::Edif => "edif",
+            CircuitFormat::Verilog => "verilog",
+        }
+    }
+
+    /// Canonical file extension (without the dot).
+    pub fn extension(self) -> &'static str {
+        match self {
+            CircuitFormat::Bench => "bench",
+            CircuitFormat::Edif => "edif",
+            CircuitFormat::Verilog => "v",
+        }
+    }
+
+    /// Maps a file extension (without the dot, any case) onto a format.
+    pub fn from_extension(ext: &str) -> Option<CircuitFormat> {
+        match ext.to_ascii_lowercase().as_str() {
+            "bench" | "isc" => Some(CircuitFormat::Bench),
+            "edif" | "edf" | "edn" => Some(CircuitFormat::Edif),
+            "v" | "sv" | "vg" => Some(CircuitFormat::Verilog),
+            _ => None,
+        }
+    }
+
+    /// Infers the format from a path's extension.
+    pub fn from_path(path: &Path) -> Option<CircuitFormat> {
+        path.extension()
+            .and_then(|e| e.to_str())
+            .and_then(CircuitFormat::from_extension)
+    }
+
+    /// Guesses the format from file content: EDIF files open with an
+    /// s-expression, Verilog files declare a `module`, everything else that
+    /// mentions `.bench` directives is `.bench`.
+    pub fn detect(text: &str) -> Option<CircuitFormat> {
+        for raw in text.lines() {
+            let line = raw.trim_start();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('(') {
+                return Some(CircuitFormat::Edif);
+            }
+            if line.starts_with("//")
+                || line.starts_with("/*")
+                || line.starts_with("module")
+                || line.starts_with('\\')
+                || line.starts_with("`")
+            {
+                return Some(CircuitFormat::Verilog);
+            }
+            if line.starts_with('#')
+                || line.to_ascii_uppercase().starts_with("INPUT")
+                || line.to_ascii_uppercase().starts_with("OUTPUT")
+                || line.contains('=')
+            {
+                return Some(CircuitFormat::Bench);
+            }
+            return None;
+        }
+        None
+    }
+}
+
+impl fmt::Display for CircuitFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for CircuitFormat {
+    type Err = IoError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "bench" => Ok(CircuitFormat::Bench),
+            "edif" => Ok(CircuitFormat::Edif),
+            "verilog" | "v" => Ok(CircuitFormat::Verilog),
+            other => Err(IoError::UnknownFormat(format!("`{other}`"))),
+        }
+    }
+}
+
+/// Parses circuit text in the given format.
+///
+/// # Errors
+///
+/// Propagates the format-specific parse errors.
+pub fn parse_str(text: &str, format: CircuitFormat) -> Result<Netlist, IoError> {
+    match format {
+        CircuitFormat::Bench => netlist::bench::parse(text).map_err(IoError::from),
+        CircuitFormat::Edif => edif::parse(text),
+        CircuitFormat::Verilog => verilog::parse(text),
+    }
+}
+
+/// Serializes a netlist in the given format.
+pub fn write_str(netlist: &Netlist, format: CircuitFormat) -> String {
+    match format {
+        CircuitFormat::Bench => netlist::bench::write(netlist),
+        CircuitFormat::Edif => edif::write(netlist),
+        CircuitFormat::Verilog => verilog::write(netlist),
+    }
+}
+
+fn file_error(path: &Path, source: std::io::Error) -> IoError {
+    IoError::File {
+        path: path.display().to_string(),
+        source,
+    }
+}
+
+/// Reads a circuit from a file, inferring the format from the extension and
+/// falling back to content sniffing.
+///
+/// # Errors
+///
+/// Returns [`IoError::File`] on I/O failures, [`IoError::UnknownFormat`] when
+/// neither extension nor content identify a format, and parse errors
+/// otherwise.
+pub fn read_circuit(path: impl AsRef<Path>) -> Result<Netlist, IoError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| file_error(path, e))?;
+    let format = CircuitFormat::from_path(path)
+        .or_else(|| CircuitFormat::detect(&text))
+        .ok_or_else(|| IoError::UnknownFormat(format!("`{}`", path.display())))?;
+    parse_str(&text, format)
+}
+
+/// Reads a circuit from a file in an explicitly chosen format.
+///
+/// # Errors
+///
+/// Returns [`IoError::File`] on I/O failures and parse errors otherwise.
+pub fn read_circuit_as(path: impl AsRef<Path>, format: CircuitFormat) -> Result<Netlist, IoError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| file_error(path, e))?;
+    parse_str(&text, format)
+}
+
+/// Writes a circuit to a file in the given format.
+///
+/// # Errors
+///
+/// Returns [`IoError::File`] on I/O failures.
+pub fn write_circuit(
+    path: impl AsRef<Path>,
+    netlist: &Netlist,
+    format: CircuitFormat,
+) -> Result<(), IoError> {
+    let path = path.as_ref();
+    std::fs::write(path, write_str(netlist, format)).map_err(|e| file_error(path, e))
+}
+
+/// Writes a circuit to a file, inferring the format from the extension.
+///
+/// # Errors
+///
+/// Returns [`IoError::UnknownFormat`] for unknown extensions and
+/// [`IoError::File`] on I/O failures.
+pub fn write_circuit_auto(path: impl AsRef<Path>, netlist: &Netlist) -> Result<(), IoError> {
+    let path = path.as_ref();
+    let format = CircuitFormat::from_path(path)
+        .ok_or_else(|| IoError::UnknownFormat(format!("`{}`", path.display())))?;
+    write_circuit(path, netlist, format)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GateKind;
+
+    fn tiny() -> Netlist {
+        let mut nl = Netlist::new("tiny");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate(GateKind::Xor, &[a, b], "y").unwrap();
+        nl.mark_output(y).unwrap();
+        nl
+    }
+
+    #[test]
+    fn extension_mapping() {
+        assert_eq!(
+            CircuitFormat::from_extension("BENCH"),
+            Some(CircuitFormat::Bench)
+        );
+        assert_eq!(
+            CircuitFormat::from_extension("edn"),
+            Some(CircuitFormat::Edif)
+        );
+        assert_eq!(
+            CircuitFormat::from_extension("sv"),
+            Some(CircuitFormat::Verilog)
+        );
+        assert_eq!(CircuitFormat::from_extension("txt"), None);
+        assert_eq!(
+            CircuitFormat::from_path(Path::new("/x/s27.edif")),
+            Some(CircuitFormat::Edif)
+        );
+    }
+
+    #[test]
+    fn content_detection() {
+        assert_eq!(
+            CircuitFormat::detect("\n(edif top)"),
+            Some(CircuitFormat::Edif)
+        );
+        assert_eq!(
+            CircuitFormat::detect("// x\nmodule top;"),
+            Some(CircuitFormat::Verilog)
+        );
+        assert_eq!(
+            CircuitFormat::detect("# comment\nINPUT(a)"),
+            Some(CircuitFormat::Bench)
+        );
+        assert_eq!(CircuitFormat::detect(""), None);
+    }
+
+    #[test]
+    fn from_str_round_trips_names() {
+        for format in CircuitFormat::ALL {
+            assert_eq!(format.name().parse::<CircuitFormat>().unwrap(), format);
+        }
+        assert!("vhdl".parse::<CircuitFormat>().is_err());
+    }
+
+    #[test]
+    fn every_format_round_trips_in_memory() {
+        let nl = tiny();
+        for format in CircuitFormat::ALL {
+            let text = write_str(&nl, format);
+            assert_eq!(CircuitFormat::detect(&text), Some(format), "{format}");
+            let back = parse_str(&text, format).unwrap();
+            assert_eq!(back.num_inputs(), 2, "{format}");
+            assert_eq!(back.num_outputs(), 1, "{format}");
+        }
+    }
+
+    #[test]
+    fn file_round_trip_with_auto_detection() {
+        let dir = std::env::temp_dir().join(format!("trilock_io_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let nl = tiny();
+        for format in CircuitFormat::ALL {
+            let path = dir.join(format!("tiny.{}", format.extension()));
+            write_circuit_auto(&path, &nl).unwrap();
+            let back = read_circuit(&path).unwrap();
+            assert_eq!(back.num_gates(), 1);
+            // Explicit-format read agrees.
+            let again = read_circuit_as(&path, format).unwrap();
+            assert_eq!(again.num_gates(), 1);
+        }
+        // Unknown extension but sniffable content.
+        let odd = dir.join("tiny.dat");
+        std::fs::write(&odd, write_str(&nl, CircuitFormat::Edif)).unwrap();
+        assert!(read_circuit(&odd).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_file_error() {
+        let err = read_circuit("/definitely/not/here.bench").unwrap_err();
+        assert!(matches!(err, IoError::File { .. }), "{err}");
+    }
+}

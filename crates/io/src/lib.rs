@@ -1,0 +1,44 @@
+//! Multi-format netlist frontend for the TriLock reproduction.
+//!
+//! The rest of the workspace works on [`netlist::Netlist`]; this crate maps
+//! the circuit exchange formats the real benchmark suites are distributed in
+//! onto that model:
+//!
+//! * [`edif`] — EDIF 2.0.0 reader/writer on top of a small s-expression
+//!   layer ([`sexpr`]);
+//! * [`verilog`] — structural (gate-level) Verilog subset reader/writer;
+//! * the ISCAS'89 `.bench` format, re-exposed from [`netlist::bench`];
+//! * [`CircuitFormat`] with extension- and content-based auto-detection, and
+//!   the path-based entry points [`read_circuit`] / [`write_circuit`].
+//!
+//! # Example
+//!
+//! ```
+//! use trilock_io::{parse_str, write_str, CircuitFormat};
+//!
+//! # fn main() -> Result<(), trilock_io::IoError> {
+//! let nl = parse_str("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", CircuitFormat::Bench)?;
+//! let edif = write_str(&nl, CircuitFormat::Edif);
+//! let back = parse_str(&edif, CircuitFormat::Edif)?;
+//! assert_eq!(back.num_gates(), nl.num_gates());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod format;
+mod names;
+mod prims;
+
+pub mod edif;
+pub mod sexpr;
+pub mod verilog;
+
+pub use error::IoError;
+pub use format::{
+    parse_str, read_circuit, read_circuit_as, write_circuit, write_circuit_auto, write_str,
+    CircuitFormat,
+};

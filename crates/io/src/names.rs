@@ -1,0 +1,199 @@
+//! Identifier legalization shared by the EDIF and Verilog writers.
+//!
+//! Netlist net names are arbitrary strings; both target formats restrict
+//! identifiers. A [`NameTable`] maps original names to legal, unique
+//! identifiers through a format-specific sanitizer, so writers can emit a
+//! `(rename id "original")` form (EDIF) or an escaped identifier (Verilog)
+//! when the sanitized name differs from the original.
+
+use std::collections::HashSet;
+
+/// Allocates unique sanitized identifiers.
+pub struct NameTable {
+    sanitize: fn(&str) -> String,
+    used: HashSet<String>,
+}
+
+impl NameTable {
+    /// Creates a table using the given sanitizer.
+    pub fn new(sanitize: fn(&str) -> String) -> Self {
+        NameTable {
+            sanitize,
+            used: HashSet::new(),
+        }
+    }
+
+    /// Returns a unique legal identifier for `original`. `fallback` seeds the
+    /// identifier when the original sanitizes to nothing.
+    pub fn intern(&mut self, fallback: &str, original: &str) -> String {
+        let mut id = (self.sanitize)(original);
+        if id.is_empty() {
+            id = fallback.to_string();
+        }
+        self.uniquify(id)
+    }
+
+    /// Returns a unique identifier derived from `base` without recording any
+    /// original name.
+    pub fn fresh(&mut self, base: &str) -> String {
+        self.uniquify(base.to_string())
+    }
+
+    fn uniquify(&mut self, id: String) -> String {
+        if self.used.insert(id.clone()) {
+            return id;
+        }
+        let mut n = 2usize;
+        loop {
+            let candidate = format!("{id}_{n}");
+            if self.used.insert(candidate.clone()) {
+                return candidate;
+            }
+            n += 1;
+        }
+    }
+}
+
+/// Legalizes a name for EDIF: letters, digits and underscores, starting with
+/// a letter.
+pub fn edif_sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    // An empty result stays empty (callers substitute their fallback); a
+    // result not starting with a letter gets an `n_` prefix.
+    match out.chars().next() {
+        None => out,
+        Some(c) if c.is_ascii_alphabetic() => out,
+        Some(_) => format!("n_{out}"),
+    }
+}
+
+/// Verilog keywords that may not be used as plain identifiers (the subset
+/// that could plausibly clash with net names).
+const VERILOG_KEYWORDS: &[&str] = &[
+    "assign",
+    "begin",
+    "buf",
+    "case",
+    "else",
+    "end",
+    "endcase",
+    "endmodule",
+    "for",
+    "if",
+    "inout",
+    "input",
+    "module",
+    "nand",
+    "nor",
+    "not",
+    "or",
+    "output",
+    "reg",
+    "supply0",
+    "supply1",
+    "wire",
+    "xnor",
+    "xor",
+    "and",
+];
+
+/// `true` if `name` is a plain (unescaped) Verilog identifier.
+pub fn is_simple_verilog_ident(name: &str) -> bool {
+    if name.is_empty() || VERILOG_KEYWORDS.contains(&name) {
+        return false;
+    }
+    let mut chars = name.chars();
+    let first = chars.next().expect("non-empty");
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+}
+
+/// Legalizes a name for Verilog. Names that are already simple identifiers
+/// (or become one by the writer's escaping) are preserved; whitespace is the
+/// only thing that cannot survive even escaping, so it is replaced.
+pub fn verilog_sanitize(name: &str) -> String {
+    if name.chars().any(|c| c.is_whitespace()) || name.is_empty() {
+        let replaced: String = name
+            .chars()
+            .map(|c| if c.is_whitespace() { '_' } else { c })
+            .collect();
+        replaced
+    } else {
+        name.to_string()
+    }
+}
+
+/// Legalizes a Verilog *module* name (module names are not emitted escaped,
+/// so they must be plain identifiers).
+pub fn verilog_module_sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    let starts_ok = out
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    if out.is_empty() {
+        "top".to_string()
+    } else if starts_ok && is_simple_verilog_ident(&out) {
+        out
+    } else {
+        format!("m_{out}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edif_sanitize_fixes_leading_digits_and_symbols() {
+        assert_eq!(edif_sanitize("abc_1"), "abc_1");
+        assert_eq!(edif_sanitize("3a[0]"), "n_3a_0_");
+        assert_eq!(edif_sanitize("_x"), "n__x");
+    }
+
+    #[test]
+    fn name_table_uniquifies_collisions() {
+        let mut t = NameTable::new(edif_sanitize);
+        let a = t.intern("net", "a.b");
+        let b = t.intern("net", "a[b");
+        assert_eq!(a, "a_b");
+        assert_eq!(b, "a_b_2");
+        assert_ne!(t.fresh("a_b"), "a_b");
+    }
+
+    #[test]
+    fn empty_names_fall_back_to_the_prefix() {
+        let mut t = NameTable::new(edif_sanitize);
+        assert_eq!(t.intern("net", ""), "net");
+        assert_eq!(t.intern("net", ""), "net_2");
+    }
+
+    #[test]
+    fn verilog_ident_classification() {
+        assert!(is_simple_verilog_ident("abc_1$x"));
+        assert!(!is_simple_verilog_ident("3abc"));
+        assert!(!is_simple_verilog_ident("wire"));
+        assert!(!is_simple_verilog_ident("a.b"));
+    }
+
+    #[test]
+    fn verilog_module_names_are_always_plain() {
+        assert_eq!(verilog_module_sanitize("weird design!"), "weird_design_");
+        assert_eq!(verilog_module_sanitize("3top"), "m_3top");
+        assert_eq!(verilog_module_sanitize(""), "top");
+    }
+}

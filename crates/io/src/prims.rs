@@ -1,0 +1,207 @@
+//! The primitive cell vocabulary shared by the EDIF and Verilog frontends.
+//!
+//! Both formats describe a circuit as instances of named cells; this module
+//! owns the mapping between cell/pin names and the [`GateKind`] /
+//! flip-flop primitives of the netlist model, including the aliases found in
+//! vendor-emitted gate-level files.
+
+use netlist::{GateKind, RegClass};
+
+/// What a referenced cell means for netlist construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimKind {
+    /// A combinational gate.
+    Gate(GateKind),
+    /// A D flip-flop with cell-implied reset value and provenance (instance
+    /// properties may override both in EDIF).
+    Dff {
+        /// Reset value implied by the cell name (`DFF1*` resets to 1).
+        init: bool,
+        /// Provenance implied by the cell name (`*_L` locking, `*_E` encoded).
+        class: RegClass,
+    },
+}
+
+/// Position of an instance pin: a gate input slot, or the output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinRole {
+    /// `k`-th input of the primitive (for a MUX, slot 0 is the select).
+    Input(usize),
+    /// The single output (`Y`/`Z`/`O`/`OUT`, or `Q` on a flip-flop).
+    Output,
+}
+
+/// Maps a cell name onto a primitive (case-insensitive, alias-tolerant).
+pub fn resolve_cell(name: &str) -> Option<PrimKind> {
+    let upper = name.to_ascii_uppercase();
+    // Flip-flop family: DFF[0|1][_L|_E], plus bare aliases.
+    let (stem, class) = match upper.strip_suffix("_L") {
+        Some(stem) => (stem, RegClass::Locking),
+        None => match upper.strip_suffix("_E") {
+            Some(stem) => (stem, RegClass::Encoded),
+            None => (upper.as_str(), RegClass::Original),
+        },
+    };
+    match stem {
+        "DFF" | "DFF0" | "FD" | "FF" => return Some(PrimKind::Dff { init: false, class }),
+        "DFF1" => return Some(PrimKind::Dff { init: true, class }),
+        _ => {}
+    }
+    match upper.as_str() {
+        "VDD" | "TIE1" | "CONST1" | "ONE" => return Some(PrimKind::Gate(GateKind::Const1)),
+        "GND" | "TIE0" | "CONST0" | "ZERO" => return Some(PrimKind::Gate(GateKind::Const0)),
+        "MUX2" | "MUX21" => return Some(PrimKind::Gate(GateKind::Mux)),
+        _ => {}
+    }
+    let gate_stem = upper.trim_end_matches(|c: char| c.is_ascii_digit());
+    GateKind::from_mnemonic(gate_stem).map(PrimKind::Gate)
+}
+
+/// Resolves a pin name for a given primitive.
+pub fn resolve_pin(prim: PrimKind, pin: &str) -> Option<PinRole> {
+    let upper = pin.to_ascii_uppercase();
+    match prim {
+        PrimKind::Dff { .. } => match upper.as_str() {
+            "D" => Some(PinRole::Input(0)),
+            "Q" => Some(PinRole::Output),
+            _ => None,
+        },
+        PrimKind::Gate(kind) => {
+            match upper.as_str() {
+                "Y" | "Z" | "O" | "OUT" => return Some(PinRole::Output),
+                _ => {}
+            }
+            if kind == GateKind::Mux && upper == "S" {
+                return Some(PinRole::Input(0));
+            }
+            if let Some(index) = upper
+                .strip_prefix("IN")
+                .or_else(|| upper.strip_prefix('I'))
+                .and_then(|d| d.parse::<usize>().ok())
+            {
+                return Some(PinRole::Input(index));
+            }
+            // Single-letter positional pins A..H (shifted by one on a MUX,
+            // whose slot 0 is the select pin).
+            let bytes = upper.as_bytes();
+            if bytes.len() == 1 && (b'A'..=b'H').contains(&bytes[0]) {
+                let base = (bytes[0] - b'A') as usize;
+                let slot = if kind == GateKind::Mux {
+                    base + 1
+                } else {
+                    base
+                };
+                return Some(PinRole::Input(slot));
+            }
+            None
+        }
+    }
+}
+
+/// Name of the primitive cell implementing a gate of the given kind/arity,
+/// as emitted by the writers of this crate.
+pub fn gate_cell_name(kind: GateKind, arity: usize) -> String {
+    match kind {
+        GateKind::Const0 | GateKind::Const1 | GateKind::Buf | GateKind::Not => {
+            kind.mnemonic().to_string()
+        }
+        GateKind::Mux => "MUX2".to_string(),
+        _ => format!("{}{arity}", kind.mnemonic()),
+    }
+}
+
+/// Input arity a cell name declares through its trailing digits (`NAND3` →
+/// 3). `None` for cells whose arity is implied (`NOT`, `DFF`, …) or for the
+/// constant/mux families where the digit is part of the family name.
+pub fn declared_arity(name: &str) -> Option<usize> {
+    let upper = name.to_ascii_uppercase();
+    let stem = upper.trim_end_matches(|c: char| c.is_ascii_digit());
+    if stem.len() == upper.len() {
+        return None;
+    }
+    match GateKind::from_mnemonic(stem) {
+        Some(
+            GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor,
+        ) => upper[stem.len()..].parse().ok(),
+        _ => None,
+    }
+}
+
+/// Name of the flip-flop cell encoding the given reset value and provenance.
+pub fn dff_cell_name(init: bool, class: RegClass) -> String {
+    let suffix = match class {
+        RegClass::Original => "",
+        RegClass::Locking => "_L",
+        RegClass::Encoded => "_E",
+    };
+    format!("DFF{}{suffix}", usize::from(init))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_names_round_trip_through_resolution() {
+        for kind in GateKind::ALL {
+            let arity = match kind {
+                GateKind::Const0 | GateKind::Const1 => 0,
+                GateKind::Buf | GateKind::Not => 1,
+                GateKind::Mux => 3,
+                _ => 2,
+            };
+            let name = gate_cell_name(kind, arity);
+            assert_eq!(resolve_cell(&name), Some(PrimKind::Gate(kind)), "{name}");
+        }
+        for init in [false, true] {
+            for class in [RegClass::Original, RegClass::Locking, RegClass::Encoded] {
+                let name = dff_cell_name(init, class);
+                assert_eq!(
+                    resolve_cell(&name),
+                    Some(PrimKind::Dff { init, class }),
+                    "{name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vendor_aliases_resolve() {
+        assert_eq!(resolve_cell("nand4"), Some(PrimKind::Gate(GateKind::Nand)));
+        assert_eq!(resolve_cell("INV"), Some(PrimKind::Gate(GateKind::Not)));
+        assert_eq!(resolve_cell("vdd"), Some(PrimKind::Gate(GateKind::Const1)));
+        assert_eq!(
+            resolve_cell("FD"),
+            Some(PrimKind::Dff {
+                init: false,
+                class: RegClass::Original
+            })
+        );
+        assert_eq!(resolve_cell("LUT6"), None);
+    }
+
+    #[test]
+    fn pin_resolution_covers_aliases_and_mux_shift() {
+        let and = PrimKind::Gate(GateKind::And);
+        assert_eq!(resolve_pin(and, "I0"), Some(PinRole::Input(0)));
+        assert_eq!(resolve_pin(and, "IN3"), Some(PinRole::Input(3)));
+        assert_eq!(resolve_pin(and, "B"), Some(PinRole::Input(1)));
+        assert_eq!(resolve_pin(and, "Z"), Some(PinRole::Output));
+        let mux = PrimKind::Gate(GateKind::Mux);
+        assert_eq!(resolve_pin(mux, "S"), Some(PinRole::Input(0)));
+        assert_eq!(resolve_pin(mux, "A"), Some(PinRole::Input(1)));
+        assert_eq!(resolve_pin(mux, "B"), Some(PinRole::Input(2)));
+        let dff = PrimKind::Dff {
+            init: false,
+            class: RegClass::Original,
+        };
+        assert_eq!(resolve_pin(dff, "q"), Some(PinRole::Output));
+        assert_eq!(resolve_pin(dff, "D"), Some(PinRole::Input(0)));
+        assert_eq!(resolve_pin(dff, "CLK"), None);
+    }
+}

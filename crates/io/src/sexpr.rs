@@ -1,0 +1,456 @@
+//! A small s-expression reader/printer, the substrate of the EDIF frontend.
+//!
+//! EDIF 2.0.0 is a fully parenthesized language; this module provides the
+//! token-level machinery (modeled on the `sinkuu/edif` parser's layering, but
+//! independent code): a tokenizer that tracks line numbers, a tree type
+//! [`Sexpr`], accessor helpers, and an indenting pretty-printer used by the
+//! writer.
+
+use std::fmt::Write as _;
+
+use crate::error::IoError;
+
+const FORMAT: &str = "edif";
+
+/// One node of an s-expression tree, annotated with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sexpr {
+    /// 1-based line on which the node starts.
+    pub line: usize,
+    /// Payload.
+    pub kind: SexprKind,
+}
+
+/// Payload of an s-expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SexprKind {
+    /// A bare symbol (EDIF identifiers and keywords).
+    Symbol(String),
+    /// A quoted string literal (without the quotes).
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A parenthesized list.
+    List(Vec<Sexpr>),
+}
+
+impl Sexpr {
+    /// Builds a symbol node (line 0: synthesized, not parsed).
+    pub fn symbol(s: impl Into<String>) -> Self {
+        Sexpr {
+            line: 0,
+            kind: SexprKind::Symbol(s.into()),
+        }
+    }
+
+    /// Builds a string node.
+    pub fn string(s: impl Into<String>) -> Self {
+        Sexpr {
+            line: 0,
+            kind: SexprKind::Str(s.into()),
+        }
+    }
+
+    /// Builds an integer node.
+    pub fn int(v: i64) -> Self {
+        Sexpr {
+            line: 0,
+            kind: SexprKind::Int(v),
+        }
+    }
+
+    /// Builds a list node.
+    pub fn list(items: Vec<Sexpr>) -> Self {
+        Sexpr {
+            line: 0,
+            kind: SexprKind::List(items),
+        }
+    }
+
+    /// The node as a list, if it is one.
+    pub fn as_list(&self) -> Option<&[Sexpr]> {
+        match &self.kind {
+            SexprKind::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The node as a symbol, if it is one.
+    pub fn as_symbol(&self) -> Option<&str> {
+        match &self.kind {
+            SexprKind::Symbol(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The node as a string literal, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match &self.kind {
+            SexprKind::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The node as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match &self.kind {
+            SexprKind::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// `true` if the node is a list whose head symbol equals `keyword`
+    /// (EDIF keywords are case-insensitive).
+    pub fn is_form(&self, keyword: &str) -> bool {
+        self.as_list()
+            .and_then(|items| items.first())
+            .and_then(Sexpr::as_symbol)
+            .is_some_and(|head| head.eq_ignore_ascii_case(keyword))
+    }
+
+    /// Expects a list whose head symbol equals `keyword` and returns the
+    /// remaining elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Parse`] when the node is not such a list.
+    pub fn expect_form(&self, keyword: &str) -> Result<&[Sexpr], IoError> {
+        let items = self.as_list().ok_or_else(|| {
+            IoError::parse(FORMAT, self.line, format!("expected `({keyword} ...)`"))
+        })?;
+        let head = items.first().and_then(Sexpr::as_symbol).ok_or_else(|| {
+            IoError::parse(FORMAT, self.line, format!("expected `({keyword} ...)`"))
+        })?;
+        if head.eq_ignore_ascii_case(keyword) {
+            Ok(&items[1..])
+        } else {
+            Err(IoError::parse(
+                FORMAT,
+                self.line,
+                format!("expected `({keyword} ...)`, found `({head} ...)`"),
+            ))
+        }
+    }
+}
+
+/// Parses one top-level s-expression; trailing whitespace is allowed.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] on lexical errors, unbalanced parentheses or
+/// trailing garbage.
+pub fn parse(text: &str) -> Result<Sexpr, IoError> {
+    let mut lexer = Lexer::new(text);
+    let first = lexer.next_token()?;
+    let expr = parse_node(&mut lexer, first)?;
+    match lexer.next_token()? {
+        Token::Eof => Ok(expr),
+        other => Err(IoError::parse(
+            FORMAT,
+            lexer.line,
+            format!(
+                "trailing input after top-level expression: {}",
+                other.describe()
+            ),
+        )),
+    }
+}
+
+fn parse_node(lexer: &mut Lexer<'_>, token: Token) -> Result<Sexpr, IoError> {
+    match token {
+        Token::Open(line) => {
+            let mut items = Vec::new();
+            loop {
+                match lexer.next_token()? {
+                    Token::Close => break,
+                    Token::Eof => {
+                        return Err(IoError::parse(
+                            FORMAT,
+                            line,
+                            "unterminated list (missing `)`)",
+                        ))
+                    }
+                    other => items.push(parse_node(lexer, other)?),
+                }
+            }
+            Ok(Sexpr {
+                line,
+                kind: SexprKind::List(items),
+            })
+        }
+        Token::Close => Err(IoError::parse(FORMAT, lexer.line, "unexpected `)`")),
+        Token::Symbol(line, s) => Ok(Sexpr {
+            line,
+            kind: SexprKind::Symbol(s),
+        }),
+        Token::Str(line, s) => Ok(Sexpr {
+            line,
+            kind: SexprKind::Str(s),
+        }),
+        Token::Int(line, v) => Ok(Sexpr {
+            line,
+            kind: SexprKind::Int(v),
+        }),
+        Token::Eof => Err(IoError::parse(FORMAT, lexer.line, "empty input")),
+    }
+}
+
+enum Token {
+    Open(usize),
+    Close,
+    Symbol(usize, String),
+    Str(usize, String),
+    Int(usize, i64),
+    Eof,
+}
+
+impl Token {
+    fn describe(&self) -> String {
+        match self {
+            Token::Open(_) => "`(`".into(),
+            Token::Close => "`)`".into(),
+            Token::Symbol(_, s) => format!("symbol `{s}`"),
+            Token::Str(_, s) => format!("string \"{s}\""),
+            Token::Int(_, v) => format!("integer {v}"),
+            Token::Eof => "end of input".into(),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Lexer {
+            chars: text.chars().peekable(),
+            line: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn next_token(&mut self) -> Result<Token, IoError> {
+        // Skip whitespace.
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+        let line = self.line;
+        let Some(&c) = self.chars.peek() else {
+            return Ok(Token::Eof);
+        };
+        match c {
+            '(' => {
+                self.bump();
+                Ok(Token::Open(line))
+            }
+            ')' => {
+                self.bump();
+                Ok(Token::Close)
+            }
+            '"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some('"') => break,
+                        Some('\\') => {
+                            // Backslash escape emitted by our writer for
+                            // embedded quotes/backslashes.
+                            match self.bump() {
+                                Some(c) => s.push(c),
+                                None => {
+                                    return Err(IoError::parse(
+                                        FORMAT,
+                                        line,
+                                        "unterminated string literal",
+                                    ))
+                                }
+                            }
+                        }
+                        Some('%') => {
+                            // EDIF `%xx%` escapes — keep verbatim; we never
+                            // emit them and tolerate them on input.
+                            s.push('%');
+                        }
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(IoError::parse(FORMAT, line, "unterminated string literal"))
+                        }
+                    }
+                }
+                Ok(Token::Str(line, s))
+            }
+            _ => {
+                let mut s = String::new();
+                while let Some(&c) = self.chars.peek() {
+                    if c.is_whitespace() || c == '(' || c == ')' || c == '"' {
+                        break;
+                    }
+                    s.push(c);
+                    self.bump();
+                }
+                if s.is_empty() {
+                    return Err(IoError::parse(
+                        FORMAT,
+                        line,
+                        format!("unexpected character `{c}`"),
+                    ));
+                }
+                if let Ok(v) = s.parse::<i64>() {
+                    Ok(Token::Int(line, v))
+                } else {
+                    Ok(Token::Symbol(line, s))
+                }
+            }
+        }
+    }
+}
+
+/// Pretty-prints an s-expression with two-space indentation. "Leaf" lists
+/// (no nested lists) stay on one line, which matches how EDIF files are
+/// conventionally formatted.
+pub fn write(expr: &Sexpr) -> String {
+    let mut out = String::new();
+    write_node(expr, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn write_node(expr: &Sexpr, indent: usize, out: &mut String) {
+    match &expr.kind {
+        SexprKind::Symbol(s) => out.push_str(s),
+        SexprKind::Str(s) => {
+            let escaped = s.replace('\\', "\\\\").replace('"', "\\\"");
+            let _ = write!(out, "\"{escaped}\"");
+        }
+        SexprKind::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        SexprKind::List(items) => {
+            let flat = items.iter().all(|i| !matches!(i.kind, SexprKind::List(_)))
+                || total_atoms(expr) <= 6;
+            out.push('(');
+            if flat {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    write_flat(item, out);
+                }
+            } else {
+                for (i, item) in items.iter().enumerate() {
+                    if i == 0 {
+                        write_node(item, indent + 1, out);
+                    } else {
+                        out.push('\n');
+                        for _ in 0..(indent + 1) * 2 {
+                            out.push(' ');
+                        }
+                        write_node(item, indent + 1, out);
+                    }
+                }
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn write_flat(expr: &Sexpr, out: &mut String) {
+    match &expr.kind {
+        SexprKind::List(items) => {
+            out.push('(');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                write_flat(item, out);
+            }
+            out.push(')');
+        }
+        _ => write_node(expr, 0, out),
+    }
+}
+
+fn total_atoms(expr: &Sexpr) -> usize {
+    match &expr.kind {
+        SexprKind::List(items) => items.iter().map(total_atoms).sum(),
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_lists_with_line_numbers() {
+        let text = "(edif demo\n  (edifVersion 2 0 0)\n  (status \"ok\"))";
+        let e = parse(text).unwrap();
+        let items = e.as_list().unwrap();
+        assert_eq!(items[0].as_symbol(), Some("edif"));
+        assert_eq!(items[1].as_symbol(), Some("demo"));
+        assert_eq!(items[2].line, 2);
+        let version = items[2].expect_form("edifversion").unwrap();
+        assert_eq!(version[0].as_int(), Some(2));
+        assert_eq!(
+            items[3].expect_form("status").unwrap()[0].as_str(),
+            Some("ok")
+        );
+    }
+
+    #[test]
+    fn round_trips_through_the_printer() {
+        let text = "(a (b 1 2) (c \"s\") (d (e (f g h i j k l m n))))";
+        let e = parse(text).unwrap();
+        let printed = write(&e);
+        let reparsed = parse(&printed).unwrap();
+        // Line numbers differ; compare structure via a second print.
+        assert_eq!(write(&reparsed), printed);
+    }
+
+    #[test]
+    fn reports_unbalanced_parens() {
+        let err = parse("(a (b c)").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+        let err = parse("(a))").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn reports_unterminated_string() {
+        let err = parse("(a \"oops)").unwrap_err();
+        assert!(err.to_string().contains("unterminated string"));
+    }
+
+    #[test]
+    fn embedded_quotes_and_backslashes_round_trip() {
+        let e = Sexpr::list(vec![Sexpr::symbol("s"), Sexpr::string("a\"b\\c")]);
+        let printed = write(&e);
+        let back = parse(&printed).unwrap();
+        assert_eq!(back.as_list().unwrap()[1].as_str(), Some("a\"b\\c"));
+    }
+
+    #[test]
+    fn negative_numbers_and_symbols() {
+        let e = parse("(x -12 -foo)").unwrap();
+        let items = e.as_list().unwrap();
+        assert_eq!(items[1].as_int(), Some(-12));
+        assert_eq!(items[2].as_symbol(), Some("-foo"));
+    }
+
+    #[test]
+    fn is_form_is_case_insensitive() {
+        let e = parse("(EdifVersion 2 0 0)").unwrap();
+        assert!(e.is_form("edifversion"));
+        assert!(!e.is_form("ediflevel"));
+    }
+}

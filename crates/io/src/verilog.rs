@@ -1,0 +1,1095 @@
+//! Reader and writer for a structural (gate-level) Verilog subset.
+//!
+//! Supported grammar: one `module` with a scalar port list,
+//! `input`/`output`/`wire`/`supply0`/`supply1` declarations, `assign` of a
+//! net or 1-bit literal, the Verilog gate primitives (`and`, `nand`, `or`,
+//! `nor`, `xor`, `xnor`, `not`, `buf` — output first), and instances of the
+//! cell vocabulary of [`crate::prims`] (`DFF0`/`DFF1` with `_L`/`_E`
+//! provenance suffixes, `MUX2`, `CONST0`/`CONST1`, plus vendor aliases such
+//! as `NAND2` or `INV`) with named or positional connections. Escaped
+//! identifiers (`\name `) and `//` / `/* */` comments are handled.
+//!
+//! Vector ports/nets, behavioral constructs and hierarchies are outside the
+//! subset and reported as [`IoError::Unsupported`].
+
+use std::collections::HashMap;
+
+use netlist::{GateKind, NetId, Netlist};
+
+use crate::error::IoError;
+use crate::names;
+use crate::prims::{self, PinRole, PrimKind};
+
+const FORMAT: &str = "verilog";
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    /// Escaped identifier (`\name `): never a keyword, always a name.
+    Escaped(String),
+    Literal(bool),
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Dot,
+    Equals,
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Escaped(s) => format!("`\\{s}`"),
+            Tok::Literal(b) => format!("literal 1'b{}", u8::from(*b)),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Equals => "`=`".into(),
+        }
+    }
+}
+
+fn lex(text: &str) -> Result<Vec<(usize, Tok)>, IoError> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some('/') => {
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        let mut prev = ' ';
+                        let mut closed = false;
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                            }
+                            if prev == '*' && c == '/' {
+                                closed = true;
+                                break;
+                            }
+                            prev = c;
+                        }
+                        if !closed {
+                            return Err(IoError::parse(FORMAT, line, "unterminated comment"));
+                        }
+                    }
+                    _ => {
+                        return Err(IoError::parse(FORMAT, line, "unexpected `/`"));
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                tokens.push((line, Tok::LParen));
+            }
+            ')' => {
+                chars.next();
+                tokens.push((line, Tok::RParen));
+            }
+            ',' => {
+                chars.next();
+                tokens.push((line, Tok::Comma));
+            }
+            ';' => {
+                chars.next();
+                tokens.push((line, Tok::Semi));
+            }
+            '.' => {
+                chars.next();
+                tokens.push((line, Tok::Dot));
+            }
+            '=' => {
+                chars.next();
+                tokens.push((line, Tok::Equals));
+            }
+            '\\' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() {
+                        break;
+                    }
+                    name.push(c);
+                    chars.next();
+                }
+                if name.is_empty() {
+                    return Err(IoError::parse(FORMAT, line, "empty escaped identifier"));
+                }
+                tokens.push((line, Tok::Escaped(name)));
+            }
+            '[' => {
+                return Err(IoError::unsupported(
+                    FORMAT,
+                    format!(
+                        "vector select or range at line {line} (bit-blasted netlists required)"
+                    ),
+                ));
+            }
+            c if c.is_ascii_digit() => {
+                let mut lit = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '\'' || c == '_' {
+                        lit.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let value = parse_literal(&lit).ok_or_else(|| {
+                    IoError::unsupported(
+                        FORMAT,
+                        format!("literal `{lit}` at line {line} (only 1-bit 0/1 literals)"),
+                    )
+                })?;
+                tokens.push((line, Tok::Literal(value)));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push((line, Tok::Ident(name)));
+            }
+            other => {
+                return Err(IoError::parse(
+                    FORMAT,
+                    line,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Evaluates a Verilog number literal if it denotes a 1-bit 0/1 value
+/// (`0`, `1`, `1'b0`, `1'h1`, …).
+fn parse_literal(lit: &str) -> Option<bool> {
+    let digits = match lit.split_once('\'') {
+        None => lit,
+        Some((_width, rest)) => {
+            let rest = rest.trim_start_matches(['s', 'S']);
+            let mut it = rest.chars();
+            let base = it.next()?;
+            if !matches!(base, 'b' | 'B' | 'd' | 'D' | 'h' | 'H' | 'o' | 'O') {
+                return None;
+            }
+            it.as_str()
+        }
+    };
+    let digits = digits.replace('_', "");
+    match digits.as_str() {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum NetRef {
+    Name(String),
+    Const(bool),
+}
+
+#[derive(Debug)]
+enum Conns {
+    Named(Vec<(String, NetRef)>),
+    Positional(Vec<NetRef>),
+}
+
+#[derive(Debug)]
+struct CellInst {
+    line: usize,
+    cell: String,
+    prim: PrimKind,
+    name: String,
+    conns: Conns,
+}
+
+#[derive(Debug, Default)]
+struct Module {
+    name: String,
+    port_order: Vec<String>,
+    /// `true` = input, `false` = output.
+    directions: HashMap<String, bool>,
+    wires: Vec<String>,
+    supplies: Vec<(String, bool)>,
+    /// Primitive gate statements (and converted `assign`s): output first.
+    gates: Vec<(usize, GateKind, Vec<NetRef>)>,
+    cells: Vec<CellInst>,
+}
+
+struct Parser {
+    tokens: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(1, |(l, _)| *l)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> IoError {
+        IoError::parse(FORMAT, self.line(), message)
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), IoError> {
+        match self.bump() {
+            Some(t) if t == *tok => Ok(()),
+            Some(t) => Err(self.error(format!(
+                "expected {}, found {}",
+                tok.describe(),
+                t.describe()
+            ))),
+            None => Err(self.error(format!("expected {}, found end of file", tok.describe()))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, IoError> {
+        match self.bump() {
+            Some(Tok::Ident(s) | Tok::Escaped(s)) => Ok(s),
+            Some(t) => Err(self.error(format!("expected an identifier, found {}", t.describe()))),
+            None => Err(self.error("expected an identifier, found end of file")),
+        }
+    }
+
+    fn expect_netref(&mut self) -> Result<NetRef, IoError> {
+        match self.bump() {
+            Some(Tok::Ident(s) | Tok::Escaped(s)) => Ok(NetRef::Name(s)),
+            Some(Tok::Literal(b)) => Ok(NetRef::Const(b)),
+            Some(t) => Err(self.error(format!("expected a net, found {}", t.describe()))),
+            None => Err(self.error("expected a net, found end of file")),
+        }
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, IoError> {
+        let mut names = vec![self.expect_ident()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.bump();
+            names.push(self.expect_ident()?);
+        }
+        self.expect(&Tok::Semi)?;
+        Ok(names)
+    }
+}
+
+const GATE_PRIMITIVES: &[(&str, GateKind)] = &[
+    ("and", GateKind::And),
+    ("nand", GateKind::Nand),
+    ("or", GateKind::Or),
+    ("nor", GateKind::Nor),
+    ("xor", GateKind::Xor),
+    ("xnor", GateKind::Xnor),
+    ("not", GateKind::Not),
+    ("buf", GateKind::Buf),
+];
+
+fn parse_module(tokens: Vec<(usize, Tok)>) -> Result<Module, IoError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut m = Module::default();
+
+    match p.bump() {
+        Some(Tok::Ident(kw)) if kw == "module" => {}
+        _ => return Err(p.error("expected `module`")),
+    }
+    m.name = p.expect_ident()?;
+
+    if p.peek() == Some(&Tok::LParen) {
+        p.bump();
+        if p.peek() != Some(&Tok::RParen) {
+            // ANSI headers tag ports with inline directions; per
+            // Verilog-2001, a direction keyword sticks for the following
+            // ports until the next keyword (`input a, b, output y`).
+            let mut dir: Option<bool> = None;
+            loop {
+                if let Some(Tok::Ident(kw)) = p.peek() {
+                    match kw.as_str() {
+                        "input" => {
+                            dir = Some(true);
+                            p.bump();
+                        }
+                        "output" => {
+                            dir = Some(false);
+                            p.bump();
+                        }
+                        "wire" | "reg" => {
+                            return Err(p.error("expected a port name or direction"));
+                        }
+                        _ => {}
+                    }
+                }
+                let name = p.expect_ident()?;
+                if let Some(d) = dir {
+                    m.directions.insert(name.clone(), d);
+                }
+                m.port_order.push(name);
+                match p.bump() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RParen) => break,
+                    _ => return Err(p.error("expected `,` or `)` in port list")),
+                }
+            }
+        } else {
+            p.bump();
+        }
+    }
+    p.expect(&Tok::Semi)?;
+
+    loop {
+        let line = p.line();
+        let (kw, may_be_keyword) = match p.bump() {
+            Some(Tok::Ident(s)) => (s, true),
+            Some(Tok::Escaped(s)) => (s, false),
+            _ => {
+                return Err(IoError::parse(
+                    FORMAT,
+                    line,
+                    "expected a statement or `endmodule`",
+                ));
+            }
+        };
+        let head = if may_be_keyword { kw.as_str() } else { "" };
+        match head {
+            "endmodule" => break,
+            "input" | "output" => {
+                let is_input = kw == "input";
+                for name in p.ident_list()? {
+                    if m.directions.insert(name.clone(), is_input) == Some(!is_input) {
+                        return Err(IoError::parse(
+                            FORMAT,
+                            line,
+                            format!("port `{name}` declared both input and output"),
+                        ));
+                    }
+                }
+            }
+            "wire" => m.wires.extend(p.ident_list()?),
+            "supply0" | "supply1" => {
+                let value = kw == "supply1";
+                for name in p.ident_list()? {
+                    m.supplies.push((name, value));
+                }
+            }
+            "assign" => {
+                let lhs = p.expect_ident()?;
+                p.expect(&Tok::Equals)?;
+                let rhs = p.expect_netref()?;
+                p.expect(&Tok::Semi)?;
+                match rhs {
+                    NetRef::Name(src) => m.gates.push((
+                        line,
+                        GateKind::Buf,
+                        vec![NetRef::Name(lhs), NetRef::Name(src)],
+                    )),
+                    NetRef::Const(v) => m.gates.push((
+                        line,
+                        if v {
+                            GateKind::Const1
+                        } else {
+                            GateKind::Const0
+                        },
+                        vec![NetRef::Name(lhs)],
+                    )),
+                }
+            }
+            "reg" | "always" | "initial" => {
+                return Err(IoError::unsupported(
+                    FORMAT,
+                    format!(
+                        "behavioral construct `{kw}` at line {line} (structural netlists only)"
+                    ),
+                ));
+            }
+            _ => {
+                if let Some(&(_, kind)) = GATE_PRIMITIVES.iter().find(|&&(n, _)| n == head) {
+                    // Primitive gate: optional instance name, then (out, in...).
+                    if let Some(Tok::Ident(_) | Tok::Escaped(_)) = p.peek() {
+                        p.bump();
+                    }
+                    p.expect(&Tok::LParen)?;
+                    let mut args = vec![p.expect_netref()?];
+                    while p.peek() == Some(&Tok::Comma) {
+                        p.bump();
+                        args.push(p.expect_netref()?);
+                    }
+                    p.expect(&Tok::RParen)?;
+                    p.expect(&Tok::Semi)?;
+                    m.gates.push((line, kind, args));
+                } else {
+                    // Cell instance.
+                    let prim = prims::resolve_cell(&kw).ok_or_else(|| {
+                        IoError::unsupported(
+                            FORMAT,
+                            format!("cell `{kw}` at line {line} has no primitive mapping"),
+                        )
+                    })?;
+                    let name = match p.peek() {
+                        Some(Tok::Ident(_) | Tok::Escaped(_)) => p.expect_ident()?,
+                        _ => format!("__anon_{line}_{}", m.cells.len()),
+                    };
+                    p.expect(&Tok::LParen)?;
+                    let conns = if p.peek() == Some(&Tok::Dot) {
+                        let mut named = Vec::new();
+                        loop {
+                            p.expect(&Tok::Dot)?;
+                            let pin = p.expect_ident()?;
+                            p.expect(&Tok::LParen)?;
+                            let net = p.expect_netref()?;
+                            p.expect(&Tok::RParen)?;
+                            named.push((pin, net));
+                            match p.bump() {
+                                Some(Tok::Comma) => continue,
+                                Some(Tok::RParen) => break,
+                                _ => return Err(p.error("expected `,` or `)` in connections")),
+                            }
+                        }
+                        Conns::Named(named)
+                    } else {
+                        let mut args = vec![p.expect_netref()?];
+                        while p.peek() == Some(&Tok::Comma) {
+                            p.bump();
+                            args.push(p.expect_netref()?);
+                        }
+                        p.expect(&Tok::RParen)?;
+                        Conns::Positional(args)
+                    };
+                    p.expect(&Tok::Semi)?;
+                    m.cells.push(CellInst {
+                        line,
+                        cell: kw,
+                        prim,
+                        name,
+                        conns,
+                    });
+                }
+            }
+        }
+    }
+    Ok(m)
+}
+
+// ---------------------------------------------------------------------------
+// Netlist construction
+// ---------------------------------------------------------------------------
+
+/// Normalized instance connectivity: the output net and the ordered inputs.
+fn split_conns(inst: &CellInst) -> Result<(NetRef, Vec<NetRef>), IoError> {
+    match &inst.conns {
+        Conns::Positional(args) => {
+            let mut it = args.iter();
+            let out = it.next().cloned().ok_or_else(|| {
+                IoError::parse(
+                    FORMAT,
+                    inst.line,
+                    format!("instance `{}` has no connections", inst.name),
+                )
+            })?;
+            let inputs: Vec<NetRef> = it.cloned().collect();
+            // A wrong positional count must not silently rebind pins (e.g.
+            // `DFF ff (q, clk, d)` would take the clock as D).
+            let expected = match inst.prim {
+                PrimKind::Dff { .. } => Some((1, "(Q, D)")),
+                PrimKind::Gate(GateKind::Mux) => Some((3, "(Y, S, A, B)")),
+                PrimKind::Gate(_) => prims::declared_arity(&inst.cell)
+                    .map(|n| (n, "one output followed by the declared inputs")),
+            };
+            if let Some((n, shape)) = expected {
+                if inputs.len() != n {
+                    return Err(IoError::parse(
+                        FORMAT,
+                        inst.line,
+                        format!(
+                            "instance `{}` of cell `{}` has {} connections, expected {} {shape}",
+                            inst.name,
+                            inst.cell,
+                            inputs.len() + 1,
+                            n + 1
+                        ),
+                    ));
+                }
+            }
+            Ok((out, inputs))
+        }
+        Conns::Named(named) => {
+            let mut out = None;
+            let mut inputs: Vec<(usize, NetRef)> = Vec::new();
+            for (pin, net) in named {
+                match prims::resolve_pin(inst.prim, pin) {
+                    Some(PinRole::Output) => out = Some(net.clone()),
+                    Some(PinRole::Input(slot)) => inputs.push((slot, net.clone())),
+                    None => {
+                        return Err(IoError::unsupported(
+                            FORMAT,
+                            format!(
+                                "pin `.{pin}` of cell `{}` (instance `{}`, line {})",
+                                inst.cell, inst.name, inst.line
+                            ),
+                        ))
+                    }
+                }
+            }
+            inputs.sort_by_key(|&(slot, _)| slot);
+            for (expected, &(slot, _)) in inputs.iter().enumerate() {
+                if slot != expected {
+                    return Err(IoError::parse(
+                        FORMAT,
+                        inst.line,
+                        format!(
+                            "instance `{}`: input pin {expected} is unconnected",
+                            inst.name
+                        ),
+                    ));
+                }
+            }
+            let out = out.ok_or_else(|| {
+                IoError::parse(
+                    FORMAT,
+                    inst.line,
+                    format!("instance `{}` has an unconnected output", inst.name),
+                )
+            })?;
+            Ok((out, inputs.into_iter().map(|(_, n)| n).collect()))
+        }
+    }
+}
+
+/// Parses a structural Verilog description into a [`Netlist`].
+///
+/// The resulting netlist is validated before being returned.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] for malformed input, [`IoError::Unsupported`]
+/// for constructs outside the structural subset and [`IoError::Netlist`] for
+/// structurally broken circuits.
+pub fn parse(text: &str) -> Result<Netlist, IoError> {
+    let m = parse_module(lex(text)?)?;
+    let mut nl = Netlist::new(m.name.clone());
+
+    // Ports must all have directions.
+    for port in &m.port_order {
+        if !m.directions.contains_key(port) {
+            return Err(IoError::parse(
+                FORMAT,
+                1,
+                format!("port `{port}` has no direction declaration"),
+            ));
+        }
+    }
+
+    // Normalize instance connectivity up front (cells + primitive gates).
+    struct Conn {
+        line: usize,
+        prim: PrimKind,
+        what: String,
+        out: NetRef,
+        inputs: Vec<NetRef>,
+    }
+    let mut conns: Vec<Conn> = Vec::new();
+    for (line, kind, args) in &m.gates {
+        let mut it = args.iter();
+        let out = it
+            .next()
+            .cloned()
+            .ok_or_else(|| IoError::parse(FORMAT, *line, "gate primitive with no connections"))?;
+        let inputs: Vec<NetRef> = it.cloned().collect();
+        if !kind.arity_ok(inputs.len()) {
+            return Err(IoError::parse(
+                FORMAT,
+                *line,
+                format!(
+                    "gate `{}` given {} inputs, expected {}",
+                    kind.mnemonic(),
+                    inputs.len(),
+                    kind.arity_description()
+                ),
+            ));
+        }
+        conns.push(Conn {
+            line: *line,
+            prim: PrimKind::Gate(*kind),
+            what: kind.mnemonic().to_ascii_lowercase(),
+            out,
+            inputs,
+        });
+    }
+    for inst in &m.cells {
+        let (out, inputs) = split_conns(inst)?;
+        conns.push(Conn {
+            line: inst.line,
+            prim: inst.prim,
+            what: inst.name.clone(),
+            out,
+            inputs,
+        });
+    }
+
+    // Declare nets: inputs in port order, then flip-flop outputs, supplies,
+    // gate outputs, and finally every remaining referenced or declared wire.
+    for port in m.port_order.iter().filter(|p| m.directions[*p]) {
+        nl.try_add_input(port.clone()).map_err(IoError::Netlist)?;
+    }
+    for conn in &conns {
+        if let PrimKind::Dff { init, class } = conn.prim {
+            let NetRef::Name(q) = &conn.out else {
+                return Err(IoError::parse(
+                    FORMAT,
+                    conn.line,
+                    format!("flip-flop `{}` drives a literal", conn.what),
+                ));
+            };
+            nl.declare_dff_with_class(q.clone(), init, class)
+                .map_err(IoError::Netlist)?;
+        }
+    }
+    for (name, value) in &m.supplies {
+        let kind = if *value {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
+        nl.add_gate(kind, &[], name.clone())
+            .map_err(IoError::Netlist)?;
+    }
+    let declare = |nl: &mut Netlist, name: &str| -> Result<(), IoError> {
+        if nl.net_id(name).is_none() {
+            nl.declare_net(name.to_string()).map_err(IoError::Netlist)?;
+        }
+        Ok(())
+    };
+    for conn in &conns {
+        if let NetRef::Name(name) = &conn.out {
+            declare(&mut nl, name)?;
+        }
+    }
+    for wire in &m.wires {
+        declare(&mut nl, wire)?;
+    }
+    for conn in &conns {
+        for input in &conn.inputs {
+            if let NetRef::Name(name) = input {
+                declare(&mut nl, name)?;
+            }
+        }
+    }
+
+    // Connect. Literal connections map onto shared constant nets:
+    // `Netlist::const_net` reuses an existing rail (e.g. a `supply1`), and
+    // the cache keeps repeated literals from re-scanning the gate list.
+    let mut const_cache: [Option<NetId>; 2] = [None, None];
+    for conn in &conns {
+        let mut input_ids = Vec::with_capacity(conn.inputs.len());
+        for input in &conn.inputs {
+            let id = match input {
+                NetRef::Name(name) => nl.net_id(name).expect("declared above"),
+                NetRef::Const(v) => {
+                    *const_cache[usize::from(*v)].get_or_insert_with(|| nl.const_net(*v))
+                }
+            };
+            input_ids.push(id);
+        }
+        match conn.prim {
+            PrimKind::Dff { .. } => {
+                let NetRef::Name(q) = &conn.out else {
+                    unreachable!("rejected during declaration");
+                };
+                let q_id = nl.net_id(q).expect("declared above");
+                let &d_id = input_ids.first().ok_or_else(|| {
+                    IoError::parse(
+                        FORMAT,
+                        conn.line,
+                        format!("flip-flop `{}` has an unconnected D pin", conn.what),
+                    )
+                })?;
+                nl.bind_dff(q_id, d_id).map_err(IoError::Netlist)?;
+            }
+            PrimKind::Gate(kind) => {
+                let NetRef::Name(out) = &conn.out else {
+                    return Err(IoError::parse(
+                        FORMAT,
+                        conn.line,
+                        format!("gate `{}` drives a literal", conn.what),
+                    ));
+                };
+                let out_id = nl.net_id(out).expect("declared above");
+                nl.add_gate_driving(kind, &input_ids, out_id)
+                    .map_err(IoError::Netlist)?;
+            }
+        }
+    }
+
+    // Outputs in port order.
+    for port in m.port_order.iter().filter(|p| !m.directions[*p]) {
+        let id = nl.net_id(port).ok_or_else(|| {
+            IoError::parse(FORMAT, 1, format!("output port `{port}` is never driven"))
+        })?;
+        nl.mark_output(id).map_err(IoError::Netlist)?;
+    }
+
+    nl.validate().map_err(IoError::Netlist)?;
+    Ok(nl)
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Renders a legalized name, escaping it when it is not a plain identifier.
+fn render(name: &str) -> String {
+    if names::is_simple_verilog_ident(name) {
+        name.to_string()
+    } else {
+        format!("\\{name} ")
+    }
+}
+
+/// Serializes a [`Netlist`] to the structural Verilog subset.
+///
+/// The output can be re-read by [`parse`]; reset values and register
+/// provenance are encoded in flip-flop cell names (`DFF1_L` etc.). The module
+/// name is sanitized to a plain identifier, and a primary input that is also
+/// listed as a primary output is exported through a `buf` onto a fresh output
+/// port (Verilog ports cannot be bidirectional aliases).
+pub fn write(netlist: &Netlist) -> String {
+    let input_set: std::collections::HashSet<NetId> = netlist.inputs().iter().copied().collect();
+    let output_set: std::collections::HashSet<NetId> = netlist.outputs().iter().copied().collect();
+    let mut names_table = names::NameTable::new(names::verilog_sanitize);
+    let vname: Vec<String> = netlist
+        .net_ids()
+        .map(|n| names_table.intern("net", netlist.net_name(n)))
+        .collect();
+
+    // Output ports: reuse the net name unless the net is also an input.
+    let mut exported: Vec<(String, Option<NetId>)> = Vec::new(); // (port, buffered-from)
+    for (i, &out) in netlist.outputs().iter().enumerate() {
+        if input_set.contains(&out) {
+            let port = names_table.fresh(&format!("po{i}"));
+            exported.push((port, Some(out)));
+        } else {
+            exported.push((vname[out.index()].clone(), None));
+        }
+    }
+
+    let mut ports: Vec<String> = netlist
+        .inputs()
+        .iter()
+        .map(|&n| render(&vname[n.index()]))
+        .collect();
+    ports.extend(exported.iter().map(|(p, _)| render(p)));
+
+    let mut out = String::new();
+    out.push_str("// Structural netlist written by trilock-io\n");
+    out.push_str(&format!(
+        "// design: {} (PI={} PO={} FF={} gates={})\n",
+        netlist.name(),
+        netlist.num_inputs(),
+        netlist.num_outputs(),
+        netlist.num_dffs(),
+        netlist.num_gates()
+    ));
+    out.push_str(&format!(
+        "module {} ({});\n",
+        names::verilog_module_sanitize(netlist.name()),
+        ports.join(", ")
+    ));
+
+    for &input in netlist.inputs() {
+        out.push_str(&format!("  input {};\n", render(&vname[input.index()])));
+    }
+    for (port, _) in &exported {
+        out.push_str(&format!("  output {};\n", render(port)));
+    }
+    // Internal wires: everything that is neither a port nor exported.
+    for net in netlist.net_ids() {
+        let is_input = input_set.contains(&net);
+        let is_output_port = output_set.contains(&net) && !is_input;
+        if !is_input && !is_output_port {
+            out.push_str(&format!("  wire {};\n", render(&vname[net.index()])));
+        }
+    }
+    out.push('\n');
+
+    for (i, dff) in netlist.dffs().iter().enumerate() {
+        let inst = names_table.fresh(&format!("ff{i}"));
+        let d = dff.d.expect("serializing an unbound flip-flop");
+        out.push_str(&format!(
+            "  {} {} (.Q({}), .D({}));\n",
+            prims::dff_cell_name(dff.init, dff.class),
+            render(&inst),
+            render(&vname[dff.q.index()]),
+            render(&vname[d.index()])
+        ));
+    }
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let inst = names_table.fresh(&format!("g{i}"));
+        let y = render(&vname[gate.output.index()]);
+        match gate.kind {
+            GateKind::Const0 | GateKind::Const1 => {
+                out.push_str(&format!(
+                    "  {} {} (.Y({y}));\n",
+                    prims::gate_cell_name(gate.kind, 0),
+                    render(&inst)
+                ));
+            }
+            GateKind::Mux => {
+                out.push_str(&format!(
+                    "  MUX2 {} (.Y({y}), .S({}), .A({}), .B({}));\n",
+                    render(&inst),
+                    render(&vname[gate.inputs[0].index()]),
+                    render(&vname[gate.inputs[1].index()]),
+                    render(&vname[gate.inputs[2].index()])
+                ));
+            }
+            _ => {
+                let args: Vec<String> = std::iter::once(y)
+                    .chain(gate.inputs.iter().map(|&n| render(&vname[n.index()])))
+                    .collect();
+                out.push_str(&format!(
+                    "  {} {} ({});\n",
+                    gate.kind.mnemonic().to_ascii_lowercase(),
+                    render(&inst),
+                    args.join(", ")
+                ));
+            }
+        }
+    }
+    for (port, buffered) in &exported {
+        if let Some(src) = buffered {
+            let inst = names_table.fresh("pb");
+            out.push_str(&format!(
+                "  buf {} ({}, {});\n",
+                render(&inst),
+                render(port),
+                render(&vname[src.index()])
+            ));
+        }
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::RegClass;
+
+    fn counter() -> Netlist {
+        let mut nl = Netlist::new("cnt2");
+        let en = nl.add_input("en");
+        let q0 = nl.declare_dff("q0", true).unwrap();
+        let q1 = nl
+            .declare_dff_with_class("q1", false, RegClass::Locking)
+            .unwrap();
+        let n0 = nl.add_gate(GateKind::Xor, &[q0, en], "n0").unwrap();
+        let carry = nl.add_gate(GateKind::And, &[q0, en], "carry").unwrap();
+        let n1 = nl.add_gate(GateKind::Xor, &[q1, carry], "n1").unwrap();
+        nl.bind_dff(q0, n0).unwrap();
+        nl.bind_dff(q1, n1).unwrap();
+        nl.mark_output(q0).unwrap();
+        nl.mark_output(q1).unwrap();
+        nl
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_metadata() {
+        let nl = counter();
+        let text = write(&nl);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.name(), "cnt2");
+        assert_eq!(back.num_inputs(), 1);
+        assert_eq!(back.num_outputs(), 2);
+        assert_eq!(back.num_dffs(), 2);
+        assert_eq!(back.num_gates(), 3);
+        let q0 = back.net_id("q0").unwrap();
+        let netlist::Driver::Dff(id0) = back.driver(q0) else {
+            panic!("q0 must be a register");
+        };
+        assert!(back.dff(id0).init);
+        let q1 = back.net_id("q1").unwrap();
+        let netlist::Driver::Dff(id1) = back.driver(q1) else {
+            panic!("q1 must be a register");
+        };
+        assert_eq!(back.dff(id1).class, RegClass::Locking);
+    }
+
+    #[test]
+    fn parses_hand_written_netlist_with_comments() {
+        let text = r#"
+// a tiny design
+module top (a, b, y);
+  input a, b;   /* two inputs */
+  output y;
+  wire w;
+  nand g1 (w, a, b);
+  not (y, w);
+endmodule
+"#;
+        let nl = parse(text).unwrap();
+        assert_eq!(nl.name(), "top");
+        assert_eq!(nl.num_gates(), 2);
+        assert_eq!(nl.gates()[0].kind, GateKind::Nand);
+    }
+
+    #[test]
+    fn ansi_header_and_assigns_are_accepted() {
+        let text = r#"
+module top (input a, output y, output z);
+  assign y = a;
+  assign z = 1'b1;
+endmodule
+"#;
+        let nl = parse(text).unwrap();
+        assert_eq!(nl.num_gates(), 2);
+        assert_eq!(nl.gates()[0].kind, GateKind::Buf);
+        assert_eq!(nl.gates()[1].kind, GateKind::Const1);
+    }
+
+    #[test]
+    fn ansi_direction_keyword_sticks_for_following_ports() {
+        // Verilog-2001: `b` inherits `input`, `z` inherits `output`.
+        let text = r#"
+module top (input a, b, output y, z);
+  and g (y, a, b);
+  or g2 (z, a, b);
+endmodule
+"#;
+        let nl = parse(text).unwrap();
+        assert_eq!(nl.num_inputs(), 2);
+        assert_eq!(nl.num_outputs(), 2);
+    }
+
+    #[test]
+    fn named_cells_literals_and_supplies() {
+        let text = r#"
+module top (a, s, y);
+  input a, s;
+  output y;
+  supply1 vcc;
+  wire q, m;
+  DFF1 ff (.Q(q), .D(m));
+  MUX2 u1 (.Y(m), .S(s), .A(a), .B(1'b0));
+  and g (y, q, vcc);
+endmodule
+"#;
+        let nl = parse(text).unwrap();
+        assert_eq!(nl.num_dffs(), 1);
+        assert!(nl.dffs()[0].init);
+        // supply1 + const0 literal + mux + and = 4 gates.
+        assert_eq!(nl.num_gates(), 4);
+    }
+
+    #[test]
+    fn input_listed_as_output_round_trips() {
+        let mut nl = Netlist::new("pass");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate(GateKind::And, &[a, b], "y").unwrap();
+        nl.mark_output(a).unwrap();
+        nl.mark_output(y).unwrap();
+        let back = parse(&write(&nl)).unwrap();
+        assert_eq!(back.num_inputs(), 2);
+        assert_eq!(back.num_outputs(), 2);
+        // The exported pass-through costs one buffer.
+        assert_eq!(back.num_gates(), 2);
+    }
+
+    #[test]
+    fn escaped_identifiers_survive() {
+        let mut nl = Netlist::new("esc");
+        let a = nl.add_input("3in[0]");
+        let y = nl.add_gate(GateKind::Not, &[a], "out.q").unwrap();
+        nl.mark_output(y).unwrap();
+        let back = parse(&write(&nl)).unwrap();
+        assert!(back.net_id("3in[0]").is_some());
+        assert!(back.net_id("out.q").is_some());
+    }
+
+    #[test]
+    fn keyword_named_nets_survive_via_escaping() {
+        let mut nl = Netlist::new("kw");
+        let a = nl.add_input("output");
+        let y = nl.add_gate(GateKind::Not, &[a], "wire").unwrap();
+        nl.mark_output(y).unwrap();
+        let text = write(&nl);
+        let back = parse(&text).unwrap();
+        assert!(back.net_id("output").is_some());
+        assert!(back.net_id("wire").is_some());
+        assert_eq!(back.num_gates(), 1);
+    }
+
+    #[test]
+    fn wrong_positional_dff_arity_is_rejected() {
+        let text = "module t (a, q);\n  input a;\n  output q;\n  DFF ff (q, a, a);\nendmodule\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("connections"), "{err}");
+    }
+
+    #[test]
+    fn vector_ports_are_unsupported() {
+        let err = parse("module t (a);\n  input [3:0] a;\nendmodule\n").unwrap_err();
+        assert!(matches!(err, IoError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn behavioral_code_is_unsupported() {
+        let err = parse("module t (a);\n  input a;\n  reg r;\nendmodule\n").unwrap_err();
+        assert!(matches!(err, IoError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse("module t (a)\n  input a;\nendmodule\n").unwrap_err();
+        let IoError::Parse { line, .. } = err else {
+            panic!("expected parse error, got {err}");
+        };
+        assert_eq!(line, 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: random benchgen circuits survive `Netlist → EDIF →
+//! Netlist` and `Netlist → Verilog → Netlist` with interface order, register
+//! metadata and sequential behavior (checked via `sim::equiv`) intact.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use benchgen::{generate, CircuitProfile};
+use netlist::Netlist;
+use trilock_io::{parse_str, write_str, CircuitFormat};
+
+/// A small profile so each case stays fast while still mixing every gate
+/// kind, several registers and multiple outputs.
+fn random_circuit(seed: u64, inputs: usize, dffs: usize, gates: usize) -> Netlist {
+    let profile = CircuitProfile {
+        name: "prop",
+        inputs,
+        outputs: (inputs / 2).max(1),
+        dffs,
+        gates,
+    };
+    generate(&profile, seed).expect("profile-matched generation succeeds")
+}
+
+fn assert_equivalent_round_trip(nl: &Netlist, format: CircuitFormat, check_seed: u64) {
+    let text = write_str(nl, format);
+    let back = parse_str(&text, format)
+        .unwrap_or_else(|e| panic!("{format} round-trip failed to parse: {e}\n{text}"));
+    assert_eq!(back.num_inputs(), nl.num_inputs(), "{format}");
+    assert_eq!(back.num_outputs(), nl.num_outputs(), "{format}");
+    assert_eq!(back.num_dffs(), nl.num_dffs(), "{format}");
+    assert_eq!(back.num_gates(), nl.num_gates(), "{format}");
+    let inits: Vec<bool> = nl.dffs().iter().map(|d| d.init).collect();
+    let back_inits: Vec<bool> = back.dffs().iter().map(|d| d.init).collect();
+    assert_eq!(inits, back_inits, "{format} reset values");
+
+    let mut rng = StdRng::seed_from_u64(check_seed);
+    let cex =
+        sim::equiv::random_equiv_check(nl, &back, 12, 24, &mut rng).expect("interfaces match");
+    assert!(
+        cex.is_none(),
+        "{format} round-trip is not sequentially equivalent: {cex:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// EDIF round-trips preserve structure and sequential behavior.
+    #[test]
+    fn edif_round_trip_is_equivalent(
+        seed in any::<u64>(),
+        inputs in 2usize..6,
+        dffs in 1usize..6,
+        gates in 8usize..40,
+    ) {
+        let nl = random_circuit(seed, inputs, dffs, gates);
+        assert_equivalent_round_trip(&nl, CircuitFormat::Edif, seed ^ 0xE01F);
+    }
+
+    /// Verilog round-trips preserve structure and sequential behavior.
+    #[test]
+    fn verilog_round_trip_is_equivalent(
+        seed in any::<u64>(),
+        inputs in 2usize..6,
+        dffs in 1usize..6,
+        gates in 8usize..40,
+    ) {
+        let nl = random_circuit(seed, inputs, dffs, gates);
+        assert_equivalent_round_trip(&nl, CircuitFormat::Verilog, seed ^ 0x7E21);
+    }
+
+    /// Chained conversion across every format pair ends up equivalent to the
+    /// original (bench → edif → verilog → bench).
+    #[test]
+    fn chained_conversion_is_equivalent(
+        seed in any::<u64>(),
+        dffs in 1usize..5,
+        gates in 8usize..24,
+    ) {
+        let nl = random_circuit(seed, 3, dffs, gates);
+        let chain = [CircuitFormat::Bench, CircuitFormat::Edif, CircuitFormat::Verilog,
+                     CircuitFormat::Bench];
+        let mut current = nl.clone();
+        for format in chain {
+            let text = write_str(&current, format);
+            current = parse_str(&text, format)
+                .unwrap_or_else(|e| panic!("{format} leg failed: {e}"));
+        }
+        prop_assert_eq!(current.num_inputs(), nl.num_inputs());
+        prop_assert_eq!(current.num_outputs(), nl.num_outputs());
+        prop_assert_eq!(current.num_dffs(), nl.num_dffs());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A1);
+        let cex = sim::equiv::random_equiv_check(&nl, &current, 10, 16, &mut rng)
+            .expect("interfaces match");
+        prop_assert!(cex.is_none(), "chained conversion diverged: {:?}", cex);
+    }
+}

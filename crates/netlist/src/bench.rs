@@ -14,6 +14,13 @@
 //! Flip-flops reset to 0 unless the extension directive
 //! `# init <net> 1` precedes them, which this implementation emits and
 //! understands so that round-trips preserve reset values.
+//!
+//! The reader is deliberately liberal about the dialect variations found in
+//! circulating ISCAS/ITC files: keywords and gate mnemonics are
+//! case-insensitive (`input(`, `dff(`), `BUFF`/`INV` alias `BUF`/`NOT`,
+//! trailing commas and extra whitespace are ignored, and references to the
+//! undeclared rails `VDD`/`GND` materialize as constant gates. Every parse
+//! failure reports the 1-based line of the offending statement.
 
 use std::collections::HashMap;
 
@@ -37,8 +44,15 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
     enum Stmt {
         Input(String),
         Output(String),
-        Dff { q: String, d: String },
-        Gate { out: String, kind: GateKind, args: Vec<String> },
+        Dff {
+            q: String,
+            d: String,
+        },
+        Gate {
+            out: String,
+            kind: GateKind,
+            args: Vec<String>,
+        },
     }
 
     let mut stmts: Vec<(usize, Stmt)> = Vec::new();
@@ -135,9 +149,10 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
         })?;
     }
 
-    // Pass 2: connect gates, flip-flops and outputs.
+    // Pass 2: connect gates, flip-flops and outputs. Every failure is
+    // reported as a `Parse` error carrying the offending line.
     for (lineno, stmt) in &stmts {
-        let result: Result<(), NetlistError> = match stmt {
+        let result: Result<(), NetlistError> = (|| match stmt {
             Stmt::Input(_) => Ok(()),
             Stmt::Output(name) => {
                 let id = netlist
@@ -149,9 +164,7 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
                 let q_id = netlist
                     .net_id(q)
                     .ok_or_else(|| NetlistError::UnknownNet(q.clone()))?;
-                let d_id = netlist
-                    .net_id(d)
-                    .ok_or_else(|| NetlistError::UnknownNet(d.clone()))?;
+                let d_id = resolve_operand(&mut netlist, d)?;
                 netlist.bind_dff(q_id, d_id)
             }
             Stmt::Gate { out, kind, args } => {
@@ -160,15 +173,11 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
                     .ok_or_else(|| NetlistError::UnknownNet(out.clone()))?;
                 let mut inputs = Vec::with_capacity(args.len());
                 for a in args {
-                    inputs.push(
-                        netlist
-                            .net_id(a)
-                            .ok_or_else(|| NetlistError::UnknownNet(a.clone()))?,
-                    );
+                    inputs.push(resolve_operand(&mut netlist, a)?);
                 }
                 netlist.add_gate_driving(*kind, &inputs, out_id).map(|_| ())
             }
-        };
+        })();
         result.map_err(|e| match e {
             NetlistError::Parse { .. } => e,
             other => NetlistError::Parse {
@@ -183,10 +192,30 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
 }
 
 fn parse_directive(line: &str, keyword: &str) -> Option<String> {
-    let rest = line.strip_prefix(keyword)?.trim_start();
+    let head = line.get(..keyword.len())?;
+    if !head.eq_ignore_ascii_case(keyword) {
+        return None;
+    }
+    let rest = line[keyword.len()..].trim_start();
     let rest = rest.strip_prefix('(')?;
     let rest = rest.strip_suffix(')')?;
     Some(rest.trim().to_string())
+}
+
+/// Resolves an operand name, lazily creating the implicit `VDD`/`GND`
+/// constant rails some ISCAS/ITC distributions reference without defining.
+fn resolve_operand(netlist: &mut Netlist, name: &str) -> Result<crate::NetId, NetlistError> {
+    if let Some(id) = netlist.net_id(name) {
+        return Ok(id);
+    }
+    let kind = if name.eq_ignore_ascii_case("vdd") {
+        GateKind::Const1
+    } else if name.eq_ignore_ascii_case("gnd") {
+        GateKind::Const0
+    } else {
+        return Err(NetlistError::UnknownNet(name.to_string()));
+    };
+    netlist.add_gate(kind, &[], name.to_string())
 }
 
 /// Serializes a [`Netlist`] to the `.bench` format.
@@ -237,6 +266,7 @@ pub fn write(netlist: &Netlist) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::Driver;
 
     const S27_LIKE: &str = "\
 # name s27demo
@@ -324,5 +354,56 @@ G17 = NOT(G11)
     fn buff_alias_is_accepted() {
         let nl = parse("INPUT(a)\nOUTPUT(b)\nb = BUFF(a)\n").unwrap();
         assert_eq!(nl.gates()[0].kind, GateKind::Buf);
+    }
+
+    #[test]
+    fn lowercase_keywords_are_accepted() {
+        let text = "input(a)\ninput(b)\noutput(q)\nq = dff(w)\nw = nand(a, b)\n";
+        let nl = parse(text).unwrap();
+        assert_eq!(nl.num_inputs(), 2);
+        assert_eq!(nl.num_dffs(), 1);
+        assert_eq!(nl.gates()[0].kind, GateKind::Nand);
+    }
+
+    #[test]
+    fn vdd_and_gnd_rails_are_implicit_constants() {
+        let text = "INPUT(a)\nOUTPUT(x)\nOUTPUT(y)\nx = AND(a, VDD)\ny = OR(a, gnd)\n";
+        let nl = parse(text).unwrap();
+        // Two referenced rails become constant gates.
+        assert_eq!(nl.num_gates(), 4);
+        let vdd = nl.net_id("VDD").unwrap();
+        let Driver::Gate(g) = nl.driver(vdd) else {
+            panic!("VDD must be gate-driven");
+        };
+        assert_eq!(nl.gate(g).kind, GateKind::Const1);
+    }
+
+    #[test]
+    fn trailing_commas_and_spacing_variants_parse() {
+        let text = "INPUT( a )\nOUTPUT(y)\ny = AND(a, a, )\n";
+        let nl = parse(text).unwrap();
+        assert_eq!(nl.gates()[0].inputs.len(), 2);
+    }
+
+    #[test]
+    fn pass_two_errors_carry_line_numbers() {
+        // Unknown net in a gate argument list.
+        let err = parse("INPUT(a)\nOUTPUT(x)\nx = AND(a, ghost)\n").unwrap_err();
+        assert!(
+            matches!(err, NetlistError::Parse { line: 3, .. }),
+            "{err:?}"
+        );
+        // Unknown net in an OUTPUT directive.
+        let err = parse("INPUT(a)\nOUTPUT(nope)\n").unwrap_err();
+        assert!(
+            matches!(err, NetlistError::Parse { line: 2, .. }),
+            "{err:?}"
+        );
+        // Duplicate definition (second declaration of `x`).
+        let err = parse("INPUT(a)\nOUTPUT(x)\nx = NOT(a)\nx = BUF(a)\n").unwrap_err();
+        assert!(
+            matches!(err, NetlistError::Parse { line: 4, .. }),
+            "{err:?}"
+        );
     }
 }

@@ -295,6 +295,35 @@ impl Netlist {
         Ok(gate_id)
     }
 
+    /// Returns a net that is constantly `value`, creating a constant gate on
+    /// first use and reusing any existing one afterwards. Format frontends
+    /// use this to map `VDD`/`GND` rails and literal connections.
+    pub fn const_net(&mut self, value: bool) -> NetId {
+        let kind = if value {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
+        if let Some(gate) = self.gates.iter().find(|g| g.kind == kind) {
+            return gate.output;
+        }
+        let name = self.fresh_name(if value { "const1" } else { "const0" });
+        self.add_gate(kind, &[], name)
+            .expect("constant gates take no inputs and a fresh name")
+    }
+
+    /// Inserts a buffer driven by `from` and returns the buffer's output net
+    /// — an alias of `from`, e.g. for exporting one net under two roles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidNetId`] for a foreign id.
+    pub fn add_buffer(&mut self, from: NetId) -> Result<NetId, NetlistError> {
+        self.check_net(from)?;
+        let name = self.fresh_name("buf");
+        self.add_gate(GateKind::Buf, &[from], name)
+    }
+
     // ------------------------------------------------------------------
     // Flip-flops
     // ------------------------------------------------------------------
@@ -612,10 +641,7 @@ mod tests {
     fn unbound_dff_fails_validation() {
         let mut nl = Netlist::new("t");
         let _q = nl.declare_dff("q", false).unwrap();
-        assert!(matches!(
-            nl.validate(),
-            Err(NetlistError::BadDffBinding(_))
-        ));
+        assert!(matches!(nl.validate(), Err(NetlistError::BadDffBinding(_))));
     }
 
     #[test]
@@ -697,5 +723,28 @@ mod tests {
     #[test]
     fn reg_class_default_is_original() {
         assert_eq!(RegClass::default(), RegClass::Original);
+    }
+
+    #[test]
+    fn const_net_is_created_once_per_value() {
+        let mut nl = Netlist::new("t");
+        let one = nl.const_net(true);
+        let zero = nl.const_net(false);
+        assert_ne!(one, zero);
+        assert_eq!(nl.const_net(true), one);
+        assert_eq!(nl.const_net(false), zero);
+        assert_eq!(nl.num_gates(), 2);
+        assert!(matches!(nl.driver(one), Driver::Gate(_)));
+    }
+
+    #[test]
+    fn add_buffer_creates_a_buf_gate() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_buffer(a).unwrap();
+        nl.mark_output(b).unwrap();
+        nl.validate().unwrap();
+        assert_eq!(nl.gates()[0].kind, GateKind::Buf);
+        assert!(nl.add_buffer(NetId(99)).is_err());
     }
 }

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use crate::gate::{Gate, GateKind};
 use crate::ids::NetId;
-use crate::model::{Driver, Netlist};
+use crate::model::Netlist;
 use crate::NetlistError;
 
 /// Summary of a clean-up run.
@@ -75,9 +75,9 @@ fn rebuild_with_gates(
             .inputs
             .iter()
             .map(|n| {
-                map.get(n).copied().ok_or_else(|| {
-                    NetlistError::UnknownNet(source.net_name(*n).to_string())
-                })
+                map.get(n)
+                    .copied()
+                    .ok_or_else(|| NetlistError::UnknownNet(source.net_name(*n).to_string()))
             })
             .collect::<Result<_, _>>()?;
         rebuilt.add_gate_driving(gate.kind, &inputs, out)?;
@@ -129,17 +129,17 @@ pub fn propagate_constants(netlist: &mut Netlist) -> Result<usize, NetlistError>
             }
             _ => {}
         }
-        let values: Option<Vec<bool>> = gate
-            .inputs
-            .iter()
-            .map(|n| known.get(n).copied())
-            .collect();
+        let values: Option<Vec<bool>> = gate.inputs.iter().map(|n| known.get(n).copied()).collect();
         if let Some(values) = values {
             let value = gate.kind.eval(&values);
             known.insert(gate.output, value);
             replacements.insert(
                 gate.output,
-                if value { GateKind::Const1 } else { GateKind::Const0 },
+                if value {
+                    GateKind::Const1
+                } else {
+                    GateKind::Const0
+                },
             );
         }
     }
@@ -173,8 +173,7 @@ pub fn sweep_dangling(netlist: &mut Netlist) -> Result<usize, NetlistError> {
                 removed_total += 1;
                 changed = true;
                 for &input in &gate.inputs {
-                    local_counts[input.index()] =
-                        local_counts[input.index()].saturating_sub(1);
+                    local_counts[input.index()] = local_counts[input.index()].saturating_sub(1);
                 }
             }
         }
@@ -214,6 +213,7 @@ pub fn cleanup(netlist: &mut Netlist) -> Result<CleanupReport, NetlistError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::Driver;
 
     fn has_driver_kind(netlist: &Netlist, net_name: &str, kind: GateKind) -> bool {
         let net = netlist.net_id(net_name).expect("net exists");

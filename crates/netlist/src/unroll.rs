@@ -78,9 +78,9 @@ pub fn unroll(source: &Netlist, cycles: usize) -> Result<Unrolled, NetlistError>
                 .inputs
                 .iter()
                 .map(|n| {
-                    map.get(n).copied().ok_or_else(|| {
-                        NetlistError::UnknownNet(source.net_name(*n).to_string())
-                    })
+                    map.get(n)
+                        .copied()
+                        .ok_or_else(|| NetlistError::UnknownNet(source.net_name(*n).to_string()))
                 })
                 .collect::<Result<_, _>>()?;
             let name = format!("{}@{}", source.net_name(gate.output), t);
@@ -177,14 +177,13 @@ mod tests {
         // out@2 = 0, state = 0^0 = 0
         // out@3 = 0
         let stim = [true, true, false, true];
-        let assignment: Vec<(NetId, bool)> = (0..4)
-            .map(|t| (unrolled.inputs[t][0], stim[t]))
-            .collect();
+        let assignment: Vec<(NetId, bool)> =
+            (0..4).map(|t| (unrolled.inputs[t][0], stim[t])).collect();
         let expected = [false, true, false, false];
-        for t in 0..4 {
+        for (t, &want) in expected.iter().enumerate() {
             assert_eq!(
                 eval(&unrolled.netlist, &assignment, unrolled.outputs[t][0]),
-                expected[t],
+                want,
                 "cycle {t}"
             );
         }
@@ -206,7 +205,11 @@ mod tests {
             (unrolled.inputs[1][0], false),
         ];
         assert!(eval(&unrolled.netlist, &assignment, unrolled.outputs[0][0]));
-        assert!(!eval(&unrolled.netlist, &assignment, unrolled.outputs[1][0]));
+        assert!(!eval(
+            &unrolled.netlist,
+            &assignment,
+            unrolled.outputs[1][0]
+        ));
     }
 
     #[test]

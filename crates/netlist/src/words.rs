@@ -87,7 +87,11 @@ pub fn reduce_tree(
 /// # Errors
 ///
 /// Propagates netlist construction errors.
-pub fn and_tree(netlist: &mut Netlist, nets: &[NetId], prefix: &str) -> Result<NetId, NetlistError> {
+pub fn and_tree(
+    netlist: &mut Netlist,
+    nets: &[NetId],
+    prefix: &str,
+) -> Result<NetId, NetlistError> {
     reduce_tree(netlist, GateKind::And, nets, prefix)
 }
 

@@ -38,7 +38,9 @@ fn build_sequential(num_inputs: usize, num_dffs: usize, recipes: &[GateRecipe]) 
         } else {
             vec![pick(a), pick(b)]
         };
-        let out = nl.add_gate(kind, &inputs, format!("g{g}")).expect("arity ok");
+        let out = nl
+            .add_gate(kind, &inputs, format!("g{g}"))
+            .expect("arity ok");
         nets.push(out);
     }
     for (i, &q) in dffs.iter().enumerate() {

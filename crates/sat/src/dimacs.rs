@@ -17,7 +17,11 @@ pub struct ParseDimacsError {
 
 impl fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -48,13 +52,14 @@ pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
                     message: "expected `p cnf <vars> <clauses>`".to_string(),
                 });
             }
-            let vars: usize = parts
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| ParseDimacsError {
-                    line: lineno,
-                    message: "missing or invalid variable count".to_string(),
-                })?;
+            let vars: usize =
+                parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseDimacsError {
+                        line: lineno,
+                        message: "missing or invalid variable count".to_string(),
+                    })?;
             declared_vars = Some(vars);
             cnf.ensure_vars(vars);
             continue;

@@ -604,11 +604,11 @@ impl Solver {
                     return SatResult::Unsat;
                 }
                 let (learnt, backtrack_level) = self.analyze(conflict);
-                // Never jump back into the middle of the assumption prefix
-                // with an asserting literal that may contradict it silently:
-                // clamping to the assumption boundary keeps the standard
-                // invariants (the asserting literal is still unassigned there).
-                self.backtrack(backtrack_level.max(0));
+                // The backjump may land inside (or below) the assumption
+                // prefix; that is sound here because the decision loop below
+                // re-asserts assumptions in order before any free decision,
+                // returning Unsat if a learnt clause now falsifies one.
+                self.backtrack(backtrack_level);
                 self.record_learnt(learnt);
                 self.decay_activities();
             } else {
@@ -643,11 +643,7 @@ impl Solver {
                 match self.pick_branch_var() {
                     None => {
                         let model = Model {
-                            values: self
-                                .assign
-                                .iter()
-                                .map(|&a| a == LBOOL_TRUE)
-                                .collect(),
+                            values: self.assign.iter().map(|&a| a == LBOOL_TRUE).collect(),
                         };
                         self.backtrack(0);
                         return SatResult::Sat(model);
@@ -673,8 +669,6 @@ fn luby(i: u64) -> u64 {
         size = 2 * size + 1;
     }
     let mut i = i;
-    let mut size = size;
-    let mut seq = seq;
     while size - 1 != i {
         size = (size - 1) / 2;
         seq -= 1;
@@ -734,14 +728,15 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // p1/p2/h index the pigeon matrix pairwise
     fn pigeonhole_three_pigeons_two_holes_is_unsat() {
         // Variables x[p][h]: pigeon p in hole h.
         let mut s = Solver::new();
         let x: Vec<Vec<Var>> = (0..3)
             .map(|_| (0..2).map(|_| s.new_var()).collect())
             .collect();
-        for p in 0..3 {
-            s.add_clause(&[Lit::positive(x[p][0]), Lit::positive(x[p][1])]);
+        for holes in &x {
+            s.add_clause(&[Lit::positive(holes[0]), Lit::positive(holes[1])]);
         }
         for h in 0..2 {
             for p1 in 0..3 {
@@ -847,10 +842,7 @@ mod tests {
         let mut s = Solver::new();
         let vars: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
         for i in 0..5 {
-            s.add_clause(&[
-                Lit::positive(vars[i]),
-                Lit::negative(vars[(i + 1) % 6]),
-            ]);
+            s.add_clause(&[Lit::positive(vars[i]), Lit::negative(vars[(i + 1) % 6])]);
         }
         s.solve();
         assert!(s.stats().decisions > 0);

@@ -141,9 +141,8 @@ impl<'a> CircuitEncoder<'a> {
                 .inputs
                 .iter()
                 .map(|&n| {
-                    self.map[n.index()].ok_or_else(|| {
-                        EncodeError::Unbound(self.netlist.net_name(n).to_string())
-                    })
+                    self.map[n.index()]
+                        .ok_or_else(|| EncodeError::Unbound(self.netlist.net_name(n).to_string()))
                 })
                 .collect::<Result<_, _>>()?;
             let out = match self.map[gate.output.index()] {

@@ -8,9 +8,7 @@ use sat::{Cnf, Lit, SatResult, Solver, Var};
 /// Strategy producing a random CNF with up to `max_vars` variables and
 /// `max_clauses` clauses of 1..=4 literals.
 fn cnf_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
-    let literal = (1..=max_vars as i64).prop_flat_map(|v| {
-        prop_oneof![Just(v), Just(-v)]
-    });
+    let literal = (1..=max_vars as i64).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]);
     let clause = proptest::collection::vec(literal, 1..=4);
     proptest::collection::vec(clause, 1..=max_clauses)
 }
@@ -68,7 +66,7 @@ proptest! {
         if num_vars == 0 {
             return Ok(());
         }
-        let var = ((pick.unsigned_abs() as usize - 1) % num_vars) as usize;
+        let var = (pick.unsigned_abs() as usize - 1) % num_vars;
         let assumption = Lit::positive(Var::from_index(var));
         match solver.solve_with_assumptions(&[assumption]) {
             SatResult::Sat(model) => {

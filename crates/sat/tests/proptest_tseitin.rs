@@ -57,7 +57,11 @@ fn evaluate_directly(netlist: &Netlist, inputs: &[bool]) -> Vec<bool> {
         let ins: Vec<bool> = gate.inputs.iter().map(|&n| values[n.index()]).collect();
         values[gate.output.index()] = gate.kind.eval(&ins);
     }
-    netlist.outputs().iter().map(|&o| values[o.index()]).collect()
+    netlist
+        .outputs()
+        .iter()
+        .map(|&o| values[o.index()])
+        .collect()
 }
 
 proptest! {

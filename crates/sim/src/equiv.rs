@@ -126,7 +126,11 @@ mod tests {
         let mut nl = Netlist::new(if invert { "b" } else { "a" });
         let x = nl.add_input("x");
         let y = nl.add_input("y");
-        let kind = if invert { GateKind::Xnor } else { GateKind::Xor };
+        let kind = if invert {
+            GateKind::Xnor
+        } else {
+            GateKind::Xor
+        };
         let o = nl.add_gate(kind, &[x, y], "o").unwrap();
         nl.mark_output(o).unwrap();
         nl

@@ -61,7 +61,10 @@ impl RegisterGraph {
         assert_eq!(classes.len(), num_nodes, "one class per node required");
         let mut successors: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); num_nodes];
         for &(a, b) in edges {
-            assert!(a < num_nodes && b < num_nodes, "edge ({a},{b}) out of range");
+            assert!(
+                a < num_nodes && b < num_nodes,
+                "edge ({a},{b}) out of range"
+            );
             successors[a].insert(b);
         }
         let successors: Vec<Vec<usize>> = successors
@@ -188,11 +191,8 @@ mod tests {
 
     #[test]
     fn from_edges_deduplicates() {
-        let g = RegisterGraph::from_edges(
-            3,
-            &[(0, 1), (0, 1), (1, 2)],
-            vec![RegClass::Original; 3],
-        );
+        let g =
+            RegisterGraph::from_edges(3, &[(0, 1), (0, 1), (1, 2)], vec![RegClass::Original; 3]);
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.predecessors(2), &[1]);
     }

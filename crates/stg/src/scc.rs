@@ -178,8 +178,11 @@ pub fn classify_sccs(graph: &RegisterGraph) -> SccReport {
             Scc { nodes, class }
         })
         .collect();
-    sccs.sort_by(|a, b| b.len().cmp(&a.len()));
-    let num_original = sccs.iter().filter(|s| s.class == SccClass::Original).count();
+    sccs.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    let num_original = sccs
+        .iter()
+        .filter(|s| s.class == SccClass::Original)
+        .count();
     let num_extra = sccs.iter().filter(|s| s.class == SccClass::Extra).count();
     let num_mixed = sccs.iter().filter(|s| s.class == SccClass::Mixed).count();
     let total: usize = sccs.iter().map(Scc::len).sum();
@@ -208,7 +211,7 @@ mod tests {
 
     fn classes(original: usize, locking: usize) -> Vec<RegClass> {
         let mut v = vec![RegClass::Original; original];
-        v.extend(std::iter::repeat(RegClass::Locking).take(locking));
+        v.extend(std::iter::repeat_n(RegClass::Locking, locking));
         v
     }
 
@@ -233,11 +236,8 @@ mod tests {
     #[test]
     fn two_cycles_bridged_one_way_stay_separate() {
         // 0<->1 and 2<->3 with a bridge 1 -> 2: two SCCs.
-        let g = RegisterGraph::from_edges(
-            4,
-            &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)],
-            classes(2, 2),
-        );
+        let g =
+            RegisterGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)], classes(2, 2));
         let report = classify_sccs(&g);
         assert_eq!(report.sccs.len(), 2);
         assert_eq!(report.num_original, 1);

@@ -45,12 +45,7 @@ impl StateGraph {
         self.states
             .iter()
             .copied()
-            .filter(|&s| {
-                !self
-                    .edges
-                    .keys()
-                    .any(|&(from, to)| from == s && to != s)
-            })
+            .filter(|&s| !self.edges.keys().any(|&(from, to)| from == s && to != s))
             .collect()
     }
 
@@ -83,10 +78,7 @@ pub fn explore(
     netlist.validate()?;
     let state_bits = netlist.num_dffs();
     let input_bits = netlist.num_inputs();
-    if state_bits > max_state_bits
-        || input_bits > max_input_bits
-        || state_bits + input_bits > 20
-    {
+    if state_bits > max_state_bits || input_bits > max_input_bits || state_bits + input_bits > 20 {
         return Err(NetlistError::InvalidParameter(format!(
             "STG exploration limited to {max_state_bits} state bits and {max_input_bits} input \
              bits (got {state_bits} and {input_bits})"

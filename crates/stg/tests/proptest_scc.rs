@@ -27,7 +27,9 @@ fn reachable(graph: &RegisterGraph, from: usize, to: usize) -> bool {
     from == to
 }
 
-fn graph_strategy(max_nodes: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<bool>)> {
+fn graph_strategy(
+    max_nodes: usize,
+) -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<bool>)> {
     (2..=max_nodes).prop_flat_map(|n| {
         let edges = proptest::collection::vec((0..n, 0..n), 0..(3 * n));
         let classes = proptest::collection::vec(any::<bool>(), n);

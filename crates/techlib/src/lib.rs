@@ -23,6 +23,4 @@ mod library;
 mod metrics;
 
 pub use library::{CellCost, TechLibrary};
-pub use metrics::{
-    estimate_activity, AreaReport, DelayReport, OverheadReport, PowerReport,
-};
+pub use metrics::{estimate_activity, AreaReport, DelayReport, OverheadReport, PowerReport};

@@ -53,7 +53,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. An unauthorized user (random keys) sees heavy corruption.
     let mut fc_rng = StdRng::seed_from_u64(11);
-    let fc = sim::fc::estimate_fc(&original, &locked.netlist, locked.kappa(), 6, 800, &mut fc_rng)?;
+    let fc = sim::fc::estimate_fc(
+        &original,
+        &locked.netlist,
+        locked.kappa(),
+        6,
+        800,
+        &mut fc_rng,
+    )?;
     let expected = analytic::fc_expected(original.num_inputs(), config.kappa_f, config.alpha);
     println!(
         "functional corruptibility over random keys: {:.3} (Eq. 15 predicts {:.3})",

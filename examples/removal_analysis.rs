@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(5);
     let locked = encrypt(&original, &config, &mut rng)?;
 
-    println!("\n{:>6} {:>6} {:>6} {:>6} {:>8} {:>10}", "S", "O", "E", "M", "P_M(%)", "protected");
+    println!(
+        "\n{:>6} {:>6} {:>6} {:>6} {:>8} {:>10}",
+        "S", "O", "E", "M", "P_M(%)", "protected"
+    );
     for pairs in [0usize, 4, 10] {
         let mut netlist = locked.netlist.clone();
         if pairs > 0 {

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         original.num_inputs(),
         original.num_inputs()
     );
-    println!("{:>4} {:>8} {:>10} {:>10} {:>10} {:>12}", "κs", "b*", "ndip(eq10)", "dips", "depth", "time");
+    println!(
+        "{:>4} {:>8} {:>10} {:>10} {:>10} {:>12}",
+        "κs", "b*", "ndip(eq10)", "dips", "depth", "time"
+    );
 
     for kappa_s in 1..=3usize {
         let config = TriLockConfig::new(kappa_s, 1).with_alpha(0.6);
@@ -66,8 +69,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             status
         );
     }
-    println!(
-        "\nEvery additional κs cycle multiplies the required DIPs by 2^|I|, matching Eq. 10."
-    );
+    println!("\nEvery additional κs cycle multiplies the required DIPs by 2^|I|, matching Eq. 10.");
     Ok(())
 }

@@ -11,7 +11,9 @@
 //! * [`techlib`] — area/delay/power cost model;
 //! * [`benchgen`] — synthetic ISCAS/ITC-profile benchmark generation;
 //! * [`trilock`] — the TriLock locking scheme itself;
-//! * [`attacks`] — SAT-based unrolling attack and removal attack.
+//! * [`attacks`] — SAT-based unrolling attack and removal attack;
+//! * [`trilock_io`] — multi-format netlist frontend (`.bench`, EDIF 2.0.0,
+//!   structural Verilog) with format auto-detection.
 //!
 //! Library users should depend on the individual crates directly; this façade
 //! is a convenience for the examples and experiments shipped in this
@@ -28,6 +30,7 @@ pub use sim;
 pub use stg;
 pub use techlib;
 pub use trilock;
+pub use trilock_io;
 
 /// Version of the reproduction suite (mirrors the workspace version).
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

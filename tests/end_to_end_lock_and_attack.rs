@@ -6,9 +6,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use trilock_suite::attacks::{
-    estimate_min_unroll_depth, AttackStatus, SatAttack, SatAttackConfig,
-};
+use trilock_suite::attacks::{estimate_min_unroll_depth, AttackStatus, SatAttack, SatAttackConfig};
 use trilock_suite::benchgen::small;
 use trilock_suite::sim;
 use trilock_suite::trilock::{analytic, encrypt, TriLockConfig};
@@ -44,7 +42,9 @@ fn full_pipeline_recovers_a_functionally_correct_key() {
         verify_cycles: 10,
     };
     let mut attack_rng = StdRng::seed_from_u64(77);
-    let outcome = attack.run(&attack_config, &mut attack_rng).expect("attack runs");
+    let outcome = attack
+        .run(&attack_config, &mut attack_rng)
+        .expect("attack runs");
     let key = match outcome.status {
         AttackStatus::KeyFound(key) => key,
         other => panic!("attack did not finish: {other:?}"),
@@ -85,7 +85,9 @@ fn attack_effort_grows_with_kappa_s_as_predicted() {
             verify_cycles: 12,
         };
         let mut attack_rng = StdRng::seed_from_u64(7);
-        let outcome = attack.run(&attack_config, &mut attack_rng).expect("attack runs");
+        let outcome = attack
+            .run(&attack_config, &mut attack_rng)
+            .expect("attack runs");
         assert!(outcome.succeeded(), "κs={kappa_s}: {:?}", outcome.status);
         dips.push(outcome.dips);
     }

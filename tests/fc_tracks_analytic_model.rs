@@ -14,8 +14,15 @@ fn measured_fc(alpha: f64, kappa_f: usize, seed: u64) -> (f64, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let locked = encrypt(&original, &config, &mut rng).expect("locking succeeds");
     let mut fc_rng = StdRng::seed_from_u64(seed ^ 0xfc);
-    let est = sim::fc::estimate_fc(&original, &locked.netlist, locked.kappa(), 6, 800, &mut fc_rng)
-        .expect("fc estimation runs");
+    let est = sim::fc::estimate_fc(
+        &original,
+        &locked.netlist,
+        locked.kappa(),
+        6,
+        800,
+        &mut fc_rng,
+    )
+    .expect("fc estimation runs");
     (
         est.fc,
         analytic::fc_expected(original.num_inputs(), kappa_f, alpha),

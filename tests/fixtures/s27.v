@@ -1,0 +1,35 @@
+// Structural netlist written by trilock-io
+// design: s27 (PI=4 PO=1 FF=3 gates=10)
+module s27 (G0, G1, G2, G3, G17);
+  input G0;
+  input G1;
+  input G2;
+  input G3;
+  output G17;
+  wire G5;
+  wire G6;
+  wire G7;
+  wire G14;
+  wire G8;
+  wire G15;
+  wire G16;
+  wire G9;
+  wire G10;
+  wire G11;
+  wire G12;
+  wire G13;
+
+  DFF0 ff0 (.Q(G5), .D(G10));
+  DFF0 ff1 (.Q(G6), .D(G11));
+  DFF0 ff2 (.Q(G7), .D(G13));
+  not g0 (G14, G0);
+  and g1 (G8, G14, G6);
+  or g2 (G15, G12, G8);
+  or g3 (G16, G3, G8);
+  nand g4 (G9, G16, G15);
+  nor g5 (G10, G14, G11);
+  nor g6 (G11, G5, G9);
+  nor g7 (G12, G1, G7);
+  nand g8 (G13, G2, G12);
+  not g9 (G17, G11);
+endmodule

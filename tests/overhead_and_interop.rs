@@ -92,8 +92,7 @@ fn unrolled_locked_circuit_matches_sequential_simulation() {
 
     let mut stim_rng = StdRng::seed_from_u64(33);
     for _ in 0..20 {
-        let stimulus =
-            sim::stimulus::random_sequence(&mut stim_rng, original.num_inputs(), cycles);
+        let stimulus = sim::stimulus::random_sequence(&mut stim_rng, original.num_inputs(), cycles);
         let sequential = seq_sim.run_from_reset(&stimulus).expect("runs");
         // Drive the unrolled copy: all cycles at once.
         let mut flat_inputs = Vec::new();

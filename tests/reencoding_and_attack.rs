@@ -32,7 +32,9 @@ fn sat_attack_against_a_reencoded_circuit_still_needs_exponential_dips() {
         verify_cycles: 10,
     };
     let mut attack_rng = StdRng::seed_from_u64(405);
-    let outcome = attack.run(&attack_config, &mut attack_rng).expect("attack runs");
+    let outcome = attack
+        .run(&attack_config, &mut attack_rng)
+        .expect("attack runs");
 
     // The attack still succeeds (re-encoding is not meant to stop SAT attacks)
     // but the DIP count still honours the Eq. 10 bound.
@@ -71,7 +73,11 @@ fn security_report_reflects_both_defense_dimensions() {
     assert_eq!(report.ndip, analytic::ndip(original.num_inputs(), 2));
     assert_eq!(report.min_unroll_depth, 2);
     // Corruptibility dimension: measurement tracks Eq. 15.
-    assert!(report.fc_model_error() < 0.12, "{}", report.fc_model_error());
+    assert!(
+        report.fc_model_error() < 0.12,
+        "{}",
+        report.fc_model_error()
+    );
     // Removal dimension: re-encoding hid the locking registers.
     assert!(report.removal_resistant(), "{}", report.summary());
 }
