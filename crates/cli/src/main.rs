@@ -278,6 +278,13 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
     say!("design   {}", netlist.name());
     say!("inputs   {}", stats.num_inputs);
     say!("outputs  {}", stats.num_outputs);
+    if stats.num_input_buses + stats.num_output_buses > 0 {
+        say!(
+            "buses    {} input, {} output (bit-blasted vector ports)",
+            stats.num_input_buses,
+            stats.num_output_buses
+        );
+    }
     say!("dffs     {}", stats.num_dffs);
     say!("gates    {}", stats.num_gates);
     for (kind, count) in &stats.gate_histogram {

@@ -4,7 +4,8 @@
 //! crate re-implements the slice of the `proptest 1.x` API the workspace's
 //! property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map` and `boxed`;
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_flat_map` and
+//!   `boxed`;
 //! * strategies for integer/bool ranges, tuples, [`strategy::Just`],
 //!   [`prop_oneof!`] unions and [`collection::vec`];
 //! * [`arbitrary::any`] for primitives and tuples of primitives;

@@ -5,21 +5,31 @@
 //! function/arity (inputs `I0..In`, output `Y`; flip-flops `D`/`Q`) and a
 //! design library holding the netlist itself. Reset values and register
 //! provenance ride on instance properties (`INIT`, `TRILOCK_CLASS`) so that
-//! locked circuits round-trip losslessly.
+//! locked circuits round-trip losslessly. Runs of ports with contiguous
+//! bit-blasted names (`d[3]` … `d[0]`, see [`netlist::bus`]) are re-emitted
+//! as `(array …)` ports with `(member …)` references.
 //!
 //! The reader accepts that dialect plus the common aliases found in
 //! vendor-emitted gate-level EDIF: case-insensitive keywords, `(rename id
-//! "original")` names, `A/B/C…` or `IN<k>` input pins and `Z`/`O`/`OUT`
-//! output pins, and `VDD`/`GND`/`TIE0`/`TIE1` constant cells.
+//! "original")` names, `(array name N)` ports (with the bit range optionally
+//! encoded in the display name, Vivado-style `(rename d "d[3:0]")`),
+//! `A/B/C…` or `IN<k>` input pins and `Z`/`O`/`OUT` output pins, and
+//! `VDD`/`GND`/`TIE0`/`TIE1` constant cells. Array ports are bit-blasted
+//! onto scalar nets on read.
+//!
+//! The read path is streaming: tokens from the [`sexpr`] lexer are mapped
+//! straight into per-cell port/instance/net records and then the
+//! [`Netlist`], without ever materializing an s-expression tree — on
+//! multi-million-gate netlists that tree dominated peak memory.
 
 use std::collections::HashMap;
 
-use netlist::{GateKind, Netlist, RegClass};
+use netlist::{bus, GateKind, Netlist, RegClass};
 
 use crate::error::IoError;
 use crate::names;
 use crate::prims::{self, PinRole, PrimKind};
-use crate::sexpr::{self, Sexpr};
+use crate::sexpr::{self, Sexpr, Token};
 
 const FORMAT: &str = "edif";
 const PRIM_LIBRARY: &str = "TRILOCK_PRIMS";
@@ -43,14 +53,21 @@ struct EdifInstance {
 struct EdifPort {
     /// EDIF identifier, the token portrefs use.
     id: String,
-    /// Display name (`rename` original when present).
+    /// Display name (`rename` original when present); for an array port,
+    /// the vector base name with any `[msb:lsb]` suffix stripped.
     name: String,
     is_input: bool,
+    /// `Some(indices)` for an array port: the bit index of each member, in
+    /// member order (`(member id k)` refers to `indices[k]`).
+    bits: Option<Vec<usize>>,
+    line: usize,
 }
 
 #[derive(Debug)]
 struct PortRef {
     pin: String,
+    /// Member position for references into array ports (`(member id k)`).
+    member: Option<usize>,
     instance: Option<String>,
 }
 
@@ -61,7 +78,7 @@ struct EdifNet {
     line: usize,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct EdifCell {
     id: String,
     name: String,
@@ -70,46 +87,311 @@ struct EdifCell {
     nets: Vec<EdifNet>,
 }
 
-/// Parses an EDIF 2.0.0 description into a [`Netlist`].
-///
-/// The resulting netlist is validated before being returned.
-///
-/// # Errors
-///
-/// Returns [`IoError::Parse`] for malformed input, [`IoError::Unsupported`]
-/// for constructs outside the gate-level subset (array ports, inout ports,
-/// unmapped cells) and [`IoError::Netlist`] for structurally broken circuits.
-pub fn parse(text: &str) -> Result<Netlist, IoError> {
-    let root = sexpr::parse(text)?;
-    let items = root.expect_form("edif")?;
-    if items.is_empty() {
-        return Err(IoError::parse(FORMAT, root.line, "missing design name"));
+/// A parsed EDIF name position.
+enum NameNode {
+    Scalar {
+        id: String,
+        name: String,
+    },
+    Array {
+        id: String,
+        name: String,
+        width: usize,
+    },
+}
+
+/// Streaming token cursor with one-token lookahead over EDIF text.
+struct Reader<'a> {
+    lexer: sexpr::Lexer<'a>,
+    peeked: Option<Token>,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Reader {
+            lexer: sexpr::Lexer::new(text),
+            peeked: None,
+        }
     }
-    let mut cells: Vec<EdifCell> = Vec::new();
-    let mut design_ref: Option<String> = None;
-    for item in &items[1..] {
-        if item.is_form("library") || item.is_form("external") {
-            let lib_items = item.as_list().expect("checked by is_form");
-            for entry in &lib_items[1..] {
-                if entry.is_form("cell") {
-                    cells.push(parse_cell(entry)?);
-                }
-            }
-        } else if item.is_form("design") {
-            let design = item.as_list().expect("checked by is_form");
-            for entry in &design[1..] {
-                if entry.is_form("cellref") {
-                    let cellref = entry.as_list().expect("checked by is_form");
-                    if let Some(name) = cellref.get(1).and_then(Sexpr::as_symbol) {
-                        design_ref = Some(name.to_string());
+
+    fn line(&self) -> usize {
+        self.lexer.line
+    }
+
+    fn next(&mut self) -> Result<Token, IoError> {
+        match self.peeked.take() {
+            Some(t) => Ok(t),
+            None => self.lexer.next_token(),
+        }
+    }
+
+    fn peek(&mut self) -> Result<&Token, IoError> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.lexer.next_token()?);
+        }
+        Ok(self.peeked.as_ref().expect("just filled"))
+    }
+
+    /// Consumes the remainder of the currently open form, including its
+    /// closing parenthesis, with O(1) memory.
+    fn skip_rest(&mut self) -> Result<(), IoError> {
+        let mut depth = 1usize;
+        loop {
+            match self.next()? {
+                Token::Open(_) => depth += 1,
+                Token::Close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
                     }
                 }
+                Token::Eof => {
+                    return Err(IoError::parse(
+                        FORMAT,
+                        self.line(),
+                        "unterminated list (missing `)`)",
+                    ))
+                }
+                _ => {}
             }
         }
     }
 
+    /// Advances to the next subform of the currently open form and returns
+    /// its `(line, head keyword)`; `None` when the form closes. Atoms and
+    /// forms without a symbol head are skipped (EDIF allows e.g. `(comment
+    /// …)` anywhere; unknown content must not derail the reader).
+    fn next_form(&mut self) -> Result<Option<(usize, String)>, IoError> {
+        loop {
+            match self.next()? {
+                Token::Close => return Ok(None),
+                Token::Open(line) => match self.next()? {
+                    Token::Symbol(_, head) => return Ok(Some((line, head))),
+                    Token::Close => continue,
+                    Token::Open(_) => {
+                        // A list in head position: drop it and the form.
+                        self.skip_rest()?;
+                        self.skip_rest()?;
+                    }
+                    Token::Eof => {
+                        return Err(IoError::parse(
+                            FORMAT,
+                            line,
+                            "unterminated list (missing `)`)",
+                        ))
+                    }
+                    _atom => self.skip_rest()?,
+                },
+                Token::Eof => {
+                    return Err(IoError::parse(
+                        FORMAT,
+                        self.line(),
+                        "unterminated list (missing `)`)",
+                    ))
+                }
+                _atom => continue,
+            }
+        }
+    }
+
+    /// Parses a name position: a bare symbol names itself, `(rename id
+    /// "original")` separates identifier and display name, `(array name N)`
+    /// declares a vector.
+    fn parse_name_node(&mut self) -> Result<NameNode, IoError> {
+        match self.next()? {
+            Token::Symbol(_, s) => Ok(NameNode::Scalar {
+                id: s.clone(),
+                name: s,
+            }),
+            Token::Open(line) => {
+                let head = match self.next()? {
+                    Token::Symbol(_, head) => head,
+                    _ => {
+                        return Err(IoError::parse(
+                            FORMAT,
+                            line,
+                            "expected a name (symbol, `(rename …)` or `(array …)`)",
+                        ))
+                    }
+                };
+                if head.eq_ignore_ascii_case("rename") {
+                    let id = match self.next()? {
+                        Token::Symbol(_, id) => id,
+                        _ => {
+                            return Err(IoError::parse(
+                                FORMAT,
+                                line,
+                                "expected an identifier in `(rename id \"original\")`",
+                            ))
+                        }
+                    };
+                    let name = match self.peek()? {
+                        Token::Str(..) => match self.next()? {
+                            Token::Str(_, s) => s,
+                            _ => unreachable!("peeked a string"),
+                        },
+                        _ => id.clone(),
+                    };
+                    self.skip_rest()?;
+                    Ok(NameNode::Scalar { id, name })
+                } else if head.eq_ignore_ascii_case("array") {
+                    let inner = self.parse_name_node()?;
+                    let (id, name) = match inner {
+                        NameNode::Scalar { id, name } => (id, name),
+                        NameNode::Array { .. } => {
+                            return Err(IoError::parse(FORMAT, line, "nested `(array …)` name"))
+                        }
+                    };
+                    let width = match self.next()? {
+                        Token::Int(_, v) if v > 0 => v as usize,
+                        _ => {
+                            return Err(IoError::parse(
+                                FORMAT,
+                                line,
+                                "expected a positive width in `(array name N)`",
+                            ))
+                        }
+                    };
+                    self.skip_rest()?;
+                    Ok(NameNode::Array { id, name, width })
+                } else {
+                    Err(IoError::parse(
+                        FORMAT,
+                        line,
+                        format!("expected a name, found `({head} …)`"),
+                    ))
+                }
+            }
+            other => Err(IoError::parse(
+                FORMAT,
+                self.line(),
+                format!(
+                    "expected a name (symbol or `(rename id \"original\")`), found {}",
+                    other.describe()
+                ),
+            )),
+        }
+    }
+
+    /// Parses a scalar name position into `(identifier, display name)`.
+    fn parse_name_pair(&mut self) -> Result<(String, String), IoError> {
+        match self.parse_name_node()? {
+            NameNode::Scalar { id, name } => Ok((id, name)),
+            NameNode::Array { .. } => Err(IoError::parse(
+                FORMAT,
+                self.line(),
+                "`(array …)` is not allowed in this name position",
+            )),
+        }
+    }
+}
+
+/// Splits a `base[msb:lsb]` display name (Vivado-style array port rename)
+/// into its base and range.
+fn split_range_suffix(name: &str) -> Option<(&str, usize, usize)> {
+    let inner = name.strip_suffix(']')?;
+    let open = inner.rfind('[')?;
+    if open == 0 {
+        return None;
+    }
+    let (msb, lsb) = inner[open + 1..].split_once(':')?;
+    Some((&inner[..open], msb.parse().ok()?, lsb.parse().ok()?))
+}
+
+/// Bit indices of a range in declaration order, `left` towards `right`.
+fn range_indices(left: usize, right: usize) -> Vec<usize> {
+    bus::range_indices(left, right).collect()
+}
+
+/// Parses an EDIF 2.0.0 description into a [`Netlist`].
+///
+/// The resulting netlist is validated before being returned. Array ports
+/// are bit-blasted into scalar nets named `base[index]`.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] for malformed input, [`IoError::Unsupported`]
+/// for constructs outside the gate-level subset (inout ports, unmapped
+/// cells, bused instance pins) and [`IoError::Netlist`] for structurally
+/// broken circuits.
+pub fn parse(text: &str) -> Result<Netlist, IoError> {
+    // Tools sometimes prepend C-style comment banners even to EDIF output;
+    // they carry no structure, so drop them before tokenizing. The lexer's
+    // line counter is seeded past the skipped prefix so diagnostics keep
+    // pointing at the original source lines.
+    let (rest, _) = crate::format::skip_leading_comments(text);
+    let skipped_lines = text[..text.len() - rest.len()].matches('\n').count();
+    let mut r = Reader::new(rest);
+    r.lexer.line += skipped_lines;
+    match r.next()? {
+        Token::Open(_) => {}
+        other => {
+            return Err(IoError::parse(
+                FORMAT,
+                r.line(),
+                format!("expected `(edif …)`, found {}", other.describe()),
+            ))
+        }
+    }
+    match r.next()? {
+        Token::Symbol(_, head) if head.eq_ignore_ascii_case("edif") => {}
+        other => {
+            return Err(IoError::parse(
+                FORMAT,
+                r.line(),
+                format!("expected `(edif …)`, found {}", other.describe()),
+            ))
+        }
+    }
+    if matches!(r.peek()?, Token::Close) {
+        return Err(IoError::parse(FORMAT, r.line(), "missing design name"));
+    }
+    let _design_name = r.parse_name_pair()?;
+
+    let mut cells: Vec<EdifCell> = Vec::new();
+    let mut design_ref: Option<String> = None;
+    while let Some((_, head)) = r.next_form()? {
+        let head = head.to_ascii_lowercase();
+        match head.as_str() {
+            "library" | "external" => {
+                let _lib_name = r.parse_name_pair()?;
+                while let Some((line, entry)) = r.next_form()? {
+                    if entry.eq_ignore_ascii_case("cell") {
+                        cells.push(parse_cell(&mut r, line)?);
+                    } else {
+                        r.skip_rest()?;
+                    }
+                }
+            }
+            "design" => {
+                let _name = r.parse_name_pair()?;
+                while let Some((_, entry)) = r.next_form()? {
+                    if entry.eq_ignore_ascii_case("cellref") {
+                        let (id, _) = r.parse_name_pair()?;
+                        design_ref = Some(id);
+                    }
+                    r.skip_rest()?;
+                }
+            }
+            _ => r.skip_rest()?,
+        }
+    }
+    match r.next()? {
+        Token::Eof => {}
+        other => {
+            return Err(IoError::parse(
+                FORMAT,
+                r.line(),
+                format!(
+                    "trailing input after top-level expression: {}",
+                    other.describe()
+                ),
+            ))
+        }
+    }
+
     let top = pick_top_cell(&cells, design_ref.as_deref())
-        .ok_or_else(|| IoError::parse(FORMAT, root.line, "no cell with contents found"))?;
+        .ok_or_else(|| IoError::parse(FORMAT, 1, "no cell with contents found"))?;
     build_netlist(top)
 }
 
@@ -130,203 +412,194 @@ fn pick_top_cell<'a>(cells: &'a [EdifCell], design_ref: Option<&str>) -> Option<
         .max_by_key(|c| c.instances.len() + c.nets.len())
 }
 
-/// Extracts `(identifier, display name)` from a name position: a bare symbol
-/// names itself, a `(rename id "original")` form separates the identifier
-/// other constructs reference from the display name.
-fn parse_name_pair(e: &Sexpr) -> Result<(String, String), IoError> {
-    if let Some(sym) = e.as_symbol() {
-        return Ok((sym.to_string(), sym.to_string()));
-    }
-    if e.is_form("rename") {
-        let items = e.as_list().expect("checked by is_form");
-        if let Some(id) = items.get(1).and_then(Sexpr::as_symbol) {
-            let original = items
-                .get(2)
-                .and_then(Sexpr::as_str)
-                .unwrap_or(id)
-                .to_string();
-            return Ok((id.to_string(), original));
-        }
-    }
-    Err(IoError::parse(
-        FORMAT,
-        e.line,
-        "expected a name (symbol or `(rename id \"original\")`)",
-    ))
-}
-
-/// Display name of a name position (the `rename` original when present).
-fn parse_name(e: &Sexpr) -> Result<String, IoError> {
-    parse_name_pair(e).map(|(_, name)| name)
-}
-
-fn parse_cell(e: &Sexpr) -> Result<EdifCell, IoError> {
-    let items = e.expect_form("cell")?;
-    let (id, name) = parse_name_pair(
-        items
-            .first()
-            .ok_or_else(|| IoError::parse(FORMAT, e.line, "cell without a name"))?,
-    )?;
+fn parse_cell(r: &mut Reader<'_>, _line: usize) -> Result<EdifCell, IoError> {
+    let (id, name) = r.parse_name_pair()?;
     let mut cell = EdifCell {
         id,
         name,
-        ports: Vec::new(),
-        instances: Vec::new(),
-        nets: Vec::new(),
+        ..EdifCell::default()
     };
-    for item in &items[1..] {
-        if item.is_form("view") {
-            parse_view(item, &mut cell)?;
+    while let Some((_, head)) = r.next_form()? {
+        if head.eq_ignore_ascii_case("view") {
+            parse_view(r, &mut cell)?;
+        } else {
+            r.skip_rest()?;
         }
     }
     Ok(cell)
 }
 
-fn parse_view(e: &Sexpr, cell: &mut EdifCell) -> Result<(), IoError> {
-    let items = e.expect_form("view")?;
-    for item in items {
-        if item.is_form("interface") {
-            let iface = item.as_list().expect("checked by is_form");
-            for port in &iface[1..] {
-                if port.is_form("port") {
-                    cell.ports.push(parse_port(port)?);
+fn parse_view(r: &mut Reader<'_>, cell: &mut EdifCell) -> Result<(), IoError> {
+    let _view_name = r.parse_name_pair()?;
+    while let Some((_, head)) = r.next_form()? {
+        if head.eq_ignore_ascii_case("interface") {
+            while let Some((line, entry)) = r.next_form()? {
+                if entry.eq_ignore_ascii_case("port") {
+                    cell.ports.push(parse_port(r, line)?);
+                } else {
+                    r.skip_rest()?;
                 }
             }
-        } else if item.is_form("contents") {
-            let contents = item.as_list().expect("checked by is_form");
-            for entry in &contents[1..] {
-                if entry.is_form("instance") {
-                    cell.instances.push(parse_instance(entry)?);
-                } else if entry.is_form("net") {
-                    cell.nets.push(parse_net(entry)?);
+        } else if head.eq_ignore_ascii_case("contents") {
+            while let Some((line, entry)) = r.next_form()? {
+                if entry.eq_ignore_ascii_case("instance") {
+                    cell.instances.push(parse_instance(r, line)?);
+                } else if entry.eq_ignore_ascii_case("net") {
+                    cell.nets.push(parse_net(r, line)?);
+                } else {
+                    r.skip_rest()?;
                 }
             }
+        } else {
+            r.skip_rest()?;
         }
     }
     Ok(())
 }
 
-fn parse_port(e: &Sexpr) -> Result<EdifPort, IoError> {
-    let items = e.expect_form("port")?;
-    let name_node = items
-        .first()
-        .ok_or_else(|| IoError::parse(FORMAT, e.line, "port without a name"))?;
-    if name_node.is_form("array") {
-        return Err(IoError::unsupported(
-            FORMAT,
-            format!("array port at line {} (bit-blasted ports required)", e.line),
-        ));
-    }
-    let (id, name) = parse_name_pair(name_node)?;
+fn parse_port(r: &mut Reader<'_>, line: usize) -> Result<EdifPort, IoError> {
+    let (id, name, bits) = match r.parse_name_node()? {
+        NameNode::Scalar { id, name } => (id, name, None),
+        NameNode::Array { id, name, width } => {
+            // The display name may carry the explicit bit range
+            // (`(rename d "d[3:0]")`); otherwise the range defaults to
+            // `[width-1:0]`.
+            let (base, indices) = match split_range_suffix(&name) {
+                Some((base, left, right)) if range_indices(left, right).len() == width => {
+                    (base.to_string(), range_indices(left, right))
+                }
+                _ => (name, (0..width).rev().collect()),
+            };
+            (id, base, Some(indices))
+        }
+    };
     let mut is_input = None;
-    for item in &items[1..] {
-        if item.is_form("direction") {
-            let dir = item.as_list().expect("checked by is_form");
-            let dir = dir
-                .get(1)
-                .and_then(Sexpr::as_symbol)
-                .unwrap_or_default()
-                .to_ascii_uppercase();
+    while let Some((dir_line, head)) = r.next_form()? {
+        if head.eq_ignore_ascii_case("direction") {
+            let dir = match r.next()? {
+                Token::Symbol(_, s) => s.to_ascii_uppercase(),
+                _ => String::new(),
+            };
+            r.skip_rest()?;
             is_input = match dir.as_str() {
                 "INPUT" => Some(true),
                 "OUTPUT" => Some(false),
                 "INOUT" => {
                     return Err(IoError::unsupported(
                         FORMAT,
-                        format!("inout port `{name}` at line {}", e.line),
+                        format!("inout port `{name}` at line {line}"),
                     ))
                 }
                 other => {
                     return Err(IoError::parse(
                         FORMAT,
-                        item.line,
+                        dir_line,
                         format!("unknown port direction `{other}`"),
                     ))
                 }
             };
+        } else {
+            r.skip_rest()?;
         }
     }
     let is_input = is_input
-        .ok_or_else(|| IoError::parse(FORMAT, e.line, format!("port `{name}` has no direction")))?;
-    Ok(EdifPort { id, name, is_input })
+        .ok_or_else(|| IoError::parse(FORMAT, line, format!("port `{name}` has no direction")))?;
+    Ok(EdifPort {
+        id,
+        name,
+        is_input,
+        bits,
+        line,
+    })
 }
 
-fn parse_instance(e: &Sexpr) -> Result<EdifInstance, IoError> {
-    let items = e.expect_form("instance")?;
-    let (name, _display) = parse_name_pair(
-        items
-            .first()
-            .ok_or_else(|| IoError::parse(FORMAT, e.line, "instance without a name"))?,
-    )?;
+fn parse_instance(r: &mut Reader<'_>, line: usize) -> Result<EdifInstance, IoError> {
+    let (name, _display) = r.parse_name_pair()?;
     let mut cell = None;
     let mut init_override = None;
     let mut class_override = None;
-    for item in &items[1..] {
-        if item.is_form("viewref") {
-            let viewref = item.as_list().expect("checked by is_form");
-            for sub in &viewref[1..] {
-                if sub.is_form("cellref") {
-                    let cellref = sub.as_list().expect("checked by is_form");
-                    if let Some(name_node) = cellref.get(1) {
-                        cell = Some(parse_name(name_node)?);
+    while let Some((_, head)) = r.next_form()? {
+        let head = head.to_ascii_lowercase();
+        match head.as_str() {
+            "viewref" => {
+                let _view = r.parse_name_pair()?;
+                while let Some((_, sub)) = r.next_form()? {
+                    if sub.eq_ignore_ascii_case("cellref") {
+                        cell = Some(r.parse_name_pair()?.1);
+                    }
+                    r.skip_rest()?;
+                }
+            }
+            "cellref" => {
+                cell = Some(r.parse_name_pair()?.1);
+                r.skip_rest()?;
+            }
+            "property" => {
+                let key = match r.next()? {
+                    Token::Symbol(_, s) => s.to_ascii_uppercase(),
+                    Token::Close => continue,
+                    Token::Open(_) => {
+                        r.skip_rest()?;
+                        String::new()
+                    }
+                    _ => String::new(),
+                };
+                // First atom of the first value form (`(integer 1)`,
+                // `(string "x")`, …).
+                let mut int_val: Option<i64> = None;
+                let mut str_val: Option<String> = None;
+                while let Some((_, _vhead)) = r.next_form()? {
+                    match r.next()? {
+                        Token::Int(_, v) => {
+                            int_val = int_val.or(Some(v));
+                            r.skip_rest()?;
+                        }
+                        Token::Str(_, s) => {
+                            str_val = str_val.or(Some(s));
+                            r.skip_rest()?;
+                        }
+                        Token::Close => {}
+                        Token::Open(_) => {
+                            r.skip_rest()?;
+                            r.skip_rest()?;
+                        }
+                        _ => r.skip_rest()?,
                     }
                 }
-            }
-        } else if item.is_form("cellref") {
-            let cellref = item.as_list().expect("checked by is_form");
-            if let Some(name_node) = cellref.get(1) {
-                cell = Some(parse_name(name_node)?);
-            }
-        } else if item.is_form("property") {
-            let prop = item.as_list().expect("checked by is_form");
-            let key = prop
-                .get(1)
-                .and_then(Sexpr::as_symbol)
-                .unwrap_or_default()
-                .to_ascii_uppercase();
-            match key.as_str() {
-                "INIT" => {
-                    // Override only when the value is recognizable; an
-                    // unknown encoding keeps the cell-implied reset value
-                    // rather than silently forcing 0.
-                    let value = prop.get(2).and_then(|v| {
-                        let inner = v.as_list().and_then(|items| items.get(1))?;
-                        inner
-                            .as_int()
-                            .map(|i| i != 0)
-                            .or_else(|| match inner.as_str() {
-                                Some("1") => Some(true),
-                                Some("0") => Some(false),
-                                _ => None,
-                            })
-                    });
-                    if let Some(value) = value {
-                        init_override = Some(value);
+                match key.as_str() {
+                    "INIT" => {
+                        // Override only when the value is recognizable; an
+                        // unknown encoding keeps the cell-implied reset value
+                        // rather than silently forcing 0.
+                        let value = int_val.map(|i| i != 0).or(match str_val.as_deref() {
+                            Some("1") => Some(true),
+                            Some("0") => Some(false),
+                            _ => None,
+                        });
+                        if let Some(value) = value {
+                            init_override = Some(value);
+                        }
                     }
+                    "TRILOCK_CLASS" => {
+                        // Like INIT: an unrecognized spelling keeps the
+                        // cell-implied class instead of silently resetting it.
+                        class_override = match str_val.map(|s| s.to_ascii_lowercase()).as_deref() {
+                            Some("locking") => Some(RegClass::Locking),
+                            Some("encoded") => Some(RegClass::Encoded),
+                            Some("original") => Some(RegClass::Original),
+                            _ => class_override,
+                        };
+                    }
+                    _ => {}
                 }
-                "TRILOCK_CLASS" => {
-                    // Like INIT: an unrecognized spelling keeps the
-                    // cell-implied class instead of silently resetting it.
-                    let value = prop.get(2).and_then(|v| {
-                        v.as_list()
-                            .and_then(|items| items.get(1))
-                            .and_then(Sexpr::as_str)
-                    });
-                    class_override = match value.map(str::to_ascii_lowercase).as_deref() {
-                        Some("locking") => Some(RegClass::Locking),
-                        Some("encoded") => Some(RegClass::Encoded),
-                        Some("original") => Some(RegClass::Original),
-                        _ => class_override,
-                    };
-                }
-                _ => {}
             }
+            _ => r.skip_rest()?,
         }
     }
     let cell = cell.ok_or_else(|| {
         IoError::parse(
             FORMAT,
-            e.line,
+            line,
             format!("instance `{name}` has no cell reference"),
         )
     })?;
@@ -334,8 +607,7 @@ fn parse_instance(e: &Sexpr) -> Result<EdifInstance, IoError> {
         IoError::unsupported(
             FORMAT,
             format!(
-                "instance `{name}` references cell `{cell}` with no primitive mapping (line {})",
-                e.line
+                "instance `{name}` references cell `{cell}` with no primitive mapping (line {line})"
             ),
         )
     })?;
@@ -350,48 +622,83 @@ fn parse_instance(e: &Sexpr) -> Result<EdifInstance, IoError> {
         cell,
         init: init_override.unwrap_or(cell_init),
         class: class_override.unwrap_or(cell_class),
-        line: e.line,
+        line,
     })
 }
 
-fn parse_net(e: &Sexpr) -> Result<EdifNet, IoError> {
-    let items = e.expect_form("net")?;
-    let name = parse_name(
-        items
-            .first()
-            .ok_or_else(|| IoError::parse(FORMAT, e.line, "net without a name"))?,
-    )?;
+fn parse_net(r: &mut Reader<'_>, line: usize) -> Result<EdifNet, IoError> {
+    let (_, name) = r.parse_name_pair()?;
     let mut refs = Vec::new();
-    for item in &items[1..] {
-        if item.is_form("joined") {
-            let joined = item.as_list().expect("checked by is_form");
-            for portref in &joined[1..] {
-                let pr = portref.expect_form("portref")?;
-                let pin = pr
-                    .first()
-                    .and_then(Sexpr::as_symbol)
-                    .ok_or_else(|| {
-                        IoError::parse(FORMAT, portref.line, "portref without a port name")
-                    })?
-                    .to_string();
-                let mut instance = None;
-                for sub in &pr[1..] {
-                    if sub.is_form("instanceref") {
-                        let iref = sub.as_list().expect("checked by is_form");
-                        if let Some(inst) = iref.get(1) {
-                            instance = Some(parse_name_pair(inst)?.0);
-                        }
-                    }
+    while let Some((_, head)) = r.next_form()? {
+        if head.eq_ignore_ascii_case("joined") {
+            while let Some((pr_line, sub)) = r.next_form()? {
+                if !sub.eq_ignore_ascii_case("portref") {
+                    r.skip_rest()?;
+                    continue;
                 }
-                refs.push(PortRef { pin, instance });
+                let (pin, member) = match r.next()? {
+                    Token::Symbol(_, s) => (s, None),
+                    Token::Open(_) => {
+                        // `(member id k)` reference into an array port.
+                        match r.next()? {
+                            Token::Symbol(_, head) if head.eq_ignore_ascii_case("member") => {}
+                            _ => {
+                                return Err(IoError::parse(
+                                    FORMAT,
+                                    pr_line,
+                                    "portref without a port name",
+                                ))
+                            }
+                        }
+                        let pin = match r.next()? {
+                            Token::Symbol(_, s) => s,
+                            _ => {
+                                return Err(IoError::parse(
+                                    FORMAT,
+                                    pr_line,
+                                    "`(member …)` without a port name",
+                                ))
+                            }
+                        };
+                        let k = match r.next()? {
+                            Token::Int(_, v) if v >= 0 => v as usize,
+                            _ => {
+                                return Err(IoError::parse(
+                                    FORMAT,
+                                    pr_line,
+                                    "`(member …)` without a member index",
+                                ))
+                            }
+                        };
+                        r.skip_rest()?;
+                        (pin, Some(k))
+                    }
+                    _ => {
+                        return Err(IoError::parse(
+                            FORMAT,
+                            pr_line,
+                            "portref without a port name",
+                        ))
+                    }
+                };
+                let mut instance = None;
+                while let Some((_, iref)) = r.next_form()? {
+                    if iref.eq_ignore_ascii_case("instanceref") {
+                        instance = Some(r.parse_name_pair()?.0);
+                    }
+                    r.skip_rest()?;
+                }
+                refs.push(PortRef {
+                    pin,
+                    member,
+                    instance,
+                });
             }
+        } else {
+            r.skip_rest()?;
         }
     }
-    Ok(EdifNet {
-        name,
-        refs,
-        line: e.line,
-    })
+    Ok(EdifNet { name, refs, line })
 }
 
 fn build_netlist(cell: &EdifCell) -> Result<Netlist, IoError> {
@@ -407,8 +714,8 @@ fn build_netlist(cell: &EdifCell) -> Result<Netlist, IoError> {
         .collect();
 
     // Resolve every net's connections into (instance pin, role) pairs and
-    // remember which net touches which top-level port.
-    let mut net_of_port: HashMap<String, usize> = HashMap::new();
+    // remember which net touches which top-level port (bit).
+    let mut net_of_port: HashMap<(String, Option<usize>), usize> = HashMap::new();
     // instance -> [(input slot, net)] and instance -> output net
     let mut inst_inputs: Vec<Vec<(usize, usize)>> = vec![Vec::new(); cell.instances.len()];
     let mut inst_output: Vec<Option<usize>> = vec![None; cell.instances.len()];
@@ -417,9 +724,18 @@ fn build_netlist(cell: &EdifCell) -> Result<Netlist, IoError> {
         for r in &net.refs {
             match &r.instance {
                 None => {
-                    net_of_port.insert(r.pin.to_ascii_uppercase(), net_idx);
+                    net_of_port.insert((r.pin.to_ascii_uppercase(), r.member), net_idx);
                 }
                 Some(inst_name) => {
+                    if r.member.is_some() {
+                        return Err(IoError::unsupported(
+                            FORMAT,
+                            format!(
+                                "bused pin `{}` on instance `{inst_name}` (line {})",
+                                r.pin, net.line
+                            ),
+                        ));
+                    }
                     let &inst_idx = instance_index
                         .get(&inst_name.to_ascii_uppercase())
                         .ok_or_else(|| {
@@ -451,20 +767,41 @@ fn build_netlist(cell: &EdifCell) -> Result<Netlist, IoError> {
         }
     }
 
-    // Declare nets. Primary inputs first, in port order.
+    // Declare nets. Primary inputs first, in port (bit) order.
     let mut net_ids: Vec<Option<netlist::NetId>> = vec![None; cell.nets.len()];
     for port in cell.ports.iter().filter(|p| p.is_input) {
-        match net_of_port.get(&port.id.to_ascii_uppercase()) {
-            Some(&net_idx) => {
-                let id = nl
-                    .try_add_input(cell.nets[net_idx].name.clone())
-                    .map_err(IoError::Netlist)?;
-                net_ids[net_idx] = Some(id);
-            }
-            None => {
-                // Dangling input port: keep it so the interface width matches.
-                nl.try_add_input(port.name.clone())
-                    .map_err(IoError::Netlist)?;
+        let upper = port.id.to_ascii_uppercase();
+        match &port.bits {
+            None => match net_of_port.get(&(upper, None)) {
+                Some(&net_idx) => {
+                    let id = nl
+                        .try_add_input(cell.nets[net_idx].name.clone())
+                        .map_err(IoError::Netlist)?;
+                    net_ids[net_idx] = Some(id);
+                }
+                None => {
+                    // Dangling input port: keep it so the interface width
+                    // matches.
+                    nl.try_add_input(port.name.clone())
+                        .map_err(IoError::Netlist)?;
+                }
+            },
+            Some(bits) => {
+                for (k, &bit) in bits.iter().enumerate() {
+                    match net_of_port.get(&(upper.clone(), Some(k))) {
+                        Some(&net_idx) => {
+                            let id = nl
+                                .try_add_input(cell.nets[net_idx].name.clone())
+                                .map_err(IoError::Netlist)?;
+                            net_ids[net_idx] = Some(id);
+                        }
+                        None => {
+                            // Dangling bit: synthesize its bit-blasted name.
+                            nl.try_add_input(bus::bit_name(&port.name, bit))
+                                .map_err(IoError::Netlist)?;
+                        }
+                    }
+                }
             }
         }
     }
@@ -540,19 +877,24 @@ fn build_netlist(cell: &EdifCell) -> Result<Netlist, IoError> {
         }
     }
 
-    // Primary outputs, in port order.
+    // Primary outputs, in port (bit) order.
     for port in cell.ports.iter().filter(|p| !p.is_input) {
-        let &net_idx = net_of_port
-            .get(&port.id.to_ascii_uppercase())
-            .ok_or_else(|| {
+        let upper = port.id.to_ascii_uppercase();
+        let members: Vec<Option<usize>> = match &port.bits {
+            None => vec![None],
+            Some(bits) => (0..bits.len()).map(Some).collect(),
+        };
+        for member in members {
+            let &net_idx = net_of_port.get(&(upper.clone(), member)).ok_or_else(|| {
                 IoError::parse(
                     FORMAT,
-                    1,
+                    port.line,
                     format!("output port `{}` is not joined to any net", port.name),
                 )
             })?;
-        let id = net_ids[net_idx].expect("all nets declared above");
-        nl.mark_output(id).map_err(IoError::Netlist)?;
+            let id = net_ids[net_idx].expect("all nets declared above");
+            nl.mark_output(id).map_err(IoError::Netlist)?;
+        }
     }
 
     nl.validate().map_err(IoError::Netlist)?;
@@ -579,7 +921,9 @@ fn name_node(id: &str, original: &str) -> Sexpr {
 ///
 /// The output can be re-read by [`parse`]; reset values and register
 /// provenance are preserved through instance properties, original net names
-/// through `(rename ...)` forms.
+/// through `(rename ...)` forms. Contiguous `[N-1:0]` runs of bit-blasted
+/// ports are emitted as `(array …)` ports with `(member …)` references;
+/// everything else stays scalar.
 pub fn write(netlist: &Netlist) -> String {
     let input_set: std::collections::HashSet<netlist::NetId> =
         netlist.inputs().iter().copied().collect();
@@ -619,33 +963,89 @@ pub fn write(netlist: &Netlist) -> String {
         ));
     }
 
-    // Top-level interface. Output port names must not collide with input
-    // port names (a primary input can also be listed as an output).
+    // Connectivity: for every net, the portrefs that touch it. Top-level
+    // port refs are pushed while the interface is built.
+    let num_nets = netlist.num_nets();
+    let mut joined: Vec<Vec<Sexpr>> = vec![Vec::new(); num_nets];
+
+    // Top-level interface, with contiguous `[N-1:0]` port runs re-grouped
+    // into `(array …)` declarations.
     let mut iface = vec![Sexpr::symbol("interface")];
-    for &input in netlist.inputs() {
-        iface.push(Sexpr::list(vec![
-            Sexpr::symbol("port"),
-            name_node(&net_edif_id[input.index()], netlist.net_name(input)),
-            direction(true),
-        ]));
-    }
-    let output_port_ids: Vec<String> = netlist
-        .outputs()
-        .iter()
-        .map(|&out| {
-            if input_set.contains(&out) {
-                names.fresh(&format!("po_{}", net_edif_id[out.index()]))
-            } else {
-                net_edif_id[out.index()].clone()
+    let is_plain_descending = |b: &bus::Bus| b.left + 1 == b.width() && b.right == 0;
+    for group in bus::group_ports(netlist, netlist.inputs()) {
+        match group {
+            bus::PortGroup::Bus(b) if is_plain_descending(&b) => {
+                let id = names.intern("port", &b.base);
+                iface.push(Sexpr::list(vec![
+                    Sexpr::symbol("port"),
+                    Sexpr::list(vec![
+                        Sexpr::symbol("array"),
+                        name_node(&id, &b.base),
+                        Sexpr::int(b.width() as i64),
+                    ]),
+                    direction(true),
+                ]));
+                for (k, &net) in b.nets.iter().enumerate() {
+                    joined[net.index()].push(portref_member(&id, k, None));
+                }
             }
-        })
-        .collect();
-    for (&out, port_id) in netlist.outputs().iter().zip(&output_port_ids) {
+            bus::PortGroup::Bus(b) => {
+                for &input in &b.nets {
+                    push_scalar_input(netlist, &net_edif_id, &mut iface, &mut joined, input);
+                }
+            }
+            bus::PortGroup::Scalar(input) => {
+                push_scalar_input(netlist, &net_edif_id, &mut iface, &mut joined, input);
+            }
+        }
+    }
+    // Output port names must not collide with input port names (a primary
+    // input can also be listed as an output; it is exported under a fresh
+    // port id).
+    let push_scalar_output = |iface: &mut Vec<Sexpr>,
+                              joined: &mut Vec<Vec<Sexpr>>,
+                              names: &mut names::NameTable,
+                              out: netlist::NetId| {
+        let port_id = if input_set.contains(&out) {
+            names.fresh(&format!("po_{}", net_edif_id[out.index()]))
+        } else {
+            net_edif_id[out.index()].clone()
+        };
         iface.push(Sexpr::list(vec![
             Sexpr::symbol("port"),
-            name_node(port_id, netlist.net_name(out)),
+            name_node(&port_id, netlist.net_name(out)),
             direction(false),
         ]));
+        joined[out.index()].push(portref(&port_id, None));
+    };
+    for group in bus::group_ports(netlist, netlist.outputs()) {
+        match group {
+            bus::PortGroup::Bus(b)
+                if is_plain_descending(&b) && b.nets.iter().all(|n| !input_set.contains(n)) =>
+            {
+                let id = names.intern("port", &b.base);
+                iface.push(Sexpr::list(vec![
+                    Sexpr::symbol("port"),
+                    Sexpr::list(vec![
+                        Sexpr::symbol("array"),
+                        name_node(&id, &b.base),
+                        Sexpr::int(b.width() as i64),
+                    ]),
+                    direction(false),
+                ]));
+                for (k, &net) in b.nets.iter().enumerate() {
+                    joined[net.index()].push(portref_member(&id, k, None));
+                }
+            }
+            bus::PortGroup::Bus(b) => {
+                for &out in &b.nets {
+                    push_scalar_output(&mut iface, &mut joined, &mut names, out);
+                }
+            }
+            bus::PortGroup::Scalar(out) => {
+                push_scalar_output(&mut iface, &mut joined, &mut names, out);
+            }
+        }
     }
 
     // Contents: instances then nets.
@@ -685,15 +1085,6 @@ pub fn write(netlist: &Netlist) -> String {
         contents.push(Sexpr::list(inst));
     }
 
-    // Connectivity: for every net, collect the portrefs that touch it.
-    let num_nets = netlist.num_nets();
-    let mut joined: Vec<Vec<Sexpr>> = vec![Vec::new(); num_nets];
-    for &input in netlist.inputs() {
-        joined[input.index()].push(portref(&net_edif_id[input.index()], None));
-    }
-    for (&out, port_id) in netlist.outputs().iter().zip(&output_port_ids) {
-        joined[out.index()].push(portref(port_id, None));
-    }
     for (i, gate) in netlist.gates().iter().enumerate() {
         let inst = format!("g{i}");
         joined[gate.output.index()].push(portref("Y", Some(&inst)));
@@ -803,6 +1194,21 @@ pub fn write(netlist: &Netlist) -> String {
     sexpr::write(&root)
 }
 
+fn push_scalar_input(
+    netlist: &Netlist,
+    net_edif_id: &[String],
+    iface: &mut Vec<Sexpr>,
+    joined: &mut [Vec<Sexpr>],
+    input: netlist::NetId,
+) {
+    iface.push(Sexpr::list(vec![
+        Sexpr::symbol("port"),
+        name_node(&net_edif_id[input.index()], netlist.net_name(input)),
+        direction(true),
+    ]));
+    joined[input.index()].push(portref(&net_edif_id[input.index()], None));
+}
+
 fn direction(input: bool) -> Sexpr {
     Sexpr::list(vec![
         Sexpr::symbol("direction"),
@@ -851,6 +1257,24 @@ fn view_ref(cell: &str) -> Sexpr {
 
 fn portref(pin: &str, instance: Option<&str>) -> Sexpr {
     let mut items = vec![Sexpr::symbol("portRef"), Sexpr::symbol(pin)];
+    if let Some(inst) = instance {
+        items.push(Sexpr::list(vec![
+            Sexpr::symbol("instanceRef"),
+            Sexpr::symbol(inst),
+        ]));
+    }
+    Sexpr::list(items)
+}
+
+fn portref_member(port: &str, member: usize, instance: Option<&str>) -> Sexpr {
+    let mut items = vec![
+        Sexpr::symbol("portRef"),
+        Sexpr::list(vec![
+            Sexpr::symbol("member"),
+            Sexpr::symbol(port),
+            Sexpr::int(member as i64),
+        ]),
+    ];
     if let Some(inst) = instance {
         items.push(Sexpr::list(vec![
             Sexpr::symbol("instanceRef"),
@@ -1067,5 +1491,155 @@ mod tests {
 "#;
         let err = parse(text).unwrap_err();
         assert!(err.to_string().contains("unconnected"), "{err}");
+    }
+
+    #[test]
+    fn array_ports_are_bit_blasted() {
+        let text = r#"
+(edif top (edifVersion 2 0 0)
+  (library work (edifLevel 0) (technology (numberDefinition))
+    (cell top (cellType GENERIC)
+      (view netlist (viewType NETLIST)
+        (interface
+          (port (array d 2) (direction INPUT))
+          (port y (direction OUTPUT)))
+        (contents
+          (instance u1 (viewRef netlist (cellRef AND2 (libraryRef lib))))
+          (net (rename d_1_ "d[1]") (joined (portRef (member d 0)) (portRef I0 (instanceRef u1))))
+          (net (rename d_0_ "d[0]") (joined (portRef (member d 1)) (portRef I1 (instanceRef u1))))
+          (net y (joined (portRef Y (instanceRef u1)) (portRef y))))))))
+"#;
+        let nl = parse(text).unwrap();
+        assert_eq!(nl.num_inputs(), 2);
+        // Member 0 is the MSB (`d[1]`), member 1 the LSB.
+        assert_eq!(nl.net_name(nl.inputs()[0]), "d[1]");
+        assert_eq!(nl.net_name(nl.inputs()[1]), "d[0]");
+        assert_eq!(nl.num_gates(), 1);
+    }
+
+    #[test]
+    fn array_port_range_in_rename_is_honored() {
+        // Vivado-style: the display name carries the declared range, here an
+        // ascending one.
+        let text = r#"
+(edif top (edifVersion 2 0 0)
+  (library work (edifLevel 0) (technology (numberDefinition))
+    (cell top (cellType GENERIC)
+      (view netlist (viewType NETLIST)
+        (interface
+          (port (array (rename d "d[0:1]") 2) (direction INPUT))
+          (port y (direction OUTPUT)))
+        (contents
+          (instance u1 (viewRef netlist (cellRef INV (libraryRef lib))))
+          (net n0 (joined (portRef (member d 0)) (portRef I0 (instanceRef u1))))
+          (net y (joined (portRef Y (instanceRef u1)) (portRef y))))))))
+"#;
+        let nl = parse(text).unwrap();
+        // Member 0 maps to bit 0 of the ascending range; the dangling member
+        // 1 synthesizes its bit-blasted name from the declared range.
+        assert_eq!(nl.num_inputs(), 2);
+        assert_eq!(nl.net_name(nl.inputs()[0]), "n0");
+        assert_eq!(nl.net_name(nl.inputs()[1]), "d[1]");
+    }
+
+    #[test]
+    fn vectored_netlist_round_trips_through_array_ports() {
+        let mut nl = Netlist::new("vec");
+        let bits: Vec<_> = (0..4)
+            .rev()
+            .map(|i| nl.add_input(bus::bit_name("d", i)))
+            .collect();
+        let en = nl.add_input("en");
+        for (i, &bit) in bits.iter().enumerate() {
+            let q = nl
+                .add_gate(GateKind::And, &[bit, en], bus::bit_name("q", 3 - i))
+                .unwrap();
+            nl.mark_output(q).unwrap();
+        }
+        let text = write(&nl);
+        assert!(text.contains("(array d 4)"), "{text}");
+        assert!(text.contains("(array q 4)"), "{text}");
+        assert!(text.contains("(member d 0)"), "{text}");
+        let back = parse(&text).unwrap();
+        assert_eq!(back.num_inputs(), 5);
+        assert_eq!(back.num_outputs(), 4);
+        assert_eq!(back.net_name(back.inputs()[0]), "d[3]");
+        assert_eq!(back.net_name(back.outputs()[3]), "q[0]");
+    }
+
+    #[test]
+    fn ascending_runs_stay_scalar_in_edif() {
+        // `(array name N)` cannot express an ascending range without a
+        // rename; the writer keeps such runs scalar.
+        let mut nl = Netlist::new("asc");
+        let a0 = nl.add_input(bus::bit_name("a", 0));
+        let _a1 = nl.add_input(bus::bit_name("a", 1));
+        let y = nl.add_gate(GateKind::Not, &[a0], "y").unwrap();
+        nl.mark_output(y).unwrap();
+        let text = write(&nl);
+        assert!(!text.contains("(array"), "{text}");
+        let back = parse(&text).unwrap();
+        assert_eq!(back.net_name(back.inputs()[0]), "a[0]");
+    }
+
+    #[test]
+    fn bused_instance_pins_are_unsupported() {
+        let text = r#"
+(edif top (edifVersion 2 0 0)
+  (library work (edifLevel 0) (technology (numberDefinition))
+    (cell top (cellType GENERIC)
+      (view netlist (viewType NETLIST)
+        (interface (port a (direction INPUT)) (port y (direction OUTPUT)))
+        (contents
+          (instance u1 (viewRef netlist (cellRef AND2 (libraryRef lib))))
+          (net a (joined (portRef (member I 0) (instanceRef u1)) (portRef a)))
+          (net y (joined (portRef Y (instanceRef u1)) (portRef y))))))))
+"#;
+        let err = parse(text).unwrap_err();
+        assert!(matches!(err, IoError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_forms_and_comments_are_skipped_by_the_streaming_reader() {
+        let text = r#"
+(edif top (edifVersion 2 0 0)
+  (status (written (timeStamp 2020 1 1 0 0 0) (program "other-tool")))
+  (comment "free-floating commentary")
+  (library work (edifLevel 0) (technology (numberDefinition))
+    (cell top (cellType GENERIC)
+      (comment "cell-level comment")
+      (view netlist (viewType NETLIST)
+        (interface (port a (direction INPUT)) (port y (direction OUTPUT))
+          (designator "X"))
+        (contents
+          (instance u1 (viewRef netlist (cellRef INV (libraryRef lib)))
+            (property LOC (string "SLICE_X0Y0")))
+          (net a (joined (portRef I0 (instanceRef u1)) (portRef a)))
+          (net y (joined (portRef Y (instanceRef u1)) (portRef y))))))))
+"#;
+        let nl = parse(text).unwrap();
+        assert_eq!(nl.num_gates(), 1);
+        assert_eq!(nl.gates()[0].kind, GateKind::Not);
+    }
+
+    #[test]
+    fn banner_comments_do_not_shift_error_lines() {
+        // The banner occupies lines 1-3; the bad direction sits on source
+        // line 8 and must be reported there, not relative to the stripped
+        // text.
+        let text = "/* banner\n   line2 */\n// more\n(edif top\n  (library work (edifLevel 0) (technology (numberDefinition))\n    (cell top (cellType GENERIC)\n      (view netlist (viewType NETLIST)\n        (interface (port a (direction SIDEWAYS)))))))\n";
+        let err = parse(text).unwrap_err();
+        let IoError::Parse { line, .. } = err else {
+            panic!("expected a parse error, got {err}");
+        };
+        assert_eq!(line, 8, "{err}");
+    }
+
+    #[test]
+    fn unbalanced_input_is_reported() {
+        let err = parse("(edif top (library work").unwrap_err();
+        assert!(err.to_string().contains("unterminated"), "{err}");
+        let err = parse("(edif)").unwrap_err();
+        assert!(err.to_string().contains("missing design name"), "{err}");
     }
 }

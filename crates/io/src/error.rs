@@ -25,7 +25,8 @@ pub enum IoError {
         message: String,
     },
     /// The text parsed but uses a construct outside the supported subset
-    /// (e.g. Verilog vector ports, EDIF cells with no primitive mapping).
+    /// (e.g. Verilog behavioral blocks, EDIF cells with no primitive
+    /// mapping, inout ports).
     Unsupported {
         /// Format that was being parsed.
         format: &'static str,

@@ -67,8 +67,14 @@ impl CircuitFormat {
     /// Guesses the format from file content: EDIF files open with an
     /// s-expression, Verilog files declare a `module`, everything else that
     /// mentions `.bench` directives is `.bench`.
+    ///
+    /// Leading `//` and `/* … */` comments and blank lines are skipped
+    /// before sniffing — a C-style comment banner says nothing about the
+    /// format (tools prepend them to EDIF output too), so the decision is
+    /// made on the first line of real content.
     pub fn detect(text: &str) -> Option<CircuitFormat> {
-        for raw in text.lines() {
+        let (rest, saw_c_comment) = skip_leading_comments(text);
+        for raw in rest.lines() {
             let line = raw.trim_start();
             if line.is_empty() {
                 continue;
@@ -76,12 +82,7 @@ impl CircuitFormat {
             if line.starts_with('(') {
                 return Some(CircuitFormat::Edif);
             }
-            if line.starts_with("//")
-                || line.starts_with("/*")
-                || line.starts_with("module")
-                || line.starts_with('\\')
-                || line.starts_with("`")
-            {
+            if line.starts_with("module") || line.starts_with('\\') || line.starts_with('`') {
                 return Some(CircuitFormat::Verilog);
             }
             if line.starts_with('#')
@@ -91,9 +92,31 @@ impl CircuitFormat {
             {
                 return Some(CircuitFormat::Bench);
             }
-            return None;
+            // Unrecognized content after C-style comments: the comments are
+            // still a Verilog tell.
+            return saw_c_comment.then_some(CircuitFormat::Verilog);
         }
-        None
+        saw_c_comment.then_some(CircuitFormat::Verilog)
+    }
+}
+
+/// Skips leading whitespace and C-style (`//`, `/* … */`) comments,
+/// returning the remaining text and whether any such comment was seen.
+/// Shared with the EDIF reader, which tolerates the same tool banners.
+pub(crate) fn skip_leading_comments(text: &str) -> (&str, bool) {
+    let mut rest = text;
+    let mut saw_comment = false;
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix("//") {
+            saw_comment = true;
+            rest = after.split_once('\n').map_or("", |(_, tail)| tail);
+        } else if let Some(after) = rest.strip_prefix("/*") {
+            saw_comment = true;
+            rest = after.split_once("*/").map_or("", |(_, tail)| tail);
+        } else {
+            return (rest, saw_comment);
+        }
     }
 }
 
@@ -250,6 +273,38 @@ mod tests {
             Some(CircuitFormat::Bench)
         );
         assert_eq!(CircuitFormat::detect(""), None);
+    }
+
+    #[test]
+    fn detection_sees_through_leading_comments() {
+        // A block-comment banner must not hide an EDIF file.
+        assert_eq!(
+            CircuitFormat::detect("/* exported\n   by tool */\n\n(edif top)"),
+            Some(CircuitFormat::Edif)
+        );
+        assert_eq!(
+            CircuitFormat::detect("// note\n// more\n(edif top)"),
+            Some(CircuitFormat::Edif)
+        );
+        // Comments before a bench body must not read as Verilog.
+        assert_eq!(
+            CircuitFormat::detect("/* header */\nINPUT(a)"),
+            Some(CircuitFormat::Bench)
+        );
+        // Verilog still detects through its own comment styles.
+        assert_eq!(
+            CircuitFormat::detect("/* hdr */ module top;"),
+            Some(CircuitFormat::Verilog)
+        );
+        assert_eq!(
+            CircuitFormat::detect("// only a comment\n"),
+            Some(CircuitFormat::Verilog)
+        );
+        // An unterminated block comment cannot identify anything but Verilog.
+        assert_eq!(
+            CircuitFormat::detect("/* stuck"),
+            Some(CircuitFormat::Verilog)
+        );
     }
 
     #[test]

@@ -4,9 +4,12 @@
 //! the circuit exchange formats the real benchmark suites are distributed in
 //! onto that model:
 //!
-//! * [`edif`] — EDIF 2.0.0 reader/writer on top of a small s-expression
-//!   layer ([`sexpr`]);
-//! * [`verilog`] — structural (gate-level) Verilog subset reader/writer;
+//! * [`edif`] — EDIF 2.0.0 reader/writer; the reader streams tokens from
+//!   the [`sexpr`] layer straight into the netlist (no s-expression tree on
+//!   the read path), and `(array …)` ports are bit-blasted onto scalar nets;
+//! * [`verilog`] — structural (gate-level) Verilog subset reader/writer
+//!   with vector ports/wires, bit- and part-selects, and concatenations
+//!   bit-blasted the same way (`input [3:0] d` ↦ nets `d[3]` … `d[0]`);
 //! * the ISCAS'89 `.bench` format, re-exposed from [`netlist::bench`];
 //! * [`CircuitFormat`] with extension- and content-based auto-detection, and
 //!   the path-based entry points [`read_circuit`] / [`write_circuit`].

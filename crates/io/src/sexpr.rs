@@ -5,6 +5,12 @@
 //! independent code): a tokenizer that tracks line numbers, a tree type
 //! [`Sexpr`], accessor helpers, and an indenting pretty-printer used by the
 //! writer.
+//!
+//! The EDIF *reader* does not build this tree: it consumes the token stream
+//! directly (see [`crate::edif`]), so multi-million-gate netlists never
+//! materialize a per-node allocated s-expression structure. The tree type
+//! remains the substrate of the writer and of external tooling using
+//! [`parse`].
 
 use std::fmt::Write as _;
 
@@ -195,7 +201,9 @@ fn parse_node(lexer: &mut Lexer<'_>, token: Token) -> Result<Sexpr, IoError> {
     }
 }
 
-enum Token {
+/// One lexical token of an EDIF file, tagged with its 1-based source line
+/// where useful for diagnostics.
+pub(crate) enum Token {
     Open(usize),
     Close,
     Symbol(usize, String),
@@ -205,7 +213,7 @@ enum Token {
 }
 
 impl Token {
-    fn describe(&self) -> String {
+    pub(crate) fn describe(&self) -> String {
         match self {
             Token::Open(_) => "`(`".into(),
             Token::Close => "`)`".into(),
@@ -217,13 +225,16 @@ impl Token {
     }
 }
 
-struct Lexer<'a> {
+/// Streaming tokenizer over EDIF text. O(1) state: the read path of the
+/// EDIF frontend pulls tokens from this directly instead of materializing a
+/// tree.
+pub(crate) struct Lexer<'a> {
     chars: std::iter::Peekable<std::str::Chars<'a>>,
-    line: usize,
+    pub(crate) line: usize,
 }
 
 impl<'a> Lexer<'a> {
-    fn new(text: &'a str) -> Self {
+    pub(crate) fn new(text: &'a str) -> Self {
         Lexer {
             chars: text.chars().peekable(),
             line: 1,
@@ -238,7 +249,7 @@ impl<'a> Lexer<'a> {
         c
     }
 
-    fn next_token(&mut self) -> Result<Token, IoError> {
+    pub(crate) fn next_token(&mut self) -> Result<Token, IoError> {
         // Skip whitespace.
         while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
             self.bump();

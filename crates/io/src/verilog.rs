@@ -1,20 +1,31 @@
 //! Reader and writer for a structural (gate-level) Verilog subset.
 //!
-//! Supported grammar: one `module` with a scalar port list,
-//! `input`/`output`/`wire`/`supply0`/`supply1` declarations, `assign` of a
-//! net or 1-bit literal, the Verilog gate primitives (`and`, `nand`, `or`,
-//! `nor`, `xor`, `xnor`, `not`, `buf` — output first), and instances of the
-//! cell vocabulary of [`crate::prims`] (`DFF0`/`DFF1` with `_L`/`_E`
-//! provenance suffixes, `MUX2`, `CONST0`/`CONST1`, plus vendor aliases such
-//! as `NAND2` or `INV`) with named or positional connections. Escaped
-//! identifiers (`\name `) and `//` / `/* */` comments are handled.
+//! Supported grammar: one `module` with a scalar or vectored port list,
+//! `input`/`output`/`wire`/`supply0`/`supply1` declarations (with optional
+//! `[msb:lsb]` ranges), `assign` between width-matched expressions, the
+//! Verilog gate primitives (`and`, `nand`, `or`, `nor`, `xor`, `xnor`,
+//! `not`, `buf` — output first), and instances of the cell vocabulary of
+//! the shared primitive vocabulary (`DFF0`/`DFF1` with `_L`/`_E` provenance
+//! suffixes,
+//! `MUX2`, `CONST0`/`CONST1`, plus vendor aliases such as `NAND2` or `INV`)
+//! with named or positional connections. Escaped identifiers (`\name `) and
+//! `//` / `/* */` comments are handled.
 //!
-//! Vector ports/nets, behavioral constructs and hierarchies are outside the
-//! subset and reported as [`IoError::Unsupported`].
+//! Vector declarations are bit-blasted onto the scalar [`Netlist`] model:
+//! `input [3:0] d` becomes the four nets `d[3]` … `d[0]` (see
+//! [`netlist::bus`]). Bit-selects (`d[2]`), part-selects (`d[2:1]`),
+//! concatenations (`{a, d[1:0]}`) and sized literals (`4'b0101`) are
+//! expanded the same way; connections to gate and cell pins must expand to
+//! exactly one bit, `assign` sides to equal widths. The writer re-groups
+//! trivially contiguous indexed ports back into vector declarations, so
+//! bused designs round-trip in vectored form.
+//!
+//! Behavioral constructs and hierarchies are outside the subset and
+//! reported as [`IoError::Unsupported`].
 
 use std::collections::HashMap;
 
-use netlist::{GateKind, NetId, Netlist};
+use netlist::{bus, GateKind, NetId, Netlist};
 
 use crate::error::IoError;
 use crate::names;
@@ -31,13 +42,20 @@ enum Tok {
     Ident(String),
     /// Escaped identifier (`\name `): never a keyword, always a name.
     Escaped(String),
-    Literal(bool),
+    /// Raw number literal (`0`, `7`, `4'b0101`, `8'hff`…), interpreted in
+    /// context (vector index vs. constant bits).
+    Number(String),
     LParen,
     RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
     Comma,
     Semi,
     Dot,
     Equals,
+    Colon,
 }
 
 impl Tok {
@@ -45,13 +63,18 @@ impl Tok {
         match self {
             Tok::Ident(s) => format!("`{s}`"),
             Tok::Escaped(s) => format!("`\\{s}`"),
-            Tok::Literal(b) => format!("literal 1'b{}", u8::from(*b)),
+            Tok::Number(s) => format!("number `{s}`"),
             Tok::LParen => "`(`".into(),
             Tok::RParen => "`)`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
             Tok::Comma => "`,`".into(),
             Tok::Semi => "`;`".into(),
             Tok::Dot => "`.`".into(),
             Tok::Equals => "`=`".into(),
+            Tok::Colon => "`:`".into(),
         }
     }
 }
@@ -111,6 +134,22 @@ fn lex(text: &str) -> Result<Vec<(usize, Tok)>, IoError> {
                 chars.next();
                 tokens.push((line, Tok::RParen));
             }
+            '[' => {
+                chars.next();
+                tokens.push((line, Tok::LBracket));
+            }
+            ']' => {
+                chars.next();
+                tokens.push((line, Tok::RBracket));
+            }
+            '{' => {
+                chars.next();
+                tokens.push((line, Tok::LBrace));
+            }
+            '}' => {
+                chars.next();
+                tokens.push((line, Tok::RBrace));
+            }
             ',' => {
                 chars.next();
                 tokens.push((line, Tok::Comma));
@@ -127,6 +166,10 @@ fn lex(text: &str) -> Result<Vec<(usize, Tok)>, IoError> {
                 chars.next();
                 tokens.push((line, Tok::Equals));
             }
+            ':' => {
+                chars.next();
+                tokens.push((line, Tok::Colon));
+            }
             '\\' => {
                 chars.next();
                 let mut name = String::new();
@@ -142,14 +185,6 @@ fn lex(text: &str) -> Result<Vec<(usize, Tok)>, IoError> {
                 }
                 tokens.push((line, Tok::Escaped(name)));
             }
-            '[' => {
-                return Err(IoError::unsupported(
-                    FORMAT,
-                    format!(
-                        "vector select or range at line {line} (bit-blasted netlists required)"
-                    ),
-                ));
-            }
             c if c.is_ascii_digit() => {
                 let mut lit = String::new();
                 while let Some(&c) = chars.peek() {
@@ -160,13 +195,7 @@ fn lex(text: &str) -> Result<Vec<(usize, Tok)>, IoError> {
                         break;
                     }
                 }
-                let value = parse_literal(&lit).ok_or_else(|| {
-                    IoError::unsupported(
-                        FORMAT,
-                        format!("literal `{lit}` at line {line} (only 1-bit 0/1 literals)"),
-                    )
-                })?;
-                tokens.push((line, Tok::Literal(value)));
+                tokens.push((line, Tok::Number(lit)));
             }
             c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
                 let mut name = String::new();
@@ -192,43 +221,111 @@ fn lex(text: &str) -> Result<Vec<(usize, Tok)>, IoError> {
     Ok(tokens)
 }
 
-/// Evaluates a Verilog number literal if it denotes a 1-bit 0/1 value
-/// (`0`, `1`, `1'b0`, `1'h1`, …).
-fn parse_literal(lit: &str) -> Option<bool> {
-    let digits = match lit.split_once('\'') {
-        None => lit,
-        Some((_width, rest)) => {
-            let rest = rest.trim_start_matches(['s', 'S']);
-            let mut it = rest.chars();
-            let base = it.next()?;
-            if !matches!(base, 'b' | 'B' | 'd' | 'D' | 'h' | 'H' | 'o' | 'O') {
-                return None;
-            }
-            it.as_str()
+/// Evaluates a Verilog number literal into its bits, MSB first.
+///
+/// Unsized literals must be `0` or `1`; sized literals (`4'b01_01`, `8'hff`,
+/// `3'o7`, `16'd255`, signed markers tolerated) are resized to their declared
+/// width Verilog-style (zero-extended, truncated from the MSB side). `x`/`z`
+/// digits are not representable and yield `None`.
+fn parse_literal_bits(lit: &str) -> Option<Vec<bool>> {
+    let (width, rest) = match lit.split_once('\'') {
+        None => {
+            return match lit.replace('_', "").as_str() {
+                "0" => Some(vec![false]),
+                "1" => Some(vec![true]),
+                _ => None,
+            };
+        }
+        Some((w, rest)) => {
+            let w = w.replace('_', "");
+            let width = if w.is_empty() {
+                None
+            } else {
+                Some(w.parse::<usize>().ok()?)
+            };
+            (width, rest)
         }
     };
-    let digits = digits.replace('_', "");
-    match digits.as_str() {
-        "0" => Some(false),
-        "1" => Some(true),
-        _ => None,
+    let rest = rest.trim_start_matches(['s', 'S']);
+    let mut it = rest.chars();
+    let base = it.next()?.to_ascii_lowercase();
+    let digits = it.as_str().replace('_', "");
+    if digits.is_empty() {
+        return None;
     }
+    let mut bits: Vec<bool> = Vec::new();
+    match base {
+        'b' => {
+            for c in digits.chars() {
+                bits.push(match c {
+                    '0' => false,
+                    '1' => true,
+                    _ => return None,
+                });
+            }
+        }
+        'o' => {
+            for c in digits.chars() {
+                let v = c.to_digit(8)?;
+                bits.extend((0..3).rev().map(|k| v >> k & 1 == 1));
+            }
+        }
+        'h' => {
+            for c in digits.chars() {
+                let v = c.to_digit(16)?;
+                bits.extend((0..4).rev().map(|k| v >> k & 1 == 1));
+            }
+        }
+        'd' => {
+            let v: u128 = digits.parse().ok()?;
+            let n = (128 - v.leading_zeros()).max(1) as usize;
+            bits.extend((0..n).rev().map(|k| v >> k & 1 == 1));
+        }
+        _ => return None,
+    }
+    let width = width.unwrap_or(bits.len());
+    if width == 0 {
+        return None;
+    }
+    if bits.len() > width {
+        bits.drain(..bits.len() - width);
+    }
+    while bits.len() < width {
+        bits.insert(0, false);
+    }
+    Some(bits)
 }
 
 // ---------------------------------------------------------------------------
 // Parser
 // ---------------------------------------------------------------------------
 
+/// A reference to one scalar net after bit-blasting.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum NetRef {
     Name(String),
     Const(bool),
 }
 
+/// An unexpanded connection expression, as written in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Expr {
+    /// A bare identifier: the whole scalar net or the whole vector.
+    Ref(String),
+    /// Bit-select `name[i]`.
+    Index(String, usize),
+    /// Part-select `name[a:b]`.
+    Range(String, usize, usize),
+    /// Literal bits, MSB first.
+    Const(Vec<bool>),
+    /// Concatenation `{a, b, …}` (leftmost part is most significant).
+    Concat(Vec<Expr>),
+}
+
 #[derive(Debug)]
 enum Conns {
-    Named(Vec<(String, NetRef)>),
-    Positional(Vec<NetRef>),
+    Named(Vec<(String, Expr)>),
+    Positional(Vec<Expr>),
 }
 
 #[derive(Debug)]
@@ -246,10 +343,14 @@ struct Module {
     port_order: Vec<String>,
     /// `true` = input, `false` = output.
     directions: HashMap<String, bool>,
+    /// Declared `[left:right]` range of vectored ports and wires.
+    ranges: HashMap<String, (usize, usize)>,
     wires: Vec<String>,
     supplies: Vec<(String, bool)>,
-    /// Primitive gate statements (and converted `assign`s): output first.
-    gates: Vec<(usize, GateKind, Vec<NetRef>)>,
+    /// Primitive gate statements: output first.
+    gates: Vec<(usize, GateKind, Vec<Expr>)>,
+    /// `assign lhs = rhs` statements, expanded bit-wise later.
+    assigns: Vec<(usize, Expr, Expr)>,
     cells: Vec<CellInst>,
 }
 
@@ -301,12 +402,72 @@ impl Parser {
         }
     }
 
-    fn expect_netref(&mut self) -> Result<NetRef, IoError> {
+    /// A plain decimal vector index.
+    fn expect_index(&mut self) -> Result<usize, IoError> {
         match self.bump() {
-            Some(Tok::Ident(s) | Tok::Escaped(s)) => Ok(NetRef::Name(s)),
-            Some(Tok::Literal(b)) => Ok(NetRef::Const(b)),
-            Some(t) => Err(self.error(format!("expected a net, found {}", t.describe()))),
-            None => Err(self.error("expected a net, found end of file")),
+            Some(Tok::Number(raw)) => raw
+                .parse()
+                .map_err(|_| self.error(format!("`{raw}` is not a plain decimal index"))),
+            Some(t) => Err(self.error(format!("expected a vector index, found {}", t.describe()))),
+            None => Err(self.error("expected a vector index, found end of file")),
+        }
+    }
+
+    /// An optional `[left:right]` range.
+    fn parse_range(&mut self) -> Result<Option<(usize, usize)>, IoError> {
+        if self.peek() != Some(&Tok::LBracket) {
+            return Ok(None);
+        }
+        self.bump();
+        let left = self.expect_index()?;
+        self.expect(&Tok::Colon)?;
+        let right = self.expect_index()?;
+        self.expect(&Tok::RBracket)?;
+        Ok(Some((left, right)))
+    }
+
+    /// A connection expression: identifier with optional select, literal, or
+    /// concatenation.
+    fn expect_expr(&mut self) -> Result<Expr, IoError> {
+        match self.bump() {
+            Some(Tok::Ident(s) | Tok::Escaped(s)) => {
+                if self.peek() != Some(&Tok::LBracket) {
+                    return Ok(Expr::Ref(s));
+                }
+                self.bump();
+                let left = self.expect_index()?;
+                if self.peek() == Some(&Tok::Colon) {
+                    self.bump();
+                    let right = self.expect_index()?;
+                    self.expect(&Tok::RBracket)?;
+                    Ok(Expr::Range(s, left, right))
+                } else {
+                    self.expect(&Tok::RBracket)?;
+                    Ok(Expr::Index(s, left))
+                }
+            }
+            Some(Tok::Number(raw)) => {
+                let line = self.line();
+                parse_literal_bits(&raw).map(Expr::Const).ok_or_else(|| {
+                    IoError::unsupported(
+                        FORMAT,
+                        format!("literal `{raw}` at line {line} (0/1 and sized literals only)"),
+                    )
+                })
+            }
+            Some(Tok::LBrace) => {
+                let mut parts = vec![self.expect_expr()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                    parts.push(self.expect_expr()?);
+                }
+                self.expect(&Tok::RBrace)?;
+                Ok(Expr::Concat(parts))
+            }
+            Some(t) => {
+                Err(self.error(format!("expected a net expression, found {}", t.describe())))
+            }
+            None => Err(self.error("expected a net expression, found end of file")),
         }
     }
 
@@ -346,19 +507,23 @@ fn parse_module(tokens: Vec<(usize, Tok)>) -> Result<Module, IoError> {
         p.bump();
         if p.peek() != Some(&Tok::RParen) {
             // ANSI headers tag ports with inline directions; per
-            // Verilog-2001, a direction keyword sticks for the following
-            // ports until the next keyword (`input a, b, output y`).
+            // Verilog-2001, a direction keyword (with its optional range)
+            // sticks for the following ports until the next keyword
+            // (`input [3:0] a, b, output y`).
             let mut dir: Option<bool> = None;
+            let mut range: Option<(usize, usize)> = None;
             loop {
                 if let Some(Tok::Ident(kw)) = p.peek() {
                     match kw.as_str() {
                         "input" => {
-                            dir = Some(true);
                             p.bump();
+                            dir = Some(true);
+                            range = p.parse_range()?;
                         }
                         "output" => {
-                            dir = Some(false);
                             p.bump();
+                            dir = Some(false);
+                            range = p.parse_range()?;
                         }
                         "wire" | "reg" => {
                             return Err(p.error("expected a port name or direction"));
@@ -369,6 +534,9 @@ fn parse_module(tokens: Vec<(usize, Tok)>) -> Result<Module, IoError> {
                 let name = p.expect_ident()?;
                 if let Some(d) = dir {
                     m.directions.insert(name.clone(), d);
+                    if let Some(r) = range {
+                        m.ranges.insert(name.clone(), r);
+                    }
                 }
                 m.port_order.push(name);
                 match p.bump() {
@@ -401,6 +569,7 @@ fn parse_module(tokens: Vec<(usize, Tok)>) -> Result<Module, IoError> {
             "endmodule" => break,
             "input" | "output" => {
                 let is_input = kw == "input";
+                let range = p.parse_range()?;
                 for name in p.ident_list()? {
                     if m.directions.insert(name.clone(), is_input) == Some(!is_input) {
                         return Err(IoError::parse(
@@ -409,9 +578,20 @@ fn parse_module(tokens: Vec<(usize, Tok)>) -> Result<Module, IoError> {
                             format!("port `{name}` declared both input and output"),
                         ));
                     }
+                    if let Some(r) = range {
+                        m.ranges.insert(name, r);
+                    }
                 }
             }
-            "wire" => m.wires.extend(p.ident_list()?),
+            "wire" => {
+                let range = p.parse_range()?;
+                for name in p.ident_list()? {
+                    if let Some(r) = range {
+                        m.ranges.insert(name.clone(), r);
+                    }
+                    m.wires.push(name);
+                }
+            }
             "supply0" | "supply1" => {
                 let value = kw == "supply1";
                 for name in p.ident_list()? {
@@ -419,26 +599,11 @@ fn parse_module(tokens: Vec<(usize, Tok)>) -> Result<Module, IoError> {
                 }
             }
             "assign" => {
-                let lhs = p.expect_ident()?;
+                let lhs = p.expect_expr()?;
                 p.expect(&Tok::Equals)?;
-                let rhs = p.expect_netref()?;
+                let rhs = p.expect_expr()?;
                 p.expect(&Tok::Semi)?;
-                match rhs {
-                    NetRef::Name(src) => m.gates.push((
-                        line,
-                        GateKind::Buf,
-                        vec![NetRef::Name(lhs), NetRef::Name(src)],
-                    )),
-                    NetRef::Const(v) => m.gates.push((
-                        line,
-                        if v {
-                            GateKind::Const1
-                        } else {
-                            GateKind::Const0
-                        },
-                        vec![NetRef::Name(lhs)],
-                    )),
-                }
+                m.assigns.push((line, lhs, rhs));
             }
             "reg" | "always" | "initial" => {
                 return Err(IoError::unsupported(
@@ -455,10 +620,10 @@ fn parse_module(tokens: Vec<(usize, Tok)>) -> Result<Module, IoError> {
                         p.bump();
                     }
                     p.expect(&Tok::LParen)?;
-                    let mut args = vec![p.expect_netref()?];
+                    let mut args = vec![p.expect_expr()?];
                     while p.peek() == Some(&Tok::Comma) {
                         p.bump();
-                        args.push(p.expect_netref()?);
+                        args.push(p.expect_expr()?);
                     }
                     p.expect(&Tok::RParen)?;
                     p.expect(&Tok::Semi)?;
@@ -482,7 +647,7 @@ fn parse_module(tokens: Vec<(usize, Tok)>) -> Result<Module, IoError> {
                             p.expect(&Tok::Dot)?;
                             let pin = p.expect_ident()?;
                             p.expect(&Tok::LParen)?;
-                            let net = p.expect_netref()?;
+                            let net = p.expect_expr()?;
                             p.expect(&Tok::RParen)?;
                             named.push((pin, net));
                             match p.bump() {
@@ -493,10 +658,10 @@ fn parse_module(tokens: Vec<(usize, Tok)>) -> Result<Module, IoError> {
                         }
                         Conns::Named(named)
                     } else {
-                        let mut args = vec![p.expect_netref()?];
+                        let mut args = vec![p.expect_expr()?];
                         while p.peek() == Some(&Tok::Comma) {
                             p.bump();
-                            args.push(p.expect_netref()?);
+                            args.push(p.expect_expr()?);
                         }
                         p.expect(&Tok::RParen)?;
                         Conns::Positional(args)
@@ -517,22 +682,143 @@ fn parse_module(tokens: Vec<(usize, Tok)>) -> Result<Module, IoError> {
 }
 
 // ---------------------------------------------------------------------------
+// Bit-blasting
+// ---------------------------------------------------------------------------
+
+// Both frontends iterate `[left:right]` ranges through the shared
+// definition in `netlist::bus`, so EDIF and Verilog agree on bit order.
+use netlist::bus::range_indices as walk_range;
+
+/// Expands an expression into scalar net references, MSB first, using the
+/// declared vector ranges.
+fn expand_expr(
+    expr: &Expr,
+    ranges: &HashMap<String, (usize, usize)>,
+    line: usize,
+) -> Result<Vec<NetRef>, IoError> {
+    let in_bounds =
+        |(left, right): (usize, usize), i: usize| (left.min(right)..=left.max(right)).contains(&i);
+    match expr {
+        Expr::Ref(name) => match ranges.get(name) {
+            Some(&(left, right)) => Ok(walk_range(left, right)
+                .map(|i| NetRef::Name(bus::bit_name(name, i)))
+                .collect()),
+            None => Ok(vec![NetRef::Name(name.clone())]),
+        },
+        Expr::Index(name, i) => {
+            let &range = ranges.get(name).ok_or_else(|| {
+                IoError::parse(
+                    FORMAT,
+                    line,
+                    format!("bit-select on `{name}`, which is not declared as a vector"),
+                )
+            })?;
+            if !in_bounds(range, *i) {
+                return Err(IoError::parse(
+                    FORMAT,
+                    line,
+                    format!(
+                        "bit-select `{name}[{i}]` out of the declared range [{}:{}]",
+                        range.0, range.1
+                    ),
+                ));
+            }
+            Ok(vec![NetRef::Name(bus::bit_name(name, *i))])
+        }
+        Expr::Range(name, a, b) => {
+            let &range = ranges.get(name).ok_or_else(|| {
+                IoError::parse(
+                    FORMAT,
+                    line,
+                    format!("part-select on `{name}`, which is not declared as a vector"),
+                )
+            })?;
+            if !in_bounds(range, *a) || !in_bounds(range, *b) {
+                return Err(IoError::parse(
+                    FORMAT,
+                    line,
+                    format!(
+                        "part-select `{name}[{a}:{b}]` out of the declared range [{}:{}]",
+                        range.0, range.1
+                    ),
+                ));
+            }
+            Ok(walk_range(*a, *b)
+                .map(|i| NetRef::Name(bus::bit_name(name, i)))
+                .collect())
+        }
+        Expr::Const(bits) => Ok(bits.iter().map(|&b| NetRef::Const(b)).collect()),
+        Expr::Concat(parts) => {
+            let mut out = Vec::new();
+            for part in parts {
+                out.extend(expand_expr(part, ranges, line)?);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Expands an expression that must reference exactly one bit (a gate or cell
+/// pin connection).
+fn expand_scalar(
+    expr: &Expr,
+    ranges: &HashMap<String, (usize, usize)>,
+    line: usize,
+    what: &str,
+) -> Result<NetRef, IoError> {
+    let bits = expand_expr(expr, ranges, line)?;
+    if bits.len() != 1 {
+        return Err(IoError::parse(
+            FORMAT,
+            line,
+            format!(
+                "connection of {what} is {} bits wide, expected a single bit",
+                bits.len()
+            ),
+        ));
+    }
+    Ok(bits.into_iter().next().expect("length checked"))
+}
+
+/// Bit names a declared port or wire expands to, in declaration order.
+fn decl_bits(name: &str, ranges: &HashMap<String, (usize, usize)>) -> Vec<String> {
+    match ranges.get(name) {
+        Some(&(left, right)) => walk_range(left, right)
+            .map(|i| bus::bit_name(name, i))
+            .collect(),
+        None => vec![name.to_string()],
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Netlist construction
 // ---------------------------------------------------------------------------
 
 /// Normalized instance connectivity: the output net and the ordered inputs.
-fn split_conns(inst: &CellInst) -> Result<(NetRef, Vec<NetRef>), IoError> {
+fn split_conns(
+    inst: &CellInst,
+    ranges: &HashMap<String, (usize, usize)>,
+) -> Result<(NetRef, Vec<NetRef>), IoError> {
     match &inst.conns {
         Conns::Positional(args) => {
-            let mut it = args.iter();
-            let out = it.next().cloned().ok_or_else(|| {
+            let mut refs = Vec::with_capacity(args.len());
+            for arg in args {
+                refs.push(expand_scalar(
+                    arg,
+                    ranges,
+                    inst.line,
+                    &format!("instance `{}`", inst.name),
+                )?);
+            }
+            let mut it = refs.into_iter();
+            let out = it.next().ok_or_else(|| {
                 IoError::parse(
                     FORMAT,
                     inst.line,
                     format!("instance `{}` has no connections", inst.name),
                 )
             })?;
-            let inputs: Vec<NetRef> = it.cloned().collect();
+            let inputs: Vec<NetRef> = it.collect();
             // A wrong positional count must not silently rebind pins (e.g.
             // `DFF ff (q, clk, d)` would take the clock as D).
             let expected = match inst.prim {
@@ -562,9 +848,15 @@ fn split_conns(inst: &CellInst) -> Result<(NetRef, Vec<NetRef>), IoError> {
             let mut out = None;
             let mut inputs: Vec<(usize, NetRef)> = Vec::new();
             for (pin, net) in named {
+                let net = expand_scalar(
+                    net,
+                    ranges,
+                    inst.line,
+                    &format!("pin `.{pin}` of instance `{}`", inst.name),
+                )?;
                 match prims::resolve_pin(inst.prim, pin) {
-                    Some(PinRole::Output) => out = Some(net.clone()),
-                    Some(PinRole::Input(slot)) => inputs.push((slot, net.clone())),
+                    Some(PinRole::Output) => out = Some(net),
+                    Some(PinRole::Input(slot)) => inputs.push((slot, net)),
                     None => {
                         return Err(IoError::unsupported(
                             FORMAT,
@@ -603,7 +895,8 @@ fn split_conns(inst: &CellInst) -> Result<(NetRef, Vec<NetRef>), IoError> {
 
 /// Parses a structural Verilog description into a [`Netlist`].
 ///
-/// The resulting netlist is validated before being returned.
+/// The resulting netlist is validated before being returned. Vector
+/// declarations are bit-blasted (see the module documentation).
 ///
 /// # Errors
 ///
@@ -635,12 +928,20 @@ pub fn parse(text: &str) -> Result<Netlist, IoError> {
     }
     let mut conns: Vec<Conn> = Vec::new();
     for (line, kind, args) in &m.gates {
-        let mut it = args.iter();
+        let mut refs = Vec::with_capacity(args.len());
+        for arg in args {
+            refs.push(expand_scalar(
+                arg,
+                &m.ranges,
+                *line,
+                &format!("gate `{}`", kind.mnemonic().to_ascii_lowercase()),
+            )?);
+        }
+        let mut it = refs.into_iter();
         let out = it
             .next()
-            .cloned()
             .ok_or_else(|| IoError::parse(FORMAT, *line, "gate primitive with no connections"))?;
-        let inputs: Vec<NetRef> = it.cloned().collect();
+        let inputs: Vec<NetRef> = it.collect();
         if !kind.arity_ok(inputs.len()) {
             return Err(IoError::parse(
                 FORMAT,
@@ -662,7 +963,7 @@ pub fn parse(text: &str) -> Result<Netlist, IoError> {
         });
     }
     for inst in &m.cells {
-        let (out, inputs) = split_conns(inst)?;
+        let (out, inputs) = split_conns(inst, &m.ranges)?;
         conns.push(Conn {
             line: inst.line,
             prim: inst.prim,
@@ -671,11 +972,54 @@ pub fn parse(text: &str) -> Result<Netlist, IoError> {
             inputs,
         });
     }
+    // `assign` statements become one buffer/constant gate per bit.
+    for (line, lhs, rhs) in &m.assigns {
+        let lhs_bits = expand_expr(lhs, &m.ranges, *line)?;
+        let mut rhs_bits = expand_expr(rhs, &m.ranges, *line)?;
+        if rhs_bits.len() != lhs_bits.len() {
+            // A pure constant resizes Verilog-style: truncate from the MSB
+            // side, zero-extend. Net expressions must match exactly.
+            if rhs_bits.iter().all(|b| matches!(b, NetRef::Const(_))) {
+                while rhs_bits.len() > lhs_bits.len() {
+                    rhs_bits.remove(0);
+                }
+                while rhs_bits.len() < lhs_bits.len() {
+                    rhs_bits.insert(0, NetRef::Const(false));
+                }
+            } else {
+                return Err(IoError::parse(
+                    FORMAT,
+                    *line,
+                    format!(
+                        "assignment widths differ: {} bits = {} bits",
+                        lhs_bits.len(),
+                        rhs_bits.len()
+                    ),
+                ));
+            }
+        }
+        for (l, r) in lhs_bits.into_iter().zip(rhs_bits) {
+            let (kind, inputs) = match r {
+                NetRef::Name(_) => (GateKind::Buf, vec![r]),
+                NetRef::Const(true) => (GateKind::Const1, Vec::new()),
+                NetRef::Const(false) => (GateKind::Const0, Vec::new()),
+            };
+            conns.push(Conn {
+                line: *line,
+                prim: PrimKind::Gate(kind),
+                what: "assign".to_string(),
+                out: l,
+                inputs,
+            });
+        }
+    }
 
     // Declare nets: inputs in port order, then flip-flop outputs, supplies,
     // gate outputs, and finally every remaining referenced or declared wire.
     for port in m.port_order.iter().filter(|p| m.directions[*p]) {
-        nl.try_add_input(port.clone()).map_err(IoError::Netlist)?;
+        for bit in decl_bits(port, &m.ranges) {
+            nl.try_add_input(bit).map_err(IoError::Netlist)?;
+        }
     }
     for conn in &conns {
         if let PrimKind::Dff { init, class } = conn.prim {
@@ -711,7 +1055,9 @@ pub fn parse(text: &str) -> Result<Netlist, IoError> {
         }
     }
     for wire in &m.wires {
-        declare(&mut nl, wire)?;
+        for bit in decl_bits(wire, &m.ranges) {
+            declare(&mut nl, &bit)?;
+        }
     }
     for conn in &conns {
         for input in &conn.inputs {
@@ -766,12 +1112,14 @@ pub fn parse(text: &str) -> Result<Netlist, IoError> {
         }
     }
 
-    // Outputs in port order.
+    // Outputs in port order, bit-blasted the same way as inputs.
     for port in m.port_order.iter().filter(|p| !m.directions[*p]) {
-        let id = nl.net_id(port).ok_or_else(|| {
-            IoError::parse(FORMAT, 1, format!("output port `{port}` is never driven"))
-        })?;
-        nl.mark_output(id).map_err(IoError::Netlist)?;
+        for bit in decl_bits(port, &m.ranges) {
+            let id = nl.net_id(&bit).ok_or_else(|| {
+                IoError::parse(FORMAT, 1, format!("output port `{bit}` is never driven"))
+            })?;
+            nl.mark_output(id).map_err(IoError::Netlist)?;
+        }
     }
 
     nl.validate().map_err(IoError::Netlist)?;
@@ -791,13 +1139,46 @@ fn render(name: &str) -> String {
     }
 }
 
+/// Renders the module header identifier. Escaped identifiers keep the exact
+/// design name whenever Verilog can express it (printable ASCII, no
+/// whitespace); only inexpressible names fall back to sanitization.
+fn module_ident(name: &str) -> String {
+    if names::is_simple_verilog_ident(name) {
+        name.to_string()
+    } else if !name.is_empty() && name.chars().all(|c| c.is_ascii_graphic()) {
+        format!("\\{name} ")
+    } else {
+        names::verilog_module_sanitize(name)
+    }
+}
+
+/// A port-list entry after vector re-grouping.
+enum Emitted {
+    Scalar {
+        /// Rendered port identifier.
+        port: String,
+        /// Source net to buffer onto the port, when the net itself cannot be
+        /// the port (an input also listed as an output).
+        buffered: Option<NetId>,
+    },
+    Bus {
+        base: String,
+        left: usize,
+        right: usize,
+    },
+}
+
 /// Serializes a [`Netlist`] to the structural Verilog subset.
 ///
 /// The output can be re-read by [`parse`]; reset values and register
-/// provenance are encoded in flip-flop cell names (`DFF1_L` etc.). The module
-/// name is sanitized to a plain identifier, and a primary input that is also
-/// listed as a primary output is exported through a `buf` onto a fresh output
-/// port (Verilog ports cannot be bidirectional aliases).
+/// provenance are encoded in flip-flop cell names (`DFF1_L` etc.). Runs of
+/// ports with contiguous bit-blasted names (`d[3]` … `d[0]`) are re-emitted
+/// as vector declarations with bit-select references; everything else uses
+/// scalar declarations with escaped identifiers. The module name is emitted
+/// escaped when it is not a plain identifier (sanitized only when Verilog
+/// cannot express it at all), and a primary input that is also listed as a
+/// primary output is exported through a `buf` onto a fresh output port
+/// (Verilog ports cannot be bidirectional aliases).
 pub fn write(netlist: &Netlist) -> String {
     let input_set: std::collections::HashSet<NetId> = netlist.inputs().iter().copied().collect();
     let output_set: std::collections::HashSet<NetId> = netlist.outputs().iter().copied().collect();
@@ -806,24 +1187,107 @@ pub fn write(netlist: &Netlist) -> String {
         .net_ids()
         .map(|n| names_table.intern("net", netlist.net_name(n)))
         .collect();
+    // How each net is referenced in the body; bus members are overridden
+    // with bit-selects below.
+    let mut rendered: Vec<String> = vname.iter().map(|n| render(n)).collect();
 
-    // Output ports: reuse the net name unless the net is also an input.
-    let mut exported: Vec<(String, Option<NetId>)> = Vec::new(); // (port, buffered-from)
-    for (i, &out) in netlist.outputs().iter().enumerate() {
-        if input_set.contains(&out) {
-            let port = names_table.fresh(&format!("po{i}"));
-            exported.push((port, Some(out)));
-        } else {
-            exported.push((vname[out.index()].clone(), None));
+    // A grouped bus is emitted vectored only when its base is a plain
+    // identifier that collides with nothing else we emit.
+    let try_bus = |bus: &netlist::bus::Bus,
+                   names_table: &mut names::NameTable,
+                   rendered: &mut [String]|
+     -> Option<Emitted> {
+        if !names::is_simple_verilog_ident(&bus.base) || names_table.fresh(&bus.base) != bus.base {
+            return None;
+        }
+        for (k, net) in bus.nets.iter().enumerate() {
+            rendered[net.index()] = format!("{}[{}]", bus.base, bus.index_of(k));
+        }
+        Some(Emitted::Bus {
+            base: bus.base.clone(),
+            left: bus.left,
+            right: bus.right,
+        })
+    };
+
+    let mut inputs_emitted: Vec<Emitted> = Vec::new();
+    for group in bus::group_ports(netlist, netlist.inputs()) {
+        match group {
+            bus::PortGroup::Bus(b) => {
+                if let Some(e) = try_bus(&b, &mut names_table, &mut rendered) {
+                    inputs_emitted.push(e);
+                } else {
+                    inputs_emitted.extend(b.nets.iter().map(|n| Emitted::Scalar {
+                        port: rendered[n.index()].clone(),
+                        buffered: None,
+                    }));
+                }
+            }
+            bus::PortGroup::Scalar(n) => inputs_emitted.push(Emitted::Scalar {
+                port: rendered[n.index()].clone(),
+                buffered: None,
+            }),
         }
     }
 
-    let mut ports: Vec<String> = netlist
-        .inputs()
+    let mut outputs_emitted: Vec<Emitted> = Vec::new();
+    let scalar_output = |net: NetId,
+                         position: usize,
+                         names_table: &mut names::NameTable,
+                         rendered: &[String]|
+     -> Emitted {
+        if input_set.contains(&net) {
+            let port = names_table.fresh(&format!("po{position}"));
+            Emitted::Scalar {
+                port: render(&port),
+                buffered: Some(net),
+            }
+        } else {
+            Emitted::Scalar {
+                port: rendered[net.index()].clone(),
+                buffered: None,
+            }
+        }
+    };
+    let mut position = 0usize;
+    for group in bus::group_ports(netlist, netlist.outputs()) {
+        match group {
+            // A bus containing an input-aliased net degrades to scalars (the
+            // alias needs a fresh buffered port, which breaks the run).
+            bus::PortGroup::Bus(b) if b.nets.iter().all(|n| !input_set.contains(n)) => {
+                let width = b.width();
+                if let Some(e) = try_bus(&b, &mut names_table, &mut rendered) {
+                    outputs_emitted.push(e);
+                } else {
+                    outputs_emitted.extend(b.nets.iter().enumerate().map(|(k, &n)| {
+                        scalar_output(n, position + k, &mut names_table, &rendered)
+                    }));
+                }
+                position += width;
+            }
+            bus::PortGroup::Bus(b) => {
+                for &n in &b.nets {
+                    let e = scalar_output(n, position, &mut names_table, &rendered);
+                    outputs_emitted.push(e);
+                    position += 1;
+                }
+            }
+            bus::PortGroup::Scalar(n) => {
+                let e = scalar_output(n, position, &mut names_table, &rendered);
+                outputs_emitted.push(e);
+                position += 1;
+            }
+        }
+    }
+
+    let ports: Vec<String> = inputs_emitted
         .iter()
-        .map(|&n| render(&vname[n.index()]))
+        .chain(&outputs_emitted)
+        .map(|e| match e {
+            Emitted::Scalar { port, .. } => port.clone(),
+            Emitted::Bus { base, .. } => base.clone(),
+        })
         .collect();
-    ports.extend(exported.iter().map(|(p, _)| render(p)));
 
     let mut out = String::new();
     out.push_str("// Structural netlist written by trilock-io\n");
@@ -837,22 +1301,28 @@ pub fn write(netlist: &Netlist) -> String {
     ));
     out.push_str(&format!(
         "module {} ({});\n",
-        names::verilog_module_sanitize(netlist.name()),
+        module_ident(netlist.name()),
         ports.join(", ")
     ));
 
-    for &input in netlist.inputs() {
-        out.push_str(&format!("  input {};\n", render(&vname[input.index()])));
+    let decl = |out: &mut String, dir: &str, e: &Emitted| match e {
+        Emitted::Scalar { port, .. } => out.push_str(&format!("  {dir} {port};\n")),
+        Emitted::Bus { base, left, right } => {
+            out.push_str(&format!("  {dir} [{left}:{right}] {base};\n"));
+        }
+    };
+    for e in &inputs_emitted {
+        decl(&mut out, "input", e);
     }
-    for (port, _) in &exported {
-        out.push_str(&format!("  output {};\n", render(port)));
+    for e in &outputs_emitted {
+        decl(&mut out, "output", e);
     }
     // Internal wires: everything that is neither a port nor exported.
     for net in netlist.net_ids() {
         let is_input = input_set.contains(&net);
         let is_output_port = output_set.contains(&net) && !is_input;
         if !is_input && !is_output_port {
-            out.push_str(&format!("  wire {};\n", render(&vname[net.index()])));
+            out.push_str(&format!("  wire {};\n", rendered[net.index()]));
         }
     }
     out.push('\n');
@@ -864,13 +1334,13 @@ pub fn write(netlist: &Netlist) -> String {
             "  {} {} (.Q({}), .D({}));\n",
             prims::dff_cell_name(dff.init, dff.class),
             render(&inst),
-            render(&vname[dff.q.index()]),
-            render(&vname[d.index()])
+            rendered[dff.q.index()],
+            rendered[d.index()]
         ));
     }
     for (i, gate) in netlist.gates().iter().enumerate() {
         let inst = names_table.fresh(&format!("g{i}"));
-        let y = render(&vname[gate.output.index()]);
+        let y = rendered[gate.output.index()].clone();
         match gate.kind {
             GateKind::Const0 | GateKind::Const1 => {
                 out.push_str(&format!(
@@ -883,14 +1353,14 @@ pub fn write(netlist: &Netlist) -> String {
                 out.push_str(&format!(
                     "  MUX2 {} (.Y({y}), .S({}), .A({}), .B({}));\n",
                     render(&inst),
-                    render(&vname[gate.inputs[0].index()]),
-                    render(&vname[gate.inputs[1].index()]),
-                    render(&vname[gate.inputs[2].index()])
+                    rendered[gate.inputs[0].index()],
+                    rendered[gate.inputs[1].index()],
+                    rendered[gate.inputs[2].index()]
                 ));
             }
             _ => {
                 let args: Vec<String> = std::iter::once(y)
-                    .chain(gate.inputs.iter().map(|&n| render(&vname[n.index()])))
+                    .chain(gate.inputs.iter().map(|&n| rendered[n.index()].clone()))
                     .collect();
                 out.push_str(&format!(
                     "  {} {} ({});\n",
@@ -901,14 +1371,18 @@ pub fn write(netlist: &Netlist) -> String {
             }
         }
     }
-    for (port, buffered) in &exported {
-        if let Some(src) = buffered {
+    for e in &outputs_emitted {
+        if let Emitted::Scalar {
+            port,
+            buffered: Some(src),
+        } = e
+        {
             let inst = names_table.fresh("pb");
             out.push_str(&format!(
                 "  buf {} ({}, {});\n",
                 render(&inst),
-                render(port),
-                render(&vname[src.index()])
+                port,
+                rendered[src.index()]
             ));
         }
     }
@@ -1073,9 +1547,166 @@ endmodule
     }
 
     #[test]
-    fn vector_ports_are_unsupported() {
-        let err = parse("module t (a);\n  input [3:0] a;\nendmodule\n").unwrap_err();
-        assert!(matches!(err, IoError::Unsupported { .. }), "{err}");
+    fn vector_ports_are_bit_blasted() {
+        let text = r#"
+module t (d, q);
+  input [3:0] d;
+  output [3:0] q;
+  buf b3 (q[3], d[3]);
+  buf b2 (q[2], d[2]);
+  buf b1 (q[1], d[1]);
+  buf b0 (q[0], d[0]);
+endmodule
+"#;
+        let nl = parse(text).unwrap();
+        assert_eq!(nl.num_inputs(), 4);
+        assert_eq!(nl.num_outputs(), 4);
+        // Declaration order is MSB first.
+        assert_eq!(nl.net_name(nl.inputs()[0]), "d[3]");
+        assert_eq!(nl.net_name(nl.inputs()[3]), "d[0]");
+        assert_eq!(nl.net_name(nl.outputs()[0]), "q[3]");
+    }
+
+    #[test]
+    fn ansi_vector_ranges_stick_like_directions() {
+        let text = r#"
+module t (input [1:0] a, b, output y);
+  and g (y, a[1], b[0]);
+endmodule
+"#;
+        let nl = parse(text).unwrap();
+        // Both a and b are two bits wide.
+        assert_eq!(nl.num_inputs(), 4);
+        assert!(nl.net_id("b[1]").is_some());
+    }
+
+    #[test]
+    fn part_selects_concats_and_sized_literals_expand() {
+        let text = r#"
+module t (d, y);
+  input [3:0] d;
+  output [3:0] y;
+  wire [3:0] w;
+  assign w = {d[1:0], 2'b10};
+  assign y = w;
+endmodule
+"#;
+        let nl = parse(text).unwrap();
+        // 4 assign bufs + 2 const bufs... each bit of w: two from d, one
+        // const1, one const0; plus 4 bufs for y; plus the shared const gates.
+        assert_eq!(nl.num_outputs(), 4);
+        let w1 = nl.net_id("w[1]").unwrap();
+        let netlist::Driver::Gate(g) = nl.driver(w1) else {
+            panic!("w[1] must be gate-driven");
+        };
+        assert_eq!(nl.gate(g).kind, GateKind::Const1);
+    }
+
+    #[test]
+    fn vectored_round_trip_reemits_vector_declarations() {
+        let text = r#"
+module vec (d, en, q);
+  input [3:0] d;
+  input en;
+  output [3:0] q;
+  DFF f3 (.Q(q[3]), .D(n[3]));
+  DFF f2 (.Q(q[2]), .D(n[2]));
+  DFF f1 (.Q(q[1]), .D(n[1]));
+  DFF f0 (.Q(q[0]), .D(n[0]));
+  wire [3:0] n;
+  and a3 (n[3], d[3], en);
+  and a2 (n[2], d[2], en);
+  and a1 (n[1], d[1], en);
+  and a0 (n[0], d[0], en);
+endmodule
+"#;
+        let nl = parse(text).unwrap();
+        let rewritten = write(&nl);
+        assert!(rewritten.contains("input [3:0] d;"), "{rewritten}");
+        assert!(rewritten.contains("output [3:0] q;"), "{rewritten}");
+        assert!(rewritten.contains("d[3]"), "{rewritten}");
+        let back = parse(&rewritten).unwrap();
+        assert_eq!(back.num_inputs(), 5);
+        assert_eq!(back.num_outputs(), 4);
+        assert_eq!(back.num_dffs(), 4);
+        assert!(back.net_id("d[2]").is_some());
+    }
+
+    #[test]
+    fn out_of_range_select_is_reported() {
+        let text = "module t (input [3:0] d, output y);\n  buf b (y, d[7]);\nendmodule\n";
+        let err = parse(text).unwrap_err();
+        assert!(
+            err.to_string().contains("out of the declared range"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bit_select_of_scalar_is_reported() {
+        let text = "module t (input d, output y);\n  buf b (y, d[0]);\nendmodule\n";
+        let err = parse(text).unwrap_err();
+        assert!(
+            err.to_string().contains("not declared as a vector"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn wide_connection_to_scalar_pin_is_reported() {
+        let text = "module t (input [1:0] d, output y);\n  buf b (y, d);\nendmodule\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("expected a single bit"), "{err}");
+    }
+
+    #[test]
+    fn assign_width_mismatch_is_reported() {
+        let text = "module t (input [3:0] d, output [1:0] y);\n  assign y = d;\nendmodule\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("widths differ"), "{err}");
+    }
+
+    #[test]
+    fn literal_bits_cover_bases_and_resizing() {
+        assert_eq!(parse_literal_bits("0"), Some(vec![false]));
+        assert_eq!(parse_literal_bits("1'b1"), Some(vec![true]));
+        assert_eq!(
+            parse_literal_bits("4'b01_10"),
+            Some(vec![false, true, true, false])
+        );
+        assert_eq!(
+            parse_literal_bits("4'hA"),
+            Some(vec![true, false, true, false])
+        );
+        assert_eq!(parse_literal_bits("3'o5"), Some(vec![true, false, true]));
+        assert_eq!(parse_literal_bits("2'd3"), Some(vec![true, true]));
+        // Zero-extension and MSB-side truncation.
+        assert_eq!(parse_literal_bits("3'b1"), Some(vec![false, false, true]));
+        assert_eq!(parse_literal_bits("1'h6"), Some(vec![false]));
+        assert_eq!(parse_literal_bits("2"), None);
+        assert_eq!(parse_literal_bits("4'bx0"), None);
+    }
+
+    #[test]
+    fn non_identifier_module_name_round_trips_escaped() {
+        let mut nl = Netlist::new("b04.opt-2");
+        let a = nl.add_input("a");
+        let y = nl.add_gate(GateKind::Not, &[a], "y").unwrap();
+        nl.mark_output(y).unwrap();
+        let text = write(&nl);
+        assert!(text.contains("module \\b04.opt-2 "), "{text}");
+        let back = parse(&text).unwrap();
+        assert_eq!(back.name(), "b04.opt-2");
+    }
+
+    #[test]
+    fn inexpressible_module_name_falls_back_to_sanitizing() {
+        let mut nl = Netlist::new("weird design!");
+        let a = nl.add_input("a");
+        let y = nl.add_gate(GateKind::Not, &[a], "y").unwrap();
+        nl.mark_output(y).unwrap();
+        let back = parse(&write(&nl)).unwrap();
+        assert_eq!(back.name(), "weird_design_");
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!
 //! Flip-flops reset to 0 unless the extension directive
 //! `# init <net> 1` precedes them, which this implementation emits and
-//! understands so that round-trips preserve reset values.
+//! understands so that round-trips preserve reset values. Register
+//! provenance ([`RegClass`]) rides on the analogous
+//! `# trilock-class <net> locking|encoded` pragma, so a lock → `.bench` →
+//! attack round-trip keeps its ground truth. Unknown `#` pragmas are
+//! ignored, as ordinary comments.
 //!
 //! The reader is deliberately liberal about the dialect variations found in
 //! circulating ISCAS/ITC files: keywords and gate mnemonics are
@@ -39,6 +43,7 @@ use crate::NetlistError;
 pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
     let mut netlist = Netlist::new("bench");
     let mut init_overrides: HashMap<String, bool> = HashMap::new();
+    let mut class_overrides: HashMap<String, RegClass> = HashMap::new();
 
     #[derive(Debug)]
     enum Stmt {
@@ -72,6 +77,20 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
                 init_overrides.insert(net, value);
             } else if let Some(name) = rest.strip_prefix("name ") {
                 netlist.set_name(name.trim().to_string());
+            } else if let Some(spec) = rest.strip_prefix("trilock-class ") {
+                let mut parts = spec.split_whitespace();
+                let net = parts.next().unwrap_or_default().to_string();
+                // An unknown class spelling keeps the default rather than
+                // failing: the pragma is a comment extension, not syntax.
+                let class = match parts.next().map(str::to_ascii_lowercase).as_deref() {
+                    Some("locking") => Some(RegClass::Locking),
+                    Some("encoded") => Some(RegClass::Encoded),
+                    Some("original") => Some(RegClass::Original),
+                    _ => None,
+                };
+                if let Some(class) = class {
+                    class_overrides.insert(net, class);
+                }
             }
             continue;
         }
@@ -136,8 +155,12 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
             Stmt::Input(name) => netlist.try_add_input(name.clone()).map(|_| ()),
             Stmt::Dff { q, .. } => {
                 let init = init_overrides.get(q).copied().unwrap_or(false);
+                let class = class_overrides
+                    .get(q)
+                    .copied()
+                    .unwrap_or(RegClass::Original);
                 netlist
-                    .declare_dff_with_class(q.clone(), init, RegClass::Original)
+                    .declare_dff_with_class(q.clone(), init, class)
                     .map(|_| ())
             }
             Stmt::Gate { out, .. } => netlist.declare_net(out.clone()).map(|_| ()),
@@ -220,8 +243,9 @@ fn resolve_operand(netlist: &mut Netlist, name: &str) -> Result<crate::NetId, Ne
 
 /// Serializes a [`Netlist`] to the `.bench` format.
 ///
-/// The output can be re-read by [`parse`]; reset values of 1 and the design
-/// name are preserved through `# init` / `# name` comment directives.
+/// The output can be re-read by [`parse`]; reset values of 1, register
+/// provenance and the design name are preserved through `# init` /
+/// `# trilock-class` / `# name` comment directives.
 pub fn write(netlist: &Netlist) -> String {
     let mut out = String::new();
     out.push_str(&format!("# name {}\n", netlist.name()));
@@ -235,6 +259,17 @@ pub fn write(netlist: &Netlist) -> String {
     for dff in netlist.dffs() {
         if dff.init {
             out.push_str(&format!("# init {} 1\n", netlist.net_name(dff.q)));
+        }
+        let class = match dff.class {
+            RegClass::Original => None,
+            RegClass::Locking => Some("locking"),
+            RegClass::Encoded => Some("encoded"),
+        };
+        if let Some(class) = class {
+            out.push_str(&format!(
+                "# trilock-class {} {class}\n",
+                netlist.net_name(dff.q)
+            ));
         }
     }
     for &input in netlist.inputs() {
@@ -321,6 +356,42 @@ G17 = NOT(G11)
         let rewritten = write(&nl);
         let nl2 = parse(&rewritten).unwrap();
         assert!(nl2.dffs()[0].init);
+    }
+
+    #[test]
+    fn trilock_class_pragma_round_trips() {
+        let mut nl = Netlist::new("prov");
+        let a = nl.add_input("a");
+        let q0 = nl.declare_dff("q0", false).unwrap();
+        let q1 = nl
+            .declare_dff_with_class("q1", true, RegClass::Locking)
+            .unwrap();
+        let q2 = nl
+            .declare_dff_with_class("q2", false, RegClass::Encoded)
+            .unwrap();
+        nl.bind_dff(q0, a).unwrap();
+        nl.bind_dff(q1, a).unwrap();
+        nl.bind_dff(q2, a).unwrap();
+        nl.mark_output(q1).unwrap();
+        let text = write(&nl);
+        assert!(text.contains("# trilock-class q1 locking"), "{text}");
+        assert!(text.contains("# trilock-class q2 encoded"), "{text}");
+        let back = parse(&text).unwrap();
+        let classes: Vec<RegClass> = back.dffs().iter().map(|d| d.class).collect();
+        assert_eq!(
+            classes,
+            vec![RegClass::Original, RegClass::Locking, RegClass::Encoded]
+        );
+        // Reset value and provenance coexist on the same register.
+        assert!(back.dffs()[1].init);
+    }
+
+    #[test]
+    fn unknown_pragmas_and_class_spellings_are_ignored() {
+        let text =
+            "# frobnicate q 1\n# trilock-class q sideways\nINPUT(a)\nOUTPUT(q)\nq = DFF(a)\n";
+        let nl = parse(text).unwrap();
+        assert_eq!(nl.dffs()[0].class, RegClass::Original);
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! Bit-blasted vector/bus name metadata.
+//!
+//! The [`Netlist`] model is scalar: a vectored port such as
+//! `input [3:0] d` is represented as four independent nets named `d[3]` …
+//! `d[0]`. Frontends bit-blast vector declarations into that naming scheme on
+//! read; this module is the shared inverse — it recognizes indexed names and
+//! groups runs of them back into buses so writers can re-emit vectored
+//! declarations (and the CLI can report bus counts) without any extra
+//! metadata on the netlist itself.
+
+use crate::ids::NetId;
+use crate::model::Netlist;
+use std::collections::HashMap;
+
+/// Splits a canonical bit-blasted name `base[index]` into `(base, index)`.
+///
+/// Only canonical spellings round-trip: the index must be the shortest
+/// decimal form (`d[03]` is treated as an opaque scalar name). The base may
+/// itself contain brackets (`m[1][2]` splits into base `m[1]`, index 2).
+pub fn split_indexed(name: &str) -> Option<(&str, usize)> {
+    let inner = name.strip_suffix(']')?;
+    let open = inner.rfind('[')?;
+    if open == 0 {
+        return None;
+    }
+    let digits = &inner[open + 1..];
+    let index: usize = digits.parse().ok()?;
+    // Reject non-canonical spellings ("+3", "03") so bit_name ∘ split_indexed
+    // is the identity on every name this function accepts.
+    if index.to_string() != digits {
+        return None;
+    }
+    Some((&inner[..open], index))
+}
+
+/// Canonical bit-blasted name of bit `index` of the vector `base`.
+pub fn bit_name(base: &str, index: usize) -> String {
+    format!("{base}[{index}]")
+}
+
+/// Iterates a `[left:right]` range's bit indices in declaration order
+/// (`left` towards `right`, inclusive, either direction). Both format
+/// frontends expand and re-group vectors through this single definition, so
+/// EDIF and Verilog agree on bit ordering by construction.
+pub fn range_indices(left: usize, right: usize) -> Box<dyn Iterator<Item = usize>> {
+    if left >= right {
+        Box::new((right..=left).rev())
+    } else {
+        Box::new(left..=right)
+    }
+}
+
+/// A maximal run of port nets forming a contiguous vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bus {
+    /// Vector base name (`d` for bits `d[3]`…`d[0]`).
+    pub base: String,
+    /// Range bound of the first bit, as written in `[left:right]`.
+    pub left: usize,
+    /// Range bound of the last bit.
+    pub right: usize,
+    /// Member nets in declaration order (bit `left` first).
+    pub nets: Vec<NetId>,
+}
+
+impl Bus {
+    /// Number of bits.
+    pub fn width(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Bit index of the `k`-th member (declaration order).
+    pub fn index_of(&self, k: usize) -> usize {
+        if self.left >= self.right {
+            self.left - k
+        } else {
+            self.left + k
+        }
+    }
+}
+
+/// One element of a grouped port list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortGroup {
+    /// A port that stays scalar.
+    Scalar(NetId),
+    /// A contiguous run of indexed ports re-assembled into a vector.
+    Bus(Bus),
+}
+
+/// Groups an ordered port list (`netlist.inputs()` or `netlist.outputs()`)
+/// into scalars and trivially contiguous buses.
+///
+/// A run of ports qualifies as a bus only when it cannot change the meaning
+/// of any other name in the design:
+///
+/// * at least two members, with consecutive indices (ascending or
+///   descending) in port order;
+/// * the base name is not itself a net in the netlist;
+/// * every net of the netlist whose name parses as `base[k]` is part of the
+///   run (no stray members elsewhere — another port list or an internal
+///   wire).
+///
+/// Anything that fails those checks is returned as [`PortGroup::Scalar`], so
+/// writers can always fall back to the scalar rename/escape machinery.
+pub fn group_ports(netlist: &Netlist, ports: &[NetId]) -> Vec<PortGroup> {
+    group_ports_with(netlist, ports, &base_member_counts(netlist))
+}
+
+/// How many nets in the whole design use each indexed base name. One scan
+/// serves any number of [`group_ports_with`] calls.
+fn base_member_counts(netlist: &Netlist) -> HashMap<&str, usize> {
+    let mut members_of_base: HashMap<&str, usize> = HashMap::new();
+    for net in netlist.net_ids() {
+        if let Some((base, _)) = split_indexed(netlist.net_name(net)) {
+            *members_of_base.entry(base).or_insert(0) += 1;
+        }
+    }
+    members_of_base
+}
+
+fn group_ports_with(
+    netlist: &Netlist,
+    ports: &[NetId],
+    members_of_base: &HashMap<&str, usize>,
+) -> Vec<PortGroup> {
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < ports.len() {
+        let Some((base, first)) = split_indexed(netlist.net_name(ports[i])) else {
+            groups.push(PortGroup::Scalar(ports[i]));
+            i += 1;
+            continue;
+        };
+        // Extend the run while indices stay consecutive in one direction.
+        let mut run = 1;
+        let mut step: Option<isize> = None;
+        while i + run < ports.len() {
+            let Some((b, idx)) = split_indexed(netlist.net_name(ports[i + run])) else {
+                break;
+            };
+            if b != base {
+                break;
+            }
+            let prev = split_indexed(netlist.net_name(ports[i + run - 1]))
+                .expect("previous member already parsed")
+                .1;
+            let delta = idx as isize - prev as isize;
+            match step {
+                None if delta == 1 || delta == -1 => step = Some(delta),
+                Some(s) if delta == s => {}
+                _ => break,
+            }
+            run += 1;
+        }
+        let last = split_indexed(netlist.net_name(ports[i + run - 1]))
+            .expect("last member already parsed")
+            .1;
+        let safe = run >= 2
+            && netlist.net_id(base).is_none()
+            && members_of_base.get(base).copied() == Some(run);
+        if safe {
+            groups.push(PortGroup::Bus(Bus {
+                base: base.to_string(),
+                left: first,
+                right: last,
+                nets: ports[i..i + run].to_vec(),
+            }));
+        } else {
+            for &p in &ports[i..i + run] {
+                groups.push(PortGroup::Scalar(p));
+            }
+        }
+        i += run;
+    }
+    groups
+}
+
+/// Counts the buses detected in a port list (convenience for statistics).
+pub fn count_buses(netlist: &Netlist, ports: &[NetId]) -> usize {
+    group_ports(netlist, ports)
+        .iter()
+        .filter(|g| matches!(g, PortGroup::Bus(_)))
+        .count()
+}
+
+/// Counts `(input buses, output buses)` with a single scan of the design's
+/// net names shared between the two groupings.
+pub fn count_port_buses(netlist: &Netlist) -> (usize, usize) {
+    let counts = base_member_counts(netlist);
+    let tally = |ports: &[NetId]| {
+        group_ports_with(netlist, ports, &counts)
+            .iter()
+            .filter(|g| matches!(g, PortGroup::Bus(_)))
+            .count()
+    };
+    (tally(netlist.inputs()), tally(netlist.outputs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    #[test]
+    fn split_accepts_canonical_names_only() {
+        assert_eq!(split_indexed("d[3]"), Some(("d", 3)));
+        assert_eq!(split_indexed("d[0]"), Some(("d", 0)));
+        assert_eq!(split_indexed("m[1][2]"), Some(("m[1]", 2)));
+        assert_eq!(split_indexed("d[03]"), None);
+        assert_eq!(split_indexed("d[+3]"), None);
+        assert_eq!(split_indexed("[3]"), None);
+        assert_eq!(split_indexed("d[]"), None);
+        assert_eq!(split_indexed("plain"), None);
+        assert_eq!(split_indexed("d[3]x"), None);
+    }
+
+    #[test]
+    fn bit_name_is_the_inverse_of_split() {
+        let name = bit_name("data", 17);
+        assert_eq!(split_indexed(&name), Some(("data", 17)));
+    }
+
+    fn vectored() -> Netlist {
+        let mut nl = Netlist::new("v");
+        for i in (0..4).rev() {
+            nl.add_input(bit_name("d", i));
+        }
+        nl.add_input("en");
+        let a = nl.net_id("d[3]").unwrap();
+        let b = nl.net_id("d[2]").unwrap();
+        let y = nl.add_gate(GateKind::And, &[a, b], "y").unwrap();
+        nl.mark_output(y).unwrap();
+        nl
+    }
+
+    #[test]
+    fn descending_run_groups_into_a_bus() {
+        let nl = vectored();
+        let groups = group_ports(&nl, nl.inputs());
+        assert_eq!(groups.len(), 2);
+        let PortGroup::Bus(bus) = &groups[0] else {
+            panic!("expected a bus, got {groups:?}");
+        };
+        assert_eq!(bus.base, "d");
+        assert_eq!((bus.left, bus.right), (3, 0));
+        assert_eq!(bus.width(), 4);
+        assert_eq!(bus.index_of(0), 3);
+        assert_eq!(bus.index_of(3), 0);
+        assert!(matches!(groups[1], PortGroup::Scalar(_)));
+    }
+
+    #[test]
+    fn ascending_run_groups_with_reversed_bounds() {
+        let mut nl = Netlist::new("v");
+        for i in 0..3 {
+            nl.add_input(bit_name("a", i));
+        }
+        let y = nl
+            .add_gate(GateKind::Not, &[nl.net_id("a[0]").unwrap()], "y")
+            .unwrap();
+        nl.mark_output(y).unwrap();
+        let groups = group_ports(&nl, nl.inputs());
+        let PortGroup::Bus(bus) = &groups[0] else {
+            panic!("expected a bus");
+        };
+        assert_eq!((bus.left, bus.right), (0, 2));
+        assert_eq!(bus.index_of(1), 1);
+    }
+
+    #[test]
+    fn stray_member_elsewhere_blocks_grouping() {
+        let mut nl = vectored();
+        // An internal wire using the same base makes the group ambiguous.
+        let en = nl.net_id("en").unwrap();
+        nl.add_gate(GateKind::Not, &[en], "d[7]").unwrap();
+        let groups = group_ports(&nl, nl.inputs());
+        assert!(groups.iter().all(|g| matches!(g, PortGroup::Scalar(_))));
+    }
+
+    #[test]
+    fn base_name_collision_blocks_grouping() {
+        let mut nl = Netlist::new("v");
+        nl.add_input("d");
+        nl.add_input(bit_name("d", 1));
+        nl.add_input(bit_name("d", 0));
+        let y = nl
+            .add_gate(GateKind::Not, &[nl.net_id("d").unwrap()], "y")
+            .unwrap();
+        nl.mark_output(y).unwrap();
+        let groups = group_ports(&nl, nl.inputs());
+        assert!(groups.iter().all(|g| matches!(g, PortGroup::Scalar(_))));
+    }
+
+    #[test]
+    fn gaps_and_singletons_stay_scalar() {
+        let mut nl = Netlist::new("v");
+        nl.add_input(bit_name("a", 3));
+        nl.add_input(bit_name("a", 1)); // gap: 3 -> 1
+        nl.add_input(bit_name("b", 0)); // singleton
+        let y = nl
+            .add_gate(GateKind::Not, &[nl.net_id("a[3]").unwrap()], "y")
+            .unwrap();
+        nl.mark_output(y).unwrap();
+        let groups = group_ports(&nl, nl.inputs());
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|g| matches!(g, PortGroup::Scalar(_))));
+        assert_eq!(count_buses(&nl, nl.inputs()), 0);
+    }
+}

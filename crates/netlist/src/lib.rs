@@ -5,7 +5,10 @@
 //!
 //! * [`Netlist`] — a sequential gate-level circuit: primary inputs/outputs,
 //!   combinational gates and D flip-flops.
-//! * [`bench`] — parser and writer for the ISCAS'89 `.bench` format.
+//! * [`bench`](mod@bench) — parser and writer for the ISCAS'89 `.bench`
+//!   format.
+//! * [`bus`] — bit-blasted vector name metadata (`d[3]` ↔ bus `d`),
+//!   shared by the format frontends that expand and re-group vectors.
 //! * [`words`] — word-level synthesis helpers (comparators, counters,
 //!   reduction trees) used by the locking flow and the benchmark generator.
 //! * [`topo`] / [`cone`] — structural analysis: topological ordering,
@@ -41,6 +44,7 @@ mod ids;
 mod model;
 
 pub mod bench;
+pub mod bus;
 pub mod cone;
 pub mod stats;
 pub mod topo;

@@ -209,6 +209,31 @@ impl Netlist {
         self.nets[net.index()].driver
     }
 
+    /// Renames a net, keeping the name index consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidNetId`] for a foreign id and
+    /// [`NetlistError::DuplicateNet`] if another net already uses `new_name`.
+    pub fn rename_net(
+        &mut self,
+        net: NetId,
+        new_name: impl Into<String>,
+    ) -> Result<(), NetlistError> {
+        self.check_net(net)?;
+        let new_name = new_name.into();
+        if self.nets[net.index()].name == new_name {
+            return Ok(());
+        }
+        if self.by_name.contains_key(&new_name) {
+            return Err(NetlistError::DuplicateNet(new_name));
+        }
+        let old = std::mem::replace(&mut self.nets[net.index()].name, new_name.clone());
+        self.by_name.remove(&old);
+        self.by_name.insert(new_name, net);
+        Ok(())
+    }
+
     /// Generates a fresh, unique net name with the given prefix.
     pub fn fresh_name(&mut self, prefix: &str) -> String {
         loop {

@@ -22,6 +22,11 @@ pub struct NetlistStats {
     pub gate_histogram: BTreeMap<GateKind, usize>,
     /// Number of flip-flops per provenance class.
     pub dffs_by_class: BTreeMap<&'static str, usize>,
+    /// Number of input buses detected from bit-blasted port names
+    /// (see [`crate::bus::group_ports`]).
+    pub num_input_buses: usize,
+    /// Number of output buses detected from bit-blasted port names.
+    pub num_output_buses: usize,
 }
 
 impl NetlistStats {
@@ -40,6 +45,7 @@ impl NetlistStats {
             };
             *dffs_by_class.entry(key).or_insert(0) += 1;
         }
+        let (num_input_buses, num_output_buses) = crate::bus::count_port_buses(netlist);
         NetlistStats {
             num_inputs: netlist.num_inputs(),
             num_outputs: netlist.num_outputs(),
@@ -47,6 +53,8 @@ impl NetlistStats {
             num_gates: netlist.num_gates(),
             gate_histogram,
             dffs_by_class,
+            num_input_buses,
+            num_output_buses,
         }
     }
 
@@ -95,5 +103,26 @@ mod tests {
         assert_eq!(stats.gates_of_kind(GateKind::Xor), 0);
         assert_eq!(stats.dffs_by_class.get("locking"), Some(&1));
         assert!(stats.to_string().contains("PI=2"));
+        assert_eq!(stats.num_input_buses, 0);
+    }
+
+    #[test]
+    fn stats_detect_vectored_ports() {
+        let mut nl = Netlist::new("v");
+        let bits: Vec<_> = (0..4)
+            .rev()
+            .map(|i| nl.add_input(format!("d[{i}]")))
+            .collect();
+        let y0 = nl
+            .add_gate(GateKind::And, &[bits[0], bits[1]], "q[1]")
+            .unwrap();
+        let y1 = nl
+            .add_gate(GateKind::Or, &[bits[2], bits[3]], "q[0]")
+            .unwrap();
+        nl.mark_output(y0).unwrap();
+        nl.mark_output(y1).unwrap();
+        let stats = NetlistStats::of(&nl);
+        assert_eq!(stats.num_input_buses, 1);
+        assert_eq!(stats.num_output_buses, 1);
     }
 }

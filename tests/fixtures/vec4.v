@@ -1,0 +1,23 @@
+/* ITC'99-style vectored fixture: 4-bit load/rotate register with parity.
+   The leading block comment also exercises content sniffing. */
+module vec4 (d, en, q, par);
+  input [3:0] d;
+  input en;
+  output [3:0] q;
+  output par;
+  wire [3:0] dx;
+  wire [3:0] n;
+  // Rotate the data bus by two via a part-select concatenation.
+  assign dx = {d[1:0], d[3:2]};
+  MUX2 m3 (.Y(n[3]), .S(en), .A(q[3]), .B(dx[3]));
+  MUX2 m2 (.Y(n[2]), .S(en), .A(q[2]), .B(dx[2]));
+  MUX2 m1 (.Y(n[1]), .S(en), .A(q[1]), .B(dx[1]));
+  MUX2 m0 (.Y(n[0]), .S(en), .A(q[0]), .B(dx[0]));
+  DFF1 f3 (.Q(q[3]), .D(n[3]));
+  DFF f2 (.Q(q[2]), .D(n[2]));
+  DFF f1 (.Q(q[1]), .D(n[1]));
+  DFF f0 (.Q(q[0]), .D(n[0]));
+  xor p0 (w0, q[3], q[2]);
+  xor p1 (w1, q[1], q[0]);
+  xor p2 (par, w0, w1);
+endmodule
