@@ -10,7 +10,8 @@
 use rand::Rng;
 
 use netlist::Netlist;
-use sim::{SimError, Simulator};
+use sim::packed::{self, PackedSimulator, LANES};
+use sim::SimError;
 use trilock::KeySequence;
 
 /// Outcome of a brute-force key search.
@@ -21,13 +22,25 @@ pub struct KeySearchOutcome {
     pub key: Option<KeySequence>,
     /// Number of candidate keys tried.
     pub keys_tried: u64,
-    /// Number of oracle queries (simulated runs of the original circuit).
+    /// Number of probe validations performed (locked-circuit executions
+    /// compared against the recorded oracle responses; the oracle itself is
+    /// simulated once per probe and cached).
     pub oracle_queries: u64,
+}
+
+/// One packed batch of up to 64 probe sequences together with the recorded
+/// oracle output words.
+struct ProbeBatch {
+    input_words: Vec<Vec<u64>>,
+    oracle_words: Vec<Vec<u64>>,
+    lanes: usize,
 }
 
 /// Exhaustively searches the key space in numeric order (only sensible when
 /// `κ·|I|` is small), validating each candidate with `probes` random input
-/// sequences of `cycles` cycles.
+/// sequences of `cycles` cycles. The probes are packed 64 per lane-parallel
+/// run: the oracle responses are recorded once up front, and every candidate
+/// key is validated with one packed locked-circuit execution per batch.
 ///
 /// # Errors
 ///
@@ -41,6 +54,7 @@ pub fn exhaustive_key_search<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<KeySearchOutcome, SimError> {
     let width = original.num_inputs();
+    sim::check_same_interface(original, locked)?;
     let key_bits = kappa * width;
     if key_bits > 20 {
         return Err(SimError::InputWidthMismatch {
@@ -48,23 +62,54 @@ pub fn exhaustive_key_search<R: Rng + ?Sized>(
             got: key_bits,
         });
     }
-    let mut orig_sim = Simulator::new(original)?;
-    let mut lock_sim = Simulator::new(locked)?;
+    let mut orig_sim = PackedSimulator::new(original)?;
+    let mut lock_sim = PackedSimulator::new(locked)?;
     let mut keys_tried = 0u64;
     let mut oracle_queries = 0u64;
 
-    // Pre-draw the probe stimuli so every candidate faces the same tests.
-    let probes: Vec<Vec<Vec<bool>>> = (0..probes.max(1))
+    // Pre-draw the probe stimuli so every candidate faces the same tests,
+    // then record the oracle's packed responses once.
+    let probe_sequences: Vec<Vec<Vec<bool>>> = (0..probes.max(1))
         .map(|_| sim::stimulus::random_sequence(rng, width, cycles))
         .collect();
+    let mut batches = Vec::with_capacity(probe_sequences.len().div_ceil(LANES));
+    for chunk in probe_sequences.chunks(LANES) {
+        let input_words = packed::pack_sequences(chunk);
+        orig_sim.reset();
+        let oracle_words = input_words
+            .iter()
+            .map(|cycle| orig_sim.step(cycle))
+            .collect::<Result<Vec<_>, _>>()?;
+        batches.push(ProbeBatch {
+            input_words,
+            oracle_words,
+            lanes: chunk.len(),
+        });
+    }
 
     for key_value in 0..(1u64 << key_bits) {
         keys_tried += 1;
         let key = sim::stimulus::sequence_from_value(key_value, width, kappa);
+        let key_words = packed::broadcast_sequence(&key);
         let mut all_match = true;
-        for inputs in &probes {
-            oracle_queries += 1;
-            if sim::fc::outputs_differ(&mut orig_sim, &mut lock_sim, &key, inputs)? {
+        for batch in &batches {
+            oracle_queries += batch.lanes as u64;
+            let mask = packed::lane_mask(batch.lanes);
+            lock_sim.reset();
+            for cycle in &key_words {
+                lock_sim.step(cycle)?;
+            }
+            let mut diff = 0u64;
+            for (cycle, oracle) in batch.input_words.iter().zip(&batch.oracle_words) {
+                let got = lock_sim.step(cycle)?;
+                for (g, e) in got.iter().zip(oracle) {
+                    diff |= g ^ e;
+                }
+                if diff & mask != 0 {
+                    break;
+                }
+            }
+            if diff & mask != 0 {
                 all_match = false;
                 break;
             }

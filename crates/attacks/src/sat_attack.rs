@@ -14,8 +14,10 @@
 //!    the input/output observation as a constraint on both key copies.
 //! 4. When no further DIP exists, any key satisfying the accumulated
 //!    constraints is functionally correct *for the unrolled depth*; the
-//!    candidate is validated against longer random executions and, if the
-//!    validation fails, the unrolling depth is increased and the loop repeats.
+//!    candidate is validated against longer random executions (64 of them
+//!    per bit-parallel [`sim::PackedSimulator`] pass, see
+//!    [`sim::equiv::key_restores_function`]) and, if the validation fails,
+//!    the unrolling depth is increased and the loop repeats.
 
 use std::error::Error;
 use std::fmt;
@@ -81,7 +83,10 @@ pub struct SatAttackConfig {
     /// Maximum number of DIPs across all depths before giving up (the
     /// reproduction analogue of the paper's two-day timeout).
     pub max_dips: u64,
-    /// Number of random sequences used to validate a candidate key.
+    /// Number of random sequences used to validate a candidate key. The
+    /// validation runs on the 64-lane packed simulator (64 sequences per
+    /// pass), so the default of one full packed word costs the same wall
+    /// clock as a single sequence did on the scalar engine.
     pub verify_sequences: usize,
     /// Length (functional cycles) of each validation sequence.
     pub verify_cycles: usize,
@@ -93,7 +98,7 @@ impl Default for SatAttackConfig {
             initial_unroll: 1,
             max_unroll: 8,
             max_dips: 100_000,
-            verify_sequences: 32,
+            verify_sequences: 64,
             verify_cycles: 12,
         }
     }
@@ -217,6 +222,8 @@ impl<'a> SatAttack<'a> {
                     });
                 }
                 Some(candidate) => {
+                    // Randomized validation: `verify_sequences` random
+                    // executions, 64 per packed simulator pass.
                     let cex = sim::equiv::key_restores_function(
                         self.original,
                         self.locked,

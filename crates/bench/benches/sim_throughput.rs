@@ -1,0 +1,121 @@
+//! `sim_throughput` — scalar vs. 64-lane packed simulation throughput on a
+//! 4k-gate benchgen circuit, reported as gate evaluations per second.
+//!
+//! A *gate evaluation* is one gate computing one output value for one
+//! execution: a scalar run of `C` cycles performs `gates × C` of them, a
+//! packed run `gates × C × 64` (one per lane). The ratio of the two rates is
+//! the effective speedup the packed engine delivers to the Monte-Carlo
+//! pipelines (FC estimation, equivalence checking, key validation).
+//!
+//! Besides the console report, the bench appends one JSON row to
+//! `BENCH_sim_throughput.json` at the repository root so the throughput
+//! trajectory is tracked across commits. Run with:
+//!
+//! ```sh
+//! cargo bench -p trilock-bench --bench sim_throughput
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use benchgen::CircuitProfile;
+use criterion::black_box;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sim::{PackedSimulator, Simulator};
+
+/// Functional cycles per simulated run.
+const CYCLES: usize = 200;
+/// Minimum measured wall-clock per engine, amortizing timer overhead.
+const MIN_MEASURE: Duration = Duration::from_millis(400);
+
+fn main() {
+    let profile = CircuitProfile {
+        name: "sim4k",
+        inputs: 24,
+        outputs: 24,
+        dffs: 128,
+        gates: 4000,
+    };
+    let netlist = benchgen::generate(&profile, 7).expect("benchgen circuit builds");
+    let gates = netlist.num_gates();
+    let width = netlist.num_inputs();
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let scalar_stimulus: Vec<Vec<bool>> = (0..CYCLES)
+        .map(|_| (0..width).map(|_| rng.gen_bool(0.5)).collect())
+        .collect();
+    let packed_stimulus: Vec<Vec<u64>> = (0..CYCLES)
+        .map(|_| (0..width).map(|_| rng.gen::<u64>()).collect())
+        .collect();
+
+    let mut scalar_sim = Simulator::new(&netlist).expect("scalar simulator builds");
+    let scalar_secs_per_run = measure(|| {
+        black_box(scalar_sim.run_from_reset(&scalar_stimulus).expect("runs"));
+    });
+    let scalar_rate = (gates * CYCLES) as f64 / scalar_secs_per_run;
+
+    let mut packed_sim = PackedSimulator::new(&netlist).expect("packed simulator builds");
+    let packed_secs_per_run = measure(|| {
+        black_box(packed_sim.run_from_reset(&packed_stimulus).expect("runs"));
+    });
+    let packed_rate = (gates * CYCLES * sim::packed::LANES) as f64 / packed_secs_per_run;
+
+    let speedup = packed_rate / scalar_rate;
+    println!(
+        "bench sim_throughput: {gates} gates x {CYCLES} cycles ({} packed lanes)",
+        sim::packed::LANES
+    );
+    println!("  scalar  {scalar_rate:>12.3e} gate-evals/s ({scalar_secs_per_run:.6}s per run)");
+    println!("  packed  {packed_rate:>12.3e} gate-evals/s ({packed_secs_per_run:.6}s per run)");
+    println!("  speedup {speedup:.1}x (target: >= 10x)");
+
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let row = format!(
+        "{{\"bench\": \"sim_throughput\", \"unix_time\": {unix_time}, \"gates\": {gates}, \
+         \"cycles\": {CYCLES}, \"lanes\": {}, \"scalar_gate_evals_per_sec\": {scalar_rate:.4e}, \
+         \"packed_gate_evals_per_sec\": {packed_rate:.4e}, \"speedup\": {speedup:.2}}}",
+        sim::packed::LANES
+    );
+    match append_row(&row) {
+        Ok(path) => println!("  appended row to {}", path.display()),
+        Err(e) => eprintln!("  could not update BENCH_sim_throughput.json: {e}"),
+    }
+}
+
+/// Mean wall-clock seconds per invocation of `routine`, measured over at
+/// least [`MIN_MEASURE`] after one warm-up call.
+fn measure<F: FnMut()>(mut routine: F) -> f64 {
+    routine(); // warm-up
+    let start = Instant::now();
+    let mut runs = 0u32;
+    while start.elapsed() < MIN_MEASURE {
+        routine();
+        runs += 1;
+    }
+    start.elapsed().as_secs_f64() / f64::from(runs.max(1))
+}
+
+/// Appends one row to the JSON array in `BENCH_sim_throughput.json` at the
+/// repository root, creating the file on first use.
+fn append_row(row: &str) -> std::io::Result<PathBuf> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sim_throughput.json");
+    let content = match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let body = text.trim_end();
+            let body = body.strip_suffix(']').unwrap_or(body).trim_end();
+            let body = body.strip_suffix(',').unwrap_or(body);
+            if body.trim() == "[" || body.trim().is_empty() {
+                format!("[\n  {row}\n]\n")
+            } else {
+                format!("{body},\n  {row}\n]\n")
+            }
+        }
+        Err(_) => format!("[\n  {row}\n]\n"),
+    };
+    std::fs::write(&path, content)?;
+    Ok(path)
+}

@@ -10,6 +10,11 @@
 //! circuits whose primary-input count matches the benchmark, with the
 //! combinational bulk scaled down so a laptop stands in for the paper's Xeon
 //! server), and all other entries are extrapolated.
+//!
+//! Candidate-key validation inside each measured attack run executes on the
+//! 64-lane packed simulator (64 random validation sequences per pass, see
+//! [`attacks::SatAttackConfig::verify_sequences`]); only the per-DIP oracle
+//! queries use the scalar reference engine.
 
 use std::time::Duration;
 

@@ -1,7 +1,7 @@
 //! `trilock-cli` — the unified command-line driver of the TriLock
 //! reproduction.
 //!
-//! Four subcommands wire the library pipeline to any supported netlist
+//! Five subcommands wire the library pipeline to any supported netlist
 //! format (`.bench`, EDIF, structural Verilog; auto-detected from the file
 //! extension or content):
 //!
@@ -10,7 +10,10 @@
 //! * `lock` — apply the TriLock locking flow and export the locked design
 //!   plus its key sequence;
 //! * `sat-attack` — run the SAT-based unrolling attack against a locked
-//!   design, using the original as the oracle.
+//!   design, using the original as the oracle;
+//! * `fc` — estimate the functional corruptibility of a locked design
+//!   (paper Eq. 1) on the 64-lane packed simulator, over random keys or for
+//!   a specific key file.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -64,6 +67,17 @@ COMMANDS:
         --from pins the oracle's format, --locked-from the locked design's
         (each defaults to auto-detection).
 
+    fc <ORIGINAL> <LOCKED> --kappa N
+                    [--cycles N] [--samples N] [--seed N] [--key FILE]
+                    [--from FMT] [--locked-from FMT]
+        Estimate the functional corruptibility of the locked design against
+        the original (Eq. 1): the fraction of random (input, key) pairs whose
+        outputs diverge within --cycles functional cycles. Runs on the 64-lane
+        bit-parallel simulator (--samples, default 800, in packed batches).
+        With --key (a 0/1-per-line file as written by `lock --key-out`) the
+        FC of that specific key over random inputs is estimated instead, and
+        --kappa may be omitted.
+
     help
         Show this message.
 ";
@@ -115,6 +129,19 @@ fn run(args: &[String]) -> Result<(), String> {
                 "verify-sequences",
                 "verify-cycles",
                 "seed",
+                "from",
+                "locked-from",
+            ],
+        )?),
+        "fc" => cmd_fc(&Opts::parse(
+            rest,
+            2,
+            &[
+                "kappa",
+                "cycles",
+                "samples",
+                "seed",
+                "key",
                 "from",
                 "locked-from",
             ],
@@ -349,6 +376,98 @@ fn key_file(key: &KeySequence) -> String {
     out
 }
 
+/// Parses the `--key-out` file format back into key cycles: one line of
+/// `0`/`1` per cycle, each `width` bits wide.
+fn parse_key_file(text: &str, width: usize) -> Result<Vec<Vec<bool>>, String> {
+    let mut cycles = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut cycle = Vec::with_capacity(line.len());
+        for ch in line.chars() {
+            match ch {
+                '0' => cycle.push(false),
+                '1' => cycle.push(true),
+                other => {
+                    return Err(format!(
+                        "key file line {}: unexpected character `{other}` (expected 0/1)",
+                        index + 1
+                    ))
+                }
+            }
+        }
+        if cycle.len() != width {
+            return Err(format!(
+                "key file line {}: {} bits, but the circuit has {width} primary inputs",
+                index + 1,
+                cycle.len()
+            ));
+        }
+        cycles.push(cycle);
+    }
+    if cycles.is_empty() {
+        return Err("key file contains no key cycles".into());
+    }
+    Ok(cycles)
+}
+
+fn cmd_fc(opts: &Opts) -> Result<(), String> {
+    let original_path = opts.positional(0, "original path")?;
+    let locked_path = opts.positional(1, "locked path")?;
+    let cycles = opts.value("cycles", 8usize)?;
+    let samples = opts.value("samples", 800usize)?;
+    let seed = opts.value("seed", 1u64)?;
+
+    if opts.flags.contains_key("key") && opts.flags.contains_key("kappa") {
+        return Err(
+            "pass either `--kappa N` (FC over random keys) or `--key FILE` (FC of that \
+             key), not both"
+                .into(),
+        );
+    }
+
+    let original = read(original_path, opts.format("from")?)?;
+    let locked = read(locked_path, opts.format("locked-from")?)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let estimate = match opts.flags.get("key") {
+        Some(key_path) => {
+            let text = std::fs::read_to_string(key_path)
+                .map_err(|e| format!("cannot read `{key_path}`: {e}"))?;
+            let key = parse_key_file(&text, original.num_inputs())?;
+            say!(
+                "fc of key `{key_path}` ({} cycles) on {} (cycles = {cycles}, samples = {samples}, seed = {seed})",
+                key.len(),
+                brief(&locked)
+            );
+            sim::fc::estimate_fc_for_key(&original, &locked, &key, cycles, samples, &mut rng)
+                .map_err(|e| e.to_string())?
+        }
+        None => {
+            let kappa: usize = opts.required(
+                "kappa",
+                "key cycle count for random-key FC; or pass --key FILE",
+            )?;
+            say!(
+                "fc over random keys on {} (kappa = {kappa}, cycles = {cycles}, samples = {samples}, seed = {seed})",
+                brief(&locked)
+            );
+            sim::fc::estimate_fc(&original, &locked, kappa, cycles, samples, &mut rng)
+                .map_err(|e| e.to_string())?
+        }
+    };
+    say!(
+        "  fc = {:.4} ({} / {} samples corrupted; 64-lane packed simulation, {} passes)",
+        estimate.fc,
+        estimate.mismatches,
+        estimate.samples,
+        estimate.samples.div_ceil(sim::packed::LANES)
+    );
+    Ok(())
+}
+
 fn cmd_sat_attack(opts: &Opts) -> Result<(), String> {
     let original_path = opts.positional(0, "original (oracle) path")?;
     let locked_path = opts.positional(1, "locked path")?;
@@ -439,6 +558,25 @@ mod tests {
     fn key_file_renders_cycles_as_lines() {
         let key = KeySequence::from_cycles(vec![vec![true, false], vec![false, true]]);
         assert_eq!(key_file(&key), "10\n01\n");
+    }
+
+    #[test]
+    fn key_file_round_trips_through_the_parser() {
+        let key = KeySequence::from_cycles(vec![vec![true, false], vec![false, true]]);
+        let parsed = parse_key_file(&key_file(&key), 2).unwrap();
+        assert_eq!(parsed, key.cycles());
+    }
+
+    #[test]
+    fn key_parser_rejects_malformed_files() {
+        let err = parse_key_file("10\n2x\n", 2).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_key_file("101\n", 2).unwrap_err();
+        assert!(err.contains("3 bits"), "{err}");
+        assert!(parse_key_file("\n\n", 2).is_err());
+        // Blank lines and surrounding whitespace are tolerated.
+        let parsed = parse_key_file(" 10 \n\n01\n", 2).unwrap();
+        assert_eq!(parsed.len(), 2);
     }
 
     #[test]

@@ -177,6 +177,79 @@ fn lock_then_sat_attack_completes_on_the_edif_fixture() {
 }
 
 #[test]
+fn fc_reports_zero_for_the_correct_key_and_nonzero_over_random_keys() {
+    let dir = tmp_dir("fc");
+    let original = fixture("s27.bench");
+    let locked = dir.join("s27_locked.bench");
+    let key_out = dir.join("key.txt");
+
+    cli_ok(&[
+        "lock",
+        original.to_str().unwrap(),
+        locked.to_str().unwrap(),
+        "--kappa-s",
+        "1",
+        "--kappa-f",
+        "1",
+        "--alpha",
+        "0.6",
+        "--seed",
+        "5",
+        "--key-out",
+        key_out.to_str().unwrap(),
+    ]);
+
+    // The correct key must have FC = 0 exactly.
+    let stdout = cli_ok(&[
+        "fc",
+        original.to_str().unwrap(),
+        locked.to_str().unwrap(),
+        "--key",
+        key_out.to_str().unwrap(),
+        "--samples",
+        "200",
+    ]);
+    assert!(stdout.contains("fc = 0.0000"), "{stdout}");
+    assert!(stdout.contains("0 / 200 samples"), "{stdout}");
+
+    // Random keys are mostly wrong, so FC over random keys is positive.
+    let stdout = cli_ok(&[
+        "fc",
+        original.to_str().unwrap(),
+        locked.to_str().unwrap(),
+        "--kappa",
+        "2",
+        "--samples",
+        "200",
+        "--seed",
+        "7",
+    ]);
+    assert!(stdout.contains("fc = 0."), "{stdout}");
+    assert!(!stdout.contains("fc = 0.0000"), "{stdout}");
+
+    // Without --key, --kappa is required.
+    let output = cli(&["fc", original.to_str().unwrap(), locked.to_str().unwrap()]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--kappa"), "{stderr}");
+
+    // --key and --kappa conflict: one would silently win otherwise.
+    let output = cli(&[
+        "fc",
+        original.to_str().unwrap(),
+        locked.to_str().unwrap(),
+        "--key",
+        key_out.to_str().unwrap(),
+        "--kappa",
+        "2",
+    ]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("not both"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn errors_are_reported_with_nonzero_exit() {
     let output = cli(&["stats", "/no/such/file.bench"]);
     assert!(!output.status.success());

@@ -4,13 +4,20 @@
 //!
 //! * [`Simulator`] — two-valued, event-free cycle simulation (evaluate the
 //!   combinational cloud in topological order, then clock every register).
+//!   This is the *reference model*: one `bool` per net per cycle.
+//! * [`packed`] / [`PackedSimulator`] — the production Monte-Carlo engine:
+//!   64 independent simulation lanes packed into one `u64` per net, gates
+//!   evaluated with bitwise word operations. Everything that samples many
+//!   executions (FC estimation, randomized equivalence, candidate-key
+//!   validation) runs on this engine; the scalar simulator remains the
+//!   oracle it is differential-tested against (`tests/packed_vs_scalar.rs`).
 //! * [`stimulus`] — deterministic pseudo-random input/key sequence generation.
 //! * [`fc`] — Monte-Carlo estimation of the *functional corruptibility* of a
 //!   locked circuit (paper Eq. 1), mirroring the 800-sample VCS protocol used
-//!   in the paper's evaluation.
+//!   in the paper's evaluation — batched into ⌈800/64⌉ packed runs.
 //! * [`equiv`] — randomized sequential equivalence checking, used to confirm
 //!   that the correct key restores the original function and that attacks
-//!   recovered a usable key.
+//!   recovered a usable key; 64 sequences per packed pass.
 //!
 //! # Example
 //!
@@ -40,6 +47,8 @@ mod simulator;
 
 pub mod equiv;
 pub mod fc;
+pub mod packed;
 pub mod stimulus;
 
-pub use simulator::{SimError, Simulator};
+pub use packed::PackedSimulator;
+pub use simulator::{check_same_interface, SimError, Simulator};

@@ -18,6 +18,38 @@ pub enum SimError {
         /// Number of values supplied.
         got: usize,
     },
+    /// Two compared circuits have different primary-output counts.
+    OutputWidthMismatch {
+        /// Number of primary outputs of the reference circuit.
+        expected: usize,
+        /// Number of primary outputs of the compared circuit.
+        got: usize,
+    },
+}
+
+/// Checks that two netlists expose the same primary interface; every
+/// cross-circuit comparison entry point (equivalence, FC, key search) calls
+/// this before simulating so a shape mismatch fails loudly instead of being
+/// truncated away by lane-wise comparisons.
+///
+/// # Errors
+///
+/// Returns [`SimError::InputWidthMismatch`] or
+/// [`SimError::OutputWidthMismatch`] naming `a` as the reference.
+pub fn check_same_interface(a: &Netlist, b: &Netlist) -> Result<(), SimError> {
+    if a.num_inputs() != b.num_inputs() {
+        return Err(SimError::InputWidthMismatch {
+            expected: a.num_inputs(),
+            got: b.num_inputs(),
+        });
+    }
+    if a.num_outputs() != b.num_outputs() {
+        return Err(SimError::OutputWidthMismatch {
+            expected: a.num_outputs(),
+            got: b.num_outputs(),
+        });
+    }
+    Ok(())
 }
 
 impl fmt::Display for SimError {
@@ -27,6 +59,9 @@ impl fmt::Display for SimError {
             SimError::InputWidthMismatch { expected, got } => {
                 write!(f, "expected {expected} input values, got {got}")
             }
+            SimError::OutputWidthMismatch { expected, got } => {
+                write!(f, "expected {expected} primary outputs, got {got}")
+            }
         }
     }
 }
@@ -35,7 +70,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::InvalidNetlist(e) => Some(e),
-            SimError::InputWidthMismatch { .. } => None,
+            SimError::InputWidthMismatch { .. } | SimError::OutputWidthMismatch { .. } => None,
         }
     }
 }

@@ -1,0 +1,119 @@
+//! FC-estimator invariance: the packed Monte-Carlo estimator must be
+//! indistinguishable from the scalar reference — not statistically, but
+//! *exactly*, sample for sample — when seeded with the same stimulus stream,
+//! and its results must always be well-formed probabilities.
+//!
+//! Runs on a scaled-down circuit of every Table I benchgen profile, both
+//! against an equivalent circuit (FC must be 0) and against an inequivalent
+//! one of identical interface (FC-rich comparison).
+
+use benchgen::{generate_scaled, TABLE1_PROFILES};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim::stimulus;
+
+const SAMPLES: usize = 150; // deliberately not a multiple of 64
+
+#[test]
+fn packed_and_scalar_fc_agree_exactly_on_every_profile() {
+    for (index, profile) in TABLE1_PROFILES.iter().enumerate() {
+        let original = generate_scaled(profile, 64, 11).expect("circuit builds");
+        let other = generate_scaled(profile, 64, 12).expect("circuit builds");
+        for (locked, label) in [(&original, "self"), (&other, "other")] {
+            for kappa in [0usize, 2] {
+                let seed = 0xFC0 ^ (index as u64) << 4 ^ kappa as u64;
+                let packed_est = sim::fc::estimate_fc(
+                    &original,
+                    locked,
+                    kappa,
+                    4,
+                    SAMPLES,
+                    &mut StdRng::seed_from_u64(seed),
+                )
+                .expect("packed estimate runs");
+                let scalar_est = sim::fc::estimate_fc_scalar(
+                    &original,
+                    locked,
+                    kappa,
+                    4,
+                    SAMPLES,
+                    &mut StdRng::seed_from_u64(seed),
+                )
+                .expect("scalar estimate runs");
+                assert_eq!(
+                    packed_est, scalar_est,
+                    "profile {} vs {label}, kappa {kappa}: packed and scalar disagree",
+                    profile.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fc_estimates_are_well_formed_probabilities_on_every_profile() {
+    for (index, profile) in TABLE1_PROFILES.iter().enumerate() {
+        let original = generate_scaled(profile, 64, 21).expect("circuit builds");
+        let other = generate_scaled(profile, 64, 22).expect("circuit builds");
+        let mut rng = StdRng::seed_from_u64(31 + index as u64);
+        let est = sim::fc::estimate_fc(&original, &other, 1, 5, SAMPLES, &mut rng)
+            .expect("estimate runs");
+        assert_eq!(est.samples, SAMPLES, "profile {}", profile.name);
+        assert!(
+            est.mismatches <= est.samples,
+            "profile {}: {} mismatches > {} samples",
+            profile.name,
+            est.mismatches,
+            est.samples
+        );
+        assert!(
+            (0.0..=1.0).contains(&est.fc),
+            "profile {}: fc = {}",
+            profile.name,
+            est.fc
+        );
+        assert!(
+            (est.fc - est.mismatches as f64 / est.samples as f64).abs() < 1e-12,
+            "profile {}: fc inconsistent with counts",
+            profile.name
+        );
+
+        // A circuit with an empty key phase compared against itself never
+        // mismatches — register resets included.
+        let est = sim::fc::estimate_fc(&original, &original, 0, 5, SAMPLES, &mut rng)
+            .expect("estimate runs");
+        assert_eq!(est.mismatches, 0, "profile {}", profile.name);
+        assert_eq!(est.fc, 0.0, "profile {}", profile.name);
+    }
+}
+
+#[test]
+fn per_key_estimates_agree_with_the_scalar_reference() {
+    for (index, profile) in TABLE1_PROFILES.iter().enumerate().take(5) {
+        let original = generate_scaled(profile, 64, 41).expect("circuit builds");
+        let other = generate_scaled(profile, 64, 42).expect("circuit builds");
+        let width = original.num_inputs();
+        let mut key_rng = StdRng::seed_from_u64(43);
+        let key = stimulus::random_sequence(&mut key_rng, width, 2);
+        let seed = 0x5EED + index as u64;
+        let packed_est = sim::fc::estimate_fc_for_key(
+            &original,
+            &other,
+            &key,
+            4,
+            SAMPLES,
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .expect("packed estimate runs");
+        let scalar_est = sim::fc::estimate_fc_for_key_scalar(
+            &original,
+            &other,
+            &key,
+            4,
+            SAMPLES,
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .expect("scalar estimate runs");
+        assert_eq!(packed_est, scalar_est, "profile {}", profile.name);
+    }
+}

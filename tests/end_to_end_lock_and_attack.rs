@@ -3,6 +3,8 @@
 //! check that the recovered key restores the original function — the complete
 //! pipeline of the paper's evaluation at toy scale.
 
+use std::path::PathBuf;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -10,6 +12,7 @@ use trilock_suite::attacks::{estimate_min_unroll_depth, AttackStatus, SatAttack,
 use trilock_suite::benchgen::small;
 use trilock_suite::sim;
 use trilock_suite::trilock::{analytic, encrypt, TriLockConfig};
+use trilock_suite::trilock_io;
 
 #[test]
 fn full_pipeline_recovers_a_functionally_correct_key() {
@@ -65,6 +68,74 @@ fn full_pipeline_recovers_a_functionally_correct_key() {
     )
     .expect("equivalence check runs");
     assert!(cex.is_none(), "recovered key must restore the function");
+}
+
+/// Lock + SAT-attack each committed fixture with the packed 64-lane
+/// candidate-key validation, and prove the recovered key is functionally
+/// correct under both the packed checker and the scalar reference.
+#[test]
+fn committed_fixtures_survive_lock_and_attack_with_packed_validation() {
+    for (fixture, seed) in [("s27.bench", 2026u64), ("vec4.bench", 2027u64)] {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures")
+            .join(fixture);
+        let original = trilock_io::read_circuit(&path)
+            .unwrap_or_else(|e| panic!("fixture {fixture} reads: {e}"));
+        let config = TriLockConfig::new(1, 1).with_alpha(0.6);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let locked = encrypt(&original, &config, &mut rng).expect("locking succeeds");
+
+        let attack =
+            SatAttack::new(&original, &locked.netlist, locked.kappa()).expect("interfaces");
+        let attack_config = SatAttackConfig {
+            initial_unroll: 1,
+            max_unroll: 5,
+            max_dips: 20_000,
+            verify_sequences: 64, // one full packed word per validation pass
+            verify_cycles: 10,
+        };
+        let mut attack_rng = StdRng::seed_from_u64(seed + 1);
+        let outcome = attack
+            .run(&attack_config, &mut attack_rng)
+            .expect("attack runs");
+        let key = match outcome.status {
+            AttackStatus::KeyFound(key) => key,
+            other => panic!("{fixture}: attack did not finish: {other:?}"),
+        };
+
+        // Packed validation and the scalar reference agree that the key is
+        // functionally correct, and the per-key FC is exactly zero.
+        let packed_cex = sim::equiv::key_restores_function(
+            &original,
+            &locked.netlist,
+            key.cycles(),
+            12,
+            64,
+            &mut StdRng::seed_from_u64(seed + 2),
+        )
+        .expect("packed check runs");
+        assert!(packed_cex.is_none(), "{fixture}: recovered key fails");
+        let scalar_cex = sim::equiv::key_restores_function_scalar(
+            &original,
+            &locked.netlist,
+            key.cycles(),
+            12,
+            64,
+            &mut StdRng::seed_from_u64(seed + 2),
+        )
+        .expect("scalar check runs");
+        assert_eq!(packed_cex, scalar_cex, "{fixture}: engines disagree");
+        let est = sim::fc::estimate_fc_for_key(
+            &original,
+            &locked.netlist,
+            key.cycles(),
+            10,
+            128,
+            &mut StdRng::seed_from_u64(seed + 3),
+        )
+        .expect("fc estimate runs");
+        assert_eq!(est.mismatches, 0, "{fixture}: correct key has fc > 0");
+    }
 }
 
 #[test]
