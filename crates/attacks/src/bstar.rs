@@ -8,6 +8,12 @@
 //! replaying the key's own cycles as functional inputs — and records the
 //! first cycle at which an output error appears. The maximum over the sampled
 //! keys is the estimated `b*`. For TriLock this recovers `b* = κs`.
+//!
+//! Starting the attack at the right depth matters twice over: every skipped
+//! depth round saves a full miter construction, and with the constant-folded,
+//! cone-restricted DIP encoding (see [`crate::SatAttackConfig::simplify_cnf`])
+//! the per-observation CNF grows with the unrolled cone size, so `b*` directly
+//! bounds the formula each oracle query appends.
 
 use rand::Rng;
 

@@ -5,7 +5,11 @@
 //! Its expected cost is proportional to the key-space size `2^{κ·|I|}`, which
 //! is why the paper measures resilience in SAT-solver DIPs rather than oracle
 //! queries — but the baseline is useful both as a sanity check on tiny
-//! circuits and to illustrate the gap the SAT attack closes.
+//! circuits and to illustrate the gap the SAT attack closes. The SAT side of
+//! that comparison is reported by [`crate::SatAttackOutcome`], whose
+//! `solver_stats` field (decisions, propagations, conflicts, learnt-clause
+//! churn) is the solver-effort analogue of this module's `keys_tried` /
+//! `oracle_queries` counters.
 
 use rand::Rng;
 

@@ -26,7 +26,8 @@ use std::time::{Duration, Instant};
 use rand::Rng;
 
 use netlist::{unroll, Netlist, NetlistError};
-use sat::{miter, tseitin, Lit, SatResult, Solver};
+use sat::tseitin::Bound;
+use sat::{miter, tseitin, Lit, SatEngine, SatResult, Solver, SolverStats};
 use sim::{SimError, Simulator};
 use trilock::KeySequence;
 
@@ -90,6 +91,13 @@ pub struct SatAttackConfig {
     pub verify_sequences: usize,
     /// Length (functional cycles) of each validation sequence.
     pub verify_cycles: usize,
+    /// Constant-fold the DIP-constrained circuit copies and restrict them to
+    /// the cones of the observed outputs (default). With `false` every
+    /// oracle observation is encoded as two full circuit copies whose
+    /// functional inputs are fresh variables pinned to constants — the
+    /// pre-arena pipeline's shape, kept for the benchmark baseline and
+    /// differential testing.
+    pub simplify_cnf: bool,
 }
 
 impl Default for SatAttackConfig {
@@ -100,6 +108,7 @@ impl Default for SatAttackConfig {
             max_dips: 100_000,
             verify_sequences: 64,
             verify_cycles: 12,
+            simplify_cnf: true,
         }
     }
 }
@@ -132,6 +141,9 @@ pub struct SatAttackOutcome {
     pub solver_vars: usize,
     /// Number of SAT clauses in the final formula.
     pub solver_clauses: usize,
+    /// Solver effort (decisions, propagations, conflicts, restarts, learnt
+    /// clause churn) summed over the per-depth solvers of the run.
+    pub solver_stats: SolverStats,
 }
 
 impl SatAttackOutcome {
@@ -192,7 +204,7 @@ impl<'a> SatAttack<'a> {
         })
     }
 
-    /// Runs the attack.
+    /// Runs the attack on the default (arena) SAT engine.
     ///
     /// # Errors
     ///
@@ -202,13 +214,30 @@ impl<'a> SatAttack<'a> {
         config: &SatAttackConfig,
         rng: &mut R,
     ) -> Result<SatAttackOutcome, AttackError> {
+        self.run_with_engine::<Solver, R>(config, rng)
+    }
+
+    /// Runs the attack on a chosen SAT engine. The benchmark harness uses
+    /// this with [`sat::reference::Solver`] to measure the fast engine
+    /// against the retained pre-arena baseline on identical inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist, encoding and simulation errors.
+    pub fn run_with_engine<E: SatEngine, R: Rng + ?Sized>(
+        &self,
+        config: &SatAttackConfig,
+        rng: &mut R,
+    ) -> Result<SatAttackOutcome, AttackError> {
         let start = Instant::now();
         let mut total_dips = 0u64;
         let mut depth = config.initial_unroll.max(1);
+        let mut solver_stats = SolverStats::default();
 
         loop {
-            let round = self.attack_at_depth(depth, config, total_dips)?;
+            let round = self.attack_at_depth::<E>(depth, config, total_dips)?;
             total_dips = round.dips;
+            solver_stats.merge(&round.stats);
             match round.candidate {
                 None => {
                     // DIP budget ran out inside this depth.
@@ -219,6 +248,7 @@ impl<'a> SatAttack<'a> {
                         elapsed: start.elapsed(),
                         solver_vars: round.solver_vars,
                         solver_clauses: round.solver_clauses,
+                        solver_stats,
                     });
                 }
                 Some(candidate) => {
@@ -260,6 +290,7 @@ impl<'a> SatAttack<'a> {
                             elapsed: start.elapsed(),
                             solver_vars: round.solver_vars,
                             solver_clauses: round.solver_clauses,
+                            solver_stats,
                         });
                     }
                     // The candidate fails on longer executions: the unrolling
@@ -273,6 +304,7 @@ impl<'a> SatAttack<'a> {
                             elapsed: start.elapsed(),
                             solver_vars: round.solver_vars,
                             solver_clauses: round.solver_clauses,
+                            solver_stats,
                         });
                     }
                 }
@@ -280,7 +312,7 @@ impl<'a> SatAttack<'a> {
         }
     }
 
-    fn attack_at_depth(
+    fn attack_at_depth<E: SatEngine>(
         &self,
         depth: usize,
         config: &SatAttackConfig,
@@ -288,7 +320,7 @@ impl<'a> SatAttack<'a> {
     ) -> Result<DepthRound, AttackError> {
         let width = self.locked.num_inputs();
         let unrolled = unroll::unroll(self.locked, self.kappa + depth)?;
-        let mut solver = Solver::new();
+        let mut solver = E::default();
 
         // Shared functional input variables and per-copy key variables.
         let functional_vars: Vec<Vec<Lit>> = (0..depth)
@@ -313,9 +345,32 @@ impl<'a> SatAttack<'a> {
             })
             .collect();
 
-        let outputs_1 = self.encode_copy(&mut solver, &unrolled, &key_vars_1, &functional_vars)?;
-        let outputs_2 = self.encode_copy(&mut solver, &unrolled, &key_vars_2, &functional_vars)?;
-        let diff = miter::any_difference(&mut solver, &outputs_1, &outputs_2);
+        // Every copy of this depth round — the two miter copies here and the
+        // two DIP-constrained copies per oracle observation — encodes the
+        // same unrolled netlist; topologically sort it and flatten the
+        // observed-output roots once instead of once per copy.
+        let gate_order = netlist::topo::gate_order(&unrolled.netlist)?;
+        let observed: Vec<netlist::NetId> = (self.kappa..unrolled.cycles)
+            .flat_map(|t| unrolled.outputs[t].iter().copied())
+            .collect();
+
+        let outputs_1 = self.encode_copy(
+            &mut solver,
+            &unrolled,
+            &key_vars_1,
+            &functional_vars,
+            &gate_order,
+            config,
+        )?;
+        let outputs_2 = self.encode_copy(
+            &mut solver,
+            &unrolled,
+            &key_vars_2,
+            &functional_vars,
+            &gate_order,
+            config,
+        )?;
+        let diff = miter::any_difference_bounds(&mut solver, &outputs_1, &outputs_2);
 
         let mut oracle = Simulator::new(self.original)?;
         let mut dips = dips_so_far;
@@ -327,6 +382,7 @@ impl<'a> SatAttack<'a> {
                     dips,
                     solver_vars: solver.num_vars(),
                     solver_clauses: solver.num_clauses(),
+                    stats: solver.stats(),
                 });
             }
             match solver.solve_with_assumptions(&[diff]) {
@@ -343,9 +399,16 @@ impl<'a> SatAttack<'a> {
                     let response_flat: Vec<bool> = response.iter().flatten().copied().collect();
                     // Constrain both key copies to reproduce the observation.
                     for keys in [&key_vars_1, &key_vars_2] {
-                        let outs =
-                            self.encode_constrained_copy(&mut solver, &unrolled, keys, &dip)?;
-                        miter::assert_values(&mut solver, &outs, &response_flat);
+                        let outs = self.encode_constrained_copy(
+                            &mut solver,
+                            &unrolled,
+                            keys,
+                            &dip,
+                            &observed,
+                            &gate_order,
+                            config,
+                        )?;
+                        miter::assert_bound_values(&mut solver, &outs, &response_flat);
                     }
                 }
                 SatResult::Unsat => {
@@ -366,6 +429,7 @@ impl<'a> SatAttack<'a> {
                         dips,
                         solver_vars: solver.num_vars(),
                         solver_clauses: solver.num_clauses(),
+                        stats: solver.stats(),
                     });
                 }
             }
@@ -374,15 +438,18 @@ impl<'a> SatAttack<'a> {
 
     /// Encodes one copy of the unrolled locked circuit with the given key
     /// literals and shared functional-input literals; returns the flattened
-    /// functional-cycle output literals.
-    fn encode_copy(
+    /// functional-cycle output bindings.
+    fn encode_copy<E: SatEngine>(
         &self,
-        solver: &mut Solver,
+        solver: &mut E,
         unrolled: &unroll::Unrolled,
         key_vars: &[Vec<Lit>],
         functional_vars: &[Vec<Lit>],
-    ) -> Result<Vec<Lit>, AttackError> {
+        gate_order: &[netlist::GateId],
+        config: &SatAttackConfig,
+    ) -> Result<Vec<Bound>, AttackError> {
         let mut encoder = tseitin::CircuitEncoder::new(&unrolled.netlist)?;
+        encoder.set_folding(config.simplify_cnf);
         for (t, cycle) in key_vars.iter().enumerate() {
             for (i, &lit) in cycle.iter().enumerate() {
                 encoder.bind(unrolled.inputs[t][i], lit);
@@ -393,48 +460,65 @@ impl<'a> SatAttack<'a> {
                 encoder.bind(unrolled.inputs[self.kappa + t][i], lit);
             }
         }
-        encoder.encode(solver)?;
+        encoder.encode_ordered(solver, gate_order)?;
         let mut outputs = Vec::new();
         for t in self.kappa..unrolled.cycles {
             for &net in &unrolled.outputs[t] {
-                outputs.push(encoder.lit(net).expect("encoded net has a literal"));
+                outputs.push(encoder.bound(net).expect("encoded net has a binding"));
             }
         }
         Ok(outputs)
     }
 
     /// Encodes a copy whose functional inputs are fixed to the DIP constants;
-    /// returns the flattened functional outputs so they can be tied to the
-    /// oracle response.
-    fn encode_constrained_copy(
+    /// returns the flattened functional-output bindings so they can be tied
+    /// to the oracle response.
+    ///
+    /// With [`SatAttackConfig::simplify_cnf`] the DIP bits are bound as
+    /// folding constants and only the fan-in cones of the observed outputs
+    /// are encoded, so each observation adds a small key-dependent residue.
+    /// Without it, the DIP bits become fresh variables pinned by unit clauses
+    /// and the whole unrolled circuit is encoded verbatim (the pre-arena
+    /// pipeline's behavior).
+    #[allow(clippy::too_many_arguments)] // per-DIP hot path: shared precomputed state comes in by reference
+    fn encode_constrained_copy<E: SatEngine>(
         &self,
-        solver: &mut Solver,
+        solver: &mut E,
         unrolled: &unroll::Unrolled,
         key_vars: &[Vec<Lit>],
         dip: &[Vec<bool>],
-    ) -> Result<Vec<Lit>, AttackError> {
+        observed: &[netlist::NetId],
+        gate_order: &[netlist::GateId],
+        config: &SatAttackConfig,
+    ) -> Result<Vec<Bound>, AttackError> {
         let mut encoder = tseitin::CircuitEncoder::new(&unrolled.netlist)?;
+        encoder.set_folding(config.simplify_cnf);
         for (t, cycle) in key_vars.iter().enumerate() {
             for (i, &lit) in cycle.iter().enumerate() {
                 encoder.bind(unrolled.inputs[t][i], lit);
             }
         }
-        // Fix functional inputs to fresh variables constrained to constants
-        // (simpler than threading constants through the encoder).
         for (t, cycle) in dip.iter().enumerate() {
             for (i, &value) in cycle.iter().enumerate() {
-                let lit = Lit::positive(solver.new_var());
-                miter::assert_value(solver, lit, value);
-                encoder.bind(unrolled.inputs[self.kappa + t][i], lit);
+                let net = unrolled.inputs[self.kappa + t][i];
+                if config.simplify_cnf {
+                    encoder.bind_const(net, value);
+                } else {
+                    let lit = Lit::positive(solver.new_var());
+                    miter::assert_value(solver, lit, value);
+                    encoder.bind(net, lit);
+                }
             }
         }
-        encoder.encode(solver)?;
-        let mut outputs = Vec::new();
-        for t in self.kappa..unrolled.cycles {
-            for &net in &unrolled.outputs[t] {
-                outputs.push(encoder.lit(net).expect("encoded net has a literal"));
-            }
+        if config.simplify_cnf {
+            encoder.encode_cone_ordered(solver, observed, gate_order)?;
+        } else {
+            encoder.encode_ordered(solver, gate_order)?;
         }
+        let outputs = observed
+            .iter()
+            .map(|&net| encoder.bound(net).expect("encoded net has a binding"))
+            .collect();
         Ok(outputs)
     }
 }
@@ -445,6 +529,7 @@ struct DepthRound {
     dips: u64,
     solver_vars: usize,
     solver_clauses: usize,
+    stats: SolverStats,
 }
 
 #[cfg(test)]
@@ -479,6 +564,7 @@ mod tests {
             max_dips: 10_000,
             verify_sequences: 24,
             verify_cycles: 10,
+            ..SatAttackConfig::default()
         };
         let (outcome, locked) = attack_circuit(&original, &lock_config, 3, &attack_config);
         assert!(outcome.succeeded(), "attack failed: {:?}", outcome.status);
@@ -511,6 +597,7 @@ mod tests {
             max_dips: 10_000,
             verify_sequences: 16,
             verify_cycles: 10,
+            ..SatAttackConfig::default()
         };
         // The seed must produce a non-degenerate key: for some keys the very
         // first DIP pins the whole sequence and the attack finishes below the
@@ -553,6 +640,7 @@ mod tests {
             max_dips: 3,
             verify_sequences: 8,
             verify_cycles: 8,
+            ..SatAttackConfig::default()
         };
         let (outcome, _) = attack_circuit(&original, &lock_config, 9, &attack_config);
         assert_eq!(outcome.status, AttackStatus::DipBudgetExhausted);
@@ -578,6 +666,7 @@ mod tests {
             elapsed: Duration::from_secs(1),
             solver_vars: 0,
             solver_clauses: 0,
+            solver_stats: SolverStats::default(),
         };
         assert_eq!(outcome.seconds_per_dip(), 0.0);
         let outcome = SatAttackOutcome {

@@ -1,0 +1,177 @@
+//! `sat_attack_throughput` — arena SAT engine vs. the retained pre-arena
+//! baseline on a Table-I-style attack, reported as seconds per DIP.
+//!
+//! Both legs run the identical COMB-SAT unrolling attack (same benchgen
+//! profile, same lock, same seeds, same DIP budget):
+//!
+//! * **reference** — [`sat::reference::Solver`] with `simplify_cnf = false`:
+//!   the exact pre-PR pipeline (Vec-of-Vec clause store, clone-per-resolution
+//!   analysis, no reduce-DB, DIP constraints as two full circuit copies with
+//!   constant-pinned fresh variables);
+//! * **arena** — the default engine: flat-arena clause store, binary watch
+//!   lists, LBD reduce-DB + learnt minimization, and constant-folded,
+//!   cone-restricted DIP constraints.
+//!
+//! The attack must recover the same functional outcome on both legs; the
+//! figure of merit is `seconds_per_dip` (the paper's extrapolation ratio for
+//! the unfinished Table I entries), targeted at ≥ 2× lower on the arena leg.
+//!
+//! Besides the console report, the bench appends one JSON row to
+//! `BENCH_sat_attack.json` at the repository root so the SAT-stack
+//! trajectory is tracked across commits. Run with:
+//!
+//! ```sh
+//! cargo bench -p trilock-bench --bench sat_attack_throughput
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use attacks::{SatAttack, SatAttackConfig, SatAttackOutcome};
+use benchgen::CircuitProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trilock::{encrypt, TriLockConfig};
+
+/// Seed for circuit generation / locking / attack randomness.
+const SEED: u64 = 42;
+/// Resilience (κs) and corruptibility (κf) cycles of the lock.
+const KAPPA_S: usize = 2;
+const KAPPA_F: usize = 1;
+
+fn main() {
+    // A Table-I-shaped profile at measurable scale: κs·|I| = 8 key bits keep
+    // the analytic DIP count (2^8) large enough to time, small enough that
+    // the pre-arena baseline still finishes.
+    let profile = CircuitProfile {
+        name: "satbench",
+        inputs: 4,
+        outputs: 6,
+        dffs: 12,
+        gates: 160,
+    };
+    let original = benchgen::generate(&profile, SEED).expect("benchgen circuit builds");
+    let lock_config = TriLockConfig::new(KAPPA_S, KAPPA_F).with_alpha(0.6);
+    let mut lock_rng = StdRng::seed_from_u64(SEED);
+    let locked = encrypt(&original, &lock_config, &mut lock_rng).expect("locks");
+
+    let base = SatAttackConfig {
+        initial_unroll: KAPPA_S,
+        max_unroll: KAPPA_S + 3,
+        max_dips: 100_000,
+        verify_sequences: 32,
+        verify_cycles: locked.kappa() + 6,
+        simplify_cnf: true,
+    };
+
+    let run = |simplify: bool, reference: bool| -> SatAttackOutcome {
+        let attack =
+            SatAttack::new(&original, &locked.netlist, locked.kappa()).expect("interfaces");
+        let config = SatAttackConfig {
+            simplify_cnf: simplify,
+            ..base
+        };
+        let mut rng = StdRng::seed_from_u64(SEED + 1);
+        if reference {
+            attack
+                .run_with_engine::<sat::reference::Solver, _>(&config, &mut rng)
+                .expect("attack runs")
+        } else {
+            attack.run(&config, &mut rng).expect("attack runs")
+        }
+    };
+
+    println!(
+        "bench sat_attack_throughput: {profile}, kappa_s = {KAPPA_S}, kappa_f = {KAPPA_F}, \
+         seed = {SEED}"
+    );
+    let reference = run(false, true);
+    report("reference (pre-arena)", &reference);
+    let arena = run(true, false);
+    report("arena", &arena);
+
+    assert_eq!(
+        reference.succeeded(),
+        arena.succeeded(),
+        "both engines must reach the same outcome"
+    );
+
+    let speedup = reference.seconds_per_dip() / arena.seconds_per_dip();
+    println!("  speedup {speedup:.2}x seconds-per-dip (target: >= 2x)");
+
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let stats = arena.solver_stats;
+    let row = format!(
+        "{{\"bench\": \"sat_attack_throughput\", \"unix_time\": {unix_time}, \
+         \"gates\": {}, \"inputs\": {}, \"kappa_s\": {KAPPA_S}, \"kappa_f\": {KAPPA_F}, \
+         \"seed\": {SEED}, \"dips\": {}, \
+         \"seconds_per_dip\": {:.6e}, \"reference_seconds_per_dip\": {:.6e}, \
+         \"speedup\": {speedup:.2}, \"conflicts\": {}, \"propagations\": {}, \
+         \"decisions\": {}, \"learnt_live\": {}, \"learnt_deleted\": {}, \
+         \"reduces\": {}, \"minimized_lits\": {}, \"solver_vars\": {}, \
+         \"solver_clauses\": {}}}",
+        profile.gates,
+        profile.inputs,
+        arena.dips,
+        arena.seconds_per_dip(),
+        reference.seconds_per_dip(),
+        stats.conflicts,
+        stats.propagations,
+        stats.decisions,
+        stats.learned,
+        stats.deleted,
+        stats.reduces,
+        stats.minimized_lits,
+        arena.solver_vars,
+        arena.solver_clauses,
+    );
+    match append_row(&row) {
+        Ok(path) => println!("  appended row to {}", path.display()),
+        Err(e) => eprintln!("  could not update BENCH_sat_attack.json: {e}"),
+    }
+}
+
+fn report(label: &str, outcome: &SatAttackOutcome) {
+    let stats = &outcome.solver_stats;
+    println!(
+        "  {label:<22} dips = {}, seconds_per_dip = {:.6}, elapsed = {:.3}s",
+        outcome.dips,
+        outcome.seconds_per_dip(),
+        outcome.elapsed.as_secs_f64()
+    );
+    println!(
+        "  {:<22} cnf = {} vars / {} clauses; conflicts = {}, propagations = {}, \
+         learnt live/deleted = {}/{}",
+        "",
+        outcome.solver_vars,
+        outcome.solver_clauses,
+        stats.conflicts,
+        stats.propagations,
+        stats.learned,
+        stats.deleted
+    );
+}
+
+/// Appends one row to the JSON array in `BENCH_sat_attack.json` at the
+/// repository root, creating the file on first use.
+fn append_row(row: &str) -> std::io::Result<PathBuf> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sat_attack.json");
+    let content = match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let body = text.trim_end();
+            let body = body.strip_suffix(']').unwrap_or(body).trim_end();
+            let body = body.strip_suffix(',').unwrap_or(body);
+            if body.trim() == "[" || body.trim().is_empty() {
+                format!("[\n  {row}\n]\n")
+            } else {
+                format!("{body},\n  {row}\n]\n")
+            }
+        }
+        Err(_) => format!("[\n  {row}\n]\n"),
+    };
+    std::fs::write(&path, content)?;
+    Ok(path)
+}

@@ -31,6 +31,7 @@ fn bench_sat_attack(c: &mut Criterion) {
                 max_dips: 10_000,
                 verify_sequences: 16,
                 verify_cycles: 10,
+                ..SatAttackConfig::default()
             };
             let mut attack_rng = StdRng::seed_from_u64(9);
             let outcome = attack.run(&config, &mut attack_rng).expect("attack runs");

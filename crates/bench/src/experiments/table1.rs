@@ -203,6 +203,7 @@ fn measure_attack(
         max_dips: config.dip_budget,
         verify_sequences: 24,
         verify_cycles: locked.kappa() + 6,
+        ..SatAttackConfig::default()
     };
     let mut attack_rng = StdRng::seed_from_u64(seed ^ 0xa77ac);
     let outcome = attack.run(&attack_config, &mut attack_rng)?;

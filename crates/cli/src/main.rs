@@ -62,10 +62,12 @@ COMMANDS:
     sat-attack <ORIGINAL> <LOCKED> --kappa N
                     [--initial-unroll N] [--max-unroll N] [--max-dips N]
                     [--verify-sequences N] [--verify-cycles N] [--seed N]
-                    [--from FMT] [--locked-from FMT]
+                    [--engine fast|reference] [--from FMT] [--locked-from FMT]
         Run the SAT-based unrolling attack; ORIGINAL plays the oracle.
         --from pins the oracle's format, --locked-from the locked design's
-        (each defaults to auto-detection).
+        (each defaults to auto-detection). --engine reference runs the
+        retained pre-arena solver on unsimplified CNF (the baseline of
+        BENCH_sat_attack.json) instead of the arena engine.
 
     fc <ORIGINAL> <LOCKED> --kappa N
                     [--cycles N] [--samples N] [--seed N] [--key FILE]
@@ -129,6 +131,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "verify-sequences",
                 "verify-cycles",
                 "seed",
+                "engine",
                 "from",
                 "locked-from",
             ],
@@ -473,6 +476,16 @@ fn cmd_sat_attack(opts: &Opts) -> Result<(), String> {
     let locked_path = opts.positional(1, "locked path")?;
     let kappa: usize = opts.required("kappa", "key cycle length known to the attacker")?;
     let seed = opts.value("seed", 1u64)?;
+    let engine = opts.value("engine", "fast".to_string())?;
+    let reference_engine = match engine.as_str() {
+        "fast" => false,
+        "reference" => true,
+        other => {
+            return Err(format!(
+                "invalid `--engine {other}` (expected `fast` or `reference`)"
+            ))
+        }
+    };
 
     let defaults = SatAttackConfig::default();
     let config = SatAttackConfig {
@@ -481,25 +494,50 @@ fn cmd_sat_attack(opts: &Opts) -> Result<(), String> {
         max_dips: opts.value("max-dips", defaults.max_dips)?,
         verify_sequences: opts.value("verify-sequences", defaults.verify_sequences)?,
         verify_cycles: opts.value("verify-cycles", defaults.verify_cycles)?,
+        simplify_cnf: !reference_engine,
     };
 
     let original = read(original_path, opts.format("from")?)?;
     let locked = read(locked_path, opts.format("locked-from")?)?;
     let attack = SatAttack::new(&original, &locked, kappa).map_err(|e| e.to_string())?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let outcome = attack.run(&config, &mut rng).map_err(|e| e.to_string())?;
+    let outcome = if reference_engine {
+        attack.run_with_engine::<sat::reference::Solver, _>(&config, &mut rng)
+    } else {
+        attack.run(&config, &mut rng)
+    }
+    .map_err(|e| e.to_string())?;
 
     say!(
-        "sat-attack on {} (kappa = {kappa}, seed = {seed})",
+        "sat-attack on {} (kappa = {kappa}, seed = {seed}, engine = {engine})",
         brief(&locked)
     );
     say!(
-        "  dips = {}, unroll depth = {}, elapsed = {:.3}s, cnf = {} vars / {} clauses",
+        "  dips = {}, seconds_per_dip = {:.6}, unroll depth = {}, elapsed = {:.3}s",
         outcome.dips,
+        outcome.seconds_per_dip(),
         outcome.unroll_depth,
         outcome.elapsed.as_secs_f64(),
+    );
+    say!(
+        "  cnf = {} vars / {} clauses",
         outcome.solver_vars,
         outcome.solver_clauses
+    );
+    let stats = &outcome.solver_stats;
+    say!(
+        "  effort: decisions = {}, propagations = {}, conflicts = {}, restarts = {}",
+        stats.decisions,
+        stats.propagations,
+        stats.conflicts,
+        stats.restarts
+    );
+    say!(
+        "  learnt: live = {}, deleted = {}, reduce-db passes = {}, minimized lits = {}",
+        stats.learned,
+        stats.deleted,
+        stats.reduces,
+        stats.minimized_lits
     );
     match &outcome.status {
         AttackStatus::KeyFound(key) => say!("  status = key found: {key}"),

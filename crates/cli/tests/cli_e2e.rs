@@ -172,7 +172,32 @@ fn lock_then_sat_attack_completes_on_the_edif_fixture() {
         "9",
     ]);
     assert!(stdout.contains("dips ="), "{stdout}");
+    assert!(stdout.contains("seconds_per_dip ="), "{stdout}");
+    assert!(stdout.contains("effort: decisions ="), "{stdout}");
+    assert!(stdout.contains("learnt: live ="), "{stdout}");
     assert!(stdout.contains("status ="), "{stdout}");
+
+    // The retained pre-arena engine must reach the same verdict through the
+    // same CLI surface.
+    let ref_stdout = cli_ok(&[
+        "sat-attack",
+        original.to_str().unwrap(),
+        locked.to_str().unwrap(),
+        "--kappa",
+        "2",
+        "--max-unroll",
+        "4",
+        "--seed",
+        "9",
+        "--engine",
+        "reference",
+    ]);
+    assert!(ref_stdout.contains("engine = reference"), "{ref_stdout}");
+    assert_eq!(
+        stdout.contains("status = key found"),
+        ref_stdout.contains("status = key found"),
+        "engines disagree:\n{stdout}\n{ref_stdout}"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

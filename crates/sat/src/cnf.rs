@@ -1,5 +1,6 @@
 //! Clause database in conjunctive normal form.
 
+use crate::engine::ClauseSink;
 use crate::types::{Lit, Var};
 
 /// A CNF formula: a number of variables plus a list of clauses.
@@ -97,6 +98,28 @@ impl Cnf {
             }
         }
         None
+    }
+}
+
+impl ClauseSink for Cnf {
+    fn new_var(&mut self) -> Var {
+        Cnf::new_var(self)
+    }
+
+    /// Stores the clause verbatim. Returns `false` for the empty clause
+    /// (the formula is then trivially unsatisfiable), mirroring the solver
+    /// contract.
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        Cnf::add_clause(self, lits);
+        !lits.is_empty()
+    }
+
+    fn num_vars(&self) -> usize {
+        Cnf::num_vars(self)
+    }
+
+    fn num_clauses(&self) -> usize {
+        Cnf::num_clauses(self)
     }
 }
 

@@ -98,6 +98,31 @@ pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
     Ok(cnf)
 }
 
+/// Parses a DIMACS CNF document and loads it into a clause sink (typically a
+/// solver), allocating variables as needed. Returns the number of clauses
+/// added.
+///
+/// This is the convenience load path for solving externally produced
+/// instances; it parses into a temporary [`Cnf`] first, so peak memory is
+/// one full copy of the formula plus the sink's own representation.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] under the same conditions as [`parse`].
+pub fn read_into<S: crate::ClauseSink>(
+    text: &str,
+    sink: &mut S,
+) -> Result<usize, ParseDimacsError> {
+    let cnf = parse(text)?;
+    while sink.num_vars() < cnf.num_vars() {
+        sink.new_var();
+    }
+    for clause in cnf.clauses() {
+        sink.add_clause(clause);
+    }
+    Ok(cnf.num_clauses())
+}
+
 /// Serializes a CNF formula to the DIMACS format.
 pub fn write(cnf: &Cnf) -> String {
     let mut out = String::new();
@@ -160,6 +185,24 @@ p cnf 3 3
                 assert!(cnf.evaluate(&assignment));
             }
             SatResult::Unsat => assert!(cnf.brute_force().is_none()),
+        }
+    }
+
+    #[test]
+    fn read_into_streams_clauses_into_a_solver() {
+        let mut solver = Solver::new();
+        let added = read_into(SAMPLE, &mut solver).unwrap();
+        assert_eq!(added, 3);
+        assert_eq!(crate::ClauseSink::num_vars(&solver), 3);
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                let cnf = parse(SAMPLE).unwrap();
+                let assignment: Vec<bool> = (0..cnf.num_vars())
+                    .map(|i| model.value(crate::Var::from_index(i)))
+                    .collect();
+                assert!(cnf.evaluate(&assignment));
+            }
+            SatResult::Unsat => panic!("sample is satisfiable"),
         }
     }
 

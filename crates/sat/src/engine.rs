@@ -1,0 +1,184 @@
+//! Solver-facing result types and the engine abstraction.
+//!
+//! Two traits split what a CNF consumer can be:
+//!
+//! * [`ClauseSink`] — anything that accepts fresh variables and clauses. The
+//!   Tseitin encoder and the miter helpers are generic over this, so a
+//!   formula can be streamed into a solving engine or into a plain [`Cnf`]
+//!   container for inspection/serialization.
+//! * [`SatEngine`] — a clause sink that can also be solved, incrementally and
+//!   under assumptions. Both the arena-based [`Solver`] and the retained
+//!   [`reference::Solver`] implement it, which is how the attack loop and the
+//!   benchmarks run the same DIP pipeline on either engine.
+//!
+//! [`Cnf`]: crate::Cnf
+//! [`Solver`]: crate::Solver
+//! [`reference::Solver`]: crate::reference::Solver
+
+use crate::types::{Lit, Var};
+
+/// Outcome of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// The formula (under the given assumptions) is satisfiable; a model is
+    /// attached.
+    Sat(Model),
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Returns the model if the result is SAT.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            SatResult::Unsat => None,
+        }
+    }
+
+    /// `true` when satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// A complete satisfying assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    pub(crate) values: Vec<bool>,
+}
+
+impl Model {
+    /// Value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable was created after the model was extracted.
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// Value of a literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying variable is out of range.
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        self.value(lit.var()) ^ lit.is_negative()
+    }
+
+    /// Number of variables covered by the model.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the model covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Search statistics, useful for reporting attack effort.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of literal propagations.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently stored (live count: decremented
+    /// when reduce-DB deletes a clause).
+    pub learned: u64,
+    /// Number of learnt clauses deleted by reduce-DB.
+    pub deleted: u64,
+    /// Number of reduce-DB passes performed.
+    pub reduces: u64,
+    /// Number of literals stripped from learnt clauses by self-subsumption
+    /// minimization against reason clauses.
+    pub minimized_lits: u64,
+}
+
+impl SolverStats {
+    /// Accumulates `other` into `self`, field by field. Used to aggregate the
+    /// effort of the per-depth solvers of an attack run into one report.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.learned += other.learned;
+        self.deleted += other.deleted;
+        self.reduces += other.reduces;
+        self.minimized_lits += other.minimized_lits;
+    }
+}
+
+/// A consumer of CNF: fresh variables plus clauses.
+pub trait ClauseSink {
+    /// Allocates a fresh variable.
+    fn new_var(&mut self) -> Var;
+
+    /// Adds a clause (a disjunction of literals). Returns `false` if the
+    /// clause database became unsatisfiable at the root level.
+    fn add_clause(&mut self, lits: &[Lit]) -> bool;
+
+    /// Number of allocated variables.
+    fn num_vars(&self) -> usize;
+
+    /// Number of clauses currently stored.
+    fn num_clauses(&self) -> usize;
+}
+
+/// A clause sink that can be solved, incrementally and under assumptions.
+pub trait SatEngine: ClauseSink + Default {
+    /// Solves the current clause database.
+    fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves the clause database under the given assumption literals.
+    fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult;
+
+    /// Search statistics accumulated so far.
+    fn stats(&self) -> SolverStats;
+
+    /// `false` once the clause database has been proven unsatisfiable at the
+    /// root level.
+    fn is_consistent(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_merge_sums_every_field() {
+        let mut a = SolverStats {
+            decisions: 1,
+            propagations: 2,
+            conflicts: 3,
+            restarts: 4,
+            learned: 5,
+            deleted: 6,
+            reduces: 7,
+            minimized_lits: 8,
+        };
+        a.merge(&a.clone());
+        assert_eq!(
+            a,
+            SolverStats {
+                decisions: 2,
+                propagations: 4,
+                conflicts: 6,
+                restarts: 8,
+                learned: 10,
+                deleted: 12,
+                reduces: 14,
+                minimized_lits: 16,
+            }
+        );
+    }
+}

@@ -3,15 +3,22 @@
 //! The SAT-based sequential attack of the paper (COMB-SAT on the unrolled
 //! locked circuit) needs three ingredients, all provided here from scratch:
 //!
-//! * [`Solver`] — a conflict-driven clause-learning (CDCL) SAT solver with
-//!   two-literal watching, VSIDS branching, first-UIP learning, phase saving
-//!   and Luby restarts. It supports incremental clause addition between
-//!   `solve` calls and solving under assumptions.
+//! * [`Solver`] — an attack-scale conflict-driven clause-learning (CDCL) SAT
+//!   solver: flat-arena clause store with specialized binary watch lists,
+//!   two-literal watching, VSIDS branching, first-UIP learning with
+//!   self-subsumption minimization, LBD-guided learnt-clause reduction,
+//!   phase saving and Luby restarts. It supports incremental clause addition
+//!   between `solve` calls and solving under assumptions. The pre-arena
+//!   implementation is retained as [`reference::Solver`] and pinned against
+//!   the fast engine by a differential fuzz suite.
 //! * [`Cnf`] / [`dimacs`] — a clause database and DIMACS reader/writer used
-//!   for testing and interoperability.
+//!   for testing and interoperability. The [`ClauseSink`] trait lets the
+//!   encoders below target either a solving engine or a plain [`Cnf`].
 //! * [`tseitin`] — Tseitin encoding of combinational [`netlist::Netlist`]s
 //!   into CNF, with support for sharing variables between circuit copies
-//!   (the key ingredient of miter construction).
+//!   (the key ingredient of miter construction), binding nets to constants
+//!   with gate-level constant folding, and cone-of-influence restricted
+//!   encoding — the combination that keeps each DIP observation cheap.
 //! * [`miter`] — helper constraints: equality, difference ("at least one
 //!   output differs"), and fixing nets to constants.
 //!
@@ -35,13 +42,16 @@
 #![warn(missing_docs)]
 
 mod cnf;
+mod engine;
 mod solver;
 mod types;
 
 pub mod dimacs;
 pub mod miter;
+pub mod reference;
 pub mod tseitin;
 
 pub use cnf::Cnf;
-pub use solver::{Model, SatResult, Solver, SolverStats};
+pub use engine::{ClauseSink, Model, SatEngine, SatResult, SolverStats};
+pub use solver::Solver;
 pub use types::{Lit, Var};

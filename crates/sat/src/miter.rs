@@ -9,12 +9,18 @@
 //!   copy to the oracle response;
 //! * ask for *some* difference between two output vectors — the core of the
 //!   DIP search.
+//!
+//! All helpers are generic over [`ClauseSink`], so they can target either
+//! solving engine (or a plain [`crate::Cnf`]). The `*_bounds` variants accept
+//! [`Bound`]s — outputs of a constant-folding encode may be compile-time
+//! constants rather than literals, and the constraints simplify accordingly.
 
-use crate::solver::Solver;
+use crate::engine::ClauseSink;
+use crate::tseitin::Bound;
 use crate::types::Lit;
 
 /// Forces `lit` to take the given Boolean value.
-pub fn assert_value(solver: &mut Solver, lit: Lit, value: bool) {
+pub fn assert_value<S: ClauseSink>(solver: &mut S, lit: Lit, value: bool) {
     solver.add_clause(&[if value { lit } else { !lit }]);
 }
 
@@ -23,7 +29,7 @@ pub fn assert_value(solver: &mut Solver, lit: Lit, value: bool) {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
-pub fn assert_values(solver: &mut Solver, lits: &[Lit], values: &[bool]) {
+pub fn assert_values<S: ClauseSink>(solver: &mut S, lits: &[Lit], values: &[bool]) {
     assert_eq!(
         lits.len(),
         values.len(),
@@ -34,8 +40,39 @@ pub fn assert_values(solver: &mut Solver, lits: &[Lit], values: &[bool]) {
     }
 }
 
+/// Forces a bound net to the given value. A literal gets a unit clause; a
+/// matching constant needs nothing; a contradicting constant adds the empty
+/// clause, making the formula unsatisfiable (no assignment can reconcile a
+/// folded constant with the opposite observation).
+pub fn assert_bound<S: ClauseSink>(solver: &mut S, bound: Bound, value: bool) {
+    match bound {
+        Bound::Lit(lit) => assert_value(solver, lit, value),
+        Bound::Const(v) => {
+            if v != value {
+                solver.add_clause(&[]);
+            }
+        }
+    }
+}
+
+/// Forces every bound of `bounds` to the corresponding value in `values`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn assert_bound_values<S: ClauseSink>(solver: &mut S, bounds: &[Bound], values: &[bool]) {
+    assert_eq!(
+        bounds.len(),
+        values.len(),
+        "bound and value vectors must have the same width"
+    );
+    for (&bound, &value) in bounds.iter().zip(values) {
+        assert_bound(solver, bound, value);
+    }
+}
+
 /// Forces `a = b`.
-pub fn assert_equal(solver: &mut Solver, a: Lit, b: Lit) {
+pub fn assert_equal<S: ClauseSink>(solver: &mut S, a: Lit, b: Lit) {
     solver.add_clause(&[!a, b]);
     solver.add_clause(&[a, !b]);
 }
@@ -45,7 +82,7 @@ pub fn assert_equal(solver: &mut Solver, a: Lit, b: Lit) {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
-pub fn assert_equal_words(solver: &mut Solver, a: &[Lit], b: &[Lit]) {
+pub fn assert_equal_words<S: ClauseSink>(solver: &mut S, a: &[Lit], b: &[Lit]) {
     assert_eq!(a.len(), b.len(), "words must have the same width");
     for (&x, &y) in a.iter().zip(b) {
         assert_equal(solver, x, y);
@@ -53,7 +90,7 @@ pub fn assert_equal_words(solver: &mut Solver, a: &[Lit], b: &[Lit]) {
 }
 
 /// Returns a fresh literal that is true iff `a != b`.
-pub fn difference(solver: &mut Solver, a: Lit, b: Lit) -> Lit {
+pub fn difference<S: ClauseSink>(solver: &mut S, a: Lit, b: Lit) -> Lit {
     let d = Lit::positive(solver.new_var());
     // d = a xor b
     solver.add_clause(&[!d, a, b]);
@@ -71,15 +108,54 @@ pub fn difference(solver: &mut Solver, a: Lit, b: Lit) -> Lit {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
-pub fn any_difference(solver: &mut Solver, a: &[Lit], b: &[Lit]) -> Lit {
+pub fn any_difference<S: ClauseSink>(solver: &mut S, a: &[Lit], b: &[Lit]) -> Lit {
     assert_eq!(a.len(), b.len(), "words must have the same width");
-    let diffs: Vec<Lit> = a
-        .iter()
-        .zip(b)
-        .map(|(&x, &y)| difference(solver, x, y))
-        .collect();
+    let bounds_a: Vec<Bound> = a.iter().map(|&l| Bound::Lit(l)).collect();
+    let bounds_b: Vec<Bound> = b.iter().map(|&l| Bound::Lit(l)).collect();
+    any_difference_bounds(solver, &bounds_a, &bounds_b)
+}
+
+/// [`any_difference`] over bound words: constant/constant pairs are compared
+/// statically, constant/literal pairs contribute the (possibly negated)
+/// literal itself, and only literal/literal pairs spend a fresh XOR variable.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn any_difference_bounds<S: ClauseSink>(solver: &mut S, a: &[Bound], b: &[Bound]) -> Lit {
+    assert_eq!(a.len(), b.len(), "words must have the same width");
+    let mut diffs: Vec<Lit> = Vec::with_capacity(a.len());
+    let mut statically_different = false;
+    for (&x, &y) in a.iter().zip(b) {
+        match (x, y) {
+            (Bound::Const(u), Bound::Const(v)) => {
+                if u != v {
+                    statically_different = true;
+                }
+            }
+            (Bound::Const(u), Bound::Lit(l)) | (Bound::Lit(l), Bound::Const(u)) => {
+                // The pair differs iff the literal disagrees with the constant.
+                diffs.push(if u { !l } else { l });
+            }
+            (Bound::Lit(p), Bound::Lit(q)) => {
+                if p == q {
+                    continue; // structurally equal: can never differ
+                } else if p == !q {
+                    statically_different = true;
+                } else {
+                    diffs.push(difference(solver, p, q));
+                }
+            }
+        }
+    }
     let any = Lit::positive(solver.new_var());
-    // any = OR(diffs)
+    if statically_different {
+        // Some pair differs under every assignment.
+        solver.add_clause(&[any]);
+        return any;
+    }
+    // any = OR(diffs); with no candidate pairs the words are identical and
+    // `any` is forced false.
     let mut long = Vec::with_capacity(diffs.len() + 1);
     for &d in &diffs {
         solver.add_clause(&[any, !d]);
@@ -149,6 +225,50 @@ mod tests {
                 assert_ne!(va, vb);
             }
             SatResult::Unsat => panic!("difference must be achievable"),
+        }
+    }
+
+    #[test]
+    fn bound_values_handle_constants_and_contradictions() {
+        // Matching constants add nothing; a contradicting constant makes the
+        // database UNSAT.
+        let mut s = Solver::new();
+        let l = Lit::positive(s.new_var());
+        assert_bound_values(&mut s, &[Bound::Const(true), Bound::Lit(l)], &[true, false]);
+        match s.solve() {
+            SatResult::Sat(m) => assert!(!m.lit_value(l)),
+            SatResult::Unsat => panic!("satisfiable"),
+        }
+        assert_bound(&mut s, Bound::Const(false), true);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(!s.is_consistent());
+    }
+
+    #[test]
+    fn any_difference_bounds_simplifies_statically() {
+        // Identical literals and equal constants → difference impossible.
+        let mut s = Solver::new();
+        let l = Lit::positive(s.new_var());
+        let same = [Bound::Lit(l), Bound::Const(true)];
+        let diff = any_difference_bounds(&mut s, &same, &same);
+        assert_eq!(s.solve_with_assumptions(&[diff]), SatResult::Unsat);
+
+        // A constant/constant mismatch → difference guaranteed.
+        let mut s = Solver::new();
+        let diff = any_difference_bounds(&mut s, &[Bound::Const(true)], &[Bound::Const(false)]);
+        match s.solve() {
+            SatResult::Sat(m) => assert!(m.lit_value(diff)),
+            SatResult::Unsat => panic!("satisfiable"),
+        }
+
+        // Constant vs. literal → the difference tracks the literal.
+        let mut s = Solver::new();
+        let l = Lit::positive(s.new_var());
+        let diff = any_difference_bounds(&mut s, &[Bound::Const(false)], &[Bound::Lit(l)]);
+        s.add_clause(&[diff]);
+        match s.solve() {
+            SatResult::Sat(m) => assert!(m.lit_value(l), "difference forces l = 1"),
+            SatResult::Unsat => panic!("satisfiable"),
         }
     }
 

@@ -1,0 +1,724 @@
+//! The retained reference CDCL solver (pre-arena implementation).
+//!
+//! This is the original correct-but-naive MiniSat port the workspace shipped
+//! before the arena-based [`crate::Solver`] replaced it on the hot path:
+//! clauses live in a `Vec<Clause>`-of-`Vec<Lit>` store, conflict analysis
+//! clones every resolved clause, learnt clauses accumulate forever (no
+//! reduce-DB, no minimization) and binary clauses go through the generic
+//! watch machinery. It is kept for the same reason `sim::Simulator` outlived
+//! `sim::PackedSimulator`: as the behavioral baseline that the differential
+//! fuzz suite (`crates/sat/tests/solver_fuzz.rs`) pins the fast engine
+//! against, and as the "pre-PR engine" leg of the `sat_attack_throughput`
+//! benchmark.
+//!
+//! The implementation follows the classic MiniSat architecture: two-literal
+//! watches, first-UIP conflict analysis with non-chronological backjumping,
+//! VSIDS variable activities with an indexed max-heap, phase saving and Luby
+//! restarts. Clauses can be added incrementally between `solve` calls and a
+//! query can be solved under a set of assumption literals.
+
+use crate::engine::{ClauseSink, Model, SatEngine, SatResult, SolverStats};
+use crate::types::{Lit, Var};
+
+const LBOOL_FALSE: u8 = 0;
+const LBOOL_TRUE: u8 = 1;
+const LBOOL_UNDEF: u8 = 2;
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    clause: u32,
+    blocker: Lit,
+}
+
+/// Reference CDCL SAT solver with the same public surface as the arena-based
+/// [`crate::Solver`]. See the [module documentation](self) for why it exists.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assign: Vec<u8>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: Vec<Var>,
+    heap_pos: Vec<usize>,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const NOT_IN_HEAP: usize = usize::MAX;
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assign.len());
+        self.assign.push(LBOOL_UNDEF);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.heap_pos.push(NOT_IN_HEAP);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_insert(v);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original plus learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Search statistics accumulated so far. The reference engine never
+    /// deletes a learnt clause, so `learned` (a live count) is also the total
+    /// and `deleted`/`reduces`/`minimized_lits` stay zero.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// `false` once the clause database has been proven unsatisfiable at the
+    /// root level; every subsequent query will return [`SatResult::Unsat`].
+    pub fn is_consistent(&self) -> bool {
+        self.ok
+    }
+
+    // ------------------------------------------------------------------
+    // Assignment helpers
+    // ------------------------------------------------------------------
+
+    fn lit_value(&self, lit: Lit) -> u8 {
+        let a = self.assign[lit.var().index()];
+        if a == LBOOL_UNDEF {
+            LBOOL_UNDEF
+        } else {
+            u8::from((a == LBOOL_TRUE) != lit.is_negative())
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<u32>) {
+        debug_assert_eq!(self.lit_value(lit), LBOOL_UNDEF);
+        let v = lit.var().index();
+        self.assign[v] = if lit.is_positive() {
+            LBOOL_TRUE
+        } else {
+            LBOOL_FALSE
+        };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(lit);
+    }
+
+    fn backtrack(&mut self, target_level: u32) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let keep = self.trail_lim[target_level as usize];
+        for i in (keep..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var();
+            self.phase[v.index()] = self.assign[v.index()] == LBOOL_TRUE;
+            self.assign[v.index()] = LBOOL_UNDEF;
+            self.reason[v.index()] = None;
+            self.heap_insert(v);
+        }
+        self.trail.truncate(keep);
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    // ------------------------------------------------------------------
+    // Clause management
+    // ------------------------------------------------------------------
+
+    /// Adds a clause. Returns `false` if the clause database became
+    /// unsatisfiable at the root level (the solver stays usable but every
+    /// query will report UNSAT).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.backtrack(0);
+        // Normalize: sort, dedup, drop false literals, detect tautologies and
+        // satisfied clauses.
+        let mut clause: Vec<Lit> = lits.to_vec();
+        clause.sort_unstable();
+        clause.dedup();
+        let mut normalized = Vec::with_capacity(clause.len());
+        let mut prev: Option<Lit> = None;
+        for &lit in &clause {
+            assert!(
+                lit.var().index() < self.num_vars(),
+                "literal references an unallocated variable"
+            );
+            if let Some(p) = prev {
+                if p == !lit {
+                    return true; // tautology: trivially satisfied
+                }
+            }
+            match self.lit_value(lit) {
+                LBOOL_TRUE => return true, // already satisfied at level 0
+                LBOOL_FALSE => {}          // drop falsified literal
+                _ => normalized.push(lit),
+            }
+            prev = Some(lit);
+        }
+        match normalized.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(normalized[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watch(normalized[0], idx, normalized[1]);
+                self.watch(normalized[1], idx, normalized[0]);
+                self.clauses.push(Clause { lits: normalized });
+                true
+            }
+        }
+    }
+
+    fn watch(&mut self, lit: Lit, clause: u32, blocker: Lit) {
+        // A clause watching `lit` must be revisited when `¬lit` is asserted,
+        // i.e. when `lit` becomes false; we index the watch list by the
+        // falsifying literal.
+        self.watches[(!lit).code()].push(Watcher { clause, blocker });
+    }
+
+    // ------------------------------------------------------------------
+    // Propagation
+    // ------------------------------------------------------------------
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut watchers = std::mem::take(&mut self.watches[p.code()]);
+            let mut kept = 0;
+            let mut conflict = None;
+            let mut i = 0;
+            while i < watchers.len() {
+                let w = watchers[i];
+                i += 1;
+                if self.lit_value(w.blocker) == LBOOL_TRUE {
+                    watchers[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+                let cid = w.clause as usize;
+                // Make sure the false literal (¬p) sits at position 1.
+                let false_lit = !p;
+                if self.clauses[cid].lits[0] == false_lit {
+                    self.clauses[cid].lits.swap(0, 1);
+                }
+                let first = self.clauses[cid].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBOOL_TRUE {
+                    watchers[kept] = Watcher {
+                        clause: w.clause,
+                        blocker: first,
+                    };
+                    kept += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                for k in 2..self.clauses[cid].lits.len() {
+                    if self.lit_value(self.clauses[cid].lits[k]) != LBOOL_FALSE {
+                        self.clauses[cid].lits.swap(1, k);
+                        let new_watch = self.clauses[cid].lits[1];
+                        self.watch(new_watch, w.clause, first);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                watchers[kept] = w;
+                kept += 1;
+                if self.lit_value(first) == LBOOL_FALSE {
+                    // Conflict: keep the remaining watchers and bail out.
+                    while i < watchers.len() {
+                        watchers[kept] = watchers[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(w.clause);
+                } else {
+                    self.enqueue(first, Some(w.clause));
+                }
+            }
+            watchers.truncate(kept);
+            self.watches[p.code()] = watchers;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Conflict analysis
+    // ------------------------------------------------------------------
+
+    fn bump_var(&mut self, var: Var) {
+        self.activity[var.index()] += self.var_inc;
+        if self.activity[var.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap_update(var);
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
+        let current_level = self.decision_level();
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot for the asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            let clause_lits = self.clauses[conflict as usize].lits.clone();
+            let skip = usize::from(p.is_some());
+            for &q in &clause_lits[skip..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal to resolve on: the most recently
+            // assigned literal that is marked as seen.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            p = Some(pl);
+            if counter == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            conflict = self.reason[pl.var().index()]
+                .expect("non-decision literal on the conflict side must have a reason");
+        }
+
+        // Backjump level: highest level among the non-asserting literals.
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+
+        for lit in &learnt {
+            self.seen[lit.var().index()] = false;
+        }
+        (learnt, backtrack_level)
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+        self.stats.learned += 1;
+        if learnt.len() == 1 {
+            self.enqueue(learnt[0], None);
+        } else {
+            let idx = self.clauses.len() as u32;
+            self.watch(learnt[0], idx, learnt[1]);
+            self.watch(learnt[1], idx, learnt[0]);
+            let asserting = learnt[0];
+            self.clauses.push(Clause { lits: learnt });
+            self.enqueue(asserting, Some(idx));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Branching heap (VSIDS)
+    // ------------------------------------------------------------------
+
+    fn heap_insert(&mut self, var: Var) {
+        if self.heap_pos[var.index()] != NOT_IN_HEAP {
+            return;
+        }
+        self.heap.push(var);
+        self.heap_pos[var.index()] = self.heap.len() - 1;
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_update(&mut self, var: Var) {
+        let pos = self.heap_pos[var.index()];
+        if pos != NOT_IN_HEAP {
+            self.heap_sift_up(pos);
+        }
+    }
+
+    fn heap_sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.activity[self.heap[pos].index()] <= self.activity[self.heap[parent].index()] {
+                break;
+            }
+            self.heap_swap(pos, parent);
+            pos = parent;
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut pos: usize) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = 2 * pos + 2;
+            let mut largest = pos;
+            if left < self.heap.len()
+                && self.activity[self.heap[left].index()]
+                    > self.activity[self.heap[largest].index()]
+            {
+                largest = left;
+            }
+            if right < self.heap.len()
+                && self.activity[self.heap[right].index()]
+                    > self.activity[self.heap[largest].index()]
+            {
+                largest = right;
+            }
+            if largest == pos {
+                break;
+            }
+            self.heap_swap(pos, largest);
+            pos = largest;
+        }
+    }
+
+    fn heap_swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.heap_pos[self.heap[a].index()] = a;
+        self.heap_pos[self.heap[b].index()] = b;
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.len() - 1;
+        self.heap_swap(0, last);
+        self.heap.pop();
+        self.heap_pos[top.index()] = NOT_IN_HEAP;
+        if !self.heap.is_empty() {
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap_pop() {
+            if self.assign[v.index()] == LBOOL_UNDEF {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Main search
+    // ------------------------------------------------------------------
+
+    /// Solves the current clause database.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves the clause database under the given assumption literals.
+    ///
+    /// Assumptions are treated as forced initial decisions: if the formula is
+    /// unsatisfiable only because of them, the solver returns
+    /// [`SatResult::Unsat`] but stays usable, and a later query without those
+    /// assumptions may succeed.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_threshold = 100u64 * crate::solver::luby(self.stats.restarts);
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                if (self.decision_level() as usize) <= assumptions.len() {
+                    // The conflict does not depend on any free decision: the
+                    // formula is unsatisfiable under the assumptions.
+                    self.backtrack(0);
+                    return SatResult::Unsat;
+                }
+                let (learnt, backtrack_level) = self.analyze(conflict);
+                // The backjump may land inside (or below) the assumption
+                // prefix; that is sound here because the decision loop below
+                // re-asserts assumptions in order before any free decision,
+                // returning Unsat if a learnt clause now falsifies one.
+                self.backtrack(backtrack_level);
+                self.record_learnt(learnt);
+                self.decay_activities();
+            } else {
+                if conflicts_since_restart >= restart_threshold {
+                    self.stats.restarts += 1;
+                    conflicts_since_restart = 0;
+                    restart_threshold = 100 * crate::solver::luby(self.stats.restarts);
+                    self.backtrack(assumptions.len() as u32);
+                }
+                // Assumption decisions first.
+                let next_assumption = self.decision_level() as usize;
+                if next_assumption < assumptions.len() {
+                    let a = assumptions[next_assumption];
+                    match self.lit_value(a) {
+                        LBOOL_TRUE => {
+                            // Already implied: create an empty decision level
+                            // so that level bookkeeping still lines up.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBOOL_FALSE => {
+                            self.backtrack(0);
+                            return SatResult::Unsat;
+                        }
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            self.stats.decisions += 1;
+                            self.enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        let model = Model {
+                            values: self.assign.iter().map(|&a| a == LBOOL_TRUE).collect(),
+                        };
+                        self.backtrack(0);
+                        return SatResult::Sat(model);
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::new(v, self.phase[v.index()]);
+                        self.enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ClauseSink for Solver {
+    fn new_var(&mut self) -> Var {
+        Solver::new_var(self)
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        Solver::add_clause(self, lits)
+    }
+
+    fn num_vars(&self) -> usize {
+        Solver::num_vars(self)
+    }
+
+    fn num_clauses(&self) -> usize {
+        Solver::num_clauses(self)
+    }
+}
+
+impl SatEngine for Solver {
+    fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        Solver::solve_with_assumptions(self, assumptions)
+    }
+
+    fn stats(&self) -> SolverStats {
+        Solver::stats(self)
+    }
+
+    fn is_consistent(&self) -> bool {
+        Solver::is_consistent(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(solver_vars: &[Var], i: i64) -> Lit {
+        let v = solver_vars[(i.unsigned_abs() - 1) as usize];
+        Lit::new(v, i > 0)
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[Lit::positive(a)]));
+        assert!(s.solve().is_sat());
+        assert!(!s.add_clause(&[Lit::negative(a)]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // p1/p2/h index the pigeon matrix pairwise
+    fn pigeonhole_three_pigeons_two_holes_is_unsat() {
+        // Variables x[p][h]: pigeon p in hole h.
+        let mut s = Solver::new();
+        let x: Vec<Vec<Var>> = (0..3)
+            .map(|_| (0..2).map(|_| s.new_var()).collect())
+            .collect();
+        for holes in &x {
+            s.add_clause(&[Lit::positive(holes[0]), Lit::positive(holes[1])]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    s.add_clause(&[Lit::negative(x[p1][h]), Lit::negative(x[p2][h])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_do_not_poison_the_solver() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::positive(a), Lit::positive(b)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::negative(a), Lit::negative(b)]),
+            SatResult::Unsat
+        );
+        assert!(s.solve().is_sat());
+        match s.solve_with_assumptions(&[Lit::negative(a)]) {
+            SatResult::Sat(m) => {
+                assert!(!m.value(a));
+                assert!(m.value(b));
+            }
+            SatResult::Unsat => panic!("satisfiable under ¬a"),
+        }
+    }
+
+    #[test]
+    fn incremental_clause_addition_between_solves() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+        s.add_clause(&[lit(&vars, 1), lit(&vars, 2), lit(&vars, 3)]);
+        assert!(s.solve().is_sat());
+        s.add_clause(&[lit(&vars, -1)]);
+        s.add_clause(&[lit(&vars, -2)]);
+        match s.solve() {
+            SatResult::Sat(m) => assert!(m.value(vars[2])),
+            SatResult::Unsat => panic!("still satisfiable"),
+        }
+        s.add_clause(&[lit(&vars, -3)]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(!s.is_consistent());
+    }
+
+    #[test]
+    fn reference_stats_report_zero_deletions() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+        for i in 0..5 {
+            s.add_clause(&[Lit::positive(vars[i]), Lit::negative(vars[(i + 1) % 6])]);
+        }
+        s.solve();
+        assert!(s.stats().decisions > 0);
+        assert!(s.stats().propagations > 0);
+        assert_eq!(s.stats().deleted, 0);
+        assert_eq!(s.stats().reduces, 0);
+        assert_eq!(s.stats().minimized_lits, 0);
+    }
+}

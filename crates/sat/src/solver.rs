@@ -1,122 +1,131 @@
-//! Conflict-driven clause-learning SAT solver.
+//! Conflict-driven clause-learning SAT solver (arena clause store).
 //!
-//! The implementation follows the classic MiniSat architecture: two-literal
-//! watches, first-UIP conflict analysis with non-chronological backjumping,
-//! VSIDS variable activities with an indexed max-heap, phase saving and Luby
-//! restarts. Clauses can be added incrementally between `solve` calls and a
-//! query can be solved under a set of assumption literals, which is how the
-//! attack loop grows the set of input/output constraints DIP by DIP.
+//! The solver follows the MiniSat architecture — two-literal watches,
+//! first-UIP conflict analysis with non-chronological backjumping, VSIDS
+//! variable activities with an indexed max-heap, phase saving and Luby
+//! restarts — rebuilt around an attack-scale clause representation:
+//!
+//! * **Arena clause store.** All clauses of three or more literals live in a
+//!   single flat `u32` arena addressed by [`ClauseRef`] offsets. A clause is
+//!   a header word (size, learnt flag, relocation mark) followed, for learnt
+//!   clauses, by an activity word and an LBD word, then the literal codes.
+//!   Propagation therefore walks contiguous memory instead of chasing a
+//!   `Vec<Vec<Lit>>` of separate heap allocations.
+//! * **Specialized binary watch lists.** Two-literal clauses never enter the
+//!   arena: asserting `p` scans a flat `Vec<Lit>` of implied literals, and
+//!   the implication reason is the other literal itself, so neither
+//!   propagation nor conflict analysis touches clause memory for binaries —
+//!   the most common clause size in Tseitin-encoded circuits.
+//! * **Learnt-clause management.** Every learnt clause records its LBD
+//!   ("glue": distinct decision levels) and carries a bump-decay activity.
+//!   When the live learnt count exceeds a geometrically growing limit,
+//!   reduce-DB deletes the worst half (highest LBD, then lowest activity),
+//!   protecting glue clauses (LBD ≤ 2) and clauses locked as propagation
+//!   reasons. Freed arena space is reclaimed by a compacting garbage
+//!   collector once a third of the arena is dead.
+//! * **Learnt minimization.** Before a learnt clause is stored, literals
+//!   whose reason clause is covered by the remaining learnt literals (plus
+//!   root-level facts) are removed by self-subsumption resolution, shrinking
+//!   the clause database the DIP loop accumulates.
+//!
+//! Conflict analysis reads literals straight out of the arena — the old
+//! implementation cloned every resolved clause, which dominated long runs.
+//! The pre-arena solver is retained unchanged as [`crate::reference::Solver`]
+//! and pinned against this one by the differential fuzz suite.
+//!
+//! Clauses can be added incrementally between `solve` calls and a query can
+//! be solved under a set of assumption literals, which is how the attack
+//! loop grows the set of input/output constraints DIP by DIP.
 
+use crate::engine::{ClauseSink, Model, SatEngine, SatResult, SolverStats};
 use crate::types::{Lit, Var};
 
 const LBOOL_FALSE: u8 = 0;
 const LBOOL_TRUE: u8 = 1;
 const LBOOL_UNDEF: u8 = 2;
 
-/// Outcome of a satisfiability query.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SatResult {
-    /// The formula (under the given assumptions) is satisfiable; a model is
-    /// attached.
-    Sat(Model),
-    /// The formula (under the given assumptions) is unsatisfiable.
-    Unsat,
+/// Offset of a clause in the arena. The header word sits at this offset.
+type ClauseRef = u32;
+
+/// Header bit: the clause is learnt (has activity + LBD words).
+const HDR_LEARNT: u32 = 1;
+/// Header bit: the clause has been relocated during garbage collection; the
+/// word after the header holds the forwarding [`ClauseRef`].
+const HDR_RELOC: u32 = 2;
+/// Shift of the clause size within the header word.
+const HDR_SIZE_SHIFT: u32 = 2;
+
+/// Reason for a variable assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    /// Decision or assumption (no reason clause).
+    None,
+    /// Propagated by an arena clause; its first literal is the asserted one.
+    Clause(ClauseRef),
+    /// Propagated by a binary clause `(asserted ∨ other)`; only the other
+    /// literal needs to be remembered.
+    Binary(Lit),
 }
 
-impl SatResult {
-    /// Returns the model if the result is SAT.
-    pub fn model(&self) -> Option<&Model> {
-        match self {
-            SatResult::Sat(m) => Some(m),
-            SatResult::Unsat => None,
-        }
-    }
-
-    /// `true` when satisfiable.
-    pub fn is_sat(&self) -> bool {
-        matches!(self, SatResult::Sat(_))
-    }
-}
-
-/// A complete satisfying assignment.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Model {
-    values: Vec<bool>,
-}
-
-impl Model {
-    /// Value of a variable.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the variable was created after the model was extracted.
-    pub fn value(&self, var: Var) -> bool {
-        self.values[var.index()]
-    }
-
-    /// Value of a literal.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the underlying variable is out of range.
-    pub fn lit_value(&self, lit: Lit) -> bool {
-        self.value(lit.var()) ^ lit.is_negative()
-    }
-
-    /// Number of variables covered by the model.
-    pub fn len(&self) -> usize {
-        self.values.len()
-    }
-
-    /// `true` if the model covers no variables.
-    pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
-    }
-}
-
-/// Search statistics, useful for reporting attack effort.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SolverStats {
-    /// Number of branching decisions.
-    pub decisions: u64,
-    /// Number of literal propagations.
-    pub propagations: u64,
-    /// Number of conflicts encountered.
-    pub conflicts: u64,
-    /// Number of restarts performed.
-    pub restarts: u64,
-    /// Number of learned clauses currently stored.
-    pub learned: u64,
-}
-
-#[derive(Debug, Clone)]
-struct Clause {
-    lits: Vec<Lit>,
+/// Falsified clause discovered by propagation.
+#[derive(Debug, Clone, Copy)]
+enum Conflict {
+    /// An arena clause.
+    Clause(ClauseRef),
+    /// A binary clause, given by its two (both false) literals.
+    Binary(Lit, Lit),
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Watcher {
-    clause: u32,
+    clause: ClauseRef,
     blocker: Lit,
 }
 
-/// CDCL SAT solver. See the [crate-level documentation](crate) for an example.
+/// CDCL SAT solver. The module-level comment above describes the clause-store
+/// design; see the [crate-level documentation](crate) for an example.
 #[derive(Debug, Clone)]
 pub struct Solver {
-    clauses: Vec<Clause>,
+    /// Flat clause store; see the module docs for the layout.
+    arena: Vec<u32>,
+    /// Arena words occupied by deleted clauses, reclaimable by GC.
+    wasted: usize,
+    /// Problem clauses of size ≥ 3 (arena offsets).
+    clauses: Vec<ClauseRef>,
+    /// Learnt clauses of size ≥ 3 (arena offsets).
+    learnts: Vec<ClauseRef>,
+    /// Problem binary clauses (stored only in `bin_watches`).
+    num_bin: usize,
+    /// Learnt binary clauses (never deleted by reduce-DB).
+    num_bin_learnt: usize,
+    /// Watch lists for arena clauses, indexed by the falsifying literal code.
     watches: Vec<Vec<Watcher>>,
+    /// Binary watch lists: `bin_watches[p.code()]` holds every literal
+    /// implied by asserting `p` through a binary clause.
+    bin_watches: Vec<Vec<Lit>>,
     assign: Vec<u8>,
     level: Vec<u32>,
-    reason: Vec<Option<u32>>,
+    reason: Vec<Reason>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
     activity: Vec<f64>,
     var_inc: f64,
+    cla_inc: f64,
     heap: Vec<Var>,
     heap_pos: Vec<usize>,
     phase: Vec<bool>,
     seen: Vec<bool>,
+    /// Scratch: literals whose `seen` flag must be reset after analysis.
+    clear_buf: Vec<Lit>,
+    /// Scratch: per-decision-level stamps for LBD computation.
+    level_stamp: Vec<u32>,
+    stamp_gen: u32,
+    /// Live-learnt-clause count that triggers the next reduce-DB pass.
+    max_learnts: f64,
+    /// Fixed learnt limit override (testing / tuning); disables the adaptive
+    /// geometric schedule.
+    learnt_limit_override: Option<usize>,
     ok: bool,
     stats: SolverStats,
 }
@@ -129,12 +138,23 @@ impl Default for Solver {
 
 const NOT_IN_HEAP: usize = usize::MAX;
 
+/// Growth factor of the learnt-clause limit after each reduce-DB pass.
+const LEARNT_LIMIT_GROWTH: f64 = 1.1;
+/// Lower bound on the learnt-clause limit (adaptive schedule).
+const LEARNT_LIMIT_FLOOR: f64 = 512.0;
+
 impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {
         Solver {
+            arena: Vec::new(),
+            wasted: 0,
             clauses: Vec::new(),
+            learnts: Vec::new(),
+            num_bin: 0,
+            num_bin_learnt: 0,
             watches: Vec::new(),
+            bin_watches: Vec::new(),
             assign: Vec::new(),
             level: Vec::new(),
             reason: Vec::new(),
@@ -143,10 +163,16 @@ impl Solver {
             qhead: 0,
             activity: Vec::new(),
             var_inc: 1.0,
+            cla_inc: 1.0,
             heap: Vec::new(),
             heap_pos: Vec::new(),
             phase: Vec::new(),
             seen: Vec::new(),
+            clear_buf: Vec::new(),
+            level_stamp: Vec::new(),
+            stamp_gen: 0,
+            max_learnts: 0.0,
+            learnt_limit_override: None,
             ok: true,
             stats: SolverStats::default(),
         }
@@ -157,13 +183,15 @@ impl Solver {
         let v = Var::from_index(self.assign.len());
         self.assign.push(LBOOL_UNDEF);
         self.level.push(0);
-        self.reason.push(None);
+        self.reason.push(Reason::None);
         self.activity.push(0.0);
         self.phase.push(false);
         self.seen.push(false);
         self.heap_pos.push(NOT_IN_HEAP);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
         self.heap_insert(v);
         v
     }
@@ -173,9 +201,9 @@ impl Solver {
         self.assign.len()
     }
 
-    /// Number of clauses (original plus learned).
+    /// Number of live clauses (original plus learnt, including binaries).
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.clauses.len() + self.learnts.len() + self.num_bin + self.num_bin_learnt
     }
 
     /// Search statistics accumulated so far.
@@ -187,6 +215,95 @@ impl Solver {
     /// root level; every subsequent query will return [`SatResult::Unsat`].
     pub fn is_consistent(&self) -> bool {
         self.ok
+    }
+
+    /// Pins the live-learnt-clause limit that triggers reduce-DB to a fixed
+    /// value instead of the adaptive geometric schedule (`None` restores the
+    /// default). Intended for tests that must force clause deletion on small
+    /// formulas, and for tuning experiments.
+    pub fn set_learnt_limit(&mut self, limit: Option<usize>) {
+        self.learnt_limit_override = limit;
+        match limit {
+            Some(l) => self.max_learnts = l as f64,
+            // Drop any pinned value so the next solve re-derives the
+            // adaptive target instead of keeping a stale override.
+            None => self.max_learnts = 0.0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Arena accessors
+    // ------------------------------------------------------------------
+
+    fn clause_size(&self, c: ClauseRef) -> usize {
+        (self.arena[c as usize] >> HDR_SIZE_SHIFT) as usize
+    }
+
+    fn clause_is_learnt(&self, c: ClauseRef) -> bool {
+        self.arena[c as usize] & HDR_LEARNT != 0
+    }
+
+    /// Arena index of the first literal of `c`.
+    fn lits_base(&self, c: ClauseRef) -> usize {
+        c as usize + 1 + 2 * usize::from(self.clause_is_learnt(c))
+    }
+
+    fn clause_lit(&self, c: ClauseRef, i: usize) -> Lit {
+        Lit::from_code(self.arena[self.lits_base(c) + i] as usize)
+    }
+
+    fn clause_lbd(&self, c: ClauseRef) -> u32 {
+        debug_assert!(self.clause_is_learnt(c));
+        self.arena[c as usize + 2]
+    }
+
+    fn clause_activity(&self, c: ClauseRef) -> f32 {
+        debug_assert!(self.clause_is_learnt(c));
+        f32::from_bits(self.arena[c as usize + 1])
+    }
+
+    /// Total arena words a clause of `size` literals occupies.
+    fn clause_words(size: usize, learnt: bool) -> usize {
+        1 + 2 * usize::from(learnt) + size
+    }
+
+    fn alloc_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 3, "binary clauses bypass the arena");
+        // ClauseRefs are u32 offsets; past 2^32 words a cast would silently
+        // alias a low offset and corrupt the clause store.
+        assert!(
+            self.arena.len() + Self::clause_words(lits.len(), learnt) <= u32::MAX as usize,
+            "clause arena exceeds the 2^32-word ClauseRef address space"
+        );
+        let c = self.arena.len() as ClauseRef;
+        self.arena
+            .push(((lits.len() as u32) << HDR_SIZE_SHIFT) | u32::from(learnt));
+        if learnt {
+            self.arena.push(0f32.to_bits());
+            self.arena.push(lbd);
+        }
+        self.arena.extend(lits.iter().map(|l| l.code() as u32));
+        c
+    }
+
+    /// Registers the watches of an arena clause (its first two literals).
+    fn attach(&mut self, c: ClauseRef) {
+        let l0 = self.clause_lit(c, 0);
+        let l1 = self.clause_lit(c, 1);
+        self.watches[(!l0).code()].push(Watcher {
+            clause: c,
+            blocker: l1,
+        });
+        self.watches[(!l1).code()].push(Watcher {
+            clause: c,
+            blocker: l0,
+        });
+    }
+
+    /// Registers a binary clause `(a ∨ b)` in the binary watch lists.
+    fn watch_bin(&mut self, a: Lit, b: Lit) {
+        self.bin_watches[(!a).code()].push(b);
+        self.bin_watches[(!b).code()].push(a);
     }
 
     // ------------------------------------------------------------------
@@ -206,7 +323,7 @@ impl Solver {
         self.trail_lim.len() as u32
     }
 
-    fn enqueue(&mut self, lit: Lit, reason: Option<u32>) {
+    fn enqueue(&mut self, lit: Lit, reason: Reason) {
         debug_assert_eq!(self.lit_value(lit), LBOOL_UNDEF);
         let v = lit.var().index();
         self.assign[v] = if lit.is_positive() {
@@ -229,7 +346,7 @@ impl Solver {
             let v = lit.var();
             self.phase[v.index()] = self.assign[v.index()] == LBOOL_TRUE;
             self.assign[v.index()] = LBOOL_UNDEF;
-            self.reason[v.index()] = None;
+            self.reason[v.index()] = Reason::None;
             self.heap_insert(v);
         }
         self.trail.truncate(keep);
@@ -238,7 +355,7 @@ impl Solver {
     }
 
     // ------------------------------------------------------------------
-    // Clause management
+    // Clause addition
     // ------------------------------------------------------------------
 
     /// Adds a clause. Returns `false` if the clause database became
@@ -279,44 +396,57 @@ impl Solver {
                 false
             }
             1 => {
-                self.enqueue(normalized[0], None);
+                self.enqueue(normalized[0], Reason::None);
                 if self.propagate().is_some() {
                     self.ok = false;
                 }
                 self.ok
             }
+            2 => {
+                self.watch_bin(normalized[0], normalized[1]);
+                self.num_bin += 1;
+                true
+            }
             _ => {
-                let idx = self.clauses.len() as u32;
-                self.watch(normalized[0], idx, normalized[1]);
-                self.watch(normalized[1], idx, normalized[0]);
-                self.clauses.push(Clause { lits: normalized });
+                let c = self.alloc_clause(&normalized, false, 0);
+                self.attach(c);
+                self.clauses.push(c);
                 true
             }
         }
-    }
-
-    fn watch(&mut self, lit: Lit, clause: u32, blocker: Lit) {
-        // A clause watching `lit` must be revisited when `¬lit` is asserted,
-        // i.e. when `lit` becomes false; we index the watch list by the
-        // falsifying literal.
-        self.watches[(!lit).code()].push(Watcher { clause, blocker });
     }
 
     // ------------------------------------------------------------------
     // Propagation
     // ------------------------------------------------------------------
 
-    fn propagate(&mut self) -> Option<u32> {
+    fn propagate(&mut self) -> Option<Conflict> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
 
+            // Binary clauses first: one flat scan, no arena access. The list
+            // is not mutated while scanning (new binaries are only learnt at
+            // conflict time), so plain indexing is enough.
+            for i in 0..self.bin_watches[p.code()].len() {
+                let other = self.bin_watches[p.code()][i];
+                match self.lit_value(other) {
+                    LBOOL_TRUE => {}
+                    LBOOL_FALSE => {
+                        self.qhead = self.trail.len();
+                        return Some(Conflict::Binary(other, !p));
+                    }
+                    _ => self.enqueue(other, Reason::Binary(!p)),
+                }
+            }
+
+            let false_lit = !p;
             let mut watchers = std::mem::take(&mut self.watches[p.code()]);
             let mut kept = 0;
             let mut conflict = None;
             let mut i = 0;
-            while i < watchers.len() {
+            'watchers: while i < watchers.len() {
                 let w = watchers[i];
                 i += 1;
                 if self.lit_value(w.blocker) == LBOOL_TRUE {
@@ -324,13 +454,13 @@ impl Solver {
                     kept += 1;
                     continue;
                 }
-                let cid = w.clause as usize;
+                let base = self.lits_base(w.clause);
+                let size = self.clause_size(w.clause);
                 // Make sure the false literal (¬p) sits at position 1.
-                let false_lit = !p;
-                if self.clauses[cid].lits[0] == false_lit {
-                    self.clauses[cid].lits.swap(0, 1);
+                if Lit::from_code(self.arena[base] as usize) == false_lit {
+                    self.arena.swap(base, base + 1);
                 }
-                let first = self.clauses[cid].lits[0];
+                let first = Lit::from_code(self.arena[base] as usize);
                 if first != w.blocker && self.lit_value(first) == LBOOL_TRUE {
                     watchers[kept] = Watcher {
                         clause: w.clause,
@@ -340,18 +470,16 @@ impl Solver {
                     continue;
                 }
                 // Look for a new literal to watch.
-                let mut moved = false;
-                for k in 2..self.clauses[cid].lits.len() {
-                    if self.lit_value(self.clauses[cid].lits[k]) != LBOOL_FALSE {
-                        self.clauses[cid].lits.swap(1, k);
-                        let new_watch = self.clauses[cid].lits[1];
-                        self.watch(new_watch, w.clause, first);
-                        moved = true;
-                        break;
+                for k in 2..size {
+                    let lk = Lit::from_code(self.arena[base + k] as usize);
+                    if self.lit_value(lk) != LBOOL_FALSE {
+                        self.arena.swap(base + 1, base + k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        continue 'watchers;
                     }
-                }
-                if moved {
-                    continue;
                 }
                 // Clause is unit or conflicting.
                 watchers[kept] = w;
@@ -364,9 +492,9 @@ impl Solver {
                         i += 1;
                     }
                     self.qhead = self.trail.len();
-                    conflict = Some(w.clause);
+                    conflict = Some(Conflict::Clause(w.clause));
                 } else {
-                    self.enqueue(first, Some(w.clause));
+                    self.enqueue(first, Reason::Clause(w.clause));
                 }
             }
             watchers.truncate(kept);
@@ -395,30 +523,122 @@ impl Solver {
 
     fn decay_activities(&mut self) {
         self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
     }
 
-    /// First-UIP conflict analysis. Returns the learned clause (asserting
-    /// literal first) and the backjump level.
-    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
+    fn bump_clause(&mut self, c: ClauseRef) {
+        let act = self.clause_activity(c) + self.cla_inc as f32;
+        self.arena[c as usize + 1] = act.to_bits();
+        if act > 1e20 {
+            for i in 0..self.learnts.len() {
+                let lc = self.learnts[i] as usize;
+                let scaled = f32::from_bits(self.arena[lc + 1]) * 1e-20;
+                self.arena[lc + 1] = scaled.to_bits();
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// Marks `q` seen, bumps its variable and routes it to the counter (same
+    /// decision level as the conflict) or the learnt clause (lower level).
+    fn analyze_visit(
+        &mut self,
+        q: Lit,
+        current_level: u32,
+        counter: &mut usize,
+        learnt: &mut Vec<Lit>,
+    ) {
+        let v = q.var();
+        if !self.seen[v.index()] && self.level[v.index()] > 0 {
+            self.seen[v.index()] = true;
+            self.bump_var(v);
+            if self.level[v.index()] >= current_level {
+                *counter += 1;
+            } else {
+                learnt.push(q);
+            }
+        }
+    }
+
+    /// `true` if learnt literal `q` is removable by self-subsumption: every
+    /// other literal of its variable's reason clause is already in the learnt
+    /// clause (still marked seen) or is a root-level fact, so resolving the
+    /// learnt clause with the reason eliminates `q` without adding anything.
+    fn literal_is_redundant(&self, q: Lit) -> bool {
+        match self.reason[q.var().index()] {
+            Reason::None => false,
+            Reason::Binary(other) => {
+                self.seen[other.var().index()] || self.level[other.var().index()] == 0
+            }
+            Reason::Clause(c) => {
+                let base = self.lits_base(c);
+                let size = self.clause_size(c);
+                // Position 0 is the asserted literal ¬q itself.
+                for k in 1..size {
+                    let r = Lit::from_code(self.arena[base + k] as usize);
+                    if !self.seen[r.var().index()] && self.level[r.var().index()] > 0 {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Number of distinct decision levels among `lits` (the LBD / glue).
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.stamp_gen = self.stamp_gen.wrapping_add(1);
+        if self.stamp_gen == 0 {
+            self.level_stamp.clear();
+            self.stamp_gen = 1;
+        }
+        let mut lbd = 0;
+        for &l in lits {
+            let lv = self.level[l.var().index()] as usize;
+            if lv >= self.level_stamp.len() {
+                self.level_stamp.resize(lv + 1, 0);
+            }
+            if self.level_stamp[lv] != self.stamp_gen {
+                self.level_stamp[lv] = self.stamp_gen;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
+    /// First-UIP conflict analysis with self-subsumption minimization.
+    /// Returns the learnt clause (asserting literal first), the backjump
+    /// level and the clause LBD.
+    fn analyze(&mut self, confl: Conflict) -> (Vec<Lit>, u32, u32) {
         let current_level = self.decision_level();
         let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot for the asserting literal
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
+        let mut cur = confl;
 
         loop {
-            let clause_lits = self.clauses[conflict as usize].lits.clone();
-            let skip = usize::from(p.is_some());
-            for &q in &clause_lits[skip..] {
-                let v = q.var();
-                if !self.seen[v.index()] && self.level[v.index()] > 0 {
-                    self.seen[v.index()] = true;
-                    self.bump_var(v);
-                    if self.level[v.index()] >= current_level {
-                        counter += 1;
-                    } else {
-                        learnt.push(q);
+            // Visit the literals of the current (conflict or reason) clause.
+            // For reason clauses the asserted literal sits first and is
+            // skipped; binary reasons carry just the other literal.
+            match cur {
+                Conflict::Clause(c) => {
+                    if self.clause_is_learnt(c) {
+                        self.bump_clause(c);
                     }
+                    let base = self.lits_base(c);
+                    let size = self.clause_size(c);
+                    let skip = usize::from(p.is_some());
+                    for k in skip..size {
+                        let q = Lit::from_code(self.arena[base + k] as usize);
+                        self.analyze_visit(q, current_level, &mut counter, &mut learnt);
+                    }
+                }
+                Conflict::Binary(a, b) => {
+                    if p.is_none() {
+                        self.analyze_visit(a, current_level, &mut counter, &mut learnt);
+                    }
+                    self.analyze_visit(b, current_level, &mut counter, &mut learnt);
                 }
             }
             // Select the next literal to resolve on: the most recently
@@ -437,9 +657,32 @@ impl Solver {
                 learnt[0] = !pl;
                 break;
             }
-            conflict = self.reason[pl.var().index()]
-                .expect("non-decision literal on the conflict side must have a reason");
+            cur = match self.reason[pl.var().index()] {
+                Reason::Clause(c) => Conflict::Clause(c),
+                Reason::Binary(other) => Conflict::Binary(pl, other),
+                Reason::None => {
+                    unreachable!("non-decision literal on the conflict side must have a reason")
+                }
+            };
         }
+
+        // Self-subsumption minimization. Removed literals stay `seen` so they
+        // can support the redundancy of later literals (their reasons form a
+        // DAG ordered by trail position, so this is sound); `clear_buf`
+        // remembers everything that must be un-seen afterwards.
+        self.clear_buf.clear();
+        self.clear_buf.extend_from_slice(&learnt[1..]);
+        let mut kept = 1;
+        for i in 1..learnt.len() {
+            let q = learnt[i];
+            if self.literal_is_redundant(q) {
+                self.stats.minimized_lits += 1;
+            } else {
+                learnt[kept] = q;
+                kept += 1;
+            }
+        }
+        learnt.truncate(kept);
 
         // Backjump level: highest level among the non-asserting literals.
         let backtrack_level = if learnt.len() == 1 {
@@ -455,24 +698,136 @@ impl Solver {
             self.level[learnt[1].var().index()]
         };
 
-        for lit in &learnt {
-            self.seen[lit.var().index()] = false;
+        let lbd = self.compute_lbd(&learnt);
+        for i in 0..self.clear_buf.len() {
+            let l = self.clear_buf[i];
+            self.seen[l.var().index()] = false;
         }
-        (learnt, backtrack_level)
+        (learnt, backtrack_level, lbd)
     }
 
-    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+    fn record_learnt(&mut self, learnt: Vec<Lit>, lbd: u32) {
         self.stats.learned += 1;
-        if learnt.len() == 1 {
-            self.enqueue(learnt[0], None);
-        } else {
-            let idx = self.clauses.len() as u32;
-            self.watch(learnt[0], idx, learnt[1]);
-            self.watch(learnt[1], idx, learnt[0]);
-            let asserting = learnt[0];
-            self.clauses.push(Clause { lits: learnt });
-            self.enqueue(asserting, Some(idx));
+        match learnt.len() {
+            1 => self.enqueue(learnt[0], Reason::None),
+            2 => {
+                self.watch_bin(learnt[0], learnt[1]);
+                self.num_bin_learnt += 1;
+                self.enqueue(learnt[0], Reason::Binary(learnt[1]));
+            }
+            _ => {
+                let c = self.alloc_clause(&learnt, true, lbd);
+                self.attach(c);
+                self.learnts.push(c);
+                self.bump_clause(c);
+                self.enqueue(learnt[0], Reason::Clause(c));
+            }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Learnt-clause reduction and arena garbage collection
+    // ------------------------------------------------------------------
+
+    /// `true` if `c` is the reason of its first literal's assignment (such
+    /// clauses must survive reduce-DB).
+    fn is_reason(&self, c: ClauseRef) -> bool {
+        let first = self.clause_lit(c, 0);
+        self.lit_value(first) == LBOOL_TRUE && self.reason[first.var().index()] == Reason::Clause(c)
+    }
+
+    /// Detaches and deletes the worst half of the learnt clauses (highest
+    /// LBD, then lowest activity), keeping glue clauses (LBD ≤ 2) and
+    /// clauses locked as propagation reasons.
+    fn reduce_db(&mut self) {
+        self.stats.reduces += 1;
+        let learnts = std::mem::take(&mut self.learnts);
+        let total = learnts.len();
+        let mut keep = Vec::with_capacity(total);
+        let mut cands = Vec::with_capacity(total);
+        for c in learnts {
+            if self.clause_lbd(c) <= 2 || self.is_reason(c) {
+                keep.push(c);
+            } else {
+                cands.push(c);
+            }
+        }
+        // Worst first: high LBD, then low activity.
+        cands.sort_unstable_by(|&a, &b| {
+            self.clause_lbd(b)
+                .cmp(&self.clause_lbd(a))
+                .then(self.clause_activity(a).total_cmp(&self.clause_activity(b)))
+        });
+        let remove = (total / 2).min(cands.len());
+        for &c in &cands[..remove] {
+            self.remove_clause(c);
+        }
+        keep.extend_from_slice(&cands[remove..]);
+        self.learnts = keep;
+        if self.wasted * 3 > self.arena.len() {
+            self.garbage_collect();
+        }
+    }
+
+    /// Detaches a learnt clause from its watch lists and marks its arena
+    /// words as reclaimable.
+    fn remove_clause(&mut self, c: ClauseRef) {
+        let l0 = self.clause_lit(c, 0);
+        let l1 = self.clause_lit(c, 1);
+        self.detach_watch(l0, c);
+        self.detach_watch(l1, c);
+        self.wasted += Self::clause_words(self.clause_size(c), true);
+        self.stats.learned -= 1;
+        self.stats.deleted += 1;
+    }
+
+    fn detach_watch(&mut self, watched: Lit, c: ClauseRef) {
+        let list = &mut self.watches[(!watched).code()];
+        let pos = list
+            .iter()
+            .position(|w| w.clause == c)
+            .expect("deleted clause must be watched");
+        list.swap_remove(pos);
+    }
+
+    /// Compacts the arena, dropping the space of deleted clauses and
+    /// rewriting every [`ClauseRef`] (clause lists, watchers, reasons).
+    fn garbage_collect(&mut self) {
+        let mut old = std::mem::take(&mut self.arena);
+        let mut fresh: Vec<u32> = Vec::with_capacity(old.len() - self.wasted);
+
+        fn relocate(old: &mut [u32], fresh: &mut Vec<u32>, c: ClauseRef) -> ClauseRef {
+            let ci = c as usize;
+            if old[ci] & HDR_RELOC != 0 {
+                return old[ci + 1];
+            }
+            let learnt = old[ci] & HDR_LEARNT != 0;
+            let size = (old[ci] >> HDR_SIZE_SHIFT) as usize;
+            let words = Solver::clause_words(size, learnt);
+            let nc = fresh.len() as ClauseRef;
+            fresh.extend_from_slice(&old[ci..ci + words]);
+            old[ci] |= HDR_RELOC;
+            old[ci + 1] = nc;
+            nc
+        }
+
+        for list in [&mut self.clauses, &mut self.learnts] {
+            for c in list.iter_mut() {
+                *c = relocate(&mut old, &mut fresh, *c);
+            }
+        }
+        for wl in &mut self.watches {
+            for w in wl.iter_mut() {
+                w.clause = relocate(&mut old, &mut fresh, w.clause);
+            }
+        }
+        for r in &mut self.reason {
+            if let Reason::Clause(c) = r {
+                *c = relocate(&mut old, &mut fresh, *c);
+            }
+        }
+        self.arena = fresh;
+        self.wasted = 0;
     }
 
     // ------------------------------------------------------------------
@@ -586,6 +941,14 @@ impl Solver {
             return SatResult::Unsat;
         }
 
+        if self.learnt_limit_override.is_none() {
+            let problem = (self.clauses.len() + self.num_bin) as f64;
+            let target = (problem / 3.0).max(LEARNT_LIMIT_FLOOR);
+            if self.max_learnts < target {
+                self.max_learnts = target;
+            }
+        }
+
         let mut conflicts_since_restart = 0u64;
         let mut restart_threshold = 100u64 * luby(self.stats.restarts);
 
@@ -603,15 +966,21 @@ impl Solver {
                     self.backtrack(0);
                     return SatResult::Unsat;
                 }
-                let (learnt, backtrack_level) = self.analyze(conflict);
+                let (learnt, backtrack_level, lbd) = self.analyze(conflict);
                 // The backjump may land inside (or below) the assumption
                 // prefix; that is sound here because the decision loop below
                 // re-asserts assumptions in order before any free decision,
                 // returning Unsat if a learnt clause now falsifies one.
                 self.backtrack(backtrack_level);
-                self.record_learnt(learnt);
+                self.record_learnt(learnt, lbd);
                 self.decay_activities();
             } else {
+                if !self.learnts.is_empty() && self.learnts.len() as f64 >= self.max_learnts {
+                    self.reduce_db();
+                    if self.learnt_limit_override.is_none() {
+                        self.max_learnts *= LEARNT_LIMIT_GROWTH;
+                    }
+                }
                 if conflicts_since_restart >= restart_threshold {
                     self.stats.restarts += 1;
                     conflicts_since_restart = 0;
@@ -635,7 +1004,7 @@ impl Solver {
                         _ => {
                             self.trail_lim.push(self.trail.len());
                             self.stats.decisions += 1;
-                            self.enqueue(a, None);
+                            self.enqueue(a, Reason::None);
                         }
                     }
                     continue;
@@ -652,7 +1021,7 @@ impl Solver {
                         self.stats.decisions += 1;
                         self.trail_lim.push(self.trail.len());
                         let lit = Lit::new(v, self.phase[v.index()]);
-                        self.enqueue(lit, None);
+                        self.enqueue(lit, Reason::None);
                     }
                 }
             }
@@ -660,8 +1029,40 @@ impl Solver {
     }
 }
 
+impl ClauseSink for Solver {
+    fn new_var(&mut self) -> Var {
+        Solver::new_var(self)
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        Solver::add_clause(self, lits)
+    }
+
+    fn num_vars(&self) -> usize {
+        Solver::num_vars(self)
+    }
+
+    fn num_clauses(&self) -> usize {
+        Solver::num_clauses(self)
+    }
+}
+
+impl SatEngine for Solver {
+    fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        Solver::solve_with_assumptions(self, assumptions)
+    }
+
+    fn stats(&self) -> SolverStats {
+        Solver::stats(self)
+    }
+
+    fn is_consistent(&self) -> bool {
+        Solver::is_consistent(self)
+    }
+}
+
 /// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …).
-fn luby(i: u64) -> u64 {
+pub(crate) fn luby(i: u64) -> u64 {
     let mut size = 1u64;
     let mut seq = 0u64;
     while size < i + 1 {
@@ -746,6 +1147,39 @@ mod tests {
             }
         }
         assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    /// Pigeonhole over ternary at-least-one clauses so the arena (not just
+    /// the binary lists) carries the search, with a tiny learnt limit so
+    /// reduce-DB and the garbage collector churn constantly mid-search.
+    #[test]
+    #[allow(clippy::needless_range_loop)] // p1/p2/h index the pigeon matrix pairwise
+    fn pigeonhole_survives_aggressive_reduce_and_gc() {
+        let pigeons = 6;
+        let holes = 5;
+        let mut s = Solver::new();
+        s.set_learnt_limit(Some(4));
+        let x: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &x {
+            let clause: Vec<Lit> = row.iter().map(|&v| Lit::positive(v)).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause(&[Lit::negative(x[p1][h]), Lit::negative(x[p2][h])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        let stats = s.stats();
+        assert!(stats.reduces > 0, "reduce-DB must have run: {stats:?}");
+        assert!(
+            stats.deleted > 0,
+            "clauses must have been deleted: {stats:?}"
+        );
     }
 
     #[test]
@@ -847,6 +1281,53 @@ mod tests {
         s.solve();
         assert!(s.stats().decisions > 0);
         assert!(s.stats().propagations > 0);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // p1/p2/h index the pigeon matrix pairwise
+    fn learned_counts_live_clauses() {
+        // Force an UNSAT search with deletions and check the live/deleted
+        // bookkeeping stays consistent: live learnt = recorded - deleted.
+        let mut s = Solver::new();
+        s.set_learnt_limit(Some(2));
+        let n = 7;
+        let x: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &x {
+            let clause: Vec<Lit> = row.iter().map(|&v| Lit::positive(v)).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..n - 1 {
+            for p1 in 0..n {
+                for p2 in (p1 + 1)..n {
+                    s.add_clause(&[Lit::negative(x[p1][h]), Lit::negative(x[p2][h])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        let stats = s.stats();
+        assert!(stats.deleted > 0);
+        // The live count never exceeds what was ever recorded.
+        assert!(stats.learned <= stats.conflicts);
+    }
+
+    #[test]
+    fn clearing_the_learnt_limit_restores_the_adaptive_schedule() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::positive(a), Lit::positive(b)]);
+        s.set_learnt_limit(Some(1_000_000_000));
+        assert!(s.solve().is_sat());
+        assert_eq!(s.max_learnts, 1e9);
+        s.set_learnt_limit(None);
+        assert!(s.solve().is_sat());
+        assert!(
+            s.max_learnts <= LEARNT_LIMIT_FLOOR,
+            "stale override survived: {}",
+            s.max_learnts
+        );
     }
 
     #[test]

@@ -1,17 +1,34 @@
-//! Tseitin encoding of combinational netlists into CNF.
+//! Tseitin encoding of combinational netlists into CNF, with constant
+//! folding and cone-of-influence restriction.
 //!
-//! Each net of a combinational [`Netlist`] is mapped to a solver literal; each
-//! gate contributes the standard Tseitin clauses constraining its output
-//! literal to equal its Boolean function. Nets can be *pre-bound* to existing
-//! literals before encoding, which is how the attack builds two copies of the
-//! locked circuit sharing the same input variables (the miter of COMB-SAT).
+//! Each net of a combinational [`Netlist`] is mapped to a [`Bound`]: either a
+//! solver literal or, when the net's value is forced, a Boolean constant.
+//! Each gate contributes the standard Tseitin clauses constraining its output
+//! to equal its Boolean function — unless folding simplifies it away first.
+//!
+//! Nets can be *pre-bound* before encoding:
+//!
+//! * [`CircuitEncoder::bind`] ties a net to an existing literal, which is how
+//!   the attack builds two copies of the locked circuit sharing the same
+//!   input variables (the miter of COMB-SAT);
+//! * [`CircuitEncoder::bind_const`] pins a net to a constant. Constants are
+//!   folded through the gate level — an AND with a false input disappears, a
+//!   MUX with a known select becomes a wire, XOR constants flip polarities —
+//!   so a circuit copy whose inputs are fixed to an observed DIP shrinks to
+//!   the small key-dependent residue instead of a full copy with variables
+//!   pinned by unit clauses.
+//!
+//! [`CircuitEncoder::encode_cone`] additionally restricts the encoding to the
+//! fan-in cones of chosen root nets, skipping logic that no observed output
+//! depends on. The combination keeps each oracle observation the DIP loop
+//! adds near-minimal.
 
 use std::error::Error;
 use std::fmt;
 
 use netlist::{Driver, GateKind, NetId, Netlist, NetlistError};
 
-use crate::solver::Solver;
+use crate::engine::ClauseSink;
 use crate::types::Lit;
 
 /// Error produced during circuit encoding.
@@ -48,16 +65,71 @@ impl From<NetlistError> for EncodeError {
     }
 }
 
-/// Encoder mapping the nets of one combinational netlist onto literals of a
-/// [`Solver`].
+/// Value of a net in an encoded circuit: a solver literal, or a constant when
+/// folding proved the net independent of every variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// The net equals this solver literal.
+    Lit(Lit),
+    /// The net is constant.
+    Const(bool),
+}
+
+impl Bound {
+    /// The literal, if the net did not fold to a constant.
+    pub fn as_lit(self) -> Option<Lit> {
+        match self {
+            Bound::Lit(l) => Some(l),
+            Bound::Const(_) => None,
+        }
+    }
+
+    /// The constant, if the net folded to one.
+    pub fn as_const(self) -> Option<bool> {
+        match self {
+            Bound::Lit(_) => None,
+            Bound::Const(v) => Some(v),
+        }
+    }
+
+    /// The complement binding.
+    fn negate(self) -> Bound {
+        match self {
+            Bound::Lit(l) => Bound::Lit(!l),
+            Bound::Const(v) => Bound::Const(!v),
+        }
+    }
+}
+
+/// Result of folding one gate over its input bounds.
+enum Folded {
+    /// The output is a constant.
+    Const(bool),
+    /// The output equals an existing literal (no clauses needed).
+    Alias(Lit),
+    /// `out ⊕ invert = AND(lits)`.
+    And(Vec<Lit>, bool),
+    /// `out ⊕ invert = OR(lits)`.
+    Or(Vec<Lit>, bool),
+    /// `out ⊕ invert = XOR(lits)`.
+    Xor(Vec<Lit>, bool),
+    /// An irreducible multiplexer `out = s ? b : a`.
+    Mux(Lit, Lit, Lit),
+    /// Folding disabled: encode `kind` over the literal inputs verbatim.
+    Raw(GateKind, Vec<Lit>),
+}
+
+/// Encoder mapping the nets of one combinational netlist onto literals (or
+/// folded constants) of a clause sink.
 #[derive(Debug)]
 pub struct CircuitEncoder<'a> {
     netlist: &'a Netlist,
-    map: Vec<Option<Lit>>,
+    map: Vec<Option<Bound>>,
+    folding: bool,
 }
 
 impl<'a> CircuitEncoder<'a> {
-    /// Creates an encoder for `netlist`.
+    /// Creates an encoder for `netlist` (constant folding enabled).
     ///
     /// # Errors
     ///
@@ -73,31 +145,71 @@ impl<'a> CircuitEncoder<'a> {
         Ok(CircuitEncoder {
             netlist,
             map: vec![None; netlist.num_nets()],
+            folding: true,
         })
+    }
+
+    /// Disables gate-level constant folding and alias propagation: every gate
+    /// is encoded verbatim, exactly as the pre-arena pipeline did. Kept so
+    /// the reference attack configuration (and differential tests) can
+    /// reproduce the historical CNF shape. Must not be combined with
+    /// [`CircuitEncoder::bind_const`].
+    pub fn set_folding(&mut self, folding: bool) {
+        self.folding = folding;
     }
 
     /// Pre-binds a net to an existing solver literal. Must be called before
     /// [`CircuitEncoder::encode`]; typically used on primary inputs shared
     /// between circuit copies.
     pub fn bind(&mut self, net: NetId, lit: Lit) {
-        self.map[net.index()] = Some(lit);
+        self.map[net.index()] = Some(Bound::Lit(lit));
     }
 
-    /// Literal assigned to a net (after encoding, every net has one).
+    /// Pre-binds a net to a constant; the constant is folded through every
+    /// gate it reaches during encoding. Typically used to replay a
+    /// distinguishing input pattern without spending variables on it.
+    pub fn bind_const(&mut self, net: NetId, value: bool) {
+        self.map[net.index()] = Some(Bound::Const(value));
+    }
+
+    /// Literal assigned to a net, if the net was encoded and did not fold to
+    /// a constant. See [`CircuitEncoder::bound`] for the full binding.
     pub fn lit(&self, net: NetId) -> Option<Lit> {
+        self.map[net.index()].and_then(Bound::as_lit)
+    }
+
+    /// Binding of a net (after encoding, every reachable net has one).
+    pub fn bound(&self, net: NetId) -> Option<Bound> {
         self.map[net.index()]
+    }
+
+    /// Bindings of the primary outputs, in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`CircuitEncoder::encode`] (or for outputs
+    /// outside the cone passed to [`CircuitEncoder::encode_cone`]).
+    pub fn output_bounds(&self) -> Vec<Bound> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|&o| self.bound(o).expect("encode before querying outputs"))
+            .collect()
     }
 
     /// Literals of the primary outputs, in declaration order.
     ///
     /// # Panics
     ///
-    /// Panics if called before [`CircuitEncoder::encode`].
+    /// Panics if called before [`CircuitEncoder::encode`], or if an output
+    /// folded to a constant (use [`CircuitEncoder::output_bounds`] then).
     pub fn output_lits(&self) -> Vec<Lit> {
-        self.netlist
-            .outputs()
+        self.output_bounds()
             .iter()
-            .map(|&o| self.lit(o).expect("encode before querying outputs"))
+            .map(|b| {
+                b.as_lit()
+                    .expect("output folded to a constant; use output_bounds")
+            })
             .collect()
     }
 
@@ -105,39 +217,130 @@ impl<'a> CircuitEncoder<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if called before [`CircuitEncoder::encode`].
+    /// Panics if called before [`CircuitEncoder::encode`], or if an input was
+    /// bound to a constant.
     pub fn input_lits(&self) -> Vec<Lit> {
         self.netlist
             .inputs()
             .iter()
-            .map(|&i| self.lit(i).expect("encode before querying inputs"))
+            .map(|&i| {
+                self.bound(i)
+                    .expect("encode before querying inputs")
+                    .as_lit()
+                    .expect("input bound to a constant has no literal")
+            })
             .collect()
     }
 
-    /// Encodes the whole netlist into `solver`, allocating variables for every
-    /// net that is not pre-bound.
+    /// Encodes the whole netlist into `solver`, allocating variables for
+    /// every net that is not pre-bound and does not fold to a constant.
     ///
     /// # Errors
     ///
     /// Returns [`EncodeError::Unbound`] if a used net has no driver and was
     /// not pre-bound.
-    pub fn encode(&mut self, solver: &mut Solver) -> Result<(), EncodeError> {
+    pub fn encode<S: ClauseSink>(&mut self, solver: &mut S) -> Result<(), EncodeError> {
+        self.encode_impl(solver, None, None)
+    }
+
+    /// [`CircuitEncoder::encode`] with a precomputed topological gate order
+    /// (as returned by [`netlist::topo::gate_order`] for this netlist), for
+    /// callers that encode the same netlist repeatedly.
+    pub fn encode_ordered<S: ClauseSink>(
+        &mut self,
+        solver: &mut S,
+        order: &[netlist::GateId],
+    ) -> Result<(), EncodeError> {
+        self.encode_impl(solver, None, Some(order))
+    }
+
+    /// Encodes only the fan-in cones of `roots`: gates no root depends on
+    /// contribute neither variables nor clauses, and unbound inputs outside
+    /// the cones stay unallocated. Bindings for nets outside the cones are
+    /// left untouched and unqueryable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError::Unbound`] if a used net inside the cones has no
+    /// driver and was not pre-bound.
+    pub fn encode_cone<S: ClauseSink>(
+        &mut self,
+        solver: &mut S,
+        roots: &[NetId],
+    ) -> Result<(), EncodeError> {
+        self.encode_impl(solver, Some(roots), None)
+    }
+
+    /// [`CircuitEncoder::encode_cone`] with a precomputed topological gate
+    /// order (as returned by [`netlist::topo::gate_order`] for this
+    /// netlist). Callers that encode many cones of the same netlist — the
+    /// DIP loop encodes two per oracle observation — compute the order once
+    /// instead of re-sorting the whole netlist per call.
+    pub fn encode_cone_ordered<S: ClauseSink>(
+        &mut self,
+        solver: &mut S,
+        roots: &[NetId],
+        order: &[netlist::GateId],
+    ) -> Result<(), EncodeError> {
+        self.encode_impl(solver, Some(roots), Some(order))
+    }
+
+    fn encode_impl<S: ClauseSink>(
+        &mut self,
+        solver: &mut S,
+        roots: Option<&[NetId]>,
+        order: Option<&[netlist::GateId]>,
+    ) -> Result<(), EncodeError> {
+        // Cone-of-influence restriction: mark every net some root depends on.
+        let needed: Option<Vec<bool>> = roots.map(|roots| {
+            let mut needed = vec![false; self.netlist.num_nets()];
+            let mut stack: Vec<NetId> = roots.to_vec();
+            while let Some(n) = stack.pop() {
+                if needed[n.index()] {
+                    continue;
+                }
+                needed[n.index()] = true;
+                if let Driver::Gate(gid) = self.netlist.driver(n) {
+                    for &input in &self.netlist.gate(gid).inputs {
+                        if !needed[input.index()] {
+                            stack.push(input);
+                        }
+                    }
+                }
+            }
+            needed
+        });
+        let is_needed = |net: NetId| needed.as_ref().is_none_or(|n| n[net.index()]);
+
         // Primary inputs: fresh variables unless bound.
         for &input in self.netlist.inputs() {
-            if self.map[input.index()].is_none() {
-                self.map[input.index()] = Some(Lit::positive(solver.new_var()));
+            if is_needed(input) && self.map[input.index()].is_none() {
+                self.map[input.index()] = Some(Bound::Lit(Lit::positive(solver.new_var())));
             }
         }
         // Declared-but-undriven nets must have been bound by the caller.
         for net in self.netlist.net_ids() {
-            if self.netlist.driver(net) == Driver::None && self.map[net.index()].is_none() {
+            if is_needed(net)
+                && self.netlist.driver(net) == Driver::None
+                && self.map[net.index()].is_none()
+            {
                 return Err(EncodeError::Unbound(self.netlist.net_name(net).to_string()));
             }
         }
-        let order = netlist::topo::gate_order(self.netlist)?;
-        for gid in order {
+        let computed_order;
+        let order = match order {
+            Some(order) => order,
+            None => {
+                computed_order = netlist::topo::gate_order(self.netlist)?;
+                &computed_order
+            }
+        };
+        for &gid in order {
             let gate = self.netlist.gate(gid);
-            let inputs: Vec<Lit> = gate
+            if !is_needed(gate.output) {
+                continue;
+            }
+            let inputs: Vec<Bound> = gate
                 .inputs
                 .iter()
                 .map(|&n| {
@@ -145,26 +348,234 @@ impl<'a> CircuitEncoder<'a> {
                         .ok_or_else(|| EncodeError::Unbound(self.netlist.net_name(n).to_string()))
                 })
                 .collect::<Result<_, _>>()?;
-            let out = match self.map[gate.output.index()] {
-                Some(lit) => lit,
-                None => {
-                    let lit = Lit::positive(solver.new_var());
-                    self.map[gate.output.index()] = Some(lit);
-                    lit
-                }
+            let folded = if self.folding {
+                fold_gate(gate.kind, &inputs)
+            } else {
+                let lits: Vec<Lit> = inputs
+                    .iter()
+                    .map(|b| {
+                        b.as_lit()
+                            .expect("bind_const requires folding to stay enabled")
+                    })
+                    .collect();
+                Folded::Raw(gate.kind, lits)
             };
-            encode_gate(solver, gate.kind, out, &inputs);
+            self.emit(solver, gate.output, folded);
         }
         Ok(())
     }
+
+    /// Materializes the folded form of one gate: records constant/alias
+    /// bindings without clauses, or allocates/reuses an output literal and
+    /// adds the remaining Tseitin clauses.
+    fn emit<S: ClauseSink>(&mut self, solver: &mut S, out_net: NetId, folded: Folded) {
+        let existing = self.map[out_net.index()];
+        match folded {
+            Folded::Const(v) => match existing {
+                None => self.map[out_net.index()] = Some(Bound::Const(v)),
+                Some(Bound::Lit(l)) => {
+                    solver.add_clause(&[if v { l } else { !l }]);
+                }
+                Some(Bound::Const(u)) => {
+                    if u != v {
+                        // The pre-bound constant contradicts the folded one:
+                        // the formula is unsatisfiable.
+                        solver.add_clause(&[]);
+                    }
+                }
+            },
+            Folded::Alias(l) => match existing {
+                None => self.map[out_net.index()] = Some(Bound::Lit(l)),
+                Some(Bound::Lit(out)) => encode_equal(solver, out, l),
+                Some(Bound::Const(u)) => {
+                    solver.add_clause(&[if u { l } else { !l }]);
+                }
+            },
+            gate => {
+                let out = match existing {
+                    Some(Bound::Lit(l)) => l,
+                    None => {
+                        let l = Lit::positive(solver.new_var());
+                        self.map[out_net.index()] = Some(Bound::Lit(l));
+                        l
+                    }
+                    Some(Bound::Const(u)) => {
+                        // Rare: an output pre-pinned to a constant that does
+                        // not fold. Materialize a literal and assert it.
+                        let l = Lit::positive(solver.new_var());
+                        solver.add_clause(&[if u { l } else { !l }]);
+                        l
+                    }
+                };
+                match gate {
+                    Folded::And(lits, invert) => {
+                        encode_and(solver, if invert { !out } else { out }, &lits)
+                    }
+                    Folded::Or(lits, invert) => {
+                        encode_or(solver, if invert { !out } else { out }, &lits)
+                    }
+                    Folded::Xor(lits, invert) => {
+                        encode_parity(solver, if invert { !out } else { out }, &lits)
+                    }
+                    Folded::Mux(s, a, b) => encode_mux(solver, out, s, a, b),
+                    Folded::Raw(kind, lits) => encode_gate(solver, kind, out, &lits),
+                    Folded::Const(_) | Folded::Alias(_) => unreachable!("handled above"),
+                }
+            }
+        }
+    }
 }
 
-/// Adds the Tseitin clauses for `out = kind(inputs)` to the solver.
+/// Folds one gate over its input bounds.
+fn fold_gate(kind: GateKind, ins: &[Bound]) -> Folded {
+    assert!(
+        kind.arity_ok(ins.len()),
+        "gate {kind} encoded with {} inputs",
+        ins.len()
+    );
+    match kind {
+        GateKind::Const0 => Folded::Const(false),
+        GateKind::Const1 => Folded::Const(true),
+        GateKind::Buf => bound_to_folded(ins[0]),
+        GateKind::Not => bound_to_folded(ins[0].negate()),
+        GateKind::And => fold_and(ins, false),
+        GateKind::Nand => fold_and(ins, true),
+        GateKind::Or => fold_or(ins, false),
+        GateKind::Nor => fold_or(ins, true),
+        GateKind::Xor => fold_xor(ins, false),
+        GateKind::Xnor => fold_xor(ins, true),
+        GateKind::Mux => fold_mux(ins[0], ins[1], ins[2]),
+    }
+}
+
+fn bound_to_folded(b: Bound) -> Folded {
+    match b {
+        Bound::Lit(l) => Folded::Alias(l),
+        Bound::Const(v) => Folded::Const(v),
+    }
+}
+
+fn fold_and(ins: &[Bound], invert: bool) -> Folded {
+    let mut lits: Vec<Lit> = Vec::with_capacity(ins.len());
+    for &b in ins {
+        match b {
+            Bound::Const(false) => return Folded::Const(invert),
+            Bound::Const(true) => {}
+            Bound::Lit(l) => {
+                if lits.contains(&!l) {
+                    return Folded::Const(invert); // x ∧ ¬x
+                }
+                if !lits.contains(&l) {
+                    lits.push(l);
+                }
+            }
+        }
+    }
+    match lits.len() {
+        0 => Folded::Const(!invert),
+        1 => Folded::Alias(if invert { !lits[0] } else { lits[0] }),
+        _ => Folded::And(lits, invert),
+    }
+}
+
+fn fold_or(ins: &[Bound], invert: bool) -> Folded {
+    let mut lits: Vec<Lit> = Vec::with_capacity(ins.len());
+    for &b in ins {
+        match b {
+            Bound::Const(true) => return Folded::Const(!invert),
+            Bound::Const(false) => {}
+            Bound::Lit(l) => {
+                if lits.contains(&!l) {
+                    return Folded::Const(!invert); // x ∨ ¬x
+                }
+                if !lits.contains(&l) {
+                    lits.push(l);
+                }
+            }
+        }
+    }
+    match lits.len() {
+        0 => Folded::Const(invert),
+        1 => Folded::Alias(if invert { !lits[0] } else { lits[0] }),
+        _ => Folded::Or(lits, invert),
+    }
+}
+
+fn fold_xor(ins: &[Bound], mut invert: bool) -> Folded {
+    let mut lits: Vec<Lit> = Vec::with_capacity(ins.len());
+    for &b in ins {
+        match b {
+            Bound::Const(v) => invert ^= v,
+            Bound::Lit(l) => {
+                // Pairs over the same variable cancel: x⊕x = 0, x⊕¬x = 1.
+                if let Some(pos) = lits.iter().position(|e| e.var() == l.var()) {
+                    let e = lits.remove(pos);
+                    if e != l {
+                        invert = !invert;
+                    }
+                } else {
+                    lits.push(l);
+                }
+            }
+        }
+    }
+    match lits.len() {
+        0 => Folded::Const(invert),
+        1 => Folded::Alias(if invert { !lits[0] } else { lits[0] }),
+        _ => Folded::Xor(lits, invert),
+    }
+}
+
+fn fold_mux(s: Bound, a: Bound, b: Bound) -> Folded {
+    // out = s ? b : a
+    let s = match s {
+        Bound::Const(true) => return bound_to_folded(b),
+        Bound::Const(false) => return bound_to_folded(a),
+        Bound::Lit(l) => l,
+    };
+    match (a, b) {
+        (Bound::Const(va), Bound::Const(vb)) => {
+            if va == vb {
+                Folded::Const(va)
+            } else if vb {
+                Folded::Alias(s) // 0 on s=0, 1 on s=1
+            } else {
+                Folded::Alias(!s)
+            }
+        }
+        (Bound::Const(va), Bound::Lit(lb)) => {
+            if va {
+                Folded::Or(vec![!s, lb], false) // s ? b : 1
+            } else {
+                Folded::And(vec![s, lb], false) // s ? b : 0
+            }
+        }
+        (Bound::Lit(la), Bound::Const(vb)) => {
+            if vb {
+                Folded::Or(vec![s, la], false) // s ? 1 : a
+            } else {
+                Folded::And(vec![!s, la], false) // s ? 0 : a
+            }
+        }
+        (Bound::Lit(la), Bound::Lit(lb)) => {
+            if la == lb {
+                Folded::Alias(la)
+            } else if la == !lb {
+                Folded::Xor(vec![s, lb], true) // s ? b : ¬b  ⟺  out = s ≡ b
+            } else {
+                Folded::Mux(s, la, lb)
+            }
+        }
+    }
+}
+
+/// Adds the Tseitin clauses for `out = kind(inputs)` to the solver, without
+/// any folding.
 ///
 /// # Panics
 ///
 /// Panics if the input count violates the gate arity.
-pub fn encode_gate(solver: &mut Solver, kind: GateKind, out: Lit, inputs: &[Lit]) {
+pub fn encode_gate<S: ClauseSink>(solver: &mut S, kind: GateKind, out: Lit, inputs: &[Lit]) {
     assert!(
         kind.arity_ok(inputs.len()),
         "gate {kind} encoded with {} inputs",
@@ -185,27 +596,17 @@ pub fn encode_gate(solver: &mut Solver, kind: GateKind, out: Lit, inputs: &[Lit]
         GateKind::Nor => encode_or(solver, !out, inputs),
         GateKind::Xor => encode_parity(solver, out, inputs),
         GateKind::Xnor => encode_parity(solver, !out, inputs),
-        GateKind::Mux => {
-            let (s, a, b) = (inputs[0], inputs[1], inputs[2]);
-            // out = s ? b : a
-            solver.add_clause(&[!s, !b, out]);
-            solver.add_clause(&[!s, b, !out]);
-            solver.add_clause(&[s, !a, out]);
-            solver.add_clause(&[s, a, !out]);
-            // Redundant but propagation-friendly clauses.
-            solver.add_clause(&[!a, !b, out]);
-            solver.add_clause(&[a, b, !out]);
-        }
+        GateKind::Mux => encode_mux(solver, out, inputs[0], inputs[1], inputs[2]),
     }
 }
 
 /// Constrains `a = b`.
-pub fn encode_equal(solver: &mut Solver, a: Lit, b: Lit) {
+pub fn encode_equal<S: ClauseSink>(solver: &mut S, a: Lit, b: Lit) {
     solver.add_clause(&[!a, b]);
     solver.add_clause(&[a, !b]);
 }
 
-fn encode_and(solver: &mut Solver, out: Lit, inputs: &[Lit]) {
+fn encode_and<S: ClauseSink>(solver: &mut S, out: Lit, inputs: &[Lit]) {
     let mut long_clause = Vec::with_capacity(inputs.len() + 1);
     for &i in inputs {
         solver.add_clause(&[!out, i]);
@@ -215,7 +616,7 @@ fn encode_and(solver: &mut Solver, out: Lit, inputs: &[Lit]) {
     solver.add_clause(&long_clause);
 }
 
-fn encode_or(solver: &mut Solver, out: Lit, inputs: &[Lit]) {
+fn encode_or<S: ClauseSink>(solver: &mut S, out: Lit, inputs: &[Lit]) {
     let mut long_clause = Vec::with_capacity(inputs.len() + 1);
     for &i in inputs {
         solver.add_clause(&[out, !i]);
@@ -225,8 +626,19 @@ fn encode_or(solver: &mut Solver, out: Lit, inputs: &[Lit]) {
     solver.add_clause(&long_clause);
 }
 
+/// Constrains `out = s ? b : a`.
+fn encode_mux<S: ClauseSink>(solver: &mut S, out: Lit, s: Lit, a: Lit, b: Lit) {
+    solver.add_clause(&[!s, !b, out]);
+    solver.add_clause(&[!s, b, !out]);
+    solver.add_clause(&[s, !a, out]);
+    solver.add_clause(&[s, a, !out]);
+    // Redundant but propagation-friendly clauses.
+    solver.add_clause(&[!a, !b, out]);
+    solver.add_clause(&[a, b, !out]);
+}
+
 /// Constrains `out = a ^ b` for exactly two operands.
-fn encode_xor2(solver: &mut Solver, out: Lit, a: Lit, b: Lit) {
+fn encode_xor2<S: ClauseSink>(solver: &mut S, out: Lit, a: Lit, b: Lit) {
     solver.add_clause(&[!out, a, b]);
     solver.add_clause(&[!out, !a, !b]);
     solver.add_clause(&[out, !a, b]);
@@ -235,7 +647,7 @@ fn encode_xor2(solver: &mut Solver, out: Lit, a: Lit, b: Lit) {
 
 /// Constrains `out` to the parity (XOR) of an arbitrary number of operands by
 /// chaining 2-input XORs through auxiliary variables.
-fn encode_parity(solver: &mut Solver, out: Lit, inputs: &[Lit]) {
+fn encode_parity<S: ClauseSink>(solver: &mut S, out: Lit, inputs: &[Lit]) {
     match inputs.len() {
         0 => {
             solver.add_clause(&[!out]);
@@ -260,48 +672,61 @@ fn encode_parity(solver: &mut Solver, out: Lit, inputs: &[Lit]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{SatResult, Var};
+    use crate::{SatResult, Solver, Var};
     use netlist::Netlist;
 
-    /// Checks that the CNF encoding of a single-output combinational circuit
-    /// agrees with direct gate evaluation on every input assignment.
+    fn direct_eval(netlist: &Netlist, pattern: u64) -> Vec<bool> {
+        let order = netlist::topo::gate_order(netlist).unwrap();
+        let mut values = vec![false; netlist.num_nets()];
+        for (i, &input) in netlist.inputs().iter().enumerate() {
+            values[input.index()] = (pattern >> i) & 1 == 1;
+        }
+        for &gid in &order {
+            let g = netlist.gate(gid);
+            let ins: Vec<bool> = g.inputs.iter().map(|&n| values[n.index()]).collect();
+            values[g.output.index()] = g.kind.eval(&ins);
+        }
+        values
+    }
+
+    /// Checks that the CNF encoding of a combinational circuit agrees with
+    /// direct gate evaluation on every input assignment, with and without
+    /// folding.
     fn assert_encoding_matches(netlist: &Netlist) {
         let n_inputs = netlist.num_inputs();
         assert!(n_inputs <= 10, "exhaustive check limited to 10 inputs");
-        let order = netlist::topo::gate_order(netlist).unwrap();
-        for pattern in 0..(1u64 << n_inputs) {
-            // Direct evaluation.
-            let mut values = vec![false; netlist.num_nets()];
-            for (i, &input) in netlist.inputs().iter().enumerate() {
-                values[input.index()] = (pattern >> i) & 1 == 1;
-            }
-            for &gid in &order {
-                let g = netlist.gate(gid);
-                let ins: Vec<bool> = g.inputs.iter().map(|&n| values[n.index()]).collect();
-                values[g.output.index()] = g.kind.eval(&ins);
-            }
-            // CNF evaluation: constrain inputs, solve, compare outputs.
-            let mut solver = Solver::new();
-            let mut encoder = CircuitEncoder::new(netlist).unwrap();
-            encoder.encode(&mut solver).unwrap();
-            for (i, &input) in netlist.inputs().iter().enumerate() {
-                let lit = encoder.lit(input).unwrap();
-                let want = (pattern >> i) & 1 == 1;
-                solver.add_clause(&[if want { lit } else { !lit }]);
-            }
-            match solver.solve() {
-                SatResult::Sat(model) => {
-                    for &out in netlist.outputs() {
-                        let lit = encoder.lit(out).unwrap();
-                        assert_eq!(
-                            model.lit_value(lit),
-                            values[out.index()],
-                            "output {} pattern {pattern:b}",
-                            netlist.net_name(out)
-                        );
+        for folding in [true, false] {
+            for pattern in 0..(1u64 << n_inputs) {
+                let values = direct_eval(netlist, pattern);
+                // CNF evaluation: constrain inputs, solve, compare outputs.
+                let mut solver = Solver::new();
+                let mut encoder = CircuitEncoder::new(netlist).unwrap();
+                encoder.set_folding(folding);
+                encoder.encode(&mut solver).unwrap();
+                for (i, &input) in netlist.inputs().iter().enumerate() {
+                    let lit = encoder.lit(input).unwrap();
+                    let want = (pattern >> i) & 1 == 1;
+                    solver.add_clause(&[if want { lit } else { !lit }]);
+                }
+                match solver.solve() {
+                    SatResult::Sat(model) => {
+                        for &out in netlist.outputs() {
+                            let got = match encoder.bound(out).unwrap() {
+                                Bound::Lit(lit) => model.lit_value(lit),
+                                Bound::Const(v) => v,
+                            };
+                            assert_eq!(
+                                got,
+                                values[out.index()],
+                                "output {} pattern {pattern:b} folding {folding}",
+                                netlist.net_name(out)
+                            );
+                        }
+                    }
+                    SatResult::Unsat => {
+                        panic!("encoding must be satisfiable for pattern {pattern}")
                     }
                 }
-                SatResult::Unsat => panic!("encoding must be satisfiable for pattern {pattern}"),
             }
         }
     }
@@ -348,6 +773,113 @@ mod tests {
         let nx = nl.add_gate(GateKind::Xnor, &ins, "nx").unwrap();
         nl.mark_output(nx).unwrap();
         assert_encoding_matches(&nl);
+    }
+
+    #[test]
+    fn gates_with_shared_and_degenerate_inputs_encode_correctly() {
+        // And(a,a), Xor(a,a), Mux(s,a,a), Mux with constant arms: the folding
+        // shortcuts must agree with direct evaluation.
+        let mut nl = Netlist::new("degenerate");
+        let a = nl.add_input("a");
+        let s = nl.add_input("s");
+        let c1 = nl.add_gate(GateKind::Const1, &[], "c1").unwrap();
+        let na = nl.add_gate(GateKind::Not, &[a], "na").unwrap();
+        for (i, (kind, ins)) in [
+            (GateKind::And, vec![a, a]),
+            (GateKind::And, vec![a, na]),
+            (GateKind::Or, vec![a, na]),
+            (GateKind::Xor, vec![a, a]),
+            (GateKind::Xor, vec![a, na]),
+            (GateKind::Xnor, vec![a, a, na]),
+            (GateKind::Mux, vec![s, a, a]),
+            (GateKind::Mux, vec![s, a, na]),
+            (GateKind::Mux, vec![s, c1, a]),
+            (GateKind::Mux, vec![s, a, c1]),
+            (GateKind::Mux, vec![c1, a, s]),
+            (GateKind::And, vec![a, c1, s]),
+            (GateKind::Or, vec![a, c1, s]),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let out = nl.add_gate(kind, &ins, format!("d{i}")).unwrap();
+            nl.mark_output(out).unwrap();
+        }
+        assert_encoding_matches(&nl);
+    }
+
+    #[test]
+    fn bind_const_folds_the_bound_cone_away() {
+        // o = (a & b) ^ c: binding a=0 folds the AND and turns the XOR into
+        // an alias of c — no new variables or clauses at all.
+        let mut nl = Netlist::new("fold");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let ab = nl.add_gate(GateKind::And, &[a, b], "ab").unwrap();
+        let o = nl.add_gate(GateKind::Xor, &[ab, c], "o").unwrap();
+        nl.mark_output(o).unwrap();
+
+        let mut solver = Solver::new();
+        let c_lit = Lit::positive(solver.new_var());
+        let mut enc = CircuitEncoder::new(&nl).unwrap();
+        enc.bind_const(a, false);
+        enc.bind_const(b, true);
+        enc.bind(c, c_lit);
+        enc.encode(&mut solver).unwrap();
+        assert_eq!(enc.bound(ab), Some(Bound::Const(false)));
+        assert_eq!(enc.bound(o), Some(Bound::Lit(c_lit)));
+        assert_eq!(solver.num_vars(), 1, "no new variables");
+        assert_eq!(solver.num_clauses(), 0, "no clauses");
+
+        // Binding a=1 instead leaves o = b ^ c alive.
+        let mut solver = Solver::new();
+        let c_lit = Lit::positive(solver.new_var());
+        let b_lit = Lit::positive(solver.new_var());
+        let mut enc = CircuitEncoder::new(&nl).unwrap();
+        enc.bind_const(a, true);
+        enc.bind(b, b_lit);
+        enc.bind(c, c_lit);
+        enc.encode(&mut solver).unwrap();
+        assert_eq!(enc.bound(ab), Some(Bound::Lit(b_lit)), "AND aliased to b");
+        let o_lit = enc.lit(o).unwrap();
+        // Exhaustively check o = b ^ c.
+        for pattern in 0..4u8 {
+            let bv = pattern & 1 == 1;
+            let cv = pattern & 2 == 2;
+            let mut s = solver.clone();
+            s.add_clause(&[if bv { b_lit } else { !b_lit }]);
+            s.add_clause(&[if cv { c_lit } else { !c_lit }]);
+            match s.solve() {
+                SatResult::Sat(m) => assert_eq!(m.lit_value(o_lit), bv ^ cv),
+                SatResult::Unsat => panic!("satisfiable"),
+            }
+        }
+    }
+
+    #[test]
+    fn encode_cone_skips_logic_outside_the_cone() {
+        // Two disjoint cones; restricting to one allocates nothing for the
+        // other.
+        let mut nl = Netlist::new("cones");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let o1 = nl.add_gate(GateKind::And, &[a, b], "o1").unwrap();
+        let o2 = nl.add_gate(GateKind::Or, &[c, d], "o2").unwrap();
+        nl.mark_output(o1).unwrap();
+        nl.mark_output(o2).unwrap();
+
+        let mut solver = Solver::new();
+        let mut enc = CircuitEncoder::new(&nl).unwrap();
+        enc.encode_cone(&mut solver, &[o1]).unwrap();
+        // a, b and the AND output got variables; c, d, o2 did not.
+        assert_eq!(solver.num_vars(), 3);
+        assert!(enc.bound(o1).is_some());
+        assert!(enc.bound(o2).is_none());
+        assert!(enc.bound(c).is_none());
+        assert!(solver.solve().is_sat());
     }
 
     #[test]
@@ -407,6 +939,7 @@ mod tests {
         let mut enc = CircuitEncoder {
             netlist: &nl,
             map: vec![None; nl.num_nets()],
+            folding: true,
         };
         let err = enc.encode(&mut solver).unwrap_err();
         assert!(matches!(err, EncodeError::Unbound(_)));
@@ -416,6 +949,7 @@ mod tests {
         let mut enc = CircuitEncoder {
             netlist: &nl,
             map: vec![None; nl.num_nets()],
+            folding: true,
         };
         enc.bind(x, free);
         enc.encode(&mut solver).unwrap();

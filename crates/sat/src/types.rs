@@ -9,11 +9,13 @@ pub struct Var(pub(crate) u32);
 
 impl Var {
     /// Dense index of the variable (0-based).
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
 
     /// Builds a variable from a dense index.
+    #[inline]
     pub fn from_index(index: usize) -> Self {
         Var(index as u32)
     }
@@ -35,16 +37,19 @@ pub struct Lit(pub(crate) u32);
 
 impl Lit {
     /// The positive literal of `var`.
+    #[inline]
     pub fn positive(var: Var) -> Self {
         Lit(var.0 << 1)
     }
 
     /// The negative literal of `var`.
+    #[inline]
     pub fn negative(var: Var) -> Self {
         Lit((var.0 << 1) | 1)
     }
 
     /// Builds a literal with an explicit polarity (`true` = positive).
+    #[inline]
     pub fn new(var: Var, positive: bool) -> Self {
         if positive {
             Lit::positive(var)
@@ -54,26 +59,31 @@ impl Lit {
     }
 
     /// The underlying variable.
+    #[inline]
     pub fn var(self) -> Var {
         Var(self.0 >> 1)
     }
 
     /// `true` if the literal is negated.
+    #[inline]
     pub fn is_negative(self) -> bool {
         self.0 & 1 == 1
     }
 
     /// `true` if the literal is positive.
+    #[inline]
     pub fn is_positive(self) -> bool {
         !self.is_negative()
     }
 
     /// Dense code of the literal (`2*var + sign`), usable as an array index.
+    #[inline]
     pub fn code(self) -> usize {
         self.0 as usize
     }
 
     /// Builds a literal back from its dense code.
+    #[inline]
     pub fn from_code(code: usize) -> Self {
         Lit(code as u32)
     }
@@ -104,6 +114,7 @@ impl Lit {
 impl Not for Lit {
     type Output = Lit;
 
+    #[inline]
     fn not(self) -> Lit {
         Lit(self.0 ^ 1)
     }

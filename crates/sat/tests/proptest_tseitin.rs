@@ -5,7 +5,11 @@
 use proptest::prelude::*;
 
 use netlist::{GateKind, NetId, Netlist};
-use sat::{miter, tseitin::CircuitEncoder, SatResult, Solver};
+use sat::{
+    miter,
+    tseitin::{Bound, CircuitEncoder},
+    SatResult, Solver,
+};
 
 /// A recipe for one random gate: kind index and input picks.
 type GateRecipe = (u8, u8, u8, u8);
@@ -83,9 +87,12 @@ proptest! {
         match solver.solve() {
             SatResult::Sat(model) => {
                 let got: Vec<bool> = encoder
-                    .output_lits()
+                    .output_bounds()
                     .iter()
-                    .map(|&l| model.lit_value(l))
+                    .map(|b| match b {
+                        Bound::Lit(l) => model.lit_value(*l),
+                        Bound::Const(v) => *v,
+                    })
                     .collect();
                 prop_assert_eq!(got, expected);
             }
@@ -93,10 +100,52 @@ proptest! {
         }
     }
 
-    /// A miter of a circuit against itself can never find a difference.
+    /// Folding must not change the function: encode with the DIP inputs bound
+    /// to constants (folded) and compare every output against direct
+    /// evaluation of the same input assignment.
+    #[test]
+    fn const_bound_encoding_matches_direct_evaluation(
+        recipes in proptest::collection::vec(any::<GateRecipe>(), 1..24),
+        input_bits in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        let netlist = build_circuit(input_bits.len(), &recipes);
+        let expected = evaluate_directly(&netlist, &input_bits);
+
+        let mut solver = Solver::new();
+        let mut encoder = CircuitEncoder::new(&netlist).expect("combinational");
+        for (i, &input) in netlist.inputs().iter().enumerate() {
+            encoder.bind_const(input, input_bits[i]);
+        }
+        let roots: Vec<NetId> = netlist.outputs().to_vec();
+        encoder.encode_cone(&mut solver, &roots).expect("encodes");
+
+        // With every input constant the whole circuit folds away: no solve
+        // needed unless auxiliary structure survived, in which case any model
+        // works (outputs are unconstrained variables never happen: they all
+        // fold or are pinned by clauses over constants only).
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                let got: Vec<bool> = encoder
+                    .output_bounds()
+                    .iter()
+                    .map(|b| match b {
+                        Bound::Lit(l) => model.lit_value(*l),
+                        Bound::Const(v) => *v,
+                    })
+                    .collect();
+                prop_assert_eq!(got, expected);
+            }
+            SatResult::Unsat => prop_assert!(false, "const-bound encoding must be satisfiable"),
+        }
+    }
+
+    /// A miter of a circuit against itself can never find a difference —
+    /// including when one copy is folded and the other is encoded verbatim
+    /// (pre-PR shape), which pins the two encodings equivalent.
     #[test]
     fn self_miter_is_unsat(
         recipes in proptest::collection::vec(any::<GateRecipe>(), 1..16),
+        fold_first in any::<bool>(),
     ) {
         let netlist = build_circuit(3, &recipes);
         let mut solver = Solver::new();
@@ -105,13 +154,19 @@ proptest! {
             .collect();
         let mut enc1 = CircuitEncoder::new(&netlist).expect("combinational");
         let mut enc2 = CircuitEncoder::new(&netlist).expect("combinational");
+        enc1.set_folding(fold_first);
+        enc2.set_folding(false);
         for (i, &input) in netlist.inputs().iter().enumerate() {
             enc1.bind(input, shared[i]);
             enc2.bind(input, shared[i]);
         }
         enc1.encode(&mut solver).expect("encodes");
         enc2.encode(&mut solver).expect("encodes");
-        let diff = miter::any_difference(&mut solver, &enc1.output_lits(), &enc2.output_lits());
+        let diff = miter::any_difference_bounds(
+            &mut solver,
+            &enc1.output_bounds(),
+            &enc2.output_bounds(),
+        );
         prop_assert_eq!(solver.solve_with_assumptions(&[diff]), SatResult::Unsat);
     }
 }

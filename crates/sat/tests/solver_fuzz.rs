@@ -1,0 +1,239 @@
+//! Differential fuzz suite for the arena solver.
+//!
+//! Random CNFs of at most 12 variables are solved three ways — the arena
+//! [`Solver`], the retained pre-arena [`reference::Solver`] and brute-force
+//! truth-table enumeration — and the verdicts must agree at every step of an
+//! incremental session: initial solve, clause additions between solves, and
+//! assumption queries. One copy of the arena solver runs with an aggressive
+//! learnt limit so reduce-DB, clause deletion and arena garbage collection
+//! fire constantly even on these tiny formulas; a reduce/minimization bug
+//! that flips a SAT/UNSAT answer (or produces a non-model) fails here.
+
+use proptest::prelude::*;
+
+use sat::{reference, Cnf, Lit, SatEngine, SatResult, Solver, Var};
+
+/// Strategy producing a random CNF as DIMACS-style integer clauses over
+/// `max_vars` variables, with clause sizes 1..=5 (binaries are common, which
+/// exercises the specialized binary watch lists).
+fn cnf_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    let literal = (1..=max_vars as i64).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]);
+    let clause = proptest::collection::vec(literal, 1..=5);
+    proptest::collection::vec(clause, 1..=max_clauses)
+}
+
+fn to_lits(clause: &[i64]) -> Vec<Lit> {
+    clause
+        .iter()
+        .map(|&l| Lit::from_dimacs(l).expect("non-zero"))
+        .collect()
+}
+
+fn num_vars(clauses: &[Vec<i64>]) -> usize {
+    clauses
+        .iter()
+        .flatten()
+        .map(|l| l.unsigned_abs() as usize)
+        .max()
+        .unwrap_or(0)
+}
+
+/// One engine under test plus the mirror [`Cnf`] used for brute-force
+/// cross-checks.
+struct Harness<E: SatEngine> {
+    engine: E,
+    cnf: Cnf,
+}
+
+impl<E: SatEngine> Harness<E> {
+    fn new(vars: usize) -> Self {
+        let mut engine = E::default();
+        let mut cnf = Cnf::new();
+        cnf.ensure_vars(vars);
+        for _ in 0..vars {
+            engine.new_var();
+        }
+        Harness { engine, cnf }
+    }
+
+    fn add(&mut self, clause: &[Lit]) {
+        self.cnf.add_clause(clause);
+        self.engine.add_clause(clause);
+    }
+
+    /// Solves and checks the verdict (and any model) against brute force.
+    fn check_solve(&mut self) -> Result<bool, TestCaseError> {
+        let brute = self.cnf.brute_force();
+        match self.engine.solve() {
+            SatResult::Sat(model) => {
+                prop_assert!(brute.is_some(), "engine said SAT, brute force said UNSAT");
+                let assignment: Vec<bool> = (0..self.cnf.num_vars())
+                    .map(|i| model.value(Var::from_index(i)))
+                    .collect();
+                prop_assert!(
+                    self.cnf.evaluate(&assignment),
+                    "model does not satisfy the formula"
+                );
+                Ok(true)
+            }
+            SatResult::Unsat => {
+                prop_assert!(
+                    brute.is_none(),
+                    "engine said UNSAT, brute force found {brute:?}"
+                );
+                Ok(false)
+            }
+        }
+    }
+
+    /// Solves under assumptions and checks against brute force over the
+    /// assumption-strengthened formula.
+    fn check_assumptions(&mut self, assumptions: &[Lit]) -> Result<bool, TestCaseError> {
+        let mut strengthened = self.cnf.clone();
+        for &a in assumptions {
+            strengthened.add_clause(&[a]);
+        }
+        let brute = strengthened.brute_force();
+        match self.engine.solve_with_assumptions(assumptions) {
+            SatResult::Sat(model) => {
+                prop_assert!(
+                    brute.is_some(),
+                    "engine said SAT under {assumptions:?}, brute force said UNSAT"
+                );
+                for &a in assumptions {
+                    prop_assert!(model.lit_value(a), "assumption {a} not honored by model");
+                }
+                let assignment: Vec<bool> = (0..self.cnf.num_vars())
+                    .map(|i| model.value(Var::from_index(i)))
+                    .collect();
+                prop_assert!(self.cnf.evaluate(&assignment));
+                Ok(true)
+            }
+            SatResult::Unsat => {
+                prop_assert!(
+                    brute.is_none(),
+                    "engine said UNSAT under {assumptions:?}, brute force found {brute:?}"
+                );
+                Ok(false)
+            }
+        }
+    }
+}
+
+/// Drives one full incremental session (staged clause additions with solves
+/// and assumption queries in between) on a fresh engine of type `E`.
+fn drive_session<E: SatEngine>(
+    clauses: &[Vec<i64>],
+    vars: usize,
+    assumption_picks: &[i64],
+    aggressive_reduce: bool,
+    configure: impl Fn(&mut E, bool),
+) -> Result<(), TestCaseError> {
+    let mut h = Harness::<E>::new(vars);
+    configure(&mut h.engine, aggressive_reduce);
+
+    // Stage the clauses in three chunks with a solve after each, exercising
+    // incremental addition on top of learnt state.
+    let chunk = clauses.len().div_ceil(3).max(1);
+    for stage in clauses.chunks(chunk) {
+        for clause in stage {
+            h.add(&to_lits(clause));
+        }
+        h.check_solve()?;
+        // Assumption queries between the incremental additions.
+        for &pick in assumption_picks {
+            let var = Var::from_index((pick.unsigned_abs() as usize - 1) % vars);
+            let assumption = Lit::new(var, pick > 0);
+            h.check_assumptions(&[assumption])?;
+        }
+    }
+    // Final checks: a two-literal assumption set and one more plain solve
+    // (the assumption query must not have poisoned the database).
+    if vars >= 2 && assumption_picks.len() >= 2 {
+        let a = Lit::new(
+            Var::from_index((assumption_picks[0].unsigned_abs() as usize - 1) % vars),
+            assumption_picks[0] > 0,
+        );
+        let b = Lit::new(
+            Var::from_index((assumption_picks[1].unsigned_abs() as usize - 1) % vars),
+            assumption_picks[1] > 0,
+        );
+        if a.var() != b.var() {
+            h.check_assumptions(&[a, b])?;
+        }
+    }
+    h.check_solve()?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The arena solver agrees with brute force through a full incremental
+    /// session, with the default reduce-DB schedule and with an aggressive
+    /// one (limit 1) that forces constant clause deletion and arena GC.
+    #[test]
+    fn arena_solver_matches_brute_force(
+        clauses in cnf_strategy(12, 40),
+        picks in proptest::collection::vec(1..=12i64, 3),
+    ) {
+        let vars = num_vars(&clauses);
+        if vars == 0 {
+            return Ok(());
+        }
+        for aggressive in [false, true] {
+            drive_session::<Solver>(&clauses, vars, &picks, aggressive, |s, aggressive| {
+                if aggressive {
+                    s.set_learnt_limit(Some(1));
+                }
+            })?;
+        }
+    }
+
+    /// The retained reference solver passes the identical session, pinning
+    /// the old behavior that the arena engine is measured against.
+    #[test]
+    fn reference_solver_matches_brute_force(
+        clauses in cnf_strategy(12, 40),
+        picks in proptest::collection::vec(1..=12i64, 3),
+    ) {
+        let vars = num_vars(&clauses);
+        if vars == 0 {
+            return Ok(());
+        }
+        drive_session::<reference::Solver>(&clauses, vars, &picks, false, |_, _| {})?;
+    }
+
+    /// Both engines return the same verdict on the same formula (models may
+    /// differ; satisfiability must not).
+    #[test]
+    fn arena_and_reference_verdicts_agree(
+        clauses in cnf_strategy(12, 36),
+        pick in 1..=12i64,
+    ) {
+        let vars = num_vars(&clauses);
+        if vars == 0 {
+            return Ok(());
+        }
+        let mut fast = Solver::new();
+        fast.set_learnt_limit(Some(1)); // maximal reduce-DB churn
+        let mut reference = reference::Solver::new();
+        for _ in 0..vars {
+            fast.new_var();
+            reference.new_var();
+        }
+        for clause in &clauses {
+            let lits = to_lits(clause);
+            fast.add_clause(&lits);
+            reference.add_clause(&lits);
+        }
+        prop_assert_eq!(fast.solve().is_sat(), reference.solve().is_sat());
+        let var = Var::from_index((pick.unsigned_abs() as usize - 1) % vars);
+        let assumption = Lit::new(var, pick > 0);
+        prop_assert_eq!(
+            fast.solve_with_assumptions(&[assumption]).is_sat(),
+            reference.solve_with_assumptions(&[assumption]).is_sat()
+        );
+        prop_assert_eq!(fast.is_consistent(), reference.is_consistent());
+    }
+}

@@ -49,6 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_dips: 50_000,
             verify_sequences: 32,
             verify_cycles: 12,
+            ..SatAttackConfig::default()
         };
         let mut attack_rng = StdRng::seed_from_u64(999);
         let outcome = attack.run(&attack_config, &mut attack_rng)?;

@@ -43,6 +43,7 @@ fn full_pipeline_recovers_a_functionally_correct_key() {
         max_dips: 20_000,
         verify_sequences: 24,
         verify_cycles: 10,
+        ..SatAttackConfig::default()
     };
     let mut attack_rng = StdRng::seed_from_u64(77);
     let outcome = attack
@@ -93,6 +94,7 @@ fn committed_fixtures_survive_lock_and_attack_with_packed_validation() {
             max_dips: 20_000,
             verify_sequences: 64, // one full packed word per validation pass
             verify_cycles: 10,
+            ..SatAttackConfig::default()
         };
         let mut attack_rng = StdRng::seed_from_u64(seed + 1);
         let outcome = attack
@@ -154,6 +156,7 @@ fn attack_effort_grows_with_kappa_s_as_predicted() {
             max_dips: 20_000,
             verify_sequences: 24,
             verify_cycles: 12,
+            ..SatAttackConfig::default()
         };
         let mut attack_rng = StdRng::seed_from_u64(7);
         let outcome = attack

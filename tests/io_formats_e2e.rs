@@ -142,6 +142,7 @@ fn lock_and_sat_attack_run_on_the_vectored_edif_fixture() {
         max_dips: 10_000,
         verify_sequences: 16,
         verify_cycles: 10,
+        ..SatAttackConfig::default()
     };
     let mut attack_rng = StdRng::seed_from_u64(15);
     let outcome = attack.run(&attack_config, &mut attack_rng).unwrap();
@@ -200,6 +201,7 @@ fn lock_and_sat_attack_run_on_the_edif_fixture() {
         max_dips: 10_000,
         verify_sequences: 16,
         verify_cycles: 10,
+        ..SatAttackConfig::default()
     };
     let mut attack_rng = StdRng::seed_from_u64(5);
     let outcome = attack.run(&attack_config, &mut attack_rng).unwrap();

@@ -30,6 +30,7 @@ fn sat_attack_against_a_reencoded_circuit_still_needs_exponential_dips() {
         max_dips: 20_000,
         verify_sequences: 24,
         verify_cycles: 10,
+        ..SatAttackConfig::default()
     };
     let mut attack_rng = StdRng::seed_from_u64(405);
     let outcome = attack
