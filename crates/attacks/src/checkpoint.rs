@@ -1,0 +1,544 @@
+//! Versioned, crash-safe checkpoints for the SAT attack.
+//!
+//! A checkpoint captures everything needed to continue an interrupted attack
+//! run with no oracle re-queries: the accumulated DIP observations of the
+//! current unrolling depth, the depth itself, cumulative effort counters, the
+//! exact RNG state, and fingerprints of the attacked netlists and the attack
+//! configuration so a checkpoint can never be resumed against the wrong
+//! problem.
+//!
+//! # Format (version 1)
+//!
+//! A checkpoint is a line-oriented UTF-8 text file:
+//!
+//! ```text
+//! trilock-checkpoint v1
+//! netlist-hash <16 hex digits>
+//! config-hash <16 hex digits>
+//! depth <usize>
+//! total-dips <u64>
+//! elapsed-ms <u64>
+//! rng <4 x 16 hex digits>
+//! stats <8 x u64>
+//! dips <count>
+//! dip            ⎫ repeated <count> times: one `in` line of 0/1 bits per
+//! in 0110        ⎬ unrolled functional cycle, then the flattened oracle
+//! out 10110      ⎭ response as one `out` line
+//! checksum <16 hex digits>
+//! ```
+//!
+//! The trailing `checksum` line is the FNV-1a hash of every preceding byte;
+//! a torn write (power loss mid-file) fails checksum validation instead of
+//! resuming from garbage. Writes go to a `<path>.tmp` sibling first and are
+//! published with an atomic rename, so the previous checkpoint survives any
+//! crash during the write itself.
+//!
+//! # Compatibility rules
+//!
+//! * The leading version line is checked first; a reader only accepts its own
+//!   major version (`v1`). Any format change that alters the meaning of an
+//!   existing line bumps the version; additions append new `key value` lines
+//!   before `dips`, which v1 readers reject (conservative by design).
+//! * `netlist-hash` and `config-hash` bind a checkpoint to one attack
+//!   instance; resuming with a different circuit pair, κ, or search-relevant
+//!   configuration is refused with [`CheckpointError::Incompatible`].
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use sat::SolverStats;
+
+use crate::killpoint;
+
+/// Version of the on-disk checkpoint format written by this build.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &str = "trilock-checkpoint";
+
+/// 64-bit FNV-1a over `data` — used for the checkpoint checksum and the
+/// netlist/config fingerprints.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One recorded DIP observation: the distinguishing functional input
+/// sequence (one `Vec<bool>` per unrolled cycle) and the oracle's flattened
+/// output response. Replaying a record re-encodes the key constraint without
+/// touching the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DipRecord {
+    /// Functional input bits, one vector per unrolled cycle.
+    pub inputs: Vec<Vec<bool>>,
+    /// Flattened oracle output bits over the observed cycles.
+    pub outputs: Vec<bool>,
+}
+
+/// A point-in-time snapshot of an interrupted SAT attack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackCheckpoint {
+    /// Fingerprint of (original netlist, locked netlist, κ).
+    pub netlist_hash: u64,
+    /// Fingerprint of the search-relevant attack configuration.
+    pub config_hash: u64,
+    /// Unrolling depth the attack was working at.
+    pub depth: usize,
+    /// DIPs consumed across all depths so far.
+    pub total_dips: u64,
+    /// Wall-clock milliseconds spent across all runs of this attack.
+    pub elapsed_ms: u64,
+    /// xoshiro256++ state of the validation RNG.
+    pub rng_state: [u64; 4],
+    /// Cumulative solver effort, including the interrupted solver's partial
+    /// work.
+    pub stats: SolverStats,
+    /// Observations of the current depth, replayed verbatim on resume.
+    pub dips: Vec<DipRecord>,
+}
+
+/// Why a checkpoint could not be saved, loaded, or resumed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The file is not a checkpoint or a line failed to parse.
+    Malformed {
+        /// 1-based line number of the offending line (0 for whole-file
+        /// problems such as truncation).
+        line: usize,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The file is a checkpoint of an unsupported format version.
+    VersionMismatch {
+        /// The version line found in the file.
+        found: String,
+    },
+    /// The trailing checksum does not match the content (torn write or
+    /// corruption).
+    ChecksumMismatch,
+    /// The checkpoint belongs to a different circuit pair or configuration.
+    Incompatible(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Malformed { line, reason } => {
+                write!(f, "malformed checkpoint (line {line}): {reason}")
+            }
+            CheckpointError::VersionMismatch { found } => write!(
+                f,
+                "unsupported checkpoint version: expected `{MAGIC} v{CHECKPOINT_FORMAT_VERSION}`, found `{found}`"
+            ),
+            CheckpointError::ChecksumMismatch => {
+                write!(f, "checkpoint checksum mismatch (torn write or corruption)")
+            }
+            CheckpointError::Incompatible(why) => {
+                write!(f, "checkpoint is incompatible with this attack: {why}")
+            }
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn bits_to_line(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+fn line_to_bits(s: &str, line: usize) -> Result<Vec<bool>, CheckpointError> {
+    s.chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(CheckpointError::Malformed {
+                line,
+                reason: format!("bit line contains `{other}`"),
+            }),
+        })
+        .collect()
+}
+
+impl AttackCheckpoint {
+    /// Serializes the checkpoint, including the trailing checksum line.
+    pub fn to_text(&self) -> String {
+        let mut body = String::new();
+        body.push_str(&format!("{MAGIC} v{CHECKPOINT_FORMAT_VERSION}\n"));
+        body.push_str(&format!("netlist-hash {:016x}\n", self.netlist_hash));
+        body.push_str(&format!("config-hash {:016x}\n", self.config_hash));
+        body.push_str(&format!("depth {}\n", self.depth));
+        body.push_str(&format!("total-dips {}\n", self.total_dips));
+        body.push_str(&format!("elapsed-ms {}\n", self.elapsed_ms));
+        body.push_str(&format!(
+            "rng {:016x} {:016x} {:016x} {:016x}\n",
+            self.rng_state[0], self.rng_state[1], self.rng_state[2], self.rng_state[3]
+        ));
+        let s = &self.stats;
+        body.push_str(&format!(
+            "stats {} {} {} {} {} {} {} {}\n",
+            s.decisions,
+            s.propagations,
+            s.conflicts,
+            s.restarts,
+            s.learned,
+            s.deleted,
+            s.reduces,
+            s.minimized_lits
+        ));
+        body.push_str(&format!("dips {}\n", self.dips.len()));
+        for record in &self.dips {
+            body.push_str("dip\n");
+            for cycle in &record.inputs {
+                body.push_str(&format!("in {}\n", bits_to_line(cycle)));
+            }
+            body.push_str(&format!("out {}\n", bits_to_line(&record.outputs)));
+        }
+        let checksum = fnv1a64(body.as_bytes());
+        body.push_str(&format!("checksum {checksum:016x}\n"));
+        body
+    }
+
+    /// Parses a checkpoint from its textual form, validating the version line
+    /// and the trailing checksum. Never panics on hostile input — every
+    /// defect maps to a typed [`CheckpointError`].
+    pub fn parse(text: &str) -> Result<Self, CheckpointError> {
+        // Split off the checksum line and verify it over everything before.
+        let trimmed = text.strip_suffix('\n').unwrap_or(text);
+        let (body, checksum_line) =
+            trimmed
+                .rsplit_once('\n')
+                .ok_or(CheckpointError::Malformed {
+                    line: 0,
+                    reason: "file too short".into(),
+                })?;
+        let claimed =
+            checksum_line
+                .strip_prefix("checksum ")
+                .ok_or(CheckpointError::Malformed {
+                    line: 0,
+                    reason: "missing trailing checksum line".into(),
+                })?;
+        let claimed =
+            u64::from_str_radix(claimed.trim(), 16).map_err(|_| CheckpointError::Malformed {
+                line: 0,
+                reason: "checksum is not hexadecimal".into(),
+            })?;
+        let mut hashed = String::with_capacity(body.len() + 1);
+        hashed.push_str(body);
+        hashed.push('\n');
+        if fnv1a64(hashed.as_bytes()) != claimed {
+            return Err(CheckpointError::ChecksumMismatch);
+        }
+
+        let mut lines = body.lines().enumerate().map(|(i, l)| (i + 1, l));
+        let mut next = |key: &str| -> Result<(usize, String), CheckpointError> {
+            let (num, line) = lines.next().ok_or_else(|| CheckpointError::Malformed {
+                line: 0,
+                reason: format!("missing `{key}` line"),
+            })?;
+            let value = line
+                .strip_prefix(key)
+                .and_then(|rest| {
+                    rest.strip_prefix(' ')
+                        .or(Some(rest).filter(|r| r.is_empty()))
+                })
+                .ok_or_else(|| CheckpointError::Malformed {
+                    line: num,
+                    reason: format!("expected `{key}`, found `{line}`"),
+                })?;
+            Ok((num, value.to_string()))
+        };
+
+        let (_, version) = next(MAGIC)?;
+        if version != format!("v{CHECKPOINT_FORMAT_VERSION}") {
+            return Err(CheckpointError::VersionMismatch {
+                found: format!("{MAGIC} {version}"),
+            });
+        }
+
+        let parse_u64 = |value: &str, line: usize| -> Result<u64, CheckpointError> {
+            value.parse().map_err(|_| CheckpointError::Malformed {
+                line,
+                reason: format!("`{value}` is not an unsigned integer"),
+            })
+        };
+        let parse_hex = |value: &str, line: usize| -> Result<u64, CheckpointError> {
+            u64::from_str_radix(value, 16).map_err(|_| CheckpointError::Malformed {
+                line,
+                reason: format!("`{value}` is not hexadecimal"),
+            })
+        };
+
+        let (ln, netlist_hash) = next("netlist-hash")?;
+        let netlist_hash = parse_hex(&netlist_hash, ln)?;
+        let (ln, config_hash) = next("config-hash")?;
+        let config_hash = parse_hex(&config_hash, ln)?;
+        let (ln, depth) = next("depth")?;
+        let depth = parse_u64(&depth, ln)? as usize;
+        let (ln, total_dips) = next("total-dips")?;
+        let total_dips = parse_u64(&total_dips, ln)?;
+        let (ln, elapsed_ms) = next("elapsed-ms")?;
+        let elapsed_ms = parse_u64(&elapsed_ms, ln)?;
+
+        let (ln, rng_line) = next("rng")?;
+        let words: Vec<&str> = rng_line.split_whitespace().collect();
+        if words.len() != 4 {
+            return Err(CheckpointError::Malformed {
+                line: ln,
+                reason: format!("rng line has {} words, expected 4", words.len()),
+            });
+        }
+        let mut rng_state = [0u64; 4];
+        for (slot, word) in rng_state.iter_mut().zip(&words) {
+            *slot = parse_hex(word, ln)?;
+        }
+
+        let (ln, stats_line) = next("stats")?;
+        let fields: Vec<&str> = stats_line.split_whitespace().collect();
+        if fields.len() != 8 {
+            return Err(CheckpointError::Malformed {
+                line: ln,
+                reason: format!("stats line has {} fields, expected 8", fields.len()),
+            });
+        }
+        let mut nums = [0u64; 8];
+        for (slot, field) in nums.iter_mut().zip(&fields) {
+            *slot = parse_u64(field, ln)?;
+        }
+        let stats = SolverStats {
+            decisions: nums[0],
+            propagations: nums[1],
+            conflicts: nums[2],
+            restarts: nums[3],
+            learned: nums[4],
+            deleted: nums[5],
+            reduces: nums[6],
+            minimized_lits: nums[7],
+        };
+
+        let (ln, count) = next("dips")?;
+        let count = parse_u64(&count, ln)? as usize;
+        if count > 10_000_000 {
+            return Err(CheckpointError::Malformed {
+                line: ln,
+                reason: format!("implausible dip count {count}"),
+            });
+        }
+        let mut dips = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            let (num, marker) = lines.next().ok_or(CheckpointError::Malformed {
+                line: 0,
+                reason: "truncated dip section".into(),
+            })?;
+            if marker != "dip" {
+                return Err(CheckpointError::Malformed {
+                    line: num,
+                    reason: format!("expected `dip`, found `{marker}`"),
+                });
+            }
+            let mut inputs = Vec::new();
+            let mut outputs = None;
+            for (num, line) in lines.by_ref() {
+                if let Some(bits) = line.strip_prefix("in ") {
+                    if outputs.is_some() {
+                        return Err(CheckpointError::Malformed {
+                            line: num,
+                            reason: "`in` line after `out` line".into(),
+                        });
+                    }
+                    inputs.push(line_to_bits(bits, num)?);
+                } else if let Some(bits) = line.strip_prefix("out ") {
+                    outputs = Some(line_to_bits(bits, num)?);
+                    break;
+                } else {
+                    return Err(CheckpointError::Malformed {
+                        line: num,
+                        reason: format!("expected `in`/`out` bits, found `{line}`"),
+                    });
+                }
+            }
+            let outputs = outputs.ok_or(CheckpointError::Malformed {
+                line: 0,
+                reason: "dip record missing `out` line".into(),
+            })?;
+            if inputs.len() != depth {
+                return Err(CheckpointError::Malformed {
+                    line: 0,
+                    reason: format!(
+                        "dip record has {} input cycles, checkpoint depth is {depth}",
+                        inputs.len()
+                    ),
+                });
+            }
+            dips.push(DipRecord { inputs, outputs });
+        }
+        if let Some((num, extra)) = lines.next() {
+            return Err(CheckpointError::Malformed {
+                line: num,
+                reason: format!("trailing data after dip records: `{extra}`"),
+            });
+        }
+
+        Ok(AttackCheckpoint {
+            netlist_hash,
+            config_hash,
+            depth,
+            total_dips,
+            elapsed_ms,
+            rng_state,
+            stats,
+            dips,
+        })
+    }
+
+    /// Writes the checkpoint crash-safely: the serialized form goes to a
+    /// `<path>.tmp` sibling (fsynced), then an atomic rename publishes it.
+    /// A crash at any instant leaves either the previous checkpoint or the
+    /// new one at `path`, never a torn file.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let body = self.to_text();
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        {
+            let mut file = fs::File::create(&tmp)?;
+            let bytes = body.as_bytes();
+            let half = bytes.len() / 2;
+            file.write_all(&bytes[..half])?;
+            killpoint::hit("checkpoint-mid-write");
+            file.write_all(&bytes[half..])?;
+            file.sync_all()?;
+        }
+        killpoint::hit("checkpoint-pre-rename");
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads and validates a checkpoint file. All failure modes — missing
+    /// file, torn write, tampered bytes, foreign versions — surface as typed
+    /// [`CheckpointError`]s; this function never panics.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let text = fs::read_to_string(path)?;
+        Self::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AttackCheckpoint {
+        AttackCheckpoint {
+            netlist_hash: 0xdead_beef_0123_4567,
+            config_hash: 0x0fed_cba9_8765_4321,
+            depth: 2,
+            total_dips: 17,
+            elapsed_ms: 1234,
+            rng_state: [1, 2, 3, u64::MAX],
+            stats: SolverStats {
+                decisions: 10,
+                propagations: 20,
+                conflicts: 3,
+                restarts: 1,
+                learned: 4,
+                deleted: 2,
+                reduces: 1,
+                minimized_lits: 7,
+            },
+            dips: vec![
+                DipRecord {
+                    inputs: vec![vec![true, false], vec![false, false]],
+                    outputs: vec![true, true, false],
+                },
+                DipRecord {
+                    inputs: vec![vec![false, true], vec![true, true]],
+                    outputs: vec![false, false, true],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_lossless() {
+        let checkpoint = sample();
+        let parsed = AttackCheckpoint::parse(&checkpoint.to_text()).unwrap();
+        assert_eq!(parsed, checkpoint);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("trilock-ckpt-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.ckpt");
+        let checkpoint = sample();
+        checkpoint.save(&path).unwrap();
+        assert_eq!(AttackCheckpoint::load(&path).unwrap(), checkpoint);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flipped_byte_fails_checksum() {
+        let text = sample().to_text();
+        let mut bytes = text.into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] = bytes[mid].wrapping_add(1);
+        let tampered = String::from_utf8_lossy(&bytes);
+        assert!(matches!(
+            AttackCheckpoint::parse(&tampered),
+            Err(CheckpointError::ChecksumMismatch | CheckpointError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let text = sample().to_text();
+        for cut in [0, 1, text.len() / 3, text.len() - 2] {
+            let err = AttackCheckpoint::parse(&text[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::ChecksumMismatch | CheckpointError::Malformed { .. }
+                ),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_version_is_rejected() {
+        // Rebuild the checksum so only the version line is at fault.
+        let text = sample().to_text();
+        let body = text
+            .rsplit_once("checksum")
+            .unwrap()
+            .0
+            .replace("v1", "v999");
+        let text = format!("{body}checksum {:016x}\n", fnv1a64(body.as_bytes()));
+        assert!(matches!(
+            AttackCheckpoint::parse(&text),
+            Err(CheckpointError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let err = AttackCheckpoint::load(Path::new("/nonexistent/nowhere.ckpt")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+}

@@ -13,6 +13,14 @@
 //!   the locking registers from the original ones. Its success statistics
 //!   (number of O-/E-/M-SCCs and the fraction of registers hidden inside
 //!   mixed components) are what Table II reports.
+//!
+//! The SAT attack is built for the paper's timeout regime: it accepts a
+//! wall-clock deadline and per-solve budgets, and can snapshot itself to a
+//! versioned, checksummed, atomically-written [`AttackCheckpoint`] — every
+//! learnt DIP with its oracle response, RNG state and effort counters — so
+//! an interrupted or killed run resumes (replaying DIPs as pure constraints,
+//! no oracle queries) instead of restarting. See [`SatAttack::run_checkpointed`]
+//! and [`SatAttack::resume`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,7 +30,11 @@ mod key_search;
 mod removal;
 mod sat_attack;
 
+pub mod checkpoint;
+pub mod killpoint;
+
 pub use bstar::estimate_min_unroll_depth;
+pub use checkpoint::{AttackCheckpoint, CheckpointError, DipRecord, CHECKPOINT_FORMAT_VERSION};
 pub use key_search::{exhaustive_key_search, KeySearchOutcome};
 pub use removal::{removal_attack, RemovalReport};
 pub use sat_attack::{AttackError, AttackStatus, SatAttack, SatAttackConfig, SatAttackOutcome};

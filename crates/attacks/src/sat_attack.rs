@@ -21,15 +21,21 @@
 
 use std::error::Error;
 use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use rand::rngs::StdRng;
 use rand::Rng;
 
 use netlist::{unroll, Netlist, NetlistError};
 use sat::tseitin::Bound;
-use sat::{miter, tseitin, Lit, SatEngine, SatResult, Solver, SolverStats};
+use sat::{miter, tseitin, Lit, SatEngine, SatResult, SolveControl, Solver, SolverStats};
 use sim::{SimError, Simulator};
 use trilock::KeySequence;
+
+use crate::checkpoint::{fnv1a64, AttackCheckpoint, CheckpointError, DipRecord};
+use crate::killpoint;
 
 /// Error produced by the SAT attack.
 #[derive(Debug)]
@@ -42,6 +48,9 @@ pub enum AttackError {
     Encode(tseitin::EncodeError),
     /// The original and locked circuits have different interfaces.
     InterfaceMismatch(String),
+    /// A checkpoint could not be written, read, or is incompatible with this
+    /// attack instance.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for AttackError {
@@ -51,6 +60,7 @@ impl fmt::Display for AttackError {
             AttackError::Sim(e) => write!(f, "simulation error: {e}"),
             AttackError::Encode(e) => write!(f, "encoding error: {e}"),
             AttackError::InterfaceMismatch(msg) => write!(f, "interface mismatch: {msg}"),
+            AttackError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -70,6 +80,11 @@ impl From<SimError> for AttackError {
 impl From<tseitin::EncodeError> for AttackError {
     fn from(e: tseitin::EncodeError) -> Self {
         AttackError::Encode(e)
+    }
+}
+impl From<CheckpointError> for AttackError {
+    fn from(e: CheckpointError) -> Self {
+        AttackError::Checkpoint(e)
     }
 }
 
@@ -98,6 +113,22 @@ pub struct SatAttackConfig {
     /// pre-arena pipeline's shape, kept for the benchmark baseline and
     /// differential testing.
     pub simplify_cnf: bool,
+    /// Wall-clock budget for this invocation. When it expires the next SAT
+    /// query is interrupted cooperatively, a checkpoint is written (if a
+    /// checkpoint path is configured) and the run returns
+    /// [`AttackStatus::TimedOut`]. Resumed invocations get a fresh budget;
+    /// [`SatAttackOutcome::elapsed`] still reports the cumulative wall clock
+    /// across all invocations.
+    pub time_limit: Option<Duration>,
+    /// Per-solve conflict budget: any single SAT query exceeding it is
+    /// interrupted and the run returns [`AttackStatus::TimedOut`].
+    pub solve_conflict_budget: Option<u64>,
+    /// Per-solve propagation budget, analogous to `solve_conflict_budget`.
+    pub solve_propagation_budget: Option<u64>,
+    /// When checkpointing is active, also write a checkpoint every this many
+    /// DIPs of the current depth (crash-safety between interruptions). `0`
+    /// checkpoints only on interruption.
+    pub checkpoint_every: u64,
 }
 
 impl Default for SatAttackConfig {
@@ -109,6 +140,10 @@ impl Default for SatAttackConfig {
             verify_sequences: 64,
             verify_cycles: 12,
             simplify_cnf: true,
+            time_limit: None,
+            solve_conflict_budget: None,
+            solve_propagation_budget: None,
+            checkpoint_every: 64,
         }
     }
 }
@@ -124,6 +159,13 @@ pub enum AttackStatus {
     /// The unrolling-depth budget was exhausted (candidate keys kept failing
     /// validation at larger depths).
     UnrollBudgetExhausted,
+    /// The wall-clock limit or a per-solve budget cut the run short. When a
+    /// checkpoint path was configured, a checkpoint holding all oracle
+    /// observations so far was written before returning, and
+    /// [`SatAttack::resume`] continues the attack without re-querying the
+    /// oracle. This is how the Table I campaigns record cells that exceed
+    /// their deadline.
+    TimedOut,
 }
 
 /// Outcome of the attack, including the effort metrics reported in Table I.
@@ -229,15 +271,192 @@ impl<'a> SatAttack<'a> {
         config: &SatAttackConfig,
         rng: &mut R,
     ) -> Result<SatAttackOutcome, AttackError> {
+        self.run_inner::<E, R>(config, rng, &|_| [0; 4], None, None)
+    }
+
+    /// Runs the attack with crash-safe checkpointing: every
+    /// [`SatAttackConfig::checkpoint_every`] DIPs — and on any interruption —
+    /// the full attack state is written to `checkpoint_path` via an atomic
+    /// temp-file-plus-rename. Requires a [`StdRng`] because the generator's
+    /// exact state is part of the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist, encoding, simulation and checkpoint-write errors.
+    pub fn run_checkpointed(
+        &self,
+        config: &SatAttackConfig,
+        rng: &mut StdRng,
+        checkpoint_path: &Path,
+    ) -> Result<SatAttackOutcome, AttackError> {
+        self.run_inner::<Solver, StdRng>(config, rng, &|r| r.state(), Some(checkpoint_path), None)
+    }
+
+    /// Continues an interrupted attack from a checkpoint: the recorded DIP
+    /// observations are re-encoded without touching the oracle, the RNG is
+    /// restored to its snapshotted state, and effort counters keep
+    /// accumulating. When `checkpoint_path` is given, the resumed run keeps
+    /// checkpointing there.
+    ///
+    /// Budgets (`max_dips`, `max_unroll`, `time_limit`, the per-solve
+    /// budgets, `checkpoint_every`) may differ from the interrupted run —
+    /// resuming with a larger budget is the point. Everything else must
+    /// match: the checkpoint's netlist and config fingerprints are verified
+    /// first and a mismatch is refused with
+    /// [`CheckpointError::Incompatible`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Checkpoint`] for an incompatible checkpoint and
+    /// otherwise propagates the same errors as [`SatAttack::run`].
+    pub fn resume(
+        &self,
+        config: &SatAttackConfig,
+        checkpoint: AttackCheckpoint,
+        checkpoint_path: Option<&Path>,
+    ) -> Result<SatAttackOutcome, AttackError> {
+        let netlist_hash = self.netlist_fingerprint();
+        if checkpoint.netlist_hash != netlist_hash {
+            return Err(CheckpointError::Incompatible(format!(
+                "netlist fingerprint {:016x} does not match this circuit pair ({netlist_hash:016x})",
+                checkpoint.netlist_hash
+            ))
+            .into());
+        }
+        let config_hash = Self::config_fingerprint(config);
+        if checkpoint.config_hash != config_hash {
+            return Err(CheckpointError::Incompatible(format!(
+                "config fingerprint {:016x} does not match the given configuration \
+                 ({config_hash:016x}); only budget fields may change across resumes",
+                checkpoint.config_hash
+            ))
+            .into());
+        }
+        let mut rng = StdRng::from_state(checkpoint.rng_state);
+        let resume = ResumeState {
+            depth: checkpoint.depth,
+            total_dips: checkpoint.total_dips,
+            stats: checkpoint.stats,
+            elapsed: Duration::from_millis(checkpoint.elapsed_ms),
+            records: checkpoint.dips,
+        };
+        self.run_inner::<Solver, StdRng>(
+            config,
+            &mut rng,
+            &|r| r.state(),
+            checkpoint_path,
+            Some(resume),
+        )
+    }
+
+    /// Loads the checkpoint at `path` and [`SatAttack::resume`]s it,
+    /// continuing to checkpoint to the same file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Checkpoint`] if the file is missing, torn,
+    /// malformed or incompatible.
+    pub fn resume_from_path(
+        &self,
+        config: &SatAttackConfig,
+        path: &Path,
+    ) -> Result<SatAttackOutcome, AttackError> {
+        let checkpoint = AttackCheckpoint::load(path)?;
+        self.resume(config, checkpoint, Some(path))
+    }
+
+    /// Fingerprint binding checkpoints to this (original, locked, κ) triple.
+    fn netlist_fingerprint(&self) -> u64 {
+        let mut text = netlist::bench::write(self.original);
+        text.push('\n');
+        text.push_str(&netlist::bench::write(self.locked));
+        text.push('\n');
+        text.push_str(&self.kappa.to_string());
+        fnv1a64(text.as_bytes())
+    }
+
+    /// Fingerprint of the trajectory-shaping configuration fields. Budget
+    /// fields (`max_dips`, `max_unroll`, `time_limit`, per-solve budgets,
+    /// `checkpoint_every`) are deliberately excluded so a resume can raise
+    /// them.
+    fn config_fingerprint(config: &SatAttackConfig) -> u64 {
+        let text = format!(
+            "initial_unroll={} verify_sequences={} verify_cycles={} simplify_cnf={}",
+            config.initial_unroll,
+            config.verify_sequences,
+            config.verify_cycles,
+            config.simplify_cnf
+        );
+        fnv1a64(text.as_bytes())
+    }
+
+    /// Builds the per-solve [`SolveControl`] from the configured budgets and
+    /// the invocation deadline.
+    fn solve_control(config: &SatAttackConfig, deadline: Option<Instant>) -> SolveControl {
+        SolveControl {
+            max_conflicts: config.solve_conflict_budget,
+            max_propagations: config.solve_propagation_budget,
+            should_stop: deadline.map(|d| -> sat::StopFn { Arc::new(move || Instant::now() >= d) }),
+        }
+    }
+
+    fn run_inner<E: SatEngine, R: Rng + ?Sized>(
+        &self,
+        config: &SatAttackConfig,
+        rng: &mut R,
+        snapshot: &dyn Fn(&R) -> [u64; 4],
+        checkpoint_path: Option<&Path>,
+        resume: Option<ResumeState>,
+    ) -> Result<SatAttackOutcome, AttackError> {
         let start = Instant::now();
-        let mut total_dips = 0u64;
-        let mut depth = config.initial_unroll.max(1);
-        let mut solver_stats = SolverStats::default();
+        let deadline = config.time_limit.map(|limit| start + limit);
+        let (mut depth, mut total_dips, stats_base, elapsed_base, records) = match resume {
+            Some(r) => (r.depth.max(1), r.total_dips, r.stats, r.elapsed, r.records),
+            None => (
+                config.initial_unroll.max(1),
+                0,
+                SolverStats::default(),
+                Duration::ZERO,
+                Vec::new(),
+            ),
+        };
+        let (netlist_hash, config_hash) = if checkpoint_path.is_some() {
+            (self.netlist_fingerprint(), Self::config_fingerprint(config))
+        } else {
+            (0, 0)
+        };
+        let mut ctx = RunCtx {
+            checkpoint_path,
+            checkpoint_every: config.checkpoint_every,
+            netlist_hash,
+            config_hash,
+            rng_state: snapshot(rng),
+            records,
+            stats_base,
+            elapsed_base,
+            start,
+            deadline,
+        };
 
         loop {
-            let round = self.attack_at_depth::<E>(depth, config, total_dips)?;
+            // The RNG is only consumed between depths (candidate validation),
+            // so one snapshot per depth makes every mid-loop checkpoint exact.
+            ctx.rng_state = snapshot(rng);
+            let round = self.attack_at_depth::<E>(depth, config, total_dips, &mut ctx)?;
             total_dips = round.dips;
+            let mut solver_stats = ctx.stats_base;
             solver_stats.merge(&round.stats);
+            if round.interrupted {
+                return Ok(SatAttackOutcome {
+                    status: AttackStatus::TimedOut,
+                    dips: total_dips,
+                    unroll_depth: depth,
+                    elapsed: ctx.elapsed_base + start.elapsed(),
+                    solver_vars: round.solver_vars,
+                    solver_clauses: round.solver_clauses,
+                    solver_stats,
+                });
+            }
             match round.candidate {
                 None => {
                     // DIP budget ran out inside this depth.
@@ -245,7 +464,7 @@ impl<'a> SatAttack<'a> {
                         status: AttackStatus::DipBudgetExhausted,
                         dips: total_dips,
                         unroll_depth: depth,
-                        elapsed: start.elapsed(),
+                        elapsed: ctx.elapsed_base + start.elapsed(),
                         solver_vars: round.solver_vars,
                         solver_clauses: round.solver_clauses,
                         solver_stats,
@@ -287,7 +506,7 @@ impl<'a> SatAttack<'a> {
                             status: AttackStatus::KeyFound(candidate),
                             dips: total_dips,
                             unroll_depth: depth,
-                            elapsed: start.elapsed(),
+                            elapsed: ctx.elapsed_base + start.elapsed(),
                             solver_vars: round.solver_vars,
                             solver_clauses: round.solver_clauses,
                             solver_stats,
@@ -295,13 +514,17 @@ impl<'a> SatAttack<'a> {
                     }
                     // The candidate fails on longer executions: the unrolling
                     // depth was insufficient (model-checking step failed).
+                    // Recorded observations belong to the abandoned depth and
+                    // are dropped; completed-depth effort folds into the base.
+                    ctx.stats_base = solver_stats;
+                    ctx.records.clear();
                     depth += 1;
                     if depth > config.max_unroll {
                         return Ok(SatAttackOutcome {
                             status: AttackStatus::UnrollBudgetExhausted,
                             dips: total_dips,
                             unroll_depth: depth - 1,
-                            elapsed: start.elapsed(),
+                            elapsed: ctx.elapsed_base + start.elapsed(),
                             solver_vars: round.solver_vars,
                             solver_clauses: round.solver_clauses,
                             solver_stats,
@@ -317,6 +540,7 @@ impl<'a> SatAttack<'a> {
         depth: usize,
         config: &SatAttackConfig,
         dips_so_far: u64,
+        ctx: &mut RunCtx<'_>,
     ) -> Result<DepthRound, AttackError> {
         let width = self.locked.num_inputs();
         let unrolled = unroll::unroll(self.locked, self.kappa + depth)?;
@@ -372,13 +596,38 @@ impl<'a> SatAttack<'a> {
         )?;
         let diff = miter::any_difference_bounds(&mut solver, &outputs_1, &outputs_2);
 
+        // Cooperative interruption: deadline callback plus per-solve budgets.
+        solver.set_control(Self::solve_control(config, ctx.deadline));
+
+        // Replay checkpointed observations of this depth — pure re-encoding,
+        // no oracle queries (the responses were recorded).
+        for record in &ctx.records {
+            for keys in [&key_vars_1, &key_vars_2] {
+                let outs = self.encode_constrained_copy(
+                    &mut solver,
+                    &unrolled,
+                    keys,
+                    &record.inputs,
+                    &observed,
+                    &gate_order,
+                    config,
+                )?;
+                miter::assert_bound_values(&mut solver, &outs, &record.outputs);
+            }
+        }
+
         let mut oracle = Simulator::new(self.original)?;
         let mut dips = dips_so_far;
 
         loop {
+            killpoint::hit("dip-loop");
             if dips >= config.max_dips {
+                // The DIP budget is a planned pause: persist the observations
+                // so a resume with a raised budget continues from here.
+                ctx.save(depth, dips, &solver.stats())?;
                 return Ok(DepthRound {
                     candidate: None,
+                    interrupted: false,
                     dips,
                     solver_vars: solver.num_vars(),
                     solver_clauses: solver.num_clauses(),
@@ -410,6 +659,17 @@ impl<'a> SatAttack<'a> {
                         )?;
                         miter::assert_bound_values(&mut solver, &outs, &response_flat);
                     }
+                    if ctx.checkpoint_path.is_some() {
+                        ctx.records.push(DipRecord {
+                            inputs: dip,
+                            outputs: response_flat,
+                        });
+                        if ctx.checkpoint_every > 0
+                            && (ctx.records.len() as u64).is_multiple_of(ctx.checkpoint_every)
+                        {
+                            ctx.save(depth, dips, &solver.stats())?;
+                        }
+                    }
                 }
                 SatResult::Unsat => {
                     // No DIP remains: extract a key consistent with all
@@ -423,9 +683,34 @@ impl<'a> SatAttack<'a> {
                             Some(KeySequence::from_cycles(cycles))
                         }
                         SatResult::Unsat => None,
+                        SatResult::Interrupted => {
+                            ctx.save(depth, dips, &solver.stats())?;
+                            return Ok(DepthRound {
+                                candidate: None,
+                                interrupted: true,
+                                dips,
+                                solver_vars: solver.num_vars(),
+                                solver_clauses: solver.num_clauses(),
+                                stats: solver.stats(),
+                            });
+                        }
                     };
                     return Ok(DepthRound {
                         candidate,
+                        interrupted: false,
+                        dips,
+                        solver_vars: solver.num_vars(),
+                        solver_clauses: solver.num_clauses(),
+                        stats: solver.stats(),
+                    });
+                }
+                SatResult::Interrupted => {
+                    // Deadline or per-solve budget hit: persist everything
+                    // learned so far and unwind as TimedOut.
+                    ctx.save(depth, dips, &solver.stats())?;
+                    return Ok(DepthRound {
+                        candidate: None,
+                        interrupted: true,
                         dips,
                         solver_vars: solver.num_vars(),
                         solver_clauses: solver.num_clauses(),
@@ -526,10 +811,69 @@ impl<'a> SatAttack<'a> {
 #[derive(Debug)]
 struct DepthRound {
     candidate: Option<KeySequence>,
+    /// A deadline or per-solve budget cut this depth short.
+    interrupted: bool,
     dips: u64,
     solver_vars: usize,
     solver_clauses: usize,
     stats: SolverStats,
+}
+
+/// State carried into [`SatAttack::run_inner`] when continuing from a
+/// checkpoint.
+struct ResumeState {
+    depth: usize,
+    total_dips: u64,
+    stats: SolverStats,
+    elapsed: Duration,
+    records: Vec<DipRecord>,
+}
+
+/// Per-run bookkeeping shared between the depth loop and the DIP loop:
+/// checkpoint destination and cadence, fingerprints, the RNG snapshot taken
+/// at depth entry (the RNG is only consumed between depths), the recorded
+/// observations of the current depth, and the effort/wall-clock baselines
+/// inherited from interrupted predecessors.
+struct RunCtx<'p> {
+    checkpoint_path: Option<&'p Path>,
+    checkpoint_every: u64,
+    netlist_hash: u64,
+    config_hash: u64,
+    rng_state: [u64; 4],
+    records: Vec<DipRecord>,
+    stats_base: SolverStats,
+    elapsed_base: Duration,
+    start: Instant,
+    deadline: Option<Instant>,
+}
+
+impl RunCtx<'_> {
+    /// Writes a checkpoint if a destination is configured. `solver_stats` is
+    /// the current depth solver's (possibly partial) effort; the stored
+    /// stats are cumulative across all depths and prior invocations.
+    fn save(
+        &self,
+        depth: usize,
+        total_dips: u64,
+        solver_stats: &SolverStats,
+    ) -> Result<(), AttackError> {
+        let Some(path) = self.checkpoint_path else {
+            return Ok(());
+        };
+        let mut stats = self.stats_base;
+        stats.merge(solver_stats);
+        let checkpoint = AttackCheckpoint {
+            netlist_hash: self.netlist_hash,
+            config_hash: self.config_hash,
+            depth,
+            total_dips,
+            elapsed_ms: (self.elapsed_base + self.start.elapsed()).as_millis() as u64,
+            rng_state: self.rng_state,
+            stats,
+            dips: self.records.clone(),
+        };
+        checkpoint.save(path).map_err(AttackError::Checkpoint)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,117 @@
+//! Hostile-input hardening for checkpoint loading: arbitrary byte mutations,
+//! truncations and pure garbage must surface as typed [`CheckpointError`]s —
+//! never a panic, never a silently wrong resume.
+
+use proptest::prelude::*;
+
+use attacks::{AttackCheckpoint, CheckpointError, DipRecord};
+use sat::SolverStats;
+
+fn sample_checkpoint() -> AttackCheckpoint {
+    AttackCheckpoint {
+        netlist_hash: 0x1122_3344_5566_7788,
+        config_hash: 0x99aa_bbcc_ddee_ff00,
+        depth: 2,
+        total_dips: 5,
+        elapsed_ms: 98_765,
+        rng_state: [7, 8, 9, 10],
+        stats: SolverStats {
+            decisions: 101,
+            propagations: 2002,
+            conflicts: 33,
+            restarts: 4,
+            learned: 25,
+            deleted: 11,
+            reduces: 2,
+            minimized_lits: 57,
+        },
+        dips: vec![
+            DipRecord {
+                inputs: vec![vec![true, false, true], vec![false, false, true]],
+                outputs: vec![true, false],
+            },
+            DipRecord {
+                inputs: vec![vec![false, true, false], vec![true, true, false]],
+                outputs: vec![false, true],
+            },
+        ],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Flipping any single byte is detected (checksum or structure), and
+    /// parsing never panics.
+    #[test]
+    fn single_byte_mutation_is_rejected(position in 0usize..2048, delta in 1u8..=255) {
+        let text = sample_checkpoint().to_text();
+        let mut bytes = text.clone().into_bytes();
+        let position = position % bytes.len();
+        bytes[position] = bytes[position].wrapping_add(delta);
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        if mutated == text {
+            // A lossy round-trip can normalize the mutation away.
+            return Ok(());
+        }
+        prop_assert!(
+            AttackCheckpoint::parse(&mutated).is_err(),
+            "mutated checkpoint parsed successfully (byte {position} += {delta})"
+        );
+    }
+
+    /// Any strict prefix of a checkpoint is rejected with a typed error.
+    #[test]
+    fn truncation_is_rejected(cut in 0usize..2048) {
+        let text = sample_checkpoint().to_text();
+        let cut = cut % text.len();
+        let truncated: String = text.chars().take(cut).collect();
+        prop_assert!(AttackCheckpoint::parse(&truncated).is_err());
+    }
+
+    /// Arbitrary bytes never parse and never panic.
+    #[test]
+    fn garbage_is_rejected(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let garbage = String::from_utf8_lossy(&bytes).into_owned();
+        prop_assert!(AttackCheckpoint::parse(&garbage).is_err());
+    }
+
+    /// Splicing random lines into the middle of a valid checkpoint is caught
+    /// by the checksum even when each line is individually well-formed.
+    #[test]
+    fn spliced_lines_are_rejected(
+        line in prop_oneof![
+            Just("dip".to_string()),
+            Just("in 1010".to_string()),
+            Just("out 01".to_string()),
+            Just("depth 3".to_string()),
+            Just("stats 0 0 0 0 0 0 0 0".to_string()),
+        ],
+        at in 0usize..16,
+    ) {
+        let text = sample_checkpoint().to_text();
+        let mut lines: Vec<&str> = text.lines().collect();
+        let at = at % lines.len();
+        lines.insert(at, &line);
+        let spliced = format!("{}\n", lines.join("\n"));
+        prop_assert!(AttackCheckpoint::parse(&spliced).is_err());
+    }
+}
+
+/// Error variants carry enough context to act on: the typed error survives a
+/// round trip through `Display` with its diagnosis intact.
+#[test]
+fn errors_are_typed_and_descriptive() {
+    let text = sample_checkpoint().to_text();
+
+    let torn = &text[..text.len() / 2];
+    match AttackCheckpoint::parse(torn) {
+        Err(CheckpointError::ChecksumMismatch) => {}
+        Err(CheckpointError::Malformed { .. }) => {}
+        other => panic!("torn file produced {other:?}"),
+    }
+
+    let err = AttackCheckpoint::parse("not a checkpoint at all").unwrap_err();
+    assert!(matches!(err, CheckpointError::Malformed { .. }));
+    assert!(err.to_string().contains("malformed"), "display: {err}");
+}

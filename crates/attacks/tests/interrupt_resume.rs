@@ -1,0 +1,190 @@
+//! Differential tests: an attack run that is paused — by a wall-clock
+//! deadline, a per-solve budget, or a DIP budget — and resumed from its
+//! checkpoint must recover the same key as an uninterrupted run, with effort
+//! counters that accumulate across the interruption instead of resetting.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use attacks::{
+    AttackCheckpoint, AttackError, AttackStatus, CheckpointError, SatAttack, SatAttackConfig,
+};
+use benchgen::small;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trilock::{encrypt, KeySequence, TriLockConfig};
+
+const SEED: u64 = 6;
+
+fn full_config() -> SatAttackConfig {
+    SatAttackConfig {
+        initial_unroll: 1,
+        max_unroll: 5,
+        max_dips: 10_000,
+        verify_sequences: 16,
+        verify_cycles: 10,
+        checkpoint_every: 1,
+        ..SatAttackConfig::default()
+    }
+}
+
+fn locked_fixture(kappa_s: usize) -> (netlist::Netlist, trilock::LockedCircuit) {
+    let original = small::toy_controller(2).unwrap();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let locked = encrypt(
+        &original,
+        &TriLockConfig::new(kappa_s, 1).with_alpha(0.6),
+        &mut rng,
+    )
+    .unwrap();
+    (original, locked)
+}
+
+fn recovered_key(status: &AttackStatus) -> KeySequence {
+    match status {
+        AttackStatus::KeyFound(key) => key.clone(),
+        other => panic!("attack did not find a key: {other:?}"),
+    }
+}
+
+fn temp_checkpoint(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("trilock-interrupt-resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Baseline: the uninterrupted run this module's paused runs are compared to.
+fn uninterrupted_key(original: &netlist::Netlist, locked: &trilock::LockedCircuit) -> KeySequence {
+    let attack = SatAttack::new(original, &locked.netlist, locked.kappa()).unwrap();
+    let mut rng = StdRng::seed_from_u64(SEED + 1);
+    let outcome = attack.run(&full_config(), &mut rng).unwrap();
+    recovered_key(&outcome.status)
+}
+
+#[test]
+fn dip_budget_pause_and_resume_recovers_the_same_key() {
+    let (original, locked) = locked_fixture(2);
+    let expected = uninterrupted_key(&original, &locked);
+
+    let attack = SatAttack::new(&original, &locked.netlist, locked.kappa()).unwrap();
+    let path = temp_checkpoint("dip_budget.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    // Pause after 3 DIPs.
+    let paused_config = SatAttackConfig {
+        max_dips: 3,
+        ..full_config()
+    };
+    let mut rng = StdRng::seed_from_u64(SEED + 1);
+    let paused = attack
+        .run_checkpointed(&paused_config, &mut rng, &path)
+        .unwrap();
+    assert_eq!(paused.status, AttackStatus::DipBudgetExhausted);
+    assert_eq!(paused.dips, 3);
+
+    // Resume with the full budget: same key, cumulative effort.
+    let resumed = attack.resume_from_path(&full_config(), &path).unwrap();
+    let key = recovered_key(&resumed.status);
+    assert_eq!(key, expected, "resumed run recovered a different key");
+    assert!(resumed.dips > 3, "resume continued past the recorded DIPs");
+    assert!(
+        resumed.solver_stats.propagations >= paused.solver_stats.propagations,
+        "resumed stats must include the interrupted run's effort"
+    );
+    assert!(resumed.elapsed >= paused.elapsed);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn expired_deadline_times_out_and_resume_recovers_the_same_key() {
+    let (original, locked) = locked_fixture(1);
+    let expected = uninterrupted_key(&original, &locked);
+
+    let attack = SatAttack::new(&original, &locked.netlist, locked.kappa()).unwrap();
+    let path = temp_checkpoint("deadline.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    // A zero deadline interrupts the very first SAT query at entry.
+    let timed_config = SatAttackConfig {
+        time_limit: Some(Duration::ZERO),
+        ..full_config()
+    };
+    let mut rng = StdRng::seed_from_u64(SEED + 1);
+    let timed = attack
+        .run_checkpointed(&timed_config, &mut rng, &path)
+        .unwrap();
+    assert_eq!(timed.status, AttackStatus::TimedOut);
+    assert_eq!(timed.dips, 0);
+
+    // The checkpoint written on timeout resumes into a complete attack.
+    let resumed = attack.resume_from_path(&full_config(), &path).unwrap();
+    assert_eq!(recovered_key(&resumed.status), expected);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn starved_solve_budget_times_out_with_checkpoint() {
+    let (original, locked) = locked_fixture(1);
+    let attack = SatAttack::new(&original, &locked.netlist, locked.kappa()).unwrap();
+    let path = temp_checkpoint("solve_budget.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    let starved = SatAttackConfig {
+        solve_propagation_budget: Some(0),
+        ..full_config()
+    };
+    let mut rng = StdRng::seed_from_u64(SEED + 1);
+    let outcome = attack.run_checkpointed(&starved, &mut rng, &path).unwrap();
+    assert_eq!(outcome.status, AttackStatus::TimedOut);
+    assert!(path.exists(), "timeout must leave a checkpoint behind");
+
+    // Resuming with the budget lifted completes the attack.
+    let resumed = attack.resume_from_path(&full_config(), &path).unwrap();
+    assert!(resumed.succeeded(), "resume failed: {:?}", resumed.status);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_refuses_foreign_netlists_and_configs() {
+    let (original, locked) = locked_fixture(1);
+    let attack = SatAttack::new(&original, &locked.netlist, locked.kappa()).unwrap();
+    let path = temp_checkpoint("compat.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    let paused = SatAttackConfig {
+        max_dips: 1,
+        ..full_config()
+    };
+    let mut rng = StdRng::seed_from_u64(SEED + 1);
+    attack.run_checkpointed(&paused, &mut rng, &path).unwrap();
+    let checkpoint = AttackCheckpoint::load(&path).unwrap();
+
+    // A different circuit pair is refused.
+    let (other_original, other_locked) = locked_fixture(2);
+    let other =
+        SatAttack::new(&other_original, &other_locked.netlist, other_locked.kappa()).unwrap();
+    assert!(matches!(
+        other.resume(&full_config(), checkpoint.clone(), None),
+        Err(AttackError::Checkpoint(CheckpointError::Incompatible(_)))
+    ));
+
+    // A trajectory-shaping config change is refused...
+    let reshaped = SatAttackConfig {
+        verify_cycles: 99,
+        ..full_config()
+    };
+    assert!(matches!(
+        attack.resume(&reshaped, checkpoint.clone(), None),
+        Err(AttackError::Checkpoint(CheckpointError::Incompatible(_)))
+    ));
+
+    // ...while raising budgets is exactly what resume is for.
+    let raised = SatAttackConfig {
+        max_dips: 99_999,
+        time_limit: Some(Duration::from_secs(3600)),
+        ..full_config()
+    };
+    let resumed = attack.resume(&raised, checkpoint, None).unwrap();
+    assert!(resumed.succeeded());
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,169 @@
+//! `campaign_overhead` — cost of crash safety on the attack loop.
+//!
+//! Runs the identical Table-I-style SAT attack three times (same circuit,
+//! same lock, same seeds, same budgets):
+//!
+//! * **bare** — no checkpointing, the pre-checkpoint code path;
+//! * **every 64 DIPs** — the default `checkpoint_every` cadence;
+//! * **every DIP** — the worst case, one atomic snapshot per learnt DIP
+//!   (what the kill-and-resume tests use).
+//!
+//! All three must recover the same key; the figure of merit is the relative
+//! `seconds_per_dip` overhead of the checkpointed legs, which bounds what a
+//! crash-safe campaign pays per cell. Besides the console report, the bench
+//! appends one JSON row to `BENCH_campaign.json` at the repository root.
+//! Run with:
+//!
+//! ```sh
+//! cargo bench -p trilock-bench --bench campaign_overhead
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use attacks::{AttackStatus, SatAttack, SatAttackConfig, SatAttackOutcome};
+use benchgen::CircuitProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trilock::{encrypt, TriLockConfig};
+
+/// Seed for circuit generation / locking / attack randomness.
+const SEED: u64 = 42;
+/// Resilience (κs) and corruptibility (κf) cycles of the lock.
+const KAPPA_S: usize = 2;
+const KAPPA_F: usize = 1;
+
+fn main() {
+    // The sat_attack_throughput profile: κs·|I| = 8 key bits give 2^8
+    // analytic DIPs — enough snapshots for the per-DIP cadence to matter.
+    let profile = CircuitProfile {
+        name: "satbench",
+        inputs: 4,
+        outputs: 6,
+        dffs: 12,
+        gates: 160,
+    };
+    let original = benchgen::generate(&profile, SEED).expect("benchgen circuit builds");
+    let lock_config = TriLockConfig::new(KAPPA_S, KAPPA_F).with_alpha(0.6);
+    let mut lock_rng = StdRng::seed_from_u64(SEED);
+    let locked = encrypt(&original, &lock_config, &mut lock_rng).expect("locks");
+
+    let base = SatAttackConfig {
+        initial_unroll: KAPPA_S,
+        max_unroll: KAPPA_S + 3,
+        max_dips: 100_000,
+        verify_sequences: 32,
+        verify_cycles: locked.kappa() + 6,
+        ..SatAttackConfig::default()
+    };
+
+    let checkpoint_path = std::env::temp_dir().join(format!(
+        "trilock_campaign_overhead_{}.ckpt",
+        std::process::id()
+    ));
+    let run = |checkpoint_every: Option<u64>| -> SatAttackOutcome {
+        let attack =
+            SatAttack::new(&original, &locked.netlist, locked.kappa()).expect("interfaces");
+        let mut rng = StdRng::seed_from_u64(SEED + 1);
+        match checkpoint_every {
+            None => attack.run(&base, &mut rng).expect("attack runs"),
+            Some(every) => {
+                let _ = std::fs::remove_file(&checkpoint_path);
+                let config = SatAttackConfig {
+                    checkpoint_every: every,
+                    ..base
+                };
+                attack
+                    .run_checkpointed(&config, &mut rng, &checkpoint_path)
+                    .expect("attack runs")
+            }
+        }
+    };
+
+    println!(
+        "bench campaign_overhead: {profile}, kappa_s = {KAPPA_S}, kappa_f = {KAPPA_F}, \
+         seed = {SEED}"
+    );
+    let bare = run(None);
+    report("bare (no checkpoint)", &bare);
+    let cadence = run(Some(64));
+    report("checkpoint every 64", &cadence);
+    let per_dip = run(Some(1));
+    report("checkpoint every DIP", &per_dip);
+    let _ = std::fs::remove_file(&checkpoint_path);
+
+    for (label, outcome) in [("every-64", &cadence), ("every-DIP", &per_dip)] {
+        assert_eq!(
+            key_of(&bare),
+            key_of(outcome),
+            "{label} leg recovered a different key"
+        );
+        assert_eq!(bare.dips, outcome.dips, "{label} leg took a different path");
+    }
+
+    let overhead_64 = cadence.seconds_per_dip() / bare.seconds_per_dip();
+    let overhead_1 = per_dip.seconds_per_dip() / bare.seconds_per_dip();
+    println!(
+        "  overhead: every-64 = {overhead_64:.3}x, every-DIP = {overhead_1:.3}x seconds-per-dip"
+    );
+
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let row = format!(
+        "{{\"bench\": \"campaign_overhead\", \"unix_time\": {unix_time}, \
+         \"gates\": {}, \"inputs\": {}, \"kappa_s\": {KAPPA_S}, \"kappa_f\": {KAPPA_F}, \
+         \"seed\": {SEED}, \"dips\": {}, \
+         \"bare_seconds_per_dip\": {:.6e}, \"every64_seconds_per_dip\": {:.6e}, \
+         \"per_dip_seconds_per_dip\": {:.6e}, \
+         \"every64_overhead\": {overhead_64:.3}, \"per_dip_overhead\": {overhead_1:.3}}}",
+        profile.gates,
+        profile.inputs,
+        bare.dips,
+        bare.seconds_per_dip(),
+        cadence.seconds_per_dip(),
+        per_dip.seconds_per_dip(),
+    );
+    match append_row(&row) {
+        Ok(path) => println!("  appended row to {}", path.display()),
+        Err(e) => eprintln!("  could not update BENCH_campaign.json: {e}"),
+    }
+}
+
+fn key_of(outcome: &SatAttackOutcome) -> String {
+    match &outcome.status {
+        AttackStatus::KeyFound(key) => key.to_string(),
+        other => panic!("attack did not find a key: {other:?}"),
+    }
+}
+
+fn report(label: &str, outcome: &SatAttackOutcome) {
+    println!(
+        "  {label:<22} dips = {}, seconds_per_dip = {:.6}, elapsed = {:.3}s",
+        outcome.dips,
+        outcome.seconds_per_dip(),
+        outcome.elapsed.as_secs_f64()
+    );
+}
+
+/// Appends one row to the JSON array in `BENCH_campaign.json` at the
+/// repository root, creating the file on first use.
+fn append_row(row: &str) -> std::io::Result<PathBuf> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_campaign.json");
+    let content = match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let body = text.trim_end();
+            let body = body.strip_suffix(']').unwrap_or(body).trim_end();
+            let body = body.strip_suffix(',').unwrap_or(body);
+            if body.trim() == "[" || body.trim().is_empty() {
+                format!("[\n  {row}\n]\n")
+            } else {
+                format!("{body},\n  {row}\n]\n")
+            }
+        }
+        Err(_) => format!("[\n  {row}\n]\n"),
+    };
+    std::fs::write(&path, content)?;
+    Ok(path)
+}

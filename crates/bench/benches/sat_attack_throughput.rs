@@ -62,6 +62,7 @@ fn main() {
         verify_sequences: 32,
         verify_cycles: locked.kappa() + 6,
         simplify_cnf: true,
+        ..SatAttackConfig::default()
     };
 
     let run = |simplify: bool, reference: bool| -> SatAttackOutcome {

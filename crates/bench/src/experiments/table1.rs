@@ -213,6 +213,8 @@ fn measure_attack(
         AttackStatus::KeyFound(_)
         | AttackStatus::DipBudgetExhausted
         | AttackStatus::UnrollBudgetExhausted => Ok((outcome.dips, outcome.elapsed)),
+        // No deadline is configured above, so a timeout cannot happen here.
+        AttackStatus::TimedOut => Err("table 1 attack timed out without a deadline".into()),
     }
 }
 

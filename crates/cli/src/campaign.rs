@@ -1,0 +1,330 @@
+//! The crash-safe campaign runner behind `trilock-cli campaign`.
+//!
+//! A campaign sweeps one circuit over a κs × κf × seed matrix — the shape of
+//! the paper's Table I — locking the design and attacking it once per cell.
+//! Each cell runs under its own wall-clock deadline and is isolated with
+//! `catch_unwind` plus bounded retries, so one pathological cell can neither
+//! wedge nor kill the sweep. Results stream to a JSONL file (one object per
+//! line, appended and fsynced as soon as the cell finishes), which doubles as
+//! the resume journal: re-running the same campaign command skips every cell
+//! already recorded, so a killed campaign — power loss, OOM, `kill -9` —
+//! continues where it stopped.
+
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use attacks::{AttackStatus, SatAttack, SatAttackConfig, SatAttackOutcome};
+use netlist::Netlist;
+use trilock::TriLockConfig;
+
+use crate::{brief, read, Opts};
+
+/// Test hook: arming `TRILOCK_CAMPAIGN_PANIC=<cell-id>` makes that cell panic
+/// at the start of every attempt, exercising the isolation and retry path.
+const PANIC_ENV: &str = "TRILOCK_CAMPAIGN_PANIC";
+
+/// One (κs, κf, seed) cell of the sweep.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    kappa_s: usize,
+    kappa_f: usize,
+    seed: u64,
+}
+
+impl Cell {
+    fn id(&self) -> String {
+        format!("ks{}_kf{}_s{}", self.kappa_s, self.kappa_f, self.seed)
+    }
+}
+
+/// Parses a comma-separated list flag (`--kappa-s 1,2,4`).
+fn parse_list<T: std::str::FromStr>(
+    opts: &Opts,
+    name: &str,
+    default: &str,
+) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let raw = opts.flags.get(name).map(String::as_str).unwrap_or(default);
+    let values: Result<Vec<T>, _> = raw
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse()
+                .map_err(|e| format!("invalid value `{part}` in `--{name}`: {e}"))
+        })
+        .collect();
+    let values = values?;
+    if values.is_empty() {
+        return Err(format!("`--{name}` must list at least one value"));
+    }
+    Ok(values)
+}
+
+/// Minimal JSON string escaping for the handwritten result lines.
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// What one cell attempt produced.
+enum CellResult {
+    Outcome(SatAttackOutcome),
+    Error(String),
+    Panicked(String),
+}
+
+fn status_name(status: &AttackStatus) -> &'static str {
+    match status {
+        AttackStatus::KeyFound(_) => "key-found",
+        AttackStatus::DipBudgetExhausted => "dip-budget-exhausted",
+        AttackStatus::UnrollBudgetExhausted => "unroll-budget-exhausted",
+        AttackStatus::TimedOut => "timed-out",
+    }
+}
+
+/// Renders one cell's result as a JSONL line.
+fn result_line(cell: &Cell, result: &CellResult, attempts: u32) -> String {
+    let prefix = format!(
+        "{{\"cell\":\"{}\",\"kappa_s\":{},\"kappa_f\":{},\"seed\":{},\"attempts\":{attempts}",
+        cell.id(),
+        cell.kappa_s,
+        cell.kappa_f,
+        cell.seed
+    );
+    match result {
+        CellResult::Outcome(outcome) => {
+            let key = match &outcome.status {
+                AttackStatus::KeyFound(key) => {
+                    format!(",\"key\":\"{}\"", json_escape(&key.to_string()))
+                }
+                _ => String::new(),
+            };
+            format!(
+                "{prefix},\"status\":\"{}\",\"dips\":{},\"unroll_depth\":{},\"elapsed_ms\":{},\"seconds_per_dip\":{:.6}{key}}}",
+                status_name(&outcome.status),
+                outcome.dips,
+                outcome.unroll_depth,
+                outcome.elapsed.as_millis(),
+                outcome.seconds_per_dip()
+            )
+        }
+        CellResult::Error(message) => {
+            format!(
+                "{prefix},\"status\":\"error\",\"error\":\"{}\"}}",
+                json_escape(message)
+            )
+        }
+        CellResult::Panicked(message) => {
+            format!(
+                "{prefix},\"status\":\"panic\",\"error\":\"{}\"}}",
+                json_escape(message)
+            )
+        }
+    }
+}
+
+/// Runs one cell once: lock the circuit with the cell's parameters, then
+/// attack the result under the cell deadline.
+fn attempt_cell(
+    original: &Netlist,
+    cell: &Cell,
+    attack_config: &SatAttackConfig,
+    alpha: f64,
+) -> CellResult {
+    if std::env::var(PANIC_ENV).as_deref() == Ok(cell.id().as_str()) {
+        panic!("injected campaign panic in cell {}", cell.id());
+    }
+    let lock_config = TriLockConfig::new(cell.kappa_s, cell.kappa_f).with_alpha(alpha);
+    let mut lock_rng = StdRng::seed_from_u64(cell.seed);
+    let locked = match trilock::lock(original, &lock_config, &mut lock_rng) {
+        Ok(result) => result.locked,
+        Err(e) => return CellResult::Error(format!("lock failed: {e}")),
+    };
+    let attack = match SatAttack::new(original, &locked.netlist, locked.kappa()) {
+        Ok(attack) => attack,
+        Err(e) => return CellResult::Error(format!("attack setup failed: {e}")),
+    };
+    let mut attack_rng = StdRng::seed_from_u64(cell.seed.wrapping_add(1));
+    match attack.run(attack_config, &mut attack_rng) {
+        Ok(outcome) => CellResult::Outcome(outcome),
+        Err(e) => CellResult::Error(format!("attack failed: {e}")),
+    }
+}
+
+/// Runs a cell with panic isolation and bounded retries. A panicking attempt
+/// is retried up to `retries` times; errors and outcomes are terminal.
+fn run_cell(
+    original: &Netlist,
+    cell: &Cell,
+    attack_config: &SatAttackConfig,
+    alpha: f64,
+    retries: u32,
+) -> (CellResult, u32) {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            attempt_cell(original, cell, attack_config, alpha)
+        }));
+        match outcome {
+            Ok(result) => return (result, attempts),
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                if attempts > retries {
+                    return (CellResult::Panicked(message), attempts);
+                }
+                say!(
+                    "  cell {}: attempt {attempts} panicked ({message}), retrying",
+                    cell.id()
+                );
+            }
+        }
+    }
+}
+
+/// Cell ids already recorded in the results file from a previous (possibly
+/// killed) campaign run. Torn trailing lines — a crash mid-append — are
+/// ignored, so the interrupted cell reruns.
+fn completed_cells(path: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter(|line| line.ends_with('}'))
+        .filter_map(|line| {
+            line.split_once("\"cell\":\"")
+                .and_then(|(_, rest)| rest.split_once('"'))
+                .map(|(id, _)| id.to_string())
+        })
+        .collect()
+}
+
+/// `trilock-cli campaign` entry point.
+pub fn cmd_campaign(opts: &Opts) -> Result<(), String> {
+    let input = opts.positional(0, "input circuit path")?;
+    let results_path = opts.positional(1, "results JSONL path")?;
+
+    let kappa_s_list: Vec<usize> = parse_list(opts, "kappa-s", "1,2")?;
+    let kappa_f_list: Vec<usize> = parse_list(opts, "kappa-f", "1")?;
+    let seeds: Vec<u64> = parse_list(opts, "seeds", "1")?;
+    let alpha = opts.value("alpha", 0.6f64)?;
+    let retries = opts.value("retries", 1u32)?;
+    let time_limit = opts.value("time-limit", 0.0f64)?;
+    if !time_limit.is_finite() || time_limit < 0.0 {
+        return Err(format!(
+            "invalid `--time-limit {time_limit}`: must be a finite number of seconds >= 0"
+        ));
+    }
+
+    let defaults = SatAttackConfig::default();
+    let attack_config = SatAttackConfig {
+        initial_unroll: opts.value("initial-unroll", defaults.initial_unroll)?,
+        max_unroll: opts.value("max-unroll", defaults.max_unroll)?,
+        max_dips: opts.value("max-dips", defaults.max_dips)?,
+        verify_sequences: opts.value("verify-sequences", defaults.verify_sequences)?,
+        verify_cycles: opts.value("verify-cycles", defaults.verify_cycles)?,
+        time_limit: (time_limit > 0.0).then_some(Duration::from_secs_f64(time_limit)),
+        ..defaults
+    };
+
+    let original = read(input, opts.format("from")?)?;
+    let mut cells = Vec::new();
+    for &kappa_s in &kappa_s_list {
+        for &kappa_f in &kappa_f_list {
+            for &seed in &seeds {
+                cells.push(Cell {
+                    kappa_s,
+                    kappa_f,
+                    seed,
+                });
+            }
+        }
+    }
+
+    let done = completed_cells(results_path);
+    let mut skipped = 0usize;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(results_path)
+        .map_err(|e| format!("cannot open `{results_path}`: {e}"))?;
+
+    say!(
+        "campaign on {}: {} cells (kappa_s x kappa_f x seed = {}x{}x{}), deadline per cell = {}",
+        brief(&original),
+        cells.len(),
+        kappa_s_list.len(),
+        kappa_f_list.len(),
+        seeds.len(),
+        if time_limit > 0.0 {
+            format!("{time_limit}s")
+        } else {
+            "none".into()
+        }
+    );
+
+    let mut tally: std::collections::BTreeMap<String, usize> = Default::default();
+    for cell in &cells {
+        let id = cell.id();
+        if done.iter().any(|c| c == &id) {
+            skipped += 1;
+            continue;
+        }
+        let (result, attempts) = run_cell(&original, cell, &attack_config, alpha, retries);
+        let line = result_line(cell, &result, attempts);
+        let status = match &result {
+            CellResult::Outcome(outcome) => status_name(&outcome.status).to_string(),
+            CellResult::Error(_) => "error".into(),
+            CellResult::Panicked(_) => "panic".into(),
+        };
+        say!(
+            "  cell {id}: {status} ({attempts} attempt{})",
+            if attempts == 1 { "" } else { "s" }
+        );
+        // Stream durably: one line per cell, flushed and fsynced so a killed
+        // campaign never loses a finished cell and at worst reruns one.
+        writeln!(file, "{line}").map_err(|e| format!("cannot append to `{results_path}`: {e}"))?;
+        file.flush().map_err(|e| e.to_string())?;
+        file.sync_all().map_err(|e| e.to_string())?;
+        *tally.entry(status).or_insert(0) += 1;
+    }
+
+    if skipped > 0 {
+        say!("  skipped {skipped} cell(s) already recorded in {results_path}");
+    }
+    let summary: Vec<String> = tally
+        .iter()
+        .map(|(status, count)| format!("{status} = {count}"))
+        .collect();
+    say!(
+        "campaign finished: {} cell(s) run ({}), results in {results_path}",
+        cells.len() - skipped,
+        if summary.is_empty() {
+            "nothing to do".to_string()
+        } else {
+            summary.join(", ")
+        }
+    );
+    Ok(())
+}

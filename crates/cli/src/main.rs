@@ -37,6 +37,8 @@ macro_rules! say {
     }};
 }
 
+mod campaign;
+
 const USAGE: &str = "\
 trilock-cli — sequential logic locking toolkit (TriLock, DATE 2022)
 
@@ -62,12 +64,33 @@ COMMANDS:
     sat-attack <ORIGINAL> <LOCKED> --kappa N
                     [--initial-unroll N] [--max-unroll N] [--max-dips N]
                     [--verify-sequences N] [--verify-cycles N] [--seed N]
+                    [--time-limit SECS] [--checkpoint FILE] [--resume FILE]
+                    [--checkpoint-every N]
                     [--engine fast|reference] [--from FMT] [--locked-from FMT]
         Run the SAT-based unrolling attack; ORIGINAL plays the oracle.
         --from pins the oracle's format, --locked-from the locked design's
         (each defaults to auto-detection). --engine reference runs the
         retained pre-arena solver on unsimplified CNF (the baseline of
         BENCH_sat_attack.json) instead of the arena engine.
+        --time-limit interrupts the attack cooperatively when the wall clock
+        expires (status: timed out). --checkpoint FILE writes a crash-safe
+        checkpoint there every --checkpoint-every DIPs (default 64) and on
+        any interruption; --resume FILE continues from such a checkpoint
+        without re-querying the oracle (budgets may be raised; the circuit
+        pair and search configuration must match). A completed attack removes
+        its checkpoint file.
+
+    campaign <IN> <OUT.jsonl> [--kappa-s LIST] [--kappa-f LIST] [--seeds LIST]
+                    [--alpha F] [--time-limit SECS] [--retries N]
+                    [--initial-unroll N] [--max-unroll N] [--max-dips N]
+                    [--verify-sequences N] [--verify-cycles N] [--from FMT]
+        Sweep lock-then-attack over every (kappa_s, kappa_f, seed) cell of the
+        comma-separated lists (Table I's matrix). Each cell runs under its own
+        --time-limit deadline, isolated against panics with --retries (default
+        1) bounded retries. One JSON object per cell is appended to OUT.jsonl
+        and fsynced as soon as the cell finishes; rerunning the same command
+        skips cells already recorded, so a killed campaign resumes where it
+        stopped.
 
     fc <ORIGINAL> <LOCKED> --kappa N
                     [--cycles N] [--samples N] [--seed N] [--key FILE]
@@ -131,9 +154,31 @@ fn run(args: &[String]) -> Result<(), String> {
                 "verify-sequences",
                 "verify-cycles",
                 "seed",
+                "time-limit",
+                "checkpoint",
+                "checkpoint-every",
+                "resume",
                 "engine",
                 "from",
                 "locked-from",
+            ],
+        )?),
+        "campaign" => campaign::cmd_campaign(&Opts::parse(
+            rest,
+            2,
+            &[
+                "kappa-s",
+                "kappa-f",
+                "seeds",
+                "alpha",
+                "time-limit",
+                "retries",
+                "initial-unroll",
+                "max-unroll",
+                "max-dips",
+                "verify-sequences",
+                "verify-cycles",
+                "from",
             ],
         )?),
         "fc" => cmd_fc(&Opts::parse(
@@ -487,6 +532,25 @@ fn cmd_sat_attack(opts: &Opts) -> Result<(), String> {
         }
     };
 
+    let time_limit = opts.value("time-limit", 0.0f64)?;
+    if !time_limit.is_finite() || time_limit < 0.0 {
+        return Err(format!(
+            "invalid `--time-limit {time_limit}`: must be a finite number of seconds >= 0"
+        ));
+    }
+    let checkpoint_path = opts.flags.get("checkpoint").map(String::as_str);
+    let resume_path = opts.flags.get("resume").map(String::as_str);
+    if checkpoint_path.is_some() && resume_path.is_some() {
+        return Err(
+            "pass either `--checkpoint FILE` (start fresh) or `--resume FILE` (continue \
+             from it; the resumed run keeps checkpointing there), not both"
+                .into(),
+        );
+    }
+    if reference_engine && (checkpoint_path.is_some() || resume_path.is_some()) {
+        return Err("checkpointing requires the fast engine (drop `--engine reference`)".into());
+    }
+
     let defaults = SatAttackConfig::default();
     let config = SatAttackConfig {
         initial_unroll: opts.value("initial-unroll", defaults.initial_unroll)?,
@@ -495,18 +559,32 @@ fn cmd_sat_attack(opts: &Opts) -> Result<(), String> {
         verify_sequences: opts.value("verify-sequences", defaults.verify_sequences)?,
         verify_cycles: opts.value("verify-cycles", defaults.verify_cycles)?,
         simplify_cnf: !reference_engine,
+        time_limit: (time_limit > 0.0).then_some(std::time::Duration::from_secs_f64(time_limit)),
+        checkpoint_every: opts.value("checkpoint-every", defaults.checkpoint_every)?,
+        ..defaults
     };
 
     let original = read(original_path, opts.format("from")?)?;
     let locked = read(locked_path, opts.format("locked-from")?)?;
     let attack = SatAttack::new(&original, &locked, kappa).map_err(|e| e.to_string())?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let outcome = if reference_engine {
+    let outcome = if let Some(resume_from) = resume_path {
+        attack.resume_from_path(&config, std::path::Path::new(resume_from))
+    } else if let Some(checkpoint_to) = checkpoint_path {
+        attack.run_checkpointed(&config, &mut rng, std::path::Path::new(checkpoint_to))
+    } else if reference_engine {
         attack.run_with_engine::<sat::reference::Solver, _>(&config, &mut rng)
     } else {
         attack.run(&config, &mut rng)
     }
     .map_err(|e| e.to_string())?;
+
+    // A finished attack has no further use for its checkpoint.
+    if outcome.succeeded() {
+        if let Some(path) = checkpoint_path.or(resume_path) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
 
     say!(
         "sat-attack on {} (kappa = {kappa}, seed = {seed}, engine = {engine})",
@@ -546,6 +624,13 @@ fn cmd_sat_attack(opts: &Opts) -> Result<(), String> {
         }
         AttackStatus::UnrollBudgetExhausted => {
             say!("  status = resisted (unroll budget exhausted)");
+        }
+        AttackStatus::TimedOut => {
+            if let Some(path) = checkpoint_path.or(resume_path) {
+                say!("  status = timed out (checkpoint at {path}; rerun with `--resume {path}`)");
+            } else {
+                say!("  status = timed out (pass `--checkpoint FILE` to make timeouts resumable)");
+            }
         }
     }
     Ok(())

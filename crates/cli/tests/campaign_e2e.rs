@@ -1,0 +1,389 @@
+//! End-to-end crash-safety tests for the checkpointable attack runtime and
+//! the campaign runner, driving the built `trilock-cli` binary as a real
+//! subprocess. The kill tests arm `TRILOCK_KILL_POINT` so the process dies
+//! with SIGKILL semantics (exit 137) at a chosen point — mid DIP loop, mid
+//! checkpoint write, after the write but before the atomic rename — and then
+//! prove that resuming recovers the exact same key as an uninterrupted run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(name)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("trilock_campaign_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cli_env(args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_trilock-cli"));
+    command.args(args);
+    for (key, value) in env {
+        command.env(key, value);
+    }
+    command.output().expect("binary runs")
+}
+
+fn cli(args: &[&str]) -> Output {
+    cli_env(args, &[])
+}
+
+fn cli_ok(args: &[&str]) -> String {
+    let output = cli(args);
+    assert!(
+        output.status.success(),
+        "`trilock-cli {}` failed:\nstdout: {}\nstderr: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// Locks the s27 fixture into `dir` and returns (original, locked) paths.
+fn locked_fixture(dir: &Path) -> (PathBuf, PathBuf) {
+    let original = fixture("s27.bench");
+    let locked = dir.join("s27_locked.bench");
+    cli_ok(&[
+        "lock",
+        original.to_str().unwrap(),
+        locked.to_str().unwrap(),
+        "--kappa-s",
+        "1",
+        "--kappa-f",
+        "1",
+        "--seed",
+        "3",
+    ]);
+    (original, locked)
+}
+
+/// The `status = key found: ...` line of a successful attack.
+fn key_line(stdout: &str) -> String {
+    stdout
+        .lines()
+        .find(|line| line.contains("key found:"))
+        .unwrap_or_else(|| panic!("no key in output:\n{stdout}"))
+        .trim()
+        .to_string()
+}
+
+fn attack_args<'a>(original: &'a str, locked: &'a str) -> Vec<&'a str> {
+    vec![
+        "sat-attack",
+        original,
+        locked,
+        "--kappa",
+        "2",
+        "--max-unroll",
+        "4",
+        "--seed",
+        "9",
+    ]
+}
+
+/// Runs the attack with a kill point armed; asserts it died with exit 137.
+fn run_killed(args: &[&str], kill_point: &str) {
+    let output = cli_env(args, &[("TRILOCK_KILL_POINT", kill_point)]);
+    assert_eq!(
+        output.status.code(),
+        Some(137),
+        "kill point `{kill_point}` did not fire:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn kill_mid_dip_loop_then_resume_recovers_the_same_key() {
+    let dir = tmp_dir("kill_dip_loop");
+    let (original, locked) = locked_fixture(&dir);
+    let (original, locked) = (original.to_str().unwrap(), locked.to_str().unwrap());
+    let checkpoint = dir.join("attack.ckpt");
+    let checkpoint = checkpoint.to_str().unwrap();
+
+    let expected = key_line(&cli_ok(&attack_args(original, locked)));
+
+    // Die on the third DIP-loop iteration; --checkpoint-every 1 guarantees a
+    // checkpoint covering every DIP learnt before the kill.
+    let mut killed = attack_args(original, locked);
+    killed.extend(["--checkpoint", checkpoint, "--checkpoint-every", "1"]);
+    run_killed(&killed, "dip-loop:3");
+    assert!(
+        Path::new(checkpoint).exists(),
+        "no checkpoint survived the kill"
+    );
+
+    let mut resume = attack_args(original, locked);
+    resume.extend(["--resume", checkpoint]);
+    let stdout = cli_ok(&resume);
+    assert_eq!(key_line(&stdout), expected, "resume diverged:\n{stdout}");
+    assert!(
+        !Path::new(checkpoint).exists(),
+        "checkpoint must be removed after a successful resume"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn kill_mid_checkpoint_write_leaves_the_previous_checkpoint_usable() {
+    let dir = tmp_dir("kill_mid_write");
+    let (original, locked) = locked_fixture(&dir);
+    let (original, locked) = (original.to_str().unwrap(), locked.to_str().unwrap());
+    let checkpoint = dir.join("attack.ckpt");
+    let checkpoint = checkpoint.to_str().unwrap();
+
+    let expected = key_line(&cli_ok(&attack_args(original, locked)));
+
+    // The second checkpoint write is torn halfway through its temp file. The
+    // first checkpoint was already renamed into place, so the path still
+    // holds a complete, verifiable snapshot.
+    let mut killed = attack_args(original, locked);
+    killed.extend(["--checkpoint", checkpoint, "--checkpoint-every", "1"]);
+    run_killed(&killed, "checkpoint-mid-write:2");
+
+    let mut resume = attack_args(original, locked);
+    resume.extend(["--resume", checkpoint]);
+    let stdout = cli_ok(&resume);
+    assert_eq!(key_line(&stdout), expected, "resume diverged:\n{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn kill_before_rename_leaves_the_previous_checkpoint_usable() {
+    let dir = tmp_dir("kill_pre_rename");
+    let (original, locked) = locked_fixture(&dir);
+    let (original, locked) = (original.to_str().unwrap(), locked.to_str().unwrap());
+    let checkpoint = dir.join("attack.ckpt");
+    let checkpoint = checkpoint.to_str().unwrap();
+
+    let expected = key_line(&cli_ok(&attack_args(original, locked)));
+
+    // Die after the second snapshot is fully written and fsynced but before
+    // the atomic rename: the published checkpoint is still the first one.
+    let mut killed = attack_args(original, locked);
+    killed.extend(["--checkpoint", checkpoint, "--checkpoint-every", "1"]);
+    run_killed(&killed, "checkpoint-pre-rename:2");
+
+    let mut resume = attack_args(original, locked);
+    resume.extend(["--resume", checkpoint]);
+    let stdout = cli_ok(&resume);
+    assert_eq!(key_line(&stdout), expected, "resume diverged:\n{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn campaign_smoke_records_every_cell_and_resumes_by_skipping() {
+    let dir = tmp_dir("smoke");
+    let original = fixture("s27.bench");
+    let original = original.to_str().unwrap();
+    let results = dir.join("results.jsonl");
+    let results = results.to_str().unwrap();
+
+    let args = [
+        "campaign",
+        original,
+        results,
+        "--kappa-s",
+        "1",
+        "--seeds",
+        "1,2",
+        "--max-unroll",
+        "4",
+    ];
+    let stdout = cli_ok(&args);
+    assert!(stdout.contains("2 cells"), "{stdout}");
+    assert!(stdout.contains("key-found = 2"), "{stdout}");
+
+    let text = std::fs::read_to_string(results).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    for (line, cell) in lines.iter().zip(["ks1_kf1_s1", "ks1_kf1_s2"]) {
+        assert!(
+            line.starts_with(&format!("{{\"cell\":\"{cell}\"")),
+            "{line}"
+        );
+        assert!(line.ends_with('}'), "{line}");
+        assert!(line.contains("\"status\":\"key-found\""), "{line}");
+        assert!(line.contains("\"key\":\""), "{line}");
+        assert!(line.contains("\"dips\":"), "{line}");
+    }
+
+    // Re-running the same command is a no-op resume: every cell is already
+    // in the journal, and the journal does not grow.
+    let stdout = cli_ok(&args);
+    assert!(stdout.contains("skipped 2 cell(s)"), "{stdout}");
+    assert!(stdout.contains("0 cell(s) run"), "{stdout}");
+    assert_eq!(std::fs::read_to_string(results).unwrap(), text);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn campaign_deadline_produces_timed_out_rows_that_still_count_as_recorded() {
+    let dir = tmp_dir("deadline");
+    let original = fixture("s27.bench");
+    let original = original.to_str().unwrap();
+    let results = dir.join("results.jsonl");
+    let results = results.to_str().unwrap();
+
+    // A 1 µs deadline expires before the first SAT call of every cell.
+    let stdout = cli_ok(&[
+        "campaign",
+        original,
+        results,
+        "--kappa-s",
+        "1",
+        "--seeds",
+        "1",
+        "--time-limit",
+        "0.000001",
+    ]);
+    assert!(stdout.contains("timed-out = 1"), "{stdout}");
+    let text = std::fs::read_to_string(results).unwrap();
+    assert!(text.contains("\"status\":\"timed-out\""), "{text}");
+
+    // Timed-out cells are recorded results: the resume pass skips them
+    // rather than retrying forever.
+    let stdout = cli_ok(&[
+        "campaign",
+        original,
+        results,
+        "--kappa-s",
+        "1",
+        "--seeds",
+        "1",
+        "--time-limit",
+        "0.000001",
+    ]);
+    assert!(stdout.contains("skipped 1 cell(s)"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn campaign_panic_is_isolated_retried_and_recorded() {
+    let dir = tmp_dir("panic");
+    let original = fixture("s27.bench");
+    let original = original.to_str().unwrap();
+    // Cell ks1_kf1_s1 panics on every attempt; the campaign must survive it,
+    // retry it, record the failure and still finish the healthy cell.
+    let output = cli_env(
+        &[
+            "campaign",
+            original,
+            dir.join("panicked.jsonl").to_str().unwrap(),
+            "--kappa-s",
+            "1",
+            "--seeds",
+            "1,2",
+            "--max-unroll",
+            "4",
+            "--retries",
+            "1",
+        ],
+        &[("TRILOCK_CAMPAIGN_PANIC", "ks1_kf1_s1")],
+    );
+    assert!(output.status.success(), "campaign aborted on a cell panic");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("panic = 1"), "{stdout}");
+    assert!(stdout.contains("key-found = 1"), "{stdout}");
+
+    let text = std::fs::read_to_string(dir.join("panicked.jsonl")).unwrap();
+    let panicked = text
+        .lines()
+        .find(|line| line.contains("\"status\":\"panic\""))
+        .unwrap_or_else(|| panic!("no panic row in {text}"));
+    assert!(panicked.contains("\"attempts\":2"), "{panicked}");
+    assert!(panicked.contains("injected campaign panic"), "{panicked}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_error_paths_fail_loudly_with_one_line_diagnostics() {
+    let dir = tmp_dir("errors");
+    let (original, locked) = locked_fixture(&dir);
+    let (original, locked) = (original.to_str().unwrap(), locked.to_str().unwrap());
+
+    // Resuming from a corrupt checkpoint is refused, not silently restarted.
+    let corrupt = dir.join("corrupt.ckpt");
+    std::fs::write(&corrupt, "trilock-checkpoint v1\ngarbage\n").unwrap();
+    let mut args = attack_args(original, locked);
+    args.extend(["--resume", corrupt.to_str().unwrap()]);
+    let output = cli(&args);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(stderr.contains("checkpoint"), "{stderr}");
+
+    // A missing checkpoint file is an error with the path in the message.
+    let mut args = attack_args(original, locked);
+    args.extend(["--resume", "/no/such/checkpoint.ckpt"]);
+    let output = cli(&args);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+
+    // --checkpoint and --resume conflict: one would silently win otherwise.
+    let mut args = attack_args(original, locked);
+    args.extend(["--checkpoint", "a.ckpt", "--resume", "b.ckpt"]);
+    let output = cli(&args);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("not both"), "{stderr}");
+
+    // Negative and non-finite deadlines are rejected up front.
+    let mut args = attack_args(original, locked);
+    args.extend(["--time-limit", "-5"]);
+    let output = cli(&args);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("time-limit"), "{stderr}");
+
+    // A malformed key file is a one-line diagnostic naming the line.
+    let badkey = dir.join("badkey.txt");
+    std::fs::write(&badkey, "xyz\n").unwrap();
+    let output = cli(&[
+        "fc",
+        original,
+        locked,
+        "--key",
+        badkey.to_str().unwrap(),
+        "--samples",
+        "10",
+    ]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("key file line 1"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // Mismatched original/locked interfaces are diagnosed, not attacked.
+    let foreign = fixture("vec4.edif");
+    let output = cli(&[
+        "sat-attack",
+        foreign.to_str().unwrap(),
+        locked,
+        "--kappa",
+        "2",
+    ]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("interface mismatch"), "{stderr}");
+
+    // Campaign flag validation: an unparsable kappa list names the value.
+    let output = cli(&[
+        "campaign",
+        original,
+        dir.join("r.jsonl").to_str().unwrap(),
+        "--kappa-s",
+        "1,frog",
+    ]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("frog"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -185,6 +185,7 @@ p cnf 3 3
                 assert!(cnf.evaluate(&assignment));
             }
             SatResult::Unsat => assert!(cnf.brute_force().is_none()),
+            SatResult::Interrupted => panic!("no SolveControl installed"),
         }
     }
 
@@ -203,6 +204,7 @@ p cnf 3 3
                 assert!(cnf.evaluate(&assignment));
             }
             SatResult::Unsat => panic!("sample is satisfiable"),
+            SatResult::Interrupted => panic!("no SolveControl installed"),
         }
     }
 

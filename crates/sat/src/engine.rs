@@ -15,6 +15,9 @@
 //! [`Solver`]: crate::Solver
 //! [`reference::Solver`]: crate::reference::Solver
 
+use std::fmt;
+use std::sync::Arc;
+
 use crate::types::{Lit, Var};
 
 /// Outcome of a satisfiability query.
@@ -25,6 +28,12 @@ pub enum SatResult {
     Sat(Model),
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
+    /// The solve call was cut short by a [`SolveControl`] budget or stop
+    /// callback before reaching a verdict. The solver's search state (clause
+    /// database, learnt clauses, activities, phases) is fully preserved: a
+    /// follow-up solve continues where the interrupted one left off and
+    /// reaches the same verdict an uninterrupted call would have.
+    Interrupted,
 }
 
 impl SatResult {
@@ -32,13 +41,86 @@ impl SatResult {
     pub fn model(&self) -> Option<&Model> {
         match self {
             SatResult::Sat(m) => Some(m),
-            SatResult::Unsat => None,
+            SatResult::Unsat | SatResult::Interrupted => None,
         }
     }
 
     /// `true` when satisfiable.
     pub fn is_sat(&self) -> bool {
         matches!(self, SatResult::Sat(_))
+    }
+
+    /// `true` when the query was interrupted before reaching a verdict.
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, SatResult::Interrupted)
+    }
+}
+
+/// Stop predicate polled by the solver at restart boundaries. Shared via
+/// [`Arc`] so a single deadline can interrupt several engines.
+pub type StopFn = Arc<dyn Fn() -> bool + Send + Sync>;
+
+/// Cooperative-interruption controls applied to every solve call of an
+/// engine.
+///
+/// Budgets are **per call**: a solve that starts with a budget of `n`
+/// conflicts gives up (returning [`SatResult::Interrupted`]) after `n`
+/// conflicts of its own, regardless of effort spent by earlier calls. The
+/// `should_stop` callback is polled at restart boundaries — frequent enough
+/// for wall-clock deadlines (restarts fire every few hundred conflicts) while
+/// keeping the callback off the propagation hot path. Budgets are checked at
+/// every propagation fixpoint, so an interrupted solver never leaves
+/// half-propagated state behind.
+#[derive(Clone, Default)]
+pub struct SolveControl {
+    /// Give up after this many conflicts in one solve call.
+    pub max_conflicts: Option<u64>,
+    /// Give up after this many propagations in one solve call.
+    pub max_propagations: Option<u64>,
+    /// Polled at restart boundaries; `true` interrupts the call.
+    pub should_stop: Option<StopFn>,
+}
+
+impl SolveControl {
+    /// No budgets, no callback: solve runs to a verdict.
+    pub fn unlimited() -> Self {
+        SolveControl::default()
+    }
+
+    /// A control with only a per-call conflict budget.
+    pub fn with_conflict_budget(max_conflicts: u64) -> Self {
+        SolveControl {
+            max_conflicts: Some(max_conflicts),
+            ..SolveControl::default()
+        }
+    }
+
+    /// A control that polls `stop` at restart boundaries.
+    pub fn with_stop_callback(stop: StopFn) -> Self {
+        SolveControl {
+            should_stop: Some(stop),
+            ..SolveControl::default()
+        }
+    }
+
+    /// `true` when no budget or callback is installed (the default).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_conflicts.is_none()
+            && self.max_propagations.is_none()
+            && self.should_stop.is_none()
+    }
+}
+
+impl fmt::Debug for SolveControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolveControl")
+            .field("max_conflicts", &self.max_conflicts)
+            .field("max_propagations", &self.max_propagations)
+            .field(
+                "should_stop",
+                &self.should_stop.as_ref().map(|_| "<callback>"),
+            )
+            .finish()
     }
 }
 
@@ -141,6 +223,12 @@ pub trait SatEngine: ClauseSink + Default {
 
     /// Solves the clause database under the given assumption literals.
     fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult;
+
+    /// Installs the cooperative-interruption controls applied to every
+    /// subsequent solve call (budgets reset per call). A solve cut short by
+    /// the control returns [`SatResult::Interrupted`] with the search state
+    /// preserved.
+    fn set_control(&mut self, control: SolveControl);
 
     /// Search statistics accumulated so far.
     fn stats(&self) -> SolverStats;

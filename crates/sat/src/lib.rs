@@ -34,9 +34,15 @@
 //! solver.add_clause(&[Lit::negative(a)]);
 //! match solver.solve() {
 //!     SatResult::Sat(model) => assert!(model.value(b)),
-//!     SatResult::Unsat => unreachable!("formula is satisfiable"),
+//!     other => unreachable!("formula is satisfiable: {other:?}"),
 //! }
 //! ```
+//!
+//! Long queries can be made interruptible with [`SolveControl`]: a per-call
+//! conflict/propagation budget plus a stop callback polled at restart
+//! boundaries, returning [`SatResult::Interrupted`] with the search state
+//! preserved — the mechanism the attack runtime uses to honor wall-clock
+//! deadlines without losing the learnt-clause arena.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,6 +58,6 @@ pub mod reference;
 pub mod tseitin;
 
 pub use cnf::Cnf;
-pub use engine::{ClauseSink, Model, SatEngine, SatResult, SolverStats};
+pub use engine::{ClauseSink, Model, SatEngine, SatResult, SolveControl, SolverStats, StopFn};
 pub use solver::Solver;
 pub use types::{Lit, Var};

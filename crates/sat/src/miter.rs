@@ -179,6 +179,7 @@ mod tests {
         match s.solve() {
             SatResult::Sat(m) => assert!(!m.lit_value(a)),
             SatResult::Unsat => panic!("satisfiable"),
+            SatResult::Interrupted => panic!("no SolveControl installed"),
         }
     }
 
@@ -196,6 +197,7 @@ mod tests {
                 assert!(m.lit_value(b[2]));
             }
             SatResult::Unsat => panic!("satisfiable"),
+            SatResult::Interrupted => panic!("no SolveControl installed"),
         }
     }
 
@@ -225,6 +227,7 @@ mod tests {
                 assert_ne!(va, vb);
             }
             SatResult::Unsat => panic!("difference must be achievable"),
+            SatResult::Interrupted => panic!("no SolveControl installed"),
         }
     }
 
@@ -238,6 +241,7 @@ mod tests {
         match s.solve() {
             SatResult::Sat(m) => assert!(!m.lit_value(l)),
             SatResult::Unsat => panic!("satisfiable"),
+            SatResult::Interrupted => panic!("no SolveControl installed"),
         }
         assert_bound(&mut s, Bound::Const(false), true);
         assert_eq!(s.solve(), SatResult::Unsat);
@@ -259,6 +263,7 @@ mod tests {
         match s.solve() {
             SatResult::Sat(m) => assert!(m.lit_value(diff)),
             SatResult::Unsat => panic!("satisfiable"),
+            SatResult::Interrupted => panic!("no SolveControl installed"),
         }
 
         // Constant vs. literal → the difference tracks the literal.
@@ -269,6 +274,7 @@ mod tests {
         match s.solve() {
             SatResult::Sat(m) => assert!(m.lit_value(l), "difference forces l = 1"),
             SatResult::Unsat => panic!("satisfiable"),
+            SatResult::Interrupted => panic!("no SolveControl installed"),
         }
     }
 

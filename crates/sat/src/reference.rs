@@ -17,7 +17,7 @@
 //! restarts. Clauses can be added incrementally between `solve` calls and a
 //! query can be solved under a set of assumption literals.
 
-use crate::engine::{ClauseSink, Model, SatEngine, SatResult, SolverStats};
+use crate::engine::{ClauseSink, Model, SatEngine, SatResult, SolveControl, SolverStats};
 use crate::types::{Lit, Var};
 
 const LBOOL_FALSE: u8 = 0;
@@ -53,6 +53,7 @@ pub struct Solver {
     heap_pos: Vec<usize>,
     phase: Vec<bool>,
     seen: Vec<bool>,
+    control: SolveControl,
     ok: bool,
     stats: SolverStats,
 }
@@ -83,6 +84,7 @@ impl Solver {
             heap_pos: Vec::new(),
             phase: Vec::new(),
             seen: Vec::new(),
+            control: SolveControl::default(),
             ok: true,
             stats: SolverStats::default(),
         }
@@ -125,6 +127,15 @@ impl Solver {
     /// root level; every subsequent query will return [`SatResult::Unsat`].
     pub fn is_consistent(&self) -> bool {
         self.ok
+    }
+
+    /// Installs the cooperative-interruption controls applied to every
+    /// subsequent solve call, with the same semantics as the arena engine's
+    /// [`crate::Solver::set_control`]: per-call budgets checked at
+    /// propagation fixpoints, stop callback polled at restart boundaries,
+    /// search state preserved across an interruption.
+    pub fn set_control(&mut self, control: SolveControl) {
+        self.control = control;
     }
 
     // ------------------------------------------------------------------
@@ -503,6 +514,26 @@ impl Solver {
     // Main search
     // ------------------------------------------------------------------
 
+    /// `true` once this call has spent its conflict or propagation budget.
+    fn budget_exhausted(&self, conflicts_at_entry: u64, propagations_at_entry: u64) -> bool {
+        if let Some(max) = self.control.max_conflicts {
+            if self.stats.conflicts - conflicts_at_entry >= max {
+                return true;
+            }
+        }
+        if let Some(max) = self.control.max_propagations {
+            if self.stats.propagations - propagations_at_entry >= max {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Polls the installed stop callback (restart boundaries only).
+    fn stop_requested(&self) -> bool {
+        self.control.should_stop.as_ref().is_some_and(|stop| stop())
+    }
+
     /// Solves the current clause database.
     pub fn solve(&mut self) -> SatResult {
         self.solve_with_assumptions(&[])
@@ -524,6 +555,14 @@ impl Solver {
             return SatResult::Unsat;
         }
 
+        // The stop callback is polled once up front so a call whose deadline
+        // already passed unwinds before paying for any search.
+        if self.stop_requested() {
+            return SatResult::Interrupted;
+        }
+
+        let conflicts_at_entry = self.stats.conflicts;
+        let propagations_at_entry = self.stats.propagations;
         let mut conflicts_since_restart = 0u64;
         let mut restart_threshold = 100u64 * crate::solver::luby(self.stats.restarts);
 
@@ -550,10 +589,20 @@ impl Solver {
                 self.record_learnt(learnt);
                 self.decay_activities();
             } else {
+                // Interruption checks happen only at propagation fixpoints:
+                // unwinding here leaves no half-propagated trail behind.
+                if self.budget_exhausted(conflicts_at_entry, propagations_at_entry) {
+                    self.backtrack(0);
+                    return SatResult::Interrupted;
+                }
                 if conflicts_since_restart >= restart_threshold {
                     self.stats.restarts += 1;
                     conflicts_since_restart = 0;
                     restart_threshold = 100 * crate::solver::luby(self.stats.restarts);
+                    if self.stop_requested() {
+                        self.backtrack(0);
+                        return SatResult::Interrupted;
+                    }
                     self.backtrack(assumptions.len() as u32);
                 }
                 // Assumption decisions first.
@@ -619,6 +668,10 @@ impl ClauseSink for Solver {
 impl SatEngine for Solver {
     fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
         Solver::solve_with_assumptions(self, assumptions)
+    }
+
+    fn set_control(&mut self, control: SolveControl) {
+        Solver::set_control(self, control)
     }
 
     fn stats(&self) -> SolverStats {
@@ -687,6 +740,7 @@ mod tests {
                 assert!(m.value(b));
             }
             SatResult::Unsat => panic!("satisfiable under ¬a"),
+            SatResult::Interrupted => panic!("no SolveControl installed"),
         }
     }
 
@@ -701,6 +755,7 @@ mod tests {
         match s.solve() {
             SatResult::Sat(m) => assert!(m.value(vars[2])),
             SatResult::Unsat => panic!("still satisfiable"),
+            SatResult::Interrupted => panic!("no SolveControl installed"),
         }
         s.add_clause(&[lit(&vars, -3)]);
         assert_eq!(s.solve(), SatResult::Unsat);

@@ -37,7 +37,7 @@
 //! be solved under a set of assumption literals, which is how the attack
 //! loop grows the set of input/output constraints DIP by DIP.
 
-use crate::engine::{ClauseSink, Model, SatEngine, SatResult, SolverStats};
+use crate::engine::{ClauseSink, Model, SatEngine, SatResult, SolveControl, SolverStats};
 use crate::types::{Lit, Var};
 
 const LBOOL_FALSE: u8 = 0;
@@ -126,6 +126,8 @@ pub struct Solver {
     /// Fixed learnt limit override (testing / tuning); disables the adaptive
     /// geometric schedule.
     learnt_limit_override: Option<usize>,
+    /// Cooperative-interruption controls (per-call budgets + stop callback).
+    control: SolveControl,
     ok: bool,
     stats: SolverStats,
 }
@@ -173,6 +175,7 @@ impl Solver {
             stamp_gen: 0,
             max_learnts: 0.0,
             learnt_limit_override: None,
+            control: SolveControl::default(),
             ok: true,
             stats: SolverStats::default(),
         }
@@ -215,6 +218,16 @@ impl Solver {
     /// root level; every subsequent query will return [`SatResult::Unsat`].
     pub fn is_consistent(&self) -> bool {
         self.ok
+    }
+
+    /// Installs the cooperative-interruption controls applied to every
+    /// subsequent solve call. See [`SolveControl`] for the semantics: budgets
+    /// are per call, checked at propagation fixpoints; the stop callback is
+    /// polled at restart boundaries. An interrupted call returns
+    /// [`SatResult::Interrupted`] with the learnt-clause arena, activities
+    /// and phases intact, so a follow-up call resumes the search.
+    pub fn set_control(&mut self, control: SolveControl) {
+        self.control = control;
     }
 
     /// Pins the live-learnt-clause limit that triggers reduce-DB to a fixed
@@ -920,6 +933,26 @@ impl Solver {
     // Main search
     // ------------------------------------------------------------------
 
+    /// `true` once this call has spent its conflict or propagation budget.
+    fn budget_exhausted(&self, conflicts_at_entry: u64, propagations_at_entry: u64) -> bool {
+        if let Some(max) = self.control.max_conflicts {
+            if self.stats.conflicts - conflicts_at_entry >= max {
+                return true;
+            }
+        }
+        if let Some(max) = self.control.max_propagations {
+            if self.stats.propagations - propagations_at_entry >= max {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Polls the installed stop callback (restart boundaries only).
+    fn stop_requested(&self) -> bool {
+        self.control.should_stop.as_ref().is_some_and(|stop| stop())
+    }
+
     /// Solves the current clause database.
     pub fn solve(&mut self) -> SatResult {
         self.solve_with_assumptions(&[])
@@ -949,6 +982,14 @@ impl Solver {
             }
         }
 
+        // The stop callback is polled once up front so a call whose deadline
+        // already passed unwinds before paying for any search.
+        if self.stop_requested() {
+            return SatResult::Interrupted;
+        }
+
+        let conflicts_at_entry = self.stats.conflicts;
+        let propagations_at_entry = self.stats.propagations;
         let mut conflicts_since_restart = 0u64;
         let mut restart_threshold = 100u64 * luby(self.stats.restarts);
 
@@ -975,6 +1016,13 @@ impl Solver {
                 self.record_learnt(learnt, lbd);
                 self.decay_activities();
             } else {
+                // Interruption checks happen only at propagation fixpoints:
+                // unwinding here leaves no half-propagated trail behind, so
+                // the preserved search state stays sound.
+                if self.budget_exhausted(conflicts_at_entry, propagations_at_entry) {
+                    self.backtrack(0);
+                    return SatResult::Interrupted;
+                }
                 if !self.learnts.is_empty() && self.learnts.len() as f64 >= self.max_learnts {
                     self.reduce_db();
                     if self.learnt_limit_override.is_none() {
@@ -985,6 +1033,10 @@ impl Solver {
                     self.stats.restarts += 1;
                     conflicts_since_restart = 0;
                     restart_threshold = 100 * luby(self.stats.restarts);
+                    if self.stop_requested() {
+                        self.backtrack(0);
+                        return SatResult::Interrupted;
+                    }
                     self.backtrack(assumptions.len() as u32);
                 }
                 // Assumption decisions first.
@@ -1052,6 +1104,10 @@ impl SatEngine for Solver {
         Solver::solve_with_assumptions(self, assumptions)
     }
 
+    fn set_control(&mut self, control: SolveControl) {
+        Solver::set_control(self, control)
+    }
+
     fn stats(&self) -> SolverStats {
         Solver::stats(self)
     }
@@ -1113,6 +1169,7 @@ mod tests {
                 }
             }
             SatResult::Unsat => panic!("chain is satisfiable"),
+            SatResult::Interrupted => panic!("no SolveControl installed"),
         }
     }
 
@@ -1208,6 +1265,7 @@ mod tests {
                 assert_eq!(m.value(a), m.value(c));
             }
             SatResult::Unsat => panic!("consistent xor system"),
+            SatResult::Interrupted => panic!("no SolveControl installed"),
         }
     }
 
@@ -1231,6 +1289,7 @@ mod tests {
                 assert!(m.value(b));
             }
             SatResult::Unsat => panic!("satisfiable under ¬a"),
+            SatResult::Interrupted => panic!("no SolveControl installed"),
         }
     }
 
@@ -1245,6 +1304,7 @@ mod tests {
         match s.solve() {
             SatResult::Sat(m) => assert!(m.value(vars[2])),
             SatResult::Unsat => panic!("still satisfiable"),
+            SatResult::Interrupted => panic!("no SolveControl installed"),
         }
         s.add_clause(&[lit(&vars, -3)]);
         assert_eq!(s.solve(), SatResult::Unsat);
@@ -1261,6 +1321,7 @@ mod tests {
         match s.solve() {
             SatResult::Sat(m) => assert!(m.value(b)),
             SatResult::Unsat => panic!("satisfiable"),
+            SatResult::Interrupted => panic!("no SolveControl installed"),
         }
     }
 
@@ -1338,6 +1399,7 @@ mod tests {
         let model = match s.solve() {
             SatResult::Sat(m) => m,
             SatResult::Unsat => panic!("satisfiable"),
+            SatResult::Interrupted => panic!("no SolveControl installed"),
         };
         assert!(!model.value(a));
         assert!(model.lit_value(Lit::negative(a)));

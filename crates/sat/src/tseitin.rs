@@ -726,6 +726,7 @@ mod tests {
                     SatResult::Unsat => {
                         panic!("encoding must be satisfiable for pattern {pattern}")
                     }
+                    SatResult::Interrupted => panic!("no SolveControl installed"),
                 }
             }
         }
@@ -853,6 +854,7 @@ mod tests {
             match s.solve() {
                 SatResult::Sat(m) => assert_eq!(m.lit_value(o_lit), bv ^ cv),
                 SatResult::Unsat => panic!("satisfiable"),
+                SatResult::Interrupted => panic!("no SolveControl installed"),
             }
         }
     }

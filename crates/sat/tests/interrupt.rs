@@ -1,0 +1,265 @@
+//! Interruption invariants for [`SolveControl`].
+//!
+//! An interrupted solve must be a pure pause: the verdict eventually reached
+//! by a chain of budgeted slices has to equal the verdict of one
+//! uninterrupted call, the cumulative search effort must stay in the same
+//! ballpark (the learnt-clause database survives each interruption), and the
+//! solver must remain usable — incrementally and under assumptions — after
+//! any number of interruptions. Both the arena [`Solver`] and the retained
+//! [`reference::Solver`] are held to the same contract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sat::{reference, Lit, SatEngine, SatResult, SolveControl, Solver, Var};
+
+/// Encodes the pigeonhole principle PHP(pigeons, holes): UNSAT iff
+/// `pigeons > holes`, and expensive enough for small sizes that a conflict
+/// budget of a few dozen interrupts the solve many times over.
+fn encode_php(engine: &mut impl SatEngine, pigeons: usize, holes: usize) -> Vec<Vec<Lit>> {
+    let vars: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| engine.new_var()).collect())
+        .collect();
+    let mut clauses = Vec::new();
+    // Every pigeon sits in some hole.
+    for row in &vars {
+        let clause: Vec<Lit> = row.iter().map(|&v| Lit::positive(v)).collect();
+        clauses.push(clause);
+    }
+    // No two pigeons share a hole.
+    for h in 0..holes {
+        for (a, row_a) in vars.iter().enumerate() {
+            for row_b in vars.iter().skip(a + 1) {
+                clauses.push(vec![Lit::negative(row_a[h]), Lit::negative(row_b[h])]);
+            }
+        }
+    }
+    for clause in &clauses {
+        engine.add_clause(clause);
+    }
+    clauses
+}
+
+/// Deterministic split-mix style generator for the planted instances.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Random 3-SAT with a planted solution: guaranteed satisfiable, but dense
+/// enough that CDCL needs a healthy number of conflicts to find a model.
+fn encode_planted(
+    engine: &mut impl SatEngine,
+    num_vars: usize,
+    num_clauses: usize,
+    seed: u64,
+) -> Vec<Vec<Lit>> {
+    let mut rng = Lcg(seed);
+    let vars: Vec<Var> = (0..num_vars).map(|_| engine.new_var()).collect();
+    let hidden: Vec<bool> = (0..num_vars).map(|_| rng.next() & 1 == 1).collect();
+    let mut clauses = Vec::new();
+    for _ in 0..num_clauses {
+        let mut picks = Vec::new();
+        while picks.len() < 3 {
+            let v = (rng.next() as usize) % num_vars;
+            if !picks.contains(&v) {
+                picks.push(v);
+            }
+        }
+        let mut lits: Vec<Lit> = picks
+            .iter()
+            .map(|&v| Lit::new(vars[v], rng.next() & 1 == 1))
+            .collect();
+        // Keep the hidden assignment a model: force one literal to agree.
+        if !lits
+            .iter()
+            .any(|l| hidden[l.var().index()] != l.is_negative())
+        {
+            let fix = (rng.next() as usize) % 3;
+            let v = lits[fix].var();
+            lits[fix] = Lit::new(v, hidden[v.index()]);
+        }
+        engine.add_clause(&lits);
+        clauses.push(lits);
+    }
+    clauses
+}
+
+fn model_satisfies(clauses: &[Vec<Lit>], result: &SatResult) -> bool {
+    let model = result.model().expect("SAT result carries a model");
+    clauses
+        .iter()
+        .all(|clause| clause.iter().any(|&l| model.lit_value(l)))
+}
+
+/// Solves in budgeted slices until a verdict, returning it together with the
+/// number of interruptions survived on the way.
+fn solve_in_slices<E: SatEngine>(
+    engine: &mut E,
+    budget: u64,
+    assumptions: &[Lit],
+) -> (SatResult, u64) {
+    let mut interruptions = 0;
+    loop {
+        engine.set_control(SolveControl::with_conflict_budget(budget));
+        match engine.solve_with_assumptions(assumptions) {
+            SatResult::Interrupted => {
+                interruptions += 1;
+                assert!(
+                    interruptions < 100_000,
+                    "sliced solve failed to converge (budget {budget})"
+                );
+            }
+            verdict => {
+                engine.set_control(SolveControl::unlimited());
+                return (verdict, interruptions);
+            }
+        }
+    }
+}
+
+#[test]
+fn sliced_unsat_verdict_matches_uninterrupted_arena() {
+    let mut baseline = Solver::new();
+    encode_php(&mut baseline, 7, 6);
+    assert_eq!(baseline.solve(), SatResult::Unsat);
+    let base_conflicts = baseline.stats().conflicts;
+    assert!(base_conflicts > 40, "PHP(7,6) should be nontrivial");
+
+    let mut sliced = Solver::new();
+    encode_php(&mut sliced, 7, 6);
+    let (verdict, interruptions) = solve_in_slices(&mut sliced, 20, &[]);
+    assert_eq!(verdict, SatResult::Unsat);
+    assert!(
+        interruptions > 0,
+        "budget of 20 must interrupt at least once"
+    );
+
+    // The learnt database survives each interruption, so the total effort of
+    // the sliced run stays within a small factor of the uninterrupted run.
+    let sliced_conflicts = sliced.stats().conflicts;
+    assert!(
+        sliced_conflicts <= base_conflicts * 4 + 200,
+        "sliced effort exploded: {sliced_conflicts} vs {base_conflicts} uninterrupted"
+    );
+}
+
+#[test]
+fn sliced_sat_verdict_matches_uninterrupted_arena() {
+    let mut baseline = Solver::new();
+    let clauses = encode_planted(&mut baseline, 60, 250, 0xA5A5_1234);
+    let base = baseline.solve();
+    assert!(model_satisfies(&clauses, &base));
+
+    let mut sliced = Solver::new();
+    let clauses = encode_planted(&mut sliced, 60, 250, 0xA5A5_1234);
+    let (verdict, _) = solve_in_slices(&mut sliced, 5, &[]);
+    assert!(
+        model_satisfies(&clauses, &verdict),
+        "sliced run must still produce a genuine model"
+    );
+}
+
+#[test]
+fn sliced_solve_matches_on_reference_engine() {
+    let mut baseline = reference::Solver::new();
+    encode_php(&mut baseline, 6, 5);
+    assert_eq!(baseline.solve(), SatResult::Unsat);
+
+    let mut sliced = reference::Solver::new();
+    encode_php(&mut sliced, 6, 5);
+    let (verdict, interruptions) = solve_in_slices(&mut sliced, 10, &[]);
+    assert_eq!(verdict, SatResult::Unsat);
+    assert!(interruptions > 0);
+}
+
+#[test]
+fn interruption_preserves_incremental_and_assumption_use() {
+    let mut solver = Solver::new();
+    let clauses = encode_php(&mut solver, 6, 6); // satisfiable: one pigeon per hole
+    let pivot = clauses[0][0]; // "pigeon 0 in hole 0"
+
+    // Interrupt a few times under an assumption, then finish.
+    let (verdict, _) = solve_in_slices(&mut solver, 1, &[pivot]);
+    let model = verdict.model().expect("PHP(6,6) is satisfiable");
+    assert!(
+        model.lit_value(pivot),
+        "assumption honored after interruptions"
+    );
+
+    // The solver stays incrementally usable: forbid the pivot and resolve.
+    solver.add_clause(&[Lit::new(pivot.var(), false)]);
+    let (verdict, _) = solve_in_slices(&mut solver, 1, &[]);
+    assert!(verdict.is_sat(), "PHP(6,6) stays SAT without the pivot");
+    assert!(!verdict.model().unwrap().lit_value(pivot));
+
+    // Under the now-contradicted assumption the verdict is UNSAT, sliced or not.
+    let (verdict, _) = solve_in_slices(&mut solver, 1, &[pivot]);
+    assert_eq!(verdict, SatResult::Unsat);
+}
+
+#[test]
+fn propagation_budget_interrupts() {
+    let mut solver = Solver::new();
+    encode_php(&mut solver, 7, 6);
+    solver.set_control(SolveControl {
+        max_propagations: Some(1),
+        ..SolveControl::default()
+    });
+    assert_eq!(solver.solve(), SatResult::Interrupted);
+    // Lifting the budget lets the same call run to the verdict.
+    solver.set_control(SolveControl::unlimited());
+    assert_eq!(solver.solve(), SatResult::Unsat);
+}
+
+#[test]
+fn stop_callback_interrupts_and_is_polled() {
+    let polls = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&polls);
+    let mut solver = Solver::new();
+    encode_php(&mut solver, 7, 6);
+    solver.set_control(SolveControl::with_stop_callback(Arc::new(move || {
+        counter.fetch_add(1, Ordering::Relaxed) >= 3
+    })));
+    assert_eq!(solver.solve(), SatResult::Interrupted);
+    assert!(
+        polls.load(Ordering::Relaxed) >= 3,
+        "callback polled repeatedly"
+    );
+
+    // An always-true callback interrupts immediately, even on a fresh call.
+    solver.set_control(SolveControl::with_stop_callback(Arc::new(|| true)));
+    assert_eq!(solver.solve(), SatResult::Interrupted);
+
+    solver.set_control(SolveControl::unlimited());
+    assert_eq!(solver.solve(), SatResult::Unsat);
+}
+
+#[test]
+fn stop_callback_interrupts_reference_engine() {
+    let mut solver = reference::Solver::new();
+    encode_php(&mut solver, 6, 5);
+    solver.set_control(SolveControl::with_stop_callback(Arc::new(|| true)));
+    assert_eq!(solver.solve(), SatResult::Interrupted);
+    solver.set_control(SolveControl::unlimited());
+    assert_eq!(solver.solve(), SatResult::Unsat);
+}
+
+#[test]
+fn unlimited_control_reports_unlimited() {
+    assert!(SolveControl::unlimited().is_unlimited());
+    assert!(!SolveControl::with_conflict_budget(1).is_unlimited());
+    assert!(!SolveControl::with_stop_callback(Arc::new(|| false)).is_unlimited());
+    let debug = format!("{:?}", SolveControl::with_stop_callback(Arc::new(|| false)));
+    assert!(
+        debug.contains("callback"),
+        "debug shows callback presence: {debug}"
+    );
+}

@@ -55,6 +55,9 @@ proptest! {
             SatResult::Unsat => {
                 prop_assert!(brute.is_none(), "solver said UNSAT, brute force found {brute:?}");
             }
+            SatResult::Interrupted => {
+                prop_assert!(false, "no SolveControl installed, solve cannot be interrupted");
+            }
         }
     }
 
@@ -80,6 +83,9 @@ proptest! {
                 let mut strengthened = cnf.clone();
                 strengthened.add_clause(&[assumption]);
                 prop_assert!(strengthened.brute_force().is_none());
+            }
+            SatResult::Interrupted => {
+                prop_assert!(false, "no SolveControl installed, solve cannot be interrupted");
             }
         }
         // The solver is still usable afterwards and agrees with brute force.

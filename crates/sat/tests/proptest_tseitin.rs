@@ -97,6 +97,9 @@ proptest! {
                 prop_assert_eq!(got, expected);
             }
             SatResult::Unsat => prop_assert!(false, "constrained encoding must be satisfiable"),
+            SatResult::Interrupted => {
+                prop_assert!(false, "no SolveControl installed, solve cannot be interrupted");
+            }
         }
     }
 
@@ -136,6 +139,9 @@ proptest! {
                 prop_assert_eq!(got, expected);
             }
             SatResult::Unsat => prop_assert!(false, "const-bound encoding must be satisfiable"),
+            SatResult::Interrupted => {
+                prop_assert!(false, "no SolveControl installed, solve cannot be interrupted");
+            }
         }
     }
 

@@ -83,6 +83,13 @@ impl<E: SatEngine> Harness<E> {
                 );
                 Ok(false)
             }
+            SatResult::Interrupted => {
+                prop_assert!(
+                    false,
+                    "no SolveControl installed, solve cannot be interrupted"
+                );
+                unreachable!()
+            }
         }
     }
 
@@ -115,6 +122,13 @@ impl<E: SatEngine> Harness<E> {
                     "engine said UNSAT under {assumptions:?}, brute force found {brute:?}"
                 );
                 Ok(false)
+            }
+            SatResult::Interrupted => {
+                prop_assert!(
+                    false,
+                    "no SolveControl installed, solve cannot be interrupted"
+                );
+                unreachable!()
             }
         }
     }

@@ -58,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             AttackStatus::KeyFound(key) => format!("key found: {key}"),
             AttackStatus::DipBudgetExhausted => "dip budget exhausted".to_string(),
             AttackStatus::UnrollBudgetExhausted => "unroll budget exhausted".to_string(),
+            AttackStatus::TimedOut => "timed out".to_string(),
         };
         println!(
             "{:>4} {:>8} {:>10.0} {:>10} {:>10} {:>10.2?}   {}",
