@@ -37,4 +37,7 @@ pub use bstar::estimate_min_unroll_depth;
 pub use checkpoint::{AttackCheckpoint, CheckpointError, DipRecord, CHECKPOINT_FORMAT_VERSION};
 pub use key_search::{exhaustive_key_search, KeySearchOutcome};
 pub use removal::{removal_attack, RemovalReport};
-pub use sat_attack::{AttackError, AttackStatus, SatAttack, SatAttackConfig, SatAttackOutcome};
+pub use sat_attack::{
+    AttackError, AttackProgress, AttackStatus, ProgressFn, SatAttack, SatAttackConfig,
+    SatAttackOutcome,
+};

@@ -30,7 +30,7 @@ use rand::Rng;
 
 use netlist::{unroll, Netlist, NetlistError};
 use sat::tseitin::Bound;
-use sat::{miter, tseitin, Lit, SatEngine, SatResult, SolveControl, Solver, SolverStats};
+use sat::{miter, tseitin, Lit, SatEngine, SatResult, SolveControl, Solver, SolverStats, StopFn};
 use sim::{SimError, Simulator};
 use trilock::KeySequence;
 
@@ -88,8 +88,32 @@ impl From<CheckpointError> for AttackError {
     }
 }
 
+/// A point-in-time snapshot of a running attack, handed to
+/// [`SatAttackConfig::progress`] after each learnt DIP. The same payload
+/// backs `sat-attack --progress` on the command line and the daemon's
+/// streamed `progress` events, so standalone and service observability
+/// report identical fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackProgress {
+    /// DIPs learnt so far across all depths (the paper's running `ndip`).
+    pub dips: u64,
+    /// Unrolling depth the attack is currently working at.
+    pub depth: usize,
+    /// Cumulative wall clock, including prior invocations of a resumed run.
+    pub elapsed: Duration,
+    /// Cumulative solver effort (conflicts, propagations, live learnt
+    /// clauses, …) across all depths and prior invocations.
+    pub stats: SolverStats,
+    /// `true` when this DIP also triggered a checkpoint write (the
+    /// [`SatAttackConfig::checkpoint_every`] cadence fired).
+    pub checkpointed: bool,
+}
+
+/// Observer invoked after each learnt DIP; see [`SatAttackConfig::progress`].
+pub type ProgressFn = Arc<dyn Fn(&AttackProgress) + Send + Sync>;
+
 /// Tunable limits of the attack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct SatAttackConfig {
     /// Initial unrolling depth `b` (functional cycles). Usually set to the
     /// estimated `b*`.
@@ -129,6 +153,23 @@ pub struct SatAttackConfig {
     /// DIPs of the current depth (crash-safety between interruptions). `0`
     /// checkpoints only on interruption.
     pub checkpoint_every: u64,
+    /// Per-DIP progress observer. When set, it is invoked after every
+    /// `progress_every`-th learnt DIP with an [`AttackProgress`] snapshot —
+    /// the hook behind `sat-attack --progress` and the daemon's streamed
+    /// progress events. Runtime-only: excluded from config fingerprints and
+    /// from `PartialEq`, so a resumed run may observe differently.
+    pub progress: Option<ProgressFn>,
+    /// Cadence of [`SatAttackConfig::progress`] invocations in DIPs
+    /// (minimum 1). DIPs that write a checkpoint always report, regardless
+    /// of cadence, so `checkpointed` transitions are never silent.
+    pub progress_every: u64,
+    /// External stop callback, polled by the SAT engine alongside the
+    /// wall-clock deadline. Returning `true` interrupts the current solve at
+    /// the next restart boundary and the run unwinds as
+    /// [`AttackStatus::TimedOut`] (checkpointing first when configured) —
+    /// the mechanism behind the daemon's cooperative `cancel`. Runtime-only,
+    /// like `progress`.
+    pub stop: Option<StopFn>,
 }
 
 impl Default for SatAttackConfig {
@@ -144,9 +185,53 @@ impl Default for SatAttackConfig {
             solve_conflict_budget: None,
             solve_propagation_budget: None,
             checkpoint_every: 64,
+            progress: None,
+            progress_every: 1,
+            stop: None,
         }
     }
 }
+
+impl fmt::Debug for SatAttackConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SatAttackConfig")
+            .field("initial_unroll", &self.initial_unroll)
+            .field("max_unroll", &self.max_unroll)
+            .field("max_dips", &self.max_dips)
+            .field("verify_sequences", &self.verify_sequences)
+            .field("verify_cycles", &self.verify_cycles)
+            .field("simplify_cnf", &self.simplify_cnf)
+            .field("time_limit", &self.time_limit)
+            .field("solve_conflict_budget", &self.solve_conflict_budget)
+            .field("solve_propagation_budget", &self.solve_propagation_budget)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
+            .field("progress_every", &self.progress_every)
+            .field("stop", &self.stop.as_ref().map(|_| "<callback>"))
+            .finish()
+    }
+}
+
+/// Equality covers the search-shaping and budget fields only; the
+/// `progress`/`stop` callbacks are runtime observers with no bearing on the
+/// attack trajectory and are deliberately ignored.
+impl PartialEq for SatAttackConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.initial_unroll == other.initial_unroll
+            && self.max_unroll == other.max_unroll
+            && self.max_dips == other.max_dips
+            && self.verify_sequences == other.verify_sequences
+            && self.verify_cycles == other.verify_cycles
+            && self.simplify_cnf == other.simplify_cnf
+            && self.time_limit == other.time_limit
+            && self.solve_conflict_budget == other.solve_conflict_budget
+            && self.solve_propagation_budget == other.solve_propagation_budget
+            && self.checkpoint_every == other.checkpoint_every
+            && self.progress_every == other.progress_every
+    }
+}
+
+impl Eq for SatAttackConfig {}
 
 /// Final status of an attack run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -378,7 +463,8 @@ impl<'a> SatAttack<'a> {
     /// Fingerprint of the trajectory-shaping configuration fields. Budget
     /// fields (`max_dips`, `max_unroll`, `time_limit`, per-solve budgets,
     /// `checkpoint_every`) are deliberately excluded so a resume can raise
-    /// them.
+    /// them; the runtime-only observers (`progress`, `progress_every`,
+    /// `stop`) are excluded because they do not shape the search either.
     fn config_fingerprint(config: &SatAttackConfig) -> u64 {
         let text = format!(
             "initial_unroll={} verify_sequences={} verify_cycles={} simplify_cnf={}",
@@ -390,13 +476,19 @@ impl<'a> SatAttack<'a> {
         fnv1a64(text.as_bytes())
     }
 
-    /// Builds the per-solve [`SolveControl`] from the configured budgets and
-    /// the invocation deadline.
+    /// Builds the per-solve [`SolveControl`] from the configured budgets, the
+    /// invocation deadline and the external stop callback (daemon `cancel`).
     fn solve_control(config: &SatAttackConfig, deadline: Option<Instant>) -> SolveControl {
+        let should_stop: Option<StopFn> = match (deadline, config.stop.clone()) {
+            (None, None) => None,
+            (Some(d), None) => Some(Arc::new(move || Instant::now() >= d)),
+            (None, Some(stop)) => Some(stop),
+            (Some(d), Some(stop)) => Some(Arc::new(move || Instant::now() >= d || stop())),
+        };
         SolveControl {
             max_conflicts: config.solve_conflict_budget,
             max_propagations: config.solve_propagation_budget,
-            should_stop: deadline.map(|d| -> sat::StopFn { Arc::new(move || Instant::now() >= d) }),
+            should_stop,
         }
     }
 
@@ -659,6 +751,7 @@ impl<'a> SatAttack<'a> {
                         )?;
                         miter::assert_bound_values(&mut solver, &outs, &response_flat);
                     }
+                    let mut checkpointed = false;
                     if ctx.checkpoint_path.is_some() {
                         ctx.records.push(DipRecord {
                             inputs: dip,
@@ -668,6 +761,20 @@ impl<'a> SatAttack<'a> {
                             && (ctx.records.len() as u64).is_multiple_of(ctx.checkpoint_every)
                         {
                             ctx.save(depth, dips, &solver.stats())?;
+                            checkpointed = true;
+                        }
+                    }
+                    if let Some(progress) = &config.progress {
+                        if checkpointed || dips.is_multiple_of(config.progress_every.max(1)) {
+                            let mut stats = ctx.stats_base;
+                            stats.merge(&solver.stats());
+                            progress(&AttackProgress {
+                                dips,
+                                depth,
+                                elapsed: ctx.elapsed_base + ctx.start.elapsed(),
+                                stats,
+                                checkpointed,
+                            });
                         }
                     }
                 }

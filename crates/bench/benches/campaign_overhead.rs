@@ -71,7 +71,7 @@ fn main() {
                 let _ = std::fs::remove_file(&checkpoint_path);
                 let config = SatAttackConfig {
                     checkpoint_every: every,
-                    ..base
+                    ..base.clone()
                 };
                 attack
                     .run_checkpointed(&config, &mut rng, &checkpoint_path)

@@ -1,0 +1,153 @@
+//! `daemon_throughput` — job throughput of the attack daemon's worker pool.
+//!
+//! Spins up an in-process `trilock-serve` daemon twice — once with 1 worker,
+//! once with 4 — and pushes the same batch of campaign-cell jobs (one
+//! κs × κf lock + SAT attack per job, all seeds distinct) through the Unix
+//! socket, measuring completed jobs per second from first submit to drained
+//! queue. The figure of merit is the 4-worker/1-worker speedup, which on a
+//! multicore host should approach the worker ratio (the jobs are
+//! CPU-independent; the shared state is one mutex around the job table).
+//!
+//! Rows are appended to `BENCH_daemon.json` at the repository root together
+//! with the machine's core count: **on a single-core host the speedup
+//! honestly reports ≈ 1×**, since four workers time-slice one CPU — the
+//! scaling claim is only measurable with `cores >= workers`.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo bench -p trilock-bench --bench daemon_throughput
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use benchgen::CircuitProfile;
+use trilock_serve::{AttackParams, Client, DaemonConfig, JobSpec, Json};
+
+/// Seed for circuit generation; job seeds run from 1 upward.
+const SEED: u64 = 42;
+/// Jobs per daemon run (two full rounds of the 4-worker pool).
+const JOBS: u64 = 8;
+const KAPPA_S: usize = 1;
+const KAPPA_F: usize = 1;
+
+fn main() {
+    let profile = CircuitProfile {
+        name: "servebench",
+        inputs: 4,
+        outputs: 6,
+        dffs: 10,
+        gates: 120,
+    };
+    let original = benchgen::generate(&profile, SEED).expect("benchgen circuit builds");
+    let scratch = std::env::temp_dir().join(format!("trilock_daemon_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let circuit = scratch.join("servebench.bench");
+    trilock_io::write_circuit_auto(&circuit, &original).expect("circuit written");
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "bench daemon_throughput: {profile}, kappa_s = {KAPPA_S}, kappa_f = {KAPPA_F}, \
+         jobs = {JOBS}, cores = {cores}"
+    );
+
+    let run = |workers: usize| -> f64 {
+        let dir = scratch.join(format!("workers_{workers}"));
+        std::fs::create_dir_all(&dir).expect("daemon dir");
+        let mut config = DaemonConfig::new(dir.join("daemon.sock"), dir.join("state"));
+        config.workers = workers;
+        config.queue_capacity = JOBS as usize + 1;
+        let handle = trilock_serve::spawn(config.clone());
+        let mut client =
+            Client::connect_retry(&config.socket, Duration::from_secs(10)).expect("daemon up");
+
+        let started = Instant::now();
+        let mut jobs = Vec::new();
+        for seed in 1..=JOBS {
+            let job = client
+                .submit(&JobSpec::CampaignCell {
+                    circuit: circuit.clone(),
+                    kappa_s: KAPPA_S,
+                    kappa_f: KAPPA_F,
+                    seed,
+                    alpha: 0.6,
+                    attack: AttackParams::default(),
+                })
+                .expect("submit");
+            jobs.push(job);
+        }
+        assert!(client.drain().expect("drain"), "queue drains");
+        let elapsed = started.elapsed().as_secs_f64();
+
+        for job in jobs {
+            let status = client.status_job(job).expect("status");
+            assert_eq!(
+                status.get("state").and_then(Json::as_str),
+                Some("done"),
+                "job {job} not done: {status}"
+            );
+        }
+        client.shutdown().expect("shutdown");
+        handle.join().expect("daemon exits cleanly");
+
+        let jobs_per_sec = JOBS as f64 / elapsed;
+        println!(
+            "  {workers} worker(s): {JOBS} jobs in {elapsed:.3}s = {jobs_per_sec:.3} jobs/sec"
+        );
+        jobs_per_sec
+    };
+
+    let single = run(1);
+    let pooled = run(4);
+    let speedup = pooled / single;
+    println!("  speedup: {speedup:.3}x (4 workers vs 1 on {cores} core(s))");
+    if cores < 4 {
+        println!(
+            "  note: only {cores} core(s) available — workers time-slice the CPU, \
+             so near-1x is the honest expectation here; rerun on >= 4 cores for the \
+             scaling figure"
+        );
+    }
+
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let row = format!(
+        "{{\"bench\": \"daemon_throughput\", \"unix_time\": {unix_time}, \"cores\": {cores}, \
+         \"gates\": {}, \"inputs\": {}, \"kappa_s\": {KAPPA_S}, \"kappa_f\": {KAPPA_F}, \
+         \"jobs\": {JOBS}, \"workers1_jobs_per_sec\": {single:.4}, \
+         \"workers4_jobs_per_sec\": {pooled:.4}, \"speedup\": {speedup:.3}}}",
+        profile.gates, profile.inputs,
+    );
+    match append_row(&row) {
+        Ok(path) => println!("  appended row to {}", path.display()),
+        Err(e) => eprintln!("  could not update BENCH_daemon.json: {e}"),
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Appends one row to the JSON array in `BENCH_daemon.json` at the
+/// repository root, creating the file on first use.
+fn append_row(row: &str) -> std::io::Result<PathBuf> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_daemon.json");
+    let content = match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let body = text.trim_end();
+            let body = body.strip_suffix(']').unwrap_or(body).trim_end();
+            let body = body.strip_suffix(',').unwrap_or(body);
+            if body.trim() == "[" || body.trim().is_empty() {
+                format!("[\n  {row}\n]\n")
+            } else {
+                format!("{body},\n  {row}\n]\n")
+            }
+        }
+        Err(_) => format!("[\n  {row}\n]\n"),
+    };
+    std::fs::write(&path, content)?;
+    Ok(path)
+}

@@ -70,7 +70,7 @@ fn main() {
             SatAttack::new(&original, &locked.netlist, locked.kappa()).expect("interfaces");
         let config = SatAttackConfig {
             simplify_cnf: simplify,
-            ..base
+            ..base.clone()
         };
         let mut rng = StdRng::seed_from_u64(SEED + 1);
         if reference {

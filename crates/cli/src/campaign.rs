@@ -116,13 +116,17 @@ fn result_line(cell: &Cell, result: &CellResult, attempts: u32) -> String {
                 }
                 _ => String::new(),
             };
+            let stats = &outcome.solver_stats;
             format!(
-                "{prefix},\"status\":\"{}\",\"dips\":{},\"unroll_depth\":{},\"elapsed_ms\":{},\"seconds_per_dip\":{:.6}{key}}}",
+                "{prefix},\"status\":\"{}\",\"dips\":{},\"unroll_depth\":{},\"elapsed_ms\":{},\"seconds_per_dip\":{:.6},\"conflicts\":{},\"propagations\":{},\"learnt_live\":{}{key}}}",
                 status_name(&outcome.status),
                 outcome.dips,
                 outcome.unroll_depth,
                 outcome.elapsed.as_millis(),
-                outcome.seconds_per_dip()
+                outcome.seconds_per_dip(),
+                stats.conflicts,
+                stats.propagations,
+                stats.learned
             )
         }
         CellResult::Error(message) => {
@@ -220,6 +224,206 @@ fn completed_cells(path: &str) -> Vec<String> {
         .collect()
 }
 
+/// Renders a daemon cell's terminal event as the standalone JSONL row format
+/// (same field names and order). Returns `(row, status)`.
+fn daemon_result_line(cell: &Cell, event: &trilock_serve::Json) -> (String, String) {
+    use trilock_serve::Json;
+    let prefix = format!(
+        "{{\"cell\":\"{}\",\"kappa_s\":{},\"kappa_f\":{},\"seed\":{},\"attempts\":1",
+        cell.id(),
+        cell.kappa_s,
+        cell.kappa_f,
+        cell.seed
+    );
+    match event.get("event").and_then(Json::as_str) {
+        Some("done") => {
+            let num = |key: &str| event.get(key).and_then(Json::as_u64).unwrap_or(0);
+            let status = event
+                .get("status")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string();
+            let seconds_per_dip = event
+                .get("seconds_per_dip")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            let key = event
+                .get("key")
+                .and_then(Json::as_str)
+                .map(|key| format!(",\"key\":\"{}\"", json_escape(key)))
+                .unwrap_or_default();
+            let row = format!(
+                "{prefix},\"status\":\"{status}\",\"dips\":{},\"unroll_depth\":{},\"elapsed_ms\":{},\"seconds_per_dip\":{seconds_per_dip:.6},\"conflicts\":{},\"propagations\":{},\"learnt_live\":{}{key}}}",
+                num("dips"),
+                num("unroll_depth"),
+                num("elapsed_ms"),
+                num("conflicts"),
+                num("propagations"),
+                num("learnt_live")
+            );
+            (row, status)
+        }
+        Some("cancelled") => (
+            format!("{prefix},\"status\":\"cancelled\"}}"),
+            "cancelled".into(),
+        ),
+        _ => {
+            let error = event
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown failure");
+            (
+                format!(
+                    "{prefix},\"status\":\"error\",\"error\":\"{}\"}}",
+                    json_escape(error)
+                ),
+                "error".into(),
+            )
+        }
+    }
+}
+
+/// Waits for one daemon cell to finish and appends its row (flushed and
+/// fsynced, exactly like the standalone runner).
+fn collect_daemon_cell(
+    client: &mut trilock_serve::Client,
+    cell: &Cell,
+    job: u64,
+    file: &mut std::fs::File,
+    results_path: &str,
+    tally: &mut std::collections::BTreeMap<String, usize>,
+) -> Result<(), String> {
+    let event = client
+        .wait(job)
+        .map_err(|e| format!("lost job {job} (cell {}): {e}", cell.id()))?;
+    let (row, status) = daemon_result_line(cell, &event);
+    say!("  cell {}: {status} (job {job})", cell.id());
+    writeln!(file, "{row}").map_err(|e| format!("cannot append to `{results_path}`: {e}"))?;
+    file.flush().map_err(|e| e.to_string())?;
+    file.sync_all().map_err(|e| e.to_string())?;
+    *tally.entry(status).or_insert(0) += 1;
+    Ok(())
+}
+
+/// The `--socket` campaign path: run the matrix as `campaign-cell` jobs on a
+/// daemon. Cells already journaled by the daemon (e.g. recovered after a
+/// daemon kill) are reused instead of resubmitted, so a rerun of the same
+/// campaign command never duplicates work; `queue-full` backpressure is
+/// absorbed by collecting finished rows before retrying.
+fn campaign_via_daemon(
+    opts: &Opts,
+    input: &str,
+    cells: &[Cell],
+    done: &[String],
+    file: &mut std::fs::File,
+    results_path: &str,
+) -> Result<(), String> {
+    use trilock_serve::{ClientError, JobSpec, Json};
+
+    let params = crate::service::attack_params(opts)?;
+    let alpha = opts.value("alpha", 0.6f64)?;
+    let circuit = crate::service::absolute_existing(input)?;
+    let mut client = crate::service::connect(opts)?;
+
+    // Jobs the daemon already knows for this circuit, keyed by cell id —
+    // queued/running recoveries and finished cells alike.
+    let mut existing: std::collections::HashMap<String, u64> = Default::default();
+    for status in client.status().map_err(|e| e.to_string())? {
+        let (Some(job), Some(spec)) =
+            (status.get("job").and_then(Json::as_u64), status.get("spec"))
+        else {
+            continue;
+        };
+        if spec.get("kind").and_then(Json::as_str) != Some("campaign-cell")
+            || spec.get("circuit").and_then(Json::as_str)
+                != Some(&circuit.to_string_lossy() as &str)
+        {
+            continue;
+        }
+        let (Some(kappa_s), Some(kappa_f), Some(seed)) = (
+            spec.get("kappa_s").and_then(Json::as_usize),
+            spec.get("kappa_f").and_then(Json::as_usize),
+            spec.get("seed").and_then(Json::as_u64),
+        ) else {
+            continue;
+        };
+        existing.insert(format!("ks{kappa_s}_kf{kappa_f}_s{seed}"), job);
+    }
+
+    let todo: Vec<&Cell> = cells
+        .iter()
+        .filter(|cell| !done.iter().any(|id| id == &cell.id()))
+        .collect();
+    let skipped = cells.len() - todo.len();
+    let mut submitted: Vec<(&Cell, u64)> = Vec::new();
+    let mut written = 0usize;
+    let mut tally: std::collections::BTreeMap<String, usize> = Default::default();
+    for cell in todo {
+        if let Some(&job) = existing.get(&cell.id()) {
+            say!("  cell {}: reusing daemon job {job}", cell.id());
+            submitted.push((cell, job));
+            continue;
+        }
+        let spec = JobSpec::CampaignCell {
+            circuit: circuit.clone(),
+            kappa_s: cell.kappa_s,
+            kappa_f: cell.kappa_f,
+            seed: cell.seed,
+            alpha,
+            attack: params.clone(),
+        };
+        loop {
+            match client.submit(&spec) {
+                Ok(job) => {
+                    submitted.push((cell, job));
+                    break;
+                }
+                Err(ClientError::Server { code, .. }) if code == "queue-full" => {
+                    // Backpressure: absorb a finished cell before retrying.
+                    if written < submitted.len() {
+                        let (cell, job) = submitted[written];
+                        collect_daemon_cell(
+                            &mut client,
+                            cell,
+                            job,
+                            file,
+                            results_path,
+                            &mut tally,
+                        )?;
+                        written += 1;
+                    } else {
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+    while written < submitted.len() {
+        let (cell, job) = submitted[written];
+        collect_daemon_cell(&mut client, cell, job, file, results_path, &mut tally)?;
+        written += 1;
+    }
+
+    if skipped > 0 {
+        say!("  skipped {skipped} cell(s) already recorded in {results_path}");
+    }
+    let summary: Vec<String> = tally
+        .iter()
+        .map(|(status, count)| format!("{status} = {count}"))
+        .collect();
+    say!(
+        "campaign finished via daemon: {} cell(s) run ({}), results in {results_path}",
+        submitted.len(),
+        if summary.is_empty() {
+            "nothing to do".to_string()
+        } else {
+            summary.join(", ")
+        }
+    );
+    Ok(())
+}
+
 /// `trilock-cli campaign` entry point.
 pub fn cmd_campaign(opts: &Opts) -> Result<(), String> {
     let input = opts.positional(0, "input circuit path")?;
@@ -269,6 +473,10 @@ pub fn cmd_campaign(opts: &Opts) -> Result<(), String> {
         .append(true)
         .open(results_path)
         .map_err(|e| format!("cannot open `{results_path}`: {e}"))?;
+
+    if opts.flags.contains_key("socket") {
+        return campaign_via_daemon(opts, input, &cells, &done, &mut file, results_path);
+    }
 
     say!(
         "campaign on {}: {} cells (kappa_s x kappa_f x seed = {}x{}x{}), deadline per cell = {}",

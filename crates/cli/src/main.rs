@@ -38,6 +38,7 @@ macro_rules! say {
 }
 
 mod campaign;
+mod service;
 
 const USAGE: &str = "\
 trilock-cli — sequential logic locking toolkit (TriLock, DATE 2022)
@@ -65,8 +66,9 @@ COMMANDS:
                     [--initial-unroll N] [--max-unroll N] [--max-dips N]
                     [--verify-sequences N] [--verify-cycles N] [--seed N]
                     [--time-limit SECS] [--checkpoint FILE] [--resume FILE]
-                    [--checkpoint-every N]
+                    [--checkpoint-every N] [--progress] [--progress-every N]
                     [--engine fast|reference] [--from FMT] [--locked-from FMT]
+                    [--socket PATH]
         Run the SAT-based unrolling attack; ORIGINAL plays the oracle.
         --from pins the oracle's format, --locked-from the locked design's
         (each defaults to auto-detection). --engine reference runs the
@@ -78,19 +80,27 @@ COMMANDS:
         any interruption; --resume FILE continues from such a checkpoint
         without re-querying the oracle (budgets may be raised; the circuit
         pair and search configuration must match). A completed attack removes
-        its checkpoint file.
+        its checkpoint file. --progress streams one line per DIP (count,
+        depth, cumulative conflicts/propagations, live learnt clauses,
+        elapsed; cadence --progress-every, default 1). --socket PATH submits
+        the attack to a running daemon (see `serve`) instead of executing
+        in-process, streaming the same events over the socket.
 
     campaign <IN> <OUT.jsonl> [--kappa-s LIST] [--kappa-f LIST] [--seeds LIST]
                     [--alpha F] [--time-limit SECS] [--retries N]
                     [--initial-unroll N] [--max-unroll N] [--max-dips N]
-                    [--verify-sequences N] [--verify-cycles N] [--from FMT]
+                    [--verify-sequences N] [--verify-cycles N]
+                    [--checkpoint-every N] [--from FMT] [--socket PATH]
         Sweep lock-then-attack over every (kappa_s, kappa_f, seed) cell of the
         comma-separated lists (Table I's matrix). Each cell runs under its own
         --time-limit deadline, isolated against panics with --retries (default
         1) bounded retries. One JSON object per cell is appended to OUT.jsonl
         and fsynced as soon as the cell finishes; rerunning the same command
         skips cells already recorded, so a killed campaign resumes where it
-        stopped.
+        stopped. --socket PATH runs the cells as jobs on a running daemon
+        (see `serve`) instead of in-process: the matrix executes on the
+        daemon's worker pool, rows stream back in the same JSONL format, and
+        cells interrupted by a daemon kill resume from their checkpoints.
 
     fc <ORIGINAL> <LOCKED> --kappa N
                     [--cycles N] [--samples N] [--seed N] [--key FILE]
@@ -102,6 +112,35 @@ COMMANDS:
         With --key (a 0/1-per-line file as written by `lock --key-out`) the
         FC of that specific key over random inputs is estimated instead, and
         --kappa may be omitted.
+
+    serve --socket PATH --state-dir DIR [--workers N] [--queue N]
+        Run the attack daemon in the foreground: accept lock / sat-attack /
+        fc / campaign-cell jobs over the Unix socket (versioned line-
+        delimited JSON), execute them on N worker threads (default 4) with a
+        bounded queue (default 64; overflow is rejected as `queue-full`),
+        and stream typed events to watchers. Job state is journaled (fsynced)
+        to DIR and running attacks checkpoint there, so killing the daemon
+        and restarting it on the same DIR resumes unfinished jobs mid-attack
+        with identical results.
+
+    jobs --socket PATH [--job N]
+        List the daemon's jobs (or show one) as JSON status objects.
+
+    watch --socket PATH --job N
+        Stream a job's events (lifecycle replay first, then live) until it
+        reaches a terminal state.
+
+    cancel --socket PATH --job N
+        Cancel a job: queued jobs immediately, running attacks cooperatively
+        at the solver's next stop poll (a final checkpoint is written).
+
+    drain --socket PATH
+        Block until every accepted job is terminal.
+
+    stop --socket PATH
+        Shut the daemon down. Running attacks checkpoint out and are
+        re-journaled as queued, so the next `serve` on the same state dir
+        picks them up where they stopped.
 
     help
         Show this message.
@@ -143,7 +182,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "to",
             ],
         )?),
-        "sat-attack" => cmd_sat_attack(&Opts::parse(
+        "sat-attack" => cmd_sat_attack(&Opts::parse_with_switches(
             rest,
             2,
             &[
@@ -157,11 +196,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 "time-limit",
                 "checkpoint",
                 "checkpoint-every",
+                "progress-every",
                 "resume",
                 "engine",
                 "from",
                 "locked-from",
+                "socket",
             ],
+            &["progress"],
         )?),
         "campaign" => campaign::cmd_campaign(&Opts::parse(
             rest,
@@ -178,7 +220,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 "max-dips",
                 "verify-sequences",
                 "verify-cycles",
+                "checkpoint-every",
                 "from",
+                "socket",
             ],
         )?),
         "fc" => cmd_fc(&Opts::parse(
@@ -194,6 +238,16 @@ fn run(args: &[String]) -> Result<(), String> {
                 "locked-from",
             ],
         )?),
+        "serve" => service::cmd_serve(&Opts::parse(
+            rest,
+            0,
+            &["socket", "state-dir", "workers", "queue"],
+        )?),
+        "jobs" => service::cmd_jobs(&Opts::parse(rest, 0, &["socket", "job"])?),
+        "watch" => service::cmd_watch(&Opts::parse(rest, 0, &["socket", "job"])?),
+        "cancel" => service::cmd_cancel(&Opts::parse(rest, 0, &["socket", "job"])?),
+        "drain" => service::cmd_drain(&Opts::parse(rest, 0, &["socket"])?),
+        "stop" => service::cmd_stop(&Opts::parse(rest, 0, &["socket"])?),
         "help" | "--help" | "-h" => {
             say!("{USAGE}");
             Ok(())
@@ -220,16 +274,34 @@ impl Opts {
     /// beyond `max_positionals` — a misspelled option must fail loudly, not
     /// silently run with defaults.
     fn parse(args: &[String], max_positionals: usize, allowed: &[&str]) -> Result<Opts, String> {
+        Opts::parse_with_switches(args, max_positionals, allowed, &[])
+    }
+
+    /// [`Opts::parse`] with additional valueless boolean flags (`switches`),
+    /// present-or-absent like `--progress`.
+    fn parse_with_switches(
+        args: &[String],
+        max_positionals: usize,
+        allowed: &[&str],
+        switches: &[&str],
+    ) -> Result<Opts, String> {
         let mut positional = Vec::new();
         let mut flags = HashMap::new();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
+                if switches.contains(&name) {
+                    if flags.insert(name.to_string(), "true".into()).is_some() {
+                        return Err(format!("flag `--{name}` given twice"));
+                    }
+                    continue;
+                }
                 if !allowed.contains(&name) {
                     return Err(format!(
                         "unknown flag `--{name}` (expected one of: {})",
                         allowed
                             .iter()
+                            .chain(switches.iter())
                             .map(|f| format!("--{f}"))
                             .collect::<Vec<_>>()
                             .join(", ")
@@ -251,6 +323,11 @@ impl Opts {
             }
         }
         Ok(Opts { positional, flags })
+    }
+
+    /// `true` when the boolean switch was passed.
+    fn switch(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
     }
 
     fn positional(&self, index: usize, what: &str) -> Result<&str, String> {
@@ -521,6 +598,26 @@ fn cmd_sat_attack(opts: &Opts) -> Result<(), String> {
     let locked_path = opts.positional(1, "locked path")?;
     let kappa: usize = opts.required("kappa", "key cycle length known to the attacker")?;
     let seed = opts.value("seed", 1u64)?;
+
+    if opts.flags.contains_key("socket") {
+        for conflict in ["checkpoint", "resume", "engine", "from", "locked-from"] {
+            if opts.flags.contains_key(conflict) {
+                return Err(format!(
+                    "`--{conflict}` does not combine with `--socket` (the daemon manages \
+                     checkpoints and always runs the fast engine on auto-detected formats)"
+                ));
+            }
+        }
+        return service::remote_sat_attack(
+            opts,
+            original_path,
+            locked_path,
+            kappa,
+            seed,
+            opts.switch("progress"),
+        );
+    }
+
     let engine = opts.value("engine", "fast".to_string())?;
     let reference_engine = match engine.as_str() {
         "fast" => false,
@@ -552,7 +649,7 @@ fn cmd_sat_attack(opts: &Opts) -> Result<(), String> {
     }
 
     let defaults = SatAttackConfig::default();
-    let config = SatAttackConfig {
+    let mut config = SatAttackConfig {
         initial_unroll: opts.value("initial-unroll", defaults.initial_unroll)?,
         max_unroll: opts.value("max-unroll", defaults.max_unroll)?,
         max_dips: opts.value("max-dips", defaults.max_dips)?,
@@ -563,6 +660,21 @@ fn cmd_sat_attack(opts: &Opts) -> Result<(), String> {
         checkpoint_every: opts.value("checkpoint-every", defaults.checkpoint_every)?,
         ..defaults
     };
+    if opts.switch("progress") {
+        config.progress_every = opts.value("progress-every", 1u64)?;
+        config.progress = Some(std::sync::Arc::new(|p: &attacks::AttackProgress| {
+            say!(
+                "progress: dips={} depth={} elapsed={:.3}s conflicts={} propagations={} learnt={}{}",
+                p.dips,
+                p.depth,
+                p.elapsed.as_secs_f64(),
+                p.stats.conflicts,
+                p.stats.propagations,
+                p.stats.learned,
+                if p.checkpointed { " [checkpointed]" } else { "" }
+            );
+        }));
+    }
 
     let original = read(original_path, opts.format("from")?)?;
     let locked = read(locked_path, opts.format("locked-from")?)?;

@@ -1,0 +1,174 @@
+//! The daemon-facing subcommands of `trilock-cli`.
+//!
+//! `serve` runs the attack daemon in the foreground; `jobs`, `watch`,
+//! `cancel`, `drain` and `stop` are thin clients over the daemon's
+//! line-delimited JSON protocol. The `sat-attack --socket` and
+//! `campaign --socket` paths in the sibling modules also route through the
+//! [`trilock_serve::Client`] helpers here.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use trilock_serve::{AttackParams, Client, ClientError, DaemonConfig, JobSpec, Json};
+
+use crate::Opts;
+
+/// Turns a client error into the CLI's `Result<_, String>` convention.
+fn fail(e: ClientError) -> String {
+    e.to_string()
+}
+
+/// Connects to `--socket`, waiting briefly for a daemon that is still
+/// starting up.
+pub fn connect(opts: &Opts) -> Result<Client, String> {
+    let socket = opts
+        .flags
+        .get("socket")
+        .ok_or("`--socket PATH` is required (the daemon's Unix socket)")?;
+    Client::connect_retry(socket, Duration::from_secs(5))
+        .map_err(|e| format!("cannot connect to daemon at `{socket}`: {e}"))
+}
+
+/// Absolute form of an input path, so jobs resolve identically regardless of
+/// the daemon's working directory.
+pub fn absolute_existing(path: &str) -> Result<PathBuf, String> {
+    std::fs::canonicalize(path).map_err(|e| format!("cannot resolve `{path}`: {e}"))
+}
+
+/// Builds the attack-budget parameters shared by `sat-attack --socket` and
+/// `campaign --socket` from the command's flags.
+pub fn attack_params(opts: &Opts) -> Result<AttackParams, String> {
+    let defaults = AttackParams::default();
+    let time_limit = opts.value("time-limit", 0.0f64)?;
+    if !time_limit.is_finite() || time_limit < 0.0 {
+        return Err(format!(
+            "invalid `--time-limit {time_limit}`: must be a finite number of seconds >= 0"
+        ));
+    }
+    Ok(AttackParams {
+        initial_unroll: opts.value("initial-unroll", defaults.initial_unroll)?,
+        max_unroll: opts.value("max-unroll", defaults.max_unroll)?,
+        max_dips: opts.value("max-dips", defaults.max_dips)?,
+        verify_sequences: opts.value("verify-sequences", defaults.verify_sequences)?,
+        verify_cycles: opts.value("verify-cycles", defaults.verify_cycles)?,
+        time_limit_secs: (time_limit > 0.0).then_some(time_limit),
+        checkpoint_every: opts.value("checkpoint-every", defaults.checkpoint_every)?,
+        progress_every: opts.value("progress-every", defaults.progress_every)?,
+    })
+}
+
+/// `trilock-cli serve` — run the daemon in the foreground until `stop`.
+pub fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let socket = opts
+        .flags
+        .get("socket")
+        .ok_or("`--socket PATH` is required (where to listen)")?;
+    let state_dir = opts
+        .flags
+        .get("state-dir")
+        .ok_or("`--state-dir DIR` is required (journal + checkpoint directory)")?;
+    let mut config = DaemonConfig::new(socket, state_dir);
+    config.workers = opts.value("workers", config.workers)?;
+    config.queue_capacity = opts.value("queue", config.queue_capacity)?;
+    if config.workers == 0 {
+        return Err("`--workers` must be at least 1".into());
+    }
+    trilock_serve::run(&config).map_err(|e| format!("daemon failed: {e}"))
+}
+
+/// `trilock-cli jobs` — list every job, or show one with `--job N`.
+pub fn cmd_jobs(opts: &Opts) -> Result<(), String> {
+    let mut client = connect(opts)?;
+    match opts.flags.get("job") {
+        Some(raw) => {
+            let job: u64 = raw
+                .parse()
+                .map_err(|e| format!("invalid `--job {raw}`: {e}"))?;
+            let status = client.status_job(job).map_err(fail)?;
+            say!("{status}");
+        }
+        None => {
+            for status in client.status().map_err(fail)? {
+                say!("{status}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `trilock-cli watch --job N` — stream a job's events until it finishes.
+pub fn cmd_watch(opts: &Opts) -> Result<(), String> {
+    let job: u64 = opts.required("job", "the job id to watch")?;
+    let mut client = connect(opts)?;
+    client.watch(job, |event| say!("{event}")).map_err(fail)?;
+    Ok(())
+}
+
+/// `trilock-cli cancel --job N` — cancel a queued or running job.
+pub fn cmd_cancel(opts: &Opts) -> Result<(), String> {
+    let job: u64 = opts.required("job", "the job id to cancel")?;
+    let mut client = connect(opts)?;
+    let state = client.cancel(job).map_err(fail)?;
+    say!("job {job}: {state}");
+    Ok(())
+}
+
+/// `trilock-cli drain` — block until every accepted job is terminal.
+pub fn cmd_drain(opts: &Opts) -> Result<(), String> {
+    let mut client = connect(opts)?;
+    if client.drain().map_err(fail)? {
+        say!("drained: all jobs terminal");
+        Ok(())
+    } else {
+        Err("daemon began shutting down before the queue drained".into())
+    }
+}
+
+/// `trilock-cli stop` — ask the daemon to shut down (running jobs
+/// checkpoint and re-queue for the next instance).
+pub fn cmd_stop(opts: &Opts) -> Result<(), String> {
+    let mut client = connect(opts)?;
+    client.shutdown().map_err(fail)?;
+    say!("shutdown requested");
+    Ok(())
+}
+
+/// `sat-attack --socket`: submit the attack as a daemon job and stream its
+/// events until it finishes. Returns the terminal event.
+pub fn remote_sat_attack(
+    opts: &Opts,
+    original: &str,
+    locked: &str,
+    kappa: usize,
+    seed: u64,
+    show_progress: bool,
+) -> Result<(), String> {
+    let spec = JobSpec::SatAttack {
+        original: absolute_existing(original)?,
+        locked: absolute_existing(locked)?,
+        kappa,
+        seed,
+        attack: attack_params(opts)?,
+    };
+    let mut client = connect(opts)?;
+    let job = client.submit(&spec).map_err(fail)?;
+    say!("submitted job {job} (sat-attack, kappa = {kappa}, seed = {seed})");
+    let done = client
+        .watch(job, |event| {
+            let kind = event.get("event").and_then(Json::as_str).unwrap_or("");
+            if kind != "progress" || show_progress {
+                say!("{event}");
+            }
+        })
+        .map_err(fail)?;
+    match done.get("event").and_then(Json::as_str) {
+        Some("done") => Ok(()),
+        Some("cancelled") => Err(format!("job {job} was cancelled")),
+        _ => Err(format!(
+            "job {job} failed: {}",
+            done.get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+        )),
+    }
+}

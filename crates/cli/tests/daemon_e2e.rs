@@ -1,0 +1,307 @@
+//! End-to-end crash-safety tests for the attack daemon, driving the built
+//! `trilock-cli` binary as real subprocesses: one for `serve`, one per client
+//! command. The kill test arms `TRILOCK_KILL_POINT` inside the daemon so it
+//! dies with SIGKILL semantics (exit 137) mid-matrix, then proves that a
+//! fresh daemon on the same state directory resumes the queue from journal +
+//! checkpoints and finishes every cell with exactly the keys of an
+//! uninterrupted standalone run.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(name)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("trilock_daemon_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_trilock-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn cli_ok(args: &[&str]) -> String {
+    let output = cli(args);
+    assert!(
+        output.status.success(),
+        "`trilock-cli {}` failed:\nstdout: {}\nstderr: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// Starts `trilock-cli serve` as a subprocess, optionally with a kill point
+/// armed inside it.
+fn spawn_daemon(socket: &Path, state_dir: &Path, kill_point: Option<&str>) -> Child {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_trilock-cli"));
+    command
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--state-dir",
+            state_dir.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--queue",
+            "16",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if let Some(point) = kill_point {
+        command.env("TRILOCK_KILL_POINT", point);
+    }
+    command.spawn().expect("daemon spawns")
+}
+
+/// Reads a campaign JSONL results file into cell id → (status, key) without
+/// a JSON parser — the rows are single-line objects with known member names.
+fn rows(path: &Path) -> BTreeMap<String, (String, String)> {
+    let mut out = BTreeMap::new();
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    for line in text.lines() {
+        let member = |name: &str| -> String {
+            let tag = format!("\"{name}\":\"");
+            let Some(start) = line.find(&tag).map(|i| i + tag.len()) else {
+                return String::new();
+            };
+            line[start..].split('"').next().unwrap_or("").to_string()
+        };
+        let previous = out.insert(member("cell"), (member("status"), member("key")));
+        assert!(
+            previous.is_none(),
+            "duplicate row in {}: {line}",
+            path.display()
+        );
+    }
+    out
+}
+
+const MATRIX: &[&str] = &[
+    "--kappa-s",
+    "1,2",
+    "--kappa-f",
+    "1",
+    "--seeds",
+    "1,2",
+    "--max-unroll",
+    "4",
+];
+
+/// The acceptance scenario: SIGKILL the daemon mid-matrix, restart it on the
+/// same state directory, and require byte-identical per-cell keys to an
+/// uninterrupted standalone campaign.
+#[test]
+fn daemon_campaign_survives_sigkill_with_identical_keys() {
+    let dir = tmp_dir("kill");
+    let original = fixture("s27.bench");
+    let original = original.to_str().unwrap();
+
+    // Ground truth: the same matrix, standalone (no daemon involved).
+    let baseline_path = dir.join("baseline.jsonl");
+    cli_ok(
+        &[
+            &["campaign", original, baseline_path.to_str().unwrap()],
+            MATRIX,
+        ]
+        .concat(),
+    );
+    let baseline = rows(&baseline_path);
+    assert_eq!(baseline.len(), 4, "baseline rows: {baseline:?}");
+    for (cell, (status, key)) in &baseline {
+        assert_eq!(status, "key-found", "baseline cell {cell}");
+        assert!(!key.is_empty(), "baseline cell {cell} has no key");
+    }
+
+    // Run the matrix through a daemon armed to die at the 6th DIP overall —
+    // mid-matrix, with checkpoints on disk (cadence 1) and the journal
+    // holding a mix of queued/running/terminal jobs.
+    let socket = dir.join("daemon.sock");
+    let state_dir = dir.join("state");
+    let results_path = dir.join("daemon.jsonl");
+    let results = results_path.to_str().unwrap();
+    let mut daemon = spawn_daemon(&socket, &state_dir, Some("dip-loop:6"));
+
+    let campaign_args: Vec<&str> = [
+        &["campaign", original, results][..],
+        MATRIX,
+        &[
+            "--checkpoint-every",
+            "1",
+            "--socket",
+            socket.to_str().unwrap(),
+        ],
+    ]
+    .concat();
+    let output = cli(&campaign_args);
+    assert!(
+        !output.status.success(),
+        "campaign should fail when its daemon is killed:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let status = daemon.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(137), "daemon died at the kill point");
+
+    // The crash left durable state behind: a journal, and at least one
+    // mid-attack checkpoint (the kill fired after ≥ 5 completed DIPs at
+    // checkpoint cadence 1).
+    assert!(state_dir.join("journal.jsonl").is_file(), "journal exists");
+    let checkpoints = std::fs::read_dir(&state_dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy().into_owned();
+            name.starts_with("job-") && name.ends_with(".ckpt")
+        })
+        .count();
+    assert!(checkpoints >= 1, "no checkpoint survived the kill");
+
+    // Restart on the same state directory — the journal re-queues every
+    // non-terminal job and interrupted attacks resume from their
+    // checkpoints — and rerun the identical campaign command. Recovered
+    // daemon jobs are reused, already-recorded rows are skipped.
+    let mut daemon = spawn_daemon(&socket, &state_dir, None);
+    cli_ok(&campaign_args);
+    cli_ok(&["stop", "--socket", socket.to_str().unwrap()]);
+    let status = daemon.wait().expect("daemon exits");
+    assert!(status.success(), "clean shutdown after `stop`");
+
+    let resumed = rows(&results_path);
+    assert_eq!(
+        resumed.keys().collect::<Vec<_>>(),
+        baseline.keys().collect::<Vec<_>>(),
+        "every cell recorded exactly once"
+    );
+    for (cell, (status, key)) in &baseline {
+        let (resumed_status, resumed_key) = &resumed[cell];
+        assert_eq!(resumed_status, status, "cell {cell} status diverged");
+        assert_eq!(resumed_key, key, "cell {cell} key diverged after resume");
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Without any crash, `campaign --socket` produces exactly the standalone
+/// campaign's rows, and a rerun of the same command is a pure no-op (cells
+/// skipped via the results file, no daemon jobs resubmitted).
+#[test]
+fn daemon_campaign_matches_standalone_rows() {
+    let dir = tmp_dir("parity");
+    let original = fixture("s27.bench");
+    let original = original.to_str().unwrap();
+
+    let baseline_path = dir.join("baseline.jsonl");
+    cli_ok(
+        &[
+            &["campaign", original, baseline_path.to_str().unwrap()],
+            MATRIX,
+        ]
+        .concat(),
+    );
+
+    let socket = dir.join("daemon.sock");
+    let results_path = dir.join("daemon.jsonl");
+    let mut daemon = spawn_daemon(&socket, &dir.join("state"), None);
+    let campaign_args: Vec<&str> = [
+        &["campaign", original, results_path.to_str().unwrap()][..],
+        MATRIX,
+        &["--socket", socket.to_str().unwrap()],
+    ]
+    .concat();
+    cli_ok(&campaign_args);
+
+    let rerun = cli_ok(&campaign_args);
+    assert!(rerun.contains("skipped 4 cell(s)"), "{rerun}");
+    assert!(rerun.contains("0 cell(s) run"), "{rerun}");
+
+    cli_ok(&["stop", "--socket", socket.to_str().unwrap()]);
+    assert!(daemon.wait().expect("daemon exits").success());
+
+    let baseline = rows(&baseline_path);
+    let via_daemon = rows(&results_path);
+    assert_eq!(baseline, via_daemon, "daemon rows diverge from standalone");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `sat-attack --socket` round-trips through the daemon and reports the same
+/// key as the standalone engine; `jobs` shows the terminal job afterwards.
+#[test]
+fn remote_sat_attack_matches_standalone() {
+    let dir = tmp_dir("remote_attack");
+    let original = fixture("s27.bench");
+    let original = original.to_str().unwrap();
+    let locked = dir.join("s27_locked.bench");
+    let locked = locked.to_str().unwrap();
+
+    cli_ok(&[
+        "lock",
+        original,
+        locked,
+        "--kappa-s",
+        "1",
+        "--kappa-f",
+        "1",
+        "--seed",
+        "7",
+    ]);
+    let standalone = cli_ok(&[
+        "sat-attack",
+        original,
+        locked,
+        "--kappa",
+        "2",
+        "--max-unroll",
+        "4",
+        "--seed",
+        "9",
+    ]);
+    let standalone_key = standalone
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("status = key found: "))
+        .expect("standalone key line")
+        .trim()
+        .to_string();
+
+    let socket = dir.join("daemon.sock");
+    let mut daemon = spawn_daemon(&socket, &dir.join("state"), None);
+    let remote = cli_ok(&[
+        "sat-attack",
+        original,
+        locked,
+        "--kappa",
+        "2",
+        "--max-unroll",
+        "4",
+        "--seed",
+        "9",
+        "--progress",
+        "--socket",
+        socket.to_str().unwrap(),
+    ]);
+    assert!(
+        remote.contains(&format!("\"key\":\"{standalone_key}\"")),
+        "remote terminal event lacks the standalone key `{standalone_key}`:\n{remote}"
+    );
+    assert!(remote.contains("\"event\":\"progress\""), "{remote}");
+
+    let jobs = cli_ok(&["jobs", "--socket", socket.to_str().unwrap()]);
+    assert!(jobs.contains("\"state\":\"done\""), "{jobs}");
+
+    cli_ok(&["stop", "--socket", socket.to_str().unwrap()]);
+    assert!(daemon.wait().expect("daemon exits").success());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,360 @@
+//! A home-grown bounded job queue plus scoped worker pool.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! minimal concurrency substrate the attack daemon needs from the standard
+//! library alone:
+//!
+//! * [`JobQueue`] — a bounded multi-producer/multi-consumer FIFO built on
+//!   `Mutex` + `Condvar`, with explicit backpressure ([`JobQueue::try_push`]
+//!   returns [`PushError::Full`] instead of blocking) and close semantics
+//!   (consumers drain the remaining jobs, then observe `None`).
+//! * [`spawn_workers`] — spawns `N` worker threads inside a caller-provided
+//!   [`std::thread::scope`], each looping `pop → work` until the queue is
+//!   closed and empty. Scoped threads mean workers may borrow from the
+//!   caller's stack (the daemon's registry, netlists, sockets) with no
+//!   `'static` bound and are joined before the scope exits — a panic or
+//!   early return can never leak a running worker.
+//!
+//! # Example
+//!
+//! ```
+//! use threadpool::{spawn_workers, JobQueue};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let total = AtomicU64::new(0);
+//! let queue: JobQueue<u64> = JobQueue::new(4);
+//! let worker = |_index: usize, job: u64| {
+//!     total.fetch_add(job, Ordering::Relaxed);
+//! };
+//! std::thread::scope(|scope| {
+//!     spawn_workers(scope, &queue, 2, &worker);
+//!     for job in 1..=10 {
+//!         queue.push(job).unwrap();
+//!     }
+//!     queue.close(); // workers drain the queue, then exit and are joined
+//! });
+//! assert_eq!(total.load(Ordering::Relaxed), 55);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+use std::thread::Scope;
+
+/// Why a non-blocking push was refused. The job is handed back so the caller
+/// can report or retry it.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<J> {
+    /// The queue is at capacity — explicit backpressure, the caller decides
+    /// whether to wait, drop, or reject upstream.
+    Full(J),
+    /// The queue was closed; no further jobs are accepted.
+    Closed(J),
+}
+
+impl<J> PushError<J> {
+    /// Recovers the rejected job.
+    pub fn into_job(self) -> J {
+        match self {
+            PushError::Full(job) | PushError::Closed(job) => job,
+        }
+    }
+}
+
+impl<J> fmt::Display for PushError<J> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Full(_) => write!(f, "job queue is full"),
+            PushError::Closed(_) => write!(f, "job queue is closed"),
+        }
+    }
+}
+
+struct QueueState<J> {
+    items: VecDeque<J>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer FIFO job queue.
+///
+/// Producers use [`JobQueue::try_push`] (non-blocking, typed rejection) or
+/// [`JobQueue::push`] (blocks while full). Consumers use [`JobQueue::pop`],
+/// which blocks until a job arrives or the queue is closed *and* drained.
+pub struct JobQueue<J> {
+    state: Mutex<QueueState<J>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<J> fmt::Debug for JobQueue<J> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<J> JobQueue<J> {
+    /// Creates a queue holding at most `capacity` jobs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum number of queued jobs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// `true` when no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` once [`JobQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+
+    /// Enqueues without blocking. At capacity the job comes back as
+    /// [`PushError::Full`]; after [`JobQueue::close`] as
+    /// [`PushError::Closed`].
+    pub fn try_push(&self, job: J) -> Result<(), PushError<J>> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(PushError::Closed(job));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(job));
+        }
+        state.items.push_back(job);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues, blocking while the queue is at capacity. Returns the job as
+    /// `Err` if the queue is (or becomes) closed while waiting.
+    pub fn push(&self, job: J) -> Result<(), J> {
+        let mut state = self.state.lock().expect("queue lock");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+        if state.closed {
+            return Err(job);
+        }
+        state.items.push_back(job);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest job, blocking until one arrives. Returns `None`
+    /// once the queue is closed and every remaining job has been drained.
+    pub fn pop(&self) -> Option<J> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: producers are rejected from now on, consumers drain
+    /// the remaining jobs and then observe `None`. Idempotent.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Removes every job for which `keep` returns `false`, returning the
+    /// removed jobs in FIFO order. Used to cancel queued work without letting
+    /// a worker pick it up first.
+    pub fn retain(&self, mut keep: impl FnMut(&J) -> bool) -> Vec<J> {
+        let mut state = self.state.lock().expect("queue lock");
+        let mut removed = Vec::new();
+        let mut kept = VecDeque::with_capacity(state.items.len());
+        for job in state.items.drain(..) {
+            if keep(&job) {
+                kept.push_back(job);
+            } else {
+                removed.push(job);
+            }
+        }
+        state.items = kept;
+        drop(state);
+        if !removed.is_empty() {
+            self.not_full.notify_all();
+        }
+        removed
+    }
+}
+
+/// Spawns `count` worker threads inside `scope`, each looping
+/// `queue.pop() → worker(index, job)` until the queue closes and drains.
+/// The worker callback is shared by reference across all threads, so it may
+/// borrow arbitrarily from the caller's stack; panics in one worker abort
+/// that thread only (and surface when the scope joins it).
+pub fn spawn_workers<'scope, J, W>(
+    scope: &'scope Scope<'scope, '_>,
+    queue: &'scope JobQueue<J>,
+    count: usize,
+    worker: &'scope W,
+) where
+    J: Send,
+    W: Fn(usize, J) + Sync,
+{
+    for index in 0..count {
+        scope.spawn(move || {
+            while let Some(job) = queue.pop() {
+                worker(index, job);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_with_a_single_worker() {
+        let queue: JobQueue<usize> = JobQueue::new(8);
+        let seen = Mutex::new(Vec::new());
+        let worker = |_i: usize, job: usize| seen.lock().unwrap().push(job);
+        std::thread::scope(|s| {
+            spawn_workers(s, &queue, 1, &worker);
+            for job in 0..8 {
+                queue.push(job).unwrap();
+            }
+            queue.close();
+        });
+        assert_eq!(*seen.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_push_reports_full_and_closed() {
+        let queue: JobQueue<u32> = JobQueue::new(2);
+        queue.try_push(1).unwrap();
+        queue.try_push(2).unwrap();
+        assert_eq!(queue.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(queue.len(), 2);
+        queue.close();
+        assert_eq!(queue.try_push(4), Err(PushError::Closed(4)));
+        assert_eq!(PushError::Full(7u32).into_job(), 7);
+    }
+
+    #[test]
+    fn close_drains_remaining_jobs_before_workers_exit() {
+        let queue: JobQueue<usize> = JobQueue::new(64);
+        for job in 0..50 {
+            queue.push(job).unwrap();
+        }
+        let done = AtomicUsize::new(0);
+        let worker = |_i: usize, _job: usize| {
+            done.fetch_add(1, Ordering::Relaxed);
+        };
+        std::thread::scope(|s| {
+            spawn_workers(s, &queue, 4, &worker);
+            queue.close();
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 50);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_work() {
+        let queue: JobQueue<u64> = JobQueue::new(4);
+        let total = AtomicUsize::new(0);
+        let worker = |_i: usize, job: u64| {
+            total.fetch_add(job as usize, Ordering::Relaxed);
+        };
+        std::thread::scope(|s| {
+            spawn_workers(s, &queue, 3, &worker);
+            let producers: Vec<_> = (0..3)
+                .map(|p| {
+                    let queue = &queue;
+                    s.spawn(move || {
+                        for job in 0..100u64 {
+                            queue.push(job + p * 1000).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for producer in producers {
+                producer.join().unwrap();
+            }
+            queue.close();
+        });
+        let expected: usize = (0..3)
+            .flat_map(|p| (0..100u64).map(move |j| (j + p * 1000) as usize))
+            .sum();
+        assert_eq!(total.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn pop_blocks_until_a_job_arrives() {
+        let queue: JobQueue<u32> = JobQueue::new(1);
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| queue.pop());
+            std::thread::sleep(Duration::from_millis(20));
+            queue.push(42).unwrap();
+            assert_eq!(handle.join().unwrap(), Some(42));
+            queue.close();
+        });
+    }
+
+    #[test]
+    fn blocking_push_observes_close() {
+        let queue: JobQueue<u32> = JobQueue::new(1);
+        queue.push(1).unwrap();
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| queue.push(2));
+            std::thread::sleep(Duration::from_millis(20));
+            queue.close();
+            assert_eq!(handle.join().unwrap(), Err(2));
+        });
+    }
+
+    #[test]
+    fn retain_removes_and_returns_matching_jobs() {
+        let queue: JobQueue<u32> = JobQueue::new(8);
+        for job in 0..6 {
+            queue.push(job).unwrap();
+        }
+        let removed = queue.retain(|&job| job % 2 == 0);
+        assert_eq!(removed, vec![1, 3, 5]);
+        assert_eq!(queue.len(), 3);
+        queue.close();
+        assert_eq!(queue.pop(), Some(0));
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), Some(4));
+        assert_eq!(queue.pop(), None);
+    }
+}

@@ -1,0 +1,330 @@
+//! Thin synchronous client for the daemon protocol.
+//!
+//! One [`Client`] wraps one connection. Commands are blocking
+//! request/reply; [`Client::watch`] additionally streams events until the
+//! job reaches a terminal state. Because the daemon replays a job's
+//! lifecycle events to late subscribers, watching jobs one after another
+//! loses nothing — the campaign thin client submits a whole matrix and then
+//! watches each cell in turn.
+
+use std::fmt;
+use std::io::{self, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::job::JobSpec;
+use crate::json::Json;
+use crate::protocol::{read_line_capped, LineRead, LineReader, PROTOCOL_VERSION};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (daemon gone, connection reset, ...).
+    Io(io::Error),
+    /// The daemon sent something the client cannot interpret.
+    Protocol(String),
+    /// The daemon answered with a typed error line.
+    Server {
+        /// The stable error code (`queue-full`, `unknown-job`, ...).
+        code: String,
+        /// The human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server { code, message } => write!(f, "daemon error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a running daemon.
+pub struct Client {
+    writer: UnixStream,
+    reader: LineReader<BufReader<UnixStream>>,
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+/// Event names that end a job's stream.
+fn is_terminal_event(name: &str) -> bool {
+    matches!(name, "done" | "failed" | "cancelled")
+}
+
+impl Client {
+    /// Connects to the daemon at `socket`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the socket does not exist or refuses the connection.
+    pub fn connect(socket: impl AsRef<Path>) -> io::Result<Client> {
+        let stream = UnixStream::connect(socket)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            writer: stream,
+            reader: LineReader::new(BufReader::new(read_half)),
+        })
+    }
+
+    /// Connects, retrying until `timeout` elapses — for clients racing a
+    /// daemon that is still binding its socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connect error once the deadline passes.
+    pub fn connect_retry(socket: impl AsRef<Path>, timeout: Duration) -> io::Result<Client> {
+        let socket = socket.as_ref();
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(socket) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, line: &Json) -> Result<(), ClientError> {
+        writeln!(self.writer, "{line}")?;
+        Ok(())
+    }
+
+    /// Reads the next server line of any type.
+    fn read_json(&mut self) -> Result<Json, ClientError> {
+        loop {
+            match self.reader.read_line()? {
+                LineRead::Eof => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "daemon closed the connection",
+                    )))
+                }
+                LineRead::Line(line) if line.trim().is_empty() => continue,
+                LineRead::Line(line) => {
+                    return Json::parse(&line)
+                        .map_err(|e| ClientError::Protocol(format!("bad server line: {e}")))
+                }
+                LineRead::Oversized => {
+                    return Err(ClientError::Protocol("oversized server line".into()))
+                }
+                LineRead::NotUtf8 => {
+                    return Err(ClientError::Protocol("non-UTF-8 server line".into()))
+                }
+            }
+        }
+    }
+
+    /// Reads until a `reply` arrives, skipping interleaved events; a typed
+    /// `error` line becomes [`ClientError::Server`].
+    fn read_reply(&mut self) -> Result<Json, ClientError> {
+        loop {
+            let line = self.read_json()?;
+            match line.get("type").and_then(Json::as_str) {
+                Some("reply") => return Ok(line),
+                Some("error") => {
+                    return Err(ClientError::Server {
+                        code: line
+                            .get("code")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown")
+                            .to_string(),
+                        message: line
+                            .get("message")
+                            .and_then(Json::as_str)
+                            .unwrap_or_default()
+                            .to_string(),
+                    })
+                }
+                Some("event") => continue,
+                _ => {
+                    return Err(ClientError::Protocol(format!(
+                        "untyped server line: {line}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn request(&mut self, line: &Json) -> Result<Json, ClientError> {
+        self.send(line)?;
+        self.read_reply()
+    }
+
+    /// Submits a job; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// `queue-full` and `shutting-down` surface as [`ClientError::Server`].
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, ClientError> {
+        let reply = self.request(&Json::obj([
+            ("v", PROTOCOL_VERSION.into()),
+            ("cmd", "submit".into()),
+            ("spec", spec.to_json()),
+        ]))?;
+        reply
+            .get("job")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("submit reply without job id".into()))
+    }
+
+    /// Fetches the status objects of every job the daemon knows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol failures.
+    pub fn status(&mut self) -> Result<Vec<Json>, ClientError> {
+        let reply = self.request(&Json::obj([
+            ("v", PROTOCOL_VERSION.into()),
+            ("cmd", "status".into()),
+        ]))?;
+        Ok(reply
+            .get("jobs")
+            .and_then(Json::as_array)
+            .unwrap_or_default()
+            .to_vec())
+    }
+
+    /// Fetches one job's status object.
+    ///
+    /// # Errors
+    ///
+    /// `unknown-job` surfaces as [`ClientError::Server`].
+    pub fn status_job(&mut self, job: u64) -> Result<Json, ClientError> {
+        let reply = self.request(&Json::obj([
+            ("v", PROTOCOL_VERSION.into()),
+            ("cmd", "status".into()),
+            ("job", job.into()),
+        ]))?;
+        reply
+            .get("status")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("status reply without status".into()))
+    }
+
+    /// Requests cancellation; returns the job's state after the request
+    /// (`cancelled` immediately for queued jobs, `running` while a running
+    /// attack winds down to its stop callback).
+    ///
+    /// # Errors
+    ///
+    /// `unknown-job` surfaces as [`ClientError::Server`].
+    pub fn cancel(&mut self, job: u64) -> Result<String, ClientError> {
+        let reply = self.request(&Json::obj([
+            ("v", PROTOCOL_VERSION.into()),
+            ("cmd", "cancel".into()),
+            ("job", job.into()),
+        ]))?;
+        Ok(reply
+            .get("state")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string())
+    }
+
+    /// Blocks until every job the daemon has accepted is terminal. `false`
+    /// means the daemon started shutting down before the queue emptied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol failures.
+    pub fn drain(&mut self) -> Result<bool, ClientError> {
+        let reply = self.request(&Json::obj([
+            ("v", PROTOCOL_VERSION.into()),
+            ("cmd", "drain".into()),
+        ]))?;
+        Ok(reply.get("drained").and_then(Json::as_bool) == Some(true))
+    }
+
+    /// Asks the daemon to shut down (running jobs checkpoint and re-queue
+    /// for the next instance).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol failures.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&Json::obj([
+            ("v", PROTOCOL_VERSION.into()),
+            ("cmd", "shutdown".into()),
+        ]))?;
+        Ok(())
+    }
+
+    /// Subscribes to a job and streams its events to `on_event` (replayed
+    /// lifecycle first, then live) until a terminal event arrives, which is
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// `unknown-job` surfaces as [`ClientError::Server`]; a daemon that dies
+    /// mid-stream surfaces as [`ClientError::Io`].
+    pub fn watch(
+        &mut self,
+        job: u64,
+        mut on_event: impl FnMut(&Json),
+    ) -> Result<Json, ClientError> {
+        self.send(&Json::obj([
+            ("v", PROTOCOL_VERSION.into()),
+            ("cmd", "watch".into()),
+            ("job", job.into()),
+        ]))?;
+        self.read_reply()?;
+        loop {
+            let line = self.read_json()?;
+            if line.get("type").and_then(Json::as_str) != Some("event")
+                || line.get("job").and_then(Json::as_u64) != Some(job)
+            {
+                continue;
+            }
+            on_event(&line);
+            if let Some(name) = line.get("event").and_then(Json::as_str) {
+                if is_terminal_event(name) {
+                    return Ok(line);
+                }
+            }
+        }
+    }
+
+    /// [`Client::watch`] without an observer: block until the job is
+    /// terminal and return its final event.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::watch`].
+    pub fn wait(&mut self, job: u64) -> Result<Json, ClientError> {
+        self.watch(job, |_| {})
+    }
+}
+
+/// Reads one server line from any buffered stream — helper for tests that
+/// speak the protocol by hand.
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn read_server_line<R: io::BufRead>(reader: &mut R) -> io::Result<Option<String>> {
+    match read_line_capped(reader)? {
+        LineRead::Line(line) => Ok(Some(line)),
+        _ => Ok(None),
+    }
+}

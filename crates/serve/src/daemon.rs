@@ -1,0 +1,959 @@
+//! The attack daemon: accept loop, job registry, journal and worker pool.
+//!
+//! One [`run`] call owns everything: it binds the Unix socket, recovers the
+//! job journal, re-enqueues unfinished jobs, spawns a scoped worker pool
+//! ([`threadpool::spawn_workers`]) and serves connections until a `shutdown`
+//! request. Durability is two-layered:
+//!
+//! * every job **state transition** is appended (fsynced) to
+//!   `state_dir/journal.jsonl`, so a killed daemon knows on restart which
+//!   jobs were queued, running, or already terminal;
+//! * every running attack checkpoints to `state_dir/job-<id>.ckpt` via the
+//!   attack layer's atomic checkpoint writer, so a recovered job *resumes*
+//!   mid-attack (replaying its DIPs as constraints) instead of restarting.
+//!
+//! Cancellation and shutdown both ride the attack's cooperative stop
+//! callback: the solver returns at its next budget poll, the attack writes a
+//! final checkpoint, and the worker classifies the interruption (client
+//! cancel → `cancelled`, daemon shutdown → journaled back to `queued` so the
+//! next daemon instance picks the job up where it stopped).
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use attacks::{AttackError, AttackProgress, AttackStatus, SatAttack, SatAttackOutcome};
+use netlist::Netlist;
+use threadpool::{spawn_workers, JobQueue, PushError};
+use trilock::TriLockConfig;
+
+use crate::job::{JobSpec, JobState};
+use crate::json::Json;
+use crate::protocol::{
+    event_line, parse_request, reply_line, LineRead, LineReader, Request, RequestError,
+};
+
+/// How a daemon instance is wired to the filesystem and sized.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Path of the Unix-domain socket to listen on (an existing stale socket
+    /// file is removed first).
+    pub socket: PathBuf,
+    /// Directory holding the job journal and per-job attack checkpoints.
+    /// Restarting a daemon on the same directory resumes its queue.
+    pub state_dir: PathBuf,
+    /// Worker threads executing jobs (minimum 1).
+    pub workers: usize,
+    /// Bounded queue depth; submits beyond it are rejected with the
+    /// `queue-full` error instead of buffering without limit.
+    pub queue_capacity: usize,
+}
+
+impl DaemonConfig {
+    /// A daemon on `socket` persisting to `state_dir`, with 4 workers and a
+    /// queue of 64.
+    pub fn new(socket: impl Into<PathBuf>, state_dir: impl Into<PathBuf>) -> Self {
+        DaemonConfig {
+            socket: socket.into(),
+            state_dir: state_dir.into(),
+            workers: 4,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Wire name of an attack status (shared with the campaign JSONL rows).
+pub fn attack_status_name(status: &AttackStatus) -> &'static str {
+    match status {
+        AttackStatus::KeyFound(_) => "key-found",
+        AttackStatus::DipBudgetExhausted => "dip-budget-exhausted",
+        AttackStatus::UnrollBudgetExhausted => "unroll-budget-exhausted",
+        AttackStatus::TimedOut => "timed-out",
+    }
+}
+
+/// Renders an attack outcome as the protocol's result object — the same
+/// field names the campaign JSONL rows use (`status`, `key`, `dips`,
+/// `unroll_depth`, `elapsed_ms`, `seconds_per_dip`, `conflicts`,
+/// `propagations`, `learnt_live`).
+pub fn outcome_json(outcome: &SatAttackOutcome) -> Json {
+    let stats = &outcome.solver_stats;
+    let mut out = Json::obj([
+        ("status", attack_status_name(&outcome.status).into()),
+        ("dips", outcome.dips.into()),
+        ("unroll_depth", outcome.unroll_depth.into()),
+        ("elapsed_ms", (outcome.elapsed.as_millis() as u64).into()),
+        ("seconds_per_dip", outcome.seconds_per_dip().into()),
+        ("conflicts", stats.conflicts.into()),
+        ("propagations", stats.propagations.into()),
+        ("learnt_live", stats.learned.into()),
+    ]);
+    if let AttackStatus::KeyFound(key) = &outcome.status {
+        out.push("key", key.to_string().into());
+    }
+    out
+}
+
+struct JobEntry {
+    spec: JobSpec,
+    state: JobState,
+    cancel: Arc<AtomicBool>,
+    /// Replay buffer of lifecycle events (accepted/started/checkpointed/
+    /// terminal) for late `watch` subscribers. Progress events fan out live
+    /// only — at one event per DIP they would grow without bound.
+    events: Vec<String>,
+    watchers: Vec<Arc<Mutex<UnixStream>>>,
+    result: Option<Json>,
+    error: Option<String>,
+}
+
+impl JobEntry {
+    fn new(spec: JobSpec) -> Self {
+        JobEntry {
+            spec,
+            state: JobState::Queued,
+            cancel: Arc::new(AtomicBool::new(false)),
+            events: Vec::new(),
+            watchers: Vec::new(),
+            result: None,
+            error: None,
+        }
+    }
+
+    fn json(&self, id: u64) -> Json {
+        let mut out = Json::obj([
+            ("job", id.into()),
+            ("kind", self.spec.kind().into()),
+            ("state", self.state.name().into()),
+        ]);
+        out.push("spec", self.spec.to_json());
+        if let Some(result) = &self.result {
+            out.push("result", result.clone());
+        }
+        if let Some(error) = &self.error {
+            out.push("error", error.as_str().into());
+        }
+        out
+    }
+}
+
+struct Inner {
+    jobs: BTreeMap<u64, JobEntry>,
+    next_id: u64,
+}
+
+/// Shared daemon state. Lock order is `inner` → journal file → any watcher
+/// stream; no thread ever takes them in another order, and no thread takes
+/// `inner` while holding a stream lock.
+struct Registry {
+    inner: Mutex<Inner>,
+    changed: Condvar,
+    journal: Mutex<File>,
+    state_dir: PathBuf,
+    shutdown: AtomicBool,
+}
+
+impl Registry {
+    /// Rebuilds the registry from the journal. Returns the ids of jobs whose
+    /// last recorded state was non-terminal (`queued` or `running` — i.e. the
+    /// previous daemon died before finishing them), in submission order.
+    fn recover(config: &DaemonConfig) -> io::Result<(Registry, Vec<u64>)> {
+        let journal_path = config.state_dir.join("journal.jsonl");
+        let mut jobs: BTreeMap<u64, JobEntry> = BTreeMap::new();
+        let mut next_id = 1u64;
+        if let Ok(text) = fs::read_to_string(&journal_path) {
+            for line in text.lines() {
+                // Torn trailing lines (crash mid-append) and any other
+                // garbage are skipped; the affected transition is replayed
+                // by the attack checkpoint instead.
+                let Ok(value) = Json::parse(line) else {
+                    continue;
+                };
+                let Some(id) = value.get("job").and_then(Json::as_u64) else {
+                    continue;
+                };
+                let Some(state) = value
+                    .get("state")
+                    .and_then(Json::as_str)
+                    .and_then(JobState::from_name)
+                else {
+                    continue;
+                };
+                next_id = next_id.max(id + 1);
+                if let Some(entry) = jobs.get_mut(&id) {
+                    entry.state = state;
+                    entry.result = value.get("result").cloned();
+                    entry.error = value
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .map(str::to_string);
+                } else {
+                    // The first record of a job must carry its spec; without
+                    // one the job cannot be re-run, so it is dropped.
+                    let Some(spec) = value
+                        .get("spec")
+                        .and_then(|spec| JobSpec::from_json(spec).ok())
+                    else {
+                        continue;
+                    };
+                    let mut entry = JobEntry::new(spec);
+                    entry.state = state;
+                    jobs.insert(id, entry);
+                }
+            }
+        }
+        let mut pending = Vec::new();
+        for (&id, entry) in &mut jobs {
+            if !entry.state.is_terminal() {
+                entry.state = JobState::Queued;
+                pending.push(id);
+            }
+        }
+        let journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal_path)?;
+        Ok((
+            Registry {
+                inner: Mutex::new(Inner { jobs, next_id }),
+                changed: Condvar::new(),
+                journal: Mutex::new(journal),
+                state_dir: config.state_dir.clone(),
+                shutdown: AtomicBool::new(false),
+            },
+            pending,
+        ))
+    }
+
+    fn checkpoint_path(&self, job: u64) -> PathBuf {
+        self.state_dir.join(format!("job-{job}.ckpt"))
+    }
+
+    /// Appends one fsynced record to the journal. A failing journal is
+    /// reported but does not abort the job — the daemon degrades to
+    /// non-durable operation rather than dropping work.
+    fn journal_append(&self, record: &Json) {
+        let mut file = self.journal.lock().expect("journal lock");
+        let result = writeln!(file, "{record}")
+            .and_then(|()| file.flush())
+            .and_then(|()| file.sync_all());
+        if let Err(e) = result {
+            eprintln!("trilock-serve: journal write failed: {e}");
+        }
+    }
+
+    fn journal_state(&self, job: u64, state: JobState, extra: Option<(&'static str, Json)>) {
+        let mut record = Json::obj([("v", 1u64.into()), ("job", job.into())]);
+        record.push("state", state.name().into());
+        if let Some((key, value)) = extra {
+            record.push(key, value);
+        }
+        self.journal_append(&record);
+    }
+
+    /// Fans one event line out to the job's watchers (dropping any whose
+    /// connection is gone) and, for lifecycle events, records it for replay.
+    fn emit(&self, inner: &mut Inner, job: u64, line: Json, replay: bool) {
+        let text = line.to_string();
+        let Some(entry) = inner.jobs.get_mut(&job) else {
+            return;
+        };
+        if replay {
+            entry.events.push(text.clone());
+        }
+        entry
+            .watchers
+            .retain(|stream| write_text_line(stream, &text));
+    }
+
+    /// Progress callback target: renders the per-DIP event and fans it out.
+    fn emit_progress(&self, job: u64, progress: &AttackProgress) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        let line = event_line(
+            job,
+            "progress",
+            [
+                ("dips", progress.dips.into()),
+                ("depth", progress.depth.into()),
+                ("elapsed_ms", (progress.elapsed.as_millis() as u64).into()),
+                ("conflicts", progress.stats.conflicts.into()),
+                ("propagations", progress.stats.propagations.into()),
+                ("learnt_live", progress.stats.learned.into()),
+            ],
+        );
+        self.emit(&mut inner, job, line, false);
+        if progress.checkpointed {
+            let line = event_line(job, "checkpointed", [("dips", progress.dips.into())]);
+            self.emit(&mut inner, job, line, true);
+        }
+    }
+
+    /// Accepts a job if the queue has room: the entry is registered, the
+    /// id enqueued and the `queued` record journaled in one critical
+    /// section, so workers can never observe an id without its entry and a
+    /// rejected submit leaves no trace.
+    fn submit(&self, spec: JobSpec, queue: &JobQueue<u64>) -> Result<u64, RequestError> {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return Err(RequestError::ShuttingDown);
+        }
+        let mut inner = self.inner.lock().expect("registry lock");
+        let id = inner.next_id;
+        inner.jobs.insert(id, JobEntry::new(spec.clone()));
+        match queue.try_push(id) {
+            Ok(()) => {}
+            Err(PushError::Full(_)) => {
+                inner.jobs.remove(&id);
+                return Err(RequestError::QueueFull {
+                    capacity: queue.capacity(),
+                });
+            }
+            Err(PushError::Closed(_)) => {
+                inner.jobs.remove(&id);
+                return Err(RequestError::ShuttingDown);
+            }
+        }
+        inner.next_id = id + 1;
+        let mut record = Json::obj([("v", 1u64.into()), ("job", id.into())]);
+        record.push("state", JobState::Queued.name().into());
+        record.push("spec", spec.to_json());
+        self.journal_append(&record);
+        let accepted = event_line(id, "accepted", [("kind", spec.kind().into())]);
+        self.emit(&mut inner, id, accepted, true);
+        drop(inner);
+        self.changed.notify_all();
+        Ok(id)
+    }
+
+    /// Cancels a job. Queued jobs become terminal immediately (the worker
+    /// skips them); running jobs get their stop flag tripped and reach
+    /// `cancelled` once the solver polls it and the attack checkpoints out.
+    fn cancel(&self, job: u64) -> Result<JobState, RequestError> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        let Some(entry) = inner.jobs.get_mut(&job) else {
+            return Err(RequestError::UnknownJob { job });
+        };
+        entry.cancel.store(true, Ordering::Relaxed);
+        let state = match entry.state {
+            JobState::Queued => {
+                entry.state = JobState::Cancelled;
+                self.journal_state(job, JobState::Cancelled, None);
+                let line = event_line(job, "cancelled", [("while", "queued".into())]);
+                self.emit(&mut inner, job, line, true);
+                JobState::Cancelled
+            }
+            state => state,
+        };
+        drop(inner);
+        self.changed.notify_all();
+        Ok(state)
+    }
+}
+
+/// Writes one newline-terminated text line to a shared stream; `false`
+/// (drop me) on any error.
+fn write_text_line(stream: &Arc<Mutex<UnixStream>>, text: &str) -> bool {
+    let mut stream = stream.lock().expect("stream lock");
+    writeln!(stream, "{text}").is_ok()
+}
+
+/// Writes one JSON line to a shared stream.
+fn write_json_line(stream: &Arc<Mutex<UnixStream>>, line: &Json) -> bool {
+    write_text_line(stream, &line.to_string())
+}
+
+/// What one executed job produced.
+enum Finish {
+    /// Terminal outcome with a result object.
+    Done(Json),
+    /// The cooperative stop tripped mid-attack; a checkpoint is on disk.
+    Interrupted(Json),
+    /// The job failed with an error message.
+    Error(String),
+}
+
+fn read_circuit(path: &Path) -> Result<Netlist, String> {
+    trilock_io::read_circuit(path).map_err(|e| format!("cannot read `{}`: {e}", path.display()))
+}
+
+/// Runs (or resumes) a checkpointed attack with the daemon's observer
+/// callbacks installed.
+#[allow(clippy::too_many_arguments)] // the attack inputs do not regroup naturally
+fn run_attack(
+    registry: &Arc<Registry>,
+    job: u64,
+    original: &Netlist,
+    locked: &Netlist,
+    kappa: usize,
+    seed: u64,
+    params: &crate::job::AttackParams,
+    cancel: &Arc<AtomicBool>,
+) -> Result<SatAttackOutcome, String> {
+    let attack = SatAttack::new(original, locked, kappa).map_err(|e| e.to_string())?;
+    let mut config = params.to_config();
+    let observer = Arc::clone(registry);
+    config.progress = Some(Arc::new(move |p: &AttackProgress| {
+        observer.emit_progress(job, p);
+    }));
+    let stop_registry = Arc::clone(registry);
+    let stop_cancel = Arc::clone(cancel);
+    config.stop = Some(Arc::new(move || {
+        stop_cancel.load(Ordering::Relaxed) || stop_registry.shutdown.load(Ordering::Relaxed)
+    }));
+    let checkpoint = registry.checkpoint_path(job);
+    if checkpoint.exists() {
+        match attack.resume_from_path(&config, &checkpoint) {
+            Ok(outcome) => return Ok(outcome),
+            Err(AttackError::Checkpoint(e)) => {
+                // Torn or incompatible checkpoint: discard it and restart
+                // the job from scratch rather than wedging the queue.
+                eprintln!("trilock-serve: job {job}: checkpoint unusable ({e}), restarting fresh");
+                let _ = fs::remove_file(&checkpoint);
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    attack
+        .run_checkpointed(&config, &mut rng, &checkpoint)
+        .map_err(|e| e.to_string())
+}
+
+/// Classifies an attack outcome: a `TimedOut` caused by the job's stop flag
+/// is an interruption (cancel/shutdown), anything else is terminal.
+fn classify(
+    registry: &Registry,
+    cancel: &AtomicBool,
+    outcome: SatAttackOutcome,
+    result: Json,
+) -> Finish {
+    let stopped = cancel.load(Ordering::Relaxed) || registry.shutdown.load(Ordering::Relaxed);
+    if matches!(outcome.status, AttackStatus::TimedOut) && stopped {
+        Finish::Interrupted(result)
+    } else {
+        Finish::Done(result)
+    }
+}
+
+/// Executes one job spec to a [`Finish`].
+fn run_spec(
+    registry: &Arc<Registry>,
+    job: u64,
+    spec: &JobSpec,
+    cancel: &Arc<AtomicBool>,
+) -> Finish {
+    match spec {
+        JobSpec::SatAttack {
+            original,
+            locked,
+            kappa,
+            seed,
+            attack,
+        } => {
+            let original = match read_circuit(original) {
+                Ok(n) => n,
+                Err(e) => return Finish::Error(e),
+            };
+            let locked = match read_circuit(locked) {
+                Ok(n) => n,
+                Err(e) => return Finish::Error(e),
+            };
+            match run_attack(
+                registry, job, &original, &locked, *kappa, *seed, attack, cancel,
+            ) {
+                Ok(outcome) => {
+                    let result = outcome_json(&outcome);
+                    classify(registry, cancel, outcome, result)
+                }
+                Err(e) => Finish::Error(e),
+            }
+        }
+        JobSpec::CampaignCell {
+            circuit,
+            kappa_s,
+            kappa_f,
+            seed,
+            alpha,
+            attack,
+        } => {
+            let original = match read_circuit(circuit) {
+                Ok(n) => n,
+                Err(e) => return Finish::Error(e),
+            };
+            let lock_config = TriLockConfig::new(*kappa_s, *kappa_f).with_alpha(*alpha);
+            let mut lock_rng = StdRng::seed_from_u64(*seed);
+            let locked = match trilock::lock(&original, &lock_config, &mut lock_rng) {
+                Ok(result) => result.locked,
+                Err(e) => return Finish::Error(format!("lock failed: {e}")),
+            };
+            // Same RNG split as `trilock-cli campaign`: locking uses `seed`,
+            // the attack uses `seed + 1`, so daemon cells and standalone
+            // campaign cells recover identical keys.
+            match run_attack(
+                registry,
+                job,
+                &original,
+                &locked.netlist,
+                locked.kappa(),
+                seed.wrapping_add(1),
+                attack,
+                cancel,
+            ) {
+                Ok(outcome) => {
+                    let mut result = Json::obj([
+                        ("cell", format!("ks{kappa_s}_kf{kappa_f}_s{seed}").into()),
+                        ("kappa_s", (*kappa_s).into()),
+                        ("kappa_f", (*kappa_f).into()),
+                        ("seed", (*seed).into()),
+                    ]);
+                    if let Json::Obj(members) = outcome_json(&outcome) {
+                        for (key, value) in members {
+                            result.push_owned(key, value);
+                        }
+                    }
+                    classify(registry, cancel, outcome, result)
+                }
+                Err(e) => Finish::Error(e),
+            }
+        }
+        JobSpec::Fc {
+            original,
+            locked,
+            kappa,
+            cycles,
+            samples,
+            seed,
+        } => {
+            let original = match read_circuit(original) {
+                Ok(n) => n,
+                Err(e) => return Finish::Error(e),
+            };
+            let locked = match read_circuit(locked) {
+                Ok(n) => n,
+                Err(e) => return Finish::Error(e),
+            };
+            let mut rng = StdRng::seed_from_u64(*seed);
+            match sim::fc::estimate_fc(&original, &locked, *kappa, *cycles, *samples, &mut rng) {
+                Ok(estimate) => Finish::Done(Json::obj([
+                    ("fc", estimate.fc.into()),
+                    ("samples", estimate.samples.into()),
+                    ("mismatches", estimate.mismatches.into()),
+                ])),
+                Err(e) => Finish::Error(e.to_string()),
+            }
+        }
+        JobSpec::Lock {
+            input,
+            output,
+            kappa_s,
+            kappa_f,
+            alpha,
+            seed,
+            key_out,
+        } => {
+            let original = match read_circuit(input) {
+                Ok(n) => n,
+                Err(e) => return Finish::Error(e),
+            };
+            let config = TriLockConfig::new(*kappa_s, *kappa_f).with_alpha(*alpha);
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let result = match trilock::lock(&original, &config, &mut rng) {
+                Ok(result) => result,
+                Err(e) => return Finish::Error(format!("lock failed: {e}")),
+            };
+            if let Err(e) = trilock_io::write_circuit_auto(output, &result.locked.netlist) {
+                return Finish::Error(format!("cannot write `{}`: {e}", output.display()));
+            }
+            if let Some(key_path) = key_out {
+                let mut text = String::new();
+                for cycle in result.locked.key.cycles() {
+                    for &bit in cycle {
+                        text.push(if bit { '1' } else { '0' });
+                    }
+                    text.push('\n');
+                }
+                if let Err(e) = fs::write(key_path, text) {
+                    return Finish::Error(format!(
+                        "cannot write key to `{}`: {e}",
+                        key_path.display()
+                    ));
+                }
+            }
+            Finish::Done(Json::obj([
+                ("output", output.to_string_lossy().into_owned().into()),
+                ("kappa", config.kappa().into()),
+                ("key", result.locked.key.to_string().into()),
+                ("added_dffs", result.locked.summary.added_dffs.into()),
+                ("added_gates", result.locked.summary.added_gates.into()),
+            ]))
+        }
+    }
+}
+
+/// Worker body: claim the job, execute it with panic isolation, record the
+/// finish. Jobs popped after shutdown are left `queued` for the next daemon
+/// instance; jobs cancelled while queued are skipped.
+fn execute(registry: &Arc<Registry>, job: u64) {
+    let claimed = {
+        let mut inner = registry.inner.lock().expect("registry lock");
+        let Some(entry) = inner.jobs.get_mut(&job) else {
+            return;
+        };
+        if entry.state.is_terminal() {
+            return;
+        }
+        if registry.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        entry.state = JobState::Running;
+        let spec = entry.spec.clone();
+        let cancel = Arc::clone(&entry.cancel);
+        registry.journal_state(job, JobState::Running, None);
+        let resumed = registry.checkpoint_path(job).exists();
+        let line = event_line(
+            job,
+            "started",
+            [("kind", spec.kind().into()), ("resumed", resumed.into())],
+        );
+        self_emit(registry, &mut inner, job, line);
+        (spec, cancel)
+    };
+    let (spec, cancel) = claimed;
+    let finish = catch_unwind(AssertUnwindSafe(|| run_spec(registry, job, &spec, &cancel)))
+        .unwrap_or_else(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Finish::Error(format!("job panicked: {message}"))
+        });
+
+    let mut inner = registry.inner.lock().expect("registry lock");
+    match finish {
+        Finish::Done(result) => {
+            let keep_checkpoint = result.get("status").and_then(Json::as_str) == Some("timed-out");
+            if !keep_checkpoint {
+                let _ = fs::remove_file(registry.checkpoint_path(job));
+            }
+            if let Some(entry) = inner.jobs.get_mut(&job) {
+                entry.state = JobState::Done;
+                entry.result = Some(result.clone());
+            }
+            registry.journal_state(job, JobState::Done, Some(("result", result.clone())));
+            let mut line = event_line(job, "done", []);
+            if let Json::Obj(members) = result {
+                for (key, value) in members {
+                    line.push_owned(key, value);
+                }
+            }
+            self_emit(registry, &mut inner, job, line);
+        }
+        Finish::Interrupted(partial) => {
+            if cancel.load(Ordering::Relaxed) {
+                if let Some(entry) = inner.jobs.get_mut(&job) {
+                    entry.state = JobState::Cancelled;
+                    entry.result = Some(partial.clone());
+                }
+                registry.journal_state(job, JobState::Cancelled, None);
+                let mut line = event_line(job, "cancelled", [("while", "running".into())]);
+                if let Some(dips) = partial.get("dips") {
+                    line.push("dips", dips.clone());
+                }
+                self_emit(registry, &mut inner, job, line);
+            } else {
+                // Shutdown: the final checkpoint is on disk; journal the job
+                // back to `queued` so a restarted daemon resumes it.
+                if let Some(entry) = inner.jobs.get_mut(&job) {
+                    entry.state = JobState::Queued;
+                }
+                registry.journal_state(job, JobState::Queued, None);
+                let mut line = event_line(job, "checkpointed", [("for", "restart".into())]);
+                if let Some(dips) = partial.get("dips") {
+                    line.push("dips", dips.clone());
+                }
+                self_emit(registry, &mut inner, job, line);
+            }
+        }
+        Finish::Error(message) => {
+            if let Some(entry) = inner.jobs.get_mut(&job) {
+                entry.state = JobState::Failed;
+                entry.error = Some(message.clone());
+            }
+            registry.journal_state(
+                job,
+                JobState::Failed,
+                Some(("error", message.as_str().into())),
+            );
+            let line = event_line(job, "failed", [("error", message.into())]);
+            self_emit(registry, &mut inner, job, line);
+        }
+    }
+    drop(inner);
+    registry.changed.notify_all();
+}
+
+/// `Registry::emit` without the borrow dance at call sites that already hold
+/// the lock guard.
+fn self_emit(registry: &Registry, inner: &mut Inner, job: u64, line: Json) {
+    registry.emit(inner, job, line, true);
+}
+
+/// Serves one client connection until EOF, a fatal write error, or daemon
+/// shutdown. Reads poll with a timeout so shutdown is observed promptly;
+/// the [`LineReader`] keeps half-received lines across polls.
+fn handle_connection(stream: UnixStream, registry: &Arc<Registry>, queue: &JobQueue<u64>) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    let mut reader = LineReader::new(BufReader::new(read_half));
+    loop {
+        let line = match reader.read_line() {
+            Ok(LineRead::Eof) => return,
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::Oversized) => {
+                if !write_json_line(&writer, &RequestError::Oversized.to_line()) {
+                    return;
+                }
+                continue;
+            }
+            Ok(LineRead::NotUtf8) => {
+                let err = RequestError::Malformed {
+                    reason: "line is not valid UTF-8".into(),
+                };
+                if !write_json_line(&writer, &err.to_line()) {
+                    return;
+                }
+                continue;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if registry.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let keep_going = match parse_request(&line) {
+            Err(err) => write_json_line(&writer, &err.to_line()),
+            Ok(request) => handle_request(request, registry, queue, &writer),
+        };
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+/// Dispatches one parsed request; `false` ends the connection.
+fn handle_request(
+    request: Request,
+    registry: &Arc<Registry>,
+    queue: &JobQueue<u64>,
+    writer: &Arc<Mutex<UnixStream>>,
+) -> bool {
+    match request {
+        Request::Submit(spec) => match registry.submit(spec, queue) {
+            Ok(job) => write_json_line(writer, &reply_line([("job", job.into())])),
+            Err(err) => write_json_line(writer, &err.to_line()),
+        },
+        Request::Status(None) => {
+            let jobs: Vec<Json> = {
+                let inner = registry.inner.lock().expect("registry lock");
+                inner
+                    .jobs
+                    .iter()
+                    .map(|(&id, entry)| entry.json(id))
+                    .collect()
+            };
+            write_json_line(writer, &reply_line([("jobs", Json::Arr(jobs))]))
+        }
+        Request::Status(Some(job)) => {
+            let reply = {
+                let inner = registry.inner.lock().expect("registry lock");
+                inner.jobs.get(&job).map(|entry| entry.json(job))
+            };
+            match reply {
+                Some(json) => write_json_line(writer, &reply_line([("status", json)])),
+                None => write_json_line(writer, &RequestError::UnknownJob { job }.to_line()),
+            }
+        }
+        Request::Watch(job) => {
+            let mut inner = registry.inner.lock().expect("registry lock");
+            let Some(entry) = inner.jobs.get_mut(&job) else {
+                drop(inner);
+                return write_json_line(writer, &RequestError::UnknownJob { job }.to_line());
+            };
+            // Reply, then replay the lifecycle so far, then go live — all
+            // under the registry lock so no event is missed or duplicated.
+            if !write_json_line(
+                writer,
+                &reply_line([
+                    ("watching", job.into()),
+                    ("state", entry.state.name().into()),
+                ]),
+            ) {
+                return false;
+            }
+            for event in &entry.events {
+                if !write_text_line(writer, event) {
+                    return false;
+                }
+            }
+            if !entry.state.is_terminal() {
+                entry.watchers.push(Arc::clone(writer));
+            }
+            true
+        }
+        Request::Cancel(job) => match registry.cancel(job) {
+            Ok(state) => write_json_line(
+                writer,
+                &reply_line([("job", job.into()), ("state", state.name().into())]),
+            ),
+            Err(err) => write_json_line(writer, &err.to_line()),
+        },
+        Request::Drain => {
+            let mut inner = registry.inner.lock().expect("registry lock");
+            loop {
+                let all_terminal = inner.jobs.values().all(|entry| entry.state.is_terminal());
+                if all_terminal {
+                    let jobs = inner.jobs.len();
+                    drop(inner);
+                    return write_json_line(
+                        writer,
+                        &reply_line([("drained", true.into()), ("jobs", jobs.into())]),
+                    );
+                }
+                if registry.shutdown.load(Ordering::Relaxed) {
+                    drop(inner);
+                    return write_json_line(writer, &reply_line([("drained", false.into())]));
+                }
+                let (guard, _timeout) = registry
+                    .changed
+                    .wait_timeout(inner, Duration::from_millis(200))
+                    .expect("registry lock");
+                inner = guard;
+            }
+        }
+        Request::Shutdown => {
+            registry.shutdown.store(true, Ordering::Relaxed);
+            registry.changed.notify_all();
+            write_json_line(writer, &reply_line([("shutdown", true.into())]))
+        }
+    }
+}
+
+/// Runs the daemon until a `shutdown` request: binds the socket, recovers
+/// and re-enqueues journaled jobs, spawns the worker pool and accepts
+/// connections. Returns once every worker and connection thread has exited;
+/// running attacks are interrupted at shutdown, checkpoint to disk, and are
+/// journaled back to `queued` for the next instance.
+///
+/// # Errors
+///
+/// Fails if the state directory, journal or socket cannot be set up.
+pub fn run(config: &DaemonConfig) -> io::Result<()> {
+    fs::create_dir_all(&config.state_dir)?;
+    let (registry, pending) = Registry::recover(config)?;
+    let registry = Arc::new(registry);
+    // The queue must at least hold every recovered job plus the configured
+    // headroom for new submissions.
+    let queue: JobQueue<u64> = JobQueue::new(config.queue_capacity.max(pending.len()).max(1));
+    for &job in &pending {
+        queue.try_push(job).expect("recovered jobs fit the queue");
+    }
+    if config.socket.exists() {
+        fs::remove_file(&config.socket)?;
+    }
+    let listener = UnixListener::bind(&config.socket)?;
+    listener.set_nonblocking(true)?;
+    let workers = config.workers.max(1);
+    eprintln!(
+        "trilock-serve: listening on {} ({} worker(s), queue capacity {}, {} job(s) recovered)",
+        config.socket.display(),
+        workers,
+        queue.capacity(),
+        pending.len()
+    );
+    let worker_registry = Arc::clone(&registry);
+    let worker = move |_index: usize, job: u64| execute(&worker_registry, job);
+    thread::scope(|scope| {
+        spawn_workers(scope, &queue, workers, &worker);
+        let queue = &queue;
+        let registry = &registry;
+        while !registry.shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    scope.spawn(move || handle_connection(stream, registry, queue));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    eprintln!("trilock-serve: accept failed: {e}");
+                    thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        // Shutdown: stop feeding workers. Queued-but-unexecuted jobs stay
+        // `queued` in the journal (workers skip them once the flag is set),
+        // and running attacks observe the stop callback and checkpoint out.
+        queue.close();
+        registry.changed.notify_all();
+    });
+    let _ = fs::remove_file(&config.socket);
+    eprintln!("trilock-serve: shut down");
+    Ok(())
+}
+
+/// Handle to a daemon running on a background thread of this process (see
+/// [`spawn`]).
+pub struct DaemonHandle {
+    thread: thread::JoinHandle<io::Result<()>>,
+}
+
+impl DaemonHandle {
+    /// Waits for the daemon to exit — it only does so after a `shutdown`
+    /// request — and propagates its I/O result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the daemon's setup error, if it failed to bind or recover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the daemon thread itself panicked.
+    pub fn join(self) -> io::Result<()> {
+        self.thread.join().expect("daemon thread panicked")
+    }
+}
+
+/// Runs [`run`] on a background thread, for embedding a daemon in another
+/// process (tests, benchmarks, combined client/server tools). Ask it to exit
+/// with a `shutdown` request over the socket, then [`DaemonHandle::join`].
+pub fn spawn(config: DaemonConfig) -> DaemonHandle {
+    DaemonHandle {
+        thread: thread::spawn(move || run(&config)),
+    }
+}

@@ -1,0 +1,530 @@
+//! Job specifications accepted by the daemon.
+//!
+//! A job is one unit of Table-I-style work: locking a circuit, running the
+//! SAT attack against a locked design, estimating functional corruptibility,
+//! or a whole campaign cell (lock + attack for one κs × κf × seed point).
+//! Specs are plain data — file paths and parameters — so they serialize
+//! losslessly to JSON for both the wire protocol and the daemon's crash-safe
+//! job journal.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use attacks::SatAttackConfig;
+
+use crate::json::Json;
+use crate::protocol::RequestError;
+
+/// Attack-budget parameters shared by the `sat-attack` and `campaign-cell`
+/// job kinds. Every field has the standalone CLI's default; absent JSON
+/// members keep the default, so specs stay small.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackParams {
+    /// Initial unrolling depth `b`.
+    pub initial_unroll: usize,
+    /// Maximum unrolling depth.
+    pub max_unroll: usize,
+    /// Maximum DIP count across all depths.
+    pub max_dips: u64,
+    /// Random validation sequences per candidate key.
+    pub verify_sequences: usize,
+    /// Length of each validation sequence.
+    pub verify_cycles: usize,
+    /// Wall-clock budget in seconds (`None` = unbounded).
+    pub time_limit_secs: Option<f64>,
+    /// Checkpoint cadence in DIPs.
+    pub checkpoint_every: u64,
+    /// Progress-event cadence in DIPs.
+    pub progress_every: u64,
+}
+
+impl Default for AttackParams {
+    fn default() -> Self {
+        let defaults = SatAttackConfig::default();
+        AttackParams {
+            initial_unroll: defaults.initial_unroll,
+            max_unroll: defaults.max_unroll,
+            max_dips: defaults.max_dips,
+            verify_sequences: defaults.verify_sequences,
+            verify_cycles: defaults.verify_cycles,
+            time_limit_secs: None,
+            checkpoint_every: defaults.checkpoint_every,
+            progress_every: 1,
+        }
+    }
+}
+
+impl AttackParams {
+    /// Materializes the parameters as an attack configuration (observer
+    /// callbacks are installed separately by the executor).
+    pub fn to_config(&self) -> SatAttackConfig {
+        SatAttackConfig {
+            initial_unroll: self.initial_unroll,
+            max_unroll: self.max_unroll,
+            max_dips: self.max_dips,
+            verify_sequences: self.verify_sequences,
+            verify_cycles: self.verify_cycles,
+            time_limit: self
+                .time_limit_secs
+                .filter(|&s| s > 0.0)
+                .map(Duration::from_secs_f64),
+            checkpoint_every: self.checkpoint_every,
+            progress_every: self.progress_every,
+            ..SatAttackConfig::default()
+        }
+    }
+
+    fn to_json_members(&self, out: &mut Json) {
+        out.push("initial_unroll", self.initial_unroll.into());
+        out.push("max_unroll", self.max_unroll.into());
+        out.push("max_dips", self.max_dips.into());
+        out.push("verify_sequences", self.verify_sequences.into());
+        out.push("verify_cycles", self.verify_cycles.into());
+        if let Some(secs) = self.time_limit_secs {
+            out.push("time_limit_secs", secs.into());
+        }
+        out.push("checkpoint_every", self.checkpoint_every.into());
+        out.push("progress_every", self.progress_every.into());
+    }
+
+    fn from_json(value: &Json) -> Result<AttackParams, RequestError> {
+        let defaults = AttackParams::default();
+        let time_limit_secs = match value.get("time_limit_secs") {
+            None => None,
+            Some(member) => {
+                let secs = member
+                    .as_f64()
+                    .filter(|s| s.is_finite() && *s >= 0.0)
+                    .ok_or_else(|| bad_field("time_limit_secs", "a finite number >= 0"))?;
+                (secs > 0.0).then_some(secs)
+            }
+        };
+        Ok(AttackParams {
+            initial_unroll: usize_field(value, "initial_unroll", defaults.initial_unroll)?,
+            max_unroll: usize_field(value, "max_unroll", defaults.max_unroll)?,
+            max_dips: u64_field(value, "max_dips", defaults.max_dips)?,
+            verify_sequences: usize_field(value, "verify_sequences", defaults.verify_sequences)?,
+            verify_cycles: usize_field(value, "verify_cycles", defaults.verify_cycles)?,
+            time_limit_secs,
+            checkpoint_every: u64_field(value, "checkpoint_every", defaults.checkpoint_every)?,
+            progress_every: u64_field(value, "progress_every", defaults.progress_every)?,
+        })
+    }
+}
+
+/// One unit of daemon work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// Run the SAT attack: `original` plays the oracle against `locked`.
+    SatAttack {
+        /// Path of the oracle circuit.
+        original: PathBuf,
+        /// Path of the locked circuit under attack.
+        locked: PathBuf,
+        /// Key cycle length known to the attacker.
+        kappa: usize,
+        /// Seed of the validation RNG.
+        seed: u64,
+        /// Attack budgets.
+        attack: AttackParams,
+    },
+    /// One Table I cell: lock `circuit` with (κs, κf, seed), then attack it.
+    CampaignCell {
+        /// Path of the original circuit.
+        circuit: PathBuf,
+        /// Resilience cycles of the lock.
+        kappa_s: usize,
+        /// Corruptibility cycles of the lock.
+        kappa_f: usize,
+        /// Seed of both the locking and attack RNGs (attack uses `seed + 1`,
+        /// matching `trilock-cli campaign`).
+        seed: u64,
+        /// Probability of choosing XOR over XNOR per key gate.
+        alpha: f64,
+        /// Attack budgets.
+        attack: AttackParams,
+    },
+    /// Estimate functional corruptibility of `locked` against `original`.
+    Fc {
+        /// Path of the original circuit.
+        original: PathBuf,
+        /// Path of the locked circuit.
+        locked: PathBuf,
+        /// Key cycle count for random-key FC.
+        kappa: usize,
+        /// Functional cycles per sample.
+        cycles: usize,
+        /// Number of (input, key) samples.
+        samples: usize,
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// Lock `input` with the TriLock flow and write the result to `output`.
+    Lock {
+        /// Path of the original circuit.
+        input: PathBuf,
+        /// Destination path of the locked circuit.
+        output: PathBuf,
+        /// Resilience cycles.
+        kappa_s: usize,
+        /// Corruptibility cycles.
+        kappa_f: usize,
+        /// Probability of choosing XOR over XNOR per key gate.
+        alpha: f64,
+        /// Locking seed.
+        seed: u64,
+        /// Optional destination of the key file.
+        key_out: Option<PathBuf>,
+    },
+}
+
+fn bad_field(name: &str, expected: &str) -> RequestError {
+    RequestError::BadJob {
+        reason: format!("field `{name}` must be {expected}"),
+    }
+}
+
+fn usize_field(value: &Json, name: &str, default: usize) -> Result<usize, RequestError> {
+    match value.get(name) {
+        None => Ok(default),
+        Some(member) => member
+            .as_usize()
+            .ok_or_else(|| bad_field(name, "an unsigned integer")),
+    }
+}
+
+fn u64_field(value: &Json, name: &str, default: u64) -> Result<u64, RequestError> {
+    match value.get(name) {
+        None => Ok(default),
+        Some(member) => member
+            .as_u64()
+            .ok_or_else(|| bad_field(name, "an unsigned integer")),
+    }
+}
+
+fn required_usize(value: &Json, name: &str) -> Result<usize, RequestError> {
+    value
+        .get(name)
+        .ok_or_else(|| bad_field(name, "present"))?
+        .as_usize()
+        .ok_or_else(|| bad_field(name, "an unsigned integer"))
+}
+
+fn required_path(value: &Json, name: &str) -> Result<PathBuf, RequestError> {
+    let text = value
+        .get(name)
+        .ok_or_else(|| bad_field(name, "present"))?
+        .as_str()
+        .ok_or_else(|| bad_field(name, "a path string"))?;
+    if text.is_empty() {
+        return Err(bad_field(name, "a non-empty path"));
+    }
+    Ok(PathBuf::from(text))
+}
+
+fn f64_field(value: &Json, name: &str, default: f64) -> Result<f64, RequestError> {
+    match value.get(name) {
+        None => Ok(default),
+        Some(member) => member
+            .as_f64()
+            .filter(|a| a.is_finite())
+            .ok_or_else(|| bad_field(name, "a finite number")),
+    }
+}
+
+fn path_str(path: &std::path::Path) -> Json {
+    Json::Str(path.to_string_lossy().into_owned())
+}
+
+impl JobSpec {
+    /// The job kind's wire name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::SatAttack { .. } => "sat-attack",
+            JobSpec::CampaignCell { .. } => "campaign-cell",
+            JobSpec::Fc { .. } => "fc",
+            JobSpec::Lock { .. } => "lock",
+        }
+    }
+
+    /// Serializes the spec for the wire protocol and the job journal.
+    pub fn to_json(&self) -> Json {
+        let mut out = Json::obj([("kind", self.kind().into())]);
+        match self {
+            JobSpec::SatAttack {
+                original,
+                locked,
+                kappa,
+                seed,
+                attack,
+            } => {
+                out.push("original", path_str(original));
+                out.push("locked", path_str(locked));
+                out.push("kappa", (*kappa).into());
+                out.push("seed", (*seed).into());
+                attack.to_json_members(&mut out);
+            }
+            JobSpec::CampaignCell {
+                circuit,
+                kappa_s,
+                kappa_f,
+                seed,
+                alpha,
+                attack,
+            } => {
+                out.push("circuit", path_str(circuit));
+                out.push("kappa_s", (*kappa_s).into());
+                out.push("kappa_f", (*kappa_f).into());
+                out.push("seed", (*seed).into());
+                out.push("alpha", (*alpha).into());
+                attack.to_json_members(&mut out);
+            }
+            JobSpec::Fc {
+                original,
+                locked,
+                kappa,
+                cycles,
+                samples,
+                seed,
+            } => {
+                out.push("original", path_str(original));
+                out.push("locked", path_str(locked));
+                out.push("kappa", (*kappa).into());
+                out.push("cycles", (*cycles).into());
+                out.push("samples", (*samples).into());
+                out.push("seed", (*seed).into());
+            }
+            JobSpec::Lock {
+                input,
+                output,
+                kappa_s,
+                kappa_f,
+                alpha,
+                seed,
+                key_out,
+            } => {
+                out.push("input", path_str(input));
+                out.push("output", path_str(output));
+                out.push("kappa_s", (*kappa_s).into());
+                out.push("kappa_f", (*kappa_f).into());
+                out.push("alpha", (*alpha).into());
+                out.push("seed", (*seed).into());
+                if let Some(key_out) = key_out {
+                    out.push("key_out", path_str(key_out));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a spec from its JSON form, validating kinds, types and ranges.
+    /// Every defect maps to a typed [`RequestError::BadJob`].
+    pub fn from_json(value: &Json) -> Result<JobSpec, RequestError> {
+        let kind = value
+            .get("kind")
+            .ok_or_else(|| bad_field("kind", "present"))?
+            .as_str()
+            .ok_or_else(|| bad_field("kind", "a string"))?;
+        match kind {
+            "sat-attack" => Ok(JobSpec::SatAttack {
+                original: required_path(value, "original")?,
+                locked: required_path(value, "locked")?,
+                kappa: required_usize(value, "kappa")?,
+                seed: u64_field(value, "seed", 1)?,
+                attack: AttackParams::from_json(value)?,
+            }),
+            "campaign-cell" => Ok(JobSpec::CampaignCell {
+                circuit: required_path(value, "circuit")?,
+                kappa_s: required_usize(value, "kappa_s")?,
+                kappa_f: required_usize(value, "kappa_f")?,
+                seed: u64_field(value, "seed", 1)?,
+                alpha: f64_field(value, "alpha", 0.6)?,
+                attack: AttackParams::from_json(value)?,
+            }),
+            "fc" => Ok(JobSpec::Fc {
+                original: required_path(value, "original")?,
+                locked: required_path(value, "locked")?,
+                kappa: required_usize(value, "kappa")?,
+                cycles: usize_field(value, "cycles", 8)?,
+                samples: usize_field(value, "samples", 800)?,
+                seed: u64_field(value, "seed", 1)?,
+            }),
+            "lock" => Ok(JobSpec::Lock {
+                input: required_path(value, "input")?,
+                output: required_path(value, "output")?,
+                kappa_s: usize_field(value, "kappa_s", 2)?,
+                kappa_f: usize_field(value, "kappa_f", 1)?,
+                alpha: f64_field(value, "alpha", 0.6)?,
+                seed: u64_field(value, "seed", 1)?,
+                key_out: match value.get("key_out") {
+                    None => None,
+                    Some(member) => Some(PathBuf::from(
+                        member
+                            .as_str()
+                            .ok_or_else(|| bad_field("key_out", "a path string"))?,
+                    )),
+                },
+            }),
+            other => Err(RequestError::BadJob {
+                reason: format!(
+                    "unknown job kind `{other}` (expected sat-attack, campaign-cell, fc or lock)"
+                ),
+            }),
+        }
+    }
+}
+
+/// Lifecycle states of a daemon job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and waiting in the queue.
+    Queued,
+    /// Picked up by a worker.
+    Running,
+    /// Finished with an attack outcome (key found, resisted, or timed out).
+    Done,
+    /// Aborted with an error or a panic.
+    Failed,
+    /// Cancelled by a client (possibly mid-run, via the stop callback).
+    Cancelled,
+}
+
+impl JobState {
+    /// The state's wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// `true` for states no further transition can leave.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// Parses a state's wire name (journal recovery).
+    pub fn from_name(name: &str) -> Option<JobState> {
+        Some(match name {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(spec: JobSpec) {
+        let json = spec.to_json();
+        let text = json.to_string();
+        let parsed = JobSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, spec, "wire form: {text}");
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        round_trip(JobSpec::SatAttack {
+            original: "a.bench".into(),
+            locked: "b.bench".into(),
+            kappa: 2,
+            seed: 9,
+            attack: AttackParams {
+                max_unroll: 4,
+                time_limit_secs: Some(1.5),
+                checkpoint_every: 1,
+                ..AttackParams::default()
+            },
+        });
+        round_trip(JobSpec::CampaignCell {
+            circuit: "c.bench".into(),
+            kappa_s: 2,
+            kappa_f: 1,
+            seed: 7,
+            alpha: 0.6,
+            attack: AttackParams::default(),
+        });
+        round_trip(JobSpec::Fc {
+            original: "a.bench".into(),
+            locked: "b.bench".into(),
+            kappa: 3,
+            cycles: 8,
+            samples: 100,
+            seed: 2,
+        });
+        round_trip(JobSpec::Lock {
+            input: "in.bench".into(),
+            output: "out.v".into(),
+            kappa_s: 1,
+            kappa_f: 2,
+            alpha: 0.5,
+            seed: 11,
+            key_out: Some("key.txt".into()),
+        });
+    }
+
+    #[test]
+    fn missing_and_mistyped_fields_are_typed_errors() {
+        for bad in [
+            r#"{"kind":"sat-attack"}"#,
+            r#"{"kind":"sat-attack","original":"a","locked":"b","kappa":"two"}"#,
+            r#"{"kind":"sat-attack","original":"","locked":"b","kappa":1}"#,
+            r#"{"kind":"campaign-cell","circuit":"c","kappa_s":1}"#,
+            r#"{"kind":"campaign-cell","circuit":"c","kappa_s":1,"kappa_f":1,"alpha":"x"}"#,
+            r#"{"kind":"fc","original":"a","locked":"b"}"#,
+            r#"{"kind":"warp-core","original":"a"}"#,
+            r#"{"original":"a"}"#,
+            r#"{"kind":"sat-attack","original":"a","locked":"b","kappa":1,"max_dips":-3}"#,
+            r#"{"kind":"sat-attack","original":"a","locked":"b","kappa":1,"time_limit_secs":-1}"#,
+        ] {
+            let value = Json::parse(bad).unwrap();
+            assert!(
+                matches!(JobSpec::from_json(&value), Err(RequestError::BadJob { .. })),
+                "accepted: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn attack_params_default_and_materialize() {
+        let params = AttackParams {
+            time_limit_secs: Some(2.0),
+            ..AttackParams::default()
+        };
+        let config = params.to_config();
+        assert_eq!(config.time_limit, Some(Duration::from_secs_f64(2.0)));
+        assert_eq!(config.max_dips, SatAttackConfig::default().max_dips);
+        let unlimited = AttackParams::default().to_config();
+        assert_eq!(unlimited.time_limit, None);
+    }
+
+    #[test]
+    fn job_states_round_trip_and_classify() {
+        for state in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+        ] {
+            assert_eq!(JobState::from_name(state.name()), Some(state));
+        }
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        assert_eq!(JobState::from_name("zombie"), None);
+    }
+}

@@ -1,0 +1,56 @@
+//! `trilock-serve` — a long-running attack daemon for TriLock experiments.
+//!
+//! The Table I experiment matrix is hours of SAT-attack work. Running it as
+//! one foreground process couples the experiment's lifetime to one terminal
+//! and serializes every cell. This crate turns the attack runtime into a
+//! small job service instead:
+//!
+//! * **Daemon** ([`daemon::run`], `trilock-cli serve`) — listens on a
+//!   Unix-domain socket, accepts `lock` / `sat-attack` / `fc` /
+//!   `campaign-cell` jobs into a *bounded* queue (explicit `queue-full`
+//!   backpressure), and executes them on a scoped worker pool
+//!   (`threadpool` crate, `std::thread::scope`-based — no detached threads,
+//!   every worker is joined on exit).
+//! * **Protocol** ([`protocol`]) — versioned, line-delimited JSON. Requests
+//!   are `{"v":1,"cmd":...}`; server lines are tagged `reply`, `error` (with
+//!   stable machine-readable codes) or `event`. Subscribed clients stream a
+//!   job's lifecycle: `accepted`, `started`, per-DIP `progress` (DIP count,
+//!   cumulative conflicts/propagations, live learnt clauses, elapsed time),
+//!   `checkpointed`, and one of `done` / `failed` / `cancelled`. The parser
+//!   is total — malformed, truncated, oversized and version-foreign input
+//!   come back as typed errors, never a panic or a wedged connection.
+//! * **Durability** — every job state transition is fsynced to a journal,
+//!   and running attacks checkpoint through the attack layer's atomic
+//!   [`attacks::AttackCheckpoint`] writer. Kill the daemon (`SIGKILL`
+//!   included) and restart it on the same state directory: terminal jobs
+//!   keep their results, interrupted jobs *resume mid-attack* from their
+//!   checkpoint, and recovered cells finish with byte-identical keys.
+//! * **Cancellation** ([`Client::cancel`]) — rides the SAT solver's
+//!   cooperative stop callback: the solver returns at its next budget poll
+//!   and the attack writes a final checkpoint before the job is marked
+//!   `cancelled`.
+//! * **Client** ([`Client`]) — a thin synchronous wrapper
+//!   (`submit`/`status`/`watch`/`cancel`/`drain`/`shutdown`) used by
+//!   `trilock-cli` to keep `sat-attack --socket` and `campaign --socket`
+//!   as thin clients of a shared daemon.
+//!
+//! Everything is `std`-only: the socket layer is `std::os::unix::net`, the
+//! JSON codec is the hand-rolled hardened parser in [`json`], and the worker
+//! pool is the in-tree `threadpool` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod job;
+pub mod json;
+pub mod protocol;
+
+pub use client::{Client, ClientError};
+pub use daemon::{attack_status_name, outcome_json, run, spawn, DaemonConfig, DaemonHandle};
+pub use job::{AttackParams, JobSpec, JobState};
+pub use json::{Json, JsonError};
+pub use protocol::{
+    parse_request, LineRead, LineReader, Request, RequestError, MAX_LINE_BYTES, PROTOCOL_VERSION,
+};

@@ -1,0 +1,440 @@
+//! The daemon's line-delimited JSON wire protocol.
+//!
+//! Every message — request or server line — is one `\n`-terminated JSON
+//! object carrying `"v": 1`. Requests name a command in `"cmd"`; server
+//! lines are tagged `"type": "reply" | "error" | "event"`. The parser is
+//! total: malformed, truncated, oversized and version-foreign input all map
+//! to typed [`RequestError`]s with stable `code` strings, never a panic and
+//! never a wedged connection (oversized lines are discarded up to the next
+//! newline so the stream stays framed).
+
+use std::io::{self, BufRead};
+
+use crate::job::JobSpec;
+use crate::json::Json;
+
+/// Version stamped on every protocol line. Lines carrying any other value
+/// are rejected with the `version` error code so a future v2 daemon can
+/// change semantics without silently confusing old clients.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on one protocol line, newline included. Larger lines are
+/// rejected (`oversized`) and skipped rather than buffered without bound.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Enqueue a job; replies with its id or a `queue-full` error.
+    Submit(JobSpec),
+    /// Report one job (`Some`) or every known job (`None`).
+    Status(Option<u64>),
+    /// Subscribe to a job's event stream; past events replay first.
+    Watch(u64),
+    /// Cancel a queued or running job.
+    Cancel(u64),
+    /// Block until every accepted job reaches a terminal state.
+    Drain,
+    /// Stop accepting work and exit once running jobs checkpoint out.
+    Shutdown,
+}
+
+/// Everything that can go wrong with a request, each with a stable wire code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestError {
+    /// The line exceeded [`MAX_LINE_BYTES`].
+    Oversized,
+    /// The line was not a JSON object (syntax error, wrong top-level type,
+    /// invalid UTF-8, or a missing/`non`-string `cmd`).
+    Malformed {
+        /// Human-readable defect description.
+        reason: String,
+    },
+    /// The line's `v` member was absent or not [`PROTOCOL_VERSION`].
+    Version {
+        /// The version the client sent, if it sent a number at all.
+        got: Option<u64>,
+    },
+    /// The `cmd` member named no known command.
+    UnknownCommand {
+        /// The unrecognized command name.
+        name: String,
+    },
+    /// A `submit` carried an invalid job spec.
+    BadJob {
+        /// Which field was wrong and what was expected.
+        reason: String,
+    },
+    /// The bounded job queue is full; resubmit after a `drain` or later.
+    QueueFull {
+        /// The queue's capacity, so clients can size their backoff.
+        capacity: usize,
+    },
+    /// The request referenced a job id the daemon has never seen.
+    UnknownJob {
+        /// The offending job id.
+        job: u64,
+    },
+    /// The daemon is shutting down and accepts no further work.
+    ShuttingDown,
+}
+
+impl RequestError {
+    /// The stable machine-readable error code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RequestError::Oversized => "oversized",
+            RequestError::Malformed { .. } => "malformed",
+            RequestError::Version { .. } => "version",
+            RequestError::UnknownCommand { .. } => "unknown-command",
+            RequestError::BadJob { .. } => "bad-job",
+            RequestError::QueueFull { .. } => "queue-full",
+            RequestError::UnknownJob { .. } => "unknown-job",
+            RequestError::ShuttingDown => "shutting-down",
+        }
+    }
+
+    /// A human-readable description for the error line's `message` member.
+    pub fn message(&self) -> String {
+        match self {
+            RequestError::Oversized => {
+                format!("line exceeds {MAX_LINE_BYTES} bytes")
+            }
+            RequestError::Malformed { reason } => reason.clone(),
+            RequestError::Version { got: Some(got) } => {
+                format!(
+                    "protocol version {got} not supported (this daemon speaks {PROTOCOL_VERSION})"
+                )
+            }
+            RequestError::Version { got: None } => {
+                format!("missing protocol version (send \"v\": {PROTOCOL_VERSION})")
+            }
+            RequestError::UnknownCommand { name } => {
+                format!("unknown command `{name}`")
+            }
+            RequestError::BadJob { reason } => reason.clone(),
+            RequestError::QueueFull { capacity } => {
+                format!("job queue is full ({capacity} pending); retry after jobs finish")
+            }
+            RequestError::UnknownJob { job } => format!("no such job {job}"),
+            RequestError::ShuttingDown => "daemon is shutting down; submit refused".into(),
+        }
+    }
+
+    /// Renders the error as a complete server line.
+    pub fn to_line(&self) -> Json {
+        let mut line = Json::obj([
+            ("v", PROTOCOL_VERSION.into()),
+            ("type", "error".into()),
+            ("code", self.code().into()),
+            ("message", self.message().into()),
+        ]);
+        if let RequestError::UnknownJob { job } = self {
+            line.push("job", (*job).into());
+        }
+        line
+    }
+}
+
+fn malformed(reason: impl Into<String>) -> RequestError {
+    RequestError::Malformed {
+        reason: reason.into(),
+    }
+}
+
+/// Parses one request line. The version check runs before command dispatch,
+/// so version-foreign lines fail with `version` even if their command is
+/// unknown too.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let value = Json::parse(line).map_err(|e| malformed(e.to_string()))?;
+    if !matches!(value, Json::Obj(_)) {
+        return Err(malformed("request must be a JSON object"));
+    }
+    match value.get("v") {
+        Some(v) => {
+            if v.as_u64() != Some(PROTOCOL_VERSION) {
+                return Err(RequestError::Version { got: v.as_u64() });
+            }
+        }
+        None => return Err(RequestError::Version { got: None }),
+    }
+    let cmd = value
+        .get("cmd")
+        .ok_or_else(|| malformed("missing `cmd`"))?
+        .as_str()
+        .ok_or_else(|| malformed("`cmd` must be a string"))?;
+    let job_id = |required: bool| -> Result<Option<u64>, RequestError> {
+        match value.get("job") {
+            Some(member) => member
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| malformed("`job` must be an unsigned integer")),
+            None if required => Err(malformed("missing `job`")),
+            None => Ok(None),
+        }
+    };
+    match cmd {
+        "submit" => {
+            let spec = value
+                .get("spec")
+                .ok_or_else(|| malformed("missing `spec`"))?;
+            Ok(Request::Submit(JobSpec::from_json(spec)?))
+        }
+        "status" => Ok(Request::Status(job_id(false)?)),
+        "watch" => Ok(Request::Watch(job_id(true)?.expect("required"))),
+        "cancel" => Ok(Request::Cancel(job_id(true)?.expect("required"))),
+        "drain" => Ok(Request::Drain),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(RequestError::UnknownCommand {
+            name: other.to_string(),
+        }),
+    }
+}
+
+/// Builds a `reply` line from extra members.
+pub fn reply_line(members: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    let mut line = Json::obj([("v", PROTOCOL_VERSION.into()), ("type", "reply".into())]);
+    for (key, value) in members {
+        line.push(key, value);
+    }
+    line
+}
+
+/// Builds an `event` line for a job from extra members.
+pub fn event_line(
+    job: u64,
+    event: &str,
+    members: impl IntoIterator<Item = (&'static str, Json)>,
+) -> Json {
+    let mut line = Json::obj([
+        ("v", PROTOCOL_VERSION.into()),
+        ("type", "event".into()),
+        ("event", event.into()),
+        ("job", job.into()),
+    ]);
+    for (key, value) in members {
+        line.push(key, value);
+    }
+    line
+}
+
+/// Outcome of reading one length-capped protocol line.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineRead {
+    /// The peer closed the stream (possibly mid-line; partial trailing
+    /// lines are dropped, matching "torn final line" journal semantics).
+    Eof,
+    /// One complete line, newline stripped.
+    Line(String),
+    /// The line exceeded [`MAX_LINE_BYTES`]; the excess was discarded up to
+    /// the next newline, so the next read starts on a fresh frame.
+    Oversized,
+    /// The line was not valid UTF-8.
+    NotUtf8,
+}
+
+/// An incremental, length-capped line reader over a buffered stream.
+///
+/// Unlike [`BufRead::read_line`] this cannot be made to buffer an unbounded
+/// line (past [`MAX_LINE_BYTES`] the rest of the frame streams to the bit
+/// bucket and a typed [`LineRead::Oversized`] comes back), and a read
+/// timeout (`WouldBlock`/`TimedOut`) surfaces as `Err` *without losing the
+/// partial line* — the daemon polls its shutdown flag between reads, so
+/// half-received requests must survive the poll boundary.
+#[derive(Debug)]
+pub struct LineReader<R> {
+    reader: R,
+    partial: Vec<u8>,
+    oversized: bool,
+}
+
+impl<R: BufRead> LineReader<R> {
+    /// Wraps a buffered stream.
+    pub fn new(reader: R) -> Self {
+        LineReader {
+            reader,
+            partial: Vec::new(),
+            oversized: false,
+        }
+    }
+
+    /// Reads the next line. `Err(WouldBlock | TimedOut)` means "nothing new
+    /// yet, call again"; any buffered partial line is kept.
+    pub fn read_line(&mut self) -> io::Result<LineRead> {
+        loop {
+            let buf = self.reader.fill_buf()?;
+            if buf.is_empty() {
+                // EOF. A torn partial line is dropped; a capped line that
+                // never saw its newline still reports Oversized once.
+                if self.oversized {
+                    self.oversized = false;
+                    return Ok(LineRead::Oversized);
+                }
+                self.partial.clear();
+                return Ok(LineRead::Eof);
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    let mut line = std::mem::take(&mut self.partial);
+                    let fits = !self.oversized && line.len() + pos <= MAX_LINE_BYTES;
+                    if fits {
+                        line.extend_from_slice(&buf[..pos]);
+                    }
+                    let was_oversized = !fits;
+                    self.oversized = false;
+                    self.reader.consume(pos + 1);
+                    if was_oversized {
+                        return Ok(LineRead::Oversized);
+                    }
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return match String::from_utf8(line) {
+                        Ok(text) => Ok(LineRead::Line(text)),
+                        Err(_) => Ok(LineRead::NotUtf8),
+                    };
+                }
+                None => {
+                    let n = buf.len();
+                    if !self.oversized {
+                        if self.partial.len() + n > MAX_LINE_BYTES {
+                            self.partial.clear();
+                            self.oversized = true;
+                        } else {
+                            self.partial.extend_from_slice(buf);
+                        }
+                    }
+                    self.reader.consume(n);
+                }
+            }
+        }
+    }
+}
+
+/// Reads one capped line from a plain blocking stream (client-side helper;
+/// the daemon holds a persistent [`LineReader`] per connection instead).
+pub fn read_line_capped<R: BufRead>(reader: &mut R) -> io::Result<LineRead> {
+    // A fresh LineReader per call is correct on blocking streams: state only
+    // matters across WouldBlock, which blocking reads never return.
+    LineReader::new(reader).read_line()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_valid_requests() {
+        assert_eq!(
+            parse_request(r#"{"v":1,"cmd":"drain"}"#),
+            Ok(Request::Drain)
+        );
+        assert_eq!(
+            parse_request(r#"{"v":1,"cmd":"status"}"#),
+            Ok(Request::Status(None))
+        );
+        assert_eq!(
+            parse_request(r#"{"v":1,"cmd":"status","job":7}"#),
+            Ok(Request::Status(Some(7)))
+        );
+        assert_eq!(
+            parse_request(r#"{"v":1,"cmd":"cancel","job":3}"#),
+            Ok(Request::Cancel(3))
+        );
+        assert_eq!(
+            parse_request(r#"{"v":1,"cmd":"watch","job":0}"#),
+            Ok(Request::Watch(0))
+        );
+        assert_eq!(
+            parse_request(r#"{"v":1,"cmd":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        );
+        let submit = parse_request(
+            r#"{"v":1,"cmd":"submit","spec":{"kind":"fc","original":"a","locked":"b","kappa":2}}"#,
+        )
+        .unwrap();
+        assert!(matches!(submit, Request::Submit(JobSpec::Fc { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_typed_codes() {
+        let cases: &[(&str, &str)] = &[
+            ("", "malformed"),
+            ("not json", "malformed"),
+            ("[1,2]", "malformed"),
+            ("42", "malformed"),
+            (r#"{"v":1}"#, "malformed"),
+            (r#"{"v":1,"cmd":7}"#, "malformed"),
+            (r#"{"cmd":"drain"}"#, "version"),
+            (r#"{"v":2,"cmd":"drain"}"#, "version"),
+            (r#"{"v":"one","cmd":"drain"}"#, "version"),
+            (r#"{"v":1,"cmd":"dance"}"#, "unknown-command"),
+            (r#"{"v":1,"cmd":"cancel"}"#, "malformed"),
+            (r#"{"v":1,"cmd":"watch","job":-1}"#, "malformed"),
+            (r#"{"v":1,"cmd":"submit"}"#, "malformed"),
+            (
+                r#"{"v":1,"cmd":"submit","spec":{"kind":"nope"}}"#,
+                "bad-job",
+            ),
+        ];
+        for (line, code) in cases {
+            let err = parse_request(line).expect_err(line);
+            assert_eq!(err.code(), *code, "line: {line}");
+            // Every error renders to a framed server line without panicking.
+            let rendered = err.to_line().to_string();
+            assert!(rendered.contains("\"type\":\"error\""), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn version_check_precedes_command_dispatch() {
+        let err = parse_request(r#"{"v":9,"cmd":"dance"}"#).unwrap_err();
+        assert_eq!(err.code(), "version");
+    }
+
+    #[test]
+    fn capped_reader_frames_and_discards() {
+        let mut cursor = Cursor::new(b"hello\nworld\r\n".to_vec());
+        assert_eq!(
+            read_line_capped(&mut cursor).unwrap(),
+            LineRead::Line("hello".into())
+        );
+        assert_eq!(
+            read_line_capped(&mut cursor).unwrap(),
+            LineRead::Line("world".into())
+        );
+        assert_eq!(read_line_capped(&mut cursor).unwrap(), LineRead::Eof);
+
+        // Torn partial line without newline: EOF, not a line.
+        let mut torn = Cursor::new(b"partial".to_vec());
+        assert_eq!(read_line_capped(&mut torn).unwrap(), LineRead::Eof);
+
+        // Invalid UTF-8.
+        let mut bad = Cursor::new(b"\xff\xfe\n".to_vec());
+        assert_eq!(read_line_capped(&mut bad).unwrap(), LineRead::NotUtf8);
+    }
+
+    #[test]
+    fn oversized_line_is_skipped_and_stream_stays_framed() {
+        let mut data = vec![b'x'; MAX_LINE_BYTES + 100];
+        data.push(b'\n');
+        data.extend_from_slice(b"{\"v\":1,\"cmd\":\"drain\"}\n");
+        let mut cursor = Cursor::new(data);
+        assert_eq!(read_line_capped(&mut cursor).unwrap(), LineRead::Oversized);
+        match read_line_capped(&mut cursor).unwrap() {
+            LineRead::Line(line) => {
+                assert_eq!(parse_request(&line), Ok(Request::Drain));
+            }
+            other => panic!("expected the next frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_line_at_eof_terminates() {
+        let data = vec![b'y'; MAX_LINE_BYTES + 5];
+        let mut cursor = Cursor::new(data);
+        assert_eq!(read_line_capped(&mut cursor).unwrap(), LineRead::Oversized);
+        assert_eq!(read_line_capped(&mut cursor).unwrap(), LineRead::Eof);
+    }
+}

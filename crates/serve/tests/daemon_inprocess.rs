@@ -1,0 +1,367 @@
+//! In-process end-to-end tests for the attack daemon: a real Unix socket, a
+//! real worker pool and the real attack pipeline, with the daemon running on
+//! a background thread of the test process. Covers the full job lifecycle
+//! (accepted → started → progress → done), the κs × κf × seed matrix with
+//! N ≥ 4 workers, cancellation, queue backpressure and hostile clients.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use trilock_serve::{
+    AttackParams, Client, ClientError, DaemonConfig, DaemonHandle, JobSpec, Json, PROTOCOL_VERSION,
+};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(name)
+        .canonicalize()
+        .expect("fixture exists")
+}
+
+/// Fresh scratch directory (socket + state dir) per test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("trilock_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Starts a daemon on a background thread and returns (client, handle).
+fn start_daemon(dir: &Path, workers: usize, queue: usize) -> (Client, DaemonHandle) {
+    let mut config = DaemonConfig::new(dir.join("daemon.sock"), dir.join("state"));
+    config.workers = workers;
+    config.queue_capacity = queue;
+    let handle = trilock_serve::spawn(config.clone());
+    let client =
+        Client::connect_retry(&config.socket, Duration::from_secs(10)).expect("daemon comes up");
+    (client, handle)
+}
+
+/// Default budgets with an aggressive checkpoint/progress cadence; s27
+/// finishes in well under a second per cell even unoptimized.
+fn small_params() -> AttackParams {
+    AttackParams {
+        checkpoint_every: 1,
+        progress_every: 1,
+        ..AttackParams::default()
+    }
+}
+
+fn cell_spec(circuit: &Path, kappa_s: usize, kappa_f: usize, seed: u64) -> JobSpec {
+    JobSpec::CampaignCell {
+        circuit: circuit.to_path_buf(),
+        kappa_s,
+        kappa_f,
+        seed,
+        alpha: 0.6,
+        attack: small_params(),
+    }
+}
+
+/// The headline acceptance scenario: a daemon with 4 workers completes a full
+/// κs × κf × seed matrix submitted over the socket, every cell recovering a
+/// verified key, and `status` agrees with the terminal events.
+#[test]
+fn matrix_completes_on_four_workers() {
+    let dir = scratch("matrix");
+    let circuit = fixture("s27.bench");
+    let (mut client, handle) = start_daemon(&dir, 4, 16);
+
+    let mut jobs = Vec::new();
+    for kappa_s in [1usize, 2] {
+        for kappa_f in [1usize] {
+            for seed in [1u64, 2] {
+                let job = client
+                    .submit(&cell_spec(&circuit, kappa_s, kappa_f, seed))
+                    .expect("submit");
+                jobs.push((job, kappa_s, kappa_f, seed));
+            }
+        }
+    }
+
+    assert!(client.drain().expect("drain"), "daemon drained");
+    for (job, kappa_s, kappa_f, seed) in jobs {
+        let status = client.status_job(job).expect("status");
+        assert_eq!(
+            status.get("state").and_then(Json::as_str),
+            Some("done"),
+            "cell ks{kappa_s}_kf{kappa_f}_s{seed}: {status}"
+        );
+        let result = status.get("result").expect("done job has result");
+        assert_eq!(
+            result.get("status").and_then(Json::as_str),
+            Some("key-found"),
+            "cell ks{kappa_s}_kf{kappa_f}_s{seed}: {result}"
+        );
+        let key = result.get("key").and_then(Json::as_str).expect("key");
+        assert!(
+            !key.is_empty() && key.chars().all(|c| matches!(c, '0' | '1' | '|')),
+            "key: {key}"
+        );
+        assert_eq!(
+            result.get("kappa_s").and_then(Json::as_u64),
+            Some(kappa_s as u64)
+        );
+        assert_eq!(
+            result.get("kappa_f").and_then(Json::as_u64),
+            Some(kappa_f as u64)
+        );
+        assert_eq!(result.get("seed").and_then(Json::as_u64), Some(seed));
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// A watched sat-attack job streams its lifecycle in order: accepted, then
+/// started, then at least one progress event carrying solver counters, then
+/// the terminal done event (which embeds the outcome).
+#[test]
+fn watch_streams_ordered_events() {
+    let dir = scratch("events");
+    let circuit = fixture("s27.bench");
+    let locked = dir.join("s27_locked.bench");
+
+    // Lock the fixture through the daemon itself — `lock` is a job kind too.
+    let (mut client, handle) = start_daemon(&dir, 1, 8);
+    let lock_job = client
+        .submit(&JobSpec::Lock {
+            input: circuit.clone(),
+            output: locked.clone(),
+            kappa_s: 1,
+            kappa_f: 1,
+            alpha: 0.6,
+            seed: 7,
+            key_out: None,
+        })
+        .expect("submit lock");
+    let done = client.wait(lock_job).expect("lock finishes");
+    assert_eq!(done.get("event").and_then(Json::as_str), Some("done"));
+    assert!(locked.is_file(), "daemon wrote the locked netlist");
+
+    let job = client
+        .submit(&JobSpec::SatAttack {
+            original: circuit,
+            locked,
+            kappa: 2,
+            seed: 8,
+            attack: small_params(),
+        })
+        .expect("submit attack");
+
+    let mut kinds = Vec::new();
+    let terminal = client
+        .watch(job, |event| {
+            let kind = event.get("event").and_then(Json::as_str).unwrap_or("?");
+            if kind == "progress" {
+                for counter in [
+                    "dips",
+                    "elapsed_ms",
+                    "conflicts",
+                    "propagations",
+                    "learnt_live",
+                ] {
+                    assert!(
+                        event.get(counter).and_then(Json::as_u64).is_some(),
+                        "progress event missing `{counter}`: {event}"
+                    );
+                }
+            }
+            kinds.push(kind.to_string());
+        })
+        .expect("watch");
+
+    assert_eq!(terminal.get("event").and_then(Json::as_str), Some("done"));
+    assert_eq!(
+        terminal.get("status").and_then(Json::as_str),
+        Some("key-found")
+    );
+    let accepted = kinds
+        .iter()
+        .position(|k| k == "accepted")
+        .expect("accepted");
+    let started = kinds.iter().position(|k| k == "started").expect("started");
+    let progress = kinds
+        .iter()
+        .position(|k| k == "progress")
+        .expect("progress");
+    assert!(accepted < started && started < progress, "order: {kinds:?}");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// Cancelling a queued job is immediate; the job never runs and its terminal
+/// event is `cancelled`.
+#[test]
+fn cancel_queued_job() {
+    let dir = scratch("cancel");
+    let circuit = fixture("s27.bench");
+    // One worker and a long-running first job keep the second job queued.
+    let (mut client, handle) = start_daemon(&dir, 1, 8);
+
+    let blocker = client
+        .submit(&cell_spec(&circuit, 2, 2, 1))
+        .expect("submit blocker");
+    let victim = client
+        .submit(&cell_spec(&circuit, 2, 2, 2))
+        .expect("submit victim");
+
+    let state = client.cancel(victim).expect("cancel");
+    assert_eq!(state, "cancelled");
+    let event = client.wait(victim).expect("victim terminal");
+    assert_eq!(event.get("event").and_then(Json::as_str), Some("cancelled"));
+
+    // The blocker is unaffected.
+    let event = client.wait(blocker).expect("blocker terminal");
+    assert_eq!(event.get("event").and_then(Json::as_str), Some("done"));
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// When the bounded queue is full the daemon replies with a typed
+/// `queue-full` error instead of buffering without bound, and accepts the
+/// job once capacity frees up.
+#[test]
+fn queue_full_is_typed_backpressure() {
+    let dir = scratch("backpressure");
+    let circuit = fixture("s27.bench");
+    let (mut client, handle) = start_daemon(&dir, 1, 1);
+
+    // Occupy the single worker and then the single queue slot. The worker
+    // may grab the first job quickly, so push until the queue rejects.
+    let mut accepted = Vec::new();
+    let capacity = loop {
+        match client.submit(&cell_spec(&circuit, 2, 2, 40 + accepted.len() as u64)) {
+            Ok(job) => accepted.push(job),
+            Err(ClientError::Server { code, message }) => {
+                assert_eq!(code, "queue-full", "{message}");
+                assert!(message.contains('1'), "capacity in message: {message}");
+                break accepted.len();
+            }
+            Err(other) => panic!("unexpected submit failure: {other}"),
+        }
+        assert!(accepted.len() < 8, "queue never filled");
+    };
+    assert!(capacity >= 1);
+
+    // Draining frees capacity; the daemon accepts new work again.
+    assert!(client.drain().expect("drain"));
+    client
+        .submit(&cell_spec(&circuit, 1, 1, 99))
+        .expect("submit after drain");
+    assert!(client.drain().expect("drain again"));
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// Hostile clients — garbage lines, wrong versions, oversized frames, or a
+/// disconnect mid-line — get typed errors and never wedge the daemon: a
+/// well-behaved client still completes work afterwards.
+#[test]
+fn hostile_clients_cannot_wedge_the_daemon() {
+    let dir = scratch("hostile");
+    let circuit = fixture("s27.bench");
+    let (mut client, handle) = start_daemon(&dir, 1, 8);
+    let socket = dir.join("daemon.sock");
+
+    let error_code = |raw: &mut UnixStream, line: &[u8]| -> String {
+        raw.write_all(line).expect("write");
+        raw.flush().expect("flush");
+        let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read");
+        let parsed = Json::parse(&reply).expect("server speaks JSON");
+        assert_eq!(parsed.get("type").and_then(Json::as_str), Some("error"));
+        parsed
+            .get("code")
+            .and_then(Json::as_str)
+            .expect("typed code")
+            .to_string()
+    };
+
+    let mut raw = UnixStream::connect(&socket).expect("connect raw");
+    assert_eq!(error_code(&mut raw, b"this is not json\n"), "malformed");
+    assert_eq!(
+        error_code(&mut raw, b"{\"v\":99,\"cmd\":\"status\"}\n"),
+        "version"
+    );
+    let mut oversized = vec![b'x'; trilock_serve::MAX_LINE_BYTES + 100];
+    oversized.push(b'\n');
+    assert_eq!(error_code(&mut raw, &oversized), "oversized");
+    // Same connection still works after every rejected line.
+    let ok = format!("{{\"v\":{PROTOCOL_VERSION},\"cmd\":\"status\"}}\n");
+    raw.write_all(ok.as_bytes()).expect("write");
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read");
+    let parsed = Json::parse(&reply).expect("reply is JSON");
+    assert_eq!(parsed.get("type").and_then(Json::as_str), Some("reply"));
+
+    // Disconnect mid-line: the daemon must just drop the torn frame.
+    let mut torn = UnixStream::connect(&socket).expect("connect torn");
+    torn.write_all(b"{\"v\":1,\"cmd\":\"sta").expect("write");
+    drop(torn);
+
+    // Unknown job ids are typed errors through the high-level client too.
+    match client.status_job(424242) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "unknown-job"),
+        other => panic!("expected unknown-job, got {other:?}"),
+    }
+
+    // And the daemon still does real work.
+    let job = client
+        .submit(&cell_spec(&circuit, 1, 1, 5))
+        .expect("submit after hostility");
+    let event = client.wait(job).expect("job finishes");
+    assert_eq!(event.get("event").and_then(Json::as_str), Some("done"));
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// `fc` jobs run through the daemon as well, returning the functional
+/// corruptibility estimate in the result.
+#[test]
+fn fc_jobs_return_estimates() {
+    let dir = scratch("fc");
+    let circuit = fixture("s27.bench");
+    let locked = dir.join("s27_locked.bench");
+    let (mut client, handle) = start_daemon(&dir, 2, 8);
+
+    let lock_job = client
+        .submit(&JobSpec::Lock {
+            input: circuit.clone(),
+            output: locked.clone(),
+            kappa_s: 2,
+            kappa_f: 1,
+            alpha: 0.6,
+            seed: 3,
+            key_out: None,
+        })
+        .expect("submit lock");
+    client.wait(lock_job).expect("lock finishes");
+
+    let fc_job = client
+        .submit(&JobSpec::Fc {
+            original: circuit,
+            locked,
+            kappa: 3,
+            cycles: 4,
+            samples: 64,
+            seed: 3,
+        })
+        .expect("submit fc");
+    let event = client.wait(fc_job).expect("fc finishes");
+    assert_eq!(event.get("event").and_then(Json::as_str), Some("done"));
+    let fc = event.get("fc").and_then(Json::as_f64).expect("fc estimate");
+    assert!((0.0..=1.0).contains(&fc), "fc = {fc}");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+}

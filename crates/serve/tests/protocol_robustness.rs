@@ -1,0 +1,295 @@
+//! Hostile-input hardening for the daemon's wire protocol: arbitrary byte
+//! mutations, truncations, pure garbage, version-foreign lines and oversized
+//! frames must surface as typed [`RequestError`]s — never a panic, and never
+//! a wedged connection (the reader must keep framing correctly afterwards).
+
+use std::io::BufReader;
+
+use proptest::prelude::*;
+
+use trilock_serve::{
+    parse_request, AttackParams, JobSpec, Json, LineRead, LineReader, Request, RequestError,
+    MAX_LINE_BYTES, PROTOCOL_VERSION,
+};
+
+/// A representative valid submit line to mutate.
+fn sample_submit_line() -> String {
+    let spec = JobSpec::CampaignCell {
+        circuit: "/tmp/s27.bench".into(),
+        kappa_s: 2,
+        kappa_f: 1,
+        seed: 7,
+        alpha: 0.6,
+        attack: AttackParams::default(),
+    };
+    let mut line = Json::obj([("v", PROTOCOL_VERSION.into()), ("cmd", "submit".into())]);
+    line.push("spec", spec.to_json());
+    line.to_string()
+}
+
+/// Every error a hostile client can provoke must map to one of the protocol's
+/// published error codes (so clients can branch on `code` without parsing
+/// free-text messages).
+fn assert_typed(err: &RequestError) {
+    let known = [
+        "oversized",
+        "malformed",
+        "version",
+        "unknown-command",
+        "bad-job",
+        "queue-full",
+        "unknown-job",
+        "shutting-down",
+    ];
+    assert!(
+        known.contains(&err.code()),
+        "unpublished error code `{}`",
+        err.code()
+    );
+    assert!(!err.message().is_empty());
+}
+
+/// Strategy: short lowercase identifiers (the vendored proptest has no regex
+/// strategies, so build names from a counter).
+fn name() -> impl Strategy<Value = String> {
+    (0u32..1_000_000).prop_map(|n| format!("c{n:06}"))
+}
+
+/// Strategy: αs on a coarse grid so `f64` display round-trips exactly.
+fn alpha() -> impl Strategy<Value = f64> {
+    (0usize..=10).prop_map(|n| n as f64 / 10.0)
+}
+
+/// Strategy: attack budgets with and without a time limit.
+fn params() -> impl Strategy<Value = AttackParams> {
+    (1usize..8, 1u64..1000, 0usize..=20).prop_map(|(unroll, dips, tl)| AttackParams {
+        initial_unroll: unroll,
+        max_unroll: unroll + 4,
+        max_dips: dips,
+        time_limit_secs: (tl > 0).then_some(tl as f64),
+        ..AttackParams::default()
+    })
+}
+
+/// Strategy: structurally valid job specs covering all four kinds.
+fn job_spec() -> impl Strategy<Value = JobSpec> {
+    prop_oneof![
+        (name(), 1usize..6, 1u64..100, params()).prop_map(|(name, kappa, seed, attack)| {
+            JobSpec::SatAttack {
+                original: format!("/tmp/{name}.bench").into(),
+                locked: format!("/tmp/{name}_locked.bench").into(),
+                kappa,
+                seed,
+                attack,
+            }
+        }),
+        (name(), 1usize..6, 1usize..6, 1u64..100, alpha(), params()).prop_map(
+            |(name, kappa_s, kappa_f, seed, alpha, attack)| JobSpec::CampaignCell {
+                circuit: format!("/tmp/{name}.bench").into(),
+                kappa_s,
+                kappa_f,
+                seed,
+                alpha,
+                attack,
+            }
+        ),
+        (name(), 1usize..6, 1usize..32, 1usize..2000, 1u64..100).prop_map(
+            |(name, kappa, cycles, samples, seed)| JobSpec::Fc {
+                original: format!("/tmp/{name}.bench").into(),
+                locked: format!("/tmp/{name}_locked.bench").into(),
+                kappa,
+                cycles,
+                samples,
+                seed,
+            }
+        ),
+        (
+            name(),
+            1usize..6,
+            1usize..6,
+            alpha(),
+            1u64..100,
+            any::<bool>()
+        )
+            .prop_map(
+                |(name, kappa_s, kappa_f, alpha, seed, with_key)| JobSpec::Lock {
+                    input: format!("/tmp/{name}.bench").into(),
+                    output: format!("/tmp/{name}_locked.bench").into(),
+                    kappa_s,
+                    kappa_f,
+                    alpha,
+                    seed,
+                    key_out: with_key.then(|| format!("/tmp/{name}.key").into()),
+                }
+            ),
+    ]
+}
+
+/// Strategy: command-like names (lowercase with dashes).
+fn command_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..27, 1..16).prop_map(|bytes| {
+        bytes
+            .into_iter()
+            .map(|b| if b == 26 { '-' } else { (b'a' + b) as char })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Flipping any single byte of a valid request never panics; when the
+    /// result is an error, the error is one of the published codes.
+    #[test]
+    fn single_byte_mutation_never_panics(position in 0usize..4096, delta in 1u8..=255) {
+        let line = sample_submit_line();
+        let mut bytes = line.clone().into_bytes();
+        let position = position % bytes.len();
+        bytes[position] = bytes[position].wrapping_add(delta);
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        if let Err(err) = parse_request(&mutated) {
+            assert_typed(&err);
+        }
+    }
+
+    /// Any strict prefix of a valid request is rejected with a typed error.
+    #[test]
+    fn truncation_is_rejected(cut in 0usize..4096) {
+        let line = sample_submit_line();
+        let cut = cut % line.len();
+        let truncated: String = line.chars().take(cut).collect();
+        let err = parse_request(&truncated).expect_err("prefix parsed as a request");
+        assert_typed(&err);
+    }
+
+    /// Arbitrary bytes are rejected with a typed error — never a panic.
+    #[test]
+    fn garbage_is_rejected(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let garbage = String::from_utf8_lossy(&bytes).into_owned();
+        let err = parse_request(&garbage).expect_err("garbage parsed as a request");
+        assert_typed(&err);
+    }
+
+    /// Lines from a different protocol version fail with `version` before any
+    /// command dispatch, whatever the command says.
+    #[test]
+    fn version_foreign_lines_are_rejected(
+        v in prop_oneof![Just(0u64), 2u64..1000],
+        cmd in prop_oneof![
+            Just("submit".to_string()),
+            Just("status".to_string()),
+            Just("shutdown".to_string()),
+            command_name(),
+        ],
+    ) {
+        let line = format!("{{\"v\":{v},\"cmd\":\"{cmd}\"}}");
+        match parse_request(&line) {
+            Err(RequestError::Version { got }) => prop_assert_eq!(got, Some(v)),
+            other => return Err(TestCaseError::fail(format!("expected version error, got {other:?}"))),
+        }
+    }
+
+    /// A missing `v` member is a version error too (old clients must not be
+    /// silently interpreted).
+    #[test]
+    fn missing_version_is_rejected(cmd in command_name()) {
+        let line = format!("{{\"cmd\":\"{cmd}\"}}");
+        prop_assert!(matches!(
+            parse_request(&line),
+            Err(RequestError::Version { got: None })
+        ));
+    }
+
+    /// Unknown commands on the right version are `unknown-command`, not
+    /// `malformed` — the line itself was fine.
+    #[test]
+    fn unknown_commands_are_typed(cmd in command_name()) {
+        prop_assume!(!matches!(
+            cmd.as_str(),
+            "submit" | "status" | "watch" | "cancel" | "drain" | "shutdown"
+        ));
+        let line = format!("{{\"v\":{PROTOCOL_VERSION},\"cmd\":\"{cmd}\"}}");
+        match parse_request(&line) {
+            Err(RequestError::UnknownCommand { name }) => prop_assert_eq!(name, cmd),
+            other => return Err(TestCaseError::fail(format!("expected unknown-command, got {other:?}"))),
+        }
+    }
+
+    /// Job specs survive a full wire round trip: struct → JSON text → parse →
+    /// struct, byte-for-byte equal.
+    #[test]
+    fn job_spec_round_trips(spec in job_spec()) {
+        let text = spec.to_json().to_string();
+        let parsed = Json::parse(&text).expect("spec JSON re-parses");
+        let back = JobSpec::from_json(&parsed).expect("spec JSON re-validates");
+        prop_assert_eq!(back, spec);
+    }
+
+    /// An oversized frame is reported as `Oversized` and fully discarded: the
+    /// next line on the stream still parses, whatever filler the oversized
+    /// frame carried.
+    #[test]
+    fn oversized_frames_preserve_framing(filler in any::<u8>(), extra in 1usize..4096) {
+        let filler = if filler == b'\n' { b'x' } else { filler };
+        let mut stream = vec![filler; MAX_LINE_BYTES + extra];
+        stream.push(b'\n');
+        let follow_up = format!("{{\"v\":{PROTOCOL_VERSION},\"cmd\":\"drain\"}}\n");
+        stream.extend_from_slice(follow_up.as_bytes());
+
+        let mut reader = LineReader::new(BufReader::new(&stream[..]));
+        prop_assert!(matches!(reader.read_line().unwrap(), LineRead::Oversized));
+        match reader.read_line().unwrap() {
+            LineRead::Line(line) => {
+                prop_assert_eq!(parse_request(&line), Ok(Request::Drain));
+            }
+            other => return Err(TestCaseError::fail(format!("framing lost after oversized frame: {other:?}"))),
+        }
+        prop_assert!(matches!(reader.read_line().unwrap(), LineRead::Eof));
+    }
+
+    /// The line reader terminates on any byte stream — no input can wedge it
+    /// into an infinite loop, and a torn final line is reported as EOF.
+    #[test]
+    fn reader_always_terminates(bytes in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let newlines = bytes.iter().filter(|&&b| b == b'\n').count();
+        let mut reader = LineReader::new(BufReader::new(&bytes[..]));
+        let mut reads = 0usize;
+        loop {
+            match reader.read_line().unwrap() {
+                LineRead::Eof => break,
+                _ => reads += 1,
+            }
+            prop_assert!(reads <= newlines, "more frames than newlines");
+        }
+    }
+}
+
+/// Error lines rendered for the client carry the machine-readable `code`, the
+/// protocol version, and a human message.
+#[test]
+fn error_lines_are_self_describing() {
+    let err = parse_request("not json at all").unwrap_err();
+    let line = err.to_line();
+    assert_eq!(line.get("v").and_then(Json::as_u64), Some(PROTOCOL_VERSION));
+    assert_eq!(line.get("type").and_then(Json::as_str), Some("error"));
+    assert_eq!(line.get("code").and_then(Json::as_str), Some("malformed"));
+    assert!(line
+        .get("message")
+        .and_then(Json::as_str)
+        .is_some_and(|m| !m.is_empty()));
+}
+
+/// Submitting a structurally valid line with a bogus job body is `bad-job`,
+/// and the reason names the offending field.
+#[test]
+fn bad_job_reasons_name_the_field() {
+    let line = format!(
+        "{{\"v\":{PROTOCOL_VERSION},\"cmd\":\"submit\",\"spec\":{{\"kind\":\"sat-attack\",\"original\":\"/tmp/a\",\"locked\":\"/tmp/b\",\"kappa\":\"three\"}}}}"
+    );
+    match parse_request(&line) {
+        Err(RequestError::BadJob { reason }) => {
+            assert!(reason.contains("kappa"), "reason: {reason}");
+        }
+        other => panic!("expected bad-job, got {other:?}"),
+    }
+}
