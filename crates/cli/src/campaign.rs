@@ -326,28 +326,33 @@ fn campaign_via_daemon(
     let mut client = crate::service::connect(opts)?;
 
     // Jobs the daemon already knows for this circuit, keyed by cell id —
-    // queued/running recoveries and finished cells alike.
-    let mut existing: std::collections::HashMap<String, u64> = Default::default();
+    // queued/running recoveries and finished cells alike. The full parsed
+    // spec rides along so reuse can verify every parameter, not just the
+    // cell key.
+    let mut existing: std::collections::HashMap<String, (u64, JobSpec)> = Default::default();
     for status in client.status().map_err(|e| e.to_string())? {
         let (Some(job), Some(spec)) =
             (status.get("job").and_then(Json::as_u64), status.get("spec"))
         else {
             continue;
         };
-        if spec.get("kind").and_then(Json::as_str) != Some("campaign-cell")
-            || spec.get("circuit").and_then(Json::as_str)
-                != Some(&circuit.to_string_lossy() as &str)
-        {
-            continue;
-        }
-        let (Some(kappa_s), Some(kappa_f), Some(seed)) = (
-            spec.get("kappa_s").and_then(Json::as_usize),
-            spec.get("kappa_f").and_then(Json::as_usize),
-            spec.get("seed").and_then(Json::as_u64),
-        ) else {
+        let Ok(spec) = JobSpec::from_json(spec) else {
             continue;
         };
-        existing.insert(format!("ks{kappa_s}_kf{kappa_f}_s{seed}"), job);
+        let JobSpec::CampaignCell {
+            circuit: job_circuit,
+            kappa_s,
+            kappa_f,
+            seed,
+            ..
+        } = &spec
+        else {
+            continue;
+        };
+        if job_circuit != &circuit {
+            continue;
+        }
+        existing.insert(format!("ks{kappa_s}_kf{kappa_f}_s{seed}"), (job, spec));
     }
 
     let todo: Vec<&Cell> = cells
@@ -359,11 +364,6 @@ fn campaign_via_daemon(
     let mut written = 0usize;
     let mut tally: std::collections::BTreeMap<String, usize> = Default::default();
     for cell in todo {
-        if let Some(&job) = existing.get(&cell.id()) {
-            say!("  cell {}: reusing daemon job {job}", cell.id());
-            submitted.push((cell, job));
-            continue;
-        }
         let spec = JobSpec::CampaignCell {
             circuit: circuit.clone(),
             kappa_s: cell.kappa_s,
@@ -372,6 +372,23 @@ fn campaign_via_daemon(
             alpha,
             attack: params.clone(),
         };
+        match existing.get(&cell.id()) {
+            // Reuse only on a full-spec match: a leftover job with a
+            // different alpha or different attack budgets would silently
+            // record rows computed under the wrong parameters.
+            Some((job, daemon_spec)) if daemon_spec == &spec => {
+                say!("  cell {}: reusing daemon job {job}", cell.id());
+                submitted.push((cell, *job));
+                continue;
+            }
+            Some((job, _)) => {
+                say!(
+                    "  cell {}: daemon job {job} has different parameters, resubmitting",
+                    cell.id()
+                );
+            }
+            None => {}
+        }
         loop {
             match client.submit(&spec) {
                 Ok(job) => {

@@ -237,6 +237,77 @@ fn daemon_campaign_matches_standalone_rows() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// A leftover daemon job whose cell key matches but whose parameters differ
+/// (here: another `--alpha`) must NOT be reused — the campaign resubmits the
+/// cell and records rows computed under its own parameters.
+#[test]
+fn campaign_ignores_daemon_jobs_with_different_parameters() {
+    let dir = tmp_dir("reuse_mismatch");
+    let original = fixture("s27.bench");
+    let original = original.to_str().unwrap();
+    let cell: &[&str] = &[
+        "--kappa-s",
+        "1",
+        "--kappa-f",
+        "1",
+        "--seeds",
+        "1",
+        "--max-unroll",
+        "4",
+    ];
+
+    // Ground truth for the default-alpha cell, standalone.
+    let baseline_path = dir.join("baseline.jsonl");
+    cli_ok(&[&["campaign", original, baseline_path.to_str().unwrap()], cell].concat());
+
+    let socket = dir.join("daemon.sock");
+    let socket = socket.to_str().unwrap();
+    let mut daemon = spawn_daemon(Path::new(socket), &dir.join("state"), None);
+
+    // First campaign leaves an `--alpha 0.9` job for the cell in the daemon.
+    let first_path = dir.join("alpha09.jsonl");
+    cli_ok(
+        &[
+            &["campaign", original, first_path.to_str().unwrap()],
+            cell,
+            &["--alpha", "0.9", "--socket", socket],
+        ]
+        .concat(),
+    );
+
+    // Same cell key, default alpha, fresh results file: the stale job must
+    // be resubmitted, not reused.
+    let second_path = dir.join("alpha_default.jsonl");
+    let output = cli_ok(
+        &[
+            &["campaign", original, second_path.to_str().unwrap()],
+            cell,
+            &["--socket", socket],
+        ]
+        .concat(),
+    );
+    assert!(
+        output.contains("different parameters, resubmitting"),
+        "stale job was not detected:\n{output}"
+    );
+    assert!(
+        !output.contains("reusing daemon job"),
+        "stale job was reused:\n{output}"
+    );
+
+    cli_ok(&["stop", "--socket", socket]);
+    assert!(daemon.wait().expect("daemon exits").success());
+
+    // The second campaign's row matches the standalone default-alpha run.
+    assert_eq!(
+        rows(&second_path),
+        rows(&baseline_path),
+        "resubmitted cell diverges from the standalone default-alpha row"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// `sat-attack --socket` round-trips through the daemon and reports the same
 /// key as the standalone engine; `jobs` shows the terminal job afterwards.
 #[test]

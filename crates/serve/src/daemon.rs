@@ -147,14 +147,51 @@ impl JobEntry {
     }
 }
 
+/// The terminal event of a job recovered from the journal already in a
+/// terminal state, rebuilt from its recorded state, result and error — the
+/// same shape the live `done`/`failed`/`cancelled` events have.
+fn recovered_terminal_event(job: u64, entry: &JobEntry) -> Json {
+    match entry.state {
+        JobState::Done => {
+            let mut line = event_line(job, "done", []);
+            if let Some(Json::Obj(members)) = &entry.result {
+                for (key, value) in members {
+                    line.push_owned(key.clone(), value.clone());
+                }
+            }
+            line
+        }
+        JobState::Failed => {
+            let error = entry
+                .error
+                .clone()
+                .unwrap_or_else(|| "unknown failure".into());
+            event_line(job, "failed", [("error", error.into())])
+        }
+        _ => event_line(job, "cancelled", [("while", "recovered".into())]),
+    }
+}
+
 struct Inner {
     jobs: BTreeMap<u64, JobEntry>,
     next_id: u64,
 }
 
-/// Shared daemon state. Lock order is `inner` → journal file → any watcher
-/// stream; no thread ever takes them in another order, and no thread takes
-/// `inner` while holding a stream lock.
+/// Watcher writes deferred out of the registry critical section: event text
+/// plus a snapshot of the streams subscribed at emission time. All entries
+/// of one `FanOut` belong to the same job.
+#[derive(Default)]
+struct FanOut {
+    writes: Vec<(String, Vec<Arc<Mutex<UnixStream>>>)>,
+}
+
+/// Shared daemon state. Lock order is `inner` → journal file. Watcher
+/// streams are never written while `inner` is held: [`Registry::emit`] only
+/// snapshots the subscribers into a [`FanOut`], and the socket writes happen
+/// in [`Registry::flush`] after the guard is released — so one stalled or
+/// hostile watcher (full socket buffer, 5 s write timeout per line) can
+/// delay at most the thread emitting that job's events, never submits,
+/// status, cancel, or the other workers.
 struct Registry {
     inner: Mutex<Inner>,
     changed: Condvar,
@@ -214,7 +251,15 @@ impl Registry {
         }
         let mut pending = Vec::new();
         for (&id, entry) in &mut jobs {
-            if !entry.state.is_terminal() {
+            if entry.state.is_terminal() {
+                // Terminal jobs never resume (ids are not reused), so any
+                // checkpoint left behind is dead weight. Events are not
+                // journaled either, so the terminal event is synthesized
+                // from the recovered state — without one, a late `watch`
+                // on the job would replay nothing and never end.
+                let _ = fs::remove_file(config.state_dir.join(format!("job-{id}.ckpt")));
+                entry.events.push(recovered_terminal_event(id, entry).to_string());
+            } else {
                 entry.state = JobState::Queued;
                 pending.push(id);
             }
@@ -261,9 +306,10 @@ impl Registry {
         self.journal_append(&record);
     }
 
-    /// Fans one event line out to the job's watchers (dropping any whose
-    /// connection is gone) and, for lifecycle events, records it for replay.
-    fn emit(&self, inner: &mut Inner, job: u64, line: Json, replay: bool) {
+    /// Records a lifecycle event for replay and snapshots the job's current
+    /// watchers into `fan`; the socket writes happen in [`Registry::flush`],
+    /// after the registry lock is released.
+    fn emit(&self, inner: &mut Inner, job: u64, line: Json, replay: bool, fan: &mut FanOut) {
         let text = line.to_string();
         let Some(entry) = inner.jobs.get_mut(&job) else {
             return;
@@ -271,31 +317,63 @@ impl Registry {
         if replay {
             entry.events.push(text.clone());
         }
-        entry
-            .watchers
-            .retain(|stream| write_text_line(stream, &text));
+        if !entry.watchers.is_empty() {
+            fan.writes.push((text, entry.watchers.clone()));
+        }
+    }
+
+    /// Performs the deferred watcher writes. Must be called *without* the
+    /// registry lock held; watchers whose stream errors are unsubscribed.
+    fn flush(&self, job: u64, fan: FanOut) {
+        if fan.writes.is_empty() {
+            return;
+        }
+        let mut dead: Vec<Arc<Mutex<UnixStream>>> = Vec::new();
+        for (text, watchers) in &fan.writes {
+            for stream in watchers {
+                if dead.iter().any(|gone| Arc::ptr_eq(gone, stream)) {
+                    continue;
+                }
+                if !write_text_line(stream, text) {
+                    dead.push(Arc::clone(stream));
+                }
+            }
+        }
+        if dead.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(entry) = inner.jobs.get_mut(&job) {
+            entry
+                .watchers
+                .retain(|stream| !dead.iter().any(|gone| Arc::ptr_eq(gone, stream)));
+        }
     }
 
     /// Progress callback target: renders the per-DIP event and fans it out.
     fn emit_progress(&self, job: u64, progress: &AttackProgress) {
-        let mut inner = self.inner.lock().expect("registry lock");
-        let line = event_line(
-            job,
-            "progress",
-            [
-                ("dips", progress.dips.into()),
-                ("depth", progress.depth.into()),
-                ("elapsed_ms", (progress.elapsed.as_millis() as u64).into()),
-                ("conflicts", progress.stats.conflicts.into()),
-                ("propagations", progress.stats.propagations.into()),
-                ("learnt_live", progress.stats.learned.into()),
-            ],
-        );
-        self.emit(&mut inner, job, line, false);
-        if progress.checkpointed {
-            let line = event_line(job, "checkpointed", [("dips", progress.dips.into())]);
-            self.emit(&mut inner, job, line, true);
+        let mut fan = FanOut::default();
+        {
+            let mut inner = self.inner.lock().expect("registry lock");
+            let line = event_line(
+                job,
+                "progress",
+                [
+                    ("dips", progress.dips.into()),
+                    ("depth", progress.depth.into()),
+                    ("elapsed_ms", (progress.elapsed.as_millis() as u64).into()),
+                    ("conflicts", progress.stats.conflicts.into()),
+                    ("propagations", progress.stats.propagations.into()),
+                    ("learnt_live", progress.stats.learned.into()),
+                ],
+            );
+            self.emit(&mut inner, job, line, false, &mut fan);
+            if progress.checkpointed {
+                let line = event_line(job, "checkpointed", [("dips", progress.dips.into())]);
+                self.emit(&mut inner, job, line, true, &mut fan);
+            }
         }
+        self.flush(job, fan);
     }
 
     /// Accepts a job if the queue has room: the entry is registered, the
@@ -327,9 +405,11 @@ impl Registry {
         record.push("state", JobState::Queued.name().into());
         record.push("spec", spec.to_json());
         self.journal_append(&record);
+        let mut fan = FanOut::default();
         let accepted = event_line(id, "accepted", [("kind", spec.kind().into())]);
-        self.emit(&mut inner, id, accepted, true);
+        self.emit(&mut inner, id, accepted, true, &mut fan);
         drop(inner);
+        self.flush(id, fan);
         self.changed.notify_all();
         Ok(id)
     }
@@ -338,6 +418,7 @@ impl Registry {
     /// skips them); running jobs get their stop flag tripped and reach
     /// `cancelled` once the solver polls it and the attack checkpoints out.
     fn cancel(&self, job: u64) -> Result<JobState, RequestError> {
+        let mut fan = FanOut::default();
         let mut inner = self.inner.lock().expect("registry lock");
         let Some(entry) = inner.jobs.get_mut(&job) else {
             return Err(RequestError::UnknownJob { job });
@@ -346,14 +427,18 @@ impl Registry {
         let state = match entry.state {
             JobState::Queued => {
                 entry.state = JobState::Cancelled;
+                // A recovered-then-cancelled job may still have a
+                // checkpoint; cancelled is terminal, so drop it.
+                let _ = fs::remove_file(self.checkpoint_path(job));
                 self.journal_state(job, JobState::Cancelled, None);
                 let line = event_line(job, "cancelled", [("while", "queued".into())]);
-                self.emit(&mut inner, job, line, true);
+                self.emit(&mut inner, job, line, true, &mut fan);
                 JobState::Cancelled
             }
             state => state,
         };
         drop(inner);
+        self.flush(job, fan);
         self.changed.notify_all();
         Ok(state)
     }
@@ -603,6 +688,7 @@ fn run_spec(
 /// finish. Jobs popped after shutdown are left `queued` for the next daemon
 /// instance; jobs cancelled while queued are skipped.
 fn execute(registry: &Arc<Registry>, job: u64) {
+    let mut fan = FanOut::default();
     let claimed = {
         let mut inner = registry.inner.lock().expect("registry lock");
         let Some(entry) = inner.jobs.get_mut(&job) else {
@@ -624,9 +710,10 @@ fn execute(registry: &Arc<Registry>, job: u64) {
             "started",
             [("kind", spec.kind().into()), ("resumed", resumed.into())],
         );
-        self_emit(registry, &mut inner, job, line);
+        registry.emit(&mut inner, job, line, true, &mut fan);
         (spec, cancel)
     };
+    registry.flush(job, std::mem::take(&mut fan));
     let (spec, cancel) = claimed;
     let finish = catch_unwind(AssertUnwindSafe(|| run_spec(registry, job, &spec, &cancel)))
         .unwrap_or_else(|payload| {
@@ -641,10 +728,9 @@ fn execute(registry: &Arc<Registry>, job: u64) {
     let mut inner = registry.inner.lock().expect("registry lock");
     match finish {
         Finish::Done(result) => {
-            let keep_checkpoint = result.get("status").and_then(Json::as_str) == Some("timed-out");
-            if !keep_checkpoint {
-                let _ = fs::remove_file(registry.checkpoint_path(job));
-            }
+            // Done is terminal — even for timed-out outcomes — and job ids
+            // are never reused, so the checkpoint is dead weight.
+            let _ = fs::remove_file(registry.checkpoint_path(job));
             if let Some(entry) = inner.jobs.get_mut(&job) {
                 entry.state = JobState::Done;
                 entry.result = Some(result.clone());
@@ -656,10 +742,11 @@ fn execute(registry: &Arc<Registry>, job: u64) {
                     line.push_owned(key, value);
                 }
             }
-            self_emit(registry, &mut inner, job, line);
+            registry.emit(&mut inner, job, line, true, &mut fan);
         }
         Finish::Interrupted(partial) => {
             if cancel.load(Ordering::Relaxed) {
+                let _ = fs::remove_file(registry.checkpoint_path(job));
                 if let Some(entry) = inner.jobs.get_mut(&job) {
                     entry.state = JobState::Cancelled;
                     entry.result = Some(partial.clone());
@@ -669,7 +756,7 @@ fn execute(registry: &Arc<Registry>, job: u64) {
                 if let Some(dips) = partial.get("dips") {
                     line.push("dips", dips.clone());
                 }
-                self_emit(registry, &mut inner, job, line);
+                registry.emit(&mut inner, job, line, true, &mut fan);
             } else {
                 // Shutdown: the final checkpoint is on disk; journal the job
                 // back to `queued` so a restarted daemon resumes it.
@@ -681,10 +768,11 @@ fn execute(registry: &Arc<Registry>, job: u64) {
                 if let Some(dips) = partial.get("dips") {
                     line.push("dips", dips.clone());
                 }
-                self_emit(registry, &mut inner, job, line);
+                registry.emit(&mut inner, job, line, true, &mut fan);
             }
         }
         Finish::Error(message) => {
+            let _ = fs::remove_file(registry.checkpoint_path(job));
             if let Some(entry) = inner.jobs.get_mut(&job) {
                 entry.state = JobState::Failed;
                 entry.error = Some(message.clone());
@@ -695,17 +783,12 @@ fn execute(registry: &Arc<Registry>, job: u64) {
                 Some(("error", message.as_str().into())),
             );
             let line = event_line(job, "failed", [("error", message.into())]);
-            self_emit(registry, &mut inner, job, line);
+            registry.emit(&mut inner, job, line, true, &mut fan);
         }
     }
     drop(inner);
+    registry.flush(job, fan);
     registry.changed.notify_all();
-}
-
-/// `Registry::emit` without the borrow dance at call sites that already hold
-/// the lock guard.
-fn self_emit(registry: &Registry, inner: &mut Inner, job: u64, line: Json) {
-    registry.emit(inner, job, line, true);
 }
 
 /// Serves one client connection until EOF, a fatal write error, or daemon
@@ -800,31 +883,49 @@ fn handle_request(
             }
         }
         Request::Watch(job) => {
-            let mut inner = registry.inner.lock().expect("registry lock");
-            let Some(entry) = inner.jobs.get_mut(&job) else {
-                drop(inner);
-                return write_json_line(writer, &RequestError::UnknownJob { job }.to_line());
-            };
-            // Reply, then replay the lifecycle so far, then go live — all
-            // under the registry lock so no event is missed or duplicated.
-            if !write_json_line(
-                writer,
-                &reply_line([
-                    ("watching", job.into()),
-                    ("state", entry.state.name().into()),
-                ]),
-            ) {
-                return false;
-            }
-            for event in &entry.events {
-                if !write_text_line(writer, event) {
-                    return false;
+            // The reply and the lifecycle replay are written *outside* the
+            // registry lock, so a watch client that stops reading stalls
+            // only its own connection. Each pass snapshots the events still
+            // unsent; the stream goes live (or, for terminal jobs, ends)
+            // only once a pass finds nothing left to send, so no event is
+            // missed or duplicated.
+            let mut sent = 0usize;
+            let mut replied = false;
+            loop {
+                let (reply, pending) = {
+                    let mut inner = registry.inner.lock().expect("registry lock");
+                    let Some(entry) = inner.jobs.get_mut(&job) else {
+                        drop(inner);
+                        return write_json_line(writer, &RequestError::UnknownJob { job }.to_line());
+                    };
+                    let reply = (!replied).then(|| {
+                        reply_line([
+                            ("watching", job.into()),
+                            ("state", entry.state.name().into()),
+                        ])
+                    });
+                    let pending = entry.events[sent..].to_vec();
+                    if reply.is_none() && pending.is_empty() {
+                        if !entry.state.is_terminal() {
+                            entry.watchers.push(Arc::clone(writer));
+                        }
+                        return true;
+                    }
+                    (reply, pending)
+                };
+                if let Some(reply) = reply {
+                    replied = true;
+                    if !write_json_line(writer, &reply) {
+                        return false;
+                    }
                 }
+                for event in &pending {
+                    if !write_text_line(writer, event) {
+                        return false;
+                    }
+                }
+                sent += pending.len();
             }
-            if !entry.state.is_terminal() {
-                entry.watchers.push(Arc::clone(writer));
-            }
-            true
         }
         Request::Cancel(job) => match registry.cancel(job) {
             Ok(state) => write_json_line(

@@ -325,6 +325,134 @@ fn hostile_clients_cannot_wedge_the_daemon() {
     handle.join().expect("daemon exits cleanly");
 }
 
+/// Jobs recovered from the journal already in a terminal state must still
+/// answer `watch`/`wait` with a terminal event (events are not journaled, so
+/// the daemon synthesizes them at recovery) — previously such a watch
+/// replayed nothing, registered no watcher, and the client hung forever.
+/// Recovery also garbage-collects the terminal jobs' checkpoints.
+#[test]
+fn recovered_terminal_jobs_replay_terminal_events() {
+    let dir = scratch("recovered_terminal");
+    let state = dir.join("state");
+    std::fs::create_dir_all(&state).unwrap();
+    let circuit = fixture("s27.bench");
+
+    // Hand-write the journal a previous daemon left behind: job 1 finished,
+    // job 2 failed, job 3 was cancelled — none was ever collected.
+    let journal = format!(
+        concat!(
+            "{{\"v\":1,\"job\":1,\"state\":\"queued\",\"spec\":{}}}\n",
+            "{{\"v\":1,\"job\":1,\"state\":\"running\"}}\n",
+            "{{\"v\":1,\"job\":1,\"state\":\"done\",\"result\":",
+            "{{\"status\":\"key-found\",\"dips\":3,\"key\":\"01\"}}}}\n",
+            "{{\"v\":1,\"job\":2,\"state\":\"queued\",\"spec\":{}}}\n",
+            "{{\"v\":1,\"job\":2,\"state\":\"failed\",\"error\":\"boom\"}}\n",
+            "{{\"v\":1,\"job\":3,\"state\":\"queued\",\"spec\":{}}}\n",
+            "{{\"v\":1,\"job\":3,\"state\":\"cancelled\"}}\n",
+        ),
+        cell_spec(&circuit, 1, 1, 1).to_json(),
+        cell_spec(&circuit, 1, 1, 2).to_json(),
+        cell_spec(&circuit, 1, 1, 3).to_json(),
+    );
+    std::fs::write(state.join("journal.jsonl"), journal).unwrap();
+    // A checkpoint left behind by the finished job must be cleaned up.
+    std::fs::write(state.join("job-1.ckpt"), b"stale").unwrap();
+
+    let (mut client, handle) = start_daemon(&dir, 1, 8);
+
+    let done = client.wait(1).expect("recovered done job ends its stream");
+    assert_eq!(done.get("event").and_then(Json::as_str), Some("done"));
+    assert_eq!(done.get("status").and_then(Json::as_str), Some("key-found"));
+    assert_eq!(done.get("key").and_then(Json::as_str), Some("01"));
+    assert_eq!(done.get("dips").and_then(Json::as_u64), Some(3));
+
+    let failed = client.wait(2).expect("recovered failed job ends its stream");
+    assert_eq!(failed.get("event").and_then(Json::as_str), Some("failed"));
+    assert_eq!(failed.get("error").and_then(Json::as_str), Some("boom"));
+
+    let cancelled = client
+        .wait(3)
+        .expect("recovered cancelled job ends its stream");
+    assert_eq!(
+        cancelled.get("event").and_then(Json::as_str),
+        Some("cancelled")
+    );
+
+    assert!(
+        !state.join("job-1.ckpt").exists(),
+        "terminal job's checkpoint survived recovery"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// Terminal jobs leave no checkpoint files behind: a timed-out (but Done)
+/// job and a cancelled-while-running job both clean up `job-<id>.ckpt`,
+/// since terminal jobs are never resumed and ids are never reused.
+#[test]
+fn terminal_jobs_leave_no_checkpoints() {
+    let dir = scratch("ckpt_gc");
+    let circuit = fixture("s27.bench");
+    let state = dir.join("state");
+    let (mut client, handle) = start_daemon(&dir, 1, 8);
+
+    // A vanishing time budget forces the timed-out outcome.
+    let timed = client
+        .submit(&JobSpec::CampaignCell {
+            circuit: circuit.clone(),
+            kappa_s: 2,
+            kappa_f: 2,
+            seed: 1,
+            alpha: 0.6,
+            attack: AttackParams {
+                time_limit_secs: Some(1e-6),
+                ..small_params()
+            },
+        })
+        .expect("submit timed cell");
+    let event = client.wait(timed).expect("timed cell terminal");
+    assert_eq!(event.get("event").and_then(Json::as_str), Some("done"));
+    assert_eq!(
+        event.get("status").and_then(Json::as_str),
+        Some("timed-out")
+    );
+    assert!(
+        !state.join(format!("job-{timed}.ckpt")).exists(),
+        "timed-out job left a checkpoint"
+    );
+
+    // Cancel a slow cell from a second connection once it makes progress.
+    let slow = client
+        .submit(&cell_spec(&circuit, 2, 2, 3))
+        .expect("submit slow cell");
+    let mut canceller =
+        Client::connect(dir.join("daemon.sock")).expect("second client connects");
+    let mut asked = false;
+    let event = client
+        .watch(slow, |event| {
+            if !asked && event.get("event").and_then(Json::as_str) == Some("progress") {
+                asked = true;
+                canceller.cancel(slow).expect("cancel");
+            }
+        })
+        .expect("slow cell terminal");
+    let kind = event.get("event").and_then(Json::as_str).unwrap_or("?");
+    // The cell may legitimately finish before the cancel lands; either way
+    // the terminal transition must have removed the checkpoint.
+    assert!(
+        matches!(kind, "cancelled" | "done"),
+        "unexpected terminal event: {event}"
+    );
+    assert!(
+        !state.join(format!("job-{slow}.ckpt")).exists(),
+        "terminal job left a checkpoint"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+}
+
 /// `fc` jobs run through the daemon as well, returning the functional
 /// corruptibility estimate in the result.
 #[test]
