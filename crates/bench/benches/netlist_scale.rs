@@ -1,0 +1,139 @@
+//! `netlist_scale` — end-to-end throughput of the netlist core at large
+//! gate counts: parse (`.bench` text → arena netlist), lock (the full
+//! TriLock flow) and encode (unroll + Tseitin into the SAT engine), each
+//! reported as gates per second.
+//!
+//! The circuit is a synthetic `benchgen` "large"-profile design, 100k gates
+//! by default; set `NETLIST_SCALE_GATES` to change the size (the intended
+//! range is 10k–1M, and CI runs a reduced profile). Besides the console
+//! report, the bench appends one JSON row to `BENCH_netlist_scale.json` at
+//! the repository root so the scaling trajectory is tracked across commits.
+//! Run with:
+//!
+//! ```sh
+//! cargo bench -p trilock-bench --bench netlist_scale
+//! NETLIST_SCALE_GATES=1000000 cargo bench -p trilock-bench --bench netlist_scale
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use benchgen::CircuitProfile;
+use criterion::black_box;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sat::tseitin::CircuitEncoder;
+use sat::Solver;
+use trilock::TriLockConfig;
+
+/// Minimum measured wall-clock for the (cheap, repeatable) load phase.
+const MIN_MEASURE: Duration = Duration::from_millis(300);
+/// Unroll depth of the encode phase (the attack's COMB-SAT substrate).
+const UNROLL_CYCLES: usize = 2;
+
+fn main() {
+    let gates: usize = std::env::var("NETLIST_SCALE_GATES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let profile = CircuitProfile::large(gates);
+    let netlist = benchgen::generate(&profile, 7).expect("benchgen circuit builds");
+    let text = netlist::bench::write(&netlist);
+    println!(
+        "bench netlist_scale: {profile} ({:.1} MB of .bench text)",
+        text.len() as f64 / 1e6
+    );
+
+    // Load: .bench text -> netlist (interner + CSR construction).
+    let load_secs = measure(|| {
+        black_box(netlist::bench::parse(&text).expect("parses"));
+    });
+    let loaded = netlist::bench::parse(&text).expect("parses");
+    let load_rate = loaded.num_gates() as f64 / load_secs;
+
+    // Lock: the full TriLock flow (encryption + state re-encoding).
+    let config = TriLockConfig::new(2, 1);
+    let mut rng = StdRng::seed_from_u64(11);
+    let t = Instant::now();
+    let locked = trilock::lock(&loaded, &config, &mut rng).expect("locks");
+    let lock_secs = t.elapsed().as_secs_f64();
+    let locked = locked.locked.netlist;
+    let lock_rate = loaded.num_gates() as f64 / lock_secs;
+
+    // Encode: unroll + Tseitin of the locked design into the SAT engine.
+    let t = Instant::now();
+    let unrolled = netlist::unroll::unroll(&locked, UNROLL_CYCLES).expect("unrolls");
+    let mut solver = Solver::new();
+    let mut encoder = CircuitEncoder::new(&unrolled.netlist).expect("encoder builds");
+    encoder.encode(&mut solver).expect("encodes");
+    let encode_secs = t.elapsed().as_secs_f64();
+    let encoded_gates = unrolled.netlist.num_gates();
+    let encode_rate = encoded_gates as f64 / encode_secs;
+    black_box(&solver);
+
+    println!(
+        "  load    {load_rate:>12.3e} gates/s ({:.3}s for {} gates)",
+        load_secs,
+        loaded.num_gates()
+    );
+    println!(
+        "  lock    {lock_rate:>12.3e} gates/s ({lock_secs:.3}s, locked design {} gates)",
+        locked.num_gates()
+    );
+    println!(
+        "  encode  {encode_rate:>12.3e} gates/s ({encode_secs:.3}s for {encoded_gates} unrolled gates, {} vars, {} clauses)",
+        solver.num_vars(),
+        solver.num_clauses()
+    );
+
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let row = format!(
+        "{{\"bench\": \"netlist_scale\", \"unix_time\": {unix_time}, \"gates\": {}, \
+         \"locked_gates\": {}, \"unroll_cycles\": {UNROLL_CYCLES}, \"encoded_gates\": {encoded_gates}, \
+         \"load_gates_per_sec\": {load_rate:.4e}, \"lock_gates_per_sec\": {lock_rate:.4e}, \
+         \"encode_gates_per_sec\": {encode_rate:.4e}}}",
+        loaded.num_gates(),
+        locked.num_gates()
+    );
+    match append_row(&row) {
+        Ok(path) => println!("  appended row to {}", path.display()),
+        Err(e) => eprintln!("  could not update BENCH_netlist_scale.json: {e}"),
+    }
+}
+
+/// Mean wall-clock seconds per invocation of `routine`, measured over at
+/// least [`MIN_MEASURE`] after one warm-up call.
+fn measure<F: FnMut()>(mut routine: F) -> f64 {
+    routine(); // warm-up
+    let start = Instant::now();
+    let mut runs = 0u32;
+    while start.elapsed() < MIN_MEASURE {
+        routine();
+        runs += 1;
+    }
+    start.elapsed().as_secs_f64() / f64::from(runs.max(1))
+}
+
+/// Appends one row to the JSON array in `BENCH_netlist_scale.json` at the
+/// repository root, creating the file on first use.
+fn append_row(row: &str) -> std::io::Result<PathBuf> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_netlist_scale.json");
+    let content = match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let body = text.trim_end();
+            let body = body.strip_suffix(']').unwrap_or(body).trim_end();
+            let body = body.strip_suffix(',').unwrap_or(body);
+            if body.trim() == "[" || body.trim().is_empty() {
+                format!("[\n  {row}\n]\n")
+            } else {
+                format!("{body},\n  {row}\n]\n")
+            }
+        }
+        Err(_) => format!("[\n  {row}\n]\n"),
+    };
+    std::fs::write(&path, content)?;
+    Ok(path)
+}

@@ -1,0 +1,262 @@
+//! Differential tests for the struct-of-arrays netlist core.
+//!
+//! The arena refactor replaced per-gate heap objects, name-keyed maps and
+//! per-call `Vec<Vec<u32>>` adjacency with interned names, CSR fanin/fanout
+//! and an epoch-stamped cone scratch. These tests pin its observable
+//! semantics against naive reference implementations (written the way the
+//! pre-refactor code computed them) and against the downstream engines, on
+//! every benchgen profile — the ten Table I circuits plus the new "large"
+//! profile at reduced size:
+//!
+//! * `topo::gate_order` / `topo::levelize` vs. a reference Kahn ordering
+//!   over a freshly-built `Vec<Vec<u32>>` fanout map (bit-identical order);
+//! * `cone::fanin_cone` (shared epoch scratch) vs. a set-based DFS;
+//! * `unroll` determinism and stability across a `.bench` round-trip;
+//! * packed simulation vs. the scalar engine, lane by lane;
+//! * fixtures pinned via `sim::equiv` across all three circuit formats;
+//! * SAT-attack key recovery (deterministic, and the key restores function).
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use attacks::{AttackStatus, SatAttack, SatAttackConfig};
+use benchgen::{CircuitProfile, TABLE1_PROFILES};
+use netlist::{cone, topo, unroll, Driver, GateId, NetId, Netlist};
+use sim::{PackedSimulator, Simulator};
+use trilock::{encrypt, TriLockConfig};
+
+/// Every benchgen profile at test scale: the ten Table I circuits scaled
+/// down, plus the new large profile at reduced size.
+fn test_profiles() -> Vec<CircuitProfile> {
+    let mut profiles: Vec<CircuitProfile> =
+        TABLE1_PROFILES.iter().map(|p| p.scaled_down(128)).collect();
+    profiles.push(CircuitProfile::large(1200));
+    profiles
+}
+
+/// Fanout adjacency built the pre-refactor way: one `Vec` per net, reading
+/// gates pushed in ascending gate order, one entry per fanin occurrence.
+fn naive_fanout(nl: &Netlist) -> Vec<Vec<u32>> {
+    let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); nl.num_nets()];
+    for gid in nl.gate_ids() {
+        for &input in nl.gate_fanins(gid) {
+            fanout[input.index()].push(gid.index() as u32);
+        }
+    }
+    fanout
+}
+
+/// Reference Kahn ordering over [`naive_fanout`], mirroring the pre-refactor
+/// `topo::gate_order` step for step so the comparison is bit-identical.
+fn naive_gate_order(nl: &Netlist) -> Vec<GateId> {
+    let num_gates = nl.num_gates();
+    let mut indegree = vec![0u32; num_gates];
+    for gid in nl.gate_ids() {
+        for &input in nl.gate_fanins(gid) {
+            if matches!(nl.driver(input), Driver::Gate(_)) {
+                indegree[gid.index()] += 1;
+            }
+        }
+    }
+    let fanout = naive_fanout(nl);
+    let mut queue: Vec<u32> = (0..num_gates as u32)
+        .filter(|&g| indegree[g as usize] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(num_gates);
+    let mut head = 0;
+    while head < queue.len() {
+        let g = queue[head];
+        head += 1;
+        order.push(GateId::from_index(g as usize));
+        for &succ in &fanout[nl.gate_output(GateId::from_index(g as usize)).index()] {
+            indegree[succ as usize] -= 1;
+            if indegree[succ as usize] == 0 {
+                queue.push(succ);
+            }
+        }
+    }
+    assert_eq!(order.len(), num_gates, "reference order found a cycle");
+    order
+}
+
+/// Set-based reference for [`cone::fanin_cone`].
+fn naive_fanin_cone(nl: &Netlist, net: NetId) -> cone::FaninCone {
+    let mut result = cone::FaninCone::default();
+    let mut seen: HashSet<NetId> = HashSet::new();
+    let mut seen_dffs = HashSet::new();
+    let mut stack = vec![net];
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        result.nets.push(n);
+        match nl.driver(n) {
+            Driver::Input => result.inputs.push(n),
+            Driver::Dff(id) => {
+                if seen_dffs.insert(id) {
+                    result.registers.push(id);
+                }
+            }
+            Driver::Gate(gid) => stack.extend_from_slice(nl.gate_fanins(gid)),
+            Driver::None => {}
+        }
+    }
+    result.inputs.sort_unstable();
+    result.registers.sort_unstable();
+    result.nets.sort_unstable();
+    result
+}
+
+/// Asserts every analysis invariant of one netlist. Returns the parsed
+/// round-trip so callers can reuse it.
+fn check_analyses(nl: &Netlist) {
+    // Topological order and levels are bit-identical to the reference.
+    let order = topo::gate_order(nl).expect("acyclic");
+    assert_eq!(order, naive_gate_order(nl), "gate_order diverges");
+    let levels = topo::levelize(nl).expect("acyclic");
+    let mut ref_levels = vec![0u32; nl.num_nets()];
+    for &gid in &order {
+        let max_in = nl
+            .gate_fanins(gid)
+            .iter()
+            .map(|&n| ref_levels[n.index()])
+            .max()
+            .unwrap_or(0);
+        ref_levels[nl.gate_output(gid).index()] = max_in + 1;
+    }
+    assert_eq!(levels, ref_levels, "levelize diverges");
+
+    // The cached CSR fanout lists exactly the naive per-net adjacency.
+    let csr = nl.fanout_csr();
+    for (net, expected) in naive_fanout(nl).iter().enumerate() {
+        assert_eq!(
+            csr.gates_reading(NetId::from_index(net)),
+            expected.as_slice(),
+            "fanout of net {net} diverges"
+        );
+    }
+
+    // Cones under a shared epoch scratch match the set-based reference.
+    let mut scratch = cone::ConeScratch::new();
+    for net in nl.net_ids() {
+        assert_eq!(
+            cone::fanin_cone_with(nl, net, &mut scratch),
+            naive_fanin_cone(nl, net),
+            "fanin cone of {} diverges",
+            nl.net_label(net)
+        );
+    }
+}
+
+/// Asserts the unroll, simulation and format-round-trip invariants.
+fn check_engines(nl: &Netlist, seed: u64) {
+    // Unrolling is deterministic and stable across a `.bench` round-trip.
+    let reparsed = netlist::bench::parse(&netlist::bench::write(nl)).expect("round-trip parses");
+    assert_eq!(
+        topo::gate_order(nl).unwrap(),
+        topo::gate_order(&reparsed).unwrap()
+    );
+    let a = unroll::unroll(nl, 3).expect("unrolls");
+    let b = unroll::unroll(nl, 3).expect("unrolls");
+    let c = unroll::unroll(&reparsed, 3).expect("unrolls");
+    assert_eq!(a.netlist, b.netlist, "unroll is not deterministic");
+    assert_eq!(a.netlist, c.netlist, "unroll unstable across round-trip");
+    assert_eq!(a.inputs, c.inputs);
+    assert_eq!(a.outputs, c.outputs);
+
+    // Packed simulation is bit-identical to the scalar engine, per lane.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cycles = 24;
+    let packed_stim: Vec<Vec<u64>> = (0..cycles)
+        .map(|_| (0..nl.num_inputs()).map(|_| rng.gen()).collect())
+        .collect();
+    let mut packed = PackedSimulator::new(nl).expect("packed builds");
+    let packed_out = packed.run_from_reset(&packed_stim).expect("packed runs");
+    for lane in [0usize, 17, 63] {
+        let scalar_stim: Vec<Vec<bool>> = packed_stim
+            .iter()
+            .map(|w| w.iter().map(|&x| (x >> lane) & 1 == 1).collect())
+            .collect();
+        let mut scalar = Simulator::new(nl).expect("scalar builds");
+        let scalar_out = scalar.run_from_reset(&scalar_stim).expect("scalar runs");
+        for (t, outs) in scalar_out.iter().enumerate() {
+            let packed_lane: Vec<bool> = packed_out[t]
+                .iter()
+                .map(|&w| (w >> lane) & 1 == 1)
+                .collect();
+            assert_eq!(&packed_lane, outs, "lane {lane} diverges at cycle {t}");
+        }
+    }
+
+    // Fixtures pinned across all three formats via sim::equiv.
+    let via_edif = trilock_io::edif::parse(&trilock_io::edif::write(nl)).expect("edif round-trips");
+    let via_verilog =
+        trilock_io::verilog::parse(&trilock_io::verilog::write(nl)).expect("verilog round-trips");
+    for (format, copy) in [
+        ("bench", &reparsed),
+        ("edif", &via_edif),
+        ("verilog", &via_verilog),
+    ] {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let cex =
+            sim::equiv::random_equiv_check(nl, copy, 16, 64, &mut rng).expect("equiv check runs");
+        assert!(cex.is_none(), "{format} round-trip changed behaviour");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Analysis and engine invariants hold on every benchgen profile.
+    #[test]
+    fn all_profiles_agree_with_reference_semantics(seed in 0u64..1u64 << 48) {
+        for profile in test_profiles() {
+            let nl = benchgen::generate(&profile, seed).expect("generates");
+            check_analyses(&nl);
+            check_engines(&nl, seed);
+        }
+    }
+
+    /// The SAT attack still recovers working keys, deterministically.
+    #[test]
+    fn sat_attack_keys_are_deterministic_and_correct(seed in 0u64..1u64 << 16) {
+        let original = benchgen::small::toy_controller(2).expect("toy circuit");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let locked = encrypt(&original, &TriLockConfig::new(1, 1).with_alpha(0.6), &mut rng)
+            .expect("locks");
+        let config = SatAttackConfig {
+            initial_unroll: 1,
+            max_unroll: 4,
+            max_dips: 10_000,
+            verify_sequences: 16,
+            verify_cycles: 10,
+            ..SatAttackConfig::default()
+        };
+        let run = |attack_seed: u64| {
+            let attack = SatAttack::new(&original, &locked.netlist, locked.kappa())
+                .expect("interfaces match");
+            let mut rng = StdRng::seed_from_u64(attack_seed);
+            attack.run(&config, &mut rng).expect("attack runs")
+        };
+        let first = run(9);
+        let second = run(9);
+        prop_assert_eq!(&first.status, &second.status, "attack is not deterministic");
+        let AttackStatus::KeyFound(key) = &first.status else {
+            panic!("attack failed: {:?}", first.status);
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let cex = sim::equiv::key_restores_function(
+            &original,
+            &locked.netlist,
+            key.cycles(),
+            12,
+            64,
+            &mut rng,
+        )
+        .expect("validation runs");
+        prop_assert!(cex.is_none(), "recovered key does not restore function");
+    }
+}

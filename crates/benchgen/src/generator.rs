@@ -69,7 +69,14 @@ pub fn generate_with_config(
     config: GeneratorConfig,
 ) -> Result<Netlist, NetlistError> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7269_6c6f_636b);
-    let mut nl = Netlist::new(profile.name.to_string());
+    // Pre-size every array: at profile scale (up to 1M gates) incremental
+    // regrowth would dominate construction time.
+    let mut nl = Netlist::with_capacity(
+        profile.name,
+        profile.inputs + profile.dffs + profile.gates + profile.outputs,
+        profile.gates + profile.outputs,
+        profile.dffs,
+    );
 
     // Primary inputs.
     let inputs: Vec<NetId> = (0..profile.inputs)

@@ -37,6 +37,23 @@ impl CircuitProfile {
     pub fn by_name(name: &str) -> Option<CircuitProfile> {
         TABLE1_PROFILES.iter().copied().find(|p| p.name == name)
     }
+
+    /// Synthetic "large" profile for netlist-core scaling experiments,
+    /// parameterized by gate count (intended range 10k–1M gates, far beyond
+    /// the Table I circuits). Interface widths grow with the square root of
+    /// the gate count and the register count tracks ~3% of it, mirroring the
+    /// interface-to-logic ratios of the larger ITC'99 designs.
+    pub fn large(gates: usize) -> CircuitProfile {
+        let gates = gates.max(64);
+        let root = (gates as f64).sqrt() as usize;
+        CircuitProfile {
+            name: "large",
+            inputs: (root / 2).max(8),
+            outputs: (root / 4).max(8),
+            dffs: (gates / 32).max(2),
+            gates,
+        }
+    }
 }
 
 impl fmt::Display for CircuitProfile {
@@ -151,6 +168,17 @@ mod tests {
         assert!(s.inputs >= 1 && s.outputs >= 1 && s.dffs >= 2 && s.gates >= 8);
         let same = p.scaled_down(1);
         assert_eq!(same, p);
+    }
+
+    #[test]
+    fn large_profile_scales_with_gate_count() {
+        let p = CircuitProfile::large(100_000);
+        assert_eq!(p.gates, 100_000);
+        assert!(p.inputs >= 8 && p.inputs < p.gates);
+        assert!(p.dffs >= 2 && p.dffs <= p.gates / 16);
+        // Reduced sizes used by tests stay well-formed too.
+        let small = CircuitProfile::large(0);
+        assert!(small.gates >= 64 && small.dffs >= 2);
     }
 
     #[test]

@@ -51,8 +51,10 @@ COMMANDS:
         Translate a circuit between formats (bench, edif, verilog).
         Formats default to the file extensions (content sniffing on read).
 
-    stats <IN> [--from FMT]
-        Print interface statistics and the gate histogram.
+    stats <IN> [--from FMT] [--timing]
+        Print interface statistics and the gate histogram. --timing also
+        reports wall-clock times for the load, validate and levelize
+        phases (useful for profiling the netlist core on large designs).
 
     lock <IN> <OUT> [--kappa-s N] [--kappa-f N] [--alpha F]
                     [--state-targets N] [--output-targets N]
@@ -165,7 +167,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let rest = &args[1..];
     match command.as_str() {
         "convert" => cmd_convert(&Opts::parse(rest, 2, &["from", "to"])?),
-        "stats" => cmd_stats(&Opts::parse(rest, 1, &["from"])?),
+        "stats" => cmd_stats(&Opts::parse_with_switches(rest, 1, &["from"], &["timing"])?),
         "lock" => cmd_lock(&Opts::parse(
             rest,
             2,
@@ -425,7 +427,10 @@ fn cmd_convert(opts: &Opts) -> Result<(), String> {
 
 fn cmd_stats(opts: &Opts) -> Result<(), String> {
     let input = opts.positional(0, "input path")?;
+    let timing = opts.switch("timing");
+    let t0 = std::time::Instant::now();
     let netlist = read(input, opts.format("from")?)?;
+    let t_load = t0.elapsed();
     let stats = NetlistStats::of(&netlist);
     say!("design   {}", netlist.name());
     say!("inputs   {}", stats.num_inputs);
@@ -447,6 +452,22 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
         for (class, count) in &stats.dffs_by_class {
             say!("  {class:<9} {count}");
         }
+    }
+    if timing {
+        let t1 = std::time::Instant::now();
+        netlist.validate().map_err(|e| e.to_string())?;
+        let t_validate = t1.elapsed();
+        let t2 = std::time::Instant::now();
+        let levels = netlist::topo::levelize(&netlist).map_err(|e| e.to_string())?;
+        let t_levelize = t2.elapsed();
+        let depth = levels.iter().max().copied().unwrap_or(0);
+        say!("timing (wall-clock):");
+        say!("  load     {:>10.3} ms", t_load.as_secs_f64() * 1e3);
+        say!("  validate {:>10.3} ms", t_validate.as_secs_f64() * 1e3);
+        say!(
+            "  levelize {:>10.3} ms (depth {depth})",
+            t_levelize.as_secs_f64() * 1e3
+        );
     }
     Ok(())
 }

@@ -258,7 +258,13 @@ fn campaign_ignores_daemon_jobs_with_different_parameters() {
 
     // Ground truth for the default-alpha cell, standalone.
     let baseline_path = dir.join("baseline.jsonl");
-    cli_ok(&[&["campaign", original, baseline_path.to_str().unwrap()], cell].concat());
+    cli_ok(
+        &[
+            &["campaign", original, baseline_path.to_str().unwrap()],
+            cell,
+        ]
+        .concat(),
+    );
 
     let socket = dir.join("daemon.sock");
     let socket = socket.to_str().unwrap();

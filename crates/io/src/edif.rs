@@ -939,8 +939,7 @@ pub fn write(netlist: &Netlist) -> String {
     // Primitive library: one cell per used function/arity.
     let mut used_prims: Vec<(GateKind, usize)> = netlist
         .gates()
-        .iter()
-        .map(|g| (g.kind, g.inputs.len()))
+        .map(|g| (g.kind(), g.inputs().len()))
         .collect();
     used_prims.sort();
     used_prims.dedup();
@@ -1050,11 +1049,11 @@ pub fn write(netlist: &Netlist) -> String {
 
     // Contents: instances then nets.
     let mut contents = vec![Sexpr::symbol("contents")];
-    for (i, gate) in netlist.gates().iter().enumerate() {
+    for (i, gate) in netlist.gates().enumerate() {
         contents.push(Sexpr::list(vec![
             Sexpr::symbol("instance"),
             Sexpr::symbol(format!("g{i}")),
-            view_ref(&prims::gate_cell_name(gate.kind, gate.inputs.len())),
+            view_ref(&prims::gate_cell_name(gate.kind(), gate.inputs().len())),
         ]));
     }
     for (i, dff) in netlist.dffs().iter().enumerate() {
@@ -1085,10 +1084,10 @@ pub fn write(netlist: &Netlist) -> String {
         contents.push(Sexpr::list(inst));
     }
 
-    for (i, gate) in netlist.gates().iter().enumerate() {
+    for (i, gate) in netlist.gates().enumerate() {
         let inst = format!("g{i}");
-        joined[gate.output.index()].push(portref("Y", Some(&inst)));
-        for (slot, &net) in gate.inputs.iter().enumerate() {
+        joined[gate.output().index()].push(portref("Y", Some(&inst)));
+        for (slot, &net) in gate.inputs().iter().enumerate() {
             joined[net.index()].push(portref(&format!("I{slot}"), Some(&inst)));
         }
     }
@@ -1433,7 +1432,10 @@ mod tests {
 "#;
         let nl = parse(text).unwrap();
         assert_eq!(nl.num_gates(), 1);
-        assert_eq!(nl.gates()[0].kind, GateKind::Nand);
+        assert_eq!(
+            nl.gate(netlist::GateId::from_index(0)).kind(),
+            GateKind::Nand
+        );
         assert_eq!(nl.num_inputs(), 2);
     }
 
@@ -1457,7 +1459,10 @@ mod tests {
         let nl = parse(text).unwrap();
         assert_eq!(nl.num_inputs(), 1);
         assert_eq!(nl.num_outputs(), 1);
-        assert_eq!(nl.gates()[0].kind, GateKind::Not);
+        assert_eq!(
+            nl.gate(netlist::GateId::from_index(0)).kind(),
+            GateKind::Not
+        );
     }
 
     #[test]
@@ -1619,7 +1624,10 @@ mod tests {
 "#;
         let nl = parse(text).unwrap();
         assert_eq!(nl.num_gates(), 1);
-        assert_eq!(nl.gates()[0].kind, GateKind::Not);
+        assert_eq!(
+            nl.gate(netlist::GateId::from_index(0)).kind(),
+            GateKind::Not
+        );
     }
 
     #[test]

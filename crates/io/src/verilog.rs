@@ -1045,7 +1045,7 @@ pub fn parse(text: &str) -> Result<Netlist, IoError> {
     }
     let declare = |nl: &mut Netlist, name: &str| -> Result<(), IoError> {
         if nl.net_id(name).is_none() {
-            nl.declare_net(name.to_string()).map_err(IoError::Netlist)?;
+            nl.declare_net(name).map_err(IoError::Netlist)?;
         }
         Ok(())
     };
@@ -1338,14 +1338,14 @@ pub fn write(netlist: &Netlist) -> String {
             rendered[d.index()]
         ));
     }
-    for (i, gate) in netlist.gates().iter().enumerate() {
+    for (i, gate) in netlist.gates().enumerate() {
         let inst = names_table.fresh(&format!("g{i}"));
-        let y = rendered[gate.output.index()].clone();
-        match gate.kind {
+        let y = rendered[gate.output().index()].clone();
+        match gate.kind() {
             GateKind::Const0 | GateKind::Const1 => {
                 out.push_str(&format!(
                     "  {} {} (.Y({y}));\n",
-                    prims::gate_cell_name(gate.kind, 0),
+                    prims::gate_cell_name(gate.kind(), 0),
                     render(&inst)
                 ));
             }
@@ -1353,18 +1353,18 @@ pub fn write(netlist: &Netlist) -> String {
                 out.push_str(&format!(
                     "  MUX2 {} (.Y({y}), .S({}), .A({}), .B({}));\n",
                     render(&inst),
-                    rendered[gate.inputs[0].index()],
-                    rendered[gate.inputs[1].index()],
-                    rendered[gate.inputs[2].index()]
+                    rendered[gate.inputs()[0].index()],
+                    rendered[gate.inputs()[1].index()],
+                    rendered[gate.inputs()[2].index()]
                 ));
             }
             _ => {
                 let args: Vec<String> = std::iter::once(y)
-                    .chain(gate.inputs.iter().map(|&n| rendered[n.index()].clone()))
+                    .chain(gate.inputs().iter().map(|&n| rendered[n.index()].clone()))
                     .collect();
                 out.push_str(&format!(
                     "  {} {} ({});\n",
-                    gate.kind.mnemonic().to_ascii_lowercase(),
+                    gate.kind().mnemonic().to_ascii_lowercase(),
                     render(&inst),
                     args.join(", ")
                 ));
@@ -1449,7 +1449,10 @@ endmodule
         let nl = parse(text).unwrap();
         assert_eq!(nl.name(), "top");
         assert_eq!(nl.num_gates(), 2);
-        assert_eq!(nl.gates()[0].kind, GateKind::Nand);
+        assert_eq!(
+            nl.gate(netlist::GateId::from_index(0)).kind(),
+            GateKind::Nand
+        );
     }
 
     #[test]
@@ -1462,8 +1465,14 @@ endmodule
 "#;
         let nl = parse(text).unwrap();
         assert_eq!(nl.num_gates(), 2);
-        assert_eq!(nl.gates()[0].kind, GateKind::Buf);
-        assert_eq!(nl.gates()[1].kind, GateKind::Const1);
+        assert_eq!(
+            nl.gate(netlist::GateId::from_index(0)).kind(),
+            GateKind::Buf
+        );
+        assert_eq!(
+            nl.gate(netlist::GateId::from_index(1)).kind(),
+            GateKind::Const1
+        );
     }
 
     #[test]
@@ -1599,7 +1608,7 @@ endmodule
         let netlist::Driver::Gate(g) = nl.driver(w1) else {
             panic!("w[1] must be gate-driven");
         };
-        assert_eq!(nl.gate(g).kind, GateKind::Const1);
+        assert_eq!(nl.gate(g).kind(), GateKind::Const1);
     }
 
     #[test]

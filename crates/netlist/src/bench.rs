@@ -61,6 +61,8 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
     }
 
     let mut stmts: Vec<(usize, Stmt)> = Vec::new();
+    let mut num_gates = 0usize;
+    let mut num_dffs = 0usize;
 
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -133,6 +135,7 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
                     message: format!("DFF takes exactly one argument, got {}", args.len()),
                 });
             }
+            num_dffs += 1;
             stmts.push((
                 lineno,
                 Stmt::Dff {
@@ -145,11 +148,14 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
                 line: lineno,
                 message: format!("unknown gate kind `{kind_str}`"),
             })?;
+            num_gates += 1;
             stmts.push((lineno, Stmt::Gate { out, kind, args }));
         }
     }
 
-    // Pass 1: declare all nets (inputs, DFF outputs, gate outputs).
+    // Pass 1: declare all nets (inputs, DFF outputs, gate outputs). Reserve
+    // all storage up front so million-gate loads don't rehash and regrow.
+    netlist.reserve(stmts.len(), num_gates, num_dffs);
     for (lineno, stmt) in &stmts {
         let result = match stmt {
             Stmt::Input(name) => netlist.try_add_input(name.clone()).map(|_| ()),
@@ -238,7 +244,7 @@ fn resolve_operand(netlist: &mut Netlist, name: &str) -> Result<crate::NetId, Ne
     } else {
         return Err(NetlistError::UnknownNet(name.to_string()));
     };
-    netlist.add_gate(kind, &[], name.to_string())
+    netlist.add_gate(kind, &[], name)
 }
 
 /// Serializes a [`Netlist`] to the `.bench` format.
@@ -258,7 +264,7 @@ pub fn write(netlist: &Netlist) -> String {
     ));
     for dff in netlist.dffs() {
         if dff.init {
-            out.push_str(&format!("# init {} 1\n", netlist.net_name(dff.q)));
+            out.push_str(&format!("# init {} 1\n", netlist.net_label(dff.q)));
         }
         let class = match dff.class {
             RegClass::Original => None,
@@ -268,32 +274,40 @@ pub fn write(netlist: &Netlist) -> String {
         if let Some(class) = class {
             out.push_str(&format!(
                 "# trilock-class {} {class}\n",
-                netlist.net_name(dff.q)
+                netlist.net_label(dff.q)
             ));
         }
     }
     for &input in netlist.inputs() {
-        out.push_str(&format!("INPUT({})\n", netlist.net_name(input)));
+        out.push_str(&format!("INPUT({})\n", netlist.net_label(input)));
     }
     for &output in netlist.outputs() {
-        out.push_str(&format!("OUTPUT({})\n", netlist.net_name(output)));
+        out.push_str(&format!("OUTPUT({})\n", netlist.net_label(output)));
     }
     for dff in netlist.dffs() {
         let d = dff.d.expect("serializing an unbound flip-flop");
         out.push_str(&format!(
             "{} = DFF({})\n",
-            netlist.net_name(dff.q),
-            netlist.net_name(d)
+            netlist.net_label(dff.q),
+            netlist.net_label(d)
         ));
     }
     for gate in netlist.gates() {
-        let args: Vec<&str> = gate.inputs.iter().map(|&n| netlist.net_name(n)).collect();
-        out.push_str(&format!(
-            "{} = {}({})\n",
-            netlist.net_name(gate.output),
-            gate.kind.mnemonic(),
-            args.join(", ")
-        ));
+        use std::fmt::Write;
+        write!(
+            out,
+            "{} = {}(",
+            netlist.net_label(gate.output()),
+            gate.kind().mnemonic()
+        )
+        .expect("string write");
+        for (i, &n) in gate.inputs().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write!(out, "{}", netlist.net_label(n)).expect("string write");
+        }
+        out.push_str(")\n");
     }
     out
 }
@@ -424,7 +438,7 @@ G17 = NOT(G11)
     #[test]
     fn buff_alias_is_accepted() {
         let nl = parse("INPUT(a)\nOUTPUT(b)\nb = BUFF(a)\n").unwrap();
-        assert_eq!(nl.gates()[0].kind, GateKind::Buf);
+        assert_eq!(nl.gate(crate::GateId::from_index(0)).kind(), GateKind::Buf);
     }
 
     #[test]
@@ -433,7 +447,7 @@ G17 = NOT(G11)
         let nl = parse(text).unwrap();
         assert_eq!(nl.num_inputs(), 2);
         assert_eq!(nl.num_dffs(), 1);
-        assert_eq!(nl.gates()[0].kind, GateKind::Nand);
+        assert_eq!(nl.gate(crate::GateId::from_index(0)).kind(), GateKind::Nand);
     }
 
     #[test]
@@ -446,14 +460,14 @@ G17 = NOT(G11)
         let Driver::Gate(g) = nl.driver(vdd) else {
             panic!("VDD must be gate-driven");
         };
-        assert_eq!(nl.gate(g).kind, GateKind::Const1);
+        assert_eq!(nl.gate(g).kind(), GateKind::Const1);
     }
 
     #[test]
     fn trailing_commas_and_spacing_variants_parse() {
         let text = "INPUT( a )\nOUTPUT(y)\ny = AND(a, a, )\n";
         let nl = parse(text).unwrap();
-        assert_eq!(nl.gates()[0].inputs.len(), 2);
+        assert_eq!(nl.gate(crate::GateId::from_index(0)).inputs().len(), 2);
     }
 
     #[test]

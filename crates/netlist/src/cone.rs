@@ -6,10 +6,8 @@
 //! of the register connection graph used by the removal-attack analysis
 //! (paper Section III-C).
 
-use std::collections::HashSet;
-
 use crate::ids::{DffId, NetId};
-use crate::model::{Driver, Netlist};
+use crate::model::{Driver, FanoutCsr, Netlist};
 
 /// Result of a backward (fan-in) cone traversal from a net.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -22,30 +20,88 @@ pub struct FaninCone {
     pub nets: Vec<NetId>,
 }
 
+/// Reusable traversal state for [`fanin_cone_with`]: epoch-stamped visited
+/// marks (bumping the epoch clears all marks in O(1)) plus the DFS stack.
+/// Callers extracting many cones from one netlist — e.g. the register graph,
+/// which walks a cone per flip-flop — allocate one scratch and reuse it.
+#[derive(Debug, Clone, Default)]
+pub struct ConeScratch {
+    net_stamp: Vec<u32>,
+    dff_stamp: Vec<u32>,
+    epoch: u32,
+    stack: Vec<NetId>,
+}
+
+impl ConeScratch {
+    /// Creates an empty scratch; arrays grow to the netlist size on first use.
+    pub fn new() -> ConeScratch {
+        ConeScratch::default()
+    }
+
+    fn begin(&mut self, nets: usize, dffs: usize) {
+        if self.net_stamp.len() < nets {
+            self.net_stamp.resize(nets, 0);
+        }
+        if self.dff_stamp.len() < dffs {
+            self.dff_stamp.resize(dffs, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.net_stamp.fill(0);
+            self.dff_stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.stack.clear();
+    }
+
+    fn mark_net(&mut self, net: NetId) -> bool {
+        let slot = &mut self.net_stamp[net.index()];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    fn mark_dff(&mut self, dff: DffId) -> bool {
+        let slot = &mut self.dff_stamp[dff.index()];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
 /// Computes the combinational fan-in cone of `net`: every net with a purely
 /// combinational path to `net`, plus the primary inputs and registers feeding
 /// that cone.
 pub fn fanin_cone(netlist: &Netlist, net: NetId) -> FaninCone {
+    fanin_cone_with(netlist, net, &mut ConeScratch::new())
+}
+
+/// Like [`fanin_cone`], but reuses caller-provided traversal state so that
+/// extracting many cones performs no per-cone allocation (beyond the result).
+pub fn fanin_cone_with(netlist: &Netlist, net: NetId, scratch: &mut ConeScratch) -> FaninCone {
     let mut cone = FaninCone::default();
-    let mut seen: HashSet<NetId> = HashSet::new();
-    let mut regs: HashSet<DffId> = HashSet::new();
-    let mut stack = vec![net];
-    while let Some(n) = stack.pop() {
-        if !seen.insert(n) {
+    scratch.begin(netlist.num_nets(), netlist.num_dffs());
+    scratch.stack.push(net);
+    while let Some(n) = scratch.stack.pop() {
+        if !scratch.mark_net(n) {
             continue;
         }
         cone.nets.push(n);
         match netlist.driver(n) {
             Driver::Input => cone.inputs.push(n),
             Driver::Dff(id) => {
-                if regs.insert(id) {
+                if scratch.mark_dff(id) {
                     cone.registers.push(id);
                 }
             }
             Driver::Gate(gid) => {
-                for &input in &netlist.gate(gid).inputs {
-                    stack.push(input);
-                }
+                scratch.stack.extend_from_slice(netlist.gate_fanins(gid));
             }
             Driver::None => {}
         }
@@ -60,23 +116,27 @@ pub fn fanin_cone(netlist: &Netlist, net: NetId) -> FaninCone {
 ///
 /// Returns an empty vector if the flip-flop is unbound.
 pub fn register_fanin(netlist: &Netlist, target: DffId) -> Vec<DffId> {
+    register_fanin_with(netlist, target, &mut ConeScratch::new())
+}
+
+/// Like [`register_fanin`], but reuses caller-provided traversal state.
+pub fn register_fanin_with(
+    netlist: &Netlist,
+    target: DffId,
+    scratch: &mut ConeScratch,
+) -> Vec<DffId> {
     match netlist.dff(target).d {
-        Some(d) => fanin_cone(netlist, d).registers,
+        Some(d) => fanin_cone_with(netlist, d, scratch).registers,
         None => Vec::new(),
     }
 }
 
-/// Computes, for every net, the set of gate-input positions reading it.
-/// Returned as an adjacency list indexed by [`NetId::index`]; each entry holds
-/// the indices of gates that read the net.
-pub fn fanout_map(netlist: &Netlist) -> Vec<Vec<u32>> {
-    let mut map = vec![Vec::new(); netlist.num_nets()];
-    for gid in netlist.gate_ids() {
-        for &input in &netlist.gate(gid).inputs {
-            map[input.index()].push(gid.index() as u32);
-        }
-    }
-    map
+/// The netlist's cached fanout adjacency: for every net, the indices of the
+/// gates reading it (one entry per fanin occurrence). This is a view of the
+/// CSR cache shared with [`crate::topo::gate_order`]; see
+/// [`Netlist::fanout_csr`] for the invalidation rules.
+pub fn fanout_map(netlist: &Netlist) -> &FanoutCsr {
+    netlist.fanout_csr()
 }
 
 /// Counts how many sinks (gate inputs, flip-flop `D` pins, primary outputs)
@@ -84,7 +144,7 @@ pub fn fanout_map(netlist: &Netlist) -> Vec<Vec<u32>> {
 pub fn fanout_counts(netlist: &Netlist) -> Vec<usize> {
     let mut counts = vec![0usize; netlist.num_nets()];
     for gate in netlist.gates() {
-        for &input in &gate.inputs {
+        for &input in gate.inputs() {
             counts[input.index()] += 1;
         }
     }
@@ -157,7 +217,27 @@ mod tests {
         let nl = fixture();
         let map = fanout_map(&nl);
         let a = nl.net_id("a").unwrap();
-        assert_eq!(map[a.index()].len(), 2);
+        assert_eq!(map.gates_reading(a).len(), 2);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_traversals() {
+        let nl = fixture();
+        let mut scratch = ConeScratch::new();
+        for net in nl.net_ids() {
+            assert_eq!(
+                fanin_cone_with(&nl, net, &mut scratch),
+                fanin_cone(&nl, net),
+                "cone of {} diverges under scratch reuse",
+                nl.net_label(net)
+            );
+        }
+        for dff in nl.dff_ids() {
+            assert_eq!(
+                register_fanin_with(&nl, dff, &mut scratch),
+                register_fanin(&nl, dff)
+            );
+        }
     }
 
     #[test]

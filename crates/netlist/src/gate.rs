@@ -1,7 +1,5 @@
 //! Combinational gate primitives.
 
-use crate::ids::NetId;
-use crate::NetlistError;
 use std::fmt;
 
 /// The Boolean function computed by a combinational gate.
@@ -70,22 +68,51 @@ impl GateKind {
 
     /// Parses a `.bench` mnemonic (case-insensitive). `BUFF` is accepted as an
     /// alias of `BUF`, as emitted by some ISCAS distributions.
+    ///
+    /// This sits on the `.bench`/EDIF parse hot path, so the comparison is
+    /// allocation-free (`eq_ignore_ascii_case` rather than uppercasing into a
+    /// temporary `String`).
     pub fn from_mnemonic(s: &str) -> Option<GateKind> {
-        let upper = s.to_ascii_uppercase();
-        Some(match upper.as_str() {
-            "CONST0" | "GND" => GateKind::Const0,
-            "CONST1" | "VDD" => GateKind::Const1,
-            "BUF" | "BUFF" => GateKind::Buf,
-            "NOT" | "INV" => GateKind::Not,
-            "AND" => GateKind::And,
-            "NAND" => GateKind::Nand,
-            "OR" => GateKind::Or,
-            "NOR" => GateKind::Nor,
-            "XOR" => GateKind::Xor,
-            "XNOR" => GateKind::Xnor,
-            "MUX" => GateKind::Mux,
-            _ => return None,
-        })
+        const TABLE: [(&str, GateKind); 15] = [
+            ("AND", GateKind::And),
+            ("NAND", GateKind::Nand),
+            ("OR", GateKind::Or),
+            ("NOR", GateKind::Nor),
+            ("XOR", GateKind::Xor),
+            ("XNOR", GateKind::Xnor),
+            ("NOT", GateKind::Not),
+            ("INV", GateKind::Not),
+            ("BUF", GateKind::Buf),
+            ("BUFF", GateKind::Buf),
+            ("MUX", GateKind::Mux),
+            ("CONST0", GateKind::Const0),
+            ("GND", GateKind::Const0),
+            ("CONST1", GateKind::Const1),
+            ("VDD", GateKind::Const1),
+        ];
+        TABLE
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case(s))
+            .map(|&(_, kind)| kind)
+    }
+
+    /// Prefix for auto-generated wire names of this gate kind, e.g. `w_and`
+    /// for [`GateKind::And`]. Static so [`crate::Netlist::add_gate_auto`]
+    /// names its output without building a lowercase `String` per gate.
+    pub fn wire_prefix(self) -> &'static str {
+        match self {
+            GateKind::Const0 => "w_const0",
+            GateKind::Const1 => "w_const1",
+            GateKind::Buf => "w_buf",
+            GateKind::Not => "w_not",
+            GateKind::And => "w_and",
+            GateKind::Nand => "w_nand",
+            GateKind::Or => "w_or",
+            GateKind::Nor => "w_nor",
+            GateKind::Xor => "w_xor",
+            GateKind::Xnor => "w_xnor",
+            GateKind::Mux => "w_mux",
+        }
     }
 
     /// Checks whether `n` inputs is a legal arity for this gate kind.
@@ -158,41 +185,6 @@ impl fmt::Display for GateKind {
     }
 }
 
-/// A combinational gate instance: a [`GateKind`], its input nets and its
-/// single output net.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Gate {
-    /// Boolean function computed by the gate.
-    pub kind: GateKind,
-    /// Input nets, in positional order (significant for [`GateKind::Mux`]).
-    pub inputs: Vec<NetId>,
-    /// Output net driven by the gate.
-    pub output: NetId,
-}
-
-impl Gate {
-    /// Creates a gate after checking the arity of `kind`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetlistError::BadArity`] if the number of inputs is not legal
-    /// for `kind`.
-    pub fn new(kind: GateKind, inputs: Vec<NetId>, output: NetId) -> Result<Self, NetlistError> {
-        if !kind.arity_ok(inputs.len()) {
-            return Err(NetlistError::BadArity {
-                kind: kind.mnemonic(),
-                got: inputs.len(),
-                expected: kind.arity_description(),
-            });
-        }
-        Ok(Gate {
-            kind,
-            inputs,
-            output,
-        })
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,14 +249,19 @@ mod tests {
     }
 
     #[test]
-    fn gate_new_rejects_bad_arity() {
-        let err = Gate::new(
-            GateKind::Not,
-            vec![NetId::from_index(0), NetId::from_index(1)],
-            NetId::from_index(2),
-        )
-        .unwrap_err();
-        assert!(matches!(err, NetlistError::BadArity { .. }));
+    fn mnemonic_parse_is_case_insensitive() {
+        assert_eq!(GateKind::from_mnemonic("NaNd"), Some(GateKind::Nand));
+        assert_eq!(GateKind::from_mnemonic("vdd"), Some(GateKind::Const1));
+        assert_eq!(GateKind::from_mnemonic("gnd"), Some(GateKind::Const0));
+        assert_eq!(GateKind::from_mnemonic(""), None);
+    }
+
+    #[test]
+    fn wire_prefixes_match_mnemonics() {
+        for kind in GateKind::ALL {
+            let prefix = kind.wire_prefix();
+            assert_eq!(prefix, format!("w_{}", kind.mnemonic().to_lowercase()));
+        }
     }
 
     #[test]

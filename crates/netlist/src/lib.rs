@@ -53,6 +53,6 @@ pub mod unroll;
 pub mod words;
 
 pub use error::NetlistError;
-pub use gate::{Gate, GateKind};
+pub use gate::GateKind;
 pub use ids::{DffId, GateId, NetId};
-pub use model::{Dff, Driver, Netlist, RegClass};
+pub use model::{Dff, Driver, FanoutCsr, GateRef, NetLabel, Netlist, RegClass};

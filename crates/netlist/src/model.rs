@@ -1,8 +1,38 @@
-//! The [`Netlist`] data model.
+//! The [`Netlist`] data model: struct-of-arrays storage for million-gate
+//! circuits.
+//!
+//! # Storage layout
+//!
+//! The netlist is stored index-based, struct-of-arrays:
+//!
+//! * **Nets** are rows across parallel arrays: a `Vec<Driver>` and a name-span
+//!   table. Net names live in a single byte arena (`String`) addressed by
+//!   `(offset, len)` spans, so reading a name is a slice into one contiguous
+//!   allocation and nets created by transformation passes may stay *unnamed*
+//!   (lazy names) at zero cost. Name→id lookup goes through an open-addressed
+//!   span map ([`NameMap`]) that hashes and compares arena bytes directly —
+//!   it serves the format frontends and never sits on a traversal path.
+//! * **Gates** are a CSR (compressed sparse row) structure: one flat
+//!   `Vec<NetId>` of fanin literals plus a `Vec<u32>` offset table, with
+//!   parallel `Vec<GateKind>` / output-net arrays. [`Netlist::gate`] returns a
+//!   [`GateRef`] view whose input slice points into the flat array; iterating
+//!   gates touches cache-linear memory with no per-gate pointer chasing.
+//! * **Fanout** adjacency (net → reading gate occurrences) is a cached CSR
+//!   ([`FanoutCsr`]) built lazily on first use and **invalidated by any
+//!   mutation that adds a net or touches gate structure** (`add_gate*`,
+//!   `replace_net_uses`, net/dff creation). Analyses like
+//!   [`crate::topo::gate_order`] and [`crate::cone::fanout_map`] share one
+//!   build instead of re-deriving a `Vec<Vec<u32>>` per call.
+//!
+//! Construction is incremental and cheap; [`Netlist::validate`] performs the
+//! global checks (every used net driven, flip-flops bound, no combinational
+//! cycles). For bulk loads, [`Netlist::with_capacity`] pre-reserves all
+//! arrays so streaming readers do not rehash and regrow repeatedly.
 
-use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
 
-use crate::gate::{Gate, GateKind};
+use crate::gate::GateKind;
 use crate::ids::{DffId, GateId, NetId};
 use crate::NetlistError;
 
@@ -46,28 +76,271 @@ pub struct Dff {
     pub class: RegClass,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct NetInfo {
-    name: String,
-    driver: Driver,
+/// Span of a net name inside the name arena. `len == u32::MAX` marks an
+/// unnamed (lazily named) net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NameSpan {
+    off: u32,
+    len: u32,
+}
+
+impl NameSpan {
+    const UNNAMED: NameSpan = NameSpan {
+        off: 0,
+        len: u32::MAX,
+    };
+
+    fn is_named(self) -> bool {
+        self.len != u32::MAX
+    }
+}
+
+const SLOT_EMPTY: u32 = u32::MAX;
+const SLOT_TOMB: u32 = u32::MAX - 1;
+
+/// Open-addressed name → net map over arena spans.
+///
+/// Slots store net indices; keys are read out of the shared arena through the
+/// span table, so neither lookup nor insertion allocates. Rename leaves a
+/// tombstone. Capacity is a power of two and grows at 7/8 load.
+#[derive(Debug, Clone, Default)]
+struct NameMap {
+    slots: Vec<u32>,
+    /// Live entries.
+    live: usize,
+    /// Live entries + tombstones (governs growth).
+    used: usize,
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a: names are short; this beats SipHash setup cost per net.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl NameMap {
+    fn cap_for(names: usize) -> usize {
+        // 7/8 max load; at least 16 slots.
+        (names.saturating_mul(8) / 7 + 1)
+            .next_power_of_two()
+            .max(16)
+    }
+
+    fn span_of(net: u32, spans: &[NameSpan]) -> NameSpan {
+        spans[net as usize]
+    }
+
+    fn name_of<'a>(net: u32, arena: &'a str, spans: &[NameSpan]) -> &'a str {
+        let span = Self::span_of(net, spans);
+        debug_assert!(span.is_named());
+        &arena[span.off as usize..span.off as usize + span.len as usize]
+    }
+
+    fn get(&self, name: &str, arena: &str, spans: &[NameSpan]) -> Option<NetId> {
+        if self.slots.is_empty() || self.live == 0 {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut idx = (hash_name(name) as usize) & mask;
+        loop {
+            match self.slots[idx] {
+                SLOT_EMPTY => return None,
+                SLOT_TOMB => {}
+                net => {
+                    if Self::name_of(net, arena, spans) == name {
+                        return Some(NetId(net));
+                    }
+                }
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Inserts a net the caller has already verified to be absent.
+    fn insert(&mut self, net: NetId, arena: &str, spans: &[NameSpan]) {
+        if self.slots.is_empty() || (self.used + 1) * 8 > self.slots.len() * 7 {
+            self.grow(
+                Self::cap_for(self.live + 1).max(self.slots.len() * 2),
+                arena,
+                spans,
+            );
+        }
+        let name = Self::name_of(net.0, arena, spans);
+        let mask = self.slots.len() - 1;
+        let mut idx = (hash_name(name) as usize) & mask;
+        loop {
+            match self.slots[idx] {
+                SLOT_EMPTY => {
+                    self.slots[idx] = net.0;
+                    self.used += 1;
+                    self.live += 1;
+                    return;
+                }
+                SLOT_TOMB => {
+                    self.slots[idx] = net.0;
+                    self.live += 1;
+                    return;
+                }
+                _ => idx = (idx + 1) & mask,
+            }
+        }
+    }
+
+    fn remove(&mut self, name: &str, arena: &str, spans: &[NameSpan]) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let mask = self.slots.len() - 1;
+        let mut idx = (hash_name(name) as usize) & mask;
+        loop {
+            match self.slots[idx] {
+                SLOT_EMPTY => return,
+                SLOT_TOMB => {}
+                net => {
+                    if Self::name_of(net, arena, spans) == name {
+                        self.slots[idx] = SLOT_TOMB;
+                        self.live -= 1;
+                        return;
+                    }
+                }
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    fn reserve(&mut self, additional: usize, arena: &str, spans: &[NameSpan]) {
+        let want = Self::cap_for(self.live + additional);
+        if want > self.slots.len() {
+            self.grow(want, arena, spans);
+        }
+    }
+
+    fn grow(&mut self, new_cap: usize, arena: &str, spans: &[NameSpan]) {
+        let new_cap = new_cap.next_power_of_two().max(16);
+        let old = std::mem::replace(&mut self.slots, vec![SLOT_EMPTY; new_cap]);
+        self.used = self.live;
+        let mask = new_cap - 1;
+        for slot in old {
+            if slot == SLOT_EMPTY || slot == SLOT_TOMB {
+                continue;
+            }
+            let name = Self::name_of(slot, arena, spans);
+            let mut idx = (hash_name(name) as usize) & mask;
+            while self.slots[idx] != SLOT_EMPTY {
+                idx = (idx + 1) & mask;
+            }
+            self.slots[idx] = slot;
+        }
+    }
+}
+
+/// A borrowed view of one combinational gate: its kind, output net and an
+/// input slice pointing directly into the netlist's flat fanin array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateRef<'a> {
+    id: GateId,
+    kind: GateKind,
+    output: NetId,
+    inputs: &'a [NetId],
+}
+
+impl<'a> GateRef<'a> {
+    /// Id of this gate.
+    pub fn id(&self) -> GateId {
+        self.id
+    }
+
+    /// Boolean function computed by the gate.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Output net driven by the gate.
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+
+    /// Input nets in positional order (significant for [`GateKind::Mux`]),
+    /// borrowed from the netlist's flat fanin array.
+    pub fn inputs(&self) -> &'a [NetId] {
+        self.inputs
+    }
+}
+
+/// Cached CSR fanout adjacency: for every net, the gate occurrences reading
+/// it (a gate reading a net twice appears twice, mirroring its fanin list).
+///
+/// Built once per netlist generation by [`Netlist::fanout_csr`] and
+/// invalidated by any mutation that adds nets or changes gate structure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FanoutCsr {
+    offsets: Vec<u32>,
+    readers: Vec<u32>,
+}
+
+impl FanoutCsr {
+    /// Indices of the gates reading `net`, in ascending gate order, one entry
+    /// per fanin occurrence.
+    pub fn gates_reading(&self, net: NetId) -> &[u32] {
+        let i = net.index();
+        &self.readers[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of gate-input occurrences reading `net`.
+    pub fn degree(&self, net: NetId) -> usize {
+        self.gates_reading(net).len()
+    }
+}
+
+/// Printable label of a net: its interned name, or `%<index>` for unnamed
+/// nets. Formats without allocating.
+#[derive(Debug, Clone, Copy)]
+pub struct NetLabel<'a> {
+    name: Option<&'a str>,
+    index: usize,
+}
+
+impl fmt::Display for NetLabel<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name {
+            Some(name) => f.write_str(name),
+            None => write!(f, "%{}", self.index),
+        }
+    }
 }
 
 /// A sequential gate-level circuit.
 ///
-/// A netlist owns a set of named nets; each net is driven by exactly one of a
-/// primary input, a combinational gate or a flip-flop `Q` pin. Construction is
-/// incremental and cheap; [`Netlist::validate`] performs the global checks
-/// (every used net driven, flip-flops bound, no combinational cycles).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A netlist owns a set of nets; each net is driven by exactly one of a
+/// primary input, a combinational gate or a flip-flop `Q` pin. Nets are
+/// usually named (names live in one interned byte arena), but nets produced
+/// by expansion passes may be unnamed — see [`Netlist::add_gate_unnamed`] and
+/// [`Netlist::net_label`]. See the [module docs](self) for the
+/// struct-of-arrays storage layout.
+#[derive(Debug, Clone)]
 pub struct Netlist {
     name: String,
-    nets: Vec<NetInfo>,
-    by_name: HashMap<String, NetId>,
+    // --- nets (struct-of-arrays) ---
+    arena: String,
+    spans: Vec<NameSpan>,
+    drivers: Vec<Driver>,
+    by_name: NameMap,
     inputs: Vec<NetId>,
     outputs: Vec<NetId>,
-    gates: Vec<Gate>,
+    // --- gates (CSR fanin) ---
+    gate_kinds: Vec<GateKind>,
+    gate_outputs: Vec<NetId>,
+    fanin: Vec<NetId>,
+    fanin_offsets: Vec<u32>,
     dffs: Vec<Dff>,
+    // --- caches ---
+    consts: [Option<NetId>; 2],
     fresh_counter: u64,
+    fanout_cache: OnceLock<FanoutCsr>,
 }
 
 impl Netlist {
@@ -75,14 +348,46 @@ impl Netlist {
     pub fn new(name: impl Into<String>) -> Self {
         Netlist {
             name: name.into(),
-            nets: Vec::new(),
-            by_name: HashMap::new(),
+            arena: String::new(),
+            spans: Vec::new(),
+            drivers: Vec::new(),
+            by_name: NameMap::default(),
             inputs: Vec::new(),
             outputs: Vec::new(),
-            gates: Vec::new(),
+            gate_kinds: Vec::new(),
+            gate_outputs: Vec::new(),
+            fanin: Vec::new(),
+            fanin_offsets: vec![0],
             dffs: Vec::new(),
+            consts: [None, None],
             fresh_counter: 0,
+            fanout_cache: OnceLock::new(),
         }
+    }
+
+    /// Creates an empty netlist with pre-reserved capacity: `nets` nets,
+    /// `gates` gates (with an average fanin of two) and `dffs` flip-flops.
+    /// Streaming readers use this so million-gate loads do not rehash and
+    /// regrow repeatedly; the hints are advisory and may be exceeded.
+    pub fn with_capacity(name: impl Into<String>, nets: usize, gates: usize, dffs: usize) -> Self {
+        let mut nl = Netlist::new(name);
+        nl.reserve(nets, gates, dffs);
+        nl
+    }
+
+    /// Reserves space for `nets` more nets, `gates` more gates and `dffs`
+    /// more flip-flops.
+    pub fn reserve(&mut self, nets: usize, gates: usize, dffs: usize) {
+        // ~12 bytes of name per net is typical for generated/ISCAS names.
+        self.arena.reserve(nets.saturating_mul(12));
+        self.spans.reserve(nets);
+        self.drivers.reserve(nets);
+        self.by_name.reserve(nets, &self.arena, &self.spans);
+        self.gate_kinds.reserve(gates);
+        self.gate_outputs.reserve(gates);
+        self.fanin.reserve(gates.saturating_mul(2));
+        self.fanin_offsets.reserve(gates);
+        self.dffs.reserve(dffs);
     }
 
     /// Design name.
@@ -99,13 +404,42 @@ impl Netlist {
     // Net management
     // ------------------------------------------------------------------
 
-    fn insert_net(&mut self, name: String, driver: Driver) -> Result<NetId, NetlistError> {
-        if self.by_name.contains_key(&name) {
-            return Err(NetlistError::DuplicateNet(name));
+    /// Invalidates derived caches after a structural mutation.
+    fn touch(&mut self) {
+        if self.fanout_cache.get().is_some() {
+            self.fanout_cache = OnceLock::new();
         }
-        let id = NetId(self.nets.len() as u32);
-        self.by_name.insert(name.clone(), id);
-        self.nets.push(NetInfo { name, driver });
+    }
+
+    fn intern(&mut self, name: &str) -> NameSpan {
+        let off = self.arena.len();
+        self.arena.push_str(name);
+        assert!(self.arena.len() <= u32::MAX as usize, "name arena overflow");
+        NameSpan {
+            off: off as u32,
+            len: name.len() as u32,
+        }
+    }
+
+    fn span_str(&self, span: NameSpan) -> &str {
+        &self.arena[span.off as usize..span.off as usize + span.len as usize]
+    }
+
+    fn push_net(&mut self, span: NameSpan, driver: Driver) -> NetId {
+        let id = NetId(self.spans.len() as u32);
+        self.spans.push(span);
+        self.drivers.push(driver);
+        self.touch();
+        id
+    }
+
+    fn insert_net(&mut self, name: &str, driver: Driver) -> Result<NetId, NetlistError> {
+        if self.by_name.get(name, &self.arena, &self.spans).is_some() {
+            return Err(NetlistError::DuplicateNet(name.to_string()));
+        }
+        let span = self.intern(name);
+        let id = self.push_net(span, driver);
+        self.by_name.insert(id, &self.arena, &self.spans);
         Ok(id)
     }
 
@@ -115,8 +449,8 @@ impl Netlist {
     /// # Errors
     ///
     /// Returns [`NetlistError::DuplicateNet`] if the name already exists.
-    pub fn declare_net(&mut self, name: impl Into<String>) -> Result<NetId, NetlistError> {
-        self.insert_net(name.into(), Driver::None)
+    pub fn declare_net(&mut self, name: impl AsRef<str>) -> Result<NetId, NetlistError> {
+        self.insert_net(name.as_ref(), Driver::None)
     }
 
     /// Adds a primary input and returns its net.
@@ -125,9 +459,9 @@ impl Netlist {
     ///
     /// Panics if the name already exists; inputs are normally created first,
     /// from unique names.
-    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+    pub fn add_input(&mut self, name: impl AsRef<str>) -> NetId {
         let id = self
-            .insert_net(name.into(), Driver::Input)
+            .insert_net(name.as_ref(), Driver::Input)
             .expect("duplicate primary input name");
         self.inputs.push(id);
         id
@@ -138,10 +472,18 @@ impl Netlist {
     /// # Errors
     ///
     /// Returns [`NetlistError::DuplicateNet`] if the name already exists.
-    pub fn try_add_input(&mut self, name: impl Into<String>) -> Result<NetId, NetlistError> {
-        let id = self.insert_net(name.into(), Driver::Input)?;
+    pub fn try_add_input(&mut self, name: impl AsRef<str>) -> Result<NetId, NetlistError> {
+        let id = self.insert_net(name.as_ref(), Driver::Input)?;
         self.inputs.push(id);
         Ok(id)
+    }
+
+    /// Adds an unnamed primary input. Expansion passes (e.g. unrolling) use
+    /// this where names would cost an allocation per net without being read.
+    pub fn add_input_unnamed(&mut self) -> NetId {
+        let id = self.push_net(NameSpan::UNNAMED, Driver::Input);
+        self.inputs.push(id);
+        id
     }
 
     /// Marks an existing net as a primary output. A net may be listed as an
@@ -154,7 +496,7 @@ impl Netlist {
     pub fn mark_output(&mut self, net: NetId) -> Result<(), NetlistError> {
         self.check_net(net)?;
         if self.outputs.contains(&net) {
-            return Err(NetlistError::DuplicateNet(self.net_name(net).to_string()));
+            return Err(NetlistError::DuplicateNet(self.net_label(net).to_string()));
         }
         self.outputs.push(net);
         Ok(())
@@ -180,24 +522,51 @@ impl Netlist {
     }
 
     fn check_net(&self, net: NetId) -> Result<(), NetlistError> {
-        if net.index() >= self.nets.len() {
+        if net.index() >= self.spans.len() {
             return Err(NetlistError::InvalidNetId(net.index()));
         }
         Ok(())
     }
 
-    /// Looks a net up by name.
+    /// Looks a net up by name. This goes through the interner's lookup map;
+    /// it serves the format frontends and should not appear on traversal
+    /// paths.
     pub fn net_id(&self, name: &str) -> Option<NetId> {
-        self.by_name.get(name).copied()
+        self.by_name.get(name, &self.arena, &self.spans)
     }
 
-    /// Name of a net.
+    /// Name of a net: a slice into the interned name arena, or `""` if the
+    /// net is unnamed (see [`Netlist::net_label`] for a printable fallback).
     ///
     /// # Panics
     ///
     /// Panics if `net` does not belong to this netlist.
     pub fn net_name(&self, net: NetId) -> &str {
-        &self.nets[net.index()].name
+        let span = self.spans[net.index()];
+        if span.is_named() {
+            self.span_str(span)
+        } else {
+            ""
+        }
+    }
+
+    /// Whether the net carries a name.
+    pub fn has_net_name(&self, net: NetId) -> bool {
+        self.spans[net.index()].is_named()
+    }
+
+    /// Printable label: the net's name, or `%<index>` if it is unnamed.
+    /// Used by writers and error paths; formats without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not belong to this netlist.
+    pub fn net_label(&self, net: NetId) -> NetLabel<'_> {
+        let span = self.spans[net.index()];
+        NetLabel {
+            name: span.is_named().then(|| self.span_str(span)),
+            index: net.index(),
+        }
     }
 
     /// Driver of a net.
@@ -206,10 +575,11 @@ impl Netlist {
     ///
     /// Panics if `net` does not belong to this netlist.
     pub fn driver(&self, net: NetId) -> Driver {
-        self.nets[net.index()].driver
+        self.drivers[net.index()]
     }
 
-    /// Renames a net, keeping the name index consistent.
+    /// Renames a net (or names a previously unnamed one), keeping the name
+    /// index consistent.
     ///
     /// # Errors
     ///
@@ -218,19 +588,29 @@ impl Netlist {
     pub fn rename_net(
         &mut self,
         net: NetId,
-        new_name: impl Into<String>,
+        new_name: impl AsRef<str>,
     ) -> Result<(), NetlistError> {
         self.check_net(net)?;
-        let new_name = new_name.into();
-        if self.nets[net.index()].name == new_name {
+        let new_name = new_name.as_ref();
+        let old = self.spans[net.index()];
+        if old.is_named() && self.span_str(old) == new_name {
             return Ok(());
         }
-        if self.by_name.contains_key(&new_name) {
-            return Err(NetlistError::DuplicateNet(new_name));
+        if self
+            .by_name
+            .get(new_name, &self.arena, &self.spans)
+            .is_some()
+        {
+            return Err(NetlistError::DuplicateNet(new_name.to_string()));
         }
-        let old = std::mem::replace(&mut self.nets[net.index()].name, new_name.clone());
-        self.by_name.remove(&old);
-        self.by_name.insert(new_name, net);
+        if old.is_named() {
+            // The old bytes stay in the arena (renames are rare and the
+            // arena is append-only); only the map entry is retired.
+            let old_name = self.span_str(old).to_string();
+            self.by_name.remove(&old_name, &self.arena, &self.spans);
+        }
+        self.spans[net.index()] = self.intern(new_name);
+        self.by_name.insert(net, &self.arena, &self.spans);
         Ok(())
     }
 
@@ -239,15 +619,78 @@ impl Netlist {
         loop {
             let candidate = format!("{prefix}__{}", self.fresh_counter);
             self.fresh_counter += 1;
-            if !self.by_name.contains_key(&candidate) {
+            if self
+                .by_name
+                .get(&candidate, &self.arena, &self.spans)
+                .is_none()
+            {
                 return candidate;
             }
+        }
+    }
+
+    /// Interns a fresh `prefix__<n>` name directly into the arena (no
+    /// intermediate `String`) and returns its span.
+    fn fresh_span(&mut self, prefix: &str) -> NameSpan {
+        use std::fmt::Write;
+        loop {
+            let off = self.arena.len();
+            write!(self.arena, "{prefix}__{}", self.fresh_counter).expect("arena write");
+            self.fresh_counter += 1;
+            assert!(self.arena.len() <= u32::MAX as usize, "name arena overflow");
+            let span = NameSpan {
+                off: off as u32,
+                len: (self.arena.len() - off) as u32,
+            };
+            let name = &self.arena[off..];
+            if self.by_name.get(name, &self.arena, &self.spans).is_none() {
+                return span;
+            }
+            self.arena.truncate(off);
         }
     }
 
     // ------------------------------------------------------------------
     // Gates
     // ------------------------------------------------------------------
+
+    fn check_arity(kind: GateKind, n: usize) -> Result<(), NetlistError> {
+        if kind.arity_ok(n) {
+            Ok(())
+        } else {
+            Err(NetlistError::BadArity {
+                kind: kind.mnemonic(),
+                got: n,
+                expected: kind.arity_description(),
+            })
+        }
+    }
+
+    fn check_gate_inputs(&self, kind: GateKind, inputs: &[NetId]) -> Result<(), NetlistError> {
+        for &i in inputs {
+            self.check_net(i)?;
+        }
+        Self::check_arity(kind, inputs.len())
+    }
+
+    /// Appends the gate rows; the output net must already exist and be wired
+    /// to `Driver::Gate(<this gate>)` by the caller.
+    fn push_gate(&mut self, kind: GateKind, inputs: &[NetId], output: NetId) -> GateId {
+        let id = GateId(self.gate_kinds.len() as u32);
+        self.gate_kinds.push(kind);
+        self.gate_outputs.push(output);
+        self.fanin.extend_from_slice(inputs);
+        assert!(
+            self.fanin.len() <= u32::MAX as usize,
+            "fanin table overflow"
+        );
+        self.fanin_offsets.push(self.fanin.len() as u32);
+        if let Some(slot) = const_slot(kind) {
+            self.consts[slot].get_or_insert(output);
+        }
+        self.touch();
+        id
+    }
 
     /// Adds a gate whose output is a newly created net named `out_name`.
     ///
@@ -259,22 +702,33 @@ impl Netlist {
         &mut self,
         kind: GateKind,
         inputs: &[NetId],
-        out_name: impl Into<String>,
+        out_name: impl AsRef<str>,
     ) -> Result<NetId, NetlistError> {
-        for &i in inputs {
-            self.check_net(i)?;
-        }
-        if !kind.arity_ok(inputs.len()) {
-            return Err(NetlistError::BadArity {
-                kind: kind.mnemonic(),
-                got: inputs.len(),
-                expected: kind.arity_description(),
-            });
-        }
-        let gate_id = GateId(self.gates.len() as u32);
-        let out = self.insert_net(out_name.into(), Driver::Gate(gate_id))?;
-        let gate = Gate::new(kind, inputs.to_vec(), out)?;
-        self.gates.push(gate);
+        self.check_gate_inputs(kind, inputs)?;
+        let gate_id = GateId(self.gate_kinds.len() as u32);
+        let out = self.insert_net(out_name.as_ref(), Driver::Gate(gate_id))?;
+        self.push_gate(kind, inputs, out);
+        Ok(out)
+    }
+
+    /// Adds a gate whose output net gets a fresh `prefix__<n>` name, interned
+    /// directly into the name arena (no per-gate `String` allocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] for an illegal input count.
+    pub fn add_gate_fresh(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        prefix: &str,
+    ) -> Result<NetId, NetlistError> {
+        self.check_gate_inputs(kind, inputs)?;
+        let gate_id = GateId(self.gate_kinds.len() as u32);
+        let span = self.fresh_span(prefix);
+        let out = self.push_net(span, Driver::Gate(gate_id));
+        self.by_name.insert(out, &self.arena, &self.spans);
+        self.push_gate(kind, inputs, out);
         Ok(out)
     }
 
@@ -288,8 +742,29 @@ impl Netlist {
         kind: GateKind,
         inputs: &[NetId],
     ) -> Result<NetId, NetlistError> {
-        let name = self.fresh_name(&format!("w_{}", kind.mnemonic().to_ascii_lowercase()));
-        self.add_gate(kind, inputs, name)
+        self.add_gate_fresh(kind, inputs, kind.wire_prefix())
+    }
+
+    /// Adds a gate whose output net is *unnamed*. Expansion passes
+    /// (unrolling, miter construction) create millions of internal nets whose
+    /// names are never read; leaving them unnamed keeps those paths free of
+    /// per-gate heap allocation. Unnamed nets print as `%<index>` via
+    /// [`Netlist::net_label`] and can be named later with
+    /// [`Netlist::rename_net`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] for an illegal input count.
+    pub fn add_gate_unnamed(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+    ) -> Result<NetId, NetlistError> {
+        self.check_gate_inputs(kind, inputs)?;
+        let gate_id = GateId(self.gate_kinds.len() as u32);
+        let out = self.push_net(NameSpan::UNNAMED, Driver::Gate(gate_id));
+        self.push_gate(kind, inputs, out);
+        Ok(out)
     }
 
     /// Adds a gate driving an already-declared, currently undriven net.
@@ -305,35 +780,32 @@ impl Netlist {
         output: NetId,
     ) -> Result<GateId, NetlistError> {
         self.check_net(output)?;
-        for &i in inputs {
-            self.check_net(i)?;
-        }
-        if self.nets[output.index()].driver != Driver::None {
+        self.check_gate_inputs(kind, inputs)?;
+        if self.drivers[output.index()] != Driver::None {
             return Err(NetlistError::MultipleDrivers(
-                self.net_name(output).to_string(),
+                self.net_label(output).to_string(),
             ));
         }
-        let gate_id = GateId(self.gates.len() as u32);
-        let gate = Gate::new(kind, inputs.to_vec(), output)?;
-        self.nets[output.index()].driver = Driver::Gate(gate_id);
-        self.gates.push(gate);
+        let gate_id = GateId(self.gate_kinds.len() as u32);
+        self.drivers[output.index()] = Driver::Gate(gate_id);
+        self.push_gate(kind, inputs, output);
         Ok(gate_id)
     }
 
     /// Returns a net that is constantly `value`, creating a constant gate on
     /// first use and reusing any existing one afterwards. Format frontends
-    /// use this to map `VDD`/`GND` rails and literal connections.
+    /// use this to map `VDD`/`GND` rails and literal connections; the
+    /// existing-gate check is a cached O(1) lookup.
     pub fn const_net(&mut self, value: bool) -> NetId {
         let kind = if value {
             GateKind::Const1
         } else {
             GateKind::Const0
         };
-        if let Some(gate) = self.gates.iter().find(|g| g.kind == kind) {
-            return gate.output;
+        if let Some(net) = self.consts[value as usize] {
+            return net;
         }
-        let name = self.fresh_name(if value { "const1" } else { "const0" });
-        self.add_gate(kind, &[], name)
+        self.add_gate_fresh(kind, &[], if value { "const1" } else { "const0" })
             .expect("constant gates take no inputs and a fresh name")
     }
 
@@ -345,8 +817,7 @@ impl Netlist {
     /// Returns [`NetlistError::InvalidNetId`] for a foreign id.
     pub fn add_buffer(&mut self, from: NetId) -> Result<NetId, NetlistError> {
         self.check_net(from)?;
-        let name = self.fresh_name("buf");
-        self.add_gate(GateKind::Buf, &[from], name)
+        self.add_gate_fresh(GateKind::Buf, &[from], "buf")
     }
 
     // ------------------------------------------------------------------
@@ -362,7 +833,7 @@ impl Netlist {
     /// Returns [`NetlistError::DuplicateNet`] if `q_name` already exists.
     pub fn declare_dff(
         &mut self,
-        q_name: impl Into<String>,
+        q_name: impl AsRef<str>,
         init: bool,
     ) -> Result<NetId, NetlistError> {
         self.declare_dff_with_class(q_name, init, RegClass::Original)
@@ -375,12 +846,12 @@ impl Netlist {
     /// Returns [`NetlistError::DuplicateNet`] if `q_name` already exists.
     pub fn declare_dff_with_class(
         &mut self,
-        q_name: impl Into<String>,
+        q_name: impl AsRef<str>,
         init: bool,
         class: RegClass,
     ) -> Result<NetId, NetlistError> {
         let dff_id = DffId(self.dffs.len() as u32);
-        let q = self.insert_net(q_name.into(), Driver::Dff(dff_id))?;
+        let q = self.insert_net(q_name.as_ref(), Driver::Dff(dff_id))?;
         self.dffs.push(Dff {
             d: None,
             q,
@@ -399,20 +870,16 @@ impl Netlist {
     pub fn bind_dff(&mut self, q: NetId, d: NetId) -> Result<(), NetlistError> {
         self.check_net(q)?;
         self.check_net(d)?;
-        match self.nets[q.index()].driver {
+        match self.drivers[q.index()] {
             Driver::Dff(id) => {
                 let dff = &mut self.dffs[id.index()];
                 if dff.d.is_some() {
-                    return Err(NetlistError::BadDffBinding(
-                        self.nets[q.index()].name.clone(),
-                    ));
+                    return Err(NetlistError::BadDffBinding(self.net_label(q).to_string()));
                 }
                 dff.d = Some(d);
                 Ok(())
             }
-            _ => Err(NetlistError::BadDffBinding(
-                self.nets[q.index()].name.clone(),
-            )),
+            _ => Err(NetlistError::BadDffBinding(self.net_label(q).to_string())),
         }
     }
 
@@ -425,14 +892,12 @@ impl Netlist {
     pub fn rebind_dff(&mut self, q: NetId, d: NetId) -> Result<(), NetlistError> {
         self.check_net(q)?;
         self.check_net(d)?;
-        match self.nets[q.index()].driver {
+        match self.drivers[q.index()] {
             Driver::Dff(id) => {
                 self.dffs[id.index()].d = Some(d);
                 Ok(())
             }
-            _ => Err(NetlistError::BadDffBinding(
-                self.nets[q.index()].name.clone(),
-            )),
+            _ => Err(NetlistError::BadDffBinding(self.net_label(q).to_string())),
         }
     }
 
@@ -448,11 +913,11 @@ impl Netlist {
     /// Panics if `id` is out of range.
     pub fn remove_dff(&mut self, id: DffId) -> Dff {
         let removed = self.dffs.swap_remove(id.index());
-        self.nets[removed.q.index()].driver = Driver::None;
+        self.drivers[removed.q.index()] = Driver::None;
         if id.index() < self.dffs.len() {
             // Fix the driver pointer of the flip-flop that was swapped in.
             let moved_q = self.dffs[id.index()].q;
-            self.nets[moved_q.index()].driver = Driver::Dff(id);
+            self.drivers[moved_q.index()] = Driver::Dff(id);
         }
         removed
     }
@@ -469,12 +934,10 @@ impl Netlist {
         self.check_net(old)?;
         self.check_net(new)?;
         let mut count = 0;
-        for gate in &mut self.gates {
-            for input in &mut gate.inputs {
-                if *input == old {
-                    *input = new;
-                    count += 1;
-                }
+        for input in &mut self.fanin {
+            if *input == old {
+                *input = new;
+                count += 1;
             }
         }
         for dff in &mut self.dffs {
@@ -489,6 +952,7 @@ impl Netlist {
                 count += 1;
             }
         }
+        self.touch();
         Ok(count)
     }
 
@@ -506,18 +970,82 @@ impl Netlist {
         &self.outputs
     }
 
-    /// Combinational gates.
-    pub fn gates(&self) -> &[Gate] {
-        &self.gates
+    /// Iterator over the combinational gates as [`GateRef`] views.
+    pub fn gates(&self) -> impl ExactSizeIterator<Item = GateRef<'_>> + '_ {
+        (0..self.gate_kinds.len()).map(move |i| self.gate(GateId(i as u32)))
     }
 
-    /// A single gate.
+    /// A single gate as a [`GateRef`] view into the flat arrays.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    pub fn gate(&self, id: GateId) -> &Gate {
-        &self.gates[id.index()]
+    pub fn gate(&self, id: GateId) -> GateRef<'_> {
+        let i = id.index();
+        GateRef {
+            id,
+            kind: self.gate_kinds[i],
+            output: self.gate_outputs[i],
+            inputs: self.gate_fanins(id),
+        }
+    }
+
+    /// Kind of a gate (flat-array access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn gate_kind(&self, id: GateId) -> GateKind {
+        self.gate_kinds[id.index()]
+    }
+
+    /// Output net of a gate (flat-array access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn gate_output(&self, id: GateId) -> NetId {
+        self.gate_outputs[id.index()]
+    }
+
+    /// Fanin slice of a gate, borrowed from the flat fanin array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn gate_fanins(&self, id: GateId) -> &[NetId] {
+        let i = id.index();
+        &self.fanin[self.fanin_offsets[i] as usize..self.fanin_offsets[i + 1] as usize]
+    }
+
+    /// The cached CSR fanout adjacency (net → reading gate occurrences),
+    /// built on first use. Any mutation that adds nets or changes gate
+    /// structure invalidates it; the next call rebuilds.
+    pub fn fanout_csr(&self) -> &FanoutCsr {
+        self.fanout_cache.get_or_init(|| self.build_fanout())
+    }
+
+    fn build_fanout(&self) -> FanoutCsr {
+        let nets = self.spans.len();
+        let mut offsets = vec![0u32; nets + 1];
+        for &input in &self.fanin {
+            offsets[input.index() + 1] += 1;
+        }
+        for i in 0..nets {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut readers = vec![0u32; self.fanin.len()];
+        for g in 0..self.gate_kinds.len() {
+            let start = self.fanin_offsets[g] as usize;
+            let end = self.fanin_offsets[g + 1] as usize;
+            for &input in &self.fanin[start..end] {
+                let c = &mut cursor[input.index()];
+                readers[*c as usize] = g as u32;
+                *c += 1;
+            }
+        }
+        FanoutCsr { offsets, readers }
     }
 
     /// Flip-flops.
@@ -545,7 +1073,7 @@ impl Netlist {
 
     /// Number of nets.
     pub fn num_nets(&self) -> usize {
-        self.nets.len()
+        self.spans.len()
     }
 
     /// Number of primary inputs.
@@ -560,7 +1088,7 @@ impl Netlist {
 
     /// Number of combinational gates.
     pub fn num_gates(&self) -> usize {
-        self.gates.len()
+        self.gate_kinds.len()
     }
 
     /// Number of flip-flops.
@@ -568,9 +1096,9 @@ impl Netlist {
         self.dffs.len()
     }
 
-    /// Iterator over `(NetId, name)` pairs.
+    /// Iterator over all net ids.
     pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
-        (0..self.nets.len()).map(|i| NetId(i as u32))
+        (0..self.spans.len()).map(|i| NetId(i as u32))
     }
 
     /// Ids of all flip-flops.
@@ -580,7 +1108,7 @@ impl Netlist {
 
     /// Ids of all gates.
     pub fn gate_ids(&self) -> impl Iterator<Item = GateId> + '_ {
-        (0..self.gates.len()).map(|i| GateId(i as u32))
+        (0..self.gate_kinds.len()).map(|i| GateId(i as u32))
     }
 
     // ------------------------------------------------------------------
@@ -598,28 +1126,59 @@ impl Netlist {
         for dff in &self.dffs {
             if dff.d.is_none() {
                 return Err(NetlistError::BadDffBinding(
-                    self.net_name(dff.q).to_string(),
+                    self.net_label(dff.q).to_string(),
                 ));
             }
         }
         // Every used net driven.
-        let mut used: Vec<NetId> = Vec::new();
-        used.extend(self.outputs.iter().copied());
-        for gate in &self.gates {
-            used.extend(gate.inputs.iter().copied());
+        let undriven = |net: NetId| self.drivers[net.index()] == Driver::None;
+        for &net in self.outputs.iter().chain(&self.fanin) {
+            if undriven(net) {
+                return Err(NetlistError::Undriven(self.net_label(net).to_string()));
+            }
         }
         for dff in &self.dffs {
-            used.extend(dff.d);
-        }
-        for net in used {
-            if self.nets[net.index()].driver == Driver::None {
-                return Err(NetlistError::Undriven(self.net_name(net).to_string()));
+            if let Some(d) = dff.d {
+                if undriven(d) {
+                    return Err(NetlistError::Undriven(self.net_label(d).to_string()));
+                }
             }
         }
         // Combinational acyclicity (topological sort over gates).
         crate::topo::gate_order(self).map(|_| ())
     }
 }
+
+fn const_slot(kind: GateKind) -> Option<usize> {
+    match kind {
+        GateKind::Const0 => Some(0),
+        GateKind::Const1 => Some(1),
+        _ => None,
+    }
+}
+
+impl PartialEq for Netlist {
+    /// Semantic equality: design name, per-net names and drivers, interface
+    /// lists, gate structure and flip-flops. Derived caches, arena layout and
+    /// the fresh-name counter are excluded.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.drivers == other.drivers
+            && self.inputs == other.inputs
+            && self.outputs == other.outputs
+            && self.gate_kinds == other.gate_kinds
+            && self.gate_outputs == other.gate_outputs
+            && self.fanin == other.fanin
+            && self.fanin_offsets == other.fanin_offsets
+            && self.dffs == other.dffs
+            && self.spans.len() == other.spans.len()
+            && self
+                .net_ids()
+                .all(|n| self.net_name(n) == other.net_name(n))
+    }
+}
+
+impl Eq for Netlist {}
 
 #[cfg(test)]
 mod tests {
@@ -738,6 +1297,16 @@ mod tests {
     }
 
     #[test]
+    fn add_gate_fresh_skips_taken_names() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        nl.add_gate(GateKind::Not, &[a], "w_buf__0").unwrap();
+        let b = nl.add_gate_fresh(GateKind::Buf, &[a], "w_buf").unwrap();
+        assert_eq!(nl.net_name(b), "w_buf__1");
+        assert_eq!(nl.net_id("w_buf__1"), Some(b));
+    }
+
+    #[test]
     fn mark_output_twice_rejected() {
         let mut nl = Netlist::new("t");
         let a = nl.add_input("a");
@@ -763,13 +1332,132 @@ mod tests {
     }
 
     #[test]
+    fn const_net_reuses_externally_added_constant() {
+        let mut nl = Netlist::new("t");
+        let vdd = nl.add_gate(GateKind::Const1, &[], "VDD").unwrap();
+        assert_eq!(nl.const_net(true), vdd);
+        assert_eq!(nl.num_gates(), 1);
+    }
+
+    #[test]
     fn add_buffer_creates_a_buf_gate() {
         let mut nl = Netlist::new("t");
         let a = nl.add_input("a");
         let b = nl.add_buffer(a).unwrap();
         nl.mark_output(b).unwrap();
         nl.validate().unwrap();
-        assert_eq!(nl.gates()[0].kind, GateKind::Buf);
+        assert_eq!(nl.gate(GateId::from_index(0)).kind(), GateKind::Buf);
         assert!(nl.add_buffer(NetId(99)).is_err());
+    }
+
+    #[test]
+    fn unnamed_nets_have_labels_and_can_be_named_later() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let u = nl.add_gate_unnamed(GateKind::Not, &[a]).unwrap();
+        assert!(!nl.has_net_name(u));
+        assert_eq!(nl.net_name(u), "");
+        assert_eq!(nl.net_label(u).to_string(), format!("%{}", u.index()));
+        assert_eq!(nl.net_id(""), None);
+        nl.rename_net(u, "named_now").unwrap();
+        assert_eq!(nl.net_id("named_now"), Some(u));
+        assert_eq!(nl.net_name(u), "named_now");
+        nl.mark_output(u).unwrap();
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn gate_ref_views_flat_arrays() {
+        let nl = two_bit_counter();
+        let g = nl.gate(GateId::from_index(1));
+        assert_eq!(g.kind(), GateKind::And);
+        assert_eq!(g.inputs().len(), 2);
+        assert_eq!(nl.gate_kind(GateId::from_index(1)), GateKind::And);
+        assert_eq!(nl.gate_fanins(GateId::from_index(1)), g.inputs());
+        assert_eq!(nl.gate_output(GateId::from_index(1)), g.output());
+        assert_eq!(nl.gates().len(), 3);
+    }
+
+    #[test]
+    fn fanout_csr_lists_reading_gates_and_invalidates_on_mutation() {
+        let mut nl = two_bit_counter();
+        let en = nl.net_id("en").unwrap();
+        let q0 = nl.net_id("q0").unwrap();
+        {
+            let csr = nl.fanout_csr();
+            // en feeds the XOR (gate 0) and the AND (gate 1).
+            assert_eq!(csr.gates_reading(en), &[0, 1]);
+            assert_eq!(csr.degree(q0), 2);
+        }
+        // Adding a gate that reads `en` must show up after invalidation.
+        let x = nl.add_gate(GateKind::Not, &[en], "x").unwrap();
+        nl.mark_output(x).unwrap();
+        assert_eq!(nl.fanout_csr().gates_reading(en), &[0, 1, 3]);
+        // A gate reading the same net twice appears twice.
+        let y = nl.add_gate(GateKind::And, &[en, en], "y").unwrap();
+        nl.mark_output(y).unwrap();
+        assert_eq!(nl.fanout_csr().gates_reading(en), &[0, 1, 3, 4, 4]);
+    }
+
+    #[test]
+    fn rename_net_keeps_lookup_consistent() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        nl.rename_net(a, "b").unwrap();
+        assert_eq!(nl.net_id("b"), Some(a));
+        assert_eq!(nl.net_id("a"), None);
+        assert_eq!(nl.net_name(a), "b");
+        // Renaming to an existing name is rejected.
+        let c = nl.add_input("c");
+        assert!(nl.rename_net(c, "b").is_err());
+        // Renaming to the current name is a no-op.
+        nl.rename_net(a, "b").unwrap();
+    }
+
+    #[test]
+    fn name_map_survives_many_inserts_and_removes() {
+        let mut nl = Netlist::new("t");
+        let ids: Vec<NetId> = (0..1000)
+            .map(|i| nl.declare_net(format!("n{i}")).unwrap())
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(nl.net_id(&format!("n{i}")), Some(id));
+        }
+        for (i, &id) in ids.iter().enumerate().take(500) {
+            nl.rename_net(id, format!("m{i}")).unwrap();
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            if i < 500 {
+                assert_eq!(nl.net_id(&format!("m{i}")), Some(id));
+                assert_eq!(nl.net_id(&format!("n{i}")), None);
+            } else {
+                assert_eq!(nl.net_id(&format!("n{i}")), Some(id));
+            }
+        }
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut nl = Netlist::with_capacity("t", 100, 100, 10);
+        let a = nl.add_input("a");
+        let y = nl.add_gate(GateKind::Not, &[a], "y").unwrap();
+        nl.mark_output(y).unwrap();
+        nl.validate().unwrap();
+        assert_eq!(nl.net_id("y"), Some(y));
+    }
+
+    #[test]
+    fn semantic_equality_ignores_arena_layout() {
+        let mut a = Netlist::new("t");
+        let x = a.add_input("x");
+        a.rename_net(x, "renamed").unwrap();
+        let mut b = Netlist::new("t");
+        b.add_input("renamed");
+        // `a`'s arena still holds the bytes of the old name; equality must
+        // compare resolved names, not raw arena contents.
+        assert_eq!(a, b);
+        let mut c = Netlist::new("t");
+        c.add_input("other");
+        assert_ne!(a, c);
     }
 }

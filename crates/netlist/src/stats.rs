@@ -34,7 +34,7 @@ impl NetlistStats {
     pub fn of(netlist: &Netlist) -> Self {
         let mut gate_histogram = BTreeMap::new();
         for gate in netlist.gates() {
-            *gate_histogram.entry(gate.kind).or_insert(0) += 1;
+            *gate_histogram.entry(gate.kind()).or_insert(0) += 1;
         }
         let mut dffs_by_class = BTreeMap::new();
         for dff in netlist.dffs() {

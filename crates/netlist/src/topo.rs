@@ -15,32 +15,33 @@ use crate::NetlistError;
 pub fn gate_order(netlist: &Netlist) -> Result<Vec<GateId>, NetlistError> {
     let num_gates = netlist.num_gates();
     // in-degree of each gate = number of inputs driven by other gates
-    let mut indegree = vec![0usize; num_gates];
-    // fanout adjacency from gate -> gates reading its output
-    let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); num_gates];
-
+    let mut indegree = vec![0u32; num_gates];
     for gid in netlist.gate_ids() {
-        let gate = netlist.gate(gid);
-        for &input in &gate.inputs {
-            if let Driver::Gate(src) = netlist.driver(input) {
+        for &input in netlist.gate_fanins(gid) {
+            if matches!(netlist.driver(input), Driver::Gate(_)) {
                 indegree[gid.index()] += 1;
-                fanout[src.index()].push(gid.index() as u32);
             }
         }
     }
+    // Successors of a gate are the readers of its output net, served by the
+    // netlist's cached CSR fanout adjacency (shared across analyses instead
+    // of rebuilding a Vec<Vec<u32>> per call).
+    let fanout = netlist.fanout_csr();
 
-    let mut queue: Vec<usize> = (0..num_gates).filter(|&g| indegree[g] == 0).collect();
+    let mut queue: Vec<u32> = (0..num_gates as u32)
+        .filter(|&g| indegree[g as usize] == 0)
+        .collect();
     let mut order = Vec::with_capacity(num_gates);
     let mut head = 0;
     while head < queue.len() {
         let g = queue[head];
         head += 1;
-        order.push(GateId::from_index(g));
-        for &succ in &fanout[g] {
+        order.push(GateId::from_index(g as usize));
+        for &succ in fanout.gates_reading(netlist.gate_output(GateId::from_index(g as usize))) {
             let succ = succ as usize;
             indegree[succ] -= 1;
             if indegree[succ] == 0 {
-                queue.push(succ);
+                queue.push(succ as u32);
             }
         }
     }
@@ -50,9 +51,9 @@ pub fn gate_order(netlist: &Netlist) -> Result<Vec<GateId>, NetlistError> {
         let offender = (0..num_gates)
             .find(|&g| indegree[g] > 0)
             .expect("cycle implies a gate with positive in-degree");
-        let net = netlist.gate(GateId::from_index(offender)).output;
+        let net = netlist.gate_output(GateId::from_index(offender));
         return Err(NetlistError::CombinationalCycle(
-            netlist.net_name(net).to_string(),
+            netlist.net_label(net).to_string(),
         ));
     }
     Ok(order)
@@ -70,14 +71,13 @@ pub fn levelize(netlist: &Netlist) -> Result<Vec<u32>, NetlistError> {
     let order = gate_order(netlist)?;
     let mut level = vec![0u32; netlist.num_nets()];
     for gid in order {
-        let gate = netlist.gate(gid);
-        let max_in = gate
-            .inputs
+        let max_in = netlist
+            .gate_fanins(gid)
             .iter()
             .map(|&n| level[n.index()])
             .max()
             .unwrap_or(0);
-        level[gate.output.index()] = max_in + 1;
+        level[netlist.gate_output(gid).index()] = max_in + 1;
     }
     Ok(level)
 }

@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use crate::gate::{Gate, GateKind};
+use crate::gate::GateKind;
 use crate::ids::NetId;
 use crate::model::Netlist;
 use crate::NetlistError;
@@ -36,35 +36,36 @@ fn rebuild_with_gates(
     keep: &[bool],
     replacements: &HashMap<NetId, GateKind>,
 ) -> Result<Netlist, NetlistError> {
-    let mut rebuilt = Netlist::new(source.name().to_string());
+    let mut rebuilt = Netlist::with_capacity(
+        source.name().to_string(),
+        source.num_nets(),
+        source.num_gates(),
+        source.num_dffs(),
+    );
     let mut map: HashMap<NetId, NetId> = HashMap::with_capacity(source.num_nets());
     for &input in source.inputs() {
-        let id = rebuilt.try_add_input(source.net_name(input).to_string())?;
+        let id = rebuilt.try_add_input(source.net_name(input))?;
         map.insert(input, id);
     }
     for dff in source.dffs() {
-        let q = rebuilt.declare_dff_with_class(
-            source.net_name(dff.q).to_string(),
-            dff.init,
-            dff.class,
-        )?;
+        let q = rebuilt.declare_dff_with_class(source.net_name(dff.q), dff.init, dff.class)?;
         map.insert(dff.q, q);
     }
     // Declare the surviving gate outputs (and constant replacements) first so
     // that forward references resolve regardless of gate order.
-    for (idx, gate) in source.gates().iter().enumerate() {
-        let replaced = replacements.contains_key(&gate.output);
+    for (idx, gate) in source.gates().enumerate() {
+        let replaced = replacements.contains_key(&gate.output());
         if keep[idx] || replaced {
-            let id = rebuilt.declare_net(source.net_name(gate.output).to_string())?;
-            map.insert(gate.output, id);
+            let id = rebuilt.declare_net(source.net_name(gate.output()))?;
+            map.insert(gate.output(), id);
         }
     }
-    for (idx, gate) in source.gates().iter().enumerate() {
-        let out = match map.get(&gate.output) {
+    for (idx, gate) in source.gates().enumerate() {
+        let out = match map.get(&gate.output()) {
             Some(&o) => o,
             None => continue, // swept
         };
-        if let Some(&kind) = replacements.get(&gate.output) {
+        if let Some(&kind) = replacements.get(&gate.output()) {
             rebuilt.add_gate_driving(kind, &[], out)?;
             continue;
         }
@@ -72,33 +73,32 @@ fn rebuild_with_gates(
             continue;
         }
         let inputs: Vec<NetId> = gate
-            .inputs
+            .inputs()
             .iter()
             .map(|n| {
                 map.get(n)
                     .copied()
-                    .ok_or_else(|| NetlistError::UnknownNet(source.net_name(*n).to_string()))
+                    .ok_or_else(|| NetlistError::UnknownNet(source.net_label(*n).to_string()))
             })
             .collect::<Result<_, _>>()?;
-        rebuilt.add_gate_driving(gate.kind, &inputs, out)?;
+        rebuilt.add_gate_driving(gate.kind(), &inputs, out)?;
     }
     for dff in source.dffs() {
         let d = dff.d.expect("validated source netlist");
         let mapped = map
             .get(&d)
             .copied()
-            .ok_or_else(|| NetlistError::UnknownNet(source.net_name(d).to_string()))?;
+            .ok_or_else(|| NetlistError::UnknownNet(source.net_label(d).to_string()))?;
         rebuilt.bind_dff(map[&dff.q], mapped)?;
     }
     for &out in source.outputs() {
         let mapped = map
             .get(&out)
             .copied()
-            .ok_or_else(|| NetlistError::UnknownNet(source.net_name(out).to_string()))?;
+            .ok_or_else(|| NetlistError::UnknownNet(source.net_label(out).to_string()))?;
         if rebuilt.mark_output(mapped).is_err() {
             // The same net can legitimately be listed once only; alias it.
-            let alias = rebuilt.fresh_name("cleanup_alias");
-            let buf = rebuilt.add_gate(GateKind::Buf, &[mapped], alias)?;
+            let buf = rebuilt.add_gate_fresh(GateKind::Buf, &[mapped], "cleanup_alias")?;
             rebuilt.mark_output(buf)?;
         }
     }
@@ -117,24 +117,28 @@ pub fn propagate_constants(netlist: &mut Netlist) -> Result<usize, NetlistError>
     let order = crate::topo::gate_order(netlist)?;
     let mut replacements: HashMap<NetId, GateKind> = HashMap::new();
     for gid in order {
-        let gate: &Gate = netlist.gate(gid);
-        match gate.kind {
+        let gate = netlist.gate(gid);
+        match gate.kind() {
             GateKind::Const0 => {
-                known.insert(gate.output, false);
+                known.insert(gate.output(), false);
                 continue;
             }
             GateKind::Const1 => {
-                known.insert(gate.output, true);
+                known.insert(gate.output(), true);
                 continue;
             }
             _ => {}
         }
-        let values: Option<Vec<bool>> = gate.inputs.iter().map(|n| known.get(n).copied()).collect();
+        let values: Option<Vec<bool>> = gate
+            .inputs()
+            .iter()
+            .map(|n| known.get(n).copied())
+            .collect();
         if let Some(values) = values {
-            let value = gate.kind.eval(&values);
-            known.insert(gate.output, value);
+            let value = gate.kind().eval(&values);
+            known.insert(gate.output(), value);
             replacements.insert(
-                gate.output,
+                gate.output(),
                 if value {
                     GateKind::Const1
                 } else {
@@ -167,12 +171,12 @@ pub fn sweep_dangling(netlist: &mut Netlist) -> Result<usize, NetlistError> {
     let mut local_counts = counts;
     while changed {
         changed = false;
-        for (idx, gate) in netlist.gates().iter().enumerate() {
-            if keep[idx] && local_counts[gate.output.index()] == 0 {
+        for (idx, gate) in netlist.gates().enumerate() {
+            if keep[idx] && local_counts[gate.output().index()] == 0 {
                 keep[idx] = false;
                 removed_total += 1;
                 changed = true;
-                for &input in &gate.inputs {
+                for &input in gate.inputs() {
                     local_counts[input.index()] = local_counts[input.index()].saturating_sub(1);
                 }
             }
@@ -218,7 +222,7 @@ mod tests {
     fn has_driver_kind(netlist: &Netlist, net_name: &str, kind: GateKind) -> bool {
         let net = netlist.net_id(net_name).expect("net exists");
         match netlist.driver(net) {
-            Driver::Gate(g) => netlist.gate(g).kind == kind,
+            Driver::Gate(g) => netlist.gate(g).kind() == kind,
             _ => false,
         }
     }

@@ -7,8 +7,6 @@
 //! seed cycle 0. This is the substrate on which SAT-based sequential attacks
 //! run COMB-SAT.
 
-use std::collections::HashMap;
-
 use crate::gate::GateKind;
 use crate::ids::NetId;
 use crate::model::Netlist;
@@ -43,71 +41,89 @@ pub fn unroll(source: &Netlist, cycles: usize) -> Result<Unrolled, NetlistError>
     source.validate()?;
     let order = crate::topo::gate_order(source)?;
 
-    let mut expanded = Netlist::new(format!("{}_unrolled_{}", source.name(), cycles));
+    let est_gates = source.num_dffs()
+        + cycles * (source.num_gates() + source.num_outputs() + source.num_dffs());
+    let mut expanded = Netlist::with_capacity(
+        format!("{}_unrolled_{}", source.name(), cycles),
+        est_gates + cycles * source.num_inputs(),
+        est_gates,
+        0,
+    );
     let mut inputs_per_cycle = Vec::with_capacity(cycles);
     let mut outputs_per_cycle = Vec::with_capacity(cycles);
 
     // Current-state values of each register, as nets of the expanded circuit.
+    // Internal nets of the expansion stay unnamed: at depth b the expansion
+    // creates b × num_gates nets whose names are never read, and leaving them
+    // lazy keeps this loop free of per-gate heap allocation.
     let mut state: Vec<NetId> = Vec::with_capacity(source.num_dffs());
-    for (i, dff) in source.dffs().iter().enumerate() {
+    for dff in source.dffs() {
         let kind = if dff.init {
             GateKind::Const1
         } else {
             GateKind::Const0
         };
-        let name = format!("{}@reset{}", source.net_name(dff.q), i);
-        state.push(expanded.add_gate(kind, &[], name)?);
+        state.push(expanded.add_gate_unnamed(kind, &[])?);
     }
+    let mut next_state = Vec::with_capacity(source.num_dffs());
+
+    // Dense per-frame map from source net to expanded net.
+    const UNMAPPED: NetId = NetId(u32::MAX);
+    let mut map: Vec<NetId> = vec![UNMAPPED; source.num_nets()];
+    let mut ins: Vec<NetId> = Vec::new();
+    // Expanded nets already listed as outputs (grown on demand).
+    let mut is_output: Vec<bool> = Vec::new();
 
     for t in 0..cycles {
-        // Map from source net to expanded net for this time frame.
-        let mut map: HashMap<NetId, NetId> = HashMap::with_capacity(source.num_nets());
+        map.fill(UNMAPPED);
         let mut cycle_inputs = Vec::with_capacity(source.num_inputs());
         for &input in source.inputs() {
+            // Per-cycle inputs keep real names — they are the expanded
+            // circuit's interface and there are only |I| × b of them.
             let name = format!("{}@{}", source.net_name(input), t);
             let id = expanded.try_add_input(name)?;
-            map.insert(input, id);
+            map[input.index()] = id;
             cycle_inputs.push(id);
         }
         for (i, dff) in source.dffs().iter().enumerate() {
-            map.insert(dff.q, state[i]);
+            map[dff.q.index()] = state[i];
         }
         for &gid in &order {
-            let gate = source.gate(gid);
-            let ins: Vec<NetId> = gate
-                .inputs
-                .iter()
-                .map(|n| {
-                    map.get(n)
-                        .copied()
-                        .ok_or_else(|| NetlistError::UnknownNet(source.net_name(*n).to_string()))
-                })
-                .collect::<Result<_, _>>()?;
-            let name = format!("{}@{}", source.net_name(gate.output), t);
-            let out = expanded.add_gate(gate.kind, &ins, name)?;
-            map.insert(gate.output, out);
+            ins.clear();
+            for &n in source.gate_fanins(gid) {
+                let mapped = map[n.index()];
+                if mapped == UNMAPPED {
+                    return Err(NetlistError::UnknownNet(source.net_label(n).to_string()));
+                }
+                ins.push(mapped);
+            }
+            let out = expanded.add_gate_unnamed(source.gate_kind(gid), &ins)?;
+            map[source.gate_output(gid).index()] = out;
         }
         let mut cycle_outputs = Vec::with_capacity(source.num_outputs());
         for &out in source.outputs() {
-            let mut mapped = map[&out];
+            let mut mapped = map[out.index()];
             // The same expanded net can implement two different observation
             // points (e.g. a register output at cycle t+1 aliases the D net
             // observed at cycle t). Keep the output list duplicate-free by
             // inserting a buffer alias in that case.
-            if expanded.outputs().contains(&mapped) {
-                let alias = format!("{}@{}_alias", source.net_name(out), t);
-                mapped = expanded.add_gate(GateKind::Buf, &[mapped], alias)?;
+            if is_output.get(mapped.index()).copied().unwrap_or(false) {
+                mapped = expanded.add_gate_unnamed(GateKind::Buf, &[mapped])?;
             }
+            if is_output.len() <= mapped.index() {
+                is_output.resize(mapped.index() + 1, false);
+            }
+            is_output[mapped.index()] = true;
             cycle_outputs.push(mapped);
             expanded.mark_output(mapped)?;
         }
         // Advance register state for the next frame.
-        let mut next_state = Vec::with_capacity(source.num_dffs());
+        next_state.clear();
         for dff in source.dffs() {
             let d = dff.d.expect("validated netlist has bound flip-flops");
-            next_state.push(map[&d]);
+            next_state.push(map[d.index()]);
         }
-        state = next_state;
+        std::mem::swap(&mut state, &mut next_state);
 
         inputs_per_cycle.push(cycle_inputs);
         outputs_per_cycle.push(cycle_outputs);
@@ -157,8 +173,8 @@ mod tests {
         }
         for gid in order {
             let g = netlist.gate(gid);
-            let ins: Vec<bool> = g.inputs.iter().map(|&n| values[n.index()]).collect();
-            values[g.output.index()] = g.kind.eval(&ins);
+            let ins: Vec<bool> = g.inputs().iter().map(|&n| values[n.index()]).collect();
+            values[g.output().index()] = g.kind().eval(&ins);
         }
         values[target.index()]
     }

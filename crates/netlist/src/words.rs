@@ -19,8 +19,7 @@ use crate::NetlistError;
 ///
 /// Propagates netlist construction errors.
 pub fn const0(netlist: &mut Netlist, prefix: &str) -> Result<NetId, NetlistError> {
-    let name = netlist.fresh_name(&format!("{prefix}_const0"));
-    netlist.add_gate(GateKind::Const0, &[], name)
+    netlist.add_gate_fresh(GateKind::Const0, &[], &format!("{prefix}_const0"))
 }
 
 /// Creates a constant-1 net.
@@ -29,8 +28,7 @@ pub fn const0(netlist: &mut Netlist, prefix: &str) -> Result<NetId, NetlistError
 ///
 /// Propagates netlist construction errors.
 pub fn const1(netlist: &mut Netlist, prefix: &str) -> Result<NetId, NetlistError> {
-    let name = netlist.fresh_name(&format!("{prefix}_const1"));
-    netlist.add_gate(GateKind::Const1, &[], name)
+    netlist.add_gate_fresh(GateKind::Const1, &[], &format!("{prefix}_const1"))
 }
 
 /// Reduces `nets` with a balanced tree of 2-input gates of the given kind.
@@ -69,8 +67,7 @@ pub fn reduce_tree(
                 let mut next = Vec::with_capacity(layer.len().div_ceil(2));
                 for pair in layer.chunks(2) {
                     if pair.len() == 2 {
-                        let name = netlist.fresh_name(prefix);
-                        next.push(netlist.add_gate(kind, &[pair[0], pair[1]], name)?);
+                        next.push(netlist.add_gate_fresh(kind, &[pair[0], pair[1]], prefix)?);
                     } else {
                         next.push(pair[0]);
                     }
@@ -110,8 +107,7 @@ pub fn or_tree(netlist: &mut Netlist, nets: &[NetId], prefix: &str) -> Result<Ne
 ///
 /// Propagates netlist construction errors.
 pub fn invert(netlist: &mut Netlist, net: NetId, prefix: &str) -> Result<NetId, NetlistError> {
-    let name = netlist.fresh_name(&format!("{prefix}_n"));
-    netlist.add_gate(GateKind::Not, &[net], name)
+    netlist.add_gate_fresh(GateKind::Not, &[net], &format!("{prefix}_n"))
 }
 
 /// `out = a == constant_bits` where `constant_bits` is LSB-first and must have
@@ -135,11 +131,12 @@ pub fn eq_const(
         )));
     }
     let mut terms = Vec::with_capacity(word.len());
-    for (i, (&net, &bit)) in word.iter().zip(constant_bits).enumerate() {
+    let bit_prefix = format!("{prefix}_b_n");
+    for (&net, &bit) in word.iter().zip(constant_bits) {
         if bit {
             terms.push(net);
         } else {
-            terms.push(invert(netlist, net, &format!("{prefix}_b{i}"))?);
+            terms.push(netlist.add_gate_fresh(GateKind::Not, &[net], &bit_prefix)?);
         }
     }
     and_tree(netlist, &terms, &format!("{prefix}_eq"))
@@ -165,9 +162,9 @@ pub fn eq_words(
         )));
     }
     let mut terms = Vec::with_capacity(a.len());
-    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
-        let name = netlist.fresh_name(&format!("{prefix}_xnor{i}"));
-        terms.push(netlist.add_gate(GateKind::Xnor, &[x, y], name)?);
+    let xnor_prefix = format!("{prefix}_xnor");
+    for (&x, &y) in a.iter().zip(b) {
+        terms.push(netlist.add_gate_fresh(GateKind::Xnor, &[x, y], &xnor_prefix)?);
     }
     and_tree(netlist, &terms, &format!("{prefix}_eq"))
 }
@@ -197,21 +194,21 @@ pub fn le_const(
     // eq ("all inspected bits equal the constant").
     let mut gt = const0(netlist, &format!("{prefix}_gt_init"))?;
     let mut eq = const1(netlist, &format!("{prefix}_eq_init"))?;
+    let eq_prefix = format!("{prefix}_eq");
+    let exceed_prefix = format!("{prefix}_exceed");
+    let gt_prefix = format!("{prefix}_gt");
+    let nb_prefix = format!("{prefix}_nb_n");
     for i in (0..width).rev() {
         let cbit = (constant >> i) & 1 == 1;
         let w = word[i];
         if cbit {
             // word bit can never exceed a constant 1; equality requires w=1.
-            let name = netlist.fresh_name(&format!("{prefix}_eq{i}"));
-            eq = netlist.add_gate(GateKind::And, &[eq, w], name)?;
+            eq = netlist.add_gate_fresh(GateKind::And, &[eq, w], &eq_prefix)?;
         } else {
-            let name = netlist.fresh_name(&format!("{prefix}_exceed{i}"));
-            let exceed = netlist.add_gate(GateKind::And, &[eq, w], name)?;
-            let name = netlist.fresh_name(&format!("{prefix}_gt{i}"));
-            gt = netlist.add_gate(GateKind::Or, &[gt, exceed], name)?;
-            let nw = invert(netlist, w, &format!("{prefix}_nb{i}"))?;
-            let name = netlist.fresh_name(&format!("{prefix}_eq{i}"));
-            eq = netlist.add_gate(GateKind::And, &[eq, nw], name)?;
+            let exceed = netlist.add_gate_fresh(GateKind::And, &[eq, w], &exceed_prefix)?;
+            gt = netlist.add_gate_fresh(GateKind::Or, &[gt, exceed], &gt_prefix)?;
+            let nw = netlist.add_gate_fresh(GateKind::Not, &[w], &nb_prefix)?;
+            eq = netlist.add_gate_fresh(GateKind::And, &[eq, nw], &eq_prefix)?;
         }
     }
     invert(netlist, gt, &format!("{prefix}_le"))
@@ -229,13 +226,13 @@ pub fn increment(
 ) -> Result<Vec<NetId>, NetlistError> {
     let mut out = Vec::with_capacity(word.len());
     let mut carry = const1(netlist, &format!("{prefix}_c_in"))?;
+    let sum_prefix = format!("{prefix}_sum");
+    let carry_prefix = format!("{prefix}_carry");
     for (i, &bit) in word.iter().enumerate() {
-        let name = netlist.fresh_name(&format!("{prefix}_sum{i}"));
-        let sum = netlist.add_gate(GateKind::Xor, &[bit, carry], name)?;
+        let sum = netlist.add_gate_fresh(GateKind::Xor, &[bit, carry], &sum_prefix)?;
         out.push(sum);
         if i + 1 < word.len() {
-            let name = netlist.fresh_name(&format!("{prefix}_carry{i}"));
-            carry = netlist.add_gate(GateKind::And, &[bit, carry], name)?;
+            carry = netlist.add_gate_fresh(GateKind::And, &[bit, carry], &carry_prefix)?;
         }
     }
     Ok(out)
@@ -263,9 +260,9 @@ pub fn mux_word(
         )));
     }
     let mut out = Vec::with_capacity(if_false.len());
-    for (i, (&f, &t)) in if_false.iter().zip(if_true).enumerate() {
-        let name = netlist.fresh_name(&format!("{prefix}_mux{i}"));
-        out.push(netlist.add_gate(GateKind::Mux, &[sel, f, t], name)?);
+    let mux_prefix = format!("{prefix}_mux");
+    for (&f, &t) in if_false.iter().zip(if_true) {
+        out.push(netlist.add_gate_fresh(GateKind::Mux, &[sel, f, t], &mux_prefix)?);
     }
     Ok(out)
 }
@@ -318,8 +315,8 @@ mod tests {
         }
         for gid in order {
             let gate = netlist.gate(gid);
-            let ins: Vec<bool> = gate.inputs.iter().map(|&n| values[n.index()]).collect();
-            values[gate.output.index()] = gate.kind.eval(&ins);
+            let ins: Vec<bool> = gate.inputs().iter().map(|&n| values[n.index()]).collect();
+            values[gate.output().index()] = gate.kind().eval(&ins);
         }
         values[target.index()]
     }

@@ -118,8 +118,8 @@ proptest! {
         }
         for gid in order {
             let gate = nl.gate(gid);
-            let ins: Vec<bool> = gate.inputs.iter().map(|&n| values[n.index()]).collect();
-            values[gate.output.index()] = gate.kind.eval(&ins);
+            let ins: Vec<bool> = gate.inputs().iter().map(|&n| values[n.index()]).collect();
+            values[gate.output().index()] = gate.kind().eval(&ins);
         }
         prop_assert_eq!(values[eq.index()], value == threshold);
         prop_assert_eq!(values[le.index()], value <= threshold);

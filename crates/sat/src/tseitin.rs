@@ -101,22 +101,24 @@ impl Bound {
     }
 }
 
-/// Result of folding one gate over its input bounds.
-enum Folded {
+/// Result of folding one gate over its input bounds. Literal lists borrow a
+/// caller-provided scratch buffer so the encode loop allocates nothing per
+/// gate.
+enum Folded<'s> {
     /// The output is a constant.
     Const(bool),
     /// The output equals an existing literal (no clauses needed).
     Alias(Lit),
     /// `out ⊕ invert = AND(lits)`.
-    And(Vec<Lit>, bool),
+    And(&'s [Lit], bool),
     /// `out ⊕ invert = OR(lits)`.
-    Or(Vec<Lit>, bool),
+    Or(&'s [Lit], bool),
     /// `out ⊕ invert = XOR(lits)`.
-    Xor(Vec<Lit>, bool),
+    Xor(&'s [Lit], bool),
     /// An irreducible multiplexer `out = s ? b : a`.
     Mux(Lit, Lit, Lit),
     /// Folding disabled: encode `kind` over the literal inputs verbatim.
-    Raw(GateKind, Vec<Lit>),
+    Raw(GateKind, &'s [Lit]),
 }
 
 /// Encoder mapping the nets of one combinational netlist onto literals (or
@@ -301,7 +303,7 @@ impl<'a> CircuitEncoder<'a> {
                 }
                 needed[n.index()] = true;
                 if let Driver::Gate(gid) = self.netlist.driver(n) {
-                    for &input in &self.netlist.gate(gid).inputs {
+                    for &input in self.netlist.gate_fanins(gid) {
                         if !needed[input.index()] {
                             stack.push(input);
                         }
@@ -335,40 +337,53 @@ impl<'a> CircuitEncoder<'a> {
                 &computed_order
             }
         };
+        // Scratch buffers reused across gates: input bounds, folded literal
+        // lists, and the long clause of AND/OR encodings. After they reach
+        // the widest fanin seen, the per-gate loop performs no heap
+        // allocation at all.
+        let mut in_bounds: Vec<Bound> = Vec::new();
+        let mut lits: Vec<Lit> = Vec::new();
+        let mut clause: Vec<Lit> = Vec::new();
         for &gid in order {
-            let gate = self.netlist.gate(gid);
-            if !is_needed(gate.output) {
+            let out_net = self.netlist.gate_output(gid);
+            if !is_needed(out_net) {
                 continue;
             }
-            let inputs: Vec<Bound> = gate
-                .inputs
-                .iter()
-                .map(|&n| {
-                    self.map[n.index()]
-                        .ok_or_else(|| EncodeError::Unbound(self.netlist.net_name(n).to_string()))
-                })
-                .collect::<Result<_, _>>()?;
+            in_bounds.clear();
+            for &n in self.netlist.gate_fanins(gid) {
+                in_bounds.push(
+                    self.map[n.index()].ok_or_else(|| {
+                        EncodeError::Unbound(self.netlist.net_label(n).to_string())
+                    })?,
+                );
+            }
+            let kind = self.netlist.gate_kind(gid);
             let folded = if self.folding {
-                fold_gate(gate.kind, &inputs)
+                fold_gate(kind, &in_bounds, &mut lits)
             } else {
-                let lits: Vec<Lit> = inputs
-                    .iter()
-                    .map(|b| {
-                        b.as_lit()
-                            .expect("bind_const requires folding to stay enabled")
-                    })
-                    .collect();
-                Folded::Raw(gate.kind, lits)
+                lits.clear();
+                lits.extend(in_bounds.iter().map(|b| {
+                    b.as_lit()
+                        .expect("bind_const requires folding to stay enabled")
+                }));
+                Folded::Raw(kind, &lits)
             };
-            self.emit(solver, gate.output, folded);
+            self.emit(solver, out_net, folded, &mut clause);
         }
         Ok(())
     }
 
     /// Materializes the folded form of one gate: records constant/alias
     /// bindings without clauses, or allocates/reuses an output literal and
-    /// adds the remaining Tseitin clauses.
-    fn emit<S: ClauseSink>(&mut self, solver: &mut S, out_net: NetId, folded: Folded) {
+    /// adds the remaining Tseitin clauses. `clause` is scratch space for the
+    /// wide AND/OR clause, reused across calls.
+    fn emit<S: ClauseSink>(
+        &mut self,
+        solver: &mut S,
+        out_net: NetId,
+        folded: Folded<'_>,
+        clause: &mut Vec<Lit>,
+    ) {
         let existing = self.map[out_net.index()];
         match folded {
             Folded::Const(v) => match existing {
@@ -409,16 +424,16 @@ impl<'a> CircuitEncoder<'a> {
                 };
                 match gate {
                     Folded::And(lits, invert) => {
-                        encode_and(solver, if invert { !out } else { out }, &lits)
+                        encode_and(solver, if invert { !out } else { out }, lits, clause)
                     }
                     Folded::Or(lits, invert) => {
-                        encode_or(solver, if invert { !out } else { out }, &lits)
+                        encode_or(solver, if invert { !out } else { out }, lits, clause)
                     }
                     Folded::Xor(lits, invert) => {
-                        encode_parity(solver, if invert { !out } else { out }, &lits)
+                        encode_parity(solver, if invert { !out } else { out }, lits)
                     }
                     Folded::Mux(s, a, b) => encode_mux(solver, out, s, a, b),
-                    Folded::Raw(kind, lits) => encode_gate(solver, kind, out, &lits),
+                    Folded::Raw(kind, lits) => encode_gate_with(solver, kind, out, lits, clause),
                     Folded::Const(_) | Folded::Alias(_) => unreachable!("handled above"),
                 }
             }
@@ -426,8 +441,9 @@ impl<'a> CircuitEncoder<'a> {
     }
 }
 
-/// Folds one gate over its input bounds.
-fn fold_gate(kind: GateKind, ins: &[Bound]) -> Folded {
+/// Folds one gate over its input bounds. `lits` is scratch space for the
+/// surviving literal list, reused across gates.
+fn fold_gate<'s>(kind: GateKind, ins: &[Bound], lits: &'s mut Vec<Lit>) -> Folded<'s> {
     assert!(
         kind.arity_ok(ins.len()),
         "gate {kind} encoded with {} inputs",
@@ -438,25 +454,32 @@ fn fold_gate(kind: GateKind, ins: &[Bound]) -> Folded {
         GateKind::Const1 => Folded::Const(true),
         GateKind::Buf => bound_to_folded(ins[0]),
         GateKind::Not => bound_to_folded(ins[0].negate()),
-        GateKind::And => fold_and(ins, false),
-        GateKind::Nand => fold_and(ins, true),
-        GateKind::Or => fold_or(ins, false),
-        GateKind::Nor => fold_or(ins, true),
-        GateKind::Xor => fold_xor(ins, false),
-        GateKind::Xnor => fold_xor(ins, true),
-        GateKind::Mux => fold_mux(ins[0], ins[1], ins[2]),
+        GateKind::And => fold_and(ins, false, lits),
+        GateKind::Nand => fold_and(ins, true, lits),
+        GateKind::Or => fold_or(ins, false, lits),
+        GateKind::Nor => fold_or(ins, true, lits),
+        GateKind::Xor => fold_xor(ins, false, lits),
+        GateKind::Xnor => fold_xor(ins, true, lits),
+        GateKind::Mux => fold_mux(ins[0], ins[1], ins[2], lits),
     }
 }
 
-fn bound_to_folded(b: Bound) -> Folded {
+fn bound_to_folded<'s>(b: Bound) -> Folded<'s> {
     match b {
         Bound::Lit(l) => Folded::Alias(l),
         Bound::Const(v) => Folded::Const(v),
     }
 }
 
-fn fold_and(ins: &[Bound], invert: bool) -> Folded {
-    let mut lits: Vec<Lit> = Vec::with_capacity(ins.len());
+/// Replaces the contents of `lits` with `pair` and returns it as a slice.
+fn pair_slice(lits: &mut Vec<Lit>, pair: [Lit; 2]) -> &[Lit] {
+    lits.clear();
+    lits.extend_from_slice(&pair);
+    lits
+}
+
+fn fold_and<'s>(ins: &[Bound], invert: bool, lits: &'s mut Vec<Lit>) -> Folded<'s> {
+    lits.clear();
     for &b in ins {
         match b {
             Bound::Const(false) => return Folded::Const(invert),
@@ -478,8 +501,8 @@ fn fold_and(ins: &[Bound], invert: bool) -> Folded {
     }
 }
 
-fn fold_or(ins: &[Bound], invert: bool) -> Folded {
-    let mut lits: Vec<Lit> = Vec::with_capacity(ins.len());
+fn fold_or<'s>(ins: &[Bound], invert: bool, lits: &'s mut Vec<Lit>) -> Folded<'s> {
+    lits.clear();
     for &b in ins {
         match b {
             Bound::Const(true) => return Folded::Const(!invert),
@@ -501,8 +524,8 @@ fn fold_or(ins: &[Bound], invert: bool) -> Folded {
     }
 }
 
-fn fold_xor(ins: &[Bound], mut invert: bool) -> Folded {
-    let mut lits: Vec<Lit> = Vec::with_capacity(ins.len());
+fn fold_xor<'s>(ins: &[Bound], mut invert: bool, lits: &'s mut Vec<Lit>) -> Folded<'s> {
+    lits.clear();
     for &b in ins {
         match b {
             Bound::Const(v) => invert ^= v,
@@ -526,7 +549,7 @@ fn fold_xor(ins: &[Bound], mut invert: bool) -> Folded {
     }
 }
 
-fn fold_mux(s: Bound, a: Bound, b: Bound) -> Folded {
+fn fold_mux<'s>(s: Bound, a: Bound, b: Bound, lits: &'s mut Vec<Lit>) -> Folded<'s> {
     // out = s ? b : a
     let s = match s {
         Bound::Const(true) => return bound_to_folded(b),
@@ -545,23 +568,23 @@ fn fold_mux(s: Bound, a: Bound, b: Bound) -> Folded {
         }
         (Bound::Const(va), Bound::Lit(lb)) => {
             if va {
-                Folded::Or(vec![!s, lb], false) // s ? b : 1
+                Folded::Or(pair_slice(lits, [!s, lb]), false) // s ? b : 1
             } else {
-                Folded::And(vec![s, lb], false) // s ? b : 0
+                Folded::And(pair_slice(lits, [s, lb]), false) // s ? b : 0
             }
         }
         (Bound::Lit(la), Bound::Const(vb)) => {
             if vb {
-                Folded::Or(vec![s, la], false) // s ? 1 : a
+                Folded::Or(pair_slice(lits, [s, la]), false) // s ? 1 : a
             } else {
-                Folded::And(vec![!s, la], false) // s ? 0 : a
+                Folded::And(pair_slice(lits, [!s, la]), false) // s ? 0 : a
             }
         }
         (Bound::Lit(la), Bound::Lit(lb)) => {
             if la == lb {
                 Folded::Alias(la)
             } else if la == !lb {
-                Folded::Xor(vec![s, lb], true) // s ? b : ¬b  ⟺  out = s ≡ b
+                Folded::Xor(pair_slice(lits, [s, lb]), true) // s ? b : ¬b  ⟺  out = s ≡ b
             } else {
                 Folded::Mux(s, la, lb)
             }
@@ -576,6 +599,18 @@ fn fold_mux(s: Bound, a: Bound, b: Bound) -> Folded {
 ///
 /// Panics if the input count violates the gate arity.
 pub fn encode_gate<S: ClauseSink>(solver: &mut S, kind: GateKind, out: Lit, inputs: &[Lit]) {
+    encode_gate_with(solver, kind, out, inputs, &mut Vec::new());
+}
+
+/// [`encode_gate`] with caller-provided scratch space for the wide AND/OR
+/// clause, so repeated encoding allocates nothing per gate.
+fn encode_gate_with<S: ClauseSink>(
+    solver: &mut S,
+    kind: GateKind,
+    out: Lit,
+    inputs: &[Lit],
+    clause: &mut Vec<Lit>,
+) {
     assert!(
         kind.arity_ok(inputs.len()),
         "gate {kind} encoded with {} inputs",
@@ -590,10 +625,10 @@ pub fn encode_gate<S: ClauseSink>(solver: &mut S, kind: GateKind, out: Lit, inpu
         }
         GateKind::Buf => encode_equal(solver, out, inputs[0]),
         GateKind::Not => encode_equal(solver, out, !inputs[0]),
-        GateKind::And => encode_and(solver, out, inputs),
-        GateKind::Nand => encode_and(solver, !out, inputs),
-        GateKind::Or => encode_or(solver, out, inputs),
-        GateKind::Nor => encode_or(solver, !out, inputs),
+        GateKind::And => encode_and(solver, out, inputs, clause),
+        GateKind::Nand => encode_and(solver, !out, inputs, clause),
+        GateKind::Or => encode_or(solver, out, inputs, clause),
+        GateKind::Nor => encode_or(solver, !out, inputs, clause),
         GateKind::Xor => encode_parity(solver, out, inputs),
         GateKind::Xnor => encode_parity(solver, !out, inputs),
         GateKind::Mux => encode_mux(solver, out, inputs[0], inputs[1], inputs[2]),
@@ -606,24 +641,24 @@ pub fn encode_equal<S: ClauseSink>(solver: &mut S, a: Lit, b: Lit) {
     solver.add_clause(&[a, !b]);
 }
 
-fn encode_and<S: ClauseSink>(solver: &mut S, out: Lit, inputs: &[Lit]) {
-    let mut long_clause = Vec::with_capacity(inputs.len() + 1);
+fn encode_and<S: ClauseSink>(solver: &mut S, out: Lit, inputs: &[Lit], long_clause: &mut Vec<Lit>) {
+    long_clause.clear();
     for &i in inputs {
         solver.add_clause(&[!out, i]);
         long_clause.push(!i);
     }
     long_clause.push(out);
-    solver.add_clause(&long_clause);
+    solver.add_clause(long_clause);
 }
 
-fn encode_or<S: ClauseSink>(solver: &mut S, out: Lit, inputs: &[Lit]) {
-    let mut long_clause = Vec::with_capacity(inputs.len() + 1);
+fn encode_or<S: ClauseSink>(solver: &mut S, out: Lit, inputs: &[Lit], long_clause: &mut Vec<Lit>) {
+    long_clause.clear();
     for &i in inputs {
         solver.add_clause(&[out, !i]);
         long_clause.push(i);
     }
     long_clause.push(!out);
-    solver.add_clause(&long_clause);
+    solver.add_clause(long_clause);
 }
 
 /// Constrains `out = s ? b : a`.
@@ -683,8 +718,8 @@ mod tests {
         }
         for &gid in &order {
             let g = netlist.gate(gid);
-            let ins: Vec<bool> = g.inputs.iter().map(|&n| values[n.index()]).collect();
-            values[g.output.index()] = g.kind.eval(&ins);
+            let ins: Vec<bool> = g.inputs().iter().map(|&n| values[n.index()]).collect();
+            values[g.output().index()] = g.kind().eval(&ins);
         }
         values
     }

@@ -58,8 +58,8 @@ fn evaluate_directly(netlist: &Netlist, inputs: &[bool]) -> Vec<bool> {
     }
     for gid in order {
         let gate = netlist.gate(gid);
-        let ins: Vec<bool> = gate.inputs.iter().map(|&n| values[n.index()]).collect();
-        values[gate.output.index()] = gate.kind.eval(&ins);
+        let ins: Vec<bool> = gate.inputs().iter().map(|&n| values[n.index()]).collect();
+        values[gate.output().index()] = gate.kind().eval(&ins);
     }
     netlist
         .outputs()

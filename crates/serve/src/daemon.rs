@@ -258,7 +258,9 @@ impl Registry {
                 // from the recovered state — without one, a late `watch`
                 // on the job would replay nothing and never end.
                 let _ = fs::remove_file(config.state_dir.join(format!("job-{id}.ckpt")));
-                entry.events.push(recovered_terminal_event(id, entry).to_string());
+                entry
+                    .events
+                    .push(recovered_terminal_event(id, entry).to_string());
             } else {
                 entry.state = JobState::Queued;
                 pending.push(id);
@@ -896,7 +898,10 @@ fn handle_request(
                     let mut inner = registry.inner.lock().expect("registry lock");
                     let Some(entry) = inner.jobs.get_mut(&job) else {
                         drop(inner);
-                        return write_json_line(writer, &RequestError::UnknownJob { job }.to_line());
+                        return write_json_line(
+                            writer,
+                            &RequestError::UnknownJob { job }.to_line(),
+                        );
                     };
                     let reply = (!replied).then(|| {
                         reply_line([

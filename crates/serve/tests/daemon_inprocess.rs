@@ -366,7 +366,9 @@ fn recovered_terminal_jobs_replay_terminal_events() {
     assert_eq!(done.get("key").and_then(Json::as_str), Some("01"));
     assert_eq!(done.get("dips").and_then(Json::as_u64), Some(3));
 
-    let failed = client.wait(2).expect("recovered failed job ends its stream");
+    let failed = client
+        .wait(2)
+        .expect("recovered failed job ends its stream");
     assert_eq!(failed.get("event").and_then(Json::as_str), Some("failed"));
     assert_eq!(failed.get("error").and_then(Json::as_str), Some("boom"));
 
@@ -426,8 +428,7 @@ fn terminal_jobs_leave_no_checkpoints() {
     let slow = client
         .submit(&cell_spec(&circuit, 2, 2, 3))
         .expect("submit slow cell");
-    let mut canceller =
-        Client::connect(dir.join("daemon.sock")).expect("second client connects");
+    let mut canceller = Client::connect(dir.join("daemon.sock")).expect("second client connects");
     let mut asked = false;
     let event = client
         .watch(slow, |event| {

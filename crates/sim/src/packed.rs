@@ -228,23 +228,23 @@ impl<'a> PackedSimulator<'a> {
         }
         for &gid in &self.order {
             let gate = self.netlist.gate(gid);
-            let word = match gate.kind {
+            let word = match gate.kind() {
                 netlist::GateKind::Const0 => 0,
                 netlist::GateKind::Const1 => u64::MAX,
-                netlist::GateKind::Buf => self.values[gate.inputs[0].index()],
-                netlist::GateKind::Not => !self.values[gate.inputs[0].index()],
+                netlist::GateKind::Buf => self.values[gate.inputs()[0].index()],
+                netlist::GateKind::Not => !self.values[gate.inputs()[0].index()],
                 netlist::GateKind::Mux => {
-                    let sel = self.values[gate.inputs[0].index()];
-                    let if_false = self.values[gate.inputs[1].index()];
-                    let if_true = self.values[gate.inputs[2].index()];
+                    let sel = self.values[gate.inputs()[0].index()];
+                    let if_false = self.values[gate.inputs()[1].index()];
+                    let if_true = self.values[gate.inputs()[2].index()];
                     (sel & if_true) | (!sel & if_false)
                 }
                 netlist::GateKind::And | netlist::GateKind::Nand => {
                     let conj = gate
-                        .inputs
+                        .inputs()
                         .iter()
                         .fold(u64::MAX, |acc, &n| acc & self.values[n.index()]);
-                    if gate.kind == netlist::GateKind::Nand {
+                    if gate.kind() == netlist::GateKind::Nand {
                         !conj
                     } else {
                         conj
@@ -252,10 +252,10 @@ impl<'a> PackedSimulator<'a> {
                 }
                 netlist::GateKind::Or | netlist::GateKind::Nor => {
                     let disj = gate
-                        .inputs
+                        .inputs()
                         .iter()
                         .fold(0, |acc, &n| acc | self.values[n.index()]);
-                    if gate.kind == netlist::GateKind::Nor {
+                    if gate.kind() == netlist::GateKind::Nor {
                         !disj
                     } else {
                         disj
@@ -263,17 +263,17 @@ impl<'a> PackedSimulator<'a> {
                 }
                 netlist::GateKind::Xor | netlist::GateKind::Xnor => {
                     let parity = gate
-                        .inputs
+                        .inputs()
                         .iter()
                         .fold(0, |acc, &n| acc ^ self.values[n.index()]);
-                    if gate.kind == netlist::GateKind::Xnor {
+                    if gate.kind() == netlist::GateKind::Xnor {
                         !parity
                     } else {
                         parity
                     }
                 }
             };
-            self.values[gate.output.index()] = word;
+            self.values[gate.output().index()] = word;
         }
         Ok(())
     }

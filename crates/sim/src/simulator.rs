@@ -179,32 +179,36 @@ impl<'a> Simulator<'a> {
         }
         for &gid in &self.order {
             let gate = self.netlist.gate(gid);
-            let value = match gate.kind {
+            let value = match gate.kind() {
                 netlist::GateKind::Mux => {
-                    let sel = self.values[gate.inputs[0].index()];
-                    let pick = if sel { gate.inputs[2] } else { gate.inputs[1] };
+                    let sel = self.values[gate.inputs()[0].index()];
+                    let pick = if sel {
+                        gate.inputs()[2]
+                    } else {
+                        gate.inputs()[1]
+                    };
                     self.values[pick.index()]
                 }
                 _ => {
                     // Evaluate via the gate-kind truth function on a small
                     // stack buffer to avoid per-gate allocation.
                     let mut buf = [false; 8];
-                    if gate.inputs.len() <= buf.len() {
-                        for (slot, &n) in buf.iter_mut().zip(&gate.inputs) {
+                    if gate.inputs().len() <= buf.len() {
+                        for (slot, &n) in buf.iter_mut().zip(gate.inputs()) {
                             *slot = self.values[n.index()];
                         }
-                        gate.kind.eval(&buf[..gate.inputs.len()])
+                        gate.kind().eval(&buf[..gate.inputs().len()])
                     } else {
                         let ins: Vec<bool> = gate
-                            .inputs
+                            .inputs()
                             .iter()
                             .map(|&n| self.values[n.index()])
                             .collect();
-                        gate.kind.eval(&ins)
+                        gate.kind().eval(&ins)
                     }
                 }
             };
-            self.values[gate.output.index()] = value;
+            self.values[gate.output().index()] = value;
         }
         Ok(())
     }

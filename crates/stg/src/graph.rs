@@ -26,8 +26,11 @@ impl RegisterGraph {
     pub fn build(netlist: &Netlist) -> Self {
         let n = netlist.num_dffs();
         let mut successors: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        // One traversal scratch shared across all n cone walks.
+        let mut scratch = cone::ConeScratch::new();
         for target in 0..n {
-            let sources = cone::register_fanin(netlist, DffId::from_index(target));
+            let sources =
+                cone::register_fanin_with(netlist, DffId::from_index(target), &mut scratch);
             for src in sources {
                 successors[src.index()].insert(target);
             }

@@ -114,8 +114,8 @@ pub fn explore(
             }
             for &gid in &order {
                 let gate = netlist.gate(gid);
-                let ins: Vec<bool> = gate.inputs.iter().map(|&n| values[n.index()]).collect();
-                values[gate.output.index()] = gate.kind.eval(&ins);
+                let ins: Vec<bool> = gate.inputs().iter().map(|&n| values[n.index()]).collect();
+                values[gate.output().index()] = gate.kind().eval(&ins);
             }
             let next: Vec<bool> = netlist
                 .dffs()

@@ -22,8 +22,7 @@ impl AreaReport {
     pub fn of(netlist: &Netlist, library: &TechLibrary) -> Self {
         let combinational = netlist
             .gates()
-            .iter()
-            .map(|g| library.gate_cost(g.kind, g.inputs.len()).area)
+            .map(|g| library.gate_cost(g.kind(), g.inputs().len()).area)
             .sum();
         let sequential = netlist.num_dffs() as f64 * library.dff_cost().area;
         AreaReport {
@@ -61,15 +60,15 @@ impl DelayReport {
             arrival[dff.q.index()] = clk_to_q;
         }
         for gid in order {
-            let gate = netlist.gate(gid);
-            let cost = library.gate_cost(gate.kind, gate.inputs.len());
-            let (max_arrival, max_depth) = gate
-                .inputs
+            let fanins = netlist.gate_fanins(gid);
+            let cost = library.gate_cost(netlist.gate_kind(gid), fanins.len());
+            let (max_arrival, max_depth) = fanins
                 .iter()
                 .map(|n| (arrival[n.index()], depth[n.index()]))
                 .fold((0.0f64, 0u32), |(a, d), (na, nd)| (a.max(na), d.max(nd)));
-            arrival[gate.output.index()] = max_arrival + cost.delay;
-            depth[gate.output.index()] = max_depth + 1;
+            let out = netlist.gate_output(gid).index();
+            arrival[out] = max_arrival + cost.delay;
+            depth[out] = max_depth + 1;
         }
         let mut critical_path = 0.0f64;
         let mut logic_levels = 0u32;
@@ -113,9 +112,9 @@ impl PowerReport {
         let mut leakage = 0.0;
         let mut dynamic = 0.0;
         for gate in netlist.gates() {
-            let cost = library.gate_cost(gate.kind, gate.inputs.len());
+            let cost = library.gate_cost(gate.kind(), gate.inputs().len());
             leakage += cost.leakage;
-            dynamic += cost.dynamic * activity[gate.output.index()];
+            dynamic += cost.dynamic * activity[gate.output().index()];
         }
         let dff_cost = library.dff_cost();
         for dff in netlist.dffs() {
@@ -149,6 +148,7 @@ pub fn estimate_activity<R: Rng + ?Sized>(
     let mut previous = vec![false; netlist.num_nets()];
     let mut toggles = vec![0usize; netlist.num_nets()];
     let mut state: Vec<bool> = netlist.dffs().iter().map(|d| d.init).collect();
+    let mut ins: Vec<bool> = Vec::new();
 
     for cycle in 0..cycles.max(1) {
         for &input in netlist.inputs() {
@@ -158,9 +158,9 @@ pub fn estimate_activity<R: Rng + ?Sized>(
             values[dff.q.index()] = s;
         }
         for &gid in &order {
-            let gate = netlist.gate(gid);
-            let ins: Vec<bool> = gate.inputs.iter().map(|&n| values[n.index()]).collect();
-            values[gate.output.index()] = gate.kind.eval(&ins);
+            ins.clear();
+            ins.extend(netlist.gate_fanins(gid).iter().map(|&n| values[n.index()]));
+            values[netlist.gate_output(gid).index()] = netlist.gate_kind(gid).eval(&ins);
         }
         if cycle > 0 {
             for (i, (&now, &before)) in values.iter().zip(&previous).enumerate() {
