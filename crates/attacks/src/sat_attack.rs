@@ -137,6 +137,20 @@ pub struct SatAttackConfig {
     /// pre-arena pipeline's shape, kept for the benchmark baseline and
     /// differential testing.
     pub simplify_cnf: bool,
+    /// Keep one SAT solver alive across the whole attack: the two key-copy
+    /// circuits are encoded once, every learnt clause earned while searching
+    /// for one DIP prunes the search for all later DIPs, and a depth bump
+    /// *extends* the existing unrolled encoding with the new timeframes
+    /// (prefix-stable unrolling) instead of re-encoding from scratch. The
+    /// retractable miter query (`solve_with_assumptions` on the unasserted
+    /// difference literal, with assumption final-analysis in the solver) is
+    /// what makes the persistent solver sound. Off by default: the
+    /// non-incremental path rebuilds a fresh solver per depth, which is the
+    /// behavior the crash-safety e2e suites pin down (a resumed incremental
+    /// run rebuilds the solver from the recorded observations, so it may
+    /// follow a different — equally correct — trajectory than an
+    /// uninterrupted one).
+    pub incremental: bool,
     /// Wall-clock budget for this invocation. When it expires the next SAT
     /// query is interrupted cooperatively, a checkpoint is written (if a
     /// checkpoint path is configured) and the run returns
@@ -181,6 +195,7 @@ impl Default for SatAttackConfig {
             verify_sequences: 64,
             verify_cycles: 12,
             simplify_cnf: true,
+            incremental: false,
             time_limit: None,
             solve_conflict_budget: None,
             solve_propagation_budget: None,
@@ -201,6 +216,7 @@ impl fmt::Debug for SatAttackConfig {
             .field("verify_sequences", &self.verify_sequences)
             .field("verify_cycles", &self.verify_cycles)
             .field("simplify_cnf", &self.simplify_cnf)
+            .field("incremental", &self.incremental)
             .field("time_limit", &self.time_limit)
             .field("solve_conflict_budget", &self.solve_conflict_budget)
             .field("solve_propagation_budget", &self.solve_propagation_budget)
@@ -223,6 +239,7 @@ impl PartialEq for SatAttackConfig {
             && self.verify_sequences == other.verify_sequences
             && self.verify_cycles == other.verify_cycles
             && self.simplify_cnf == other.simplify_cnf
+            && self.incremental == other.incremental
             && self.time_limit == other.time_limit
             && self.solve_conflict_budget == other.solve_conflict_budget
             && self.solve_propagation_budget == other.solve_propagation_budget
@@ -467,11 +484,12 @@ impl<'a> SatAttack<'a> {
     /// `stop`) are excluded because they do not shape the search either.
     fn config_fingerprint(config: &SatAttackConfig) -> u64 {
         let text = format!(
-            "initial_unroll={} verify_sequences={} verify_cycles={} simplify_cnf={}",
+            "initial_unroll={} verify_sequences={} verify_cycles={} simplify_cnf={} incremental={}",
             config.initial_unroll,
             config.verify_sequences,
             config.verify_cycles,
-            config.simplify_cnf
+            config.simplify_cnf,
+            config.incremental
         );
         fnv1a64(text.as_bytes())
     }
@@ -530,11 +548,16 @@ impl<'a> SatAttack<'a> {
             deadline,
         };
 
+        // In incremental mode this miter (and its solver) survives the whole
+        // run; otherwise each depth builds a fresh one.
+        let mut miter: Option<DepthMiter<E>> = None;
+
         loop {
             // The RNG is only consumed between depths (candidate validation),
             // so one snapshot per depth makes every mid-loop checkpoint exact.
             ctx.rng_state = snapshot(rng);
-            let round = self.attack_at_depth::<E>(depth, config, total_dips, &mut ctx)?;
+            let round =
+                self.attack_at_depth::<E>(depth, config, total_dips, &mut ctx, &mut miter)?;
             total_dips = round.dips;
             let mut solver_stats = ctx.stats_base;
             solver_stats.merge(&round.stats);
@@ -608,7 +631,11 @@ impl<'a> SatAttack<'a> {
                     // depth was insufficient (model-checking step failed).
                     // Recorded observations belong to the abandoned depth and
                     // are dropped; completed-depth effort folds into the base.
-                    ctx.stats_base = solver_stats;
+                    // The persistent solver reports cumulative stats, so its
+                    // effort must not fold into the base a second time.
+                    if !config.incremental {
+                        ctx.stats_base = solver_stats;
+                    }
                     ctx.records.clear();
                     depth += 1;
                     if depth > config.max_unroll {
@@ -633,7 +660,151 @@ impl<'a> SatAttack<'a> {
         config: &SatAttackConfig,
         dips_so_far: u64,
         ctx: &mut RunCtx<'_>,
+        miter: &mut Option<DepthMiter<E>>,
     ) -> Result<DepthRound, AttackError> {
+        // Incremental mode reuses the live miter, extending its encoding when
+        // the depth grew; otherwise (and on the first depth) build a fresh
+        // solver and encoding for this depth.
+        let rebuilt = match miter.as_mut() {
+            Some(m) if config.incremental => {
+                if m.depth < depth {
+                    self.extend_miter(m, depth)?;
+                }
+                false
+            }
+            _ => {
+                *miter = Some(self.build_miter(depth, config)?);
+                true
+            }
+        };
+        let m = miter.as_mut().expect("miter built above");
+
+        // Cooperative interruption: deadline callback plus per-solve budgets.
+        m.solver
+            .set_control(Self::solve_control(config, ctx.deadline));
+
+        // Replay checkpointed observations of this depth — pure re-encoding,
+        // no oracle queries (the responses were recorded). A reused
+        // persistent solver already holds them (they were added live), so
+        // only a freshly built solver replays.
+        if rebuilt {
+            for record in &ctx.records {
+                for keys in [&m.key_vars_1, &m.key_vars_2] {
+                    let outs = self.encode_constrained_copy(
+                        &mut m.solver,
+                        &m.unrolled,
+                        keys,
+                        &record.inputs,
+                        &m.observed,
+                        &m.gate_order,
+                        config,
+                    )?;
+                    miter::assert_bound_values(&mut m.solver, &outs, &record.outputs);
+                }
+            }
+        }
+
+        let mut oracle = Simulator::new(self.original)?;
+        let mut dips = dips_so_far;
+
+        loop {
+            killpoint::hit("dip-loop");
+            if dips >= config.max_dips {
+                // The DIP budget is a planned pause: persist the observations
+                // so a resume with a raised budget continues from here.
+                ctx.save(depth, dips, &m.solver.stats())?;
+                return Ok(m.round(None, false, dips));
+            }
+            match m.solver.solve_with_assumptions(&[m.diff]) {
+                SatResult::Sat(model) => {
+                    dips += 1;
+                    // Extract the distinguishing functional input sequence.
+                    let dip: Vec<Vec<bool>> = m
+                        .functional_vars
+                        .iter()
+                        .map(|cycle| cycle.iter().map(|&l| model.lit_value(l)).collect())
+                        .collect();
+                    // Oracle response: run the original circuit from reset.
+                    oracle.reset();
+                    let response = oracle.run(&dip)?;
+                    let response_flat: Vec<bool> = response.iter().flatten().copied().collect();
+                    // Constrain both key copies to reproduce the observation.
+                    for keys in [&m.key_vars_1, &m.key_vars_2] {
+                        let outs = self.encode_constrained_copy(
+                            &mut m.solver,
+                            &m.unrolled,
+                            keys,
+                            &dip,
+                            &m.observed,
+                            &m.gate_order,
+                            config,
+                        )?;
+                        miter::assert_bound_values(&mut m.solver, &outs, &response_flat);
+                    }
+                    let mut checkpointed = false;
+                    if ctx.checkpoint_path.is_some() {
+                        ctx.records.push(DipRecord {
+                            inputs: dip,
+                            outputs: response_flat,
+                        });
+                        if ctx.checkpoint_every > 0
+                            && (ctx.records.len() as u64).is_multiple_of(ctx.checkpoint_every)
+                        {
+                            ctx.save(depth, dips, &m.solver.stats())?;
+                            checkpointed = true;
+                        }
+                    }
+                    if let Some(progress) = &config.progress {
+                        if checkpointed || dips.is_multiple_of(config.progress_every.max(1)) {
+                            let mut stats = ctx.stats_base;
+                            stats.merge(&m.solver.stats());
+                            progress(&AttackProgress {
+                                dips,
+                                depth,
+                                elapsed: ctx.elapsed_base + ctx.start.elapsed(),
+                                stats,
+                                checkpointed,
+                            });
+                        }
+                    }
+                }
+                SatResult::Unsat => {
+                    // No DIP remains: extract a key consistent with all
+                    // observations so far.
+                    let candidate = match m.solver.solve() {
+                        SatResult::Sat(model) => {
+                            let cycles: Vec<Vec<bool>> = m
+                                .key_vars_1
+                                .iter()
+                                .map(|cycle| cycle.iter().map(|&l| model.lit_value(l)).collect())
+                                .collect();
+                            Some(KeySequence::from_cycles(cycles))
+                        }
+                        SatResult::Unsat => None,
+                        SatResult::Interrupted => {
+                            ctx.save(depth, dips, &m.solver.stats())?;
+                            return Ok(m.round(None, true, dips));
+                        }
+                    };
+                    return Ok(m.round(candidate, false, dips));
+                }
+                SatResult::Interrupted => {
+                    // Deadline or per-solve budget hit: persist everything
+                    // learned so far and unwind as TimedOut.
+                    ctx.save(depth, dips, &m.solver.stats())?;
+                    return Ok(m.round(None, true, dips));
+                }
+            }
+        }
+    }
+
+    /// Builds a fresh solver holding the two-key-copy miter of the unrolled
+    /// circuit at `depth` functional cycles.
+    fn build_miter<E: SatEngine>(
+        &self,
+        depth: usize,
+        config: &SatAttackConfig,
+    ) -> Result<DepthMiter<E>, AttackError> {
         let width = self.locked.num_inputs();
         let unrolled = unroll::unroll(self.locked, self.kappa + depth)?;
         let mut solver = E::default();
@@ -670,7 +841,7 @@ impl<'a> SatAttack<'a> {
             .flat_map(|t| unrolled.outputs[t].iter().copied())
             .collect();
 
-        let outputs_1 = self.encode_copy(
+        let (outputs_1, map_1) = self.encode_copy(
             &mut solver,
             &unrolled,
             &key_vars_1,
@@ -678,7 +849,7 @@ impl<'a> SatAttack<'a> {
             &gate_order,
             config,
         )?;
-        let outputs_2 = self.encode_copy(
+        let (outputs_2, map_2) = self.encode_copy(
             &mut solver,
             &unrolled,
             &key_vars_2,
@@ -687,145 +858,79 @@ impl<'a> SatAttack<'a> {
             config,
         )?;
         let diff = miter::any_difference_bounds(&mut solver, &outputs_1, &outputs_2);
+        Ok(DepthMiter {
+            solver,
+            depth,
+            unrolled,
+            gate_order,
+            observed,
+            functional_vars,
+            key_vars_1,
+            key_vars_2,
+            map_1: Some(map_1),
+            map_2: Some(map_2),
+            outputs_1,
+            outputs_2,
+            diff,
+        })
+    }
 
-        // Cooperative interruption: deadline callback plus per-solve budgets.
-        solver.set_control(Self::solve_control(config, ctx.deadline));
-
-        // Replay checkpointed observations of this depth — pure re-encoding,
-        // no oracle queries (the responses were recorded).
-        for record in &ctx.records {
-            for keys in [&key_vars_1, &key_vars_2] {
-                let outs = self.encode_constrained_copy(
-                    &mut solver,
-                    &unrolled,
-                    keys,
-                    &record.inputs,
-                    &observed,
-                    &gate_order,
-                    config,
-                )?;
-                miter::assert_bound_values(&mut solver, &outs, &record.outputs);
-            }
+    /// Extends a live miter to `new_depth` functional cycles without touching
+    /// the clauses already in its solver. Unrolling is prefix-stable — the
+    /// first `κ + old_depth` cycles of the deeper expansion reproduce the
+    /// same net and gate ids — so each copy resumes from its captured
+    /// encoder map and encodes only the appended timeframes. A fresh
+    /// difference literal is defined over *all* observed outputs; the
+    /// previous one is simply never assumed again (its defining clauses stay
+    /// satisfiable with the literal false). Constraints learnt from
+    /// shallower-depth DIPs remain sound: they assert that both key copies
+    /// reproduce an observed output prefix, which a deeper execution of the
+    /// same input prefix still exhibits.
+    fn extend_miter<E: SatEngine>(
+        &self,
+        m: &mut DepthMiter<E>,
+        new_depth: usize,
+    ) -> Result<(), AttackError> {
+        debug_assert!(new_depth > m.depth);
+        let width = self.locked.num_inputs();
+        let first_new_gate = m.unrolled.netlist.num_gates();
+        let unrolled = unroll::unroll(self.locked, self.kappa + new_depth)?;
+        let gate_order = netlist::topo::gate_order(&unrolled.netlist)?;
+        for _ in m.depth..new_depth {
+            m.functional_vars.push(
+                (0..width)
+                    .map(|_| Lit::positive(m.solver.new_var()))
+                    .collect(),
+            );
         }
-
-        let mut oracle = Simulator::new(self.original)?;
-        let mut dips = dips_so_far;
-
-        loop {
-            killpoint::hit("dip-loop");
-            if dips >= config.max_dips {
-                // The DIP budget is a planned pause: persist the observations
-                // so a resume with a raised budget continues from here.
-                ctx.save(depth, dips, &solver.stats())?;
-                return Ok(DepthRound {
-                    candidate: None,
-                    interrupted: false,
-                    dips,
-                    solver_vars: solver.num_vars(),
-                    solver_clauses: solver.num_clauses(),
-                    stats: solver.stats(),
-                });
-            }
-            match solver.solve_with_assumptions(&[diff]) {
-                SatResult::Sat(model) => {
-                    dips += 1;
-                    // Extract the distinguishing functional input sequence.
-                    let dip: Vec<Vec<bool>> = functional_vars
-                        .iter()
-                        .map(|cycle| cycle.iter().map(|&l| model.lit_value(l)).collect())
-                        .collect();
-                    // Oracle response: run the original circuit from reset.
-                    oracle.reset();
-                    let response = oracle.run(&dip)?;
-                    let response_flat: Vec<bool> = response.iter().flatten().copied().collect();
-                    // Constrain both key copies to reproduce the observation.
-                    for keys in [&key_vars_1, &key_vars_2] {
-                        let outs = self.encode_constrained_copy(
-                            &mut solver,
-                            &unrolled,
-                            keys,
-                            &dip,
-                            &observed,
-                            &gate_order,
-                            config,
-                        )?;
-                        miter::assert_bound_values(&mut solver, &outs, &response_flat);
-                    }
-                    let mut checkpointed = false;
-                    if ctx.checkpoint_path.is_some() {
-                        ctx.records.push(DipRecord {
-                            inputs: dip,
-                            outputs: response_flat,
-                        });
-                        if ctx.checkpoint_every > 0
-                            && (ctx.records.len() as u64).is_multiple_of(ctx.checkpoint_every)
-                        {
-                            ctx.save(depth, dips, &solver.stats())?;
-                            checkpointed = true;
-                        }
-                    }
-                    if let Some(progress) = &config.progress {
-                        if checkpointed || dips.is_multiple_of(config.progress_every.max(1)) {
-                            let mut stats = ctx.stats_base;
-                            stats.merge(&solver.stats());
-                            progress(&AttackProgress {
-                                dips,
-                                depth,
-                                elapsed: ctx.elapsed_base + ctx.start.elapsed(),
-                                stats,
-                                checkpointed,
-                            });
-                        }
-                    }
-                }
-                SatResult::Unsat => {
-                    // No DIP remains: extract a key consistent with all
-                    // observations so far.
-                    let candidate = match solver.solve() {
-                        SatResult::Sat(model) => {
-                            let cycles: Vec<Vec<bool>> = key_vars_1
-                                .iter()
-                                .map(|cycle| cycle.iter().map(|&l| model.lit_value(l)).collect())
-                                .collect();
-                            Some(KeySequence::from_cycles(cycles))
-                        }
-                        SatResult::Unsat => None,
-                        SatResult::Interrupted => {
-                            ctx.save(depth, dips, &solver.stats())?;
-                            return Ok(DepthRound {
-                                candidate: None,
-                                interrupted: true,
-                                dips,
-                                solver_vars: solver.num_vars(),
-                                solver_clauses: solver.num_clauses(),
-                                stats: solver.stats(),
-                            });
-                        }
-                    };
-                    return Ok(DepthRound {
-                        candidate,
-                        interrupted: false,
-                        dips,
-                        solver_vars: solver.num_vars(),
-                        solver_clauses: solver.num_clauses(),
-                        stats: solver.stats(),
-                    });
-                }
-                SatResult::Interrupted => {
-                    // Deadline or per-solve budget hit: persist everything
-                    // learned so far and unwind as TimedOut.
-                    ctx.save(depth, dips, &solver.stats())?;
-                    return Ok(DepthRound {
-                        candidate: None,
-                        interrupted: true,
-                        dips,
-                        solver_vars: solver.num_vars(),
-                        solver_clauses: solver.num_clauses(),
-                        stats: solver.stats(),
-                    });
+        for (map_slot, outputs) in [
+            (&mut m.map_1, &mut m.outputs_1),
+            (&mut m.map_2, &mut m.outputs_2),
+        ] {
+            let saved = map_slot.take().expect("map captured at previous depth");
+            let mut encoder = tseitin::CircuitEncoder::resume(&unrolled.netlist, saved)?;
+            for (t, cycle) in m.functional_vars.iter().enumerate().skip(m.depth) {
+                for (i, &lit) in cycle.iter().enumerate() {
+                    encoder.bind(unrolled.inputs[self.kappa + t][i], lit);
                 }
             }
+            encoder.encode_extension(&mut m.solver, &gate_order, first_new_gate)?;
+            outputs.clear();
+            for t in self.kappa..unrolled.cycles {
+                for &net in &unrolled.outputs[t] {
+                    outputs.push(encoder.bound(net).expect("encoded net has a binding"));
+                }
+            }
+            *map_slot = Some(encoder.into_map());
         }
+        m.diff = miter::any_difference_bounds(&mut m.solver, &m.outputs_1, &m.outputs_2);
+        m.observed = (self.kappa..unrolled.cycles)
+            .flat_map(|t| unrolled.outputs[t].iter().copied())
+            .collect();
+        m.unrolled = unrolled;
+        m.gate_order = gate_order;
+        m.depth = new_depth;
+        Ok(())
     }
 
     /// Encodes one copy of the unrolled locked circuit with the given key
@@ -839,7 +944,7 @@ impl<'a> SatAttack<'a> {
         functional_vars: &[Vec<Lit>],
         gate_order: &[netlist::GateId],
         config: &SatAttackConfig,
-    ) -> Result<Vec<Bound>, AttackError> {
+    ) -> Result<(Vec<Bound>, tseitin::EncoderMap), AttackError> {
         let mut encoder = tseitin::CircuitEncoder::new(&unrolled.netlist)?;
         encoder.set_folding(config.simplify_cnf);
         for (t, cycle) in key_vars.iter().enumerate() {
@@ -859,7 +964,7 @@ impl<'a> SatAttack<'a> {
                 outputs.push(encoder.bound(net).expect("encoded net has a binding"));
             }
         }
-        Ok(outputs)
+        Ok((outputs, encoder.into_map()))
     }
 
     /// Encodes a copy whose functional inputs are fixed to the DIP constants;
@@ -912,6 +1017,49 @@ impl<'a> SatAttack<'a> {
             .map(|&net| encoder.bound(net).expect("encoded net has a binding"))
             .collect();
         Ok(outputs)
+    }
+}
+
+/// The two-key-copy miter of one unrolling depth, together with the solver it
+/// is encoded into. In incremental mode one instance lives for the whole
+/// attack: `extend_miter` deepens the encoding in place, the solver keeps its
+/// learnt clauses, activities and phases, and the captured encoder maps let
+/// the next depth bump resume where the encoding stopped.
+struct DepthMiter<E> {
+    solver: E,
+    /// Functional cycles currently encoded.
+    depth: usize,
+    unrolled: unroll::Unrolled,
+    gate_order: Vec<netlist::GateId>,
+    /// Observed (functional-cycle) output nets, flattened cycle-major.
+    observed: Vec<netlist::NetId>,
+    functional_vars: Vec<Vec<Lit>>,
+    key_vars_1: Vec<Vec<Lit>>,
+    key_vars_2: Vec<Vec<Lit>>,
+    /// Encoder maps of the two key copies, captured after every (re-)encode;
+    /// `None` only transiently while an extension is in flight.
+    map_1: Option<tseitin::EncoderMap>,
+    map_2: Option<tseitin::EncoderMap>,
+    outputs_1: Vec<Bound>,
+    outputs_2: Vec<Bound>,
+    /// Unasserted "some observed output differs" literal; assumed per query
+    /// so the miter stays retractable.
+    diff: Lit,
+}
+
+impl<E: SatEngine> DepthMiter<E> {
+    /// Packages the solver's current size and effort into a [`DepthRound`].
+    /// For a persistent solver the stats are cumulative across depths, which
+    /// `run_inner` accounts for by not re-folding them into its base.
+    fn round(&self, candidate: Option<KeySequence>, interrupted: bool, dips: u64) -> DepthRound {
+        DepthRound {
+            candidate,
+            interrupted,
+            dips,
+            solver_vars: self.solver.num_vars(),
+            solver_clauses: self.solver.num_clauses(),
+            stats: self.solver.stats(),
+        }
     }
 }
 
@@ -1079,6 +1227,50 @@ mod tests {
             outcome2.dips
         );
         assert!(outcome2.dips > outcome1.dips);
+    }
+
+    #[test]
+    fn incremental_attack_recovers_a_correct_key_across_depth_bumps() {
+        // κs=2 with initial_unroll=1 forces the attack through at least one
+        // depth extension, exercising the persistent-solver resume path
+        // (encoder-map reuse, extended timeframes, fresh difference literal).
+        let original = small::toy_controller(2).unwrap();
+        let lock_config = TriLockConfig::new(2, 1).with_alpha(0.6);
+        let base = SatAttackConfig {
+            initial_unroll: 1,
+            max_unroll: 5,
+            max_dips: 10_000,
+            verify_sequences: 24,
+            verify_cycles: 10,
+            ..SatAttackConfig::default()
+        };
+        let incremental = SatAttackConfig {
+            incremental: true,
+            ..base.clone()
+        };
+        let (plain, locked) = attack_circuit(&original, &lock_config, 6, &base);
+        let (incr, _) = attack_circuit(&original, &lock_config, 6, &incremental);
+        assert!(plain.succeeded(), "baseline failed: {:?}", plain.status);
+        assert!(incr.succeeded(), "incremental failed: {:?}", incr.status);
+        let AttackStatus::KeyFound(key) = &incr.status else {
+            unreachable!()
+        };
+        let mut rng = StdRng::seed_from_u64(77);
+        let cex = sim::equiv::key_restores_function(
+            &original,
+            &locked.netlist,
+            key.cycles(),
+            12,
+            40,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(cex.is_none(), "incremental key is wrong: {cex:?}");
+        assert!(
+            incr.unroll_depth >= 2,
+            "expected a depth extension, finished at depth {}",
+            incr.unroll_depth
+        );
     }
 
     #[test]

@@ -8,11 +8,16 @@
 //!   the exact pre-PR pipeline (Vec-of-Vec clause store, clone-per-resolution
 //!   analysis, no reduce-DB, DIP constraints as two full circuit copies with
 //!   constant-pinned fresh variables);
-//! * **arena** — the default engine: flat-arena clause store, binary watch
-//!   lists, LBD reduce-DB + learnt minimization, and constant-folded,
-//!   cone-restricted DIP constraints.
+//! * **arena (rebuild)** — the arena engine with a fresh solver per unroll
+//!   depth: flat-arena clause store, binary watch lists, LBD reduce-DB +
+//!   learnt minimization, and constant-folded, cone-restricted DIP
+//!   constraints;
+//! * **arena (incremental)** — the same engine with `incremental = true`:
+//!   one persistent solver across the whole DIP loop (assumption-based miter
+//!   queries, learnt clauses and heuristic state carried between DIPs,
+//!   dynamic-LBD restarts). This leg is the recorded JSON row.
 //!
-//! The attack must recover the same functional outcome on both legs; the
+//! The attack must recover the same functional outcome on all legs; the
 //! figure of merit is `seconds_per_dip` (the paper's extrapolation ratio for
 //! the unfinished Table I entries), targeted at ≥ 2× lower on the arena leg.
 //!
@@ -34,7 +39,14 @@ use rand::SeedableRng;
 use trilock::{encrypt, TriLockConfig};
 
 /// Seed for circuit generation / locking / attack randomness.
-const SEED: u64 = 42;
+///
+/// Chosen so the generated instance has `b* = 2 > initial_unroll`: the attack
+/// must pass through a depth bump, which is the code path the incremental
+/// mode optimizes (encoding extension instead of rebuild + DIP replay). The
+/// previous seed (42) produced an instance breakable at `b = 1` — one DIP,
+/// no bump, externally confirmed by a 512-sequence equivalence probe — so a
+/// run on it could never separate the two arena legs.
+const SEED: u64 = 70;
 /// Resilience (κs) and corruptibility (κf) cycles of the lock.
 const KAPPA_S: usize = 2;
 const KAPPA_F: usize = 1;
@@ -55,8 +67,13 @@ fn main() {
     let mut lock_rng = StdRng::seed_from_u64(SEED);
     let locked = encrypt(&original, &lock_config, &mut lock_rng).expect("locks");
 
+    // Starting below κs forces at least one depth bump, which is where the
+    // incremental leg diverges from rebuild: the persistent solver keeps its
+    // clause database, learnt clauses and heuristic state and merely extends
+    // the encoding, while the rebuild leg re-encodes and replays every
+    // recorded DIP constraint from scratch.
     let base = SatAttackConfig {
-        initial_unroll: KAPPA_S,
+        initial_unroll: 1,
         max_unroll: KAPPA_S + 3,
         max_dips: 100_000,
         verify_sequences: 32,
@@ -65,11 +82,12 @@ fn main() {
         ..SatAttackConfig::default()
     };
 
-    let run = |simplify: bool, reference: bool| -> SatAttackOutcome {
+    let run = |simplify: bool, reference: bool, incremental: bool| -> SatAttackOutcome {
         let attack =
             SatAttack::new(&original, &locked.netlist, locked.kappa()).expect("interfaces");
         let config = SatAttackConfig {
             simplify_cnf: simplify,
+            incremental,
             ..base.clone()
         };
         let mut rng = StdRng::seed_from_u64(SEED + 1);
@@ -86,19 +104,32 @@ fn main() {
         "bench sat_attack_throughput: {profile}, kappa_s = {KAPPA_S}, kappa_f = {KAPPA_F}, \
          seed = {SEED}"
     );
-    let reference = run(false, true);
+    let reference = run(false, true, false);
     report("reference (pre-arena)", &reference);
-    let arena = run(true, false);
-    report("arena", &arena);
+    let rebuild = run(true, false, false);
+    report("arena (rebuild)", &rebuild);
+    let arena = run(true, false, true);
+    report("arena (incremental)", &arena);
 
     assert_eq!(
         reference.succeeded(),
         arena.succeeded(),
         "both engines must reach the same outcome"
     );
+    assert_eq!(
+        rebuild.succeeded(),
+        arena.succeeded(),
+        "incremental and rebuild modes must reach the same outcome"
+    );
 
     let speedup = reference.seconds_per_dip() / arena.seconds_per_dip();
-    println!("  speedup {speedup:.2}x seconds-per-dip (target: >= 2x)");
+    println!("  speedup {speedup:.2}x seconds-per-dip vs reference (target: >= 2x)");
+    println!(
+        "  incremental vs rebuild: {:.2}x seconds-per-dip, conflicts {} -> {}",
+        rebuild.seconds_per_dip() / arena.seconds_per_dip(),
+        rebuild.solver_stats.conflicts,
+        arena.solver_stats.conflicts,
+    );
 
     let unix_time = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -108,7 +139,7 @@ fn main() {
     let row = format!(
         "{{\"bench\": \"sat_attack_throughput\", \"unix_time\": {unix_time}, \
          \"gates\": {}, \"inputs\": {}, \"kappa_s\": {KAPPA_S}, \"kappa_f\": {KAPPA_F}, \
-         \"seed\": {SEED}, \"dips\": {}, \
+         \"seed\": {SEED}, \"incremental\": true, \"dips\": {}, \
          \"seconds_per_dip\": {:.6e}, \"reference_seconds_per_dip\": {:.6e}, \
          \"speedup\": {speedup:.2}, \"conflicts\": {}, \"propagations\": {}, \
          \"decisions\": {}, \"learnt_live\": {}, \"learnt_deleted\": {}, \

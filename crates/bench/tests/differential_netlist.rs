@@ -24,7 +24,7 @@ use rand::{Rng, SeedableRng};
 
 use attacks::{AttackStatus, SatAttack, SatAttackConfig};
 use benchgen::{CircuitProfile, TABLE1_PROFILES};
-use netlist::{cone, topo, unroll, Driver, GateId, NetId, Netlist};
+use netlist::{cone, topo, unroll, Driver, GateId, GateKind, NetId, Netlist};
 use sim::{PackedSimulator, Simulator};
 use trilock::{encrypt, TriLockConfig};
 
@@ -258,5 +258,141 @@ proptest! {
         )
         .expect("validation runs");
         prop_assert!(cex.is_none(), "recovered key does not restore function");
+    }
+}
+
+/// One random structural mutation, interpreted against the current netlist
+/// state. Covers every public mutator class: net/input creation, gate
+/// appends (which grow the flat fanin table), `replace_net_uses` (which
+/// rewrites it in place), plus the mutators that deliberately do *not*
+/// invalidate the fanout CSR (`mark_output`, `rebind_dff`).
+fn apply_mutation(nl: &mut Netlist, op: (u8, u16, u16)) {
+    let pick = |nl: &Netlist, x: u16| NetId::from_index(x as usize % nl.num_nets());
+    match op.0 % 8 {
+        0 => {
+            nl.add_input_unnamed();
+        }
+        1 | 2 => {
+            let a = pick(nl, op.1);
+            let b = pick(nl, op.2);
+            let kind = if op.0 % 8 == 1 {
+                GateKind::And
+            } else {
+                GateKind::Xor
+            };
+            nl.add_gate_unnamed(kind, &[a, b]).expect("binary gate");
+        }
+        3 => {
+            let a = pick(nl, op.1);
+            nl.add_gate_unnamed(GateKind::Not, &[a]).expect("inverter");
+        }
+        4 | 5 => {
+            let old = pick(nl, op.1);
+            let new = pick(nl, op.2);
+            nl.replace_net_uses(old, new).expect("valid ids");
+        }
+        6 => {
+            // May fail on a duplicate output; the call must still leave the
+            // netlist (and its caches) coherent.
+            let _ = nl.mark_output(pick(nl, op.1));
+        }
+        _ => {
+            if nl.num_dffs() > 0 {
+                let q = nl.dffs()[op.1 as usize % nl.num_dffs()].q;
+                let d = pick(nl, op.2);
+                nl.rebind_dff(q, d).expect("q is a flip-flop output");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interleaved mutation/read sessions keep the cached fanout CSR exactly
+    /// in sync with a naive rebuild. Reading the CSR *between* mutations is
+    /// the point: each read re-primes the `OnceLock` cache, so a mutator
+    /// missing its `touch()` call would serve the stale adjacency on the
+    /// next read.
+    #[test]
+    fn fanout_csr_survives_interleaved_mutation(
+        ops in proptest::collection::vec(
+            (0u8..=255u8, 0u16..=999u16, 0u16..=999u16),
+            1..40,
+        ),
+    ) {
+        let mut nl = benchgen::small::toy_controller(2).expect("toy circuit");
+        // Prime the cache so the very first mutation hits the invalidation
+        // path rather than an empty cell.
+        let _ = nl.fanout_csr();
+        for op in ops {
+            apply_mutation(&mut nl, op);
+            let naive = naive_fanout(&nl);
+            let csr = nl.fanout_csr();
+            for (net, expected) in naive.iter().enumerate() {
+                prop_assert_eq!(
+                    csr.gates_reading(NetId::from_index(net)),
+                    expected.as_slice(),
+                    "fanout of net {} diverges after {:?}", net, op
+                );
+            }
+        }
+    }
+}
+
+/// The incremental SAT attack (one persistent solver across the whole DIP
+/// loop) recovers a key bit-for-bit identical to the rebuild-per-depth mode
+/// on every Table I benchgen profile. The initial unroll is chosen deep
+/// enough that the attack converges without a depth bump, where the two
+/// modes execute the same sequence of solver calls — any divergence
+/// (extra/missing clauses, restart-state leakage between DIP queries,
+/// assumption-core corruption) shows up as a different key or DIP count.
+#[test]
+fn incremental_attack_matches_rebuild_mode_on_all_profiles() {
+    for profile in TABLE1_PROFILES.iter().map(|p| p.scaled_down(256)) {
+        let original = benchgen::generate(&profile, 0xD1FF).expect("generates");
+        let mut rng = StdRng::seed_from_u64(7);
+        let locked = encrypt(
+            &original,
+            &trilock::TriLockConfig::new(2, 1).with_alpha(0.6),
+            &mut rng,
+        )
+        .expect("locks");
+        let base = SatAttackConfig {
+            initial_unroll: 3,
+            max_unroll: 6,
+            max_dips: 100_000,
+            verify_sequences: 16,
+            verify_cycles: 10,
+            ..SatAttackConfig::default()
+        };
+        let run = |config: &SatAttackConfig| {
+            let attack = SatAttack::new(&original, &locked.netlist, locked.kappa())
+                .expect("interfaces match");
+            let mut rng = StdRng::seed_from_u64(11);
+            attack.run(config, &mut rng).expect("attack runs")
+        };
+        let plain = run(&base);
+        let incremental = run(&SatAttackConfig {
+            incremental: true,
+            ..base.clone()
+        });
+        assert!(
+            matches!(plain.status, AttackStatus::KeyFound(_)),
+            "{}: rebuild mode failed: {:?}",
+            profile.name,
+            plain.status
+        );
+        assert_eq!(
+            plain.status, incremental.status,
+            "{}: incremental key diverges from rebuild mode",
+            profile.name
+        );
+        assert_eq!(
+            (plain.dips, plain.unroll_depth),
+            (incremental.dips, incremental.unroll_depth),
+            "{}: incremental trajectory diverges",
+            profile.name
+        );
     }
 }

@@ -69,13 +69,16 @@ COMMANDS:
                     [--verify-sequences N] [--verify-cycles N] [--seed N]
                     [--time-limit SECS] [--checkpoint FILE] [--resume FILE]
                     [--checkpoint-every N] [--progress] [--progress-every N]
-                    [--engine fast|reference] [--from FMT] [--locked-from FMT]
-                    [--socket PATH]
+                    [--engine fast|reference] [--incremental]
+                    [--from FMT] [--locked-from FMT] [--socket PATH]
         Run the SAT-based unrolling attack; ORIGINAL plays the oracle.
         --from pins the oracle's format, --locked-from the locked design's
         (each defaults to auto-detection). --engine reference runs the
         retained pre-arena solver on unsimplified CNF (the baseline of
-        BENCH_sat_attack.json) instead of the arena engine.
+        BENCH_sat_attack.json) instead of the arena engine. --incremental
+        keeps one solver alive across the whole DIP loop: learnt clauses
+        survive between DIP queries and a depth bump extends the existing
+        unrolled encoding instead of re-encoding from scratch.
         --time-limit interrupts the attack cooperatively when the wall clock
         expires (status: timed out). --checkpoint FILE writes a crash-safe
         checkpoint there every --checkpoint-every DIPs (default 64) and on
@@ -205,7 +208,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "locked-from",
                 "socket",
             ],
-            &["progress"],
+            &["progress", "incremental"],
         )?),
         "campaign" => campaign::cmd_campaign(&Opts::parse(
             rest,
@@ -621,7 +624,14 @@ fn cmd_sat_attack(opts: &Opts) -> Result<(), String> {
     let seed = opts.value("seed", 1u64)?;
 
     if opts.flags.contains_key("socket") {
-        for conflict in ["checkpoint", "resume", "engine", "from", "locked-from"] {
+        for conflict in [
+            "checkpoint",
+            "resume",
+            "engine",
+            "incremental",
+            "from",
+            "locked-from",
+        ] {
             if opts.flags.contains_key(conflict) {
                 return Err(format!(
                     "`--{conflict}` does not combine with `--socket` (the daemon manages \
@@ -677,6 +687,7 @@ fn cmd_sat_attack(opts: &Opts) -> Result<(), String> {
         verify_sequences: opts.value("verify-sequences", defaults.verify_sequences)?,
         verify_cycles: opts.value("verify-cycles", defaults.verify_cycles)?,
         simplify_cnf: !reference_engine,
+        incremental: opts.switch("incremental"),
         time_limit: (time_limit > 0.0).then_some(std::time::Duration::from_secs_f64(time_limit)),
         checkpoint_every: opts.value("checkpoint-every", defaults.checkpoint_every)?,
         ..defaults
@@ -720,8 +731,13 @@ fn cmd_sat_attack(opts: &Opts) -> Result<(), String> {
     }
 
     say!(
-        "sat-attack on {} (kappa = {kappa}, seed = {seed}, engine = {engine})",
-        brief(&locked)
+        "sat-attack on {} (kappa = {kappa}, seed = {seed}, engine = {engine}{})",
+        brief(&locked),
+        if config.incremental {
+            ", incremental"
+        } else {
+            ""
+        }
     );
     say!(
         "  dips = {}, seconds_per_dip = {:.6}, unroll depth = {}, elapsed = {:.3}s",

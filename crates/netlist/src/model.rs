@@ -319,7 +319,7 @@ impl fmt::Display for NetLabel<'_> {
 /// primary input, a combinational gate or a flip-flop `Q` pin. Nets are
 /// usually named (names live in one interned byte arena), but nets produced
 /// by expansion passes may be unnamed — see [`Netlist::add_gate_unnamed`] and
-/// [`Netlist::net_label`]. See the [module docs](self) for the
+/// [`Netlist::net_label`]. See the `model` module docs for the
 /// struct-of-arrays storage layout.
 #[derive(Debug, Clone)]
 pub struct Netlist {
@@ -405,6 +405,16 @@ impl Netlist {
     // ------------------------------------------------------------------
 
     /// Invalidates derived caches after a structural mutation.
+    ///
+    /// The fanout CSR is a pure function of the net count (`spans.len()`) and
+    /// the flat gate-fanin table, so exactly the mutators feeding those must
+    /// call `touch`: [`Self::push_net`], [`Self::push_gate`] and
+    /// [`Self::replace_net_uses`]. Mutations of outputs, names and flip-flop
+    /// `D` pins (`mark_output`, `replace_output`, `bind_dff`, `rebind_dff`,
+    /// `remove_dff`, `rename_net`) deliberately do *not* invalidate — the CSR
+    /// never reads them. The interleaved-mutation proptest in
+    /// `crates/bench/tests/differential_netlist.rs` pins this contract
+    /// against a naive rebuild after every kind of mutation.
     fn touch(&mut self) {
         if self.fanout_cache.get().is_some() {
             self.fanout_cache = OnceLock::new();

@@ -243,4 +243,36 @@ mod tests {
         assert_eq!(unrolled.netlist.num_inputs(), 5);
         assert_eq!(unrolled.netlist.num_outputs(), 5);
     }
+
+    /// A deeper unrolling reproduces the shallower one as an exact prefix:
+    /// same net/gate ids, kinds and fanins for the shared cycles. The
+    /// incremental SAT attack leans on this to extend a live encoding with
+    /// new timeframes instead of re-encoding from scratch.
+    #[test]
+    fn deeper_unrollings_are_prefix_stable() {
+        let nl = toggle();
+        let short = unroll(&nl, 3).unwrap();
+        let long = unroll(&nl, 5).unwrap();
+        assert_eq!(&long.inputs[..3], &short.inputs[..]);
+        assert_eq!(&long.outputs[..3], &short.outputs[..]);
+        assert!(long.netlist.num_gates() > short.netlist.num_gates());
+        for g in 0..short.netlist.num_gates() {
+            let gid = crate::GateId::from_index(g);
+            assert_eq!(
+                long.netlist.gate_kind(gid),
+                short.netlist.gate_kind(gid),
+                "gate {g} kind"
+            );
+            assert_eq!(
+                long.netlist.gate_fanins(gid),
+                short.netlist.gate_fanins(gid),
+                "gate {g} fanins"
+            );
+            assert_eq!(
+                long.netlist.gate_output(gid),
+                short.netlist.gate_output(gid),
+                "gate {g} output"
+            );
+        }
+    }
 }

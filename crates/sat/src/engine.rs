@@ -236,6 +236,13 @@ pub trait SatEngine: ClauseSink + Default {
     /// `false` once the clause database has been proven unsatisfiable at the
     /// root level.
     fn is_consistent(&self) -> bool;
+
+    /// After [`Self::solve_with_assumptions`] returned [`SatResult::Unsat`],
+    /// the subset of the assumption literals that the refutation actually
+    /// used (MiniSat's final conflict analysis). Empty when the clause
+    /// database is unsatisfiable regardless of the assumptions. The slice is
+    /// valid until the next solve call; the order is unspecified.
+    fn failed_assumptions(&self) -> &[Lit];
 }
 
 #[cfg(test)]

@@ -59,5 +59,5 @@ pub mod tseitin;
 
 pub use cnf::Cnf;
 pub use engine::{ClauseSink, Model, SatEngine, SatResult, SolveControl, SolverStats, StopFn};
-pub use solver::Solver;
+pub use solver::{RestartMode, Solver};
 pub use types::{Lit, Var};

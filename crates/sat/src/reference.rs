@@ -53,6 +53,9 @@ pub struct Solver {
     heap_pos: Vec<usize>,
     phase: Vec<bool>,
     seen: Vec<bool>,
+    /// Failed-assumption subset of the most recent Unsat-under-assumptions
+    /// answer (mirrors [`crate::Solver::failed_assumptions`]).
+    conflict_core: Vec<Lit>,
     control: SolveControl,
     ok: bool,
     stats: SolverStats,
@@ -84,6 +87,7 @@ impl Solver {
             heap_pos: Vec::new(),
             phase: Vec::new(),
             seen: Vec::new(),
+            conflict_core: Vec::new(),
             control: SolveControl::default(),
             ok: true,
             stats: SolverStats::default(),
@@ -136,6 +140,14 @@ impl Solver {
     /// search state preserved across an interruption.
     pub fn set_control(&mut self, control: SolveControl) {
         self.control = control;
+    }
+
+    /// After [`Self::solve_with_assumptions`] returned [`SatResult::Unsat`],
+    /// the subset of the assumption literals that the refutation actually
+    /// used; empty when the clause database is unsatisfiable on its own.
+    /// Same semantics as [`crate::Solver::failed_assumptions`].
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.conflict_core
     }
 
     // ------------------------------------------------------------------
@@ -410,6 +422,42 @@ impl Solver {
         (learnt, backtrack_level)
     }
 
+    /// MiniSat `analyzeFinal`: the assumption `p` was found false during
+    /// assumption re-assertion. Computes the assumption subset its
+    /// implication rests on into `conflict_core` (see the arena engine's
+    /// `analyze_final` for the walk's invariants).
+    fn analyze_final(&mut self, p: Lit) {
+        self.conflict_core.clear();
+        self.conflict_core.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let x = self.trail[i].var();
+            if !self.seen[x.index()] {
+                continue;
+            }
+            match self.reason[x.index()] {
+                None => {
+                    debug_assert!(self.level[x.index()] > 0);
+                    self.conflict_core.push(self.trail[i]);
+                }
+                Some(c) => {
+                    // Position 0 is the asserted literal itself.
+                    for k in 1..self.clauses[c as usize].lits.len() {
+                        let q = self.clauses[c as usize].lits[k];
+                        if self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[x.index()] = false;
+        }
+        self.seen[p.var().index()] = false;
+    }
+
     fn record_learnt(&mut self, learnt: Vec<Lit>) {
         self.stats.learned += 1;
         if learnt.len() == 1 {
@@ -546,6 +594,7 @@ impl Solver {
     /// [`SatResult::Unsat`] but stays usable, and a later query without those
     /// assumptions may succeed.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.conflict_core.clear();
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -564,7 +613,10 @@ impl Solver {
         let conflicts_at_entry = self.stats.conflicts;
         let propagations_at_entry = self.stats.propagations;
         let mut conflicts_since_restart = 0u64;
-        let mut restart_threshold = 100u64 * crate::solver::luby(self.stats.restarts);
+        // Per-call Luby index: seeding from the global restart counter would
+        // start a fresh query deep in the sequence after a long session.
+        let mut call_restarts = 0u64;
+        let mut restart_threshold = 100u64 * crate::solver::luby(call_restarts);
 
         loop {
             if let Some(conflict) = self.propagate() {
@@ -574,17 +626,15 @@ impl Solver {
                     self.ok = false;
                     return SatResult::Unsat;
                 }
-                if (self.decision_level() as usize) <= assumptions.len() {
-                    // The conflict does not depend on any free decision: the
-                    // formula is unsatisfiable under the assumptions.
-                    self.backtrack(0);
-                    return SatResult::Unsat;
-                }
+                // Conflicts at or below the assumption prefix learn too (see
+                // the arena engine); unsatisfiability under the assumptions
+                // surfaces in the re-assertion loop below.
                 let (learnt, backtrack_level) = self.analyze(conflict);
                 // The backjump may land inside (or below) the assumption
                 // prefix; that is sound here because the decision loop below
                 // re-asserts assumptions in order before any free decision,
-                // returning Unsat if a learnt clause now falsifies one.
+                // running final analysis if a learnt clause now falsifies
+                // one.
                 self.backtrack(backtrack_level);
                 self.record_learnt(learnt);
                 self.decay_activities();
@@ -597,8 +647,9 @@ impl Solver {
                 }
                 if conflicts_since_restart >= restart_threshold {
                     self.stats.restarts += 1;
+                    call_restarts += 1;
                     conflicts_since_restart = 0;
-                    restart_threshold = 100 * crate::solver::luby(self.stats.restarts);
+                    restart_threshold = 100 * crate::solver::luby(call_restarts);
                     if self.stop_requested() {
                         self.backtrack(0);
                         return SatResult::Interrupted;
@@ -616,6 +667,9 @@ impl Solver {
                             self.trail_lim.push(self.trail.len());
                         }
                         LBOOL_FALSE => {
+                            // The formula implies ¬a: final analysis exposes
+                            // which assumptions the refutation used.
+                            self.analyze_final(a);
                             self.backtrack(0);
                             return SatResult::Unsat;
                         }
@@ -680,6 +734,10 @@ impl SatEngine for Solver {
 
     fn is_consistent(&self) -> bool {
         Solver::is_consistent(self)
+    }
+
+    fn failed_assumptions(&self) -> &[Lit] {
+        Solver::failed_assumptions(self)
     }
 }
 

@@ -82,6 +82,37 @@ struct Watcher {
     blocker: Lit,
 }
 
+/// Restart policy of the search loop.
+///
+/// Both policies backtrack to the assumption prefix, poll the stop callback
+/// and bump `stats.restarts`; they differ only in *when* a restart fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartMode {
+    /// Static Luby schedule (unit 100 conflicts), restarted per call.
+    /// Retained as the differential baseline: [`crate::reference::Solver`]
+    /// restarts this way.
+    Luby,
+    /// Glucose-style dynamic restarts: restart as soon as the average LBD of
+    /// the last `LBD_QUEUE_LEN` learnt clauses exceeds the running global
+    /// LBD average by 1/`LBD_RESTART_MARGIN` — the search is producing
+    /// worse-than-usual clauses, so abandon the current branch early. The
+    /// default of the fast engine.
+    #[default]
+    DynamicLbd,
+}
+
+/// Window of recent learnt-clause LBDs driving [`RestartMode::DynamicLbd`].
+pub const LBD_QUEUE_LEN: usize = 50;
+/// A dynamic restart fires when `recent_avg * LBD_RESTART_MARGIN >
+/// global_avg * (LBD_RESTART_MARGIN + 1)` — i.e. the recent average is more
+/// than `1 + 1/LBD_RESTART_MARGIN` times the global one (Glucose's K = 0.8).
+const LBD_RESTART_MARGIN: u128 = 4;
+
+/// Conflicts between forced stop-callback polls when no restart fires:
+/// dynamic restarts can go quiet on an easy branch, and a deadline must not
+/// wait on the restart heuristic.
+const STOP_POLL_CONFLICTS: u64 = 4096;
+
 /// CDCL SAT solver. The module-level comment above describes the clause-store
 /// design; see the [crate-level documentation](crate) for an example.
 #[derive(Debug, Clone)]
@@ -126,6 +157,22 @@ pub struct Solver {
     /// Fixed learnt limit override (testing / tuning); disables the adaptive
     /// geometric schedule.
     learnt_limit_override: Option<usize>,
+    /// Restart policy; see [`RestartMode`].
+    restart_mode: RestartMode,
+    /// Ring buffer of the last [`LBD_QUEUE_LEN`] learnt-clause LBDs.
+    lbd_queue: Vec<u32>,
+    /// Next write position in `lbd_queue`.
+    lbd_queue_pos: usize,
+    /// Sum over the live entries of `lbd_queue`.
+    lbd_queue_sum: u64,
+    /// Sum of every learnt-clause LBD since the solver was created.
+    lbd_global_sum: u64,
+    /// Count behind `lbd_global_sum`.
+    lbd_global_count: u64,
+    /// Failed-assumption subset of the most recent Unsat-under-assumptions
+    /// answer (MiniSat `analyzeFinal`); empty when the database itself is
+    /// unsatisfiable.
+    conflict_core: Vec<Lit>,
     /// Cooperative-interruption controls (per-call budgets + stop callback).
     control: SolveControl,
     ok: bool,
@@ -175,6 +222,13 @@ impl Solver {
             stamp_gen: 0,
             max_learnts: 0.0,
             learnt_limit_override: None,
+            restart_mode: RestartMode::default(),
+            lbd_queue: Vec::new(),
+            lbd_queue_pos: 0,
+            lbd_queue_sum: 0,
+            lbd_global_sum: 0,
+            lbd_global_count: 0,
+            conflict_core: Vec::new(),
             control: SolveControl::default(),
             ok: true,
             stats: SolverStats::default(),
@@ -242,6 +296,28 @@ impl Solver {
             // adaptive target instead of keeping a stale override.
             None => self.max_learnts = 0.0,
         }
+    }
+
+    /// Selects the restart policy of subsequent solve calls. The default is
+    /// [`RestartMode::DynamicLbd`]; the differential suites pin
+    /// [`RestartMode::Luby`] to stay comparable with the reference engine.
+    pub fn set_restart_mode(&mut self, mode: RestartMode) {
+        self.restart_mode = mode;
+    }
+
+    /// The restart policy currently in effect.
+    pub fn restart_mode(&self) -> RestartMode {
+        self.restart_mode
+    }
+
+    /// After [`Self::solve_with_assumptions`] returned [`SatResult::Unsat`],
+    /// the subset of the assumption literals that the refutation actually
+    /// used (MiniSat `analyzeFinal`). Empty when the clause database is
+    /// unsatisfiable on its own — so an empty core after an assumption query
+    /// means no change of assumptions can recover satisfiability. Cleared by
+    /// the next solve call.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.conflict_core
     }
 
     // ------------------------------------------------------------------
@@ -738,6 +814,89 @@ impl Solver {
         }
     }
 
+    /// MiniSat `analyzeFinal`: the assumption `p` was found false during
+    /// assumption re-assertion, so the formula is unsatisfiable under the
+    /// assumption set. Computes the subset of the assumptions the implication
+    /// of `¬p` actually rests on into `conflict_core` by walking the trail
+    /// top-down from the seen-marked variables: a marked variable with no
+    /// reason is an assumption (free decisions never happen while an
+    /// assumption is false), otherwise its reason clause's literals are
+    /// marked in turn.
+    fn analyze_final(&mut self, p: Lit) {
+        self.conflict_core.clear();
+        self.conflict_core.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let x = self.trail[i].var();
+            if !self.seen[x.index()] {
+                continue;
+            }
+            match self.reason[x.index()] {
+                Reason::None => {
+                    debug_assert!(self.level[x.index()] > 0);
+                    self.conflict_core.push(self.trail[i]);
+                }
+                Reason::Binary(other) => {
+                    if self.level[other.var().index()] > 0 {
+                        self.seen[other.var().index()] = true;
+                    }
+                }
+                Reason::Clause(c) => {
+                    let base = self.lits_base(c);
+                    let size = self.clause_size(c);
+                    // Position 0 is the asserted literal itself.
+                    for k in 1..size {
+                        let q = Lit::from_code(self.arena[base + k] as usize);
+                        if self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[x.index()] = false;
+        }
+        self.seen[p.var().index()] = false;
+    }
+
+    /// Feeds one learnt-clause LBD into the restart bookkeeping: the
+    /// since-forever global average and the [`LBD_QUEUE_LEN`]-entry recent
+    /// window compared by [`RestartMode::DynamicLbd`].
+    fn note_lbd(&mut self, lbd: u32) {
+        self.lbd_global_sum += u64::from(lbd);
+        self.lbd_global_count += 1;
+        if self.lbd_queue.len() < LBD_QUEUE_LEN {
+            self.lbd_queue.push(lbd);
+        } else {
+            self.lbd_queue_sum -= u64::from(self.lbd_queue[self.lbd_queue_pos]);
+            self.lbd_queue[self.lbd_queue_pos] = lbd;
+            self.lbd_queue_pos = (self.lbd_queue_pos + 1) % LBD_QUEUE_LEN;
+        }
+        self.lbd_queue_sum += u64::from(lbd);
+    }
+
+    /// Empties the recent-LBD window (on restart and at solve entry, so one
+    /// query's tail never triggers the next query's first restart).
+    fn clear_lbd_window(&mut self) {
+        self.lbd_queue.clear();
+        self.lbd_queue_pos = 0;
+        self.lbd_queue_sum = 0;
+    }
+
+    /// `true` when the recent-LBD window is full and its average exceeds the
+    /// global average by the Glucose margin (recent · 0.8 > global).
+    fn dynamic_restart_due(&self) -> bool {
+        self.lbd_queue.len() == LBD_QUEUE_LEN
+            && u128::from(self.lbd_queue_sum)
+                * u128::from(self.lbd_global_count)
+                * LBD_RESTART_MARGIN
+                > u128::from(self.lbd_global_sum)
+                    * (LBD_QUEUE_LEN as u128)
+                    * (LBD_RESTART_MARGIN + 1)
+    }
+
     // ------------------------------------------------------------------
     // Learnt-clause reduction and arena garbage collection
     // ------------------------------------------------------------------
@@ -965,6 +1124,11 @@ impl Solver {
     /// [`SatResult::Unsat`] but stays usable, and a later query without those
     /// assumptions may succeed.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        // An empty core distinguishes "the database is unsatisfiable" from
+        // "these assumptions are": it stays empty on every path but the
+        // final-analysis one.
+        self.conflict_core.clear();
+        self.clear_lbd_window();
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -991,29 +1155,37 @@ impl Solver {
         let conflicts_at_entry = self.stats.conflicts;
         let propagations_at_entry = self.stats.propagations;
         let mut conflicts_since_restart = 0u64;
-        let mut restart_threshold = 100u64 * luby(self.stats.restarts);
+        let mut conflicts_since_poll = 0u64;
+        // The Luby index is per call: an incremental session issues thousands
+        // of queries, and seeding from the global restart counter would start
+        // a fresh query deep in the sequence with a near-unbounded threshold.
+        let mut call_restarts = 0u64;
+        let mut restart_threshold = 100u64 * luby(call_restarts);
 
         loop {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
+                conflicts_since_poll += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
                     return SatResult::Unsat;
                 }
-                if (self.decision_level() as usize) <= assumptions.len() {
-                    // The conflict does not depend on any free decision: the
-                    // formula is unsatisfiable under the assumptions.
-                    self.backtrack(0);
-                    return SatResult::Unsat;
-                }
+                // Conflicts at or below the assumption prefix learn too:
+                // analysis resolves only real reason clauses, so the learnt
+                // clause is sound without the assumptions (whose negations
+                // may appear in it as ordinary literals). Unsatisfiability
+                // under the assumptions surfaces below, when re-assertion
+                // finds an assumption forced false.
                 let (learnt, backtrack_level, lbd) = self.analyze(conflict);
                 // The backjump may land inside (or below) the assumption
                 // prefix; that is sound here because the decision loop below
                 // re-asserts assumptions in order before any free decision,
-                // returning Unsat if a learnt clause now falsifies one.
+                // running final analysis if a learnt clause now falsifies
+                // one.
                 self.backtrack(backtrack_level);
                 self.record_learnt(learnt, lbd);
+                self.note_lbd(lbd);
                 self.decay_activities();
             } else {
                 // Interruption checks happen only at propagation fixpoints:
@@ -1029,15 +1201,30 @@ impl Solver {
                         self.max_learnts *= LEARNT_LIMIT_GROWTH;
                     }
                 }
-                if conflicts_since_restart >= restart_threshold {
+                let restart_due = match self.restart_mode {
+                    RestartMode::Luby => conflicts_since_restart >= restart_threshold,
+                    RestartMode::DynamicLbd => self.dynamic_restart_due(),
+                };
+                if restart_due {
                     self.stats.restarts += 1;
+                    call_restarts += 1;
                     conflicts_since_restart = 0;
-                    restart_threshold = 100 * luby(self.stats.restarts);
+                    conflicts_since_poll = 0;
+                    restart_threshold = 100 * luby(call_restarts);
+                    self.clear_lbd_window();
                     if self.stop_requested() {
                         self.backtrack(0);
                         return SatResult::Interrupted;
                     }
                     self.backtrack(assumptions.len() as u32);
+                } else if conflicts_since_poll >= STOP_POLL_CONFLICTS {
+                    // Dynamic restarts can go quiet for long stretches; a
+                    // deadline must still be honored at a bounded interval.
+                    conflicts_since_poll = 0;
+                    if self.stop_requested() {
+                        self.backtrack(0);
+                        return SatResult::Interrupted;
+                    }
                 }
                 // Assumption decisions first.
                 let next_assumption = self.decision_level() as usize;
@@ -1050,6 +1237,10 @@ impl Solver {
                             self.trail_lim.push(self.trail.len());
                         }
                         LBOOL_FALSE => {
+                            // The formula implies ¬a: final analysis exposes
+                            // the assumption subset that refutation used,
+                            // and the learnt clauses stay for later queries.
+                            self.analyze_final(a);
                             self.backtrack(0);
                             return SatResult::Unsat;
                         }
@@ -1114,6 +1305,10 @@ impl SatEngine for Solver {
 
     fn is_consistent(&self) -> bool {
         Solver::is_consistent(self)
+    }
+
+    fn failed_assumptions(&self) -> &[Lit] {
+        Solver::failed_assumptions(self)
     }
 }
 
@@ -1389,6 +1584,133 @@ mod tests {
             "stale override survived: {}",
             s.max_learnts
         );
+    }
+
+    /// A pigeonhole instance over fresh variables whose clauses are all
+    /// gated on a selector literal: assuming the selector activates it.
+    #[allow(clippy::needless_range_loop)] // `h` indexes the inner dimension
+    fn gated_pigeonhole(s: &mut Solver, pigeons: usize) -> Lit {
+        let holes = pigeons - 1;
+        let gate = Lit::positive(s.new_var());
+        let x: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &x {
+            let mut clause: Vec<Lit> = row.iter().map(|&v| Lit::positive(v)).collect();
+            clause.push(!gate);
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause(&[Lit::negative(x[p1][h]), Lit::negative(x[p2][h]), !gate]);
+                }
+            }
+        }
+        gate
+    }
+
+    #[test]
+    fn unsat_under_assumptions_learns_for_the_requery() {
+        // Regression for the assumption-level learn-nothing bailout: an
+        // Unsat-under-assumptions call must leave the solver usable AND its
+        // learnt clauses must make an immediately repeated identical query
+        // strictly cheaper.
+        let mut s = Solver::new();
+        let gate = gated_pigeonhole(&mut s, 5);
+        assert_eq!(s.solve_with_assumptions(&[gate]), SatResult::Unsat);
+        let first = s.stats().conflicts;
+        assert!(first > 0, "the instance must require search");
+        assert_eq!(s.solve_with_assumptions(&[gate]), SatResult::Unsat);
+        let second = s.stats().conflicts - first;
+        assert!(
+            second < first,
+            "re-query must reuse learnt clauses: {second} conflicts vs {first}"
+        );
+        // The solver itself is not poisoned: without the gate it is SAT.
+        assert!(s.solve().is_sat());
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn failed_assumptions_name_the_refuting_subset() {
+        let mut s = Solver::new();
+        let a = Lit::positive(s.new_var());
+        let b = Lit::positive(s.new_var());
+        let c = Lit::positive(s.new_var());
+        s.add_clause(&[!a, !b]);
+        assert_eq!(s.solve_with_assumptions(&[a, b, c]), SatResult::Unsat);
+        let core = s.failed_assumptions();
+        assert!(core.contains(&a) || core.contains(&b), "core: {core:?}");
+        assert!(!core.contains(&c), "c is irrelevant: {core:?}");
+        assert!(core.iter().all(|l| [a, b].contains(l)), "core: {core:?}");
+        // A satisfiable query clears the core.
+        assert!(s.solve_with_assumptions(&[a, c]).is_sat());
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn root_level_unsat_has_an_empty_core() {
+        let mut s = Solver::new();
+        let a = Lit::positive(s.new_var());
+        let b = Lit::positive(s.new_var());
+        s.add_clause(&[b]);
+        s.add_clause(&[!b]);
+        assert_eq!(s.solve_with_assumptions(&[a]), SatResult::Unsat);
+        assert!(
+            s.failed_assumptions().is_empty(),
+            "the database is unsatisfiable regardless of the assumptions"
+        );
+    }
+
+    #[test]
+    fn restart_modes_agree_on_verdicts() {
+        for mode in [RestartMode::Luby, RestartMode::DynamicLbd] {
+            let mut s = Solver::new();
+            s.set_restart_mode(mode);
+            assert_eq!(s.restart_mode(), mode);
+            let gate = gated_pigeonhole(&mut s, 6);
+            assert_eq!(s.solve_with_assumptions(&[gate]), SatResult::Unsat);
+            assert!(s.solve().is_sat());
+        }
+    }
+
+    #[test]
+    fn dynamic_restarts_fire_on_hard_instances() {
+        let mut s = Solver::new();
+        assert_eq!(s.restart_mode(), RestartMode::DynamicLbd, "default mode");
+        let gate = gated_pigeonhole(&mut s, 7);
+        assert_eq!(s.solve_with_assumptions(&[gate]), SatResult::Unsat);
+        assert!(
+            s.stats().restarts > 0,
+            "LBD spikes on pigeonhole must trigger dynamic restarts: {:?}",
+            s.stats()
+        );
+    }
+
+    #[test]
+    fn luby_restart_schedule_is_per_call() {
+        // Regression for seeding the Luby index from the global restart
+        // counter: rotating through fresh (disjoint) hard instances, every
+        // call must start its schedule at 100 conflicts and restart, instead
+        // of inheriting an escalated threshold from earlier calls.
+        let mut s = Solver::new();
+        s.set_restart_mode(RestartMode::Luby);
+        for round in 0..6 {
+            let gate = gated_pigeonhole(&mut s, 7);
+            let restarts_before = s.stats().restarts;
+            let conflicts_before = s.stats().conflicts;
+            assert_eq!(s.solve_with_assumptions(&[gate]), SatResult::Unsat);
+            let conflicts = s.stats().conflicts - conflicts_before;
+            assert!(
+                conflicts > 150,
+                "round {round}: instance too easy ({conflicts} conflicts) to observe restarts"
+            );
+            assert!(
+                s.stats().restarts > restarts_before,
+                "round {round}: no restart despite {conflicts} conflicts"
+            );
+        }
     }
 
     #[test]

@@ -121,6 +121,30 @@ enum Folded<'s> {
     Raw(GateKind, &'s [Lit]),
 }
 
+/// A net→binding map detached from its encoder, so bindings can outlive the
+/// netlist borrow.
+///
+/// The incremental attack keeps one solver alive across unroll depths: it
+/// encodes the miter for depth *d*, captures the map with
+/// [`CircuitEncoder::into_map`], re-unrolls to depth *d+1* (unrolling is
+/// prefix-stable: the first *d* timeframes reproduce identical net and gate
+/// ids), and resumes with [`CircuitEncoder::resume`] over the deeper netlist.
+/// Only the gates appended by the new timeframes are then encoded
+/// ([`CircuitEncoder::encode_extension`]); every net of the old prefix keeps
+/// the solver variable it already had.
+#[derive(Debug, Clone)]
+pub struct EncoderMap {
+    map: Vec<Option<Bound>>,
+    folding: bool,
+}
+
+impl EncoderMap {
+    /// Number of nets the captured map covers.
+    pub fn num_nets(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// Encoder mapping the nets of one combinational netlist onto literals (or
 /// folded constants) of a clause sink.
 #[derive(Debug)]
@@ -149,6 +173,71 @@ impl<'a> CircuitEncoder<'a> {
             map: vec![None; netlist.num_nets()],
             folding: true,
         })
+    }
+
+    /// Detaches the net→binding map from the netlist borrow, preserving every
+    /// binding produced so far. See [`EncoderMap`] for the cross-depth
+    /// protocol.
+    pub fn into_map(self) -> EncoderMap {
+        EncoderMap {
+            map: self.map,
+            folding: self.folding,
+        }
+    }
+
+    /// Rebuilds an encoder over `netlist` from a map captured on a *prefix*
+    /// of it: `netlist` must reproduce the net ids the map was built against
+    /// (the unroller guarantees this when deepening), and may append new
+    /// nets, which start unbound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError::Sequential`] / [`EncodeError::Netlist`] as
+    /// [`CircuitEncoder::new`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map covers more nets than `netlist` has — the map was
+    /// captured from a different (or deeper) circuit.
+    pub fn resume(netlist: &'a Netlist, saved: EncoderMap) -> Result<Self, EncodeError> {
+        if netlist.num_dffs() > 0 {
+            return Err(EncodeError::Sequential {
+                dffs: netlist.num_dffs(),
+            });
+        }
+        netlist.validate()?;
+        assert!(
+            saved.map.len() <= netlist.num_nets(),
+            "encoder map covers {} nets but the netlist has only {}",
+            saved.map.len(),
+            netlist.num_nets()
+        );
+        let mut map = saved.map;
+        map.resize(netlist.num_nets(), None);
+        Ok(CircuitEncoder {
+            netlist,
+            map,
+            folding: saved.folding,
+        })
+    }
+
+    /// Encodes only the gates with dense index `>= first_new_gate` (plus
+    /// fresh variables for any still-unbound primary inputs), extending an
+    /// encoding resumed via [`CircuitEncoder::resume`] with the timeframes a
+    /// deeper unrolling appended. `order` is the topological gate order of
+    /// the *whole* netlist; gates of the already-encoded prefix are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError::Unbound`] if a used net in the new gates has no
+    /// driver and was not pre-bound.
+    pub fn encode_extension<S: ClauseSink>(
+        &mut self,
+        solver: &mut S,
+        order: &[netlist::GateId],
+        first_new_gate: usize,
+    ) -> Result<(), EncodeError> {
+        self.encode_impl(solver, None, Some(order), first_new_gate)
     }
 
     /// Disables gate-level constant folding and alias propagation: every gate
@@ -242,7 +331,7 @@ impl<'a> CircuitEncoder<'a> {
     /// Returns [`EncodeError::Unbound`] if a used net has no driver and was
     /// not pre-bound.
     pub fn encode<S: ClauseSink>(&mut self, solver: &mut S) -> Result<(), EncodeError> {
-        self.encode_impl(solver, None, None)
+        self.encode_impl(solver, None, None, 0)
     }
 
     /// [`CircuitEncoder::encode`] with a precomputed topological gate order
@@ -253,7 +342,7 @@ impl<'a> CircuitEncoder<'a> {
         solver: &mut S,
         order: &[netlist::GateId],
     ) -> Result<(), EncodeError> {
-        self.encode_impl(solver, None, Some(order))
+        self.encode_impl(solver, None, Some(order), 0)
     }
 
     /// Encodes only the fan-in cones of `roots`: gates no root depends on
@@ -270,7 +359,7 @@ impl<'a> CircuitEncoder<'a> {
         solver: &mut S,
         roots: &[NetId],
     ) -> Result<(), EncodeError> {
-        self.encode_impl(solver, Some(roots), None)
+        self.encode_impl(solver, Some(roots), None, 0)
     }
 
     /// [`CircuitEncoder::encode_cone`] with a precomputed topological gate
@@ -284,7 +373,7 @@ impl<'a> CircuitEncoder<'a> {
         roots: &[NetId],
         order: &[netlist::GateId],
     ) -> Result<(), EncodeError> {
-        self.encode_impl(solver, Some(roots), Some(order))
+        self.encode_impl(solver, Some(roots), Some(order), 0)
     }
 
     fn encode_impl<S: ClauseSink>(
@@ -292,6 +381,7 @@ impl<'a> CircuitEncoder<'a> {
         solver: &mut S,
         roots: Option<&[NetId]>,
         order: Option<&[netlist::GateId]>,
+        first_new_gate: usize,
     ) -> Result<(), EncodeError> {
         // Cone-of-influence restriction: mark every net some root depends on.
         let needed: Option<Vec<bool>> = roots.map(|roots| {
@@ -321,12 +411,17 @@ impl<'a> CircuitEncoder<'a> {
             }
         }
         // Declared-but-undriven nets must have been bound by the caller.
-        for net in self.netlist.net_ids() {
-            if is_needed(net)
-                && self.netlist.driver(net) == Driver::None
-                && self.map[net.index()].is_none()
-            {
-                return Err(EncodeError::Unbound(self.netlist.net_name(net).to_string()));
+        // Extension calls skip the upfront sweep: prefix nets outside the
+        // original encoding may legitimately be unbound, and the per-fanin
+        // lookup below still reports any unbound net a new gate reads.
+        if first_new_gate == 0 {
+            for net in self.netlist.net_ids() {
+                if is_needed(net)
+                    && self.netlist.driver(net) == Driver::None
+                    && self.map[net.index()].is_none()
+                {
+                    return Err(EncodeError::Unbound(self.netlist.net_name(net).to_string()));
+                }
             }
         }
         let computed_order;
@@ -345,6 +440,9 @@ impl<'a> CircuitEncoder<'a> {
         let mut lits: Vec<Lit> = Vec::new();
         let mut clause: Vec<Lit> = Vec::new();
         for &gid in order {
+            if gid.index() < first_new_gate {
+                continue;
+            }
             let out_net = self.netlist.gate_output(gid);
             if !is_needed(out_net) {
                 continue;
@@ -991,6 +1089,75 @@ mod tests {
         enc.bind(x, free);
         enc.encode(&mut solver).unwrap();
         assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn resumed_extension_matches_a_fresh_encoding() {
+        // A 1-bit accumulator (q' = q ^ a, out = q ^ a observed per cycle):
+        // encode its 2-cycle unrolling, then resume the map over the 3-cycle
+        // unrolling and encode only the appended timeframe. The extended
+        // encoding must agree with direct evaluation of the deep unrolling on
+        // every input pattern, and the prefix must keep its bindings.
+        let mut nl = Netlist::new("acc");
+        let a = nl.add_input("a");
+        let q = nl.declare_dff("q", false).unwrap();
+        let x = nl.add_gate(GateKind::Xor, &[a, q], "x").unwrap();
+        nl.bind_dff(q, x).unwrap();
+        nl.mark_output(x).unwrap();
+
+        let short = netlist::unroll::unroll(&nl, 2).unwrap();
+        let long = netlist::unroll::unroll(&nl, 3).unwrap();
+
+        let mut solver = Solver::new();
+        let mut enc = CircuitEncoder::new(&short.netlist).unwrap();
+        enc.encode(&mut solver).unwrap();
+        let prefix_outputs: Vec<Option<Bound>> = short
+            .outputs
+            .iter()
+            .flatten()
+            .map(|&n| enc.bound(n))
+            .collect();
+        let first_new_gate = short.netlist.num_gates();
+        let mut enc = CircuitEncoder::resume(&long.netlist, enc.into_map()).unwrap();
+        let order = netlist::topo::gate_order(&long.netlist).unwrap();
+        enc.encode_extension(&mut solver, &order, first_new_gate)
+            .unwrap();
+
+        // Prefix bindings survived untouched.
+        for (old, &net) in prefix_outputs.iter().zip(short.outputs.iter().flatten()) {
+            assert_eq!(*old, enc.bound(net), "prefix binding changed");
+        }
+
+        // The extension agrees with direct evaluation of the deep unrolling.
+        for pattern in 0..(1u64 << long.netlist.num_inputs()) {
+            let values = direct_eval(&long.netlist, pattern);
+            let assumptions: Vec<Lit> = long
+                .netlist
+                .inputs()
+                .iter()
+                .enumerate()
+                .map(|(i, &input)| {
+                    let lit = enc.lit(input).unwrap();
+                    if (pattern >> i) & 1 == 1 {
+                        lit
+                    } else {
+                        !lit
+                    }
+                })
+                .collect();
+            match solver.solve_with_assumptions(&assumptions) {
+                SatResult::Sat(m) => {
+                    for &out in long.outputs.iter().flatten() {
+                        let got = match enc.bound(out).unwrap() {
+                            Bound::Lit(l) => m.lit_value(l),
+                            Bound::Const(v) => v,
+                        };
+                        assert_eq!(got, values[out.index()], "pattern {pattern:b}");
+                    }
+                }
+                other => panic!("pattern {pattern:b}: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 
-use sat::{reference, Cnf, Lit, SatEngine, SatResult, Solver, Var};
+use sat::{reference, Cnf, Lit, RestartMode, SatEngine, SatResult, Solver, Var};
 
 /// Strategy producing a random CNF as DIMACS-style integer clauses over
 /// `max_vars` variables, with clause sizes 1..=5 (binaries are common, which
@@ -180,6 +180,96 @@ fn drive_session<E: SatEngine>(
     Ok(())
 }
 
+/// Validates a failed-assumption core returned by [`SatEngine::failed_assumptions`]:
+/// every core literal must come from the assumption set, and the formula
+/// strengthened by the core alone must already be unsatisfiable (checked by
+/// brute force). An empty core is only valid when the clause database itself
+/// is unsatisfiable.
+fn check_core(
+    cnf: &Cnf,
+    assumptions: &[Lit],
+    core: &[Lit],
+    label: &str,
+) -> Result<(), TestCaseError> {
+    for l in core {
+        prop_assert!(
+            assumptions.contains(l),
+            "{label}: core literal {l} is not among the assumptions {assumptions:?}"
+        );
+    }
+    let mut strengthened = cnf.clone();
+    for &l in core {
+        strengthened.add_clause(&[l]);
+    }
+    prop_assert!(
+        strengthened.brute_force().is_none(),
+        "{label}: core {core:?} does not refute the formula"
+    );
+    Ok(())
+}
+
+/// Drives the arena solver (in the given restart mode, with aggressive
+/// reduce-DB churn) and the reference solver through one incremental session
+/// with *rotating multi-literal assumption sets*: clauses land in stages, and
+/// between stages both engines answer a rotating schedule of 1–3 literal
+/// assumption queries. Verdicts must agree with each other and with brute
+/// force; every UNSAT answer must come with a valid failed-assumption core.
+fn drive_rotating_assumptions(
+    clauses: &[Vec<i64>],
+    vars: usize,
+    picks: &[i64],
+    mode: RestartMode,
+) -> Result<(), TestCaseError> {
+    let mut fast = Harness::<Solver>::new(vars);
+    fast.engine.set_restart_mode(mode);
+    fast.engine.set_learnt_limit(Some(1)); // constant reduce-DB + arena GC churn
+    let mut reference = Harness::<reference::Solver>::new(vars);
+
+    let as_lit = |pick: i64| {
+        let var = Var::from_index((pick.unsigned_abs() as usize - 1) % vars);
+        Lit::new(var, pick > 0)
+    };
+
+    let chunk = clauses.len().div_ceil(3).max(1);
+    for (stage, chunk) in clauses.chunks(chunk).enumerate() {
+        for clause in chunk {
+            let lits = to_lits(clause);
+            fast.add(&lits);
+            reference.add(&lits);
+        }
+        // Rotate through assumption sets of size 1..=3, offset by the stage
+        // index so consecutive stages query different (possibly conflicting,
+        // possibly duplicated-variable) sets against a warm learnt database.
+        for width in 1..=3usize.min(picks.len()) {
+            let set: Vec<Lit> = (0..width)
+                .map(|i| as_lit(picks[(stage + i) % picks.len()]))
+                .collect();
+            let fast_sat = fast.check_assumptions(&set)?;
+            let reference_sat = reference.check_assumptions(&set)?;
+            prop_assert_eq!(
+                fast_sat,
+                reference_sat,
+                "verdict mismatch under rotating set {:?}",
+                &set
+            );
+            if !fast_sat {
+                check_core(&fast.cnf, &set, fast.engine.failed_assumptions(), "arena")?;
+                check_core(
+                    &reference.cnf,
+                    &set,
+                    reference.engine.failed_assumptions(),
+                    "reference",
+                )?;
+            }
+        }
+        // The assumption queries must leave both databases usable.
+        let fast_sat = fast.check_solve()?;
+        let reference_sat = reference.check_solve()?;
+        prop_assert_eq!(fast_sat, reference_sat, "plain-solve verdict mismatch");
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -249,5 +339,28 @@ proptest! {
             reference.solve_with_assumptions(&[assumption]).is_sat()
         );
         prop_assert_eq!(fast.is_consistent(), reference.is_consistent());
+    }
+
+    /// Incremental-assumption workload: staged clause additions interleaved
+    /// with rotating 1–3 literal assumption sets, under forced reduce-DB/GC
+    /// churn, in BOTH restart modes. This is the fuzz-level pin for the
+    /// cross-DIP incrementality contract: assumption queries that fail must
+    /// name a refuting core, must not poison the learnt database, and the
+    /// dynamic-LBD restart policy must never change a verdict.
+    #[test]
+    fn rotating_assumption_sets_agree_across_engines_and_restart_modes(
+        clauses in cnf_strategy(12, 48),
+        picks in proptest::collection::vec(
+            prop_oneof![1..=12i64, -12..=-1i64],
+            3..=6,
+        ),
+    ) {
+        let vars = num_vars(&clauses);
+        if vars == 0 {
+            return Ok(());
+        }
+        for mode in [RestartMode::Luby, RestartMode::DynamicLbd] {
+            drive_rotating_assumptions(&clauses, vars, &picks, mode)?;
+        }
     }
 }
