@@ -7,12 +7,19 @@
 //! configuration so a checkpoint can never be resumed against the wrong
 //! problem.
 //!
-//! # Format (version 1)
+//! Since format version 2 a checkpoint can additionally carry the solver's
+//! learnt search state (the learnt-clause database with glue/activity,
+//! VSIDS activities, saved phases and restart bookkeeping), so a resumed
+//! run starts from a warm solver instead of relearning every conflict
+//! clause after the DIP replay.
 //!
-//! A checkpoint is a line-oriented UTF-8 text file:
+//! # Format (version 2)
+//!
+//! A checkpoint is a line-oriented UTF-8 text file: a mandatory **core**
+//! followed by an optional **learnt-DB section**.
 //!
 //! ```text
-//! trilock-checkpoint v1
+//! trilock-checkpoint v2
 //! netlist-hash <16 hex digits>
 //! config-hash <16 hex digits>
 //! depth <usize>
@@ -25,23 +32,51 @@
 //! in 0110        ⎬ unrolled functional cycle, then the flattened oracle
 //! out 10110      ⎭ response as one `out` line
 //! checksum <16 hex digits>
+//! learnt-db v1                       ⎫
+//! fingerprint <16 hex digits>        ⎪
+//! vars <u32>                         ⎪
+//! var-inc <f64 bits, 16 hex>         ⎪ optional learnt-DB section:
+//! cla-inc <f64 bits, 16 hex>         ⎪ the solver search state exported
+//! restart <luby|dynamic> <sum> <cnt> ⎬ by `SatEngine::export_state`,
+//! activity <vars x f64 bits, hex>    ⎪ guarded by its own checksum and
+//! phase <vars x 0/1 bits>            ⎪ bound to the encoding prefix by
+//! clauses <count>                    ⎪ the state fingerprint
+//! c <lbd> <f32 bits> <lit codes...>  ⎪
+//! learnt-db-checksum <16 hex digits> ⎭
 //! ```
 //!
-//! The trailing `checksum` line is the FNV-1a hash of every preceding byte;
-//! a torn write (power loss mid-file) fails checksum validation instead of
-//! resuming from garbage. Writes go to a `<path>.tmp` sibling first and are
-//! published with an atomic rename, so the previous checkpoint survives any
-//! crash during the write itself.
+//! The `checksum` line is the FNV-1a hash of every preceding byte; a torn
+//! write (power loss mid-file) fails checksum validation instead of resuming
+//! from garbage. Writes go to a `<path>.tmp` sibling first and are published
+//! with an atomic rename, so the previous checkpoint survives any crash
+//! during the write itself.
 //!
-//! # Compatibility rules
+//! # Compatibility and degradation rules
 //!
-//! * The leading version line is checked first; a reader only accepts its own
-//!   major version (`v1`). Any format change that alters the meaning of an
-//!   existing line bumps the version; additions append new `key value` lines
-//!   before `dips`, which v1 readers reject (conservative by design).
+//! * The leading version line is checked first; this reader accepts `v1`
+//!   (which simply has no learnt-DB section — `checksum` is the last line)
+//!   and `v2`. Any format change that alters the meaning of an existing
+//!   core line bumps the version.
 //! * `netlist-hash` and `config-hash` bind a checkpoint to one attack
 //!   instance; resuming with a different circuit pair, κ, or search-relevant
 //!   configuration is refused with [`CheckpointError::Incompatible`].
+//! * The core and the learnt-DB section fail differently by design. A
+//!   defective core (truncation, bit flips, foreign version) is a hard,
+//!   typed [`CheckpointError`] — the DIP observations are irreplaceable
+//!   without oracle access, so resuming from a damaged core is never
+//!   attempted. The learnt-DB section is *only an accelerator*: any defect
+//!   there (its own checksum failing, truncation, malformed lines, a
+//!   foreign section version) degrades the load to a DIP-only resume,
+//!   reported as a typed [`LearntDbIssue`] on the parsed checkpoint rather
+//!   than an error.
+//! * The `fingerprint` line binds the solver state to the exact encoding
+//!   prefix it was exported from — solver variable count, unrolling depth,
+//!   replayed DIP count and the `incremental` flag. The attack recomputes
+//!   the fingerprint after rebuilding the miter and replaying the recorded
+//!   DIPs, and imports the state only on an exact match; a mismatch (e.g. a
+//!   checkpoint taken after an in-place incremental depth extension, whose
+//!   solver holds constraint copies a fresh replay does not rebuild)
+//!   likewise degrades to the DIP-only resume.
 
 use std::error::Error;
 use std::fmt;
@@ -49,14 +84,29 @@ use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use sat::SolverStats;
+use sat::{Lit, SolverState, SolverStats};
 
 use crate::killpoint;
 
 /// Version of the on-disk checkpoint format written by this build.
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
+
+/// Oldest on-disk format version this build still reads. v1 checkpoints are
+/// v2 checkpoints without a learnt-DB section.
+pub const CHECKPOINT_MIN_SUPPORTED_VERSION: u32 = 1;
 
 const MAGIC: &str = "trilock-checkpoint";
+
+/// Version line of the learnt-DB *section*, versioned independently of the
+/// checkpoint core: a section from a future build degrades the load to a
+/// DIP-only resume instead of invalidating the whole checkpoint.
+const LEARNT_DB_MAGIC: &str = "learnt-db v1";
+
+/// Caps on the learnt-DB section, enforced before allocation so a hostile
+/// or corrupt length field cannot balloon memory. Both are far above what a
+/// real attack exports.
+const MAX_STATE_VARS: u64 = 100_000_000;
+const MAX_STATE_CLAUSES: u64 = 50_000_000;
 
 /// 64-bit FNV-1a over `data` — used for the checkpoint checksum and the
 /// netlist/config fingerprints.
@@ -81,8 +131,98 @@ pub struct DipRecord {
     pub outputs: Vec<bool>,
 }
 
-/// A point-in-time snapshot of an interrupted SAT attack.
+/// The learnt-DB section of a v2 checkpoint: the solver search state plus
+/// the fingerprint binding it to the exact encoding prefix it was exported
+/// from (see [`state_fingerprint`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearntDb {
+    /// Fingerprint of (solver variable count, unrolling depth, replayed DIP
+    /// count, incremental flag) at export time. Restoration recomputes this
+    /// over the rebuilt encoding and imports only on an exact match.
+    pub fingerprint: u64,
+    /// The exported solver search state.
+    pub state: SolverState,
+}
+
+/// Why a learnt-DB section could not be used. Unlike [`CheckpointError`]
+/// this is a *warning*: the DIP core of the checkpoint is intact and the
+/// resume proceeds DIP-only, merely without the warm solver state.
 #[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LearntDbIssue {
+    /// The section bytes do not hash to the section checksum (torn write
+    /// inside the section, or corruption).
+    ChecksumMismatch,
+    /// The section ends before its `learnt-db-checksum` line.
+    Truncated,
+    /// A section line failed to parse (includes foreign section versions).
+    Malformed {
+        /// 1-based line number within the whole checkpoint file (0 when the
+        /// offending position cannot be pinned down).
+        line: usize,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The section is well-formed but its fingerprint does not match the
+    /// rebuilt encoding (detected at restore time, not load time).
+    FingerprintMismatch {
+        /// Fingerprint recomputed over the rebuilt encoding.
+        expected: u64,
+        /// Fingerprint recorded in the checkpoint.
+        found: u64,
+    },
+    /// The solver rejected the snapshot at import time (detected at restore
+    /// time, not load time).
+    ImportRejected {
+        /// The engine's diagnostic.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LearntDbIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearntDbIssue::ChecksumMismatch => {
+                write!(f, "learnt-db section checksum mismatch")
+            }
+            LearntDbIssue::Truncated => write!(f, "learnt-db section truncated"),
+            LearntDbIssue::Malformed { line, reason } => {
+                write!(f, "malformed learnt-db section (line {line}): {reason}")
+            }
+            LearntDbIssue::FingerprintMismatch { expected, found } => write!(
+                f,
+                "learnt-db state fingerprint mismatch: encoding is {expected:016x}, \
+                 checkpoint has {found:016x}"
+            ),
+            LearntDbIssue::ImportRejected { reason } => {
+                write!(f, "solver rejected the learnt-db snapshot: {reason}")
+            }
+        }
+    }
+}
+
+/// Fingerprint binding an exported solver state to the exact encoding
+/// prefix it is valid for: the solver's variable count, the unrolling
+/// depth, the number of DIP records a resume would replay, and whether the
+/// attack runs in incremental mode. Any divergence between the exporting
+/// encoding and a rebuilt one shows up as a different variable count or
+/// prefix shape, so a mismatch means the learnt clauses may not be implied
+/// by the rebuilt database — and must not be imported.
+pub fn state_fingerprint(
+    solver_vars: usize,
+    depth: usize,
+    replayed_dips: usize,
+    incremental: bool,
+) -> u64 {
+    fnv1a64(
+        format!(
+            "state vars={solver_vars} depth={depth} dips={replayed_dips} incremental={incremental}"
+        )
+        .as_bytes(),
+    )
+}
+
+/// A point-in-time snapshot of an interrupted SAT attack.
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttackCheckpoint {
     /// Fingerprint of (original netlist, locked netlist, κ).
     pub netlist_hash: u64,
@@ -101,6 +241,12 @@ pub struct AttackCheckpoint {
     pub stats: SolverStats,
     /// Observations of the current depth, replayed verbatim on resume.
     pub dips: Vec<DipRecord>,
+    /// Solver search state exported at snapshot time (v2 files only; `None`
+    /// for v1 files, disabled export, or a degraded section).
+    pub learnt_db: Option<LearntDb>,
+    /// Set when the file carried a learnt-DB section that could not be
+    /// used; the checkpoint still loads and resumes DIP-only.
+    pub learnt_db_issue: Option<LearntDbIssue>,
 }
 
 /// Why a checkpoint could not be saved, loaded, or resumed.
@@ -137,7 +283,9 @@ impl fmt::Display for CheckpointError {
             }
             CheckpointError::VersionMismatch { found } => write!(
                 f,
-                "unsupported checkpoint version: expected `{MAGIC} v{CHECKPOINT_FORMAT_VERSION}`, found `{found}`"
+                "unsupported checkpoint version: this build reads `{MAGIC} \
+                 v{CHECKPOINT_MIN_SUPPORTED_VERSION}`..`v{CHECKPOINT_FORMAT_VERSION}`, \
+                 found `{found}`"
             ),
             CheckpointError::ChecksumMismatch => {
                 write!(f, "checkpoint checksum mismatch (torn write or corruption)")
@@ -175,8 +323,19 @@ fn line_to_bits(s: &str, line: usize) -> Result<Vec<bool>, CheckpointError> {
 }
 
 impl AttackCheckpoint {
-    /// Serializes the checkpoint, including the trailing checksum line.
+    /// Serializes the checkpoint: the core followed, when present, by the
+    /// learnt-DB section.
     pub fn to_text(&self) -> String {
+        let mut text = self.core_text();
+        if let Some(db) = &self.learnt_db {
+            text.push_str(&Self::learnt_db_text(db));
+        }
+        text
+    }
+
+    /// Serializes the checkpoint core (everything through its `checksum`
+    /// line), without the learnt-DB section.
+    fn core_text(&self) -> String {
         let mut body = String::new();
         body.push_str(&format!("{MAGIC} v{CHECKPOINT_FORMAT_VERSION}\n"));
         body.push_str(&format!("netlist-hash {:016x}\n", self.netlist_hash));
@@ -213,35 +372,81 @@ impl AttackCheckpoint {
         body
     }
 
-    /// Parses a checkpoint from its textual form, validating the version line
-    /// and the trailing checksum. Never panics on hostile input — every
-    /// defect maps to a typed [`CheckpointError`].
+    /// Serializes the learnt-DB section, including its own trailing
+    /// checksum line. Kept separate from [`Self::to_text`] so the save path
+    /// can place a killpoint between core and section writes.
+    fn learnt_db_text(db: &LearntDb) -> String {
+        let st = &db.state;
+        let mut sec = String::new();
+        sec.push_str(LEARNT_DB_MAGIC);
+        sec.push('\n');
+        sec.push_str(&format!("fingerprint {:016x}\n", db.fingerprint));
+        sec.push_str(&format!("vars {}\n", st.num_vars));
+        sec.push_str(&format!("var-inc {:016x}\n", st.var_inc.to_bits()));
+        sec.push_str(&format!("cla-inc {:016x}\n", st.cla_inc.to_bits()));
+        sec.push_str(&format!(
+            "restart {} {} {}\n",
+            if st.luby_restarts { "luby" } else { "dynamic" },
+            st.lbd_global_sum,
+            st.lbd_global_count
+        ));
+        sec.push_str("activity");
+        for a in &st.activity {
+            sec.push_str(&format!(" {:016x}", a.to_bits()));
+        }
+        sec.push('\n');
+        sec.push_str(&format!("phase {}\n", bits_to_line(&st.phase)));
+        sec.push_str(&format!("clauses {}\n", st.clauses.len()));
+        for c in &st.clauses {
+            sec.push_str(&format!("c {} {:08x}", c.lbd, c.activity.to_bits()));
+            for l in &c.lits {
+                sec.push_str(&format!(" {}", l.code()));
+            }
+            sec.push('\n');
+        }
+        let checksum = fnv1a64(sec.as_bytes());
+        sec.push_str(&format!("learnt-db-checksum {checksum:016x}\n"));
+        sec
+    }
+
+    /// Parses a checkpoint from its textual form, validating the version
+    /// line and the core checksum. Never panics on hostile input — every
+    /// core defect maps to a typed [`CheckpointError`], while a defective
+    /// learnt-DB section degrades to a DIP-only checkpoint with
+    /// [`AttackCheckpoint::learnt_db_issue`] set.
     pub fn parse(text: &str) -> Result<Self, CheckpointError> {
-        // Split off the checksum line and verify it over everything before.
-        let trimmed = text.strip_suffix('\n').unwrap_or(text);
-        let (body, checksum_line) =
-            trimmed
-                .rsplit_once('\n')
-                .ok_or(CheckpointError::Malformed {
-                    line: 0,
-                    reason: "file too short".into(),
-                })?;
-        let claimed =
-            checksum_line
-                .strip_prefix("checksum ")
-                .ok_or(CheckpointError::Malformed {
-                    line: 0,
-                    reason: "missing trailing checksum line".into(),
-                })?;
+        // Locate the core checksum line: the first line starting with
+        // `checksum ` (no core line can alias it — `in`/`out` bit lines
+        // carry only 0/1). Everything before it is the hashed core body;
+        // everything after it is the optional learnt-DB section.
+        let mut core_len = 0usize;
+        let mut core_lines = 0usize;
+        let mut checksum_line: Option<&str> = None;
+        let mut section_start = 0usize;
+        for line in text.split_inclusive('\n') {
+            let bare = line.strip_suffix('\n').unwrap_or(line);
+            if bare.starts_with("checksum ") {
+                checksum_line = Some(bare);
+                section_start = core_len + line.len();
+                break;
+            }
+            core_len += line.len();
+            core_lines += 1;
+        }
+        let checksum_line = checksum_line.ok_or(CheckpointError::Malformed {
+            line: 0,
+            reason: "missing checksum line".into(),
+        })?;
+        let claimed = checksum_line
+            .strip_prefix("checksum ")
+            .expect("line was matched on this prefix");
         let claimed =
             u64::from_str_radix(claimed.trim(), 16).map_err(|_| CheckpointError::Malformed {
-                line: 0,
+                line: core_lines + 1,
                 reason: "checksum is not hexadecimal".into(),
             })?;
-        let mut hashed = String::with_capacity(body.len() + 1);
-        hashed.push_str(body);
-        hashed.push('\n');
-        if fnv1a64(hashed.as_bytes()) != claimed {
+        let body = &text[..core_len];
+        if fnv1a64(body.as_bytes()) != claimed {
             return Err(CheckpointError::ChecksumMismatch);
         }
 
@@ -265,11 +470,14 @@ impl AttackCheckpoint {
         };
 
         let (_, version) = next(MAGIC)?;
-        if version != format!("v{CHECKPOINT_FORMAT_VERSION}") {
+        let supported = (CHECKPOINT_MIN_SUPPORTED_VERSION..=CHECKPOINT_FORMAT_VERSION)
+            .any(|v| version == format!("v{v}"));
+        if !supported {
             return Err(CheckpointError::VersionMismatch {
                 found: format!("{MAGIC} {version}"),
             });
         }
+        let is_v1 = version == "v1";
 
         let parse_u64 = |value: &str, line: usize| -> Result<u64, CheckpointError> {
             value.parse().map_err(|_| CheckpointError::Malformed {
@@ -394,6 +602,27 @@ impl AttackCheckpoint {
             });
         }
 
+        // Whatever follows the checksum line is the learnt-DB section. v1
+        // files must end at the checksum; for v2, a defective section is a
+        // warning, never an error — the DIP core above already validated.
+        let section = &text[section_start..];
+        let (learnt_db, learnt_db_issue) = if is_v1 {
+            if !section.trim().is_empty() {
+                return Err(CheckpointError::Malformed {
+                    line: core_lines + 2,
+                    reason: "trailing data after the checksum of a v1 checkpoint".into(),
+                });
+            }
+            (None, None)
+        } else if section.trim().is_empty() {
+            (None, None)
+        } else {
+            match Self::parse_learnt_db(section, core_lines + 1) {
+                Ok(db) => (Some(db), None),
+                Err(issue) => (None, Some(issue)),
+            }
+        };
+
         Ok(AttackCheckpoint {
             netlist_hash,
             config_hash,
@@ -403,25 +632,225 @@ impl AttackCheckpoint {
             rng_state,
             stats,
             dips,
+            learnt_db,
+            learnt_db_issue,
+        })
+    }
+
+    /// Parses the learnt-DB section (everything after the core checksum
+    /// line). `base_line` is the 1-based file line number of the checksum
+    /// line, so diagnostics point into the real file. Every defect maps to
+    /// a typed [`LearntDbIssue`]; this function never panics.
+    fn parse_learnt_db(section: &str, base_line: usize) -> Result<LearntDb, LearntDbIssue> {
+        let malformed = |line: usize, reason: String| LearntDbIssue::Malformed { line, reason };
+
+        // The section's last line must be its newline-terminated checksum;
+        // a file cut anywhere inside the section loses one or the other and
+        // reads as truncated.
+        let trimmed = section.strip_suffix('\n').ok_or(LearntDbIssue::Truncated)?;
+        let (body, checksum_line) = trimmed.rsplit_once('\n').ok_or(LearntDbIssue::Truncated)?;
+        let claimed = checksum_line
+            .strip_prefix("learnt-db-checksum ")
+            .ok_or(LearntDbIssue::Truncated)?;
+        let claimed = u64::from_str_radix(claimed.trim(), 16)
+            .map_err(|_| malformed(0, "section checksum is not hexadecimal".into()))?;
+        let mut hashed = String::with_capacity(body.len() + 1);
+        hashed.push_str(body);
+        hashed.push('\n');
+        if fnv1a64(hashed.as_bytes()) != claimed {
+            return Err(LearntDbIssue::ChecksumMismatch);
+        }
+
+        let mut lines = body
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (base_line + 1 + i, l));
+        let mut next = |key: &str| -> Result<(usize, String), LearntDbIssue> {
+            let (num, line) = lines
+                .next()
+                .ok_or_else(|| malformed(0, format!("missing `{key}` line")))?;
+            let value = line
+                .strip_prefix(key)
+                .and_then(|rest| {
+                    rest.strip_prefix(' ')
+                        .or(Some(rest).filter(|r| r.is_empty()))
+                })
+                .ok_or_else(|| malformed(num, format!("expected `{key}`, found `{line}`")))?;
+            Ok((num, value.to_string()))
+        };
+        let parse_u64 = |value: &str, line: usize| -> Result<u64, LearntDbIssue> {
+            value
+                .parse()
+                .map_err(|_| malformed(line, format!("`{value}` is not an unsigned integer")))
+        };
+        let parse_hex = |value: &str, line: usize| -> Result<u64, LearntDbIssue> {
+            u64::from_str_radix(value, 16)
+                .map_err(|_| malformed(line, format!("`{value}` is not hexadecimal")))
+        };
+
+        let (num, header) = next("learnt-db")?;
+        if format!("learnt-db {header}") != LEARNT_DB_MAGIC {
+            return Err(malformed(
+                num,
+                format!("unsupported learnt-db section version `{header}`"),
+            ));
+        }
+        let (ln, fingerprint) = next("fingerprint")?;
+        let fingerprint = parse_hex(&fingerprint, ln)?;
+        let (ln, vars) = next("vars")?;
+        let vars = parse_u64(&vars, ln)?;
+        if vars > MAX_STATE_VARS {
+            return Err(malformed(ln, format!("implausible variable count {vars}")));
+        }
+        let n = vars as usize;
+        let (ln, var_inc) = next("var-inc")?;
+        let var_inc = f64::from_bits(parse_hex(&var_inc, ln)?);
+        let (ln, cla_inc) = next("cla-inc")?;
+        let cla_inc = f64::from_bits(parse_hex(&cla_inc, ln)?);
+
+        let (ln, restart) = next("restart")?;
+        let words: Vec<&str> = restart.split_whitespace().collect();
+        if words.len() != 3 {
+            return Err(malformed(
+                ln,
+                format!("restart line has {} words, expected 3", words.len()),
+            ));
+        }
+        let luby_restarts = match words[0] {
+            "luby" => true,
+            "dynamic" => false,
+            other => return Err(malformed(ln, format!("unknown restart mode `{other}`"))),
+        };
+        let lbd_global_sum = parse_u64(words[1], ln)?;
+        let lbd_global_count = parse_u64(words[2], ln)?;
+
+        let (ln, activity_line) = next("activity")?;
+        let mut activity = Vec::with_capacity(n.min(1 << 20));
+        for word in activity_line.split_whitespace() {
+            activity.push(f64::from_bits(parse_hex(word, ln)?));
+        }
+        if activity.len() != n {
+            return Err(malformed(
+                ln,
+                format!(
+                    "activity line has {} entries for {n} variables",
+                    activity.len()
+                ),
+            ));
+        }
+        let (ln, phase_line) = next("phase")?;
+        let phase: Vec<bool> = phase_line
+            .chars()
+            .map(|c| match c {
+                '0' => Ok(false),
+                '1' => Ok(true),
+                other => Err(malformed(ln, format!("phase line contains `{other}`"))),
+            })
+            .collect::<Result<_, _>>()?;
+        if phase.len() != n {
+            return Err(malformed(
+                ln,
+                format!("phase line has {} bits for {n} variables", phase.len()),
+            ));
+        }
+
+        let (ln, count) = next("clauses")?;
+        let count = parse_u64(&count, ln)?;
+        if count > MAX_STATE_CLAUSES {
+            return Err(malformed(ln, format!("implausible clause count {count}")));
+        }
+        let mut clauses = Vec::with_capacity((count as usize).min(1 << 20));
+        for _ in 0..count {
+            let (num, value) = next("c")?;
+            let mut words = value.split_whitespace();
+            let lbd = words
+                .next()
+                .map(|w| parse_u64(w, num))
+                .transpose()?
+                .ok_or_else(|| malformed(num, "clause line missing lbd".into()))?;
+            let lbd = u32::try_from(lbd)
+                .map_err(|_| malformed(num, format!("implausible clause lbd {lbd}")))?;
+            let act = words
+                .next()
+                .map(|w| parse_hex(w, num))
+                .transpose()?
+                .ok_or_else(|| malformed(num, "clause line missing activity".into()))?;
+            let act = u32::try_from(act)
+                .map_err(|_| malformed(num, "clause activity exceeds 32 bits".into()))?;
+            let activity = f32::from_bits(act);
+            let mut lits = Vec::new();
+            for word in words {
+                let code = parse_u64(word, num)? as usize;
+                if code >= 2 * n {
+                    return Err(malformed(
+                        num,
+                        format!("literal code {code} out of range for {n} variables"),
+                    ));
+                }
+                lits.push(Lit::from_code(code));
+            }
+            if lits.len() < 2 {
+                return Err(malformed(
+                    num,
+                    format!(
+                        "clause of {} literal(s); sections carry size >= 2 only",
+                        lits.len()
+                    ),
+                ));
+            }
+            clauses.push(sat::LearntClause {
+                lbd,
+                activity,
+                lits,
+            });
+        }
+        if let Some((num, extra)) = lines.next() {
+            return Err(malformed(
+                num,
+                format!("trailing data after clause records: `{extra}`"),
+            ));
+        }
+
+        Ok(LearntDb {
+            fingerprint,
+            state: SolverState {
+                num_vars: vars as u32,
+                var_inc,
+                cla_inc,
+                luby_restarts,
+                lbd_global_sum,
+                lbd_global_count,
+                activity,
+                phase,
+                clauses,
+            },
         })
     }
 
     /// Writes the checkpoint crash-safely: the serialized form goes to a
     /// `<path>.tmp` sibling (fsynced), then an atomic rename publishes it.
     /// A crash at any instant leaves either the previous checkpoint or the
-    /// new one at `path`, never a torn file.
+    /// new one at `path`, never a torn file — a kill mid-section merely
+    /// strands the `.tmp` sibling, which recovery sweeps away.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        let body = self.to_text();
+        // The learnt-DB section is written separately so the killpoints can
+        // bracket exactly the state-serialization window.
+        let core = self.core_text();
         let mut tmp_name = path.as_os_str().to_os_string();
         tmp_name.push(".tmp");
         let tmp = PathBuf::from(tmp_name);
         {
             let mut file = fs::File::create(&tmp)?;
-            let bytes = body.as_bytes();
+            let bytes = core.as_bytes();
             let half = bytes.len() / 2;
             file.write_all(&bytes[..half])?;
             killpoint::hit("checkpoint-mid-write");
             file.write_all(&bytes[half..])?;
+            if let Some(db) = &self.learnt_db {
+                killpoint::hit("learnt-db-serialize");
+                file.write_all(Self::learnt_db_text(db).as_bytes())?;
+                killpoint::hit("learnt-db-pre-rename");
+            }
             file.sync_all()?;
         }
         killpoint::hit("checkpoint-pre-rename");
@@ -470,6 +899,44 @@ mod tests {
                     outputs: vec![false, false, true],
                 },
             ],
+            learnt_db: None,
+            learnt_db_issue: None,
+        }
+    }
+
+    fn sample_state() -> SolverState {
+        SolverState {
+            num_vars: 4,
+            var_inc: 1.5,
+            cla_inc: 1.125,
+            luby_restarts: false,
+            lbd_global_sum: 9,
+            lbd_global_count: 4,
+            activity: vec![0.0, 2.25, 1e100, 0.5],
+            phase: vec![true, false, false, true],
+            clauses: vec![
+                sat::LearntClause {
+                    lbd: 2,
+                    activity: 0.0,
+                    lits: vec![Lit::from_code(0), Lit::from_code(3)],
+                },
+                sat::LearntClause {
+                    lbd: 3,
+                    activity: 2.5,
+                    lits: vec![Lit::from_code(1), Lit::from_code(4), Lit::from_code(7)],
+                },
+            ],
+        }
+    }
+
+    fn sample_with_state() -> AttackCheckpoint {
+        let state = sample_state();
+        AttackCheckpoint {
+            learnt_db: Some(LearntDb {
+                fingerprint: state_fingerprint(state.num_vars as usize, 2, 2, true),
+                state,
+            }),
+            ..sample()
         }
     }
 
@@ -527,7 +994,7 @@ mod tests {
             .rsplit_once("checksum")
             .unwrap()
             .0
-            .replace("v1", "v999");
+            .replace("v2", "v999");
         let text = format!("{body}checksum {:016x}\n", fnv1a64(body.as_bytes()));
         assert!(matches!(
             AttackCheckpoint::parse(&text),
@@ -540,5 +1007,146 @@ mod tests {
         let err = AttackCheckpoint::load(Path::new("/nonexistent/nowhere.ckpt")).unwrap_err();
         assert!(matches!(err, CheckpointError::Io(_)));
         assert!(err.to_string().contains("I/O"));
+    }
+
+    /// Rewrites a checkpoint (without learnt-DB section) as a v1 file: the
+    /// version line downgraded and the core checksum recomputed — exactly
+    /// what a pre-v2 build would have written.
+    fn as_v1_text(checkpoint: &AttackCheckpoint) -> String {
+        assert!(checkpoint.learnt_db.is_none());
+        let text = checkpoint.to_text();
+        let body = text.rsplit_once("checksum").unwrap().0.replacen(
+            &format!("{MAGIC} v2"),
+            &format!("{MAGIC} v1"),
+            1,
+        );
+        format!("{body}checksum {:016x}\n", fnv1a64(body.as_bytes()))
+    }
+
+    #[test]
+    fn v2_round_trip_with_learnt_db_is_lossless() {
+        let checkpoint = sample_with_state();
+        let parsed = AttackCheckpoint::parse(&checkpoint.to_text()).unwrap();
+        assert_eq!(parsed, checkpoint);
+        assert!(parsed.learnt_db_issue.is_none());
+        let db = parsed.learnt_db.unwrap();
+        assert_eq!(db.state.clause_count(), 2);
+        assert_eq!(db.state.literal_count(), 5);
+    }
+
+    #[test]
+    fn v1_files_still_load_without_learnt_db() {
+        let checkpoint = sample();
+        let v1 = as_v1_text(&checkpoint);
+        let parsed = AttackCheckpoint::parse(&v1).unwrap();
+        assert_eq!(parsed, checkpoint);
+        assert!(parsed.learnt_db.is_none());
+        assert!(parsed.learnt_db_issue.is_none());
+    }
+
+    #[test]
+    fn v1_files_reject_trailing_data() {
+        let text = format!("{}garbage\n", as_v1_text(&sample()));
+        assert!(matches!(
+            AttackCheckpoint::parse(&text),
+            Err(CheckpointError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_learnt_db_section_degrades_to_dip_only() {
+        let checkpoint = sample_with_state();
+        let text = checkpoint.to_text();
+        let section_at = text.find(LEARNT_DB_MAGIC).unwrap();
+
+        // Flip a byte inside the section: the core must still load.
+        let mut bytes = text.clone().into_bytes();
+        let target = section_at + LEARNT_DB_MAGIC.len() + 20;
+        bytes[target] = if bytes[target] == b'0' { b'1' } else { b'0' };
+        let tampered = String::from_utf8(bytes).unwrap();
+        let parsed = AttackCheckpoint::parse(&tampered).unwrap();
+        assert!(parsed.learnt_db.is_none());
+        assert!(
+            parsed.learnt_db_issue.is_some(),
+            "corruption went unnoticed"
+        );
+        assert_eq!(parsed.dips, checkpoint.dips);
+
+        // Truncate inside the section: degraded, DIP core intact.
+        for cut in [section_at + 1, section_at + 40, text.len() - 3] {
+            let parsed = AttackCheckpoint::parse(&text[..cut]).unwrap();
+            assert!(parsed.learnt_db.is_none(), "cut at {cut} kept the section");
+            assert!(
+                parsed.learnt_db_issue.is_some(),
+                "cut at {cut} reported no issue"
+            );
+            assert_eq!(parsed.dips, checkpoint.dips);
+        }
+
+        // A foreign section version degrades too (checksum recomputed so
+        // only the header is at fault).
+        let section = text_with_section_header(&checkpoint, "learnt-db v9");
+        let parsed = AttackCheckpoint::parse(&section).unwrap();
+        assert!(parsed.learnt_db.is_none());
+        assert!(matches!(
+            parsed.learnt_db_issue,
+            Some(LearntDbIssue::Malformed { .. })
+        ));
+    }
+
+    /// The sample-with-state checkpoint re-serialized with the learnt-DB
+    /// header swapped and the section checksum rebuilt.
+    fn text_with_section_header(checkpoint: &AttackCheckpoint, header: &str) -> String {
+        let core = AttackCheckpoint {
+            learnt_db: None,
+            learnt_db_issue: None,
+            ..checkpoint.clone()
+        }
+        .to_text();
+        let section = AttackCheckpoint::learnt_db_text(checkpoint.learnt_db.as_ref().unwrap());
+        let body = section
+            .rsplit_once("learnt-db-checksum")
+            .unwrap()
+            .0
+            .replacen(LEARNT_DB_MAGIC, header, 1);
+        format!(
+            "{core}{body}learnt-db-checksum {:016x}\n",
+            fnv1a64(body.as_bytes())
+        )
+    }
+
+    #[test]
+    fn core_corruption_stays_a_hard_error_with_section_present() {
+        let text = sample_with_state().to_text();
+        let mut bytes = text.into_bytes();
+        // Inside the `depth` line, well before the section.
+        let idx = 60;
+        bytes[idx] = bytes[idx].wrapping_add(1);
+        let tampered = String::from_utf8_lossy(&bytes);
+        assert!(matches!(
+            AttackCheckpoint::parse(&tampered),
+            Err(CheckpointError::ChecksumMismatch | CheckpointError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_with_learnt_db() {
+        let dir = std::env::temp_dir().join("trilock-ckpt-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip_v2.ckpt");
+        let checkpoint = sample_with_state();
+        checkpoint.save(&path).unwrap();
+        assert_eq!(AttackCheckpoint::load(&path).unwrap(), checkpoint);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn state_fingerprint_separates_every_component() {
+        let base = state_fingerprint(100, 2, 7, false);
+        assert_eq!(base, state_fingerprint(100, 2, 7, false));
+        assert_ne!(base, state_fingerprint(101, 2, 7, false));
+        assert_ne!(base, state_fingerprint(100, 3, 7, false));
+        assert_ne!(base, state_fingerprint(100, 2, 8, false));
+        assert_ne!(base, state_fingerprint(100, 2, 7, true));
     }
 }

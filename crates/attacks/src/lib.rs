@@ -34,10 +34,13 @@ pub mod checkpoint;
 pub mod killpoint;
 
 pub use bstar::estimate_min_unroll_depth;
-pub use checkpoint::{AttackCheckpoint, CheckpointError, DipRecord, CHECKPOINT_FORMAT_VERSION};
+pub use checkpoint::{
+    state_fingerprint, AttackCheckpoint, CheckpointError, DipRecord, LearntDb, LearntDbIssue,
+    CHECKPOINT_FORMAT_VERSION, CHECKPOINT_MIN_SUPPORTED_VERSION,
+};
 pub use key_search::{exhaustive_key_search, KeySearchOutcome};
 pub use removal::{removal_attack, RemovalReport};
 pub use sat_attack::{
-    AttackError, AttackProgress, AttackStatus, ProgressFn, SatAttack, SatAttackConfig,
-    SatAttackOutcome,
+    AttackError, AttackProgress, AttackStatus, LearntDbOutcome, ProgressFn, RestoreFn,
+    RestoreReport, SatAttack, SatAttackConfig, SatAttackOutcome,
 };

@@ -30,11 +30,17 @@ use rand::Rng;
 
 use netlist::{unroll, Netlist, NetlistError};
 use sat::tseitin::Bound;
-use sat::{miter, tseitin, Lit, SatEngine, SatResult, SolveControl, Solver, SolverStats, StopFn};
+use sat::{
+    miter, tseitin, Lit, SatEngine, SatResult, SolveControl, Solver, SolverStats,
+    StateExportOptions, StopFn,
+};
 use sim::{SimError, Simulator};
 use trilock::KeySequence;
 
-use crate::checkpoint::{fnv1a64, AttackCheckpoint, CheckpointError, DipRecord};
+use crate::checkpoint::{
+    fnv1a64, state_fingerprint, AttackCheckpoint, CheckpointError, DipRecord, LearntDb,
+    LearntDbIssue,
+};
 use crate::killpoint;
 
 /// Error produced by the SAT attack.
@@ -112,6 +118,64 @@ pub struct AttackProgress {
 /// Observer invoked after each learnt DIP; see [`SatAttackConfig::progress`].
 pub type ProgressFn = Arc<dyn Fn(&AttackProgress) + Send + Sync>;
 
+/// What happened to the checkpointed learnt-clause database when a resumed
+/// run rebuilt its solver. Delivered through [`SatAttackConfig::on_restore`];
+/// the CLI and daemon surface it so operators can tell a warm restore from a
+/// degraded (DIP-only) one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LearntDbOutcome {
+    /// The checkpoint carried no learnt-DB section (a v1 file, or a run on an
+    /// engine without state export). The resume is DIP-only by construction.
+    Absent,
+    /// The saved solver state matched this encoding and was imported.
+    Restored {
+        /// Learnt clauses re-installed (binaries included).
+        clauses: usize,
+        /// Total literals across those clauses.
+        literals: usize,
+    },
+    /// The section was present but unusable — corrupt, bound to a different
+    /// encoding, or rejected by the engine. The attack continues from the
+    /// replayed DIPs alone; correctness is unaffected.
+    Degraded {
+        /// Why the learnt database was dropped.
+        issue: LearntDbIssue,
+    },
+}
+
+impl fmt::Display for LearntDbOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearntDbOutcome::Absent => write!(f, "no learnt-clause state in checkpoint"),
+            LearntDbOutcome::Restored { clauses, literals } => {
+                write!(f, "restored {clauses} learnt clauses ({literals} literals)")
+            }
+            LearntDbOutcome::Degraded { issue } => {
+                write!(
+                    f,
+                    "learnt-clause state dropped ({issue}); resuming from DIPs only"
+                )
+            }
+        }
+    }
+}
+
+/// One-shot report describing what a resumed run restored, handed to
+/// [`SatAttackConfig::on_restore`] right after the solver is rebuilt and the
+/// recorded DIPs are replayed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestoreReport {
+    /// DIP observations replayed from the checkpoint (no oracle queries).
+    pub dips: u64,
+    /// Unrolling depth the resumed run continues at.
+    pub depth: usize,
+    /// Fate of the checkpointed learnt-clause database.
+    pub learnt_db: LearntDbOutcome,
+}
+
+/// Observer invoked once per resume; see [`SatAttackConfig::on_restore`].
+pub type RestoreFn = Arc<dyn Fn(&RestoreReport) + Send + Sync>;
+
 /// Tunable limits of the attack.
 #[derive(Clone)]
 pub struct SatAttackConfig {
@@ -184,6 +248,22 @@ pub struct SatAttackConfig {
     /// the mechanism behind the daemon's cooperative `cancel`. Runtime-only,
     /// like `progress`.
     pub stop: Option<StopFn>,
+    /// Glue (LBD) cap for the learnt clauses exported into checkpoints:
+    /// clauses with a larger LBD are left out of the snapshot. `None` keeps
+    /// every learnt clause. Affects only what a *future resume* starts from,
+    /// never the running search, so it is excluded from config fingerprints
+    /// and may differ across resumes.
+    pub state_glue_cap: Option<u32>,
+    /// Cap on the total number of literals exported into a checkpoint's
+    /// learnt-DB section (clauses are taken best-first — lowest LBD, then
+    /// highest activity — until the budget is spent). Bounds checkpoint size
+    /// on long runs; excluded from config fingerprints like
+    /// [`SatAttackConfig::state_glue_cap`].
+    pub state_literal_cap: Option<usize>,
+    /// Observer invoked once when a resumed run has rebuilt its solver,
+    /// replayed the recorded DIPs and decided the fate of the checkpointed
+    /// learnt-clause database. Runtime-only, like `progress`.
+    pub on_restore: Option<RestoreFn>,
 }
 
 impl Default for SatAttackConfig {
@@ -203,6 +283,9 @@ impl Default for SatAttackConfig {
             progress: None,
             progress_every: 1,
             stop: None,
+            state_glue_cap: None,
+            state_literal_cap: Some(2_000_000),
+            on_restore: None,
         }
     }
 }
@@ -224,13 +307,19 @@ impl fmt::Debug for SatAttackConfig {
             .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
             .field("progress_every", &self.progress_every)
             .field("stop", &self.stop.as_ref().map(|_| "<callback>"))
+            .field("state_glue_cap", &self.state_glue_cap)
+            .field("state_literal_cap", &self.state_literal_cap)
+            .field(
+                "on_restore",
+                &self.on_restore.as_ref().map(|_| "<callback>"),
+            )
             .finish()
     }
 }
 
 /// Equality covers the search-shaping and budget fields only; the
-/// `progress`/`stop` callbacks are runtime observers with no bearing on the
-/// attack trajectory and are deliberately ignored.
+/// `progress`/`stop`/`on_restore` callbacks are runtime observers with no
+/// bearing on the attack trajectory and are deliberately ignored.
 impl PartialEq for SatAttackConfig {
     fn eq(&self, other: &Self) -> bool {
         self.initial_unroll == other.initial_unroll
@@ -245,6 +334,8 @@ impl PartialEq for SatAttackConfig {
             && self.solve_propagation_budget == other.solve_propagation_budget
             && self.checkpoint_every == other.checkpoint_every
             && self.progress_every == other.progress_every
+            && self.state_glue_cap == other.state_glue_cap
+            && self.state_literal_cap == other.state_literal_cap
     }
 }
 
@@ -400,6 +491,13 @@ impl<'a> SatAttack<'a> {
     /// accumulating. When `checkpoint_path` is given, the resumed run keeps
     /// checkpointing there.
     ///
+    /// When the checkpoint carries a learnt-DB section whose fingerprint
+    /// matches the rebuilt encoding, the solver's learnt clauses, branching
+    /// activities and saved phases are restored too (a *warm* resume). A
+    /// missing, corrupt or mismatched section degrades to a DIP-only resume —
+    /// same key, more post-resume conflicts — and the fate is reported
+    /// through [`SatAttackConfig::on_restore`].
+    ///
     /// Budgets (`max_dips`, `max_unroll`, `time_limit`, the per-solve
     /// budgets, `checkpoint_every`) may differ from the interrupted run —
     /// resuming with a larger budget is the point. Everything else must
@@ -441,6 +539,8 @@ impl<'a> SatAttack<'a> {
             stats: checkpoint.stats,
             elapsed: Duration::from_millis(checkpoint.elapsed_ms),
             records: checkpoint.dips,
+            learnt_db: checkpoint.learnt_db,
+            learnt_db_issue: checkpoint.learnt_db_issue,
         };
         self.run_inner::<Solver, StdRng>(
             config,
@@ -520,14 +620,25 @@ impl<'a> SatAttack<'a> {
     ) -> Result<SatAttackOutcome, AttackError> {
         let start = Instant::now();
         let deadline = config.time_limit.map(|limit| start + limit);
-        let (mut depth, mut total_dips, stats_base, elapsed_base, records) = match resume {
-            Some(r) => (r.depth.max(1), r.total_dips, r.stats, r.elapsed, r.records),
+        let (mut depth, mut total_dips, stats_base, elapsed_base, records, restore) = match resume {
+            Some(r) => (
+                r.depth.max(1),
+                r.total_dips,
+                r.stats,
+                r.elapsed,
+                r.records,
+                Some(PendingRestore {
+                    learnt_db: r.learnt_db,
+                    issue: r.learnt_db_issue,
+                }),
+            ),
             None => (
                 config.initial_unroll.max(1),
                 0,
                 SolverStats::default(),
                 Duration::ZERO,
                 Vec::new(),
+                None,
             ),
         };
         let (netlist_hash, config_hash) = if checkpoint_path.is_some() {
@@ -546,6 +657,12 @@ impl<'a> SatAttack<'a> {
             elapsed_base,
             start,
             deadline,
+            state_opts: StateExportOptions {
+                glue_cap: config.state_glue_cap,
+                literal_cap: config.state_literal_cap,
+            },
+            incremental: config.incremental,
+            restore,
         };
 
         // In incremental mode this miter (and its solver) survives the whole
@@ -702,6 +819,25 @@ impl<'a> SatAttack<'a> {
                     miter::assert_bound_values(&mut m.solver, &outs, &record.outputs);
                 }
             }
+            // A resumed run restores the checkpointed solver state exactly
+            // once, into the first rebuilt solver and only after the replay
+            // above reproduced the encoding the state was exported from.
+            if let Some(pending) = ctx.restore.take() {
+                let outcome = Self::restore_solver_state(
+                    &mut m.solver,
+                    pending,
+                    depth,
+                    ctx.records.len(),
+                    config.incremental,
+                );
+                if let Some(on_restore) = &config.on_restore {
+                    on_restore(&RestoreReport {
+                        dips: ctx.records.len() as u64,
+                        depth,
+                        learnt_db: outcome,
+                    });
+                }
+            }
         }
 
         let mut oracle = Simulator::new(self.original)?;
@@ -712,7 +848,7 @@ impl<'a> SatAttack<'a> {
             if dips >= config.max_dips {
                 // The DIP budget is a planned pause: persist the observations
                 // so a resume with a raised budget continues from here.
-                ctx.save(depth, dips, &m.solver.stats())?;
+                ctx.save(depth, dips, &m.solver)?;
                 return Ok(m.round(None, false, dips));
             }
             match m.solver.solve_with_assumptions(&[m.diff]) {
@@ -750,7 +886,7 @@ impl<'a> SatAttack<'a> {
                         if ctx.checkpoint_every > 0
                             && (ctx.records.len() as u64).is_multiple_of(ctx.checkpoint_every)
                         {
-                            ctx.save(depth, dips, &m.solver.stats())?;
+                            ctx.save(depth, dips, &m.solver)?;
                             checkpointed = true;
                         }
                     }
@@ -782,7 +918,7 @@ impl<'a> SatAttack<'a> {
                         }
                         SatResult::Unsat => None,
                         SatResult::Interrupted => {
-                            ctx.save(depth, dips, &m.solver.stats())?;
+                            ctx.save(depth, dips, &m.solver)?;
                             return Ok(m.round(None, true, dips));
                         }
                     };
@@ -791,10 +927,48 @@ impl<'a> SatAttack<'a> {
                 SatResult::Interrupted => {
                     // Deadline or per-solve budget hit: persist everything
                     // learned so far and unwind as TimedOut.
-                    ctx.save(depth, dips, &m.solver.stats())?;
+                    ctx.save(depth, dips, &m.solver)?;
                     return Ok(m.round(None, true, dips));
                 }
             }
+        }
+    }
+
+    /// Decides the fate of a checkpoint's learnt-DB payload against the
+    /// freshly rebuilt solver: the state fingerprint must bind it to this
+    /// exact encoding prefix (variable count, depth, replayed DIP count and
+    /// incremental flag) before the engine is allowed to import it. Every
+    /// failure mode degrades to [`LearntDbOutcome::Degraded`] — a resume
+    /// never fails because of solver-state trouble, it just starts colder.
+    fn restore_solver_state<E: SatEngine>(
+        solver: &mut E,
+        pending: PendingRestore,
+        depth: usize,
+        replayed_dips: usize,
+        incremental: bool,
+    ) -> LearntDbOutcome {
+        let db = match (pending.learnt_db, pending.issue) {
+            (Some(db), _) => db,
+            (None, Some(issue)) => return LearntDbOutcome::Degraded { issue },
+            (None, None) => return LearntDbOutcome::Absent,
+        };
+        let expected = state_fingerprint(solver.num_vars(), depth, replayed_dips, incremental);
+        if db.fingerprint != expected {
+            return LearntDbOutcome::Degraded {
+                issue: LearntDbIssue::FingerprintMismatch {
+                    expected,
+                    found: db.fingerprint,
+                },
+            };
+        }
+        match solver.import_state(&db.state) {
+            Ok(()) => LearntDbOutcome::Restored {
+                clauses: db.state.clause_count(),
+                literals: db.state.literal_count(),
+            },
+            Err(reason) => LearntDbOutcome::Degraded {
+                issue: LearntDbIssue::ImportRejected { reason },
+            },
         }
     }
 
@@ -1082,6 +1256,15 @@ struct ResumeState {
     stats: SolverStats,
     elapsed: Duration,
     records: Vec<DipRecord>,
+    learnt_db: Option<LearntDb>,
+    learnt_db_issue: Option<LearntDbIssue>,
+}
+
+/// Checkpointed solver state (or the reason it is unusable) waiting to be
+/// applied to the first rebuilt solver of a resumed run.
+struct PendingRestore {
+    learnt_db: Option<LearntDb>,
+    issue: Option<LearntDbIssue>,
 }
 
 /// Per-run bookkeeping shared between the depth loop and the DIP loop:
@@ -1100,23 +1283,42 @@ struct RunCtx<'p> {
     elapsed_base: Duration,
     start: Instant,
     deadline: Option<Instant>,
+    /// Pruning knobs for the learnt-DB snapshot written with each checkpoint.
+    state_opts: StateExportOptions,
+    /// Whether the run keeps one solver alive across depths — part of the
+    /// state fingerprint, because it changes what a replay rebuilds.
+    incremental: bool,
+    /// Checkpointed solver state of a resumed run, consumed by the first
+    /// rebuilt solver (see [`SatAttack::restore_solver_state`]).
+    restore: Option<PendingRestore>,
 }
 
 impl RunCtx<'_> {
-    /// Writes a checkpoint if a destination is configured. `solver_stats` is
-    /// the current depth solver's (possibly partial) effort; the stored
-    /// stats are cumulative across all depths and prior invocations.
-    fn save(
+    /// Writes a checkpoint if a destination is configured. The solver
+    /// provides both its (possibly partial) effort counters — merged into the
+    /// cumulative stored stats — and, when the engine supports it, a snapshot
+    /// of its learnt-clause database fingerprinted against this exact
+    /// encoding prefix.
+    fn save<E: SatEngine>(
         &self,
         depth: usize,
         total_dips: u64,
-        solver_stats: &SolverStats,
+        solver: &E,
     ) -> Result<(), AttackError> {
         let Some(path) = self.checkpoint_path else {
             return Ok(());
         };
         let mut stats = self.stats_base;
-        stats.merge(solver_stats);
+        stats.merge(&solver.stats());
+        let learnt_db = solver.export_state(&self.state_opts).map(|state| LearntDb {
+            fingerprint: state_fingerprint(
+                solver.num_vars(),
+                depth,
+                self.records.len(),
+                self.incremental,
+            ),
+            state,
+        });
         let checkpoint = AttackCheckpoint {
             netlist_hash: self.netlist_hash,
             config_hash: self.config_hash,
@@ -1126,6 +1328,8 @@ impl RunCtx<'_> {
             rng_state: self.rng_state,
             stats,
             dips: self.records.clone(),
+            learnt_db,
+            learnt_db_issue: None,
         };
         checkpoint.save(path).map_err(AttackError::Checkpoint)
     }

@@ -1,11 +1,17 @@
 //! Hostile-input hardening for checkpoint loading: arbitrary byte mutations,
 //! truncations and pure garbage must surface as typed [`CheckpointError`]s —
 //! never a panic, never a silently wrong resume.
+//!
+//! The v2 learnt-DB trailer gets the opposite treatment: it is an
+//! *optimization payload*, so mutating it must never make the checkpoint
+//! unloadable. Any corruption there degrades to a DIP-only resume with a
+//! typed [`LearntDbIssue`] while the core observations parse untouched.
 
 use proptest::prelude::*;
 
-use attacks::{AttackCheckpoint, CheckpointError, DipRecord};
-use sat::SolverStats;
+use attacks::checkpoint::fnv1a64;
+use attacks::{state_fingerprint, AttackCheckpoint, CheckpointError, DipRecord, LearntDb};
+use sat::{LearntClause, Lit, SolverState, SolverStats};
 
 fn sample_checkpoint() -> AttackCheckpoint {
     AttackCheckpoint {
@@ -35,14 +41,60 @@ fn sample_checkpoint() -> AttackCheckpoint {
                 outputs: vec![false, true],
             },
         ],
+        learnt_db: None,
+        learnt_db_issue: None,
     }
+}
+
+fn sample_checkpoint_with_state() -> AttackCheckpoint {
+    let state = SolverState {
+        num_vars: 6,
+        var_inc: 1.5,
+        cla_inc: 1.0,
+        luby_restarts: false,
+        lbd_global_sum: 14,
+        lbd_global_count: 6,
+        activity: vec![0.0, 2.25, 0.5, 7.0, 0.0, 1.0],
+        phase: vec![true, false, false, true, true, false],
+        clauses: vec![
+            LearntClause {
+                lbd: 2,
+                activity: 0.0,
+                lits: vec![Lit::from_code(0), Lit::from_code(3)],
+            },
+            LearntClause {
+                lbd: 3,
+                activity: 1.5,
+                lits: vec![Lit::from_code(2), Lit::from_code(5), Lit::from_code(8)],
+            },
+            LearntClause {
+                lbd: 4,
+                activity: 0.25,
+                lits: vec![Lit::from_code(1), Lit::from_code(7), Lit::from_code(10)],
+            },
+        ],
+    };
+    AttackCheckpoint {
+        learnt_db: Some(LearntDb {
+            fingerprint: state_fingerprint(6, 2, 2, false),
+            state,
+        }),
+        ..sample_checkpoint()
+    }
+}
+
+/// Byte offset where the learnt-DB trailer begins: right after the core
+/// `checksum` line.
+fn section_start(text: &str) -> usize {
+    let at = text.find("\nchecksum ").expect("core checksum line") + 1;
+    at + text[at..].find('\n').expect("newline after checksum") + 1
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// Flipping any single byte is detected (checksum or structure), and
-    /// parsing never panics.
+    /// Flipping any single byte of the core is detected (checksum or
+    /// structure), and parsing never panics.
     #[test]
     fn single_byte_mutation_is_rejected(position in 0usize..2048, delta in 1u8..=255) {
         let text = sample_checkpoint().to_text();
@@ -60,7 +112,7 @@ proptest! {
         );
     }
 
-    /// Any strict prefix of a checkpoint is rejected with a typed error.
+    /// Any strict prefix of a checkpoint core is rejected with a typed error.
     #[test]
     fn truncation_is_rejected(cut in 0usize..2048) {
         let text = sample_checkpoint().to_text();
@@ -96,6 +148,127 @@ proptest! {
         let spliced = format!("{}\n", lines.join("\n"));
         prop_assert!(AttackCheckpoint::parse(&spliced).is_err());
     }
+
+    /// Flipping any single byte of the learnt-DB trailer never breaks the
+    /// checkpoint: the core parses bit-identically and the damage surfaces
+    /// as a typed degradation, not an error.
+    #[test]
+    fn section_mutation_degrades_to_dip_only(position in 0usize..4096, delta in 1u8..=255) {
+        let checkpoint = sample_checkpoint_with_state();
+        let text = checkpoint.to_text();
+        let start = section_start(&text);
+        let mut bytes = text.clone().into_bytes();
+        let position = start + position % (bytes.len() - start);
+        bytes[position] = bytes[position].wrapping_add(delta);
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        if mutated == text {
+            return Ok(());
+        }
+        let parsed = AttackCheckpoint::parse(&mutated).expect("core must stay loadable");
+        prop_assert_eq!(parsed.dips.clone(), checkpoint.dips.clone());
+        prop_assert_eq!(parsed.netlist_hash, checkpoint.netlist_hash);
+        prop_assert_eq!(parsed.rng_state, checkpoint.rng_state);
+        prop_assert!(
+            parsed.learnt_db.is_none() && parsed.learnt_db_issue.is_some(),
+            "section mutation at byte {position} was not flagged: {:?}",
+            parsed.learnt_db_issue
+        );
+    }
+
+    /// Cutting the learnt-DB trailer anywhere leaves a loadable checkpoint
+    /// that resumes DIP-only (an empty trailer is simply a v2 file with no
+    /// saved solver state).
+    #[test]
+    fn section_truncation_degrades_to_dip_only(cut in 0usize..4096) {
+        let checkpoint = sample_checkpoint_with_state();
+        let text = checkpoint.to_text();
+        let start = section_start(&text);
+        let cut = start + cut % (text.len() - start);
+        let parsed = AttackCheckpoint::parse(&text[..cut]).expect("core must stay loadable");
+        prop_assert_eq!(parsed.dips.clone(), checkpoint.dips.clone());
+        prop_assert!(parsed.learnt_db.is_none());
+        if cut > start {
+            prop_assert!(parsed.learnt_db_issue.is_some());
+        }
+    }
+
+    /// Splicing a well-formed line into the trailer is caught by the section
+    /// checksum and degrades instead of erroring.
+    #[test]
+    fn section_splice_degrades_to_dip_only(
+        line in prop_oneof![
+            Just("clauses 99".to_string()),
+            Just("c 2 00000000 0 1".to_string()),
+            Just("vars 7".to_string()),
+            Just("learnt-db v1".to_string()),
+        ],
+        at in 0usize..32,
+    ) {
+        let checkpoint = sample_checkpoint_with_state();
+        let text = checkpoint.to_text();
+        let start = section_start(&text);
+        let (core, section) = text.split_at(start);
+        let mut lines: Vec<&str> = section.lines().collect();
+        let at = at % lines.len();
+        lines.insert(at, &line);
+        let spliced = format!("{core}{}\n", lines.join("\n"));
+        let parsed = AttackCheckpoint::parse(&spliced).expect("core must stay loadable");
+        prop_assert_eq!(parsed.dips.clone(), checkpoint.dips.clone());
+        prop_assert!(parsed.learnt_db.is_none() && parsed.learnt_db_issue.is_some());
+    }
+}
+
+/// Downgrades a v2 core (no trailer) to the v1 wire format: same fields, old
+/// version line, recomputed checksum.
+fn as_v1_text(checkpoint: &AttackCheckpoint) -> String {
+    let text = checkpoint.to_text();
+    let body = text
+        .replacen("trilock-checkpoint v2", "trilock-checkpoint v1", 1)
+        .split("checksum ")
+        .next()
+        .expect("split never empty")
+        .to_string();
+    format!("{body}checksum {:016x}\n", fnv1a64(body.as_bytes()))
+}
+
+/// v1 files keep their original contract: they load, carry no solver state,
+/// and any mutation is a hard error (v1 had no degradable trailer).
+#[test]
+fn v1_checkpoints_still_load_and_stay_tamper_evident() {
+    let checkpoint = sample_checkpoint();
+    let v1 = as_v1_text(&checkpoint);
+    let parsed = AttackCheckpoint::parse(&v1).expect("v1 must load");
+    assert_eq!(parsed.dips, checkpoint.dips);
+    assert!(parsed.learnt_db.is_none() && parsed.learnt_db_issue.is_none());
+
+    let mut tampered = v1.clone().into_bytes();
+    let mid = tampered.len() / 2;
+    tampered[mid] = tampered[mid].wrapping_add(1);
+    let tampered = String::from_utf8_lossy(&tampered).into_owned();
+    assert!(AttackCheckpoint::parse(&tampered).is_err());
+
+    // Trailing data after a v1 checksum is foreign, not a learnt DB.
+    let trailing = format!("{v1}learnt-db v1\n");
+    assert!(matches!(
+        AttackCheckpoint::parse(&trailing),
+        Err(CheckpointError::Malformed { .. })
+    ));
+}
+
+/// A structurally valid trailer whose fingerprint simply belongs to another
+/// encoding parses fine — the fingerprint is checked at *resume* time, where
+/// a mismatch degrades to DIP-only instead of failing the resume.
+#[test]
+fn foreign_fingerprint_survives_parsing_for_resume_time_rejection() {
+    let mut checkpoint = sample_checkpoint_with_state();
+    let foreign = state_fingerprint(999, 9, 9, true);
+    checkpoint
+        .learnt_db
+        .as_mut()
+        .expect("state present")
+        .fingerprint = foreign;
+    let parsed = AttackCheckpoint::parse(&checkpoint.to_text()).expect("must parse");
+    assert_eq!(parsed.learnt_db.expect("trailer kept").fingerprint, foreign);
 }
 
 /// Error variants carry enough context to act on: the typed error survives a

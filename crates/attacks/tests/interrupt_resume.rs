@@ -4,10 +4,12 @@
 //! counters that accumulate across the interruption instead of resetting.
 
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use attacks::{
-    AttackCheckpoint, AttackError, AttackStatus, CheckpointError, SatAttack, SatAttackConfig,
+    AttackCheckpoint, AttackError, AttackStatus, CheckpointError, LearntDbIssue, LearntDbOutcome,
+    RestoreReport, SatAttack, SatAttackConfig,
 };
 use benchgen::small;
 use rand::rngs::StdRng;
@@ -141,6 +143,245 @@ fn starved_solve_budget_times_out_with_checkpoint() {
     // Resuming with the budget lifted completes the attack.
     let resumed = attack.resume_from_path(&full_config(), &path).unwrap();
     assert!(resumed.succeeded(), "resume failed: {:?}", resumed.status);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Installs an [`SatAttackConfig::on_restore`] observer that stores the
+/// report for the test to inspect.
+fn capture_restore(config: &mut SatAttackConfig) -> Arc<Mutex<Option<RestoreReport>>> {
+    let slot: Arc<Mutex<Option<RestoreReport>>> = Arc::new(Mutex::new(None));
+    let sink = Arc::clone(&slot);
+    config.on_restore = Some(Arc::new(move |r: &RestoreReport| {
+        *sink.lock().unwrap() = Some(r.clone());
+    }));
+    slot
+}
+
+fn taken(slot: &Arc<Mutex<Option<RestoreReport>>>) -> RestoreReport {
+    slot.lock()
+        .unwrap()
+        .take()
+        .expect("resume must report a restore")
+}
+
+/// Warm resume (learnt DB restored) and cold resume (learnt DB stripped)
+/// both recover the baseline key, the warm one with strictly fewer
+/// post-resume conflicts — the whole point of persisting solver state.
+#[test]
+fn warm_resume_beats_a_cold_dip_replay() {
+    let (original, locked) = locked_fixture(2);
+    let expected = uninterrupted_key(&original, &locked);
+
+    let attack = SatAttack::new(&original, &locked.netlist, locked.kappa()).unwrap();
+    let path = temp_checkpoint("warm_vs_cold.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    let paused_config = SatAttackConfig {
+        max_dips: 3,
+        ..full_config()
+    };
+    let mut rng = StdRng::seed_from_u64(SEED + 1);
+    let paused = attack
+        .run_checkpointed(&paused_config, &mut rng, &path)
+        .unwrap();
+    assert_eq!(paused.status, AttackStatus::DipBudgetExhausted);
+
+    let checkpoint = AttackCheckpoint::load(&path).unwrap();
+    let db = checkpoint.learnt_db.as_ref().expect("state exported");
+    assert!(db.state.clause_count() > 0, "pause must snapshot clauses");
+    // Records cover the current depth only (earlier depths were validated
+    // and dropped), so that is what a resume replays.
+    let recorded = checkpoint.dips.len() as u64;
+
+    // Cold leg: same checkpoint, solver state stripped.
+    let mut cold_checkpoint = checkpoint.clone();
+    cold_checkpoint.learnt_db = None;
+    let mut cold_config = full_config();
+    let cold_report = capture_restore(&mut cold_config);
+    let cold = attack.resume(&cold_config, cold_checkpoint, None).unwrap();
+    assert_eq!(recovered_key(&cold.status), expected);
+    assert_eq!(taken(&cold_report).learnt_db, LearntDbOutcome::Absent);
+
+    // Warm leg: the learnt DB comes back.
+    let mut warm_config = full_config();
+    let warm_report = capture_restore(&mut warm_config);
+    let warm = attack
+        .resume(&warm_config, checkpoint, Some(&path))
+        .unwrap();
+    assert_eq!(recovered_key(&warm.status), expected);
+    let report = taken(&warm_report);
+    assert_eq!(report.dips, recorded, "all recorded DIPs replayed");
+    match report.learnt_db {
+        LearntDbOutcome::Restored { clauses, literals } => {
+            assert!(clauses > 0 && literals > 0);
+        }
+        other => panic!("warm resume did not restore: {other:?}"),
+    }
+
+    // Post-resume effort: both legs share the checkpoint's cumulative base,
+    // so comparing the resumed totals compares only the work after resume.
+    let warm_conflicts = warm.solver_stats.conflicts - paused.solver_stats.conflicts;
+    let cold_conflicts = cold.solver_stats.conflicts - paused.solver_stats.conflicts;
+    assert!(
+        warm_conflicts < cold_conflicts,
+        "warm resume must replay strictly fewer conflicts ({warm_conflicts} vs {cold_conflicts})"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Corrupting the learnt-DB trailer on disk degrades the resume to DIP-only:
+/// the run still loads, still recovers the baseline key, and the typed issue
+/// is surfaced through the restore report.
+#[test]
+fn corrupt_state_section_degrades_and_still_recovers_the_key() {
+    let (original, locked) = locked_fixture(2);
+    let expected = uninterrupted_key(&original, &locked);
+
+    let attack = SatAttack::new(&original, &locked.netlist, locked.kappa()).unwrap();
+    let path = temp_checkpoint("degraded.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    let paused_config = SatAttackConfig {
+        max_dips: 3,
+        ..full_config()
+    };
+    let mut rng = StdRng::seed_from_u64(SEED + 1);
+    attack
+        .run_checkpointed(&paused_config, &mut rng, &path)
+        .unwrap();
+
+    // Flip one byte inside the learnt-DB trailer.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let section = text.find("learnt-db v1").expect("trailer present");
+    let mut bytes = text.into_bytes();
+    let target = section + 20;
+    bytes[target] = bytes[target].wrapping_add(1);
+    std::fs::write(&path, &bytes).unwrap();
+
+    let mut config = full_config();
+    let report = capture_restore(&mut config);
+    let resumed = attack.resume_from_path(&config, &path).unwrap();
+    assert_eq!(recovered_key(&resumed.status), expected);
+    match taken(&report).learnt_db {
+        LearntDbOutcome::Degraded { .. } => {}
+        other => panic!("corrupt trailer was not flagged: {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A learnt DB whose fingerprint belongs to a different encoding prefix is
+/// rejected at restore time: the resume degrades instead of importing clauses
+/// that are meaningless (or unsound) under this encoding.
+#[test]
+fn foreign_state_fingerprint_degrades_the_resume() {
+    let (original, locked) = locked_fixture(2);
+    let expected = uninterrupted_key(&original, &locked);
+
+    let attack = SatAttack::new(&original, &locked.netlist, locked.kappa()).unwrap();
+    let path = temp_checkpoint("foreign_fp.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    let paused_config = SatAttackConfig {
+        max_dips: 3,
+        ..full_config()
+    };
+    let mut rng = StdRng::seed_from_u64(SEED + 1);
+    attack
+        .run_checkpointed(&paused_config, &mut rng, &path)
+        .unwrap();
+
+    let mut checkpoint = AttackCheckpoint::load(&path).unwrap();
+    let db = checkpoint.learnt_db.as_mut().expect("state exported");
+    db.fingerprint ^= 0xdead_beef;
+
+    let mut config = full_config();
+    let report = capture_restore(&mut config);
+    let resumed = attack.resume(&config, checkpoint, None).unwrap();
+    assert_eq!(recovered_key(&resumed.status), expected);
+    match taken(&report).learnt_db {
+        LearntDbOutcome::Degraded {
+            issue: LearntDbIssue::FingerprintMismatch { .. },
+        } => {}
+        other => panic!("foreign fingerprint was not flagged: {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The glue/literal pruning knobs bound the snapshot without affecting
+/// which key the resume recovers.
+#[test]
+fn pruned_state_snapshots_stay_resumable() {
+    let (original, locked) = locked_fixture(2);
+    let expected = uninterrupted_key(&original, &locked);
+
+    let attack = SatAttack::new(&original, &locked.netlist, locked.kappa()).unwrap();
+    let path = temp_checkpoint("pruned.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    let paused_config = SatAttackConfig {
+        max_dips: 3,
+        state_glue_cap: Some(3),
+        state_literal_cap: Some(64),
+        ..full_config()
+    };
+    let mut rng = StdRng::seed_from_u64(SEED + 1);
+    attack
+        .run_checkpointed(&paused_config, &mut rng, &path)
+        .unwrap();
+
+    let checkpoint = AttackCheckpoint::load(&path).unwrap();
+    let db = checkpoint.learnt_db.as_ref().expect("state exported");
+    assert!(db.state.literal_count() <= 64, "literal cap must bind");
+    assert!(db
+        .state
+        .clauses
+        .iter()
+        .all(|c| c.lbd <= 3 || c.lits.len() == 2));
+
+    // The pruning knobs are not trajectory-shaping: resuming with different
+    // caps is allowed and still lands on the baseline key.
+    let resumed = attack.resume(&full_config(), checkpoint, None).unwrap();
+    assert_eq!(recovered_key(&resumed.status), expected);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Incremental runs export and restore state too: paused before any depth
+/// bump, the resume re-imports the learnt DB warm and completes.
+#[test]
+fn incremental_pause_resumes_warm() {
+    let (original, locked) = locked_fixture(2);
+
+    let incremental_config = SatAttackConfig {
+        // Start at b* so no in-place depth extension happens before the
+        // pause; an extended incremental solver deliberately fails the
+        // state fingerprint (the replay cannot rebuild its old-depth
+        // constraint copies) and would degrade instead.
+        initial_unroll: 2,
+        incremental: true,
+        ..full_config()
+    };
+    let attack = SatAttack::new(&original, &locked.netlist, locked.kappa()).unwrap();
+    let path = temp_checkpoint("incremental_warm.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    let paused_config = SatAttackConfig {
+        max_dips: 3,
+        ..incremental_config.clone()
+    };
+    let mut rng = StdRng::seed_from_u64(SEED + 1);
+    let paused = attack
+        .run_checkpointed(&paused_config, &mut rng, &path)
+        .unwrap();
+    assert_eq!(paused.status, AttackStatus::DipBudgetExhausted);
+
+    let mut config = incremental_config;
+    let report = capture_restore(&mut config);
+    let resumed = attack.resume_from_path(&config, &path).unwrap();
+    assert!(resumed.succeeded(), "resume failed: {:?}", resumed.status);
+    match taken(&report).learnt_db {
+        LearntDbOutcome::Restored { clauses, .. } => assert!(clauses > 0),
+        other => panic!("incremental resume did not restore warm: {other:?}"),
+    }
     let _ = std::fs::remove_file(&path);
 }
 

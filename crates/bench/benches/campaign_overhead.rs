@@ -10,9 +10,14 @@
 //!
 //! All three must recover the same key; the figure of merit is the relative
 //! `seconds_per_dip` overhead of the checkpointed legs, which bounds what a
-//! crash-safe campaign pays per cell. Besides the console report, the bench
-//! appends one JSON row to `BENCH_campaign.json` at the repository root.
-//! Run with:
+//! crash-safe campaign pays per cell.
+//!
+//! A fourth leg measures what the v2 learnt-DB section buys back: the attack
+//! is paused halfway through its DIP budget and finished twice from the same
+//! checkpoint — warm (solver state restored) vs. cold (state stripped, the
+//! DIP-only replay) — recording post-resume conflicts and resumed
+//! time-to-key for both. Besides the console report, the bench appends one
+//! JSON row to `BENCH_campaign.json` at the repository root. Run with:
 //!
 //! ```sh
 //! cargo bench -p trilock-bench --bench campaign_overhead
@@ -21,7 +26,7 @@
 use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use attacks::{AttackStatus, SatAttack, SatAttackConfig, SatAttackOutcome};
+use attacks::{AttackCheckpoint, AttackStatus, SatAttack, SatAttackConfig, SatAttackOutcome};
 use benchgen::CircuitProfile;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -90,7 +95,70 @@ fn main() {
     report("checkpoint every 64", &cadence);
     let per_dip = run(Some(1));
     report("checkpoint every DIP", &per_dip);
+
+    // Warm-vs-cold resume leg: pause the same attack halfway through its DIP
+    // budget, then finish it twice from the one checkpoint — once with the
+    // learnt-clause DB restored (warm) and once with it stripped (cold, the
+    // pre-v2 DIP-only replay). Both must land on the bare key; the figure of
+    // merit is how many post-resume conflicts and how much time-to-key the
+    // persisted solver state saves.
+    let pause_at = (bare.dips / 2).max(1);
     let _ = std::fs::remove_file(&checkpoint_path);
+    let attack = SatAttack::new(&original, &locked.netlist, locked.kappa()).expect("interfaces");
+    let paused_config = SatAttackConfig {
+        checkpoint_every: 1,
+        max_dips: pause_at,
+        ..base.clone()
+    };
+    let mut rng = StdRng::seed_from_u64(SEED + 1);
+    let paused = attack
+        .run_checkpointed(&paused_config, &mut rng, &checkpoint_path)
+        .expect("paused attack runs");
+    assert_eq!(
+        paused.status,
+        AttackStatus::DipBudgetExhausted,
+        "pause leg must stop on its DIP budget"
+    );
+    let checkpoint = AttackCheckpoint::load(&checkpoint_path).expect("checkpoint loads");
+    assert!(
+        checkpoint.learnt_db.is_some(),
+        "paused checkpoint must carry solver state"
+    );
+
+    let mut cold_checkpoint = checkpoint.clone();
+    cold_checkpoint.learnt_db = None;
+    let cold = attack
+        .resume(&base, cold_checkpoint, None)
+        .expect("cold resume runs");
+    let warm = attack
+        .resume(&base, checkpoint, None)
+        .expect("warm resume runs");
+    let _ = std::fs::remove_file(&checkpoint_path);
+
+    let cold_conflicts = cold.solver_stats.conflicts - paused.solver_stats.conflicts;
+    let warm_conflicts = warm.solver_stats.conflicts - paused.solver_stats.conflicts;
+    println!(
+        "  cold resume            post-resume conflicts = {cold_conflicts}, \
+         time-to-key = {:.3}s",
+        cold.elapsed.as_secs_f64()
+    );
+    println!(
+        "  warm resume            post-resume conflicts = {warm_conflicts}, \
+         time-to-key = {:.3}s",
+        warm.elapsed.as_secs_f64()
+    );
+    for (label, outcome) in [("cold-resume", &cold), ("warm-resume", &warm)] {
+        assert_eq!(
+            key_of(&bare),
+            key_of(outcome),
+            "{label} leg recovered a different key"
+        );
+    }
+    assert!(
+        warm_conflicts < cold_conflicts,
+        "warm resume must beat the cold replay on post-resume conflicts \
+         (warm = {warm_conflicts}, cold = {cold_conflicts})"
+    );
 
     for (label, outcome) in [("every-64", &cadence), ("every-DIP", &per_dip)] {
         assert_eq!(
@@ -117,13 +185,19 @@ fn main() {
          \"seed\": {SEED}, \"dips\": {}, \
          \"bare_seconds_per_dip\": {:.6e}, \"every64_seconds_per_dip\": {:.6e}, \
          \"per_dip_seconds_per_dip\": {:.6e}, \
-         \"every64_overhead\": {overhead_64:.3}, \"per_dip_overhead\": {overhead_1:.3}}}",
+         \"every64_overhead\": {overhead_64:.3}, \"per_dip_overhead\": {overhead_1:.3}, \
+         \"pause_dips\": {pause_at}, \
+         \"warm_resume_conflicts\": {warm_conflicts}, \
+         \"cold_resume_conflicts\": {cold_conflicts}, \
+         \"warm_resume_seconds\": {:.6}, \"cold_resume_seconds\": {:.6}}}",
         profile.gates,
         profile.inputs,
         bare.dips,
         bare.seconds_per_dip(),
         cadence.seconds_per_dip(),
         per_dip.seconds_per_dip(),
+        warm.elapsed.as_secs_f64(),
+        cold.elapsed.as_secs_f64(),
     );
     match append_row(&row) {
         Ok(path) => println!("  appended row to {}", path.display()),

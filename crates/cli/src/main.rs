@@ -70,6 +70,7 @@ COMMANDS:
                     [--time-limit SECS] [--checkpoint FILE] [--resume FILE]
                     [--checkpoint-every N] [--progress] [--progress-every N]
                     [--engine fast|reference] [--incremental]
+                    [--state-glue-cap N] [--state-literal-cap N]
                     [--from FMT] [--locked-from FMT] [--socket PATH]
         Run the SAT-based unrolling attack; ORIGINAL plays the oracle.
         --from pins the oracle's format, --locked-from the locked design's
@@ -84,7 +85,14 @@ COMMANDS:
         checkpoint there every --checkpoint-every DIPs (default 64) and on
         any interruption; --resume FILE continues from such a checkpoint
         without re-querying the oracle (budgets may be raised; the circuit
-        pair and search configuration must match). A completed attack removes
+        pair and search configuration must match). Checkpoints also carry the
+        solver's learnt-clause database, branching activities and saved
+        phases, so a resume restarts warm; a corrupt or mismatched state
+        section is dropped with a warning and the resume degrades to
+        replaying DIPs only (same key, colder solver). --state-glue-cap N
+        keeps only learnt clauses with LBD <= N in the snapshot and
+        --state-literal-cap N bounds its total literals (default 2000000,
+        0 = unlimited). A completed attack removes
         its checkpoint file. --progress streams one line per DIP (count,
         depth, cumulative conflicts/propagations, live learnt clauses,
         elapsed; cadence --progress-every, default 1). --socket PATH submits
@@ -204,6 +212,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 "progress-every",
                 "resume",
                 "engine",
+                "state-glue-cap",
+                "state-literal-cap",
                 "from",
                 "locked-from",
                 "socket",
@@ -629,6 +639,8 @@ fn cmd_sat_attack(opts: &Opts) -> Result<(), String> {
             "resume",
             "engine",
             "incremental",
+            "state-glue-cap",
+            "state-literal-cap",
             "from",
             "locked-from",
         ] {
@@ -692,6 +704,24 @@ fn cmd_sat_attack(opts: &Opts) -> Result<(), String> {
         checkpoint_every: opts.value("checkpoint-every", defaults.checkpoint_every)?,
         ..defaults
     };
+    if opts.flags.contains_key("state-glue-cap") {
+        config.state_glue_cap = Some(opts.value("state-glue-cap", 0u32)?);
+    }
+    if opts.flags.contains_key("state-literal-cap") {
+        // 0 lifts the cap; any other value bounds the snapshot.
+        let cap: usize = opts.value("state-literal-cap", 0usize)?;
+        config.state_literal_cap = (cap > 0).then_some(cap);
+    }
+    if resume_path.is_some() {
+        config.on_restore = Some(std::sync::Arc::new(|r: &attacks::RestoreReport| {
+            say!(
+                "resumed: {} dips replayed at depth {}, {}",
+                r.dips,
+                r.depth,
+                r.learnt_db
+            );
+        }));
+    }
     if opts.switch("progress") {
         config.progress_every = opts.value("progress-every", 1u64)?;
         config.progress = Some(std::sync::Arc::new(|p: &attacks::AttackProgress| {

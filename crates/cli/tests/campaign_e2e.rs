@@ -179,6 +179,138 @@ fn kill_before_rename_leaves_the_previous_checkpoint_usable() {
 }
 
 #[test]
+fn kill_during_learnt_db_serialize_leaves_the_previous_checkpoint_usable() {
+    let dir = tmp_dir("kill_state_write");
+    let (original, locked) = locked_fixture(&dir);
+    let (original, locked) = (original.to_str().unwrap(), locked.to_str().unwrap());
+    let checkpoint = dir.join("attack.ckpt");
+    let checkpoint = checkpoint.to_str().unwrap();
+
+    let expected = key_line(&cli_ok(&attack_args(original, locked)));
+
+    // Die while the second checkpoint's learnt-DB section is being written
+    // to the temp file. The first checkpoint was already renamed into place
+    // with its own complete state section.
+    let mut killed = attack_args(original, locked);
+    killed.extend(["--checkpoint", checkpoint, "--checkpoint-every", "1"]);
+    run_killed(&killed, "learnt-db-serialize:2");
+
+    let mut resume = attack_args(original, locked);
+    resume.extend(["--resume", checkpoint]);
+    let stdout = cli_ok(&resume);
+    assert_eq!(key_line(&stdout), expected, "resume diverged:\n{stdout}");
+    // The surviving checkpoint's state section is intact, so the resume
+    // reports a warm restore, not a degraded one.
+    assert!(stdout.contains("restored"), "not a warm resume:\n{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn kill_after_learnt_db_write_before_rename_keeps_the_previous_checkpoint() {
+    let dir = tmp_dir("kill_state_rename");
+    let (original, locked) = locked_fixture(&dir);
+    let (original, locked) = (original.to_str().unwrap(), locked.to_str().unwrap());
+    let checkpoint = dir.join("attack.ckpt");
+    let checkpoint = checkpoint.to_str().unwrap();
+
+    let expected = key_line(&cli_ok(&attack_args(original, locked)));
+
+    // Die after the second snapshot's learnt-DB section is fully written but
+    // before the fsync + rename publish it: the path still holds the first
+    // snapshot, complete with its own state section.
+    let mut killed = attack_args(original, locked);
+    killed.extend(["--checkpoint", checkpoint, "--checkpoint-every", "1"]);
+    run_killed(&killed, "learnt-db-pre-rename:2");
+
+    let mut resume = attack_args(original, locked);
+    resume.extend(["--resume", checkpoint]);
+    let stdout = cli_ok(&resume);
+    assert_eq!(key_line(&stdout), expected, "resume diverged:\n{stdout}");
+    assert!(stdout.contains("restored"), "not a warm resume:\n{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The cumulative conflict count from the `effort:` line.
+fn conflicts(stdout: &str) -> u64 {
+    let line = stdout
+        .lines()
+        .find(|line| line.contains("conflicts = "))
+        .unwrap_or_else(|| panic!("no effort line in output:\n{stdout}"));
+    line.split("conflicts = ")
+        .nth(1)
+        .unwrap()
+        .split(',')
+        .next()
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn incremental_kill_resume_pins_the_key_and_warm_restore_beats_cold() {
+    let dir = tmp_dir("kill_incremental");
+    let (original, locked) = locked_fixture(&dir);
+    let (original, locked) = (original.to_str().unwrap(), locked.to_str().unwrap());
+    let checkpoint = dir.join("attack.ckpt");
+
+    let mut baseline = attack_args(original, locked);
+    baseline.push("--incremental");
+    let expected = key_line(&cli_ok(&baseline));
+
+    // Kill the incremental attack mid DIP loop; the checkpoint carries the
+    // persistent solver's learnt DB.
+    let mut killed = baseline.clone();
+    killed.extend([
+        "--checkpoint",
+        checkpoint.to_str().unwrap(),
+        "--checkpoint-every",
+        "1",
+    ]);
+    run_killed(&killed, "dip-loop:8");
+
+    // Cold copy: one flipped byte inside the learnt-DB section. The core
+    // stays valid, so the resume loads but degrades to a DIP-only replay.
+    let cold_path = dir.join("cold.ckpt");
+    let mut bytes = std::fs::read(&checkpoint).unwrap();
+    let section = bytes
+        .windows(b"learnt-db v1".len())
+        .position(|w| w == b"learnt-db v1")
+        .expect("checkpoint has a learnt-db section");
+    bytes[section + 30] = bytes[section + 30].wrapping_add(1);
+    std::fs::write(&cold_path, &bytes).unwrap();
+
+    let mut warm_args = baseline.clone();
+    warm_args.extend(["--resume", checkpoint.to_str().unwrap()]);
+    let warm = cli_ok(&warm_args);
+    assert_eq!(key_line(&warm), expected, "warm resume diverged:\n{warm}");
+    assert!(
+        warm.contains("restored") && warm.contains("learnt clauses"),
+        "warm resume did not restore the learnt DB:\n{warm}"
+    );
+
+    let mut cold_args = baseline;
+    cold_args.extend(["--resume", cold_path.to_str().unwrap()]);
+    let cold = cli_ok(&cold_args);
+    assert_eq!(key_line(&cold), expected, "cold resume diverged:\n{cold}");
+    assert!(
+        cold.contains("dropped") && cold.contains("DIPs only"),
+        "corrupt state section was not reported as degraded:\n{cold}"
+    );
+
+    // Both resumes inherit the same cumulative conflict base from the
+    // checkpoint, so comparing totals compares post-resume work only.
+    assert!(
+        conflicts(&warm) < conflicts(&cold),
+        "warm restore must spend strictly fewer conflicts than a cold replay \
+         ({} vs {})",
+        conflicts(&warm),
+        conflicts(&cold)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn campaign_smoke_records_every_cell_and_resumes_by_skipping() {
     let dir = tmp_dir("smoke");
     let original = fixture("s27.bench");

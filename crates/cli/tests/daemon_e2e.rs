@@ -314,6 +314,109 @@ fn campaign_ignores_daemon_jobs_with_different_parameters() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Kill the daemon between a checkpoint's learnt-DB write and its atomic
+/// rename: the stranded `.tmp` must be swept at recovery, the job must
+/// resume *warm* from the previously published checkpoint (a replayed
+/// `restored` event with its learnt DB intact), and the recovered key must
+/// match the standalone run.
+#[test]
+fn daemon_recovery_sweeps_stranded_tmp_and_resumes_warm() {
+    let dir = tmp_dir("tmp_sweep");
+    let original = fixture("s27.bench");
+    let original = original.to_str().unwrap();
+    let locked = dir.join("s27_locked.bench");
+    let locked = locked.to_str().unwrap();
+
+    cli_ok(&[
+        "lock",
+        original,
+        locked,
+        "--kappa-s",
+        "1",
+        "--kappa-f",
+        "1",
+        "--seed",
+        "3",
+    ]);
+    let standalone = cli_ok(&[
+        "sat-attack",
+        original,
+        locked,
+        "--kappa",
+        "2",
+        "--max-unroll",
+        "4",
+        "--seed",
+        "9",
+    ]);
+    let standalone_key = standalone
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("status = key found: "))
+        .expect("standalone key line")
+        .trim()
+        .to_string();
+
+    // The 6th checkpoint write dies after its learnt-DB section is on disk
+    // but before the rename publishes it (checkpoint cadence 1 → one write
+    // per DIP). The 5th checkpoint is still the published one, and the torn
+    // 6th write is stranded as `job-1.ckpt.tmp`.
+    let socket = dir.join("daemon.sock");
+    let state_dir = dir.join("state");
+    let mut daemon = spawn_daemon(&socket, &state_dir, Some("learnt-db-pre-rename:6"));
+    let output = cli(&[
+        "sat-attack",
+        original,
+        locked,
+        "--kappa",
+        "2",
+        "--max-unroll",
+        "4",
+        "--seed",
+        "9",
+        "--checkpoint-every",
+        "1",
+        "--socket",
+        socket.to_str().unwrap(),
+    ]);
+    assert!(
+        !output.status.success(),
+        "client should fail when its daemon is killed:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let status = daemon.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(137), "daemon died at the kill point");
+    assert!(
+        state_dir.join("job-1.ckpt.tmp").is_file(),
+        "the kill must strand a torn temp file"
+    );
+    assert!(
+        state_dir.join("job-1.ckpt").is_file(),
+        "the previously published checkpoint must survive"
+    );
+
+    // Recovery: the stranded temp file is garbage-collected, the job is
+    // re-queued and resumes from the surviving checkpoint with its learnt
+    // DB — the replayed `restored` event records the warm start.
+    let mut daemon = spawn_daemon(&socket, &state_dir, None);
+    let watched = cli_ok(&["watch", "--socket", socket.to_str().unwrap(), "--job", "1"]);
+    assert!(
+        !state_dir.join("job-1.ckpt.tmp").exists(),
+        "recovery must sweep stranded .tmp files"
+    );
+    assert!(
+        watched.contains("\"event\":\"restored\"") && watched.contains("\"learnt\":\"restored\""),
+        "no warm restore event replayed:\n{watched}"
+    );
+    assert!(
+        watched.contains(&format!("\"key\":\"{standalone_key}\"")),
+        "recovered job diverged from the standalone key `{standalone_key}`:\n{watched}"
+    );
+
+    cli_ok(&["stop", "--socket", socket.to_str().unwrap()]);
+    assert!(daemon.wait().expect("daemon exits").success());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// `sat-attack --socket` round-trips through the daemon and reports the same
 /// key as the standalone engine; `jobs` shows the terminal job afterwards.
 #[test]

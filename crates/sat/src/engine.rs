@@ -198,6 +198,80 @@ impl SolverStats {
     }
 }
 
+/// One learnt clause inside a [`SolverState`] snapshot: its literals plus
+/// the quality metadata (glue and activity) the solver uses to rank it.
+/// Binaries are included (`lits.len() == 2`); learnt units are not — a
+/// unit becomes a plain root-level assignment, not an entry in the learnt
+/// database, so snapshots carry clauses of two or more literals only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearntClause {
+    /// Literal-block distance (glue) recorded when the clause was learnt.
+    pub lbd: u32,
+    /// Clause activity at export time (same scale as the exporting solver's
+    /// clause-activity increment).
+    pub activity: f32,
+    /// The literals; at least two.
+    pub lits: Vec<Lit>,
+}
+
+/// A serializable snapshot of a CDCL engine's search state: the learnt
+/// clause database (with per-clause glue/activity), VSIDS variable
+/// activities, saved phases and restart bookkeeping.
+///
+/// A snapshot is only meaningful relative to the exact clause database it
+/// was exported from: the learnt clauses are implied by *those* problem
+/// clauses over *that* variable numbering. Importing into an engine holding
+/// a different encoding is unsound; callers must bind a snapshot to its
+/// origin (the attack checkpoint does this with a state fingerprint) and
+/// refuse to import on mismatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverState {
+    /// Variable count of the exporting engine. Import requires an exact
+    /// match.
+    pub num_vars: u32,
+    /// VSIDS variable-activity increment at export time.
+    pub var_inc: f64,
+    /// Clause-activity increment at export time.
+    pub cla_inc: f64,
+    /// `true` when the exporting solver ran Luby restarts, `false` for
+    /// dynamic-LBD restarts.
+    pub luby_restarts: bool,
+    /// Since-forever sum of learnt-clause LBDs (dynamic-restart baseline).
+    pub lbd_global_sum: u64,
+    /// Count behind `lbd_global_sum`.
+    pub lbd_global_count: u64,
+    /// Per-variable VSIDS activities; length `num_vars`.
+    pub activity: Vec<f64>,
+    /// Per-variable saved phases; length `num_vars`.
+    pub phase: Vec<bool>,
+    /// The learnt clauses (binaries included, possibly glue-pruned).
+    pub clauses: Vec<LearntClause>,
+}
+
+impl SolverState {
+    /// Number of learnt clauses in the snapshot.
+    pub fn clause_count(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Total literals across the snapshot's learnt clauses.
+    pub fn literal_count(&self) -> usize {
+        self.clauses.iter().map(|c| c.lits.len()).sum()
+    }
+}
+
+/// Pruning knobs for [`SatEngine::export_state`], bounding snapshot size on
+/// pathological runs. The defaults (`None`) export the full learnt database.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateExportOptions {
+    /// Keep only learnt clauses whose glue (LBD) is at most this value.
+    pub glue_cap: Option<u32>,
+    /// Cap the total literal count of the snapshot; clauses are kept in
+    /// ascending-glue (then descending-activity) order until the cap is
+    /// reached, so the cheapest-to-rederive clauses are dropped first.
+    pub literal_cap: Option<usize>,
+}
+
 /// A consumer of CNF: fresh variables plus clauses.
 pub trait ClauseSink {
     /// Allocates a fresh variable.
@@ -243,6 +317,33 @@ pub trait SatEngine: ClauseSink + Default {
     /// database is unsatisfiable regardless of the assumptions. The slice is
     /// valid until the next solve call; the order is unspecified.
     fn failed_assumptions(&self) -> &[Lit];
+
+    /// Serializes the engine's learnt search state (learnt clauses with
+    /// glue/activity, VSIDS activities, saved phases, restart bookkeeping)
+    /// into a [`SolverState`], optionally pruned by `options`. Engines that
+    /// do not retain an exportable search state return `None` — the default,
+    /// which the reference engine inherits.
+    fn export_state(&self, options: &StateExportOptions) -> Option<SolverState> {
+        let _ = options;
+        None
+    }
+
+    /// Restores a snapshot produced by [`Self::export_state`] on an engine
+    /// holding the *same* clause database and variable numbering the
+    /// snapshot was exported from. On success the learnt clauses are
+    /// re-attached and activities/phases/restart state replaced. Returns a
+    /// diagnostic without touching the engine when the snapshot cannot be
+    /// applied (wrong variable count, malformed entries, or — the default,
+    /// which the reference engine inherits — no import support at all).
+    ///
+    /// Callers are responsible for the deeper compatibility contract: the
+    /// snapshot's clauses are only implied by the clause database they were
+    /// exported over, so importing into a different encoding — even one
+    /// with a matching variable count — is unsound.
+    fn import_state(&mut self, state: &SolverState) -> Result<(), String> {
+        let _ = state;
+        Err("this engine does not support search-state import".to_string())
+    }
 }
 
 #[cfg(test)]

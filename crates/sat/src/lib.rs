@@ -58,6 +58,9 @@ pub mod reference;
 pub mod tseitin;
 
 pub use cnf::Cnf;
-pub use engine::{ClauseSink, Model, SatEngine, SatResult, SolveControl, SolverStats, StopFn};
+pub use engine::{
+    ClauseSink, LearntClause, Model, SatEngine, SatResult, SolveControl, SolverState, SolverStats,
+    StateExportOptions, StopFn,
+};
 pub use solver::{RestartMode, Solver};
 pub use types::{Lit, Var};

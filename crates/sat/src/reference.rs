@@ -761,6 +761,23 @@ mod tests {
     }
 
     #[test]
+    fn reference_engine_does_not_support_state_snapshots() {
+        // The retained clause store has no exportable arena state; the trait
+        // defaults must report that instead of pretending.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::positive(a)]);
+        assert!(SatEngine::export_state(&s, &crate::StateExportOptions::default()).is_none());
+        let donor = {
+            let mut fast = crate::Solver::new();
+            fast.new_var();
+            fast.export_state(&crate::StateExportOptions::default())
+        };
+        assert!(SatEngine::import_state(&mut s, &donor).is_err());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
     #[allow(clippy::needless_range_loop)] // p1/p2/h index the pigeon matrix pairwise
     fn pigeonhole_three_pigeons_two_holes_is_unsat() {
         // Variables x[p][h]: pigeon p in hole h.

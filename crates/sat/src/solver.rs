@@ -37,7 +37,10 @@
 //! be solved under a set of assumption literals, which is how the attack
 //! loop grows the set of input/output constraints DIP by DIP.
 
-use crate::engine::{ClauseSink, Model, SatEngine, SatResult, SolveControl, SolverStats};
+use crate::engine::{
+    ClauseSink, LearntClause, Model, SatEngine, SatResult, SolveControl, SolverState, SolverStats,
+    StateExportOptions,
+};
 use crate::types::{Lit, Var};
 
 const LBOOL_FALSE: u8 = 0;
@@ -129,6 +132,10 @@ pub struct Solver {
     num_bin: usize,
     /// Learnt binary clauses (never deleted by reduce-DB).
     num_bin_learnt: usize,
+    /// The learnt binaries themselves. `bin_watches` mixes problem and
+    /// learnt binaries indistinguishably, so state export keeps its own
+    /// record; grows in lockstep with `num_bin_learnt`.
+    learnt_bins: Vec<(Lit, Lit)>,
     /// Watch lists for arena clauses, indexed by the falsifying literal code.
     watches: Vec<Vec<Watcher>>,
     /// Binary watch lists: `bin_watches[p.code()]` holds every literal
@@ -202,6 +209,7 @@ impl Solver {
             learnts: Vec::new(),
             num_bin: 0,
             num_bin_learnt: 0,
+            learnt_bins: Vec::new(),
             watches: Vec::new(),
             bin_watches: Vec::new(),
             assign: Vec::new(),
@@ -308,6 +316,190 @@ impl Solver {
     /// The restart policy currently in effect.
     pub fn restart_mode(&self) -> RestartMode {
         self.restart_mode
+    }
+
+    // ------------------------------------------------------------------
+    // Search-state export / import
+    // ------------------------------------------------------------------
+
+    /// Serializes the learnt search state: every learnt clause (binaries
+    /// included) with its glue and activity, the VSIDS activities and
+    /// increment, saved phases and the restart bookkeeping. `options` can
+    /// prune the clause set — drop clauses above a glue cap, and bound the
+    /// total literal count keeping ascending-glue (then descending-activity)
+    /// clauses first — so a snapshot of a pathological run stays bounded.
+    pub fn export_state(&self, options: &StateExportOptions) -> SolverState {
+        let glue_ok = |lbd: u32| options.glue_cap.is_none_or(|cap| lbd <= cap);
+        // Binaries first (glue ≤ 2 by construction, two literals each), then
+        // arena learnts ranked best-first so the literal cap cuts the
+        // cheapest-to-rederive tail.
+        let mut ranked: Vec<ClauseRef> = self
+            .learnts
+            .iter()
+            .copied()
+            .filter(|&c| glue_ok(self.clause_lbd(c)))
+            .collect();
+        ranked.sort_by(|&a, &b| {
+            self.clause_lbd(a)
+                .cmp(&self.clause_lbd(b))
+                .then_with(|| self.clause_activity(b).total_cmp(&self.clause_activity(a)))
+        });
+
+        let mut clauses = Vec::with_capacity(self.learnt_bins.len() + ranked.len());
+        let mut literals = 0usize;
+        let mut push = |clause: LearntClause| -> bool {
+            let next = literals + clause.lits.len();
+            if options.literal_cap.is_some_and(|cap| next > cap) {
+                return false;
+            }
+            literals = next;
+            clauses.push(clause);
+            true
+        };
+        for &(a, b) in &self.learnt_bins {
+            if !push(LearntClause {
+                lbd: 2,
+                activity: 0.0,
+                lits: vec![a, b],
+            }) {
+                break;
+            }
+        }
+        for &c in &ranked {
+            let lits = (0..self.clause_size(c))
+                .map(|i| self.clause_lit(c, i))
+                .collect();
+            if !push(LearntClause {
+                lbd: self.clause_lbd(c),
+                activity: self.clause_activity(c),
+                lits,
+            }) {
+                break;
+            }
+        }
+
+        SolverState {
+            num_vars: self.num_vars() as u32,
+            var_inc: self.var_inc,
+            cla_inc: self.cla_inc,
+            luby_restarts: self.restart_mode == RestartMode::Luby,
+            lbd_global_sum: self.lbd_global_sum,
+            lbd_global_count: self.lbd_global_count,
+            activity: self.activity.clone(),
+            phase: self.phase.clone(),
+            clauses,
+        }
+    }
+
+    /// Restores a snapshot produced by [`Self::export_state`] on a solver
+    /// holding the same clause database and variable numbering. Learnt
+    /// clauses are re-attached (normalized against the current root-level
+    /// assignment), activities/phases replace the current ones and the
+    /// branching heap is rebuilt. Validates the whole snapshot before
+    /// touching anything and returns a diagnostic on mismatch; see
+    /// [`SatEngine::import_state`] for the compatibility contract the caller
+    /// must uphold.
+    pub fn import_state(&mut self, state: &SolverState) -> Result<(), String> {
+        if !self.ok {
+            return Err("clause database is already unsatisfiable at the root".to_string());
+        }
+        let n = self.num_vars();
+        if state.num_vars as usize != n {
+            return Err(format!(
+                "variable count mismatch: snapshot has {}, solver has {n}",
+                state.num_vars
+            ));
+        }
+        if state.activity.len() != n || state.phase.len() != n {
+            return Err(format!(
+                "activity/phase length mismatch: {}/{} for {n} variables",
+                state.activity.len(),
+                state.phase.len()
+            ));
+        }
+        if !state.var_inc.is_finite()
+            || state.var_inc <= 0.0
+            || !state.cla_inc.is_finite()
+            || state.cla_inc <= 0.0
+            || state.activity.iter().any(|a| !a.is_finite() || *a < 0.0)
+        {
+            return Err("non-finite or negative activity values".to_string());
+        }
+        for clause in &state.clauses {
+            if clause.lits.len() < 2 {
+                return Err(format!(
+                    "learnt clause of {} literal(s); snapshots carry size >= 2 only",
+                    clause.lits.len()
+                ));
+            }
+            if let Some(l) = clause.lits.iter().find(|l| l.var().index() >= n) {
+                return Err(format!(
+                    "literal references variable {} beyond the solver's {n}",
+                    l.var().index()
+                ));
+            }
+        }
+
+        self.backtrack(0);
+        self.activity.copy_from_slice(&state.activity);
+        self.var_inc = state.var_inc;
+        self.cla_inc = state.cla_inc;
+        self.restart_mode = if state.luby_restarts {
+            RestartMode::Luby
+        } else {
+            RestartMode::DynamicLbd
+        };
+        self.lbd_global_sum = state.lbd_global_sum;
+        self.lbd_global_count = state.lbd_global_count;
+        self.clear_lbd_window();
+        self.phase.copy_from_slice(&state.phase);
+        // Activities changed wholesale: restore the heap invariant in place.
+        for i in (0..self.heap.len() / 2).rev() {
+            self.heap_sift_down(i);
+        }
+        for clause in &state.clauses {
+            self.import_learnt(clause);
+        }
+        // Imported units (clauses shrunk by root-level facts) propagate now.
+        if self.propagate().is_some() {
+            self.ok = false;
+        }
+        Ok(())
+    }
+
+    /// Re-attaches one snapshot clause, normalized against the current
+    /// root-level assignment: satisfied clauses are dropped, false literals
+    /// removed. Unlike [`Self::record_learnt`] this asserts nothing — the
+    /// clause is not a conflict product here, just database content.
+    fn import_learnt(&mut self, clause: &LearntClause) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut kept: Vec<Lit> = Vec::with_capacity(clause.lits.len());
+        for &l in &clause.lits {
+            match self.lit_value(l) {
+                LBOOL_TRUE => return, // permanently satisfied: nothing to keep
+                LBOOL_FALSE => {}
+                _ => kept.push(l),
+            }
+        }
+        match kept.len() {
+            0 => self.ok = false,
+            1 => {
+                self.enqueue(kept[0], Reason::None);
+            }
+            2 => {
+                self.watch_bin(kept[0], kept[1]);
+                self.num_bin_learnt += 1;
+                self.learnt_bins.push((kept[0], kept[1]));
+                self.stats.learned += 1;
+            }
+            _ => {
+                let c = self.alloc_clause(&kept, true, clause.lbd.min(kept.len() as u32));
+                self.arena[c as usize + 1] = clause.activity.to_bits();
+                self.attach(c);
+                self.learnts.push(c);
+                self.stats.learned += 1;
+            }
+        }
     }
 
     /// After [`Self::solve_with_assumptions`] returned [`SatResult::Unsat`],
@@ -802,6 +994,7 @@ impl Solver {
             2 => {
                 self.watch_bin(learnt[0], learnt[1]);
                 self.num_bin_learnt += 1;
+                self.learnt_bins.push((learnt[0], learnt[1]));
                 self.enqueue(learnt[0], Reason::Binary(learnt[1]));
             }
             _ => {
@@ -1295,6 +1488,14 @@ impl SatEngine for Solver {
         Solver::solve_with_assumptions(self, assumptions)
     }
 
+    fn export_state(&self, options: &StateExportOptions) -> Option<SolverState> {
+        Some(Solver::export_state(self, options))
+    }
+
+    fn import_state(&mut self, state: &SolverState) -> Result<(), String> {
+        Solver::import_state(self, state)
+    }
+
     fn set_control(&mut self, control: SolveControl) {
         Solver::set_control(self, control)
     }
@@ -1728,5 +1929,127 @@ mod tests {
         assert!(!model.lit_value(Lit::positive(a)));
         assert_eq!(model.len(), 1);
         assert!(!model.is_empty());
+    }
+
+    /// Pigeonhole instance PHP(p, p-1): hard enough to learn clauses, small
+    /// enough for tests. Returns the solver with the problem loaded.
+    #[allow(clippy::needless_range_loop)] // `h` indexes the inner dimension
+    fn pigeonhole(pigeons: usize) -> Solver {
+        let holes = pigeons - 1;
+        let mut s = Solver::new();
+        let x: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &x {
+            let clause: Vec<Lit> = row.iter().map(|&v| Lit::positive(v)).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause(&[Lit::negative(x[p1][h]), Lit::negative(x[p2][h])]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn export_import_round_trips_the_learnt_database() {
+        let mut warm = pigeonhole(8);
+        warm.set_control(SolveControl::with_conflict_budget(300));
+        assert_eq!(warm.solve(), SatResult::Interrupted);
+        let state = warm.export_state(&StateExportOptions::default());
+        assert!(state.clause_count() > 0, "budget run learnt nothing");
+        assert_eq!(state.num_vars as usize, warm.num_vars());
+        assert!(state.clauses.iter().all(|c| c.lits.len() >= 2));
+
+        let mut resumed = pigeonhole(8);
+        resumed.import_state(&state).expect("snapshot applies");
+        // Ranking may reorder but nothing may be lost or invented.
+        let exported_again = resumed.export_state(&StateExportOptions::default());
+        assert_eq!(exported_again.clause_count(), state.clause_count());
+        assert_eq!(exported_again.literal_count(), state.literal_count());
+        assert_eq!(exported_again.activity, state.activity);
+        assert_eq!(exported_again.phase, state.phase);
+        assert_eq!(exported_again.var_inc, state.var_inc);
+
+        // Both finish with the right verdict regardless of the import.
+        resumed.set_control(SolveControl::unlimited());
+        warm.set_control(SolveControl::unlimited());
+        assert_eq!(resumed.solve(), SatResult::Unsat);
+        assert_eq!(warm.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn export_honors_glue_and_literal_caps() {
+        let mut s = pigeonhole(8);
+        s.set_control(SolveControl::with_conflict_budget(500));
+        assert_eq!(s.solve(), SatResult::Interrupted);
+        let full = s.export_state(&StateExportOptions::default());
+        assert!(full.clause_count() > 0);
+
+        let glue_capped = s.export_state(&StateExportOptions {
+            glue_cap: Some(3),
+            literal_cap: None,
+        });
+        assert!(glue_capped.clauses.iter().all(|c| c.lbd <= 3));
+        assert!(glue_capped.clause_count() <= full.clause_count());
+
+        let cap = full.literal_count() / 2;
+        let lit_capped = s.export_state(&StateExportOptions {
+            glue_cap: None,
+            literal_cap: Some(cap),
+        });
+        assert!(lit_capped.literal_count() <= cap);
+        assert!(lit_capped.clause_count() < full.clause_count());
+        // The cap keeps the best-ranked prefix: every kept arena clause must
+        // have glue no worse than any dropped one's minimum... cheaper check:
+        // capped set is a subset of the full export's clause multiset.
+        for c in &lit_capped.clauses {
+            assert!(full.clauses.contains(c), "cap invented a clause");
+        }
+    }
+
+    #[test]
+    fn import_rejects_incompatible_snapshots_without_side_effects() {
+        let mut donor = pigeonhole(7);
+        donor.set_control(SolveControl::with_conflict_budget(200));
+        let _ = donor.solve();
+        let state = donor.export_state(&StateExportOptions::default());
+
+        // Wrong variable count.
+        let mut other = pigeonhole(6);
+        let before = other.clone();
+        assert!(other.import_state(&state).is_err());
+        assert_eq!(other.num_clauses(), before.num_clauses());
+
+        // Out-of-range literal inside a shape-corrupted snapshot.
+        let mut forged = state.clone();
+        if let Some(c) = forged.clauses.first_mut() {
+            c.lits.truncate(1);
+        }
+        let mut target = pigeonhole(7);
+        assert!(target.import_state(&forged).is_err());
+        assert_eq!(target.num_clauses(), pigeonhole(7).num_clauses());
+        // A rejected import leaves the solver fully usable.
+        target.set_control(SolveControl::unlimited());
+        assert_eq!(target.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn imported_state_survives_reduce_db_and_solves_consistently() {
+        let mut donor = pigeonhole(8);
+        donor.set_control(SolveControl::with_conflict_budget(400));
+        assert_eq!(donor.solve(), SatResult::Interrupted);
+        let state = donor.export_state(&StateExportOptions::default());
+
+        let mut s = pigeonhole(8);
+        s.import_state(&state).expect("snapshot applies");
+        // Force clause deletion over the imported database; the solve must
+        // still reach the right verdict.
+        s.set_learnt_limit(Some(16));
+        s.set_control(SolveControl::unlimited());
+        assert_eq!(s.solve(), SatResult::Unsat);
     }
 }

@@ -32,7 +32,10 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use attacks::{AttackError, AttackProgress, AttackStatus, SatAttack, SatAttackOutcome};
+use attacks::{
+    AttackError, AttackProgress, AttackStatus, LearntDbOutcome, RestoreReport, SatAttack,
+    SatAttackOutcome,
+};
 use netlist::Netlist;
 use threadpool::{spawn_workers, JobQueue, PushError};
 use trilock::TriLockConfig;
@@ -249,6 +252,20 @@ impl Registry {
                 }
             }
         }
+        // A crash between a checkpoint's temp-file write and its atomic
+        // rename strands a `.tmp` next to the real checkpoint. The previous
+        // checkpoint (if any) is still intact, so the stranded file is pure
+        // garbage — sweep it with the same lifecycle GC that drops dead
+        // checkpoints below.
+        if let Ok(dir) = fs::read_dir(&config.state_dir) {
+            for entry in dir.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("job-") && name.ends_with(".tmp") {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
         let mut pending = Vec::new();
         for (&id, entry) in &mut jobs {
             if entry.state.is_terminal() {
@@ -378,6 +395,36 @@ impl Registry {
         self.flush(job, fan);
     }
 
+    /// Restore callback target: reports what a resumed job got back from its
+    /// checkpoint — how many DIPs were replayed and whether the saved
+    /// learnt-clause state was used or dropped. Replayed to late watchers,
+    /// like the other lifecycle events.
+    fn emit_restore(&self, job: u64, report: &RestoreReport) {
+        let mut fan = FanOut::default();
+        {
+            let mut inner = self.inner.lock().expect("registry lock");
+            let mut line = event_line(
+                job,
+                "restored",
+                [("dips", report.dips.into()), ("depth", report.depth.into())],
+            );
+            match &report.learnt_db {
+                LearntDbOutcome::Absent => line.push("learnt", "absent".into()),
+                LearntDbOutcome::Restored { clauses, literals } => {
+                    line.push("learnt", "restored".into());
+                    line.push("clauses", (*clauses).into());
+                    line.push("literals", (*literals).into());
+                }
+                LearntDbOutcome::Degraded { issue } => {
+                    line.push("learnt", "degraded".into());
+                    line.push("reason", issue.to_string().into());
+                }
+            }
+            self.emit(&mut inner, job, line, true, &mut fan);
+        }
+        self.flush(job, fan);
+    }
+
     /// Accepts a job if the queue has room: the entry is registered, the
     /// id enqueued and the `queued` record journaled in one critical
     /// section, so workers can never observe an id without its entry and a
@@ -495,6 +542,10 @@ fn run_attack(
     let stop_cancel = Arc::clone(cancel);
     config.stop = Some(Arc::new(move || {
         stop_cancel.load(Ordering::Relaxed) || stop_registry.shutdown.load(Ordering::Relaxed)
+    }));
+    let restore_observer = Arc::clone(registry);
+    config.on_restore = Some(Arc::new(move |report: &RestoreReport| {
+        restore_observer.emit_restore(job, report);
     }));
     let checkpoint = registry.checkpoint_path(job);
     if checkpoint.exists() {
